@@ -1,0 +1,202 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at CI scale (experiments.Quick). Each benchmark wraps the
+// corresponding driver in internal/experiments; run the cmd/experiments
+// binary with the default (full) options for paper-scale output.
+package streamtune_test
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/experiments"
+)
+
+// quick returns bench-scale options: even smaller than experiments.Quick
+// so the whole figure suite fits in one `go test -bench=.` run. Use
+// cmd/experiments for paper-scale output.
+func quick() experiments.Options {
+	o := experiments.Quick()
+	o.CorpusSamples = 8
+	o.TrainEpochs = 4
+	o.MeasureTicks = 40
+	return o
+}
+
+// BenchmarkTable2 regenerates the source-rate unit table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 sweeps parallelism against measured processing ability.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := experiments.Fig4(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 computes the pre-training corpus distribution.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweep shares one Flink cycle sweep across the figure benches that
+// pivot it (Fig 6, Fig 7a, Table III, Fig 9a).
+var sweepCache []*experiments.CycleStats
+
+func sweep(b *testing.B) []*experiments.CycleStats {
+	b.Helper()
+	if sweepCache == nil {
+		var err error
+		sweepCache, err = experiments.Sweep(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sweepCache
+}
+
+// BenchmarkFig6 reproduces final parallelism per method at 10xWu.
+func BenchmarkFig6(b *testing.B) {
+	s := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig6(s)
+	}
+}
+
+// BenchmarkFig7a reproduces average reconfigurations per tuning.
+func BenchmarkFig7a(b *testing.B) {
+	s := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig7a(s)
+	}
+}
+
+// BenchmarkTable3 reproduces backpressure occurrence counts.
+func BenchmarkTable3(b *testing.B) {
+	s := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table3(s)
+	}
+}
+
+// BenchmarkFig9a reproduces recommendation-time comparisons.
+func BenchmarkFig9a(b *testing.B) {
+	s := sweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig9a(s)
+	}
+}
+
+// BenchmarkFig7b runs the unseen 2-way-join case study.
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7b(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 runs the Timely generality evaluation (Fig 8a-d).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9b measures pre-training cost scaling.
+func BenchmarkFig9b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9b(quick(), []int{100, 300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 traces CPU utilization across reconfigurations.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11a runs the prediction-model ablation (NN/SVM/XGB).
+func BenchmarkFig11a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11a(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11b compares direct GED with AStar+-LSa for
+// similarity-center computation.
+func BenchmarkFig11b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11b(quick(), []int{20, 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoise sweeps useful-time measurement noise.
+func BenchmarkAblationNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationNoise(quick(), []float64{0.02, 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGlobal compares clustered vs global pre-training.
+func BenchmarkAblationGlobal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGlobal(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTick measures raw simulator throughput.
+func BenchmarkEngineTick(b *testing.B) {
+	ws, err := experiments.FlinkWorkloads(quick())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ws[2].Graph.Clone() // Q3: two sources, join
+	cfg := engine.DefaultConfig(engine.Flink)
+	eng, err := engine.New(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := map[string]int{}
+	for _, op := range g.Operators() {
+		par[op.ID] = 4
+	}
+	if err := eng.Deploy(par); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Command experiments regenerates the tables and figures of the
+// StreamTune paper's evaluation (§V) on the simulated engines.
+//
+// Usage:
+//
+//	experiments -exp fig6            # one experiment
+//	experiments -exp all             # everything
+//	experiments -exp fig7a -quick    # CI-scale configuration
+//
+// Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
+// fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
+// ablation-global, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/streamtune/streamtune/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see package doc)")
+	quick := flag.Bool("quick", false, "use the scaled-down configuration")
+	flag.Parse()
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+
+	if err := run(*exp, opts); err != nil {
+		log.Fatalf("experiment %s: %v", *exp, err)
+	}
+}
+
+func run(exp string, opts experiments.Options) error {
+	out := os.Stdout
+	needSweep := map[string]bool{"fig6": true, "fig7a": true, "table3": true, "fig9a": true, "all": true}
+
+	var sweep []*experiments.CycleStats
+	if needSweep[exp] {
+		var err error
+		sweep, err = experiments.Sweep(opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	once := func(id string) error {
+		switch id {
+		case "table2":
+			t, err := experiments.Table2()
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		case "fig4":
+			points, ft, wt, err := experiments.Fig4(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Fig 4: Parallelism vs Processing Ability ==")
+			fmt.Fprintln(out, "p   filter PA (rec/s)   window PA (rec/s)")
+			for _, p := range points {
+				fmt.Fprintf(out, "%-3d %-18.0f %-18.0f\n", p.Parallelism, p.FilterPA, p.WindowPA)
+			}
+			fmt.Fprintf(out, "bottleneck thresholds: filter=%d window=%d (paper: 14 and 10)\n", ft, wt)
+		case "fig5":
+			t, err := experiments.Fig5(opts)
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		case "fig6":
+			experiments.Fig6(sweep).Render(out)
+		case "fig7a":
+			experiments.Fig7a(sweep).Render(out)
+		case "table3":
+			experiments.Table3(sweep).Render(out)
+		case "fig9a":
+			experiments.Fig9a(sweep).Render(out)
+		case "fig7b":
+			t, err := experiments.Fig7b(opts)
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		case "fig8a", "fig8bcd":
+			results, err := experiments.Fig8(opts)
+			if err != nil {
+				return err
+			}
+			if id == "fig8a" {
+				experiments.Fig8aTable(results).Render(out)
+			} else {
+				experiments.Fig8LatencyTable(results).Render(out)
+			}
+		case "fig9b":
+			sizes := []int{200, 500, 1000, 2000}
+			if opts.CorpusSamples < experiments.Full().CorpusSamples {
+				sizes = []int{100, 200, 400, 800}
+			}
+			t, err := experiments.Fig9b(opts, sizes)
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		case "fig10":
+			t, err := experiments.Fig10(opts)
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		case "fig11a":
+			t, err := experiments.Fig11a(opts)
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		case "fig11b":
+			// Direct GED is quadratic in dataset size with no pruning —
+			// that is the point of the figure — so quick mode caps the
+			// sweep where the baseline stays tractable.
+			sizes := []int{100, 200, 300, 400}
+			if opts.CorpusSamples < experiments.Full().CorpusSamples {
+				sizes = []int{20, 40, 60}
+			}
+			t, err := experiments.Fig11b(opts, sizes)
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		case "ablation-noise":
+			rows, err := experiments.AblationNoise(opts, []float64{0.01, 0.05, 0.1, 0.2})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "== Ablation: useful-time noise sweep (Nexmark Q5) ==")
+			fmt.Fprintln(out, "noise  DS2 reconfigs  DS2 bp  StreamTune reconfigs  StreamTune bp")
+			for _, r := range rows {
+				fmt.Fprintf(out, "%-6.2f %-14.2f %-7d %-21.2f %d\n",
+					r.Noise, r.DS2Reconfigs, r.DS2Backpressure, r.StreamTuneRecfg, r.StreamTuneBackpres)
+			}
+		case "ablation-global":
+			t, err := experiments.AblationGlobal(opts)
+			if err != nil {
+				return err
+			}
+			t.Render(out)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	if exp != "all" {
+		return once(exp)
+	}
+	for _, id := range []string{
+		"table2", "fig4", "fig5", "fig6", "fig7a", "table3", "fig9a",
+		"fig7b", "fig8a", "fig8bcd", "fig9b", "fig10", "fig11a", "fig11b",
+		"ablation-noise", "ablation-global",
+	} {
+		if err := once(id); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command streamtune is a small CLI around the StreamTune library:
+//
+//	streamtune inspect -query q5            # show a workload DAG
+//	streamtune tune -query q5 -rate 10      # pre-train on Nexmark+PQP and tune
+//	streamtune pretrain -samples 40         # corpus + pre-training stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/streamtune/streamtune"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "inspect":
+		cmdInspect(os.Args[2:])
+	case "tune":
+		cmdTune(os.Args[2:])
+	case "pretrain":
+		cmdPretrain(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: streamtune <inspect|tune|pretrain> [flags]")
+	os.Exit(2)
+}
+
+func buildQuery(name string) *streamtune.Graph {
+	g, err := streamtune.BuildNexmark(streamtune.NexmarkQuery(name), streamtune.Flink)
+	if err != nil {
+		log.Fatalf("unknown query %q (want q1, q2, q3, q5, q8): %v", name, err)
+	}
+	return g
+}
+
+func cmdInspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	query := fs.String("query", "q5", "nexmark query")
+	asJSON := fs.Bool("json", false, "emit the DAG as JSON")
+	fs.Parse(args)
+
+	g := buildQuery(*query)
+	if *asJSON {
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
+	}
+	fmt.Println(g)
+}
+
+func cmdTune(args []string) {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	query := fs.String("query", "q5", "nexmark query")
+	rate := fs.Float64("rate", 10, "source rate multiplier (x Wu)")
+	quick := fs.Bool("quick", true, "scaled-down pre-training")
+	fs.Parse(args)
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	fmt.Println("pre-training on the Nexmark + PQP corpus...")
+	pt, _, err := experiments.PreTrain(engine.Flink, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := buildQuery(*query)
+	g.ScaleSourceRates(*rate)
+	eng, err := streamtune.NewEngine(g, streamtune.DefaultEngineConfig(streamtune.Flink))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := streamtune.NewTuner(pt, eng.Graph())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tuner.Tune(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned %s at %.0fxWu in %d reconfiguration(s):\n", g.Name, *rate, res.Reconfigurations)
+	for _, op := range g.Operators() {
+		fmt.Printf("  %-18s p=%d\n", op.ID, res.Parallelism[op.ID])
+	}
+	fmt.Printf("backpressure-free: %v\n", !res.Final.Backpressured)
+}
+
+func cmdPretrain(args []string) {
+	fs := flag.NewFlagSet("pretrain", flag.ExitOnError)
+	samples := fs.Int("samples", 15, "executions per job structure")
+	epochs := fs.Int("epochs", 10, "training epochs")
+	fs.Parse(args)
+
+	opts := experiments.Quick()
+	opts.CorpusSamples = *samples
+	opts.TrainEpochs = *epochs
+	corpus, err := experiments.BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labeled, bns := corpus.LabeledCount()
+	fmt.Printf("corpus: %d executions, %d labeled operators (%d bottlenecks)\n",
+		corpus.Len(), labeled, bns)
+	pt, _, err := experiments.PreTrain(engine.Flink, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusters: %d, pre-training time: %v\n", len(pt.Encoders), pt.TrainTime.Round(1e6))
+	for c, losses := range pt.Losses {
+		fmt.Printf("  cluster %d: loss %.4f -> %.4f over %d epochs\n",
+			c, losses[0], losses[len(losses)-1], len(losses))
+	}
+}

@@ -1,0 +1,130 @@
+// Command nexmark autoscales a Nexmark query through the paper's
+// periodic source-rate pattern, comparing StreamTune against DS2 and
+// ContTune on the Flink-flavor engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/streamtune/streamtune"
+)
+
+func main() {
+	query := flag.String("query", "q5", "nexmark query (q1, q2, q3, q5, q8)")
+	rateSteps := flag.Int("steps", 10, "number of rate changes to replay")
+	flag.Parse()
+
+	q := streamtune.NexmarkQuery(*query)
+	g, err := streamtune.BuildNexmark(q, streamtune.Flink)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-train on histories of all five Nexmark queries.
+	var graphs []*streamtune.Graph
+	for _, nq := range []streamtune.NexmarkQuery{
+		streamtune.NexmarkQ1, streamtune.NexmarkQ2, streamtune.NexmarkQ3,
+		streamtune.NexmarkQ5, streamtune.NexmarkQ8,
+	} {
+		ng, err := streamtune.BuildNexmark(nq, streamtune.Flink)
+		if err != nil {
+			log.Fatal(err)
+		}
+		graphs = append(graphs, ng)
+	}
+	hopts := streamtune.DefaultHistoryOptions(streamtune.Flink)
+	hopts.SamplesPerGraph = 30
+	corpus, err := streamtune.GenerateHistory(graphs, hopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = 15
+	pt, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pattern := streamtune.PeriodicRatePatterns(1)[0]
+	baseRates := map[string]float64{}
+	for _, i := range g.Sources() {
+		op := g.OperatorAt(i)
+		baseRates[op.ID] = op.SourceRate
+	}
+
+	type tuners struct {
+		name string
+		run  func(e *streamtune.Engine) (int, int, int, error)
+	}
+	st := func() func(e *streamtune.Engine) (int, int, int, error) {
+		var tuner *streamtune.Tuner
+		return func(e *streamtune.Engine) (int, int, int, error) {
+			if tuner == nil {
+				var err error
+				tuner, err = streamtune.NewTuner(pt, e.Graph())
+				if err != nil {
+					return 0, 0, 0, err
+				}
+			}
+			res, err := tuner.Tune(e)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents, nil
+		}
+	}()
+	ct := streamtune.NewContTune()
+
+	for _, m := range []tuners{
+		{"DS2", func(e *streamtune.Engine) (int, int, int, error) {
+			res, err := streamtune.TuneDS2(e)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents, nil
+		}},
+		{"ContTune", func(e *streamtune.Engine) (int, int, int, error) {
+			res, err := ct.Tune(e)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents, nil
+		}},
+		{"StreamTune", st},
+	} {
+		eng, err := streamtune.NewEngine(g, streamtune.DefaultEngineConfig(streamtune.Flink))
+		if err != nil {
+			log.Fatal(err)
+		}
+		initial := map[string]int{}
+		for _, op := range g.Operators() {
+			initial[op.ID] = 1
+		}
+		if err := eng.Deploy(initial); err != nil {
+			log.Fatal(err)
+		}
+		totalRecfg, totalBP := 0, 0
+		fmt.Printf("\n=== %s on %s ===\n", m.name, g.Name)
+		for step, mult := range pattern.Multipliers {
+			if step >= *rateSteps {
+				break
+			}
+			for id, wu := range baseRates {
+				if err := eng.SetSourceRate(id, wu*float64(mult)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			total, recfg, bp, err := m.run(eng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalRecfg += recfg
+			totalBP += bp
+			fmt.Printf("  rate %2dxWu -> total parallelism %3d (%d reconfigs, %d backpressure)\n",
+				mult, total, recfg, bp)
+		}
+		fmt.Printf("  TOTAL: %d reconfigurations, %d backpressure windows\n", totalRecfg, totalBP)
+	}
+}

@@ -1,0 +1,83 @@
+// Command pqp pre-trains on the PQP synthetic query corpus and tunes an
+// unseen 2-way-join query that was held out of pre-training — the
+// paper's generalization case study (Fig. 7b).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/streamtune/streamtune"
+)
+
+func main() {
+	const holdout = 5
+
+	// Build the PQP corpus population, skipping the holdout variant.
+	var graphs []*streamtune.Graph
+	for _, tmpl := range []streamtune.PQPTemplate{
+		streamtune.PQPLinear, streamtune.PQPTwoWayJoin, streamtune.PQPThreeWayJoin,
+	} {
+		variants := map[streamtune.PQPTemplate]int{
+			streamtune.PQPLinear: 8, streamtune.PQPTwoWayJoin: 16, streamtune.PQPThreeWayJoin: 32,
+		}[tmpl]
+		for i := 0; i < variants; i++ {
+			if tmpl == streamtune.PQPTwoWayJoin && i == holdout {
+				continue
+			}
+			g, err := streamtune.BuildPQP(tmpl, i)
+			if err != nil {
+				log.Fatal(err)
+			}
+			graphs = append(graphs, g)
+		}
+	}
+	hopts := streamtune.DefaultHistoryOptions(streamtune.Flink)
+	hopts.SamplesPerGraph = 15
+	corpus, err := streamtune.GenerateHistory(graphs, hopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d executions over %d query structures\n", corpus.Len(), len(graphs))
+
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = 12
+	pt, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-trained %d cluster encoders in %v\n", len(pt.Encoders), pt.TrainTime.Round(1e6))
+
+	// Tune the unseen query across the basic rate cycle.
+	unseen, err := streamtune.BuildPQP(streamtune.PQPTwoWayJoin, holdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := streamtune.NewEngine(unseen, streamtune.DefaultEngineConfig(streamtune.Flink))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := streamtune.NewTuner(pt, eng.Graph())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := map[string]float64{}
+	for _, i := range unseen.Sources() {
+		base[unseen.OperatorAt(i).ID] = unseen.OperatorAt(i).SourceRate
+	}
+	fmt.Printf("\ntuning unseen %s across the basic rate cycle:\n", unseen.Name)
+	for _, mult := range []int{3, 7, 4, 2, 1, 10, 8, 5, 6, 9} {
+		for id, wu := range base {
+			if err := eng.SetSourceRate(id, wu*float64(mult)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		res, err := tuner.Tune(eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  rate %2dxWu: parallelism %3d, tuning time %5.1f min (simulated), backpressure-free=%v\n",
+			mult, res.TotalParallelism(), res.TuningTime.Minutes(), !res.Final.Backpressured)
+	}
+}

@@ -1,0 +1,73 @@
+// Command quickstart is the minimal end-to-end StreamTune walkthrough:
+// build a small streaming job, generate a synthetic execution history,
+// pre-train, and tune the job's parallelism until it is
+// backpressure-free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/streamtune/streamtune"
+)
+
+func main() {
+	// 1. Define a streaming job: source -> filter -> window -> sink.
+	job := streamtune.NewGraph("quickstart")
+	job.MustAddOperator(&streamtune.Operator{
+		ID: "events", Type: streamtune.Source, SourceRate: 1e6, TupleWidthOut: 64,
+	})
+	job.MustAddOperator(&streamtune.Operator{
+		ID: "fraud-filter", Type: streamtune.Filter, Selectivity: 0.3,
+		TupleWidthIn: 64, TupleWidthOut: 64,
+	})
+	job.MustAddOperator(&streamtune.Operator{
+		ID: "window-agg", Type: streamtune.WindowOp, Selectivity: 0.1,
+		WindowLength: 60, TupleWidthIn: 64, TupleWidthOut: 32,
+	})
+	job.MustAddOperator(&streamtune.Operator{ID: "sink", Type: streamtune.Sink, TupleWidthIn: 32})
+	job.MustAddEdge("events", "fraud-filter")
+	job.MustAddEdge("fraud-filter", "window-agg")
+	job.MustAddEdge("window-agg", "sink")
+
+	// 2. Generate an execution history for pre-training (in production
+	// this comes from your cluster's job archive).
+	hopts := streamtune.DefaultHistoryOptions(streamtune.Flink)
+	hopts.SamplesPerGraph = 60
+	corpus, err := streamtune.GenerateHistory([]*streamtune.Graph{job}, hopts)
+	if err != nil {
+		log.Fatalf("generate history: %v", err)
+	}
+	fmt.Printf("history: %d executions\n", corpus.Len())
+
+	// 3. Pre-train the GNN encoders (GED clustering + per-cluster
+	// bottleneck classification).
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = 15
+	pt, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		log.Fatalf("pre-train: %v", err)
+	}
+	fmt.Printf("pre-trained %d cluster encoder(s) in %v\n", len(pt.Encoders), pt.TrainTime.Round(1e6))
+
+	// 4. Deploy the job on the simulated Flink-flavor engine and tune.
+	eng, err := streamtune.NewEngine(job, streamtune.DefaultEngineConfig(streamtune.Flink))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := streamtune.NewTuner(pt, eng.Graph())
+	if err != nil {
+		log.Fatalf("new tuner: %v", err)
+	}
+	res, err := tuner.Tune(eng)
+	if err != nil {
+		log.Fatalf("tune: %v", err)
+	}
+
+	fmt.Printf("recommended parallelism (after %d reconfiguration(s)):\n", res.Reconfigurations)
+	for _, op := range job.Operators() {
+		fmt.Printf("  %-14s -> %d\n", op.ID, res.Parallelism[op.ID])
+	}
+	fmt.Printf("backpressure-free: %v, throughput %.0f records/s\n",
+		!res.Final.Backpressured, res.Final.Throughput)
+}

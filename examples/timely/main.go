@@ -1,0 +1,72 @@
+// Command timely demonstrates StreamTune's generality on the Timely
+// Dataflow flavor (no built-in backpressure; rate-based bottleneck
+// detection) and reports per-epoch latency quantiles under the
+// recommended parallelism — the paper's §V-F evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/streamtune/streamtune"
+)
+
+func main() {
+	queries := []streamtune.NexmarkQuery{
+		streamtune.NexmarkQ3, streamtune.NexmarkQ5, streamtune.NexmarkQ8,
+	}
+
+	var graphs []*streamtune.Graph
+	for _, q := range queries {
+		g, err := streamtune.BuildNexmark(q, streamtune.Timely)
+		if err != nil {
+			log.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	hopts := streamtune.DefaultHistoryOptions(streamtune.Timely)
+	hopts.SamplesPerGraph = 40
+	corpus, err := streamtune.GenerateHistory(graphs, hopts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = 15
+	cfg.GNN.PMax = streamtune.DefaultEngineConfig(streamtune.Timely).MaxParallelism
+	pt, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, g := range graphs {
+		g := g.Clone()
+		g.ScaleSourceRates(10) // the paper reports the 10xWu point
+
+		eng, err := streamtune.NewEngine(g, streamtune.DefaultEngineConfig(streamtune.Timely))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tuner, err := streamtune.NewTuner(pt, eng.Graph())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tuner.Tune(eng)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		lats := append([]float64(nil), res.Final.EpochLatencies...)
+		sort.Float64s(lats)
+		q := func(p float64) float64 {
+			if len(lats) == 0 {
+				return 0
+			}
+			return lats[int(p*float64(len(lats)-1))]
+		}
+		fmt.Printf("%s: total parallelism %d after %d reconfigs\n",
+			g.Name, res.TotalParallelism(), res.Reconfigurations)
+		fmt.Printf("  per-epoch latency p50=%.2fs p90=%.2fs p99=%.2fs (%d epochs)\n",
+			q(0.5), q(0.9), q(0.99), len(lats))
+	}
+}

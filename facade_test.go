@@ -1,0 +1,108 @@
+package streamtune_test
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way examples do: build
+// a job, generate history, pre-train, tune, and check the outcome.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	job := streamtune.NewGraph("api-e2e")
+	job.MustAddOperator(&streamtune.Operator{
+		ID: "src", Type: streamtune.Source, SourceRate: 8e5, TupleWidthOut: 64,
+	})
+	job.MustAddOperator(&streamtune.Operator{
+		ID: "agg", Type: streamtune.Aggregate, Selectivity: 0.2, TupleWidthIn: 64, TupleWidthOut: 32,
+	})
+	job.MustAddOperator(&streamtune.Operator{ID: "sink", Type: streamtune.Sink, TupleWidthIn: 32})
+	job.MustAddEdge("src", "agg")
+	job.MustAddEdge("agg", "sink")
+
+	hopts := streamtune.DefaultHistoryOptions(streamtune.Flink)
+	hopts.SamplesPerGraph = 30
+	hopts.Engine.MeasureTicks = 40
+	corpus, err := streamtune.GenerateHistory([]*streamtune.Graph{job}, hopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = 8
+	pt, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := streamtune.NewEngine(job, streamtune.DefaultEngineConfig(streamtune.Flink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := streamtune.NewTuner(pt, eng.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil || res.Final.Backpressured {
+		t.Fatal("tuned deployment still backpressured")
+	}
+	if res.TotalParallelism() < 3 {
+		t.Fatalf("total parallelism %d below operator count", res.TotalParallelism())
+	}
+
+	// Baselines are reachable through the facade too.
+	eng2, err := streamtune.NewEngine(job, streamtune.DefaultEngineConfig(streamtune.Flink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := map[string]int{"src": 1, "agg": 1, "sink": 1}
+	if err := eng2.Deploy(initial); err != nil {
+		t.Fatal(err)
+	}
+	dres, err := streamtune.TuneDS2(eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.TotalParallelism() < 3 {
+		t.Fatalf("DS2 total = %d", dres.TotalParallelism())
+	}
+
+	// Algorithm 1 labeling via the facade.
+	m, err := eng2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := streamtune.LabelBottlenecks(eng2.Graph(), m, eng2.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 {
+		t.Fatalf("labels = %d, want 3", len(labels))
+	}
+}
+
+// TestWorkloadBuilders checks the re-exported workload constructors.
+func TestWorkloadBuilders(t *testing.T) {
+	g, err := streamtune.BuildNexmark(streamtune.NexmarkQ3, streamtune.Timely)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOperators() != 7 {
+		t.Fatalf("Q3 has %d ops, want 7", g.NumOperators())
+	}
+	p, err := streamtune.BuildPQP(streamtune.PQPThreeWayJoin, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sources()) != 3 {
+		t.Fatalf("3-way join has %d sources", len(p.Sources()))
+	}
+	pats := streamtune.PeriodicRatePatterns(1)
+	if len(pats) != 6 || pats[0].Len() != 20 {
+		t.Fatalf("patterns = %dx%d, want 6x20", len(pats), pats[0].Len())
+	}
+}

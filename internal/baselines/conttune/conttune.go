@@ -1,0 +1,260 @@
+// Package conttune implements ContTune (Lian et al., VLDB 2023): a
+// conservative Bayesian-optimization tuner that models each operator's
+// processing ability as a Gaussian process over its parallelism degree
+// (fit to the job's own tuning history) and applies the Big-Small
+// algorithm — jump "big" to relieve backpressure fast, then step "small"
+// toward the minimum parallelism whose conservative lower confidence
+// bound still covers the operator's target rate.
+package conttune
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/baselines/gp"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// System is the engine surface ContTune drives. *engine.Engine
+// satisfies it.
+type System interface {
+	Graph() *dag.Graph
+	Config() engine.Config
+	Deploy(map[string]int) error
+	Run() (*engine.JobMetrics, error)
+}
+
+// Options configures the tuner.
+type Options struct {
+	// Alpha is the conservativeness coefficient in the scoring function
+	// (paper: 3, following ContTune's reported optimum).
+	Alpha float64
+	// MaxIterations bounds the tuning loop.
+	MaxIterations int
+	// BigFactor is the multiplicative jump applied to bottlenecked
+	// operators in the Big step.
+	BigFactor float64
+}
+
+// DefaultOptions returns the evaluation configuration (alpha = 3).
+func DefaultOptions() Options {
+	return Options{Alpha: 3, MaxIterations: 10, BigFactor: 2}
+}
+
+// Result summarizes one tuning process.
+type Result struct {
+	Parallelism        map[string]int
+	Reconfigurations   int
+	BackpressureEvents int
+	Final              *engine.JobMetrics
+	// RecommendTime is the cumulative wall-clock time spent fitting the
+	// GPs and searching parallelism degrees (excluding engine time).
+	RecommendTime time.Duration
+}
+
+// TotalParallelism sums the final assignment.
+func (r *Result) TotalParallelism() int {
+	t := 0
+	for _, p := range r.Parallelism {
+		t += p
+	}
+	return t
+}
+
+// Tuner carries the per-job tuning history (the GPs) across source-rate
+// changes, which is exactly ContTune's continuous-tuning premise.
+type Tuner struct {
+	opts Options
+	gps  map[string]*gp.GP
+}
+
+// NewTuner creates a tuner with empty history.
+func NewTuner(opts Options) *Tuner {
+	if opts.Alpha <= 0 {
+		opts.Alpha = 3
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 10
+	}
+	if opts.BigFactor <= 1 {
+		opts.BigFactor = 2
+	}
+	return &Tuner{opts: opts, gps: make(map[string]*gp.GP)}
+}
+
+// gpFor returns (creating on demand) the processing-ability surrogate of
+// one operator. Inputs are parallelism degrees; outputs are observed
+// aggregate processing abilities in records/second.
+func (t *Tuner) gpFor(id string, pmax int) *gp.GP {
+	g, ok := t.gps[id]
+	if !ok {
+		// Length scale ~ a tenth of the parallelism domain; signal
+		// variance is set high and targets are normalized by 1e6 to keep
+		// the kernel well-conditioned.
+		g = gp.New(float64(pmax)/10, 4.0, 0.01)
+		t.gps[id] = g
+	}
+	return g
+}
+
+const rateScale = 1e6 // records/s per GP target unit
+
+// observe records one measurement into the per-operator GPs.
+func (t *Tuner) observe(m *engine.JobMetrics, pmax int) {
+	for i := range m.Ops {
+		om := &m.Ops[i]
+		if om.TrueRatePerInstance <= 0 {
+			continue
+		}
+		total := om.TrueRatePerInstance * float64(om.Parallelism)
+		// Ignore fit errors: a duplicate observation can make the
+		// kernel matrix near-singular; the jitter normally absorbs it.
+		_ = t.gpFor(om.ID, pmax).Add(float64(om.Parallelism), total/rateScale)
+	}
+}
+
+// Tune runs Big-Small until the deployment is stable and backpressure
+// free. The system must already be deployed.
+func (t *Tuner) Tune(sys System) (*Result, error) {
+	g := sys.Graph()
+	cfg := sys.Config()
+	res := &Result{}
+
+	m, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("conttune: initial measurement: %w", err)
+	}
+	if m.Backpressured {
+		res.BackpressureEvents++
+	}
+	t.observe(m, cfg.MaxParallelism)
+	cur := currentParallelism(m)
+
+	for iter := 0; iter < t.opts.MaxIterations; iter++ {
+		var rec map[string]int
+		recStart := time.Now()
+		if m.Backpressured {
+			rec = t.bigStep(g, cfg, m, cur)
+		} else {
+			rec, err = t.smallStep(g, cfg, cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.RecommendTime += time.Since(recStart)
+		if equal(rec, cur) && !m.Backpressured {
+			break
+		}
+		if err := sys.Deploy(rec); err != nil {
+			return nil, fmt.Errorf("conttune: deploy: %w", err)
+		}
+		res.Reconfigurations++
+		cur = rec
+		m, err = sys.Run()
+		if err != nil {
+			return nil, fmt.Errorf("conttune: measurement: %w", err)
+		}
+		if m.Backpressured {
+			res.BackpressureEvents++
+		}
+		t.observe(m, cfg.MaxParallelism)
+	}
+	res.Parallelism = cur
+	res.Final = m
+	return res, nil
+}
+
+// bigStep relieves backpressure by jumping bottleneck-side operators up.
+// CPU-saturated operators and operators downstream of backpressured ones
+// are scaled by BigFactor.
+func (t *Tuner) bigStep(g *dag.Graph, cfg engine.Config, m *engine.JobMetrics, cur map[string]int) map[string]int {
+	out := make(map[string]int, len(cur))
+	for k, v := range cur {
+		out[k] = v
+	}
+	for i := range m.Ops {
+		om := &m.Ops[i]
+		saturated := om.CPULoad > 0.85
+		squeezed := false
+		for _, u := range g.Upstream(om.Index) {
+			if m.Ops[u].UnderBackpressure {
+				squeezed = true
+			}
+		}
+		if om.Bottleneck {
+			squeezed = true
+		}
+		if saturated || squeezed {
+			p := int(math.Ceil(float64(cur[om.ID]) * t.opts.BigFactor))
+			if p > cfg.MaxParallelism {
+				p = cfg.MaxParallelism
+			}
+			out[om.ID] = p
+		}
+	}
+	return out
+}
+
+// smallStep shrinks each operator to the smallest parallelism whose
+// conservative GP estimate still covers the operator's target rate.
+// Operators without enough history stay put.
+func (t *Tuner) smallStep(g *dag.Graph, cfg engine.Config, cur map[string]int) (map[string]int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	target := make([]float64, g.NumOperators())
+	out := make(map[string]int, len(cur))
+	for _, i := range topo {
+		op := g.OperatorAt(i)
+		tr := target[i]
+		if op.Type == dag.Source {
+			tr = op.SourceRate
+		}
+		surrogate := t.gps[op.ID]
+		p := cur[op.ID]
+		if surrogate != nil && surrogate.Observations() >= 2 {
+			for cand := 1; cand <= cfg.MaxParallelism; cand++ {
+				if surrogate.LCB(float64(cand), t.opts.Alpha)*rateScale >= tr {
+					p = cand
+					break
+				}
+			}
+			// Never grow in the Small step beyond the current setting:
+			// Small only shrinks (growth is Big's job).
+			if p > cur[op.ID] {
+				p = cur[op.ID]
+			}
+		}
+		if p < 1 {
+			p = 1
+		}
+		out[op.ID] = p
+		for _, d := range g.Downstream(i) {
+			target[d] += tr * op.Selectivity
+		}
+	}
+	return out, nil
+}
+
+func currentParallelism(m *engine.JobMetrics) map[string]int {
+	out := make(map[string]int, len(m.Ops))
+	for _, om := range m.Ops {
+		out[om.ID] = om.Parallelism
+	}
+	return out
+}
+
+func equal(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

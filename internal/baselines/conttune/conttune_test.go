@@ -1,0 +1,139 @@
+package conttune
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+func pipeline(rate float64) *dag.Graph {
+	g := dag.New("pipe")
+	g.MustAddOperator(&dag.Operator{ID: "src", Type: dag.Source, SourceRate: rate, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{ID: "map", Type: dag.Map, Selectivity: 1, TupleWidthIn: 64, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{ID: "agg", Type: dag.Aggregate, Selectivity: 0.5, TupleWidthIn: 64, TupleWidthOut: 32})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 32})
+	g.MustAddEdge("src", "map")
+	g.MustAddEdge("map", "agg")
+	g.MustAddEdge("agg", "sink")
+	return g
+}
+
+func allOne(g *dag.Graph) map[string]int {
+	p := make(map[string]int)
+	for _, op := range g.Operators() {
+		p[op.ID] = 1
+	}
+	return p
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tu := NewTuner(Options{})
+	if tu.opts.Alpha != 3 || tu.opts.MaxIterations != 10 || tu.opts.BigFactor != 2 {
+		t.Fatalf("defaults not applied: %+v", tu.opts)
+	}
+}
+
+func TestTuneResolvesBackpressure(t *testing.T) {
+	g := pipeline(2e6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	cfg.UsefulTimeNoise = 0.03
+	e, err := engine.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deploy(allOne(g)); err != nil {
+		t.Fatal(err)
+	}
+	tu := NewTuner(DefaultOptions())
+	res, err := tu.Tune(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Backpressured {
+		t.Fatalf("ContTune left job backpressured:\n%s", res.Final)
+	}
+	if res.Reconfigurations == 0 {
+		t.Fatal("expected at least one reconfiguration from undersized start")
+	}
+}
+
+func TestHistoryAccumulatesAcrossTunes(t *testing.T) {
+	g := pipeline(1.5e6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	e, _ := engine.New(g, cfg)
+	if err := e.Deploy(allOne(g)); err != nil {
+		t.Fatal(err)
+	}
+	tu := NewTuner(DefaultOptions())
+	if _, err := tu.Tune(e); err != nil {
+		t.Fatal(err)
+	}
+	obs1 := tu.gps["agg"].Observations()
+	// Rate change: tune again with the same tuner; history must grow.
+	if err := e.SetSourceRate("src", 2.5e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tu.Tune(e); err != nil {
+		t.Fatal(err)
+	}
+	obs2 := tu.gps["agg"].Observations()
+	if obs2 <= obs1 {
+		t.Fatalf("GP history did not grow: %d -> %d", obs1, obs2)
+	}
+}
+
+func TestBigStepGrowsBottlenecks(t *testing.T) {
+	g := pipeline(2e6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	e, _ := engine.New(g, cfg)
+	if err := e.Deploy(allOne(g)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Backpressured {
+		t.Skip("fixture not backpressured; engine constants changed")
+	}
+	tu := NewTuner(DefaultOptions())
+	cur := map[string]int{"src": 1, "map": 1, "agg": 1, "sink": 1}
+	rec := tu.bigStep(g, cfg, m, cur)
+	grew := false
+	for id, p := range rec {
+		if p > cur[id] {
+			grew = true
+		}
+		if p < cur[id] {
+			t.Fatalf("big step shrank %s: %d -> %d", id, cur[id], p)
+		}
+	}
+	if !grew {
+		t.Fatal("big step grew nothing under backpressure")
+	}
+}
+
+func TestSmallStepNeverGrows(t *testing.T) {
+	g := pipeline(1e6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	e, _ := engine.New(g, cfg)
+	over := map[string]int{"src": 10, "map": 20, "agg": 20, "sink": 10}
+	if err := e.Deploy(over); err != nil {
+		t.Fatal(err)
+	}
+	tu := NewTuner(DefaultOptions())
+	m, _ := e.Run()
+	tu.observe(m, cfg.MaxParallelism)
+	m, _ = e.Run()
+	tu.observe(m, cfg.MaxParallelism)
+	rec, err := tu.smallStep(g, cfg, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, p := range rec {
+		if p > over[id] {
+			t.Fatalf("small step grew %s: %d -> %d", id, over[id], p)
+		}
+	}
+}

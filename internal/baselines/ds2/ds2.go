@@ -1,0 +1,181 @@
+// Package ds2 implements the DS2 autoscaling controller (Kalavri et al.,
+// OSDI 2018): per-operator "true" processing rates are measured from
+// useful time, target rates are propagated through the dataflow under the
+// linearity assumption, and each operator's parallelism is set to the
+// smallest degree whose aggregate true rate covers its target rate.
+//
+// DS2 consumes the engine's measured (noisy) per-instance rates; the
+// paper attributes its occasional under-provisioning and extra
+// reconfigurations to exactly this measurement error (§V-C, §V-E).
+package ds2
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// System is the engine surface DS2 drives. *engine.Engine satisfies it.
+type System interface {
+	Graph() *dag.Graph
+	Config() engine.Config
+	Deploy(map[string]int) error
+	Run() (*engine.JobMetrics, error)
+}
+
+// Options configures the controller.
+type Options struct {
+	// MaxIterations bounds the measure/scale loop ("three steps is all
+	// you need" — but noise can demand more).
+	MaxIterations int
+	// Headroom multiplies target rates; DS2 uses none (1.0).
+	Headroom float64
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options { return Options{MaxIterations: 8, Headroom: 1.0} }
+
+// Result summarizes one tuning process.
+type Result struct {
+	// Parallelism is the final per-operator assignment.
+	Parallelism map[string]int
+	// Reconfigurations counts deployments performed by Tune (excluding
+	// the caller's initial deployment).
+	Reconfigurations int
+	// BackpressureEvents counts measurement windows with job-level
+	// backpressure observed during tuning.
+	BackpressureEvents int
+	// Final holds the last measurement.
+	Final *engine.JobMetrics
+	// RecommendTime is the cumulative wall-clock time spent computing
+	// recommendations (excluding engine time).
+	RecommendTime time.Duration
+}
+
+// TotalParallelism sums the final assignment.
+func (r *Result) TotalParallelism() int {
+	t := 0
+	for _, p := range r.Parallelism {
+		t += p
+	}
+	return t
+}
+
+// Tune runs the DS2 control loop until the recommended parallelism is
+// stable or MaxIterations is hit. The system must already be deployed
+// (DS2 needs a running job to measure).
+func Tune(sys System, opts Options) (*Result, error) {
+	if opts.MaxIterations <= 0 {
+		return nil, fmt.Errorf("ds2: MaxIterations must be positive")
+	}
+	if opts.Headroom <= 0 {
+		opts.Headroom = 1
+	}
+	g := sys.Graph()
+	cfg := sys.Config()
+	res := &Result{Parallelism: make(map[string]int)}
+
+	m, err := sys.Run()
+	if err != nil {
+		return nil, fmt.Errorf("ds2: initial measurement: %w", err)
+	}
+	if m.Backpressured {
+		res.BackpressureEvents++
+	}
+
+	cur := currentParallelism(m)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		recStart := time.Now()
+		rec, err := recommend(g, cfg, m, cur, opts.Headroom)
+		res.RecommendTime += time.Since(recStart)
+		if err != nil {
+			return nil, err
+		}
+		if equal(rec, cur) {
+			break
+		}
+		if err := sys.Deploy(rec); err != nil {
+			return nil, fmt.Errorf("ds2: deploy: %w", err)
+		}
+		res.Reconfigurations++
+		cur = rec
+		m, err = sys.Run()
+		if err != nil {
+			return nil, fmt.Errorf("ds2: measurement: %w", err)
+		}
+		if m.Backpressured {
+			res.BackpressureEvents++
+		}
+	}
+	res.Parallelism = cur
+	res.Final = m
+	return res, nil
+}
+
+// recommend computes DS2's optimal parallelism: propagate target rates
+// from the sources through observed selectivities, then p = ceil(target /
+// truePerInstanceRate) for each operator.
+func recommend(g *dag.Graph, cfg engine.Config, m *engine.JobMetrics, cur map[string]int, headroom float64) (map[string]int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumOperators()
+	target := make([]float64, n)
+	out := make(map[string]int, n)
+	for _, i := range topo {
+		op := g.OperatorAt(i)
+		om := &m.Ops[i]
+		t := target[i]
+		if op.Type == dag.Source {
+			t = op.SourceRate
+		}
+		t *= headroom
+
+		p := cur[op.ID]
+		if om.TrueRatePerInstance > 0 {
+			p = int(math.Ceil(t / om.TrueRatePerInstance))
+		}
+		if p < 1 {
+			p = 1
+		}
+		if p > cfg.MaxParallelism {
+			p = cfg.MaxParallelism
+		}
+		out[op.ID] = p
+
+		// Propagate the operator's output at the target rate downstream
+		// (linearity assumption): output = target * selectivity.
+		sel := om.ObservedSelectivity
+		if sel == 0 {
+			sel = op.Selectivity // nothing observed; fall back
+		}
+		for _, d := range g.Downstream(i) {
+			target[d] += t * sel
+		}
+	}
+	return out, nil
+}
+
+func currentParallelism(m *engine.JobMetrics) map[string]int {
+	out := make(map[string]int, len(m.Ops))
+	for _, om := range m.Ops {
+		out[om.ID] = om.Parallelism
+	}
+	return out
+}
+
+func equal(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

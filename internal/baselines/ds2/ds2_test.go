@@ -1,0 +1,143 @@
+package ds2
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+func pipeline(rate float64) *dag.Graph {
+	g := dag.New("pipe")
+	g.MustAddOperator(&dag.Operator{ID: "src", Type: dag.Source, SourceRate: rate, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{ID: "map", Type: dag.Map, Selectivity: 1, TupleWidthIn: 64, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{ID: "agg", Type: dag.Aggregate, Selectivity: 0.5, TupleWidthIn: 64, TupleWidthOut: 32})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 32})
+	g.MustAddEdge("src", "map")
+	g.MustAddEdge("map", "agg")
+	g.MustAddEdge("agg", "sink")
+	return g
+}
+
+func allOne(g *dag.Graph) map[string]int {
+	p := make(map[string]int)
+	for _, op := range g.Operators() {
+		p[op.ID] = 1
+	}
+	return p
+}
+
+func TestTuneValidation(t *testing.T) {
+	g := pipeline(1e6)
+	e, err := engine.New(g, engine.DefaultConfig(engine.Flink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tune(e, Options{MaxIterations: 0}); err == nil {
+		t.Fatal("expected MaxIterations error")
+	}
+	// Run before Deploy must surface as an error.
+	if _, err := Tune(e, DefaultOptions()); err == nil {
+		t.Fatal("expected error when system not deployed")
+	}
+}
+
+func TestTuneResolvesBackpressure(t *testing.T) {
+	g := pipeline(2e6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	cfg.UsefulTimeNoise = 0.02
+	e, err := engine.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deploy(allOne(g)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(e, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Backpressured {
+		t.Fatalf("DS2 left job backpressured:\n%s", res.Final)
+	}
+	if res.Reconfigurations == 0 {
+		t.Fatal("DS2 performed no reconfigurations from an undersized start")
+	}
+	// Within ~2x of ground-truth optimum overall.
+	opt, _ := engine.GroundTruthOptimal(g, cfg)
+	optTotal := 0
+	for _, p := range opt {
+		optTotal += p
+	}
+	if got := res.TotalParallelism(); got > optTotal*2 || got < optTotal/2 {
+		t.Fatalf("DS2 total parallelism %d far from optimum %d", got, optTotal)
+	}
+}
+
+func TestTuneScalesInFromOverprovisioned(t *testing.T) {
+	g := pipeline(1e6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	cfg.UsefulTimeNoise = 0.02
+	e, _ := engine.New(g, cfg)
+	over := map[string]int{"src": 20, "map": 40, "agg": 40, "sink": 20}
+	if err := e.Deploy(over); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(e, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := 120
+	if res.TotalParallelism() >= before {
+		t.Fatalf("DS2 did not scale in: %d >= %d", res.TotalParallelism(), before)
+	}
+}
+
+func TestNoisyMeasurementCausesMoreWork(t *testing.T) {
+	run := func(noise float64, seed int64) (int, int) {
+		g := pipeline(2e6)
+		cfg := engine.DefaultConfig(engine.Flink)
+		cfg.UsefulTimeNoise = noise
+		cfg.Seed = seed
+		e, _ := engine.New(g, cfg)
+		if err := e.Deploy(allOne(g)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Tune(e, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Reconfigurations, res.BackpressureEvents
+	}
+	cleanRecfg, cleanBP := 0, 0
+	noisyRecfg, noisyBP := 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		r, b := run(0.005, seed)
+		cleanRecfg += r
+		cleanBP += b
+		r, b = run(0.25, seed)
+		noisyRecfg += r
+		noisyBP += b
+	}
+	if noisyRecfg < cleanRecfg {
+		t.Errorf("noise should not reduce reconfigurations: %d vs %d", noisyRecfg, cleanRecfg)
+	}
+	_ = cleanBP
+	_ = noisyBP
+}
+
+func TestHeadroomDefaults(t *testing.T) {
+	g := pipeline(1e6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	e, _ := engine.New(g, cfg)
+	if err := e.Deploy(allOne(g)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(e, Options{MaxIterations: 4, Headroom: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallelism == nil {
+		t.Fatal("no parallelism returned")
+	}
+}

@@ -1,0 +1,167 @@
+// Package gp implements one-dimensional Gaussian process regression with
+// an RBF kernel and Gaussian observation noise. ContTune uses it as the
+// surrogate model from parallelism degree to operator processing
+// ability.
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// GP is a Gaussian process over scalar inputs. The zero value is not
+// usable; create with New.
+type GP struct {
+	// LengthScale of the RBF kernel, in input units.
+	LengthScale float64
+	// SignalVar is the kernel variance.
+	SignalVar float64
+	// NoiseVar is the observation noise variance.
+	NoiseVar float64
+
+	xs []float64
+	ys []float64
+
+	mean  float64 // empirical mean subtracted from targets
+	chol  [][]float64
+	alpha []float64
+}
+
+// New creates a GP with the given hyperparameters.
+func New(lengthScale, signalVar, noiseVar float64) *GP {
+	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar}
+}
+
+// Observations reports the number of stored observations.
+func (g *GP) Observations() int { return len(g.xs) }
+
+// kernel is the RBF covariance.
+func (g *GP) kernel(a, b float64) float64 {
+	d := (a - b) / g.LengthScale
+	return g.SignalVar * math.Exp(-0.5*d*d)
+}
+
+// Add inserts an observation and refits.
+func (g *GP) Add(x, y float64) error {
+	g.xs = append(g.xs, x)
+	g.ys = append(g.ys, y)
+	return g.fit()
+}
+
+// fit recomputes the Cholesky factor and alpha = K^-1 (y - mean).
+func (g *GP) fit() error {
+	n := len(g.xs)
+	g.mean = 0
+	for _, y := range g.ys {
+		g.mean += y / float64(n)
+	}
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+		for j := range K[i] {
+			K[i][j] = g.kernel(g.xs[i], g.xs[j])
+		}
+		K[i][i] += g.NoiseVar + 1e-9
+	}
+	chol, err := cholesky(K)
+	if err != nil {
+		return fmt.Errorf("gp: %w", err)
+	}
+	g.chol = chol
+	centered := make([]float64, n)
+	for i, y := range g.ys {
+		centered[i] = y - g.mean
+	}
+	g.alpha = cholSolve(chol, centered)
+	return nil
+}
+
+// Predict returns the posterior mean and standard deviation at x. With
+// no observations it returns (0, sqrt(SignalVar)).
+func (g *GP) Predict(x float64) (mu, sigma float64) {
+	n := len(g.xs)
+	if n == 0 {
+		return 0, math.Sqrt(g.SignalVar)
+	}
+	k := make([]float64, n)
+	for i := range k {
+		k[i] = g.kernel(x, g.xs[i])
+	}
+	mu = g.mean
+	for i := range k {
+		mu += k[i] * g.alpha[i]
+	}
+	// sigma^2 = k(x,x) - k^T K^-1 k  via triangular solve.
+	v := forwardSolve(g.chol, k)
+	var kk float64
+	for _, vi := range v {
+		kk += vi * vi
+	}
+	s2 := g.kernel(x, x) - kk
+	if s2 < 0 {
+		s2 = 0
+	}
+	return mu, math.Sqrt(s2)
+}
+
+// LCB returns the lower confidence bound mu - beta*sigma at x.
+func (g *GP) LCB(x, beta float64) float64 {
+	mu, sigma := g.Predict(x)
+	return mu - beta*sigma
+}
+
+// cholesky computes the lower-triangular factor of a symmetric
+// positive-definite matrix.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("matrix not positive definite at %d (%v)", i, sum)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// forwardSolve solves L v = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * v[k]
+		}
+		v[i] = sum / l[i][i]
+	}
+	return v
+}
+
+// cholSolve solves (L L^T) x = b.
+func cholSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	y := forwardSolve(l, b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}

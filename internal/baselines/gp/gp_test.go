@@ -1,0 +1,109 @@
+package gp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPriorPrediction(t *testing.T) {
+	g := New(1, 2, 0.01)
+	mu, sigma := g.Predict(3)
+	if mu != 0 {
+		t.Errorf("prior mean = %v, want 0", mu)
+	}
+	if math.Abs(sigma-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("prior sigma = %v, want sqrt(2)", sigma)
+	}
+}
+
+func TestInterpolatesObservations(t *testing.T) {
+	g := New(2, 1, 1e-4)
+	pts := map[float64]float64{1: 1, 3: 2, 5: 3, 7: 4}
+	for x, y := range pts {
+		if err := g.Add(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for x, y := range pts {
+		mu, sigma := g.Predict(x)
+		if math.Abs(mu-y) > 0.05 {
+			t.Errorf("mu(%v) = %v, want ~%v", x, mu, y)
+		}
+		if sigma > 0.1 {
+			t.Errorf("sigma(%v) = %v, want near 0 at observation", x, sigma)
+		}
+	}
+	// Interpolation between observations should be sensible.
+	mu, _ := g.Predict(4)
+	if mu < 2 || mu > 3 {
+		t.Errorf("mu(4) = %v, want in [2,3]", mu)
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	g := New(1, 1, 1e-4)
+	if err := g.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, near := g.Predict(0.1)
+	_, far := g.Predict(10)
+	if far <= near {
+		t.Fatalf("sigma(far)=%v <= sigma(near)=%v", far, near)
+	}
+}
+
+func TestLCBBelowMean(t *testing.T) {
+	g := New(1, 1, 1e-4)
+	if err := g.Add(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(2, 6); err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := g.Predict(3)
+	if lcb := g.LCB(3, 3); lcb >= mu {
+		t.Fatalf("LCB %v not below mean %v", lcb, mu)
+	}
+}
+
+func TestObservationsCount(t *testing.T) {
+	g := New(1, 1, 0.01)
+	if g.Observations() != 0 {
+		t.Fatal("fresh GP has observations")
+	}
+	if err := g.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(1, 1.01); err != nil {
+		t.Fatal(err) // duplicate x must not break the factorization
+	}
+	if g.Observations() != 2 {
+		t.Fatal("observation count wrong")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, err := cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Fatal("expected non-PD error")
+	}
+}
+
+func TestCholSolveRoundTrip(t *testing.T) {
+	a := [][]float64{{4, 2, 0.6}, {2, 5, 1.5}, {0.6, 1.5, 3}}
+	l, err := cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3}
+	x := cholSolve(l, b)
+	// Verify A x = b.
+	for i := range a {
+		sum := 0.0
+		for j := range a[i] {
+			sum += a[i][j] * x[j]
+		}
+		if math.Abs(sum-b[i]) > 1e-9 {
+			t.Fatalf("Ax != b at row %d: %v vs %v", i, sum, b[i])
+		}
+	}
+}

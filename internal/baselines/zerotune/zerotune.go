@@ -1,0 +1,140 @@
+// Package zerotune implements the ZeroTune baseline (Agnihotri et al.,
+// ICDE 2024): a zero-shot, GNN-based job-level cost model. Operator
+// embeddings (with parallelism fused in) are mean-pooled into one job
+// summary vector, from which a regression head predicts job-level
+// performance. Because ZeroTune does not prescribe a tuning strategy,
+// recommendation samples candidate parallelism assignments and picks the
+// one with the best predicted performance (paper §V-A) — an objective
+// with no resource term, which is why it over-provisions in Fig. 6.
+package zerotune
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nn"
+)
+
+// Model is the trained job-level cost model.
+type Model struct {
+	enc  *gnn.Encoder
+	head *nn.MLP
+	pmax int
+}
+
+// TrainOptions configures cost-model training.
+type TrainOptions struct {
+	Epochs       int
+	LearningRate float64
+	Hidden       int
+	Seed         int64
+}
+
+// DefaultTrainOptions returns the training setup used in the
+// reproduction.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 40, LearningRate: 5e-3, Hidden: 16, Seed: 1}
+}
+
+// Train fits the cost model on a corpus: the regression target is the
+// job-level performance deficit (0 = meets ideal throughput). ZeroTune
+// trains on the PQP corpus only, exactly as in the paper's evaluation.
+func Train(corpus *history.Corpus, gcfg gnn.Config, opts TrainOptions) (*Model, error) {
+	if corpus.Len() == 0 {
+		return nil, fmt.Errorf("zerotune: empty corpus")
+	}
+	if opts.Epochs <= 0 || opts.LearningRate <= 0 {
+		return nil, fmt.Errorf("zerotune: invalid options %+v", opts)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m := &Model{
+		enc:  gnn.NewEncoder(gcfg),
+		head: nn.NewMLP(rng, gcfg.Hidden, opts.Hidden, 1),
+		pmax: gcfg.PMax,
+	}
+	params := append(m.enc.Params(), m.head.Params()...)
+	opt := nn.NewAdam(params, opts.LearningRate)
+
+	for ep := 0; ep < opts.Epochs; ep++ {
+		for _, ex := range corpus.Executions {
+			pred, err := m.predictNode(ex.Graph, ex.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			target := nn.FromRows([][]float64{{ex.Deficit}})
+			loss := nn.MSE(pred, target)
+			nn.Backward(loss)
+			opt.Step()
+		}
+	}
+	return m, nil
+}
+
+// predictNode builds the autodiff graph for one (job, deployment) pair.
+func (m *Model) predictNode(g *dag.Graph, par map[string]int) (*nn.Node, error) {
+	emb, _, err := m.enc.Forward(g, par)
+	if err != nil {
+		return nil, fmt.Errorf("zerotune: encode %s: %w", g.Name, err)
+	}
+	pooled := nn.MeanRows(emb)
+	return nn.Sigmoid(m.head.Forward(pooled)), nil
+}
+
+// PredictDeficit estimates the job-level performance deficit of a
+// deployment (0 good, 1 starved).
+func (m *Model) PredictDeficit(g *dag.Graph, par map[string]int) (float64, error) {
+	pred, err := m.predictNode(g, par)
+	if err != nil {
+		return 0, err
+	}
+	return pred.Val.Data[0], nil
+}
+
+// RecommendOptions configures sampling-based recommendation.
+type RecommendOptions struct {
+	// Samples is the number of random parallelism assignments scored.
+	Samples int
+	// MaxParallelism bounds each operator's sampled degree.
+	MaxParallelism int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// DefaultRecommendOptions returns the evaluation configuration.
+func DefaultRecommendOptions(pmax int) RecommendOptions {
+	return RecommendOptions{Samples: 60, MaxParallelism: pmax, Seed: 1}
+}
+
+// Recommend samples parallelism assignments and returns the one with the
+// lowest predicted deficit; ties break toward the configuration sampled
+// first, not toward fewer resources — ZeroTune optimizes performance
+// only.
+func (m *Model) Recommend(g *dag.Graph, opts RecommendOptions) (map[string]int, error) {
+	if opts.Samples <= 0 {
+		return nil, fmt.Errorf("zerotune: Samples must be positive")
+	}
+	if opts.MaxParallelism < 1 {
+		opts.MaxParallelism = m.pmax
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var best map[string]int
+	bestCost := 2.0
+	for s := 0; s < opts.Samples; s++ {
+		cand := make(map[string]int, g.NumOperators())
+		for _, op := range g.Operators() {
+			cand[op.ID] = 1 + rng.Intn(opts.MaxParallelism)
+		}
+		cost, err := m.PredictDeficit(g, cand)
+		if err != nil {
+			return nil, err
+		}
+		if cost < bestCost {
+			bestCost = cost
+			best = cand
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,142 @@
+package zerotune
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+func pqpCorpus(t *testing.T) *history.Corpus {
+	t.Helper()
+	var graphs []*dag.Graph
+	for i := 0; i < 3; i++ {
+		g, err := pqp.Build(pqp.TwoWayJoin, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	opts := history.DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 15
+	opts.Engine.MeasureTicks = 40
+	c, err := history.Generate(graphs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func gcfg() gnn.Config {
+	c := gnn.DefaultConfig()
+	c.Hidden = 16
+	return c
+}
+
+func trainModel(t *testing.T) (*Model, *history.Corpus) {
+	t.Helper()
+	corpus := pqpCorpus(t)
+	opts := DefaultTrainOptions()
+	opts.Epochs = 10
+	m, err := Train(corpus, gcfg(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, corpus
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(&history.Corpus{}, gcfg(), DefaultTrainOptions()); err == nil {
+		t.Fatal("expected empty-corpus error")
+	}
+	corpus := pqpCorpus(t)
+	bad := DefaultTrainOptions()
+	bad.Epochs = 0
+	if _, err := Train(corpus, gcfg(), bad); err == nil {
+		t.Fatal("expected invalid-options error")
+	}
+}
+
+func TestPredictDeficitInRange(t *testing.T) {
+	m, corpus := trainModel(t)
+	for _, ex := range corpus.Executions[:5] {
+		d, err := m.PredictDeficit(ex.Graph, ex.Parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 || d > 1 {
+			t.Fatalf("deficit %v outside [0,1]", d)
+		}
+	}
+}
+
+func TestModelSeparatesStarvedFromProvisioned(t *testing.T) {
+	m, corpus := trainModel(t)
+	g := corpus.Executions[0].Graph
+	starved := make(map[string]int)
+	generous := make(map[string]int)
+	for _, op := range g.Operators() {
+		starved[op.ID] = 1
+		generous[op.ID] = 50
+	}
+	ds, err := m.PredictDeficit(g, starved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := m.PredictDeficit(g, generous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds <= dg {
+		t.Fatalf("starved deficit %v not above generous %v", ds, dg)
+	}
+}
+
+func TestRecommendOverProvisions(t *testing.T) {
+	m, corpus := trainModel(t)
+	g := corpus.Executions[0].Graph
+	opts := DefaultRecommendOptions(60)
+	opts.Samples = 40
+	rec, err := m.Recommend(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != g.NumOperators() {
+		t.Fatalf("recommendation covers %d ops, want %d", len(rec), g.NumOperators())
+	}
+	total := 0
+	for _, p := range rec {
+		total += p
+	}
+	// ZeroTune has no resource objective: with 60 as the cap, random
+	// argmin-deficit configurations land well above the minimum.
+	if total < g.NumOperators()*2 {
+		t.Fatalf("ZeroTune total parallelism %d suspiciously small", total)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	m, corpus := trainModel(t)
+	g := corpus.Executions[0].Graph
+	if _, err := m.Recommend(g, RecommendOptions{Samples: 0}); err == nil {
+		t.Fatal("expected Samples error")
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	m, corpus := trainModel(t)
+	g := corpus.Executions[0].Graph
+	a, err := m.Recommend(g, DefaultRecommendOptions(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Recommend(g, DefaultRecommendOptions(60))
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("same seed produced different recommendations")
+		}
+	}
+}

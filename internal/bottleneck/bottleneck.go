@@ -1,0 +1,136 @@
+// Package bottleneck implements Algorithm 1 of the StreamTune paper:
+// systematic labeling of operator-level bottleneck indicators from
+// job-level runtime metrics.
+package bottleneck
+
+import (
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// Label values. Unlabeled operators carry no training signal: under
+// job-level backpressure, the upstream rates of operators away from the
+// bottleneck frontier are distorted, so their adequacy is inconclusive
+// (paper §IV-A).
+const (
+	Unlabeled     = -1
+	NonBottleneck = 0
+	Bottleneck    = 1
+)
+
+// Label runs Algorithm 1 on one measurement window of a Flink-flavor
+// engine and returns a label per operator, indexed by graph position.
+//
+//  1. All operators start Unlabeled.
+//  2. If no job-level backpressure is observed, all operators are
+//     labeled NonBottleneck.
+//  3. Otherwise, for each operator under backpressure whose downstream
+//     operators are all backpressure-free, each direct downstream
+//     operator d is labeled Bottleneck if its resource utilization
+//     exceeds cpuThreshold, else NonBottleneck.
+func Label(g *dag.Graph, m *engine.JobMetrics, cpuThreshold float64) ([]int, error) {
+	n := g.NumOperators()
+	if len(m.Ops) != n {
+		return nil, fmt.Errorf("bottleneck: metrics cover %d operators, graph has %d", len(m.Ops), n)
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Unlabeled
+	}
+
+	if !m.Backpressured {
+		for i := range labels {
+			labels[i] = NonBottleneck
+		}
+		return labels, nil
+	}
+
+	// Starved sources are bottlenecks in their own right: they cannot
+	// ingest the offered rate, yet never accrue blocked time (there is
+	// nothing upstream to backpressure). Sources that are neither
+	// starved nor blocked are adequate; blocked sources stay unlabeled,
+	// as in the paper's Fig. 3.
+	for i := 0; i < n; i++ {
+		if g.OperatorAt(i).Type != dag.Source {
+			continue
+		}
+		switch {
+		case m.Ops[i].Bottleneck:
+			labels[i] = Bottleneck
+		case !m.Ops[i].UnderBackpressure:
+			labels[i] = NonBottleneck
+		}
+	}
+
+	underBP := make([]bool, n)
+	for _, om := range m.Ops {
+		underBP[om.Index] = om.UnderBackpressure
+	}
+
+	for i := 0; i < n; i++ {
+		if !underBP[i] {
+			continue
+		}
+		frontier := true
+		for _, d := range g.Downstream(i) {
+			if underBP[d] {
+				frontier = false
+				break
+			}
+		}
+		if !frontier {
+			continue
+		}
+		for _, d := range g.Downstream(i) {
+			if m.Ops[d].CPULoad > cpuThreshold {
+				labels[d] = Bottleneck
+			} else if labels[d] != Bottleneck {
+				labels[d] = NonBottleneck
+			}
+		}
+	}
+	return labels, nil
+}
+
+// LabelTimely derives operator labels on the Timely flavor, where there
+// is no backpressure mechanism: an operator is a bottleneck when its
+// consumption rate falls below the engine's threshold fraction of its
+// combined upstream output rate (paper §V-B). Every operator receives a
+// definite label.
+func LabelTimely(g *dag.Graph, m *engine.JobMetrics) ([]int, error) {
+	n := g.NumOperators()
+	if len(m.Ops) != n {
+		return nil, fmt.Errorf("bottleneck: metrics cover %d operators, graph has %d", len(m.Ops), n)
+	}
+	labels := make([]int, n)
+	for _, om := range m.Ops {
+		if om.Bottleneck {
+			labels[om.Index] = Bottleneck
+		} else {
+			labels[om.Index] = NonBottleneck
+		}
+	}
+	return labels, nil
+}
+
+// ForFlavor dispatches to Label or LabelTimely based on the metrics'
+// flavor, using the engine config's CPU threshold.
+func ForFlavor(g *dag.Graph, m *engine.JobMetrics, cfg engine.Config) ([]int, error) {
+	if m.Flavor == engine.Timely {
+		return LabelTimely(g, m)
+	}
+	return Label(g, m, cfg.CPULoadThreshold)
+}
+
+// Bottlenecks returns the graph indices labeled Bottleneck.
+func Bottlenecks(labels []int) []int {
+	var out []int
+	for i, l := range labels {
+		if l == Bottleneck {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package bottleneck
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// diamond builds the paper's Fig. 3 topology: O1 -> {O2, O3}, O2 -> O4.
+func diamond() *dag.Graph {
+	g := dag.New("fig3")
+	g.MustAddOperator(&dag.Operator{ID: "o1", Type: dag.Source, SourceRate: 1000})
+	g.MustAddOperator(&dag.Operator{ID: "o2", Type: dag.Map})
+	g.MustAddOperator(&dag.Operator{ID: "o3", Type: dag.Map})
+	g.MustAddOperator(&dag.Operator{ID: "o4", Type: dag.Sink})
+	g.MustAddEdge("o1", "o2")
+	g.MustAddEdge("o1", "o3")
+	g.MustAddEdge("o2", "o4")
+	return g
+}
+
+// metricsFor fabricates a JobMetrics for the diamond graph.
+func metricsFor(g *dag.Graph, bp map[string]bool, cpu map[string]float64) *engine.JobMetrics {
+	m := &engine.JobMetrics{Flavor: engine.Flink}
+	for i, op := range g.Operators() {
+		om := engine.OpMetrics{
+			ID: op.ID, Index: i,
+			UnderBackpressure: bp[op.ID],
+			CPULoad:           cpu[op.ID],
+		}
+		if om.UnderBackpressure {
+			m.Backpressured = true
+		}
+		m.Ops = append(m.Ops, om)
+	}
+	return m
+}
+
+func TestLabelNoBackpressureAllZero(t *testing.T) {
+	g := diamond()
+	m := metricsFor(g, nil, nil)
+	labels, err := Label(g, m, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range labels {
+		if l != NonBottleneck {
+			t.Fatalf("label[%d] = %d, want 0 when no backpressure", i, l)
+		}
+	}
+}
+
+func TestLabelFig3Example(t *testing.T) {
+	// Paper Fig. 3: O1 under backpressure; O2 at 98% CPU, O3 at 15%.
+	// Expected: O2 bottleneck (1), O3 non-bottleneck (0), O4 unlabeled
+	// in Algorithm 1's frontier pass (it is downstream of the
+	// backpressure frontier's children, not a direct child of a
+	// frontier operator).
+	g := diamond()
+	m := metricsFor(g,
+		map[string]bool{"o1": true},
+		map[string]float64{"o2": 0.98, "o3": 0.15, "o4": 0.10})
+	labels, err := Label(g, m, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, _ := g.IndexOf("o2")
+	i3, _ := g.IndexOf("o3")
+	i4, _ := g.IndexOf("o4")
+	i1, _ := g.IndexOf("o1")
+	if labels[i2] != Bottleneck {
+		t.Errorf("o2 label = %d, want 1", labels[i2])
+	}
+	if labels[i3] != NonBottleneck {
+		t.Errorf("o3 label = %d, want 0", labels[i3])
+	}
+	if labels[i4] != Unlabeled {
+		t.Errorf("o4 label = %d, want -1", labels[i4])
+	}
+	if labels[i1] != Unlabeled {
+		t.Errorf("o1 label = %d, want -1 (backpressured op itself is inconclusive)", labels[i1])
+	}
+}
+
+func TestLabelSkipsNonFrontierOps(t *testing.T) {
+	// Chain s -> a -> b -> sink with both s and a under backpressure:
+	// only a is on the frontier (its downstream b is BP-free), so only
+	// b gets labeled.
+	g := dag.New("chain")
+	g.MustAddOperator(&dag.Operator{ID: "s", Type: dag.Source, SourceRate: 1})
+	g.MustAddOperator(&dag.Operator{ID: "a", Type: dag.Map})
+	g.MustAddOperator(&dag.Operator{ID: "b", Type: dag.Map})
+	g.MustAddOperator(&dag.Operator{ID: "k", Type: dag.Sink})
+	g.MustAddEdge("s", "a")
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "k")
+	m := metricsFor(g,
+		map[string]bool{"s": true, "a": true},
+		map[string]float64{"b": 0.95, "k": 0.05})
+	labels, err := Label(g, m, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _ := g.IndexOf("b")
+	ik, _ := g.IndexOf("k")
+	ia, _ := g.IndexOf("a")
+	if labels[ib] != Bottleneck {
+		t.Errorf("b = %d, want 1", labels[ib])
+	}
+	if labels[ik] != Unlabeled {
+		t.Errorf("k = %d, want -1", labels[ik])
+	}
+	if labels[ia] != Unlabeled {
+		t.Errorf("a = %d, want -1 (not labeled; its own rate is distorted)", labels[ia])
+	}
+}
+
+func TestLabelMetricsMismatch(t *testing.T) {
+	g := diamond()
+	m := &engine.JobMetrics{Flavor: engine.Flink, Ops: make([]engine.OpMetrics, 2)}
+	if _, err := Label(g, m, 0.6); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := LabelTimely(g, m); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestLabelEndToEndOnEngine(t *testing.T) {
+	// Starve one operator on a real engine run and confirm Algorithm 1
+	// pins it as the bottleneck.
+	g := dag.New("e2e")
+	g.MustAddOperator(&dag.Operator{ID: "src", Type: dag.Source, SourceRate: 2e6, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{ID: "map", Type: dag.Map, Selectivity: 1, TupleWidthIn: 64, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{ID: "agg", Type: dag.Aggregate, Selectivity: 0.5, TupleWidthIn: 64, TupleWidthOut: 32})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 32})
+	g.MustAddEdge("src", "map")
+	g.MustAddEdge("map", "agg")
+	g.MustAddEdge("agg", "sink")
+
+	cfg := engine.DefaultConfig(engine.Flink)
+	e, err := engine.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := engine.GroundTruthOptimal(g, cfg)
+	par := map[string]int{"src": opt["src"] * 2, "map": opt["map"] * 2, "agg": 1, "sink": opt["sink"] * 2}
+	if err := e.Deploy(par); err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ForFlavor(e.Graph(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := e.Graph().IndexOf("agg")
+	if labels[ia] != Bottleneck {
+		t.Fatalf("starved agg labeled %d, want 1; metrics:\n%s", labels[ia], m)
+	}
+	if got := Bottlenecks(labels); len(got) != 1 || got[0] != ia {
+		t.Fatalf("Bottlenecks = %v, want [%d]", got, ia)
+	}
+}
+
+func TestLabelTimely(t *testing.T) {
+	g := diamond()
+	m := &engine.JobMetrics{Flavor: engine.Timely}
+	for i, op := range g.Operators() {
+		m.Ops = append(m.Ops, engine.OpMetrics{ID: op.ID, Index: i, Bottleneck: op.ID == "o3"})
+	}
+	labels, err := LabelTimely(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i3, _ := g.IndexOf("o3")
+	for i, l := range labels {
+		want := NonBottleneck
+		if i == i3 {
+			want = Bottleneck
+		}
+		if l != want {
+			t.Errorf("label[%d] = %d, want %d", i, l, want)
+		}
+	}
+	// ForFlavor dispatches on metrics flavor.
+	viaDispatch, err := ForFlavor(g, m, engine.DefaultConfig(engine.Timely))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if labels[i] != viaDispatch[i] {
+			t.Fatal("ForFlavor(Timely) disagrees with LabelTimely")
+		}
+	}
+}

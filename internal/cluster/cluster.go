@@ -1,0 +1,179 @@
+// Package cluster groups dataflow DAGs with K-means under the Graph
+// Edit Distance metric (§IV-C of the StreamTune paper). Cluster
+// centroids are similarity centers — approximate median graphs computed
+// via graph similarity search — rather than numerical means, which do
+// not exist for graphs.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/simsearch"
+)
+
+// Options configures K-means clustering.
+type Options struct {
+	// K is the number of clusters.
+	K int
+	// MaxIterations bounds the assign/update loop.
+	MaxIterations int
+	// Tau is the similarity-search threshold for center computation.
+	Tau float64
+	// Method selects the GED verification strategy.
+	Method simsearch.Method
+	// Seed drives centroid initialization.
+	Seed int64
+}
+
+// DefaultOptions returns the clustering setup used in the reproduction
+// (tau = 5 per the paper's §V-A).
+func DefaultOptions(k int) Options {
+	return Options{K: k, MaxIterations: 20, Tau: 5, Method: simsearch.AStarLS, Seed: 1}
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// Centers holds the representative graph of each cluster.
+	Centers []*dag.Graph
+	// Assignments maps each input graph index to its cluster.
+	Assignments []int
+	// Inertia is the sum of GED distances from each graph to its center.
+	Inertia float64
+}
+
+// ClusterOf returns the members (input indices) of cluster c.
+func (r *Result) ClusterOf(c int) []int {
+	var out []int
+	for i, a := range r.Assignments {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Assign returns the index of the nearest center to g, and the distance.
+func (r *Result) Assign(g *dag.Graph) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for c, center := range r.Centers {
+		d := ged.Distance(g, center)
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// KMeans clusters the graphs. K is clamped to len(graphs).
+func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
+	n := len(graphs)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no graphs")
+	}
+	k := opts.K
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: K must be >= 1, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 20
+	}
+
+	// Initialization: distinct random members as centroids.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(n)
+	centerIdx := append([]int(nil), perm[:k]...)
+	centers := make([]*dag.Graph, k)
+	for c, gi := range centerIdx {
+		centers[c] = graphs[gi]
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// Assignment step.
+		changed := false
+		for i, g := range graphs {
+			best, bestD := 0, math.Inf(1)
+			for c, center := range centers {
+				d := ged.Distance(g, center)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if iter == 0 || assign[i] != best {
+				changed = true
+			}
+			assign[i] = best
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step: similarity centers.
+		for c := 0; c < k; c++ {
+			var members []*dag.Graph
+			var memberIdx []int
+			for i, a := range assign {
+				if a == c {
+					members = append(members, graphs[i])
+					memberIdx = append(memberIdx, i)
+				}
+			}
+			if len(members) == 0 {
+				// Re-seed an empty cluster with a random graph.
+				gi := perm[rng.Intn(n)]
+				centers[c] = graphs[gi]
+				continue
+			}
+			ci, err := simsearch.Center(members, opts.Tau, opts.Method)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: center of cluster %d: %w", c, err)
+			}
+			centers[c] = graphs[memberIdx[ci]]
+		}
+	}
+
+	res := &Result{Centers: centers, Assignments: assign}
+	for i, g := range graphs {
+		res.Inertia += ged.Distance(g, centers[assign[i]])
+	}
+	return res, nil
+}
+
+// ElbowK picks the number of clusters with the elbow method: the k in
+// [1, maxK] where the marginal inertia reduction drops below ratio
+// (defaulting to the largest second-difference when no drop qualifies).
+func ElbowK(graphs []*dag.Graph, maxK int, opts Options) (int, []float64, error) {
+	if maxK < 1 {
+		return 0, nil, fmt.Errorf("cluster: maxK must be >= 1")
+	}
+	if maxK > len(graphs) {
+		maxK = len(graphs)
+	}
+	inertias := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		o := opts
+		o.K = k
+		r, err := KMeans(graphs, o)
+		if err != nil {
+			return 0, nil, err
+		}
+		inertias[k-1] = r.Inertia
+	}
+	// Elbow: first k whose relative improvement over k-1 falls under 15%.
+	for k := 2; k <= maxK; k++ {
+		prev, cur := inertias[k-2], inertias[k-1]
+		if prev <= 0 {
+			return k - 1, inertias, nil
+		}
+		if (prev-cur)/prev < 0.15 {
+			return k - 1, inertias, nil
+		}
+	}
+	return maxK, inertias, nil
+}

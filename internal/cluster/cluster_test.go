@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+)
+
+// twoFamilies builds two structurally distinct groups: short map chains
+// and wide join queries.
+func twoFamilies() ([]*dag.Graph, int) {
+	var gs []*dag.Graph
+	// Family A: source -> map[xN] -> sink (N = 1..3).
+	for n := 1; n <= 3; n++ {
+		g := dag.New(fmt.Sprintf("chain%d", n))
+		g.MustAddOperator(&dag.Operator{ID: "s", Type: dag.Source})
+		prev := "s"
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("m%d", i)
+			g.MustAddOperator(&dag.Operator{ID: id, Type: dag.Map})
+			g.MustAddEdge(prev, id)
+			prev = id
+		}
+		g.MustAddOperator(&dag.Operator{ID: "k", Type: dag.Sink})
+		g.MustAddEdge(prev, "k")
+		gs = append(gs, g)
+	}
+	split := len(gs)
+	// Family B: two sources -> filters -> join -> agg -> sink.
+	for v := 0; v < 3; v++ {
+		g := dag.New(fmt.Sprintf("join%d", v))
+		g.MustAddOperator(&dag.Operator{ID: "s1", Type: dag.Source})
+		g.MustAddOperator(&dag.Operator{ID: "s2", Type: dag.Source})
+		g.MustAddOperator(&dag.Operator{ID: "f1", Type: dag.Filter})
+		g.MustAddOperator(&dag.Operator{ID: "f2", Type: dag.Filter})
+		g.MustAddOperator(&dag.Operator{ID: "j", Type: dag.WindowJoin})
+		if v > 0 {
+			g.MustAddOperator(&dag.Operator{ID: "a", Type: dag.Aggregate})
+		}
+		g.MustAddOperator(&dag.Operator{ID: "k", Type: dag.Sink})
+		g.MustAddEdge("s1", "f1")
+		g.MustAddEdge("s2", "f2")
+		g.MustAddEdge("f1", "j")
+		g.MustAddEdge("f2", "j")
+		if v > 0 {
+			g.MustAddEdge("j", "a")
+			g.MustAddEdge("a", "k")
+		} else {
+			g.MustAddEdge("j", "k")
+		}
+		gs = append(gs, g)
+	}
+	return gs, split
+}
+
+func TestKMeansSeparatesFamilies(t *testing.T) {
+	gs, split := twoFamilies()
+	res, err := KMeans(gs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Fatalf("centers = %d, want 2", len(res.Centers))
+	}
+	// All chains together, all joins together.
+	for i := 1; i < split; i++ {
+		if res.Assignments[i] != res.Assignments[0] {
+			t.Errorf("chain graphs split across clusters: %v", res.Assignments)
+		}
+	}
+	for i := split + 1; i < len(gs); i++ {
+		if res.Assignments[i] != res.Assignments[split] {
+			t.Errorf("join graphs split across clusters: %v", res.Assignments)
+		}
+	}
+	if res.Assignments[0] == res.Assignments[split] {
+		t.Errorf("families merged into one cluster: %v", res.Assignments)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, DefaultOptions(2)); err == nil {
+		t.Fatal("expected empty-input error")
+	}
+	gs, _ := twoFamilies()
+	if _, err := KMeans(gs, DefaultOptions(0)); err == nil {
+		t.Fatal("expected K<1 error")
+	}
+	// K > n clamps.
+	res, err := KMeans(gs[:2], DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Fatalf("clamped centers = %d, want 2", len(res.Centers))
+	}
+}
+
+func TestAssignNearestCenter(t *testing.T) {
+	gs, split := twoFamilies()
+	res, err := KMeans(gs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh chain graph must land in the chain cluster.
+	g := dag.New("newchain")
+	g.MustAddOperator(&dag.Operator{ID: "s", Type: dag.Source})
+	g.MustAddOperator(&dag.Operator{ID: "m", Type: dag.Map})
+	g.MustAddOperator(&dag.Operator{ID: "m2", Type: dag.Map})
+	g.MustAddOperator(&dag.Operator{ID: "k", Type: dag.Sink})
+	g.MustAddEdge("s", "m")
+	g.MustAddEdge("m", "m2")
+	g.MustAddEdge("m2", "k")
+	c, d := res.Assign(g)
+	if c != res.Assignments[0] {
+		t.Fatalf("new chain assigned to cluster %d, chains live in %d", c, res.Assignments[0])
+	}
+	if d > 3 {
+		t.Fatalf("assignment distance %v unexpectedly large", d)
+	}
+	_ = split
+}
+
+func TestClusterOf(t *testing.T) {
+	gs, _ := twoFamilies()
+	res, err := KMeans(gs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for c := 0; c < 2; c++ {
+		n += len(res.ClusterOf(c))
+	}
+	if n != len(gs) {
+		t.Fatalf("cluster members sum to %d, want %d", n, len(gs))
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	gs, _ := twoFamilies()
+	o1 := DefaultOptions(1)
+	r1, err := KMeans(gs, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(gs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Inertia > r1.Inertia {
+		t.Fatalf("inertia grew with k: k=1 %v, k=2 %v", r1.Inertia, r2.Inertia)
+	}
+}
+
+func TestElbowK(t *testing.T) {
+	gs, _ := twoFamilies()
+	k, inertias, err := ElbowK(gs, 4, DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inertias) != 4 {
+		t.Fatalf("inertias = %d entries, want 4", len(inertias))
+	}
+	if k < 1 || k > 4 {
+		t.Fatalf("elbow k = %d out of range", k)
+	}
+	if _, _, err := ElbowK(gs, 0, DefaultOptions(0)); err == nil {
+		t.Fatal("expected maxK error")
+	}
+}
+
+func TestCentersAreClusterMembers(t *testing.T) {
+	gs, _ := twoFamilies()
+	res, err := KMeans(gs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, center := range res.Centers {
+		found := false
+		for _, g := range gs {
+			if ged.Distance(g, center) == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("center %d is not any input graph", c)
+		}
+	}
+}

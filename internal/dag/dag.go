@@ -1,0 +1,520 @@
+// Package dag models logical dataflow DAGs for stream processing jobs.
+//
+// A Graph holds operators (nodes) and directed data-dependency edges.
+// Operators carry the static features of Table I in the StreamTune paper
+// plus the dynamic source-rate feature. The package also provides
+// deterministic feature encoding (one-hot for categorical features,
+// min-max scaling for numeric ones) used by the GNN encoder.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpType identifies the computational role of an operator.
+type OpType int
+
+// Operator types. Source and Sink delimit the dataflow; the remaining
+// types are the streaming operators referenced by the paper's workloads
+// (Nexmark Q1-Q8 and the PQP query templates).
+const (
+	Source OpType = iota
+	Sink
+	Map
+	Filter
+	FlatMap
+	Join
+	Aggregate
+	WindowOp
+	WindowJoin
+	numOpTypes
+)
+
+var opTypeNames = [...]string{
+	Source: "source", Sink: "sink", Map: "map", Filter: "filter",
+	FlatMap: "flatmap", Join: "join", Aggregate: "aggregate",
+	WindowOp: "window", WindowJoin: "windowjoin",
+}
+
+// String returns the lower-case name of the operator type.
+func (t OpType) String() string {
+	if t < 0 || int(t) >= len(opTypeNames) {
+		return fmt.Sprintf("optype(%d)", int(t))
+	}
+	return opTypeNames[t]
+}
+
+// NumOpTypes reports the number of distinct operator types, used for
+// one-hot encoding.
+func NumOpTypes() int { return int(numOpTypes) }
+
+// WindowType is the window shifting strategy.
+type WindowType int
+
+// Window shifting strategies.
+const (
+	NoWindow WindowType = iota
+	Tumbling
+	Sliding
+	numWindowTypes
+)
+
+// String returns the name of the window type.
+func (t WindowType) String() string {
+	switch t {
+	case NoWindow:
+		return "none"
+	case Tumbling:
+		return "tumbling"
+	case Sliding:
+		return "sliding"
+	}
+	return fmt.Sprintf("windowtype(%d)", int(t))
+}
+
+// WindowPolicy is the windowing strategy (count- or time-based).
+type WindowPolicy int
+
+// Window policies.
+const (
+	NoPolicy WindowPolicy = iota
+	CountPolicy
+	TimePolicy
+	numWindowPolicies
+)
+
+// String returns the name of the window policy.
+func (p WindowPolicy) String() string {
+	switch p {
+	case NoPolicy:
+		return "none"
+	case CountPolicy:
+		return "count"
+	case TimePolicy:
+		return "time"
+	}
+	return fmt.Sprintf("windowpolicy(%d)", int(p))
+}
+
+// KeyClass is the data type class of a join or aggregation key.
+type KeyClass int
+
+// Key classes.
+const (
+	NoKey KeyClass = iota
+	IntKey
+	FloatKey
+	StringKey
+	numKeyClasses
+)
+
+// String returns the name of the key class.
+func (k KeyClass) String() string {
+	switch k {
+	case NoKey:
+		return "none"
+	case IntKey:
+		return "int"
+	case FloatKey:
+		return "float"
+	case StringKey:
+		return "string"
+	}
+	return fmt.Sprintf("keyclass(%d)", int(k))
+}
+
+// AggFunc is the aggregation function applied by an Aggregate operator.
+type AggFunc int
+
+// Aggregation functions.
+const (
+	NoAgg AggFunc = iota
+	AggMin
+	AggMax
+	AggAvg
+	AggSum
+	AggCount
+	numAggFuncs
+)
+
+// String returns the name of the aggregation function.
+func (f AggFunc) String() string {
+	switch f {
+	case NoAgg:
+		return "none"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	}
+	return fmt.Sprintf("aggfunc(%d)", int(f))
+}
+
+// TupleType is the serialization format class of tuples on a stream.
+type TupleType int
+
+// Tuple data types.
+const (
+	RowTuple TupleType = iota
+	PojoTuple
+	JSONTuple
+	numTupleTypes
+)
+
+// String returns the name of the tuple type.
+func (t TupleType) String() string {
+	switch t {
+	case RowTuple:
+		return "row"
+	case PojoTuple:
+		return "pojo"
+	case JSONTuple:
+		return "json"
+	}
+	return fmt.Sprintf("tupletype(%d)", int(t))
+}
+
+// Operator is a node of a logical dataflow DAG. The exported fields up to
+// TupleDataType are the static features of Table I; SourceRate is the
+// dynamic source-rate feature (non-zero only on Source operators);
+// Selectivity is engine ground truth (output/input record ratio) and must
+// not be consumed by tuning algorithms.
+type Operator struct {
+	ID   string
+	Type OpType
+
+	WindowType    WindowType
+	WindowPolicy  WindowPolicy
+	WindowLength  float64 // records (count policy) or seconds (time policy)
+	SlidingLength float64
+	JoinKeyClass  KeyClass
+	AggClass      KeyClass
+	AggKeyClass   KeyClass
+	AggFunc       AggFunc
+	TupleWidthIn  float64 // bytes
+	TupleWidthOut float64 // bytes
+	TupleDataType TupleType
+
+	// SourceRate is the records/second emitted by a Source operator.
+	// Zero for all non-source operators.
+	SourceRate float64
+
+	// Selectivity is the ratio of output records to input records.
+	// It parameterizes the simulated engine and is hidden from tuners.
+	Selectivity float64
+
+	// CostFactor scales the operator's intrinsic per-record cost in the
+	// simulated engine. Hidden from tuners.
+	CostFactor float64
+}
+
+// Clone returns a deep copy of the operator.
+func (o *Operator) Clone() *Operator {
+	c := *o
+	return &c
+}
+
+// Graph is a logical dataflow DAG. The zero value is an empty graph ready
+// for use.
+type Graph struct {
+	Name string
+
+	ops   []*Operator
+	index map[string]int
+	adj   [][]int // out-edges, by operator index
+	radj  [][]int // in-edges, by operator index
+}
+
+// New returns an empty named graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, index: make(map[string]int)}
+}
+
+// NumOperators reports the number of operators in the graph.
+func (g *Graph) NumOperators() int { return len(g.ops) }
+
+// NumEdges reports the number of directed edges in the graph.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, out := range g.adj {
+		n += len(out)
+	}
+	return n
+}
+
+// AddOperator inserts op into the graph. It returns an error if an
+// operator with the same ID already exists or the ID is empty.
+func (g *Graph) AddOperator(op *Operator) error {
+	if op == nil {
+		return fmt.Errorf("dag: nil operator")
+	}
+	if op.ID == "" {
+		return fmt.Errorf("dag: operator with empty ID")
+	}
+	if g.index == nil {
+		g.index = make(map[string]int)
+	}
+	if _, ok := g.index[op.ID]; ok {
+		return fmt.Errorf("dag: duplicate operator %q", op.ID)
+	}
+	if op.Selectivity == 0 {
+		op.Selectivity = 1
+	}
+	if op.CostFactor == 0 {
+		op.CostFactor = 1
+	}
+	g.index[op.ID] = len(g.ops)
+	g.ops = append(g.ops, op)
+	g.adj = append(g.adj, nil)
+	g.radj = append(g.radj, nil)
+	return nil
+}
+
+// MustAddOperator is AddOperator but panics on error; for use in
+// statically-known query templates.
+func (g *Graph) MustAddOperator(op *Operator) {
+	if err := g.AddOperator(op); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge inserts a directed edge from the operator named from to the
+// operator named to.
+func (g *Graph) AddEdge(from, to string) error {
+	fi, ok := g.index[from]
+	if !ok {
+		return fmt.Errorf("dag: unknown operator %q", from)
+	}
+	ti, ok := g.index[to]
+	if !ok {
+		return fmt.Errorf("dag: unknown operator %q", to)
+	}
+	if fi == ti {
+		return fmt.Errorf("dag: self-edge on %q", from)
+	}
+	for _, d := range g.adj[fi] {
+		if d == ti {
+			return fmt.Errorf("dag: duplicate edge %q -> %q", from, to)
+		}
+	}
+	g.adj[fi] = append(g.adj[fi], ti)
+	g.radj[ti] = append(g.radj[ti], fi)
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error.
+func (g *Graph) MustAddEdge(from, to string) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Operator returns the operator with the given ID, or nil if absent.
+func (g *Graph) Operator(id string) *Operator {
+	i, ok := g.index[id]
+	if !ok {
+		return nil
+	}
+	return g.ops[i]
+}
+
+// OperatorAt returns the operator at position i in insertion order.
+func (g *Graph) OperatorAt(i int) *Operator { return g.ops[i] }
+
+// IndexOf returns the insertion index of the operator with the given ID
+// and whether it exists.
+func (g *Graph) IndexOf(id string) (int, bool) {
+	i, ok := g.index[id]
+	return i, ok
+}
+
+// Operators returns the operators in insertion order. The slice is shared;
+// callers must not mutate it.
+func (g *Graph) Operators() []*Operator { return g.ops }
+
+// Downstream returns the insertion indices of the direct downstream
+// operators of the operator at index i.
+func (g *Graph) Downstream(i int) []int { return g.adj[i] }
+
+// Upstream returns the insertion indices of the direct upstream operators
+// of the operator at index i.
+func (g *Graph) Upstream(i int) []int { return g.radj[i] }
+
+// Sources returns the indices of all Source operators.
+func (g *Graph) Sources() []int {
+	var s []int
+	for i, op := range g.ops {
+		if op.Type == Source {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// Sinks returns the indices of operators with no downstream operators.
+func (g *Graph) Sinks() []int {
+	var s []int
+	for i := range g.ops {
+		if len(g.adj[i]) == 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// FirstLevelDownstream returns the indices of operators that directly
+// receive data from at least one source.
+func (g *Graph) FirstLevelDownstream() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, si := range g.Sources() {
+		for _, d := range g.adj[si] {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TopoOrder returns operator indices in a topological order. It returns an
+// error if the graph contains a cycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := len(g.ops)
+	indeg := make([]int, n)
+	for i := range g.ops {
+		for _, d := range g.adj[i] {
+			indeg[d]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, d := range g.adj[v] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dag: graph %q contains a cycle", g.Name)
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: the graph is non-empty and
+// acyclic, sources have no upstream operators and positive rates, and
+// every non-source operator is reachable from some source.
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return fmt.Errorf("dag: graph %q is empty", g.Name)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	srcs := g.Sources()
+	if len(srcs) == 0 {
+		return fmt.Errorf("dag: graph %q has no source operators", g.Name)
+	}
+	for _, si := range srcs {
+		if len(g.radj[si]) != 0 {
+			return fmt.Errorf("dag: source %q has upstream operators", g.ops[si].ID)
+		}
+		if g.ops[si].SourceRate < 0 {
+			return fmt.Errorf("dag: source %q has negative rate", g.ops[si].ID)
+		}
+	}
+	// Reachability from sources.
+	reached := make([]bool, len(g.ops))
+	stack := append([]int(nil), srcs...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reached[v] {
+			continue
+		}
+		reached[v] = true
+		stack = append(stack, g.adj[v]...)
+	}
+	for i, r := range reached {
+		if !r {
+			return fmt.Errorf("dag: operator %q unreachable from sources", g.ops[i].ID)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, op := range g.ops {
+		c.MustAddOperator(op.Clone())
+	}
+	for i := range g.adj {
+		for _, d := range g.adj[i] {
+			c.MustAddEdge(g.ops[i].ID, g.ops[d].ID)
+		}
+	}
+	return c
+}
+
+// SetSourceRates multiplies every source operator's base rate: source i
+// gets rates[i mod len(rates)] if rates holds absolute values per source
+// in Sources() order. It returns an error if rates is empty.
+func (g *Graph) SetSourceRates(rates map[string]float64) error {
+	for id, r := range rates {
+		op := g.Operator(id)
+		if op == nil {
+			return fmt.Errorf("dag: unknown source %q", id)
+		}
+		if op.Type != Source {
+			return fmt.Errorf("dag: operator %q is not a source", id)
+		}
+		op.SourceRate = r
+	}
+	return nil
+}
+
+// ScaleSourceRates multiplies all source rates by factor.
+func (g *Graph) ScaleSourceRates(factor float64) {
+	for _, i := range g.Sources() {
+		g.ops[i].SourceRate *= factor
+	}
+}
+
+// String renders a compact human-readable description of the graph.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph %q (%d ops, %d edges):", g.Name, g.NumOperators(), g.NumEdges())
+	for i, op := range g.ops {
+		s += fmt.Sprintf(" %s:%s", op.ID, op.Type)
+		if len(g.adj[i]) > 0 {
+			s += "->["
+			for j, d := range g.adj[i] {
+				if j > 0 {
+					s += ","
+				}
+				s += g.ops[d].ID
+			}
+			s += "]"
+		}
+	}
+	return s
+}

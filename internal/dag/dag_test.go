@@ -1,0 +1,348 @@
+package dag
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func chain(t *testing.T, types ...OpType) *Graph {
+	t.Helper()
+	g := New("chain")
+	prev := ""
+	for i, ty := range types {
+		id := ty.String() + string(rune('0'+i))
+		op := &Operator{ID: id, Type: ty, Selectivity: 1}
+		if ty == Source {
+			op.SourceRate = 1000
+		}
+		if err := g.AddOperator(op); err != nil {
+			t.Fatalf("AddOperator(%s): %v", id, err)
+		}
+		if prev != "" {
+			if err := g.AddEdge(prev, id); err != nil {
+				t.Fatalf("AddEdge(%s, %s): %v", prev, id, err)
+			}
+		}
+		prev = id
+	}
+	return g
+}
+
+func TestAddOperatorDuplicate(t *testing.T) {
+	g := New("g")
+	if err := g.AddOperator(&Operator{ID: "a", Type: Source}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddOperator(&Operator{ID: "a", Type: Map}); err == nil {
+		t.Fatal("expected duplicate-ID error")
+	}
+}
+
+func TestAddOperatorEmptyID(t *testing.T) {
+	g := New("g")
+	if err := g.AddOperator(&Operator{Type: Source}); err == nil {
+		t.Fatal("expected empty-ID error")
+	}
+	if err := g.AddOperator(nil); err == nil {
+		t.Fatal("expected nil-operator error")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := chain(t, Source, Map)
+	if err := g.AddEdge("nope", "map1"); err == nil {
+		t.Fatal("expected unknown-from error")
+	}
+	if err := g.AddEdge("source0", "nope"); err == nil {
+		t.Fatal("expected unknown-to error")
+	}
+	if err := g.AddEdge("map1", "map1"); err == nil {
+		t.Fatal("expected self-edge error")
+	}
+	if err := g.AddEdge("source0", "map1"); err == nil {
+		t.Fatal("expected duplicate-edge error")
+	}
+}
+
+func TestTopoOrderChain(t *testing.T) {
+	g := chain(t, Source, Map, Filter, Sink)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("topo order length = %d, want 4", len(order))
+	}
+	pos := make([]int, 4)
+	for p, i := range order {
+		pos[i] = p
+	}
+	for i := 0; i < 3; i++ {
+		if pos[i] >= pos[i+1] {
+			t.Fatalf("operator %d not before %d in topo order %v", i, i+1, order)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New("cyc")
+	g.MustAddOperator(&Operator{ID: "a", Type: Map})
+	g.MustAddOperator(&Operator{ID: "b", Type: Map})
+	g.MustAddEdge("a", "b")
+	g.MustAddEdge("b", "a")
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() *Graph
+		wantErr bool
+	}{
+		{"valid chain", func() *Graph {
+			g := New("ok")
+			g.MustAddOperator(&Operator{ID: "s", Type: Source, SourceRate: 10})
+			g.MustAddOperator(&Operator{ID: "m", Type: Map})
+			g.MustAddEdge("s", "m")
+			return g
+		}, false},
+		{"empty", func() *Graph { return New("empty") }, true},
+		{"no source", func() *Graph {
+			g := New("nosrc")
+			g.MustAddOperator(&Operator{ID: "m", Type: Map})
+			return g
+		}, true},
+		{"source with upstream", func() *Graph {
+			g := New("bad")
+			g.MustAddOperator(&Operator{ID: "m", Type: Map})
+			g.MustAddOperator(&Operator{ID: "s", Type: Source})
+			g.MustAddOperator(&Operator{ID: "s2", Type: Source})
+			g.MustAddEdge("s2", "m")
+			g.MustAddEdge("m", "s")
+			return g
+		}, true},
+		{"unreachable", func() *Graph {
+			g := New("unreach")
+			g.MustAddOperator(&Operator{ID: "s", Type: Source})
+			g.MustAddOperator(&Operator{ID: "m", Type: Map})
+			g.MustAddOperator(&Operator{ID: "x", Type: Map})
+			g.MustAddEdge("s", "m")
+			return g
+		}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSourcesSinksFirstLevel(t *testing.T) {
+	// Two sources joining into one join, then a sink.
+	g := New("join")
+	g.MustAddOperator(&Operator{ID: "s1", Type: Source, SourceRate: 1})
+	g.MustAddOperator(&Operator{ID: "s2", Type: Source, SourceRate: 1})
+	g.MustAddOperator(&Operator{ID: "f1", Type: Filter})
+	g.MustAddOperator(&Operator{ID: "f2", Type: Filter})
+	g.MustAddOperator(&Operator{ID: "j", Type: Join})
+	g.MustAddOperator(&Operator{ID: "k", Type: Sink})
+	g.MustAddEdge("s1", "f1")
+	g.MustAddEdge("s2", "f2")
+	g.MustAddEdge("f1", "j")
+	g.MustAddEdge("f2", "j")
+	g.MustAddEdge("j", "k")
+
+	if got := len(g.Sources()); got != 2 {
+		t.Errorf("Sources() = %d, want 2", got)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || g.OperatorAt(sinks[0]).ID != "k" {
+		t.Errorf("Sinks() = %v, want [k]", sinks)
+	}
+	fl := g.FirstLevelDownstream()
+	if len(fl) != 2 {
+		t.Errorf("FirstLevelDownstream() = %v, want two filters", fl)
+	}
+	for _, i := range fl {
+		if g.OperatorAt(i).Type != Filter {
+			t.Errorf("first-level op %s is %s, want filter", g.OperatorAt(i).ID, g.OperatorAt(i).Type)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := chain(t, Source, Map, Sink)
+	c := g.Clone()
+	c.Operator("map1").TupleWidthIn = 99
+	c.MustAddOperator(&Operator{ID: "extra", Type: Filter})
+	if g.Operator("map1").TupleWidthIn == 99 {
+		t.Error("clone shares operator storage with original")
+	}
+	if g.Operator("extra") != nil {
+		t.Error("clone shares node list with original")
+	}
+	if g.NumOperators() != 3 || c.NumOperators() != 4 {
+		t.Errorf("sizes: orig=%d clone=%d", g.NumOperators(), c.NumOperators())
+	}
+}
+
+func TestSetAndScaleSourceRates(t *testing.T) {
+	g := chain(t, Source, Map)
+	if err := g.SetSourceRates(map[string]float64{"source0": 500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Operator("source0").SourceRate; got != 500 {
+		t.Fatalf("rate = %v, want 500", got)
+	}
+	g.ScaleSourceRates(3)
+	if got := g.Operator("source0").SourceRate; got != 1500 {
+		t.Fatalf("scaled rate = %v, want 1500", got)
+	}
+	if err := g.SetSourceRates(map[string]float64{"map1": 1}); err == nil {
+		t.Fatal("expected not-a-source error")
+	}
+	if err := g.SetSourceRates(map[string]float64{"zzz": 1}); err == nil {
+		t.Fatal("expected unknown-source error")
+	}
+}
+
+func TestDefaultSelectivityAndCost(t *testing.T) {
+	g := New("g")
+	g.MustAddOperator(&Operator{ID: "a", Type: Map})
+	op := g.Operator("a")
+	if op.Selectivity != 1 || op.CostFactor != 1 {
+		t.Fatalf("defaults = (%v, %v), want (1, 1)", op.Selectivity, op.CostFactor)
+	}
+}
+
+func TestFeatureVectorDim(t *testing.T) {
+	op := &Operator{
+		ID: "w", Type: WindowOp, WindowType: Sliding, WindowPolicy: TimePolicy,
+		WindowLength: 60, SlidingLength: 10, JoinKeyClass: IntKey,
+		AggClass: FloatKey, AggKeyClass: StringKey, AggFunc: AggAvg,
+		TupleWidthIn: 128, TupleWidthOut: 64, TupleDataType: JSONTuple,
+		SourceRate: 0,
+	}
+	v := FeatureVector(op)
+	if len(v) != FeatureDim {
+		t.Fatalf("len(FeatureVector) = %d, want FeatureDim = %d", len(v), FeatureDim)
+	}
+	for i, x := range v {
+		if x < 0 || x > 1 {
+			t.Errorf("feature %d = %v outside [0,1]", i, x)
+		}
+	}
+}
+
+func TestFeatureVectorDistinguishesTypes(t *testing.T) {
+	a := FeatureVector(&Operator{ID: "a", Type: Filter})
+	b := FeatureVector(&Operator{ID: "b", Type: Join})
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("filter and join encode to identical vectors")
+	}
+}
+
+func TestNormalizeParallelism(t *testing.T) {
+	if got := NormalizeParallelism(50, 100); got != 0.5 {
+		t.Errorf("NormalizeParallelism(50,100) = %v, want 0.5", got)
+	}
+	if got := NormalizeParallelism(200, 100); got != 1 {
+		t.Errorf("clamped = %v, want 1", got)
+	}
+	if got := NormalizeParallelism(1, 0); got != 0 {
+		t.Errorf("pmax=0 = %v, want 0", got)
+	}
+}
+
+// Property: feature vectors are always FeatureDim long with entries in
+// [0,1], regardless of the (possibly nonsensical) operator contents.
+func TestFeatureVectorProperty(t *testing.T) {
+	f := func(ty uint8, wl, sl, twi, two, rate float64) bool {
+		op := &Operator{
+			ID:           "x",
+			Type:         OpType(int(ty) % NumOpTypes()),
+			WindowLength: wl, SlidingLength: sl,
+			TupleWidthIn: twi, TupleWidthOut: two,
+			SourceRate: rate,
+		}
+		v := FeatureVector(op)
+		if len(v) != FeatureDim {
+			return false
+		}
+		for _, x := range v {
+			if x < 0 || x > 1 || x != x {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New("rt")
+	g.MustAddOperator(&Operator{ID: "s", Type: Source, SourceRate: 1234, Selectivity: 1, CostFactor: 2})
+	g.MustAddOperator(&Operator{
+		ID: "w", Type: WindowJoin, WindowType: Tumbling, WindowPolicy: TimePolicy,
+		WindowLength: 30, JoinKeyClass: StringKey, TupleWidthIn: 100, TupleWidthOut: 50,
+		Selectivity: 0.4, CostFactor: 1,
+	})
+	g.MustAddEdge("s", "w")
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "rt" || back.NumOperators() != 2 || back.NumEdges() != 1 {
+		t.Fatalf("round trip mismatch: %s", back.String())
+	}
+	w := back.Operator("w")
+	if w == nil || w.Type != WindowJoin || w.WindowLength != 30 || w.Selectivity != 0.4 {
+		t.Fatalf("operator w corrupted: %+v", w)
+	}
+	s := back.Operator("s")
+	if s.SourceRate != 1234 || s.CostFactor != 2 {
+		t.Fatalf("operator s corrupted: %+v", s)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Filter.String(), "filter"},
+		{WindowJoin.String(), "windowjoin"},
+		{OpType(99).String(), "optype(99)"},
+		{Tumbling.String(), "tumbling"},
+		{CountPolicy.String(), "count"},
+		{StringKey.String(), "string"},
+		{AggAvg.String(), "avg"},
+		{JSONTuple.String(), "json"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package dag
+
+import "math"
+
+// Feature-scaling bounds. Numeric features are min-max scaled into [0,1]
+// with these assumed domain bounds (values are clamped), mirroring the
+// paper's min-max uniform scaling of numeric operator features.
+const (
+	maxWindowLength = 3600    // seconds or records
+	maxTupleWidth   = 1024    // bytes
+	maxSourceRate   = 2e7     // records/second
+	maxLogRate      = 7.30103 // log10(1 + maxSourceRate)
+)
+
+// FeatureDim is the length of the encoded static+dynamic feature vector
+// produced by FeatureVector. Parallelism is deliberately excluded: it is
+// fused into node states separately (Eq. 3 of the paper).
+var FeatureDim = featureDim()
+
+func featureDim() int {
+	return int(numOpTypes) + // operator type one-hot
+		int(numWindowTypes) +
+		int(numWindowPolicies) +
+		3*int(numKeyClasses) + // join key, agg class, agg key class
+		int(numAggFuncs) +
+		int(numTupleTypes) +
+		4 + // window length, sliding length, tuple width in, tuple width out
+		1 // source rate (log-scaled)
+}
+
+// FeatureVector encodes the operator's static features and its source
+// rate into a fixed-length vector: one-hot for categorical features,
+// min-max scaling into [0,1] for numeric ones, and log-scaled source rate.
+func FeatureVector(op *Operator) []float64 {
+	v := make([]float64, 0, FeatureDim)
+	v = appendOneHot(v, int(op.Type), int(numOpTypes))
+	v = appendOneHot(v, int(op.WindowType), int(numWindowTypes))
+	v = appendOneHot(v, int(op.WindowPolicy), int(numWindowPolicies))
+	v = appendOneHot(v, int(op.JoinKeyClass), int(numKeyClasses))
+	v = appendOneHot(v, int(op.AggClass), int(numKeyClasses))
+	v = appendOneHot(v, int(op.AggKeyClass), int(numKeyClasses))
+	v = appendOneHot(v, int(op.AggFunc), int(numAggFuncs))
+	v = appendOneHot(v, int(op.TupleDataType), int(numTupleTypes))
+	rate := op.SourceRate
+	if rate < 0 || math.IsNaN(rate) {
+		rate = 0
+	}
+	v = append(v,
+		clamp01(op.WindowLength/maxWindowLength),
+		clamp01(op.SlidingLength/maxWindowLength),
+		clamp01(op.TupleWidthIn/maxTupleWidth),
+		clamp01(op.TupleWidthOut/maxTupleWidth),
+		clamp01(math.Log10(1+rate)/maxLogRate),
+	)
+	return v
+}
+
+// NormalizeParallelism maps a parallelism degree into [0,1] given the
+// physical maximum, for use as the fused dynamic feature.
+func NormalizeParallelism(p, pmax int) float64 {
+	if pmax <= 0 {
+		return 0
+	}
+	return clamp01(float64(p) / float64(pmax))
+}
+
+// GraphFeatures encodes every operator of g, in insertion order.
+func GraphFeatures(g *Graph) [][]float64 {
+	out := make([][]float64, g.NumOperators())
+	for i, op := range g.Operators() {
+		out[i] = FeatureVector(op)
+	}
+	return out
+}
+
+func appendOneHot(v []float64, idx, n int) []float64 {
+	for i := 0; i < n; i++ {
+		if i == idx {
+			v = append(v, 1)
+		} else {
+			v = append(v, 0)
+		}
+	}
+	return v
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x), x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,85 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the serialized form of a Graph.
+type graphJSON struct {
+	Name      string         `json:"name"`
+	Operators []operatorJSON `json:"operators"`
+	Edges     [][2]string    `json:"edges"`
+}
+
+type operatorJSON struct {
+	ID            string  `json:"id"`
+	Type          int     `json:"type"`
+	WindowType    int     `json:"window_type,omitempty"`
+	WindowPolicy  int     `json:"window_policy,omitempty"`
+	WindowLength  float64 `json:"window_length,omitempty"`
+	SlidingLength float64 `json:"sliding_length,omitempty"`
+	JoinKeyClass  int     `json:"join_key_class,omitempty"`
+	AggClass      int     `json:"agg_class,omitempty"`
+	AggKeyClass   int     `json:"agg_key_class,omitempty"`
+	AggFunc       int     `json:"agg_func,omitempty"`
+	TupleWidthIn  float64 `json:"tuple_width_in,omitempty"`
+	TupleWidthOut float64 `json:"tuple_width_out,omitempty"`
+	TupleDataType int     `json:"tuple_data_type,omitempty"`
+	SourceRate    float64 `json:"source_rate,omitempty"`
+	Selectivity   float64 `json:"selectivity,omitempty"`
+	CostFactor    float64 `json:"cost_factor,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	gj := graphJSON{Name: g.Name}
+	for _, op := range g.ops {
+		gj.Operators = append(gj.Operators, operatorJSON{
+			ID: op.ID, Type: int(op.Type),
+			WindowType: int(op.WindowType), WindowPolicy: int(op.WindowPolicy),
+			WindowLength: op.WindowLength, SlidingLength: op.SlidingLength,
+			JoinKeyClass: int(op.JoinKeyClass), AggClass: int(op.AggClass),
+			AggKeyClass: int(op.AggKeyClass), AggFunc: int(op.AggFunc),
+			TupleWidthIn: op.TupleWidthIn, TupleWidthOut: op.TupleWidthOut,
+			TupleDataType: int(op.TupleDataType), SourceRate: op.SourceRate,
+			Selectivity: op.Selectivity, CostFactor: op.CostFactor,
+		})
+	}
+	for i := range g.adj {
+		for _, d := range g.adj[i] {
+			gj.Edges = append(gj.Edges, [2]string{g.ops[i].ID, g.ops[d].ID})
+		}
+	}
+	return json.Marshal(gj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var gj graphJSON
+	if err := json.Unmarshal(data, &gj); err != nil {
+		return fmt.Errorf("dag: decode graph: %w", err)
+	}
+	*g = *New(gj.Name)
+	for _, oj := range gj.Operators {
+		op := &Operator{
+			ID: oj.ID, Type: OpType(oj.Type),
+			WindowType: WindowType(oj.WindowType), WindowPolicy: WindowPolicy(oj.WindowPolicy),
+			WindowLength: oj.WindowLength, SlidingLength: oj.SlidingLength,
+			JoinKeyClass: KeyClass(oj.JoinKeyClass), AggClass: KeyClass(oj.AggClass),
+			AggKeyClass: KeyClass(oj.AggKeyClass), AggFunc: AggFunc(oj.AggFunc),
+			TupleWidthIn: oj.TupleWidthIn, TupleWidthOut: oj.TupleWidthOut,
+			TupleDataType: TupleType(oj.TupleDataType), SourceRate: oj.SourceRate,
+			Selectivity: oj.Selectivity, CostFactor: oj.CostFactor,
+		}
+		if err := g.AddOperator(op); err != nil {
+			return err
+		}
+	}
+	for _, e := range gj.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"math"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Per-record base cost by operator type, in microseconds of useful time
+// per record at parallelism 1. These constants are the simulator's ground
+// truth; they were chosen so that, under the Table II rate units, optimal
+// total parallelism degrees land in the same ballpark as the paper's
+// Fig. 6 (a handful of slots for simple Nexmark queries, tens for
+// multi-way PQP joins).
+var baseCostMicros = map[dag.OpType]float64{
+	dag.Source:     0.35,
+	dag.Sink:       0.8,
+	dag.Map:        1.6,
+	dag.Filter:     1.2,
+	dag.FlatMap:    2.4,
+	dag.Join:       5.0,
+	dag.Aggregate:  3.5,
+	dag.WindowOp:   4.2,
+	dag.WindowJoin: 6.5,
+}
+
+// BasePA returns the ground-truth processing ability of one instance of
+// the operator, in records/second. It is a deterministic function of the
+// operator's static features: heavier tuple widths, longer windows,
+// sliding windows and string keys all slow an operator down.
+func BasePA(op *dag.Operator) float64 {
+	cost, ok := baseCostMicros[op.Type]
+	if !ok {
+		cost = 2.0
+	}
+	cost *= op.CostFactor
+
+	// Serialization cost grows with tuple width.
+	cost *= 1 + (op.TupleWidthIn+op.TupleWidthOut)/1024
+
+	// Window maintenance cost grows slowly with window size; sliding
+	// windows pay an extra factor for overlapping panes.
+	if op.WindowType != dag.NoWindow {
+		cost *= 1 + math.Log10(1+op.WindowLength)/3
+		if op.WindowType == dag.Sliding && op.SlidingLength > 0 && op.WindowLength > op.SlidingLength {
+			overlap := op.WindowLength / op.SlidingLength
+			cost *= 1 + math.Log2(overlap)/4
+		}
+	}
+
+	// String keys hash and compare slower than numeric keys.
+	if op.JoinKeyClass == dag.StringKey || op.AggKeyClass == dag.StringKey {
+		cost *= 1.25
+	}
+	// JSON tuples pay a parsing premium.
+	if op.TupleDataType == dag.JSONTuple {
+		cost *= 1.4
+	}
+
+	return 1e6 / cost
+}
+
+// OptimalParallelism returns the ground-truth minimum parallelism at
+// which the operator sustains the given input rate (records/second)
+// under the engine's scaling law and speed factor. It is used by tests
+// and by experiment reporting, never by tuners.
+func OptimalParallelism(op *dag.Operator, inputRate float64, cfg Config) int {
+	speed := cfg.SpeedFactor
+	if speed <= 0 {
+		speed = 1
+	}
+	base := BasePA(op) * speed
+	for p := 1; p <= cfg.MaxParallelism; p++ {
+		if base*ScaledParallelism(p, cfg.ScaleOverhead) >= inputRate {
+			return p
+		}
+	}
+	return cfg.MaxParallelism
+}
+
+// GroundTruthDemand computes, in topological order, the steady-state
+// input rate every operator must sustain when no operator is a
+// bottleneck, and returns per-operator demands indexed by graph position.
+// Fan-out edges replicate the full output stream to each consumer.
+func GroundTruthDemand(g *dag.Graph) ([]float64, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	demand := make([]float64, g.NumOperators())
+	outRate := make([]float64, g.NumOperators())
+	for _, i := range topo {
+		op := g.OperatorAt(i)
+		in := demand[i]
+		if op.Type == dag.Source {
+			in = op.SourceRate
+			demand[i] = in
+		}
+		outRate[i] = in * op.Selectivity
+		for _, d := range g.Downstream(i) {
+			demand[d] += outRate[i]
+		}
+	}
+	return demand, nil
+}
+
+// GroundTruthOptimal returns the per-operator minimum parallelism map for
+// backpressure-free execution at the graph's current source rates. Used
+// by tests and experiment reporting only.
+func GroundTruthOptimal(g *dag.Graph, cfg Config) (map[string]int, error) {
+	demand, err := GroundTruthDemand(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, g.NumOperators())
+	for i, op := range g.Operators() {
+		out[op.ID] = OptimalParallelism(op, demand[i], cfg)
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+// Package engine implements a discrete-time simulated distributed stream
+// processing system (DSPS). It is the execution substrate standing in for
+// Apache Flink and Timely Dataflow in the StreamTune reproduction.
+//
+// The simulator expands a logical dataflow DAG into per-operator instance
+// groups, moves records between operators through per-operator input
+// queues, and exposes exactly the runtime metrics the tuning algorithms
+// in the paper consume: busy/idle/backpressured time fractions, input and
+// output rates, CPU load, noisy measured per-instance processing rates
+// ("useful time"), and — in the Timely flavor — per-epoch latencies and
+// consumption ratios.
+//
+// Two flavors are provided:
+//
+//   - Flink: bounded inter-operator buffers with credit-style
+//     backpressure. An operator whose output is blocked by a full
+//     downstream buffer accrues backpressured time; an operator is "under
+//     backpressure" when that fraction exceeds the configured threshold
+//     (10% in the paper, §V-B).
+//   - Timely: unbounded queues (Timely Dataflow has no built-in
+//     backpressure). Bottlenecks are detected from rates: an operator is
+//     a bottleneck when its consumption rate falls below 85% of the
+//     combined output rate of its upstream operators.
+//
+// Ground-truth operator capacities are derived deterministically from
+// static operator features (see cost.go) plus seeded per-deployment
+// noise; tuners never observe ground truth, only measured metrics.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Flavor selects the simulated system's flow-control semantics.
+type Flavor int
+
+// Engine flavors.
+const (
+	// Flink simulates bounded buffers and backpressure metrics.
+	Flink Flavor = iota
+	// Timely simulates unbounded queues and rate-based bottleneck
+	// detection with per-epoch latency measurement.
+	Timely
+)
+
+// String returns the flavor name.
+func (f Flavor) String() string {
+	switch f {
+	case Flink:
+		return "flink"
+	case Timely:
+		return "timely"
+	}
+	return fmt.Sprintf("flavor(%d)", int(f))
+}
+
+// Config parameterizes an Engine. The zero value is not usable; use
+// DefaultConfig.
+type Config struct {
+	Flavor Flavor
+
+	// TicksPerSecond is the simulation resolution (simulated ticks per
+	// simulated second).
+	TicksPerSecond int
+
+	// WarmupTicks are simulated but excluded from metrics.
+	WarmupTicks int
+	// MeasureTicks is the metric window length of one Run.
+	MeasureTicks int
+
+	// BufferSeconds sizes the bounded input buffer of each operator as
+	// this many seconds of the operator's own processing capacity (Flink
+	// flavor only). Credit-based flow control keeps in-flight data small
+	// relative to throughput, so buffer capacity should track capacity,
+	// not a fixed record count.
+	BufferSeconds float64
+
+	// QueueCapacityPerInstance is a fallback fixed input-buffer size in
+	// records per instance, used only when BufferSeconds is zero.
+	QueueCapacityPerInstance int
+
+	// MaxParallelism is the physical ceiling on per-operator parallelism
+	// (task slots in Flink, worker threads in Timely).
+	MaxParallelism int
+
+	// ScaleOverhead is the coordination-overhead coefficient c in the
+	// capacity scaling law p/(1+c*ln p).
+	ScaleOverhead float64
+
+	// SpeedFactor multiplies all ground-truth capacities. It models the
+	// per-record speed gap between engines (Timely Dataflow sustains
+	// roughly an order of magnitude higher per-core rates than Flink;
+	// compare the Wu units in Table II of the paper).
+	SpeedFactor float64
+
+	// CapacityNoise is the relative sigma of per-deployment capacity
+	// jitter (ground-truth variation between deployments).
+	CapacityNoise float64
+
+	// UsefulTimeNoise is the relative sigma of the multiplicative noise
+	// applied to the *measured* per-instance true processing rate. This
+	// models the paper's observation that useful time is intricate to
+	// measure accurately and misleads DS2/ContTune (§V-C, §V-E).
+	UsefulTimeNoise float64
+
+	// BackpressureFrac is the backpressured-time fraction above which an
+	// operator counts as "under backpressure" (paper: 10%).
+	BackpressureFrac float64
+
+	// CPULoadThreshold is Algorithm 1's resource threshold T (paper
+	// example: 60%).
+	CPULoadThreshold float64
+
+	// ConsumptionRatio is the Timely bottleneck threshold: an operator
+	// whose consumption rate is below this fraction of combined upstream
+	// output is a bottleneck (paper: 85%).
+	ConsumptionRatio float64
+
+	// EpochTicks is the length of one Timely epoch in ticks.
+	EpochTicks int
+
+	// RestartDowntime is the simulated wall-clock cost of one
+	// stop-and-restart reconfiguration.
+	RestartDowntime time.Duration
+
+	// Seed drives all engine randomness (capacity jitter, measurement
+	// noise). Runs are fully deterministic given a seed.
+	Seed int64
+}
+
+// DefaultConfig returns a Config with the evaluation defaults for the
+// given flavor.
+func DefaultConfig(f Flavor) Config {
+	c := Config{
+		Flavor:                   f,
+		TicksPerSecond:           10,
+		WarmupTicks:              50,
+		MeasureTicks:             100,
+		BufferSeconds:            2,
+		QueueCapacityPerInstance: 400000,
+		MaxParallelism:           100,
+		ScaleOverhead:            0.01,
+		SpeedFactor:              1,
+		CapacityNoise:            0.03,
+		UsefulTimeNoise:          0.05,
+		BackpressureFrac:         0.10,
+		CPULoadThreshold:         0.60,
+		ConsumptionRatio:         0.85,
+		EpochTicks:               10,
+		RestartDowntime:          30 * time.Second,
+		Seed:                     1,
+	}
+	if f == Timely {
+		c.MaxParallelism = 32
+		c.SpeedFactor = 20
+	}
+	return c
+}
+
+// Engine simulates the execution of one streaming job. Create with New,
+// deploy a parallelism assignment with Deploy, then call Run to simulate
+// a measurement interval and obtain metrics. Engines are not safe for
+// concurrent use.
+type Engine struct {
+	cfg  Config
+	g    *dag.Graph
+	topo []int
+	rng  *rand.Rand
+
+	deployed   bool
+	par        []int     // parallelism per operator index
+	capPerSec  []float64 // ground-truth capacity, records/s, current deployment
+	reconfigs  int
+	simTime    time.Duration // accumulated simulated time incl. downtime
+	epochClock int           // global epoch counter (Timely)
+
+	queues []cohortQueue
+}
+
+// New creates an engine for the given job graph. The graph is cloned; the
+// caller's copy is never mutated.
+func New(g *dag.Graph, cfg Config) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: invalid job graph: %w", err)
+	}
+	if cfg.TicksPerSecond <= 0 {
+		return nil, fmt.Errorf("engine: TicksPerSecond must be positive, got %d", cfg.TicksPerSecond)
+	}
+	if cfg.MeasureTicks <= 0 {
+		return nil, fmt.Errorf("engine: MeasureTicks must be positive, got %d", cfg.MeasureTicks)
+	}
+	clone := g.Clone()
+	topo, err := clone.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:  cfg,
+		g:    clone,
+		topo: topo,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Graph returns the engine's (cloned) job graph. Mutating source rates on
+// it (e.g. via SetSourceRate) is the supported way to change the offered
+// load between runs.
+func (e *Engine) Graph() *dag.Graph { return e.g }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Reconfigurations reports how many times Deploy has been called.
+func (e *Engine) Reconfigurations() int { return e.reconfigs }
+
+// SimTime reports the total simulated time elapsed, including restart
+// downtime for each reconfiguration.
+func (e *Engine) SimTime() time.Duration { return e.simTime }
+
+// SetSourceRate sets the offered rate of the named source operator in
+// records/second. Changing the rate does not count as a reconfiguration.
+func (e *Engine) SetSourceRate(id string, rate float64) error {
+	op := e.g.Operator(id)
+	if op == nil || op.Type != dag.Source {
+		return fmt.Errorf("engine: no source operator %q", id)
+	}
+	op.SourceRate = rate
+	return nil
+}
+
+// ScaleSourceRates multiplies all source rates by factor.
+func (e *Engine) ScaleSourceRates(factor float64) { e.g.ScaleSourceRates(factor) }
+
+// Parallelism returns the currently deployed parallelism of the operator
+// at graph index i, or 0 if not deployed.
+func (e *Engine) Parallelism(i int) int {
+	if !e.deployed {
+		return 0
+	}
+	return e.par[i]
+}
+
+// Deploy stops the job (discarding in-flight records, as with the paper's
+// stop-and-restart reconfiguration), applies the per-operator parallelism
+// assignment, and restarts. Every operator in the graph must be assigned
+// a parallelism in [1, MaxParallelism]; sources and sinks included.
+func (e *Engine) Deploy(parallelism map[string]int) error {
+	n := e.g.NumOperators()
+	par := make([]int, n)
+	for i := 0; i < n; i++ {
+		op := e.g.OperatorAt(i)
+		p, ok := parallelism[op.ID]
+		if !ok {
+			return fmt.Errorf("engine: missing parallelism for operator %q", op.ID)
+		}
+		if p < 1 || p > e.cfg.MaxParallelism {
+			return fmt.Errorf("engine: parallelism %d for %q outside [1, %d]", p, op.ID, e.cfg.MaxParallelism)
+		}
+		par[i] = p
+	}
+	e.par = par
+	e.capPerSec = make([]float64, n)
+	for i := 0; i < n; i++ {
+		op := e.g.OperatorAt(i)
+		jitter := 1 + e.cfg.CapacityNoise*e.rng.NormFloat64()
+		if jitter < 0.5 {
+			jitter = 0.5
+		}
+		speed := e.cfg.SpeedFactor
+		if speed <= 0 {
+			speed = 1
+		}
+		e.capPerSec[i] = BasePA(op) * speed * ScaledParallelism(par[i], e.cfg.ScaleOverhead) * jitter
+	}
+	e.queues = make([]cohortQueue, n)
+	e.deployed = true
+	e.reconfigs++
+	e.simTime += e.cfg.RestartDowntime
+	return nil
+}
+
+// TotalParallelism reports the sum of deployed parallelism degrees across
+// all operators, the paper's resource-consumption metric (Fig. 6).
+func (e *Engine) TotalParallelism() int {
+	t := 0
+	for _, p := range e.par {
+		t += p
+	}
+	return t
+}
+
+// queueCap returns the bounded input-buffer capacity of operator i in
+// records.
+func (e *Engine) queueCap(i int) float64 {
+	if e.cfg.BufferSeconds > 0 {
+		return e.capPerSec[i] * e.cfg.BufferSeconds
+	}
+	return float64(e.cfg.QueueCapacityPerInstance * e.par[i])
+}
+
+// ScaledParallelism is the engine's capacity scaling law: near-linear
+// growth with a mild coordination overhead, matching the shape of the
+// paper's Fig. 4.
+func ScaledParallelism(p int, overhead float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return float64(p) / (1 + overhead*math.Log(float64(p)))
+}
+
+// Stabilize advances the simulated clock by d without running the
+// dataflow, modeling the paper's 10-minute wait between reconfigurations.
+func (e *Engine) Stabilize(d time.Duration) { e.simTime += d }

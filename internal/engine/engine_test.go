@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// pipeline builds source -> filter -> window -> sink with the given
+// source rate.
+func pipeline(rate float64) *dag.Graph {
+	g := dag.New("pipe")
+	g.MustAddOperator(&dag.Operator{ID: "src", Type: dag.Source, SourceRate: rate, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{ID: "filter", Type: dag.Filter, Selectivity: 0.8, TupleWidthIn: 64, TupleWidthOut: 64})
+	g.MustAddOperator(&dag.Operator{
+		ID: "window", Type: dag.WindowOp, WindowType: Tumbling(), WindowPolicy: dag.TimePolicy,
+		WindowLength: 30, Selectivity: 0.5, TupleWidthIn: 64, TupleWidthOut: 32,
+	})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 32})
+	g.MustAddEdge("src", "filter")
+	g.MustAddEdge("filter", "window")
+	g.MustAddEdge("window", "sink")
+	return g
+}
+
+// Tumbling avoids an import cycle hiccup in test helpers.
+func Tumbling() dag.WindowType { return dag.Tumbling }
+
+func deployAll(t *testing.T, e *Engine, p map[string]int) {
+	t.Helper()
+	if err := e.Deploy(p); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+}
+
+func generous(g *dag.Graph, cfg Config) map[string]int {
+	opt, err := GroundTruthOptimal(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for k, v := range opt {
+		p := v * 2
+		if p > cfg.MaxParallelism {
+			p = cfg.MaxParallelism
+		}
+		opt[k] = p
+	}
+	return opt
+}
+
+func TestNewRejectsInvalidGraph(t *testing.T) {
+	g := dag.New("empty")
+	if _, err := New(g, DefaultConfig(Flink)); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+	cfg := DefaultConfig(Flink)
+	cfg.TicksPerSecond = 0
+	if _, err := New(pipeline(1000), cfg); err == nil {
+		t.Fatal("expected error for zero TicksPerSecond")
+	}
+}
+
+func TestRunBeforeDeploy(t *testing.T) {
+	e, err := New(pipeline(1000), DefaultConfig(Flink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("expected Run-before-Deploy error")
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	e, _ := New(pipeline(1000), DefaultConfig(Flink))
+	if err := e.Deploy(map[string]int{"src": 1}); err == nil {
+		t.Fatal("expected missing-operator error")
+	}
+	if err := e.Deploy(map[string]int{"src": 0, "filter": 1, "window": 1, "sink": 1}); err == nil {
+		t.Fatal("expected parallelism<1 error")
+	}
+	if err := e.Deploy(map[string]int{"src": 101, "filter": 1, "window": 1, "sink": 1}); err == nil {
+		t.Fatal("expected parallelism>max error")
+	}
+}
+
+func TestEngineClonesGraph(t *testing.T) {
+	g := pipeline(1000)
+	e, _ := New(g, DefaultConfig(Flink))
+	e.Graph().Operator("src").SourceRate = 777
+	if g.Operator("src").SourceRate != 1000 {
+		t.Fatal("engine mutated the caller's graph")
+	}
+}
+
+func TestAdequateParallelismNoBackpressure(t *testing.T) {
+	g := pipeline(200000)
+	cfg := DefaultConfig(Flink)
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployAll(t, e, generous(g, cfg))
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Backpressured {
+		t.Fatalf("generous deployment backpressured:\n%s", m)
+	}
+	// Sink throughput should be rate * 0.8 * 0.5.
+	want := 200000 * 0.8 * 0.5
+	if math.Abs(m.Throughput-want)/want > 0.1 {
+		t.Fatalf("throughput = %.0f, want ~%.0f", m.Throughput, want)
+	}
+}
+
+func TestUndersizedOperatorCausesUpstreamBackpressure(t *testing.T) {
+	g := pipeline(2e6)
+	cfg := DefaultConfig(Flink)
+	e, _ := New(g, cfg)
+	p := generous(g, cfg)
+	p["window"] = 1 // starve the window operator
+	deployAll(t, e, p)
+	m, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Backpressured {
+		t.Fatalf("expected job-level backpressure:\n%s", m)
+	}
+	// The filter (upstream of the bottleneck) must be under backpressure;
+	// the starved window must be busy (CPU-bound), not backpressured.
+	if !m.Op("filter").UnderBackpressure {
+		t.Errorf("filter not under backpressure:\n%s", m)
+	}
+	if m.Op("window").CPULoad < 0.9 {
+		t.Errorf("window CPU load = %.2f, want ~1.0", m.Op("window").CPULoad)
+	}
+	if m.Op("window").UnderBackpressure {
+		t.Errorf("bottleneck window should not itself be backpressured")
+	}
+}
+
+func TestBackpressureCascadesToSource(t *testing.T) {
+	g := pipeline(2e6)
+	cfg := DefaultConfig(Flink)
+	e, _ := New(g, cfg)
+	p := generous(g, cfg)
+	p["filter"] = 1
+	deployAll(t, e, p)
+	m, _ := e.Run()
+	if !m.Op("src").UnderBackpressure {
+		t.Fatalf("source not backpressured by starved filter:\n%s", m)
+	}
+}
+
+func TestThroughputCappedByBottleneck(t *testing.T) {
+	g := pipeline(2e6)
+	cfg := DefaultConfig(Flink)
+	e, _ := New(g, cfg)
+	p := generous(g, cfg)
+	p["window"] = 1
+	deployAll(t, e, p)
+	m, _ := e.Run()
+	full := 2e6 * 0.8 * 0.5
+	if m.Throughput > 0.8*full {
+		t.Fatalf("throughput %.0f not capped below %.0f by bottleneck", m.Throughput, full)
+	}
+}
+
+func TestScaledParallelismMonotone(t *testing.T) {
+	prev := 0.0
+	for p := 1; p <= 100; p++ {
+		s := ScaledParallelism(p, 0.02)
+		if s <= prev {
+			t.Fatalf("ScaledParallelism not increasing at p=%d", p)
+		}
+		if s > float64(p) {
+			t.Fatalf("ScaledParallelism(%d) = %v exceeds linear", p, s)
+		}
+		prev = s
+	}
+	if ScaledParallelism(0, 0.02) != 0 {
+		t.Fatal("ScaledParallelism(0) != 0")
+	}
+}
+
+func TestBasePAFeatureSensitivity(t *testing.T) {
+	plain := BasePA(&dag.Operator{ID: "a", Type: dag.Filter, CostFactor: 1})
+	wide := BasePA(&dag.Operator{ID: "b", Type: dag.Filter, CostFactor: 1, TupleWidthIn: 512, TupleWidthOut: 512})
+	if wide >= plain {
+		t.Errorf("wide tuples should reduce PA: %v >= %v", wide, plain)
+	}
+	tumble := BasePA(&dag.Operator{ID: "c", Type: dag.WindowOp, CostFactor: 1, WindowType: dag.Tumbling, WindowLength: 60})
+	slide := BasePA(&dag.Operator{ID: "d", Type: dag.WindowOp, CostFactor: 1, WindowType: dag.Sliding, WindowLength: 60, SlidingLength: 10})
+	if slide >= tumble {
+		t.Errorf("sliding window should cost more: %v >= %v", slide, tumble)
+	}
+	josn := BasePA(&dag.Operator{ID: "e", Type: dag.Filter, CostFactor: 1, TupleDataType: dag.JSONTuple})
+	if josn >= plain {
+		t.Errorf("JSON tuples should cost more: %v >= %v", josn, plain)
+	}
+	strk := BasePA(&dag.Operator{ID: "f", Type: dag.Join, CostFactor: 1, JoinKeyClass: dag.StringKey})
+	intk := BasePA(&dag.Operator{ID: "g", Type: dag.Join, CostFactor: 1, JoinKeyClass: dag.IntKey})
+	if strk >= intk {
+		t.Errorf("string keys should cost more: %v >= %v", strk, intk)
+	}
+}
+
+func TestGroundTruthDemandPropagatesSelectivity(t *testing.T) {
+	g := pipeline(100000)
+	demand, err := GroundTruthDemand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := g.IndexOf("filter")
+	wi, _ := g.IndexOf("window")
+	si, _ := g.IndexOf("sink")
+	if demand[fi] != 100000 {
+		t.Errorf("filter demand = %v, want 100000", demand[fi])
+	}
+	if demand[wi] != 80000 {
+		t.Errorf("window demand = %v, want 80000", demand[wi])
+	}
+	if demand[si] != 40000 {
+		t.Errorf("sink demand = %v, want 40000", demand[si])
+	}
+}
+
+func TestGroundTruthOptimalIsMinimal(t *testing.T) {
+	g := pipeline(300000)
+	cfg := DefaultConfig(Flink)
+	opt, err := GroundTruthOptimal(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, _ := GroundTruthDemand(g)
+	for i, op := range g.Operators() {
+		p := opt[op.ID]
+		if BasePA(op)*cfg.SpeedFactor*ScaledParallelism(p, cfg.ScaleOverhead) < demand[i] {
+			t.Errorf("optimal p=%d for %s cannot sustain demand %.0f", p, op.ID, demand[i])
+		}
+		if p > 1 && BasePA(op)*cfg.SpeedFactor*ScaledParallelism(p-1, cfg.ScaleOverhead) >= demand[i] {
+			t.Errorf("p=%d for %s is not minimal", p, op.ID)
+		}
+	}
+}
+
+func TestGroundTruthOptimalRunsClean(t *testing.T) {
+	g := pipeline(500000)
+	cfg := DefaultConfig(Flink)
+	cfg.CapacityNoise = 0 // exact capacities for this check
+	e, _ := New(g, cfg)
+	opt, _ := GroundTruthOptimal(g, cfg)
+	deployAll(t, e, opt)
+	m, _ := e.Run()
+	if m.Backpressured {
+		t.Fatalf("ground-truth optimal deployment backpressured:\n%s", m)
+	}
+}
+
+func TestReconfigurationCountAndSimTime(t *testing.T) {
+	g := pipeline(1000)
+	cfg := DefaultConfig(Flink)
+	e, _ := New(g, cfg)
+	deployAll(t, e, generous(g, cfg))
+	deployAll(t, e, generous(g, cfg))
+	if e.Reconfigurations() != 2 {
+		t.Fatalf("reconfigs = %d, want 2", e.Reconfigurations())
+	}
+	if e.SimTime() < 2*cfg.RestartDowntime {
+		t.Fatalf("sim time %v missing restart downtime", e.SimTime())
+	}
+	before := e.SimTime()
+	e.Stabilize(cfg.RestartDowntime)
+	if e.SimTime() != before+cfg.RestartDowntime {
+		t.Fatal("Stabilize did not advance clock")
+	}
+}
+
+func TestSetSourceRate(t *testing.T) {
+	e, _ := New(pipeline(1000), DefaultConfig(Flink))
+	if err := e.SetSourceRate("src", 5000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Graph().Operator("src").SourceRate != 5000 {
+		t.Fatal("rate not applied")
+	}
+	if err := e.SetSourceRate("filter", 5); err == nil {
+		t.Fatal("expected error for non-source")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() *JobMetrics {
+		g := pipeline(150000)
+		cfg := DefaultConfig(Flink)
+		cfg.Seed = 1234
+		e, _ := New(g, cfg)
+		p := generous(g, cfg)
+		if err := e.Deploy(p); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := e.Run()
+		return m
+	}
+	a, b := run(), run()
+	for i := range a.Ops {
+		if a.Ops[i].TrueRatePerInstance != b.Ops[i].TrueRatePerInstance {
+			t.Fatal("same seed produced different measured rates")
+		}
+	}
+}
+
+func TestMeasurementNoiseApplied(t *testing.T) {
+	g := pipeline(400000)
+	cfg := DefaultConfig(Flink)
+	cfg.UsefulTimeNoise = 0.2
+	cfg.CapacityNoise = 0
+	e, _ := New(g, cfg)
+	deployAll(t, e, generous(g, cfg))
+	m, _ := e.Run()
+	wi, _ := g.IndexOf("window")
+	truth := e.capPerSec[wi] / float64(e.par[wi])
+	got := m.Op("window").TrueRatePerInstance
+	if got == 0 {
+		t.Fatal("no measured rate for busy operator")
+	}
+	if got == truth {
+		t.Fatal("measured rate exactly equals ground truth; noise not applied")
+	}
+	if got < truth/2 || got > truth*2 {
+		t.Fatalf("measured rate %v wildly off truth %v", got, truth)
+	}
+}
+
+func TestTimelyUnboundedNoBackpressureMetric(t *testing.T) {
+	g := pipeline(2e7)
+	cfg := DefaultConfig(Timely)
+	e, _ := New(g, cfg)
+	p := generous(g, cfg)
+	p["window"] = 1 // bottleneck
+	deployAll(t, e, p)
+	m, _ := e.Run()
+	for _, om := range m.Ops {
+		if om.BackpressureFrac > 0 {
+			t.Fatalf("timely flavor reported backpressured time on %s", om.ID)
+		}
+	}
+	if !m.Op("window").Bottleneck {
+		t.Fatalf("starved window not flagged by consumption-ratio rule:\n%s", m)
+	}
+	if m.Op("window").ConsumptionRatio >= cfg.ConsumptionRatio {
+		t.Fatalf("consumption ratio %.2f not below threshold", m.Op("window").ConsumptionRatio)
+	}
+	if !m.Backpressured {
+		t.Fatal("job-level bottleneck flag not set")
+	}
+}
+
+func TestTimelyEpochLatencies(t *testing.T) {
+	g := pipeline(100000)
+	cfg := DefaultConfig(Timely)
+	cfg.MeasureTicks = 200
+	e, _ := New(g, cfg)
+	deployAll(t, e, generous(g, cfg))
+	m, _ := e.Run()
+	if len(m.EpochLatencies) == 0 {
+		t.Fatal("no epoch latencies recorded")
+	}
+	med := m.LatencyQuantile(0.5)
+	if med <= 0 || med > 2 {
+		t.Fatalf("healthy pipeline median epoch latency = %vs, want sub-2s", med)
+	}
+}
+
+func TestTimelyLatencyGrowsWhenUnderprovisioned(t *testing.T) {
+	cfg := DefaultConfig(Timely)
+	cfg.MeasureTicks = 300
+
+	good := func() float64 {
+		g := pipeline(2e7)
+		e, _ := New(g, cfg)
+		deployAll(t, e, generous(g, cfg))
+		m, _ := e.Run()
+		return m.LatencyQuantile(0.9)
+	}()
+	bad := func() float64 {
+		g := pipeline(2e7)
+		e, _ := New(g, cfg)
+		p := generous(g, cfg)
+		p["window"] = 1
+		deployAll(t, e, p)
+		m, _ := e.Run()
+		return m.LatencyQuantile(0.9)
+	}()
+	if bad < 5*good {
+		t.Fatalf("underprovisioned p90 latency %.2fs not much larger than healthy %.2fs", bad, good)
+	}
+}
+
+func TestLatencyQuantileEmpty(t *testing.T) {
+	m := &JobMetrics{}
+	if m.LatencyQuantile(0.5) != 0 {
+		t.Fatal("quantile of empty latencies should be 0")
+	}
+}
+
+func TestTotalParallelism(t *testing.T) {
+	g := pipeline(1000)
+	cfg := DefaultConfig(Flink)
+	e, _ := New(g, cfg)
+	deployAll(t, e, map[string]int{"src": 2, "filter": 3, "window": 4, "sink": 1})
+	if got := e.TotalParallelism(); got != 10 {
+		t.Fatalf("TotalParallelism = %d, want 10", got)
+	}
+}
+
+func TestBackpressuredOpsAndOpLookup(t *testing.T) {
+	g := pipeline(2e6)
+	cfg := DefaultConfig(Flink)
+	e, _ := New(g, cfg)
+	p := generous(g, cfg)
+	p["window"] = 1
+	deployAll(t, e, p)
+	m, _ := e.Run()
+	if len(m.BackpressuredOps()) == 0 {
+		t.Fatal("no backpressured ops reported")
+	}
+	if m.Op("nonexistent") != nil {
+		t.Fatal("Op() for unknown ID should be nil")
+	}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestCohortQueue(t *testing.T) {
+	var q cohortQueue
+	q.push(0, 10)
+	q.push(0, 5)
+	q.push(1, 7)
+	if q.Len() != 22 {
+		t.Fatalf("len = %v, want 22", q.Len())
+	}
+	got := q.pop(12)
+	if len(got) != 1 || got[0].epoch != 0 || got[0].count != 12 {
+		t.Fatalf("pop(12) = %+v, want one epoch-0 cohort of 12", got)
+	}
+	got = q.pop(100)
+	var tot float64
+	for _, c := range got {
+		tot += c.count
+	}
+	if math.Abs(tot-10) > 1e-9 || q.Len() > 1e-9 {
+		t.Fatalf("drained %v (queue %v), want 10 and empty", tot, q.Len())
+	}
+	q.push(2, 3)
+	q.reset()
+	if q.Len() != 0 || len(q.segs) != 0 {
+		t.Fatal("reset did not empty queue")
+	}
+}

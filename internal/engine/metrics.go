@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// OpMetrics are the per-operator runtime metrics of one measurement
+// window. They correspond to the signals the paper's tuners consume:
+// Flink's backPressured/idle/busyTimeMsPerSecond become the *Frac fields,
+// CPULoad feeds Algorithm 1, TrueRatePerInstance is the (noisy)
+// useful-time-derived processing ability used by DS2 and ContTune, and
+// ConsumptionRatio is the Timely bottleneck signal.
+type OpMetrics struct {
+	ID          string
+	Index       int
+	Parallelism int
+
+	InputRate  float64 // records/s arriving (offered rate for sources)
+	OutputRate float64 // records/s emitted per out-edge
+	Processed  float64 // records/s actually processed
+
+	BusyFrac         float64 // fraction of time actively processing
+	IdleFrac         float64 // fraction of time idle
+	BackpressureFrac float64 // fraction of time blocked on downstream
+	CPULoad          float64 // = BusyFrac
+
+	// TrueRatePerInstance is the measured per-instance processing
+	// ability in records/s, derived from useful time, with measurement
+	// noise applied. Zero when the operator was essentially idle.
+	TrueRatePerInstance float64
+
+	// ObservedSelectivity is output/input records ratio observed.
+	ObservedSelectivity float64
+
+	// QueueLen is the input-queue length at window end.
+	QueueLen float64
+
+	// ConsumptionRatio is consumed/arrived over the window (Timely
+	// bottleneck signal; 1 when nothing arrived).
+	ConsumptionRatio float64
+
+	// UnderBackpressure reports BackpressureFrac > threshold (Flink).
+	UnderBackpressure bool
+
+	// Bottleneck reports the Timely rate-based bottleneck rule.
+	Bottleneck bool
+}
+
+// JobMetrics aggregates one measurement window.
+type JobMetrics struct {
+	Flavor Flavor
+	Window time.Duration
+
+	Ops []OpMetrics
+
+	// Backpressured reports job-level backpressure: any operator under
+	// backpressure (Flink) or any rate-based bottleneck (Timely).
+	Backpressured bool
+
+	// Throughput is the records/s absorbed by sink operators.
+	Throughput float64
+
+	// AvgCPUUtil is the parallelism-weighted mean busy fraction across
+	// operators — the cluster CPU utilization of Fig. 10.
+	AvgCPUUtil float64
+
+	// EpochLatencies holds per-epoch drain latencies in seconds (Timely).
+	EpochLatencies []float64
+	// IncompleteEpochs counts epochs still draining at window end; their
+	// latencies are included as lower bounds.
+	IncompleteEpochs int
+}
+
+// Op returns the metrics for the named operator, or nil.
+func (m *JobMetrics) Op(id string) *OpMetrics {
+	for i := range m.Ops {
+		if m.Ops[i].ID == id {
+			return &m.Ops[i]
+		}
+	}
+	return nil
+}
+
+// BackpressuredOps returns indices (graph positions) of operators under
+// backpressure.
+func (m *JobMetrics) BackpressuredOps() []int {
+	var out []int
+	for _, om := range m.Ops {
+		if om.UnderBackpressure {
+			out = append(out, om.Index)
+		}
+	}
+	return out
+}
+
+// LatencyQuantile returns the q-quantile (0..1) of the epoch latencies,
+// or 0 when none were recorded.
+func (m *JobMetrics) LatencyQuantile(q float64) float64 {
+	if len(m.EpochLatencies) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), m.EpochLatencies...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// String renders a compact diagnostic table.
+func (m *JobMetrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job[%s] backpressured=%v throughput=%.0f/s cpu=%.0f%%\n",
+		m.Flavor, m.Backpressured, m.Throughput, 100*m.AvgCPUUtil)
+	for _, om := range m.Ops {
+		fmt.Fprintf(&b, "  %-14s p=%-3d in=%-9.0f busy=%.2f bp=%.2f q=%.0f\n",
+			om.ID, om.Parallelism, om.InputRate, om.BusyFrac, om.BackpressureFrac, om.QueueLen)
+	}
+	return b.String()
+}

@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// cohort is a run of records belonging to one source epoch.
+type cohort struct {
+	epoch int
+	count float64
+}
+
+// cohortQueue is a FIFO of record cohorts forming an operator's input
+// queue. Record counts are fractional (rates are continuous).
+type cohortQueue struct {
+	segs []cohort
+	len  float64
+}
+
+// Len reports the number of queued records.
+func (q *cohortQueue) Len() float64 { return q.len }
+
+// push appends n records of the given epoch.
+func (q *cohortQueue) push(epoch int, n float64) {
+	if n <= 0 {
+		return
+	}
+	if m := len(q.segs); m > 0 && q.segs[m-1].epoch == epoch {
+		q.segs[m-1].count += n
+	} else {
+		q.segs = append(q.segs, cohort{epoch, n})
+	}
+	q.len += n
+}
+
+// pop removes up to n records FIFO and returns the consumed cohorts.
+func (q *cohortQueue) pop(n float64) []cohort {
+	var out []cohort
+	for n > 1e-12 && len(q.segs) > 0 {
+		s := &q.segs[0]
+		take := math.Min(n, s.count)
+		out = append(out, cohort{s.epoch, take})
+		s.count -= take
+		q.len -= take
+		n -= take
+		if s.count <= 1e-12 {
+			q.len -= s.count // absorb residue so len stays consistent
+			q.segs = q.segs[1:]
+		}
+	}
+	if q.len < 0 {
+		q.len = 0
+	}
+	return out
+}
+
+// reset empties the queue.
+func (q *cohortQueue) reset() { q.segs, q.len = nil, 0 }
+
+// opAccum accumulates per-operator statistics over a measurement window.
+type opAccum struct {
+	arrived   float64 // records pushed into this operator's queue
+	consumed  float64 // records processed
+	emitted   float64 // records emitted per out-edge (per-edge count)
+	busy      float64 // summed per-tick busy fractions
+	blocked   float64 // summed per-tick backpressured fractions
+	ticks     int
+	endQueue  float64
+	upstreamO float64 // combined upstream output directed at this op
+}
+
+// Run simulates WarmupTicks+MeasureTicks ticks at the current deployment
+// and returns metrics aggregated over the measurement window. The job
+// must have been deployed.
+func (e *Engine) Run() (*JobMetrics, error) {
+	if !e.deployed {
+		return nil, fmt.Errorf("engine: Run before Deploy")
+	}
+	n := e.g.NumOperators()
+	acc := make([]opAccum, n)
+	tps := float64(e.cfg.TicksPerSecond)
+
+	// Epoch bookkeeping (Timely flavor only).
+	type epochState struct {
+		inflight float64
+		closedAt int // tick index when the source stopped emitting, -1 if open
+		doneAt   int // tick index when fully drained, -1 if pending
+	}
+	epochs := make(map[int]*epochState)
+	epochOf := func(tick int) int {
+		if e.cfg.EpochTicks <= 0 {
+			return 0
+		}
+		return (e.epochClock + tick) / e.cfg.EpochTicks
+	}
+	getEpoch := func(ep int) *epochState {
+		s, ok := epochs[ep]
+		if !ok {
+			s = &epochState{closedAt: -1, doneAt: -1}
+			epochs[ep] = s
+		}
+		return s
+	}
+	timely := e.cfg.Flavor == Timely
+
+	totalTicks := e.cfg.WarmupTicks + e.cfg.MeasureTicks
+	for tick := 0; tick < totalTicks; tick++ {
+		measuring := tick >= e.cfg.WarmupTicks
+		curEpoch := 0
+		if timely {
+			curEpoch = epochOf(tick)
+			if prev, ok := epochs[curEpoch-1]; ok && prev.closedAt < 0 {
+				prev.closedAt = tick
+			}
+		}
+		for _, i := range e.topo {
+			op := e.g.OperatorAt(i)
+			capPerTick := e.capPerSec[i] / tps
+			if capPerTick <= 0 {
+				continue
+			}
+			a := &acc[i]
+
+			var want float64
+			var consumedCohorts []cohort
+			if op.Type == dag.Source {
+				want = math.Min(op.SourceRate/tps, capPerTick)
+				consumedCohorts = []cohort{{curEpoch, want}}
+			} else {
+				want = math.Min(e.queues[i].Len(), capPerTick)
+			}
+
+			// Flink flavor: output limited by free downstream buffer space.
+			allowed := want
+			if e.cfg.Flavor == Flink && op.Selectivity > 0 {
+				for _, d := range e.g.Downstream(i) {
+					space := e.queueCap(d) - e.queues[d].Len()
+					if space < 0 {
+						space = 0
+					}
+					if lim := space / op.Selectivity; lim < allowed {
+						allowed = lim
+					}
+				}
+			}
+			processed := allowed
+
+			if op.Type == dag.Source {
+				if processed < want {
+					// Scale the single synthetic cohort down.
+					consumedCohorts[0].count = processed
+				}
+				if timely && processed > 0 {
+					getEpoch(curEpoch).inflight += 0 // records enter and leave source atomically
+				}
+			} else {
+				consumedCohorts = e.queues[i].pop(processed)
+				if timely {
+					for _, c := range consumedCohorts {
+						getEpoch(c.epoch).inflight -= c.count
+					}
+				}
+			}
+
+			// Emit to each downstream consumer (fan-out replicates the
+			// stream).
+			if op.Selectivity > 0 && processed > 0 {
+				for _, d := range e.g.Downstream(i) {
+					for _, c := range consumedCohorts {
+						out := c.count * op.Selectivity
+						e.queues[d].push(c.epoch, out)
+						if timely {
+							getEpoch(c.epoch).inflight += out
+						}
+						if measuring {
+							acc[d].arrived += out
+							acc[d].upstreamO += out
+						}
+					}
+					if measuring {
+						a.emitted += processed * op.Selectivity
+					}
+				}
+			}
+
+			if measuring {
+				a.consumed += processed
+				busyFrac := processed / capPerTick
+				a.busy += busyFrac
+				// Downstream-limited: the operator has work it cannot
+				// emit, so every non-processing moment of the tick is
+				// spent blocked on output buffers (Flink's
+				// backPressuredTime semantics).
+				if want > processed+1e-9 {
+					a.blocked += 1 - busyFrac
+				}
+				a.ticks++
+			}
+		}
+
+		if timely {
+			for ep, s := range epochs {
+				if s.closedAt >= 0 && s.doneAt < 0 && s.inflight < 1e-3 {
+					s.doneAt = tick
+					_ = ep
+				}
+			}
+		}
+	}
+
+	// Finalize per-op metrics.
+	secs := float64(e.cfg.MeasureTicks) / tps
+	m := &JobMetrics{Flavor: e.cfg.Flavor, Window: time.Duration(secs * float64(time.Second))}
+	var busyPar, totPar float64
+	for i := 0; i < n; i++ {
+		op := e.g.OperatorAt(i)
+		a := acc[i]
+		ticks := float64(e.cfg.MeasureTicks)
+		om := OpMetrics{
+			ID:          op.ID,
+			Index:       i,
+			Parallelism: e.par[i],
+			InputRate:   a.arrived / secs,
+			OutputRate:  a.emitted / secs,
+			Processed:   a.consumed / secs,
+			BusyFrac:    a.busy / ticks,
+			BackpressureFrac: func() float64 {
+				return a.blocked / ticks
+			}(),
+			QueueLen: e.queues[i].Len(),
+		}
+		if op.Type == dag.Source {
+			om.InputRate = op.SourceRate
+		}
+		om.IdleFrac = 1 - om.BusyFrac - om.BackpressureFrac
+		if om.IdleFrac < 0 {
+			om.IdleFrac = 0
+		}
+		om.CPULoad = om.BusyFrac
+		if a.consumed > 0 {
+			om.ObservedSelectivity = op.Selectivity
+		}
+		// Measured per-instance true rate ("useful time" derived), with
+		// multiplicative measurement noise.
+		if om.BusyFrac > 1e-6 {
+			noise := math.Exp(e.cfg.UsefulTimeNoise * e.rng.NormFloat64())
+			om.TrueRatePerInstance = om.Processed / (om.BusyFrac * float64(e.par[i])) * noise
+		}
+		if a.upstreamO > 1e-9 {
+			om.ConsumptionRatio = a.consumed / a.upstreamO
+		} else {
+			om.ConsumptionRatio = 1
+		}
+		om.UnderBackpressure = om.BackpressureFrac > e.cfg.BackpressureFrac
+		if timely {
+			om.Bottleneck = om.ConsumptionRatio < e.cfg.ConsumptionRatio
+		}
+		// A source that cannot ingest its offered rate is itself a
+		// bottleneck (its lag grows without bound), even though it never
+		// blocks on downstream buffers.
+		if op.Type == dag.Source && op.SourceRate > e.capPerSec[i]*1.005 {
+			om.Bottleneck = true
+		}
+		busyPar += om.BusyFrac * float64(e.par[i])
+		totPar += float64(e.par[i])
+		if len(e.g.Downstream(i)) == 0 {
+			m.Throughput += om.Processed
+		}
+		m.Ops = append(m.Ops, om)
+	}
+	if totPar > 0 {
+		m.AvgCPUUtil = busyPar / totPar
+	}
+	for i, om := range m.Ops {
+		if e.cfg.Flavor == Flink && om.UnderBackpressure {
+			m.Backpressured = true
+		}
+		if timely && om.Bottleneck && om.InputRate > 1 {
+			m.Backpressured = true
+		}
+		if e.g.OperatorAt(i).Type == dag.Source && om.Bottleneck {
+			m.Backpressured = true
+		}
+	}
+
+	// Epoch latencies (Timely).
+	if timely {
+		tickDur := 1.0 / tps
+		endTick := totalTicks
+		for ep, s := range epochs {
+			if s.closedAt < 0 {
+				continue // epoch still open at run end; skip
+			}
+			var lat float64
+			if s.doneAt >= 0 {
+				lat = float64(s.doneAt-s.closedAt) * tickDur
+			} else {
+				lat = float64(endTick-s.closedAt) * tickDur // still draining: lower bound
+				m.IncompleteEpochs++
+			}
+			if lat < tickDur {
+				lat = tickDur
+			}
+			m.EpochLatencies = append(m.EpochLatencies, lat)
+			_ = ep
+		}
+		e.epochClock += totalTicks
+	}
+
+	e.simTime += time.Duration(float64(totalTicks) / tps * float64(time.Second))
+	return m, nil
+}

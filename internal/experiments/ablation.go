@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/baselines/ds2"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/simsearch"
+	"github.com/streamtune/streamtune/internal/streamtune"
+	"github.com/streamtune/streamtune/internal/workload"
+)
+
+// Fig11a compares the fine-tuned prediction models (NN without the
+// monotonic constraint vs SVM and XGBoost with it) on Nexmark Q3, Q5,
+// Q8: average reconfigurations and backpressure occurrences per tuning
+// process.
+func Fig11a(opts Options) (*Table, error) {
+	corpus, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 11a: Effect of classification models (Nexmark Q3/Q5/Q8)",
+		Header: []string{"Query", "Model", "Avg reconfigs", "Backpressure events"},
+	}
+	queries := []nexmark.Query{nexmark.Q3, nexmark.Q5, nexmark.Q8}
+	for _, model := range []string{"nn", "svm", "xgb"} {
+		cfg := streamtune.DefaultConfig()
+		cfg.Train.Epochs = opts.TrainEpochs
+		cfg.Cluster.K = 3 // fixed k: the ablation varies the model, not the clustering
+		cfg.Model = model
+		pt, err := streamtune.PreTrain(corpus, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			g, err := nexmark.Build(q, engine.Flink)
+			if err != nil {
+				return nil, err
+			}
+			units, err := nexmark.RateUnit(q, engine.Flink)
+			if err != nil {
+				return nil, err
+			}
+			w := Workload{Name: string(q), Graph: g, Units: units, Nexmark: true}
+			o := opts
+			o.Patterns = 1
+			stats, err := RunCycle(w, MethodStreamTune, cycleEnv{pt: pt}, o, engine.Flink)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				string(q), model,
+				fmt.Sprintf("%.2f", stats.AvgReconfigurations()),
+				fmt.Sprintf("%d", stats.BackpressureEvents),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig11b measures similarity-center computation time, directly computing
+// GED versus the AStar+-LSa bounded search, across dataset scales.
+func Fig11b(opts Options, sizes []int) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 11b: Similarity-center computation time",
+		Header: []string{"Dataset scale", "Direct GED", "AStar+-LSa", "Speedup"},
+	}
+	for _, size := range sizes {
+		set := randomDAGSet(opts.Seed, size)
+		startDirect := time.Now()
+		if _, err := simsearch.Center(set, 5, simsearch.DirectGED); err != nil {
+			return nil, err
+		}
+		direct := time.Since(startDirect)
+		startFast := time.Now()
+		if _, err := simsearch.Center(set, 5, simsearch.AStarLS); err != nil {
+			return nil, err
+		}
+		fast := time.Since(startFast)
+		speedup := float64(direct) / float64(fast)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", size),
+			direct.Round(time.Millisecond).String(),
+			fast.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", speedup),
+		})
+	}
+	return t, nil
+}
+
+// randomDAGSet builds a pool of structurally-varied dataflow DAGs for
+// clustering scale experiments by perturbing the corpus population.
+func randomDAGSet(seed int64, n int) []*dag.Graph {
+	base, err := CorpusGraphs(engine.Flink)
+	if err != nil || len(base) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*dag.Graph, 0, n)
+	for len(out) < n {
+		g := base[rng.Intn(len(base))].Clone()
+		g.Name = fmt.Sprintf("%s#%d", g.Name, len(out))
+		// Random perturbation: retype one non-source operator.
+		ops := g.Operators()
+		if len(ops) > 2 && rng.Float64() < 0.7 {
+			i := 1 + rng.Intn(len(ops)-1)
+			if ops[i].Type != dag.Source && ops[i].Type != dag.Sink {
+				ops[i].Type = dag.OpType(2 + rng.Intn(dag.NumOpTypes()-2))
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// NoiseRow is one point of the useful-time noise ablation.
+type NoiseRow struct {
+	Noise              float64
+	DS2Reconfigs       float64
+	DS2Backpressure    int
+	StreamTuneRecfg    float64
+	StreamTuneBackpres int
+}
+
+// AblationNoise sweeps the useful-time measurement noise and compares
+// DS2 (which consumes the noisy metric) against StreamTune (which
+// consumes binary bottleneck labels): the design-choice ablation called
+// out in DESIGN.md §6.
+func AblationNoise(opts Options, noises []float64) ([]NoiseRow, error) {
+	pt, _, err := PreTrain(engine.Flink, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, err := nexmark.Build(nexmark.Q5, engine.Flink)
+	if err != nil {
+		return nil, err
+	}
+	units, err := nexmark.RateUnit(nexmark.Q5, engine.Flink)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []NoiseRow
+	for _, noise := range noises {
+		row := NoiseRow{Noise: noise}
+		for _, method := range []string{MethodDS2, MethodStreamTune} {
+			eng, st, err := noisyEngine(g, units, noise, opts, pt, method)
+			if err != nil {
+				return nil, err
+			}
+			procs, reconfigs, bp := 0, 0, 0
+			pat := workload.PeriodicPatterns(opts.Seed)[0]
+			for _, mult := range pat.Multipliers {
+				for id, wu := range units {
+					if err := eng.SetSourceRate(id, wu*float64(mult)); err != nil {
+						return nil, err
+					}
+				}
+				switch method {
+				case MethodDS2:
+					r, err := ds2.Tune(eng, ds2.DefaultOptions())
+					if err != nil {
+						return nil, err
+					}
+					reconfigs += r.Reconfigurations
+					bp += r.BackpressureEvents
+				case MethodStreamTune:
+					r, err := st.Tune(eng)
+					if err != nil {
+						return nil, err
+					}
+					reconfigs += r.Reconfigurations
+					bp += r.BackpressureEvents
+				}
+				procs++
+			}
+			avg := float64(reconfigs) / float64(procs)
+			if method == MethodDS2 {
+				row.DS2Reconfigs, row.DS2Backpressure = avg, bp
+			} else {
+				row.StreamTuneRecfg, row.StreamTuneBackpres = avg, bp
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func noisyEngine(g *dag.Graph, units map[string]float64, noise float64, opts Options, pt *streamtune.PreTrained, method string) (*engine.Engine, *streamtune.Tuner, error) {
+	clone := g.Clone()
+	cfg := engine.DefaultConfig(engine.Flink)
+	cfg.Seed = opts.Seed
+	cfg.UsefulTimeNoise = noise
+	cfg.MeasureTicks = opts.MeasureTicks
+	eng, err := engine.New(clone, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	initial := make(map[string]int)
+	for _, op := range clone.Operators() {
+		initial[op.ID] = 1
+	}
+	if err := eng.Deploy(initial); err != nil {
+		return nil, nil, err
+	}
+	var st *streamtune.Tuner
+	if method == MethodStreamTune {
+		st, err = streamtune.NewTuner(pt, eng.Graph())
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return eng, st, nil
+}
+
+// AblationGlobal compares clustered pre-training against a single global
+// encoder (§VII "Limited Pre-training Dataset"): reconfigurations to
+// converge on Nexmark Q5.
+func AblationGlobal(opts Options) (*Table, error) {
+	corpus, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: clustered vs global encoder (Nexmark Q5)",
+		Header: []string{"Mode", "Avg reconfigs", "Backpressure events", "Final parallelism @10Wu"},
+	}
+	for _, global := range []bool{false, true} {
+		cfg := streamtune.DefaultConfig()
+		cfg.Train.Epochs = opts.TrainEpochs
+		cfg.Global = global
+		pt, err := streamtune.PreTrain(corpus, cfg)
+		if err != nil {
+			return nil, err
+		}
+		g, err := nexmark.Build(nexmark.Q5, engine.Flink)
+		if err != nil {
+			return nil, err
+		}
+		units, err := nexmark.RateUnit(nexmark.Q5, engine.Flink)
+		if err != nil {
+			return nil, err
+		}
+		w := Workload{Name: "(Nexmark)Q5", Graph: g, Units: units, Nexmark: true}
+		o := opts
+		o.Patterns = 1
+		stats, err := RunCycle(w, MethodStreamTune, cycleEnv{pt: pt}, o, engine.Flink)
+		if err != nil {
+			return nil, err
+		}
+		mode := "clustered"
+		if global {
+			mode = "global"
+		}
+		t.Rows = append(t.Rows, []string{
+			mode,
+			fmt.Sprintf("%.2f", stats.AvgReconfigurations()),
+			fmt.Sprintf("%d", stats.BackpressureEvents),
+			fmt.Sprintf("%d", stats.FinalParallelismAt10Wu),
+		})
+	}
+	return t, nil
+}

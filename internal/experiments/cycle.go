@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/baselines/conttune"
+	"github.com/streamtune/streamtune/internal/baselines/ds2"
+	"github.com/streamtune/streamtune/internal/baselines/zerotune"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/streamtune"
+	"github.com/streamtune/streamtune/internal/workload"
+)
+
+// Method names as rendered in the paper's figures.
+const (
+	MethodDS2        = "DS2"
+	MethodContTune   = "ContTune"
+	MethodStreamTune = "StreamTune"
+	MethodZeroTune   = "ZeroTune"
+)
+
+// CycleStats aggregates one workload x method sweep over the periodic
+// source-rate pattern (the unit of §V-C/V-D/V-E).
+type CycleStats struct {
+	Workload string
+	Method   string
+
+	// Processes is the number of tuning processes (rate changes).
+	Processes int
+	// Reconfigurations is the total deployments across all processes.
+	Reconfigurations int
+	// BackpressureEvents counts measurement windows with job-level
+	// backpressure across the sweep (Table III).
+	BackpressureEvents int
+	// FinalParallelismAt10Wu is the total parallelism after the tuning
+	// process at 10 x Wu (Fig. 6; last such process wins).
+	FinalParallelismAt10Wu int
+	// RecommendTime is the cumulative recommendation wall-clock time.
+	RecommendTime time.Duration
+	// TuneDurations holds simulated tuning time per process (Fig. 7b).
+	TuneDurations []time.Duration
+	// CPUTraces holds per-process CPU utilization traces (Fig. 10,
+	// StreamTune only).
+	CPUTraces [][]float64
+	// FinalParallelism is the assignment after the last process.
+	FinalParallelism map[string]int
+}
+
+// AvgReconfigurations is reconfigurations per tuning process (Fig. 7a).
+func (s *CycleStats) AvgReconfigurations() float64 {
+	if s.Processes == 0 {
+		return 0
+	}
+	return float64(s.Reconfigurations) / float64(s.Processes)
+}
+
+// cycleEnv bundles per-workload tuning state.
+type cycleEnv struct {
+	pt  *streamtune.PreTrained
+	ztm *zerotune.Model
+}
+
+// RunCycle drives one workload through the periodic rate pattern with
+// one method and aggregates statistics.
+func RunCycle(w Workload, method string, env cycleEnv, opts Options, flavor engine.Flavor) (*CycleStats, error) {
+	g := w.Graph.Clone()
+	ecfg := engine.DefaultConfig(flavor)
+	ecfg.Seed = opts.Seed
+	ecfg.MeasureTicks = opts.MeasureTicks
+	eng, err := engine.New(g, ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("cycle %s/%s: %w", w.Name, method, err)
+	}
+
+	// Initial deployment: parallelism 1 everywhere.
+	initial := make(map[string]int, g.NumOperators())
+	for _, op := range g.Operators() {
+		initial[op.ID] = 1
+	}
+	if err := eng.Deploy(initial); err != nil {
+		return nil, err
+	}
+
+	stats := &CycleStats{Workload: w.Name, Method: method}
+	var st *streamtune.Tuner
+	var ct *conttune.Tuner
+	switch method {
+	case MethodStreamTune:
+		st, err = streamtune.NewTuner(env.pt, eng.Graph())
+		if err != nil {
+			return nil, fmt.Errorf("cycle %s: %w", w.Name, err)
+		}
+	case MethodContTune:
+		ct = conttune.NewTuner(conttune.DefaultOptions())
+	case MethodZeroTune:
+		if env.ztm == nil {
+			return nil, fmt.Errorf("cycle %s: ZeroTune model not trained", w.Name)
+		}
+	}
+
+	patterns := workload.PeriodicPatterns(opts.Seed)
+	if opts.Patterns > 0 && opts.Patterns < len(patterns) {
+		patterns = patterns[:opts.Patterns]
+	}
+	for _, pat := range patterns {
+		for _, mult := range pat.Multipliers {
+			w.SetRate(eng.Graph(), float64(mult))
+			start := eng.SimTime()
+			var total, reconfigs, bpEvents int
+			var recTime time.Duration
+			var cpuTrace []float64
+
+			switch method {
+			case MethodDS2:
+				res, err := ds2.Tune(eng, ds2.DefaultOptions())
+				if err != nil {
+					return nil, err
+				}
+				total, reconfigs, bpEvents = res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents
+				recTime = res.RecommendTime
+				stats.FinalParallelism = res.Parallelism
+			case MethodContTune:
+				res, err := ct.Tune(eng)
+				if err != nil {
+					return nil, err
+				}
+				total, reconfigs, bpEvents = res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents
+				recTime = res.RecommendTime
+				stats.FinalParallelism = res.Parallelism
+			case MethodStreamTune:
+				res, err := st.Tune(eng)
+				if err != nil {
+					return nil, err
+				}
+				total, reconfigs, bpEvents = res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents
+				recTime = res.RecommendTime
+				cpuTrace = res.CPUTrace
+				stats.FinalParallelism = res.Parallelism
+			case MethodZeroTune:
+				recStart := time.Now()
+				rec, err := env.ztm.Recommend(eng.Graph(), zerotune.DefaultRecommendOptions(60))
+				if err != nil {
+					return nil, err
+				}
+				recTime = time.Since(recStart)
+				if err := eng.Deploy(rec); err != nil {
+					return nil, err
+				}
+				m, err := eng.Run()
+				if err != nil {
+					return nil, err
+				}
+				reconfigs = 1
+				if m.Backpressured {
+					bpEvents = 1
+				}
+				total = eng.TotalParallelism()
+				stats.FinalParallelism = rec
+			default:
+				return nil, fmt.Errorf("cycle: unknown method %q", method)
+			}
+
+			stats.Processes++
+			stats.Reconfigurations += reconfigs
+			stats.BackpressureEvents += bpEvents
+			stats.RecommendTime += recTime
+			stats.TuneDurations = append(stats.TuneDurations, eng.SimTime()-start)
+			if cpuTrace != nil {
+				stats.CPUTraces = append(stats.CPUTraces, cpuTrace)
+			}
+			if mult == 10 {
+				stats.FinalParallelismAt10Wu = total
+			}
+		}
+	}
+	return stats, nil
+}
+
+// methodsFor returns the methods compared on a workload: ZeroTune is
+// evaluated on PQP queries only (its models are PQP-specific, §V-A).
+func methodsFor(w Workload) []string {
+	ms := []string{MethodDS2, MethodContTune, MethodStreamTune}
+	if !w.Nexmark {
+		ms = append(ms, MethodZeroTune)
+	}
+	return ms
+}
+
+// Sweep runs every (workload, method) pair of the Flink evaluation and
+// returns the stats in deterministic order. One pre-training pass and
+// one ZeroTune model are shared across workloads — exactly the paper's
+// setup (global history, PQP-only ZeroTune).
+func Sweep(opts Options) ([]*CycleStats, error) {
+	ws, err := FlinkWorkloads(opts)
+	if err != nil {
+		return nil, err
+	}
+	env, err := buildEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []*CycleStats
+	for _, w := range ws {
+		for _, method := range methodsFor(w) {
+			s, err := RunCycle(w, method, env, opts, engine.Flink)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// buildEnv pre-trains StreamTune on the full corpus and ZeroTune on the
+// PQP subset.
+func buildEnv(opts Options) (cycleEnv, error) {
+	pt, corpus, err := PreTrain(engine.Flink, opts)
+	if err != nil {
+		return cycleEnv{}, err
+	}
+	pqpCorpus := pqpOnly(corpus)
+	ztOpts := zerotune.DefaultTrainOptions()
+	ztOpts.Epochs = opts.TrainEpochs
+	gcfg := pt.Config.GNN
+	ztm, err := zerotune.Train(pqpCorpus, gcfg, ztOpts)
+	if err != nil {
+		return cycleEnv{}, err
+	}
+	return cycleEnv{pt: pt, ztm: ztm}, nil
+}
+
+// pqpOnly filters a corpus down to PQP executions (graph names carry the
+// "pqp-" prefix from the generators).
+func pqpOnly(c *history.Corpus) *history.Corpus {
+	out := &history.Corpus{}
+	for _, ex := range c.Executions {
+		if strings.HasPrefix(ex.Graph.Name, "pqp-") {
+			out.Executions = append(out.Executions, ex)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"x", "1"}, {"yyyy", "22"}},
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// Columns align: the header and every row start the second column at
+	// the same offset.
+	idx := strings.Index(lines[1], "long-column")
+	for _, l := range lines[2:] {
+		if len(l) <= idx {
+			t.Fatalf("row %q shorter than header offset", l)
+		}
+	}
+}
+
+func TestOptionsScales(t *testing.T) {
+	f, q := Full(), Quick()
+	if q.Patterns >= f.Patterns || q.CorpusSamples >= f.CorpusSamples || q.TrainEpochs >= f.TrainEpochs {
+		t.Fatalf("Quick() not smaller than Full(): %+v vs %+v", q, f)
+	}
+}
+
+func TestWorkloadSetRate(t *testing.T) {
+	ws, err := FlinkWorkloads(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ws[0] // Q1
+	g := w.Graph.Clone()
+	w.SetRate(g, 10)
+	for id, wu := range w.Units {
+		if got := g.Operator(id).SourceRate; got != 10*wu {
+			t.Fatalf("rate = %v, want %v", got, 10*wu)
+		}
+	}
+}
+
+func TestMethodsFor(t *testing.T) {
+	ws, err := FlinkWorkloads(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		ms := methodsFor(w)
+		hasZT := false
+		for _, m := range ms {
+			if m == MethodZeroTune {
+				hasZT = true
+			}
+		}
+		if w.Nexmark && hasZT {
+			t.Errorf("%s: ZeroTune must not run on Nexmark", w.Name)
+		}
+		if !w.Nexmark && !hasZT {
+			t.Errorf("%s: ZeroTune missing on PQP", w.Name)
+		}
+	}
+}

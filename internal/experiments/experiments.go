@@ -1,0 +1,264 @@
+// Package experiments regenerates every table and figure of the
+// StreamTune paper's evaluation (§V) on the simulated engines. Each
+// Fig*/Table* function is one driver; cmd/experiments exposes them on
+// the command line and bench_test.go wraps them in testing.B benches.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator,
+// not a 160-core Flink cluster), but the comparative shape — who wins,
+// by roughly what factor, where crossovers fall — is the reproduction
+// target. EXPERIMENTS.md records paper-vs-measured for every driver.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// Options scales the evaluation. Full() reproduces the paper's setup;
+// Quick() shrinks everything for CI and benchmarks.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Patterns is the number of rate-pattern permutations per query
+	// (paper: 6, for 120 rate changes).
+	Patterns int
+	// CorpusSamples is the number of randomized historical executions
+	// per job structure in the pre-training corpus.
+	CorpusSamples int
+	// TrainEpochs is the GNN pre-training epoch count.
+	TrainEpochs int
+	// PQPVariants caps the number of variants per PQP template included
+	// in cycle sweeps (the corpus always uses all of them).
+	PQPVariants int
+	// MeasureTicks is the engine measurement window per run.
+	MeasureTicks int
+}
+
+// Full returns the paper-scale configuration.
+func Full() Options {
+	return Options{Seed: 1, Patterns: 6, CorpusSamples: 40, TrainEpochs: 30, PQPVariants: 4, MeasureTicks: 100}
+}
+
+// Quick returns a configuration small enough for benches and smoke
+// tests while preserving the comparative shapes.
+func Quick() Options {
+	return Options{Seed: 1, Patterns: 1, CorpusSamples: 15, TrainEpochs: 8, PQPVariants: 1, MeasureTicks: 50}
+}
+
+// Workload identifies one evaluated streaming job.
+type Workload struct {
+	// Name is the paper's label, e.g. "(Nexmark)Q1" or "(PQP)Linear".
+	Name string
+	// Graph is the job at one rate unit.
+	Graph *dag.Graph
+	// Units maps source ID to its Wu (records/second).
+	Units map[string]float64
+	// Nexmark reports whether this is a Nexmark query (ZeroTune is
+	// evaluated only on PQP).
+	Nexmark bool
+}
+
+// SetRate deploys multiplier x Wu on every source of a clone of the
+// workload graph.
+func (w Workload) SetRate(g *dag.Graph, multiplier float64) {
+	for id, wu := range w.Units {
+		op := g.Operator(id)
+		if op != nil {
+			op.SourceRate = wu * multiplier
+		}
+	}
+}
+
+// FlinkWorkloads returns the paper's eight Flink evaluation workloads:
+// Nexmark Q1, Q2, Q3, Q5, Q8 and one representative variant per PQP
+// template.
+func FlinkWorkloads(opts Options) ([]Workload, error) {
+	var out []Workload
+	for _, q := range nexmark.Queries {
+		g, err := nexmark.Build(q, engine.Flink)
+		if err != nil {
+			return nil, err
+		}
+		units, err := nexmark.RateUnit(q, engine.Flink)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{
+			Name:    fmt.Sprintf("(Nexmark)%s", strings.ToUpper(string(q))),
+			Graph:   g,
+			Units:   units,
+			Nexmark: true,
+		})
+	}
+	for _, tmpl := range pqp.Templates {
+		g, err := pqp.Build(tmpl, 0)
+		if err != nil {
+			return nil, err
+		}
+		units := make(map[string]float64)
+		for _, i := range g.Sources() {
+			units[g.OperatorAt(i).ID] = pqp.RateUnit(tmpl)
+		}
+		out = append(out, Workload{
+			Name:  fmt.Sprintf("(PQP)%s", paperTemplateName(tmpl)),
+			Graph: g,
+			Units: units,
+		})
+	}
+	return out, nil
+}
+
+// TimelyWorkloads returns the Timely evaluation set (Q3, Q5, Q8 — other
+// Nexmark queries run at parallelism 1 on Timely, per §V-F).
+func TimelyWorkloads() ([]Workload, error) {
+	var out []Workload
+	for _, q := range []nexmark.Query{nexmark.Q3, nexmark.Q5, nexmark.Q8} {
+		g, err := nexmark.Build(q, engine.Timely)
+		if err != nil {
+			return nil, err
+		}
+		units, err := nexmark.RateUnit(q, engine.Timely)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{
+			Name:    fmt.Sprintf("(Nexmark)%s", strings.ToUpper(string(q))),
+			Graph:   g,
+			Units:   units,
+			Nexmark: true,
+		})
+	}
+	return out, nil
+}
+
+func paperTemplateName(t pqp.Template) string {
+	switch t {
+	case pqp.Linear:
+		return "Linear"
+	case pqp.TwoWayJoin:
+		return "2-way-join"
+	case pqp.ThreeWayJoin:
+		return "3-way-join"
+	}
+	return string(t)
+}
+
+// CorpusGraphs returns the full pre-training population: the five
+// Nexmark queries plus every PQP variant (61 distinct structures,
+// matching the paper's Fig. 5 corpus).
+func CorpusGraphs(flavor engine.Flavor) ([]*dag.Graph, error) {
+	var out []*dag.Graph
+	for _, q := range nexmark.Queries {
+		g, err := nexmark.Build(q, flavor)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	for _, tmpl := range pqp.Templates {
+		gs, err := pqp.All(tmpl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gs...)
+	}
+	return out, nil
+}
+
+// BuildCorpus generates the pre-training corpus for the flavor.
+func BuildCorpus(flavor engine.Flavor, opts Options) (*history.Corpus, error) {
+	graphs, err := CorpusGraphs(flavor)
+	if err != nil {
+		return nil, err
+	}
+	hopts := history.DefaultOptions(flavor)
+	hopts.SamplesPerGraph = opts.CorpusSamples
+	hopts.Seed = opts.Seed
+	hopts.Engine.MeasureTicks = opts.MeasureTicks
+	return history.Generate(graphs, hopts)
+}
+
+// PreTrain builds the corpus and pre-trains StreamTune for the flavor.
+// The holdout list removes job structures (by graph name) from the
+// corpus before training — used by the unseen-workload case study.
+func PreTrain(flavor engine.Flavor, opts Options, holdout ...string) (*streamtune.PreTrained, *history.Corpus, error) {
+	corpus, err := BuildCorpus(flavor, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(holdout) > 0 {
+		skip := make(map[string]bool, len(holdout))
+		for _, h := range holdout {
+			skip[h] = true
+		}
+		kept := &history.Corpus{}
+		for _, ex := range corpus.Executions {
+			if !skip[ex.Graph.Name] {
+				kept.Executions = append(kept.Executions, ex)
+			}
+		}
+		corpus = kept
+	}
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = opts.TrainEpochs
+	cfg.GNN.PMax = engine.DefaultConfig(flavor).MaxParallelism
+	pt, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pt, corpus, nil
+}
+
+// Table is a generic printable result: a header and rows of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order (stable output).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+// Table2 echoes the source-rate units of Table II.
+func Table2() (*Table, error) {
+	t := &Table{
+		Title:  "Table II: Source Rate Units of Different Streaming Jobs",
+		Header: []string{"Job", "Source", "Flink Wu", "Timely Wu"},
+	}
+	for _, q := range nexmark.Queries {
+		fl, err := nexmark.RateUnit(q, engine.Flink)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := nexmark.RateUnit(q, engine.Timely)
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range sortedKeys(fl) {
+			t.Rows = append(t.Rows, []string{
+				"(Nexmark)" + string(q), src,
+				fmtRate(fl[src]), fmtRate(tm[src]),
+			})
+		}
+	}
+	for _, tmpl := range pqp.Templates {
+		t.Rows = append(t.Rows, []string{
+			"(PQP)" + paperTemplateName(tmpl), "all",
+			fmtRate(pqp.RateUnit(tmpl)), "/",
+		})
+	}
+	return t, nil
+}
+
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.0fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.0fK", r/1e3)
+	}
+	return fmt.Sprintf("%.0f", r)
+}
+
+// Fig4Point is one sample of the parallelism/processing-ability curve.
+type Fig4Point struct {
+	Parallelism int
+	// FilterPA and WindowPA are measured processing abilities in
+	// records/second while the respective operator is saturated.
+	FilterPA float64
+	WindowPA float64
+}
+
+// Fig4 reproduces the motivation experiment: a filter -> window job at a
+// fixed source rate; one operator's parallelism is swept while the other
+// is fixed high, and the measured processing ability is recorded. It
+// also returns the measured bottleneck thresholds (the minimum
+// parallelism at which each operator stops bottlenecking).
+func Fig4(opts Options) ([]Fig4Point, int, int, error) {
+	const rate = 3.5e6 // saturating offered rate
+	build := func() *dag.Graph {
+		g := dag.New("fig4")
+		g.MustAddOperator(&dag.Operator{ID: "src", Type: dag.Source, SourceRate: rate, TupleWidthOut: 64})
+		g.MustAddOperator(&dag.Operator{ID: "filter", Type: dag.Filter, Selectivity: 0.8, TupleWidthIn: 64, TupleWidthOut: 64, CostFactor: 3.0})
+		g.MustAddOperator(&dag.Operator{
+			ID: "window", Type: dag.WindowOp, WindowType: dag.Tumbling, WindowPolicy: dag.TimePolicy,
+			WindowLength: 30, Selectivity: 0.5, TupleWidthIn: 64, TupleWidthOut: 32, CostFactor: 0.5,
+		})
+		g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 32})
+		g.MustAddEdge("src", "filter")
+		g.MustAddEdge("filter", "window")
+		g.MustAddEdge("window", "sink")
+		return g
+	}
+
+	measure := func(sweep string, p int) (float64, bool, error) {
+		g := build()
+		cfg := engine.DefaultConfig(engine.Flink)
+		cfg.Seed = opts.Seed
+		cfg.MeasureTicks = opts.MeasureTicks
+		eng, err := engine.New(g, cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		par := map[string]int{"src": 4, "filter": 40, "window": 40, "sink": 8}
+		par[sweep] = p
+		if err := eng.Deploy(par); err != nil {
+			return 0, false, err
+		}
+		m, err := eng.Run()
+		if err != nil {
+			return 0, false, err
+		}
+		om := m.Op(sweep)
+		pa := om.Processed
+		if om.BusyFrac > 0.01 {
+			pa = om.Processed / om.BusyFrac // extrapolate to full utilization
+		}
+		return pa, om.CPULoad > 0.95 && m.Backpressured, nil
+	}
+
+	var points []Fig4Point
+	filterThreshold, windowThreshold := -1, -1
+	for p := 1; p <= 25; p++ {
+		fpa, fbn, err := measure("filter", p)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		wpa, wbn, err := measure("window", p)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if !fbn && filterThreshold < 0 {
+			filterThreshold = p
+		}
+		if !wbn && windowThreshold < 0 {
+			windowThreshold = p
+		}
+		points = append(points, Fig4Point{Parallelism: p, FilterPA: fpa, WindowPA: wpa})
+	}
+	return points, filterThreshold, windowThreshold, nil
+}
+
+// Fig5 reports the node-count distribution of the pre-training corpus.
+func Fig5(opts Options) (*Table, error) {
+	graphs, err := CorpusGraphs(engine.Flink)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
+	for _, g := range graphs {
+		counts[g.NumOperators()]++
+	}
+	var sizes []int
+	for n := range counts {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	t := &Table{
+		Title:  "Fig 5: Distribution of Pre-trained Dataflow DAGs",
+		Header: []string{"# of DAG nodes", "count", "ratio"},
+	}
+	for _, n := range sizes {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", counts[n]),
+			fmt.Sprintf("%.2f%%", 100*float64(counts[n])/float64(len(graphs))),
+		})
+	}
+	return t, nil
+}
+
+// Fig6 renders final parallelism per workload and method at 10 x Wu.
+func Fig6(stats []*CycleStats) *Table {
+	return pivot(stats, "Fig 6: Final parallelism at 10xWu (Flink)", func(s *CycleStats) string {
+		if s.FinalParallelismAt10Wu == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", s.FinalParallelismAt10Wu)
+	})
+}
+
+// Fig7a renders average reconfigurations per tuning process.
+func Fig7a(stats []*CycleStats) *Table {
+	return pivot(stats, "Fig 7a: Average number of reconfigurations per tuning", func(s *CycleStats) string {
+		if s.Method == MethodZeroTune {
+			return "-" // paper: always exactly one, excluded
+		}
+		return fmt.Sprintf("%.2f", s.AvgReconfigurations())
+	})
+}
+
+// Table3 renders backpressure occurrence counts during tuning.
+func Table3(stats []*CycleStats) *Table {
+	return pivot(stats, "Table III: Frequency of Backpressure Occurrences", func(s *CycleStats) string {
+		return fmt.Sprintf("%d", s.BackpressureEvents)
+	})
+}
+
+// Fig9a renders the average recommendation time per tuning process.
+func Fig9a(stats []*CycleStats) *Table {
+	return pivot(stats, "Fig 9a: Avg recommendation time per tuning process", func(s *CycleStats) string {
+		if s.Processes == 0 {
+			return "-"
+		}
+		avg := s.RecommendTime / time.Duration(s.Processes)
+		return avg.Round(10 * time.Microsecond).String()
+	})
+}
+
+// pivot lays stats out as workload rows x method columns.
+func pivot(stats []*CycleStats, title string, cell func(*CycleStats) string) *Table {
+	methods := []string{MethodDS2, MethodContTune, MethodStreamTune, MethodZeroTune}
+	byKey := make(map[string]map[string]*CycleStats)
+	var workloads []string
+	for _, s := range stats {
+		if byKey[s.Workload] == nil {
+			byKey[s.Workload] = make(map[string]*CycleStats)
+			workloads = append(workloads, s.Workload)
+		}
+		byKey[s.Workload][s.Method] = s
+	}
+	t := &Table{Title: title, Header: append([]string{"Workload"}, methods...)}
+	for _, w := range workloads {
+		row := []string{w}
+		for _, m := range methods {
+			if s, ok := byKey[w][m]; ok {
+				row = append(row, cell(s))
+			} else {
+				row = append(row, "/")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig7b runs the unseen-workload case study: one 2-way-join PQP query is
+// held out of pre-training, then tuned across the basic rate cycle; the
+// tuning time (stabilization + measurement, simulated) per rate change
+// is reported in the basic-cycle order.
+func Fig7b(opts Options) (*Table, error) {
+	holdoutIdx := 5 % pqp.Variants(pqp.TwoWayJoin)
+	holdout, err := pqp.Build(pqp.TwoWayJoin, holdoutIdx)
+	if err != nil {
+		return nil, err
+	}
+	pt, _, err := PreTrain(engine.Flink, opts, holdout.Name)
+	if err != nil {
+		return nil, err
+	}
+	units := make(map[string]float64)
+	for _, i := range holdout.Sources() {
+		units[holdout.OperatorAt(i).ID] = pqp.RateUnit(pqp.TwoWayJoin)
+	}
+	w := Workload{Name: "(PQP)2-way-join (unseen)", Graph: holdout, Units: units}
+	o := opts
+	o.Patterns = 1
+	stats, err := RunCycle(w, MethodStreamTune, cycleEnv{pt: pt}, o, engine.Flink)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 7b: Tuning time for an unseen 2-way-join query",
+		Header: []string{"Source rate (xWu)", "Tuning time (min, simulated)"},
+	}
+	var total time.Duration
+	for i, d := range stats.TuneDurations {
+		mult := workloadMultiplier(i)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", mult),
+			fmt.Sprintf("%.1f", d.Minutes()),
+		})
+		total += d
+	}
+	if n := len(stats.TuneDurations); n > 0 {
+		t.Rows = append(t.Rows, []string{"avg", fmt.Sprintf("%.1f", (total / time.Duration(n)).Minutes())})
+	}
+	return t, nil
+}
+
+func workloadMultiplier(i int) int {
+	cycle := []int{3, 7, 4, 2, 1, 10, 8, 5, 6, 9}
+	return cycle[i%len(cycle)]
+}
+
+// Fig10 reports CPU utilization over reconfiguration iterations while
+// StreamTune tunes three jobs (Q2, PQP Linear, PQP 2-way-join).
+func Fig10(opts Options) (*Table, error) {
+	env, err := buildEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := FlinkWorkloads(opts)
+	if err != nil {
+		return nil, err
+	}
+	wanted := map[string]bool{"(Nexmark)Q2": true, "(PQP)Linear": true, "(PQP)2-way-join": true}
+	t := &Table{
+		Title:  "Fig 10: CPU utilization across reconfiguration iterations (StreamTune)",
+		Header: []string{"Workload", "Iteration", "CPU util (%)"},
+	}
+	o := opts
+	o.Patterns = 1
+	for _, w := range ws {
+		if !wanted[w.Name] {
+			continue
+		}
+		stats, err := RunCycle(w, MethodStreamTune, env, o, engine.Flink)
+		if err != nil {
+			return nil, err
+		}
+		iter := 0
+		for _, trace := range stats.CPUTraces {
+			for _, u := range trace {
+				t.Rows = append(t.Rows, []string{
+					w.Name, fmt.Sprintf("%d", iter), fmt.Sprintf("%.1f", 100*u),
+				})
+				iter++
+			}
+		}
+	}
+	return t, nil
+}
+
+// quantiles returns the q-quantiles of xs (sorted copy).
+func quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		return make([]float64, len(qs))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(math.Round(q * float64(len(s)-1)))
+		out[i] = s[idx]
+	}
+	return out
+}

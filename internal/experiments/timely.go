@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/baselines/conttune"
+	"github.com/streamtune/streamtune/internal/baselines/ds2"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// TimelyResult holds one workload x method outcome on Timely Dataflow.
+type TimelyResult struct {
+	Workload    string
+	Method      string
+	Total       int
+	Parallelism map[string]int
+	// Latencies holds per-epoch latencies (seconds) measured under the
+	// final recommendation.
+	Latencies []float64
+}
+
+// Fig8 runs the generality evaluation on the Timely flavor: final
+// parallelism at 10 x Wu per method (Fig. 8a) and per-epoch latency
+// distributions under the recommended configurations (Fig. 8b-d).
+func Fig8(opts Options) ([]*TimelyResult, error) {
+	ws, err := TimelyWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	pt, _, err := PreTrain(engine.Timely, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*TimelyResult
+	for _, w := range ws {
+		for _, method := range []string{MethodDS2, MethodContTune, MethodStreamTune} {
+			g := w.Graph.Clone()
+			w.SetRate(g, 10)
+			ecfg := engine.DefaultConfig(engine.Timely)
+			ecfg.Seed = opts.Seed
+			ecfg.MeasureTicks = opts.MeasureTicks
+			eng, err := engine.New(g, ecfg)
+			if err != nil {
+				return nil, err
+			}
+			initial := make(map[string]int)
+			for _, op := range g.Operators() {
+				initial[op.ID] = 1
+			}
+			if err := eng.Deploy(initial); err != nil {
+				return nil, err
+			}
+
+			res := &TimelyResult{Workload: w.Name, Method: method}
+			switch method {
+			case MethodDS2:
+				r, err := ds2.Tune(eng, ds2.DefaultOptions())
+				if err != nil {
+					return nil, err
+				}
+				res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
+			case MethodContTune:
+				ct := conttune.NewTuner(conttune.DefaultOptions())
+				r, err := ct.Tune(eng)
+				if err != nil {
+					return nil, err
+				}
+				res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
+			case MethodStreamTune:
+				st, err := streamtune.NewTuner(pt, eng.Graph())
+				if err != nil {
+					return nil, err
+				}
+				r, err := st.Tune(eng)
+				if err != nil {
+					return nil, err
+				}
+				res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
+			}
+
+			// Measure per-epoch latencies under the final deployment
+			// with a longer window for a denser CDF.
+			lcfg := ecfg
+			lcfg.MeasureTicks = opts.MeasureTicks * 3
+			leng, err := engine.New(w.Graph.Clone(), lcfg)
+			if err != nil {
+				return nil, err
+			}
+			w.SetRate(leng.Graph(), 10)
+			if err := leng.Deploy(res.Parallelism); err != nil {
+				return nil, err
+			}
+			m, err := leng.Run()
+			if err != nil {
+				return nil, err
+			}
+			res.Latencies = m.EpochLatencies
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Fig8aTable renders final Timely parallelism per method.
+func Fig8aTable(results []*TimelyResult) *Table {
+	t := &Table{
+		Title:  "Fig 8a: Final parallelism on Timely Dataflow at 10xWu",
+		Header: []string{"Workload", MethodDS2, MethodContTune, MethodStreamTune},
+	}
+	byW := map[string]map[string]*TimelyResult{}
+	var order []string
+	for _, r := range results {
+		if byW[r.Workload] == nil {
+			byW[r.Workload] = map[string]*TimelyResult{}
+			order = append(order, r.Workload)
+		}
+		byW[r.Workload][r.Method] = r
+	}
+	for _, w := range order {
+		row := []string{w}
+		for _, m := range []string{MethodDS2, MethodContTune, MethodStreamTune} {
+			if r, ok := byW[w][m]; ok {
+				row = append(row, fmt.Sprintf("%d", r.Total))
+			} else {
+				row = append(row, "/")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig8LatencyTable renders per-epoch latency quantiles (the CDF summary
+// of Fig. 8b-d).
+func Fig8LatencyTable(results []*TimelyResult) *Table {
+	t := &Table{
+		Title:  "Fig 8b-d: Per-epoch latency quantiles (seconds)",
+		Header: []string{"Workload", "Method", "p10", "p50", "p90", "p99"},
+	}
+	for _, r := range results {
+		qs := quantiles(r.Latencies, 0.1, 0.5, 0.9, 0.99)
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Method,
+			fmt.Sprintf("%.2f", qs[0]), fmt.Sprintf("%.2f", qs[1]),
+			fmt.Sprintf("%.2f", qs[2]), fmt.Sprintf("%.2f", qs[3]),
+		})
+	}
+	return t
+}
+
+// Fig9b measures offline pre-training time as the corpus grows. Sizes
+// are numbers of executions; the paper sweeps 1k..15k DAGs.
+func Fig9b(opts Options, sizes []int) (*Table, error) {
+	corpus, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 9b: Offline pre-training time vs corpus size",
+		Header: []string{"# executions", "training time"},
+	}
+	for _, size := range sizes {
+		sub := corpus
+		if size < corpus.Len() {
+			sub = &history.Corpus{Executions: corpus.Executions[:size]}
+		}
+		cfg := streamtune.DefaultConfig()
+		cfg.Train.Epochs = opts.TrainEpochs
+		start := time.Now()
+		if _, err := streamtune.PreTrain(sub, cfg); err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", sub.Len()),
+			time.Since(start).Round(time.Millisecond).String(),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,387 @@
+// Package ged computes Graph Edit Distance between logical dataflow
+// DAGs. The edit operations follow §IV-C of the StreamTune paper: node
+// insertion, node deletion, edge insertion, edge deletion, operator-type
+// modification and edge-direction modification (a reversed edge costs
+// one modification rather than a deletion plus an insertion).
+//
+// Two solvers are provided:
+//
+//   - AStar: best-first search over partial node mappings with a
+//     label-set lower bound in the style of AStar+-LSa, supporting
+//     threshold pruning for similarity search.
+//   - Direct: the same search with the trivial zero lower bound — the
+//     "directly computing GED" baseline of the paper's Fig. 11b.
+//
+// Dataflow DAGs are small (tens of nodes), so exact search is practical,
+// exactly as the paper argues.
+package ged
+
+import (
+	"math"
+	"sort"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// graphView is the compact labeled-digraph view used by the solvers.
+type graphView struct {
+	n      int
+	labels []int    // operator type per node
+	adj    [][]bool // adjacency matrix, adj[u][v] = edge u->v
+	edges  int
+}
+
+func view(g *dag.Graph) *graphView {
+	n := g.NumOperators()
+	v := &graphView{n: n, labels: make([]int, n), adj: make([][]bool, n)}
+	for i := 0; i < n; i++ {
+		v.labels[i] = int(g.OperatorAt(i).Type)
+		v.adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for _, d := range g.Downstream(i) {
+			v.adj[i][d] = true
+			v.edges++
+		}
+	}
+	return v
+}
+
+// Unit costs for every edit operation (the paper counts operations).
+const (
+	costNode     = 1.0 // node insertion or deletion
+	costEdge     = 1.0 // edge insertion or deletion
+	costRelabel  = 1.0 // operator type modification
+	costEdgeFlip = 1.0 // edge direction modification
+)
+
+// Distance computes the exact GED between g1 and g2 using the label-set
+// lower bound (AStar+-LS style best-first search).
+func Distance(g1, g2 *dag.Graph) float64 {
+	d, _ := search(view(g1), view(g2), math.Inf(1), true)
+	return d
+}
+
+// DistanceDirect computes the exact GED with the zero heuristic — the
+// "directly computing GED" baseline. It explores far more states.
+func DistanceDirect(g1, g2 *dag.Graph) float64 {
+	d, _ := search(view(g1), view(g2), math.Inf(1), false)
+	return d
+}
+
+// WithinThreshold reports whether ged(g1, g2) <= tau, pruning the search
+// at tau. It also returns the exact distance when within threshold
+// (otherwise the returned distance is math.Inf(1)).
+func WithinThreshold(g1, g2 *dag.Graph, tau float64) (bool, float64) {
+	d, pruned := search(view(g1), view(g2), tau, true)
+	if d <= tau {
+		return true, d
+	}
+	_ = pruned
+	return false, math.Inf(1)
+}
+
+// SearchStats counts explored states for benchmarking solver efficiency.
+type SearchStats struct {
+	Expanded int
+}
+
+// DistanceWithStats is Distance but also reports search effort.
+func DistanceWithStats(g1, g2 *dag.Graph, useBound bool) (float64, SearchStats) {
+	v1, v2 := view(g1), view(g2)
+	var stats SearchStats
+	d := astar(v1, v2, math.Inf(1), useBound, &stats)
+	return d, stats
+}
+
+// state is a partial mapping of g1's nodes [0..k) onto g2 nodes or -1
+// (deletion).
+type state struct {
+	k       int   // next g1 node to map
+	mapping []int // mapping[i] for i < k: g2 node or -1
+	used    []bool
+	g       float64 // cost so far
+	f       float64 // g + lower bound
+}
+
+// priority queue of states ordered by f.
+type pq []*state
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].f < q[j].f }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x *state)     { *q = append(*q, x) }
+func (q *pq) Pop() *state {
+	old := *q
+	n := len(old)
+	// Standard binary-heap pop.
+	top := old[0]
+	old[0] = old[n-1]
+	*q = old[:n-1]
+	down(*q, 0)
+	return top
+}
+
+func up(q pq, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].f <= q[i].f {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+}
+
+func down(q pq, i int) {
+	n := len(q)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q[l].f < q[small].f {
+			small = l
+		}
+		if r < n && q[r].f < q[small].f {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+}
+
+func (q *pq) push(s *state) {
+	*q = append(*q, s)
+	up(*q, len(*q)-1)
+}
+
+func search(v1, v2 *graphView, tau float64, useBound bool) (float64, bool) {
+	var stats SearchStats
+	d := astar(v1, v2, tau, useBound, &stats)
+	return d, d > tau
+}
+
+// astar runs best-first search over node-mapping prefixes. States map
+// g1 nodes in index order; when all g1 nodes are mapped, remaining g2
+// nodes are insertions and the edge cost is finalized exactly.
+func astar(v1, v2 *graphView, tau float64, useBound bool, stats *SearchStats) float64 {
+	start := &state{mapping: make([]int, 0, v1.n), used: make([]bool, v2.n)}
+	start.f = 0
+	if useBound {
+		start.f = labelSetBound(v1, v2, start)
+	}
+	open := pq{}
+	open.push(start)
+	best := math.Inf(1)
+
+	for len(open) > 0 {
+		cur := open.Pop()
+		if cur.f >= best || cur.f > tau {
+			// Best-first: first goal popped is optimal; anything with
+			// f beyond the threshold can be discarded.
+			if cur.f > tau {
+				return cur.f
+			}
+			continue
+		}
+		stats.Expanded++
+		if cur.k == v1.n {
+			total := cur.g + finishCost(v1, v2, cur)
+			if total < best {
+				best = total
+			}
+			if best <= cur.f {
+				return best
+			}
+			continue
+		}
+		i := cur.k
+		// Option A: map node i to each unused g2 node.
+		for j := 0; j < v2.n; j++ {
+			if cur.used[j] {
+				continue
+			}
+			g := cur.g + substCost(v1, v2, cur, i, j)
+			child := extend(cur, j, g)
+			child.f = g
+			if useBound {
+				child.f += labelSetBound(v1, v2, child)
+			}
+			if child.f < best && child.f <= tau {
+				open.push(child)
+			}
+		}
+		// Option B: delete node i.
+		g := cur.g + costNode + deleteEdgeCost(v1, cur, i)
+		child := extend(cur, -1, g)
+		child.f = g
+		if useBound {
+			child.f += labelSetBound(v1, v2, child)
+		}
+		if child.f < best && child.f <= tau {
+			open.push(child)
+		}
+	}
+	return best
+}
+
+func extend(s *state, j int, g float64) *state {
+	m := make([]int, s.k+1)
+	copy(m, s.mapping)
+	m[s.k] = j
+	used := append([]bool(nil), s.used...)
+	if j >= 0 {
+		used[j] = true
+	}
+	return &state{k: s.k + 1, mapping: m, used: used, g: g}
+}
+
+// substCost is the incremental cost of mapping g1 node i onto g2 node j:
+// relabeling if types differ, plus edge edits against all previously
+// mapped nodes.
+func substCost(v1, v2 *graphView, s *state, i, j int) float64 {
+	c := 0.0
+	if v1.labels[i] != v2.labels[j] {
+		c += costRelabel
+	}
+	for a := 0; a < s.k; a++ {
+		b := s.mapping[a]
+		c += edgePairCost(v1, v2, a, i, b, j)
+	}
+	return c
+}
+
+// edgePairCost compares the edges between g1 nodes (a, i) with the edges
+// between their images (b, j), accounting for direction modification.
+func edgePairCost(v1, v2 *graphView, a, i, b, j int) float64 {
+	fwd1, bwd1 := v1.adj[a][i], v1.adj[i][a]
+	var fwd2, bwd2 bool
+	if b >= 0 && j >= 0 {
+		fwd2, bwd2 = v2.adj[b][j], v2.adj[j][b]
+	}
+	// Count matching by direction; a mismatch in orientation costs one
+	// flip, a presence mismatch costs one insertion/deletion.
+	switch {
+	case fwd1 == fwd2 && bwd1 == bwd2:
+		return 0
+	case fwd1 != fwd2 && bwd1 != bwd2:
+		// Either a flip (one edge each, opposite directions) or two edits.
+		if (fwd1 || bwd1) && (fwd2 || bwd2) {
+			return costEdgeFlip
+		}
+		return 2 * costEdge
+	default:
+		return costEdge
+	}
+}
+
+// deleteEdgeCost is the cost of the edges from deleted g1 node i to all
+// previously mapped g1 nodes.
+func deleteEdgeCost(v1 *graphView, s *state, i int) float64 {
+	c := 0.0
+	for a := 0; a < s.k; a++ {
+		if v1.adj[a][i] {
+			c += costEdge
+		}
+		if v1.adj[i][a] {
+			c += costEdge
+		}
+	}
+	return c
+}
+
+// finishCost finalizes a complete g1 mapping: unused g2 nodes are
+// insertions (plus their induced edges among themselves and to mapped
+// images), and unmatched g2 edges between images are insertions.
+func finishCost(v1, v2 *graphView, s *state) float64 {
+	c := 0.0
+	for j := 0; j < v2.n; j++ {
+		if !s.used[j] {
+			c += costNode
+		}
+	}
+	// Edges of g2 not yet accounted: any edge with at least one endpoint
+	// unused, plus edges between used images that had no counterpart —
+	// the latter were already charged in substCost via edgePairCost.
+	for x := 0; x < v2.n; x++ {
+		for y := 0; y < v2.n; y++ {
+			if v2.adj[x][y] && (!s.used[x] || !s.used[y]) {
+				c += costEdge
+			}
+		}
+	}
+	return c
+}
+
+// labelSetBound is the LS lower bound: the multiset edit distance
+// between the unmapped labels of g1 and g2, plus a degree-based edge
+// bound. It is admissible: every unmapped g1 node must be either
+// relabeled/matched to an unmapped g2 label or deleted.
+func labelSetBound(v1, v2 *graphView, s *state) float64 {
+	rem1 := v1.n - s.k
+	var labels1 []int
+	for i := s.k; i < v1.n; i++ {
+		labels1 = append(labels1, v1.labels[i])
+	}
+	var labels2 []int
+	rem2 := 0
+	for j := 0; j < v2.n; j++ {
+		if !s.used[j] {
+			labels2 = append(labels2, v2.labels[j])
+			rem2++
+		}
+	}
+	common := multisetIntersection(labels1, labels2)
+	small := rem1
+	if rem2 < small {
+		small = rem2
+	}
+	nodeBound := float64(small-common)*costRelabel + math.Abs(float64(rem1-rem2))*costNode
+
+	// Edge-count bound over the unmapped region: edges wholly inside the
+	// unmapped region must be edited if counts differ.
+	e1 := regionEdges(v1, s.k)
+	e2 := 0
+	for x := 0; x < v2.n; x++ {
+		for y := 0; y < v2.n; y++ {
+			if v2.adj[x][y] && !s.used[x] && !s.used[y] {
+				e2++
+			}
+		}
+	}
+	edgeBound := math.Abs(float64(e1-e2)) * costEdge
+	return nodeBound + edgeBound
+}
+
+func regionEdges(v *graphView, from int) int {
+	e := 0
+	for x := from; x < v.n; x++ {
+		for y := from; y < v.n; y++ {
+			if v.adj[x][y] {
+				e++
+			}
+		}
+	}
+	return e
+}
+
+func multisetIntersection(a, b []int) int {
+	sort.Ints(a)
+	sort.Ints(b)
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			c++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c
+}

@@ -1,0 +1,154 @@
+package ged
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// mk builds a graph from a type list and edge list over indices.
+func mk(name string, types []dag.OpType, edges [][2]int) *dag.Graph {
+	g := dag.New(name)
+	for i, ty := range types {
+		g.MustAddOperator(&dag.Operator{ID: fmt.Sprintf("n%d", i), Type: ty})
+	}
+	for _, e := range edges {
+		g.MustAddEdge(fmt.Sprintf("n%d", e[0]), fmt.Sprintf("n%d", e[1]))
+	}
+	return g
+}
+
+func chain3() *dag.Graph {
+	return mk("c3", []dag.OpType{dag.Source, dag.Map, dag.Sink}, [][2]int{{0, 1}, {1, 2}})
+}
+
+func TestDistanceIdentical(t *testing.T) {
+	a, b := chain3(), chain3()
+	if d := Distance(a, b); d != 0 {
+		t.Fatalf("GED(identical) = %v, want 0", d)
+	}
+}
+
+func TestDistanceRelabel(t *testing.T) {
+	a := chain3()
+	b := mk("c3f", []dag.OpType{dag.Source, dag.Filter, dag.Sink}, [][2]int{{0, 1}, {1, 2}})
+	if d := Distance(a, b); d != 1 {
+		t.Fatalf("GED(one relabel) = %v, want 1", d)
+	}
+}
+
+func TestDistanceNodeInsertion(t *testing.T) {
+	a := chain3()
+	b := mk("c4", []dag.OpType{dag.Source, dag.Map, dag.Filter, dag.Sink},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}})
+	// Insert one filter node plus rewire: delete edge map->sink, add
+	// map->filter, filter->sink => node + 1 edge del + 2 edge ins is one
+	// optimal script of cost 4, but mapping may do better: map n2(sink)
+	// to filter (relabel 1) and insert sink (1) + edge (1) = 3.
+	d := Distance(a, b)
+	if d < 1 || d > 4 {
+		t.Fatalf("GED = %v, want in [1,4]", d)
+	}
+	// Verify symmetry.
+	if d2 := Distance(b, a); d2 != d {
+		t.Fatalf("GED not symmetric: %v vs %v", d, d2)
+	}
+}
+
+func TestDistanceEdgeFlip(t *testing.T) {
+	a := mk("ab", []dag.OpType{dag.Map, dag.Map}, [][2]int{{0, 1}})
+	b := mk("ba", []dag.OpType{dag.Map, dag.Map}, [][2]int{{1, 0}})
+	// Identity mapping costs one direction modification; any other
+	// mapping also achieves <= 1 here. The flip op caps this at 1.
+	if d := Distance(a, b); d > 1 {
+		t.Fatalf("GED(flipped edge) = %v, want <= 1", d)
+	}
+}
+
+func TestDistanceMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		a := randomDAG(rng, 2+rng.Intn(4))
+		b := randomDAG(rng, 2+rng.Intn(4))
+		fast := Distance(a, b)
+		slow := DistanceDirect(a, b)
+		if fast != slow {
+			t.Fatalf("trial %d: bounded %v != direct %v\nA: %s\nB: %s", trial, fast, slow, a, b)
+		}
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		g1 := randomDAG(rng, 2+rng.Intn(3))
+		g2 := randomDAG(rng, 2+rng.Intn(3))
+		g3 := randomDAG(rng, 2+rng.Intn(3))
+		d13 := Distance(g1, g3)
+		d12 := Distance(g1, g2)
+		d23 := Distance(g2, g3)
+		if d13 > d12+d23+1e-9 {
+			t.Fatalf("triangle violated: d13=%v > d12=%v + d23=%v", d13, d12, d23)
+		}
+	}
+}
+
+func TestWithinThreshold(t *testing.T) {
+	a := chain3()
+	b := mk("c3f", []dag.OpType{dag.Source, dag.Filter, dag.Sink}, [][2]int{{0, 1}, {1, 2}})
+	ok, d := WithinThreshold(a, b, 2)
+	if !ok || d != 1 {
+		t.Fatalf("WithinThreshold(tau=2) = (%v, %v), want (true, 1)", ok, d)
+	}
+	big := mk("big", []dag.OpType{dag.Source, dag.Join, dag.Join, dag.Aggregate, dag.WindowJoin, dag.Sink},
+		[][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	ok, d = WithinThreshold(a, big, 1)
+	if ok {
+		t.Fatalf("distant graphs reported within tau=1 (d=%v)", d)
+	}
+	if !math.IsInf(d, 1) {
+		t.Fatalf("out-of-threshold distance = %v, want +Inf", d)
+	}
+}
+
+func TestBoundReducesExpandedStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomDAG(rng, 7)
+	b := randomDAG(rng, 7)
+	_, withBound := DistanceWithStats(a, b, true)
+	_, noBound := DistanceWithStats(a, b, false)
+	if withBound.Expanded >= noBound.Expanded {
+		t.Fatalf("LS bound expanded %d states, direct %d; bound should prune",
+			withBound.Expanded, noBound.Expanded)
+	}
+}
+
+func TestDistanceSelfRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(6))
+		if d := Distance(g, g); d != 0 {
+			t.Fatalf("GED(g,g) = %v, want 0 for %s", d, g)
+		}
+	}
+}
+
+// randomDAG builds a random labeled DAG with edges oriented low -> high.
+func randomDAG(rng *rand.Rand, n int) *dag.Graph {
+	types := make([]dag.OpType, n)
+	for i := range types {
+		types[i] = dag.OpType(rng.Intn(dag.NumOpTypes()))
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.4 {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return mk(fmt.Sprintf("rnd%d", rng.Int()), types, edges)
+}

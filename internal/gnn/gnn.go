@@ -1,0 +1,188 @@
+// Package gnn implements the StreamTune GNN-based dataflow encoder: a
+// message-passing network over logical dataflow DAGs trained on the
+// operator-level bottleneck classification task.
+//
+// Each layer aggregates the mean of upstream and downstream neighbor
+// states with separate weights (dataflow direction matters) and applies
+// a shared update. Following the paper's parallelism-handling strategy
+// ("parallelism is incorporated into the model only after all other
+// features are encoded"), the FUSE transform of Eq. 3 injects the
+// normalized parallelism degree once, after the final message-passing
+// iteration, preserving dimensionality. The pre-FUSE node states are the
+// parallelism-agnostic embeddings used during online fine-tuning; the
+// post-FUSE states feed the prediction head, so pre-training shapes the
+// agnostic embeddings to carry exactly the signal the fine-tuned
+// [embedding, parallelism] classifier needs.
+//
+// A two-layer MLP head with a sigmoid produces per-operator bottleneck
+// probabilities during pre-training.
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/nn"
+)
+
+// Config parameterizes an Encoder.
+type Config struct {
+	// Hidden is the node-state width.
+	Hidden int
+	// Layers is the number of message-passing iterations.
+	Layers int
+	// PMax normalizes parallelism degrees into [0,1].
+	PMax int
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+// DefaultConfig returns the encoder configuration used throughout the
+// reproduction.
+func DefaultConfig() Config {
+	return Config{Hidden: 32, Layers: 2, PMax: 100, Seed: 1}
+}
+
+// Encoder is the GNN encoder plus its pre-training prediction head.
+type Encoder struct {
+	cfg Config
+
+	input *nn.Linear   // feature projection
+	selfW []*nn.Linear // per-layer self transform
+	upW   []*nn.Linear // per-layer upstream aggregation transform
+	downW []*nn.Linear // per-layer downstream aggregation transform
+	fuse  *nn.Linear   // FUSE (hidden+1 -> hidden), applied after the last layer
+	head  *nn.MLP      // bottleneck prediction head
+}
+
+// NewEncoder creates a randomly initialized encoder.
+func NewEncoder(cfg Config) *Encoder {
+	if cfg.Hidden <= 0 || cfg.Layers <= 0 {
+		panic(fmt.Sprintf("gnn: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := &Encoder{cfg: cfg}
+	e.input = nn.NewLinear(dag.FeatureDim, cfg.Hidden, rng)
+	for l := 0; l < cfg.Layers; l++ {
+		e.selfW = append(e.selfW, nn.NewLinear(cfg.Hidden, cfg.Hidden, rng))
+		e.upW = append(e.upW, nn.NewLinear(cfg.Hidden, cfg.Hidden, rng))
+		e.downW = append(e.downW, nn.NewLinear(cfg.Hidden, cfg.Hidden, rng))
+	}
+	e.fuse = nn.NewLinear(cfg.Hidden+1, cfg.Hidden, rng)
+	e.head = nn.NewMLP(rng, cfg.Hidden, cfg.Hidden/2, 1)
+	return e
+}
+
+// Config returns the encoder configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Params returns all trainable parameters including the prediction head.
+func (e *Encoder) Params() []*nn.Node {
+	ps := e.input.Params()
+	for l := 0; l < e.cfg.Layers; l++ {
+		ps = append(ps, e.selfW[l].Params()...)
+		ps = append(ps, e.upW[l].Params()...)
+		ps = append(ps, e.downW[l].Params()...)
+	}
+	ps = append(ps, e.fuse.Params()...)
+	return append(ps, e.head.Params()...)
+}
+
+// aggMatrices builds the row-normalized upstream and downstream
+// aggregation matrices of g.
+func aggMatrices(g *dag.Graph) (up, down *nn.Matrix) {
+	n := g.NumOperators()
+	up = nn.NewMatrix(n, n)
+	down = nn.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		ups := g.Upstream(v)
+		for _, u := range ups {
+			up.Set(v, u, 1/float64(len(ups)))
+		}
+		downs := g.Downstream(v)
+		for _, d := range downs {
+			down.Set(v, d, 1/float64(len(downs)))
+		}
+	}
+	return up, down
+}
+
+// Forward encodes g and returns (embeddings, bottleneckProbs) as graph
+// nodes of shape n x Hidden and n x 1. If par is non-nil it must assign
+// a parallelism to every operator, the encoder runs in parallelism-aware
+// mode, and the returned embeddings are the post-FUSE states feeding the
+// head; if nil, the returned embeddings are parallelism-agnostic.
+func (e *Encoder) Forward(g *dag.Graph, par map[string]int) (*nn.Node, *nn.Node, error) {
+	n := g.NumOperators()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("gnn: empty graph %q", g.Name)
+	}
+	var pvec *nn.Node
+	if par != nil {
+		pv := nn.NewMatrix(n, 1)
+		for i, op := range g.Operators() {
+			p, ok := par[op.ID]
+			if !ok {
+				return nil, nil, fmt.Errorf("gnn: missing parallelism for %q", op.ID)
+			}
+			pv.Set(i, 0, dag.NormalizeParallelism(p, e.cfg.PMax))
+		}
+		pvec = nn.Leaf(pv)
+	}
+
+	x := nn.Leaf(nn.FromRows(dag.GraphFeatures(g)))
+	upM, downM := aggMatrices(g)
+	up, down := nn.Leaf(upM), nn.Leaf(downM)
+
+	h := nn.ReLU(e.input.Forward(x))
+	for l := 0; l < e.cfg.Layers; l++ {
+		agg := nn.Add(e.selfW[l].Forward(h),
+			nn.Add(e.upW[l].Forward(nn.MatMul(up, h)),
+				e.downW[l].Forward(nn.MatMul(down, h))))
+		h = nn.ReLU(agg)
+	}
+	// Eq. 3: fuse parallelism after all other features are encoded. The
+	// pre-FUSE h is the parallelism-agnostic embedding.
+	headIn := h
+	if pvec != nil {
+		headIn = nn.ReLU(e.fuse.Forward(nn.ConcatCols(h, pvec)))
+	}
+	probs := nn.Sigmoid(e.head.Forward(headIn))
+	return headIn, probs, nil
+}
+
+// Embeddings returns the parallelism-agnostic embedding of every
+// operator of g (by graph index), detached from the autodiff graph.
+func (e *Encoder) Embeddings(g *dag.Graph) ([][]float64, error) {
+	h, _, err := e.Forward(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, h.Val.Rows)
+	for i := range out {
+		out[i] = h.Val.Row(i)
+	}
+	return out, nil
+}
+
+// PredictBottleneck returns per-operator bottleneck probabilities under
+// the given deployment.
+func (e *Encoder) PredictBottleneck(g *dag.Graph, par map[string]int) ([]float64, error) {
+	_, probs, err := e.Forward(g, par)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, probs.Val.Rows)
+	for i := range out {
+		out[i] = probs.Val.Data[i]
+	}
+	return out, nil
+}
+
+// MarshalParams serializes the encoder weights.
+func (e *Encoder) MarshalParams() ([]byte, error) { return nn.MarshalParams(e.Params()) }
+
+// UnmarshalParams restores encoder weights produced by MarshalParams on
+// an encoder with identical configuration.
+func (e *Encoder) UnmarshalParams(data []byte) error { return nn.UnmarshalParams(data, e.Params()) }

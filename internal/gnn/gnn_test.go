@@ -1,0 +1,207 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+func testGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	g, err := nexmark.Build(nexmark.Q3, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func allOnes(g *dag.Graph) map[string]int {
+	p := make(map[string]int)
+	for _, op := range g.Operators() {
+		p[op.ID] = 1
+	}
+	return p
+}
+
+func TestForwardShapes(t *testing.T) {
+	g := testGraph(t)
+	enc := NewEncoder(DefaultConfig())
+	emb, probs, err := enc.Forward(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Val.Rows != g.NumOperators() || emb.Val.Cols != enc.Config().Hidden {
+		t.Fatalf("embedding shape %dx%d, want %dx%d", emb.Val.Rows, emb.Val.Cols, g.NumOperators(), enc.Config().Hidden)
+	}
+	if probs.Val.Rows != g.NumOperators() || probs.Val.Cols != 1 {
+		t.Fatalf("probs shape %dx%d", probs.Val.Rows, probs.Val.Cols)
+	}
+	for i := 0; i < probs.Val.Rows; i++ {
+		p := probs.Val.Data[i]
+		if p <= 0 || p >= 1 {
+			t.Fatalf("prob[%d] = %v outside (0,1)", i, p)
+		}
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	if _, _, err := enc.Forward(dag.New("empty"), nil); err == nil {
+		t.Fatal("expected empty-graph error")
+	}
+	g := testGraph(t)
+	if _, _, err := enc.Forward(g, map[string]int{"bids": 1}); err == nil {
+		t.Fatal("expected missing-parallelism error")
+	}
+}
+
+func TestParallelismChangesPrediction(t *testing.T) {
+	g := testGraph(t)
+	enc := NewEncoder(DefaultConfig())
+	p1, err := enc.PredictBottleneck(g, allOnes(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := allOnes(g)
+	for k := range high {
+		high[k] = 90
+	}
+	p2, err := enc.PredictBottleneck(g, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range p1 {
+		diff += math.Abs(p1[i] - p2[i])
+	}
+	if diff == 0 {
+		t.Fatal("FUSE ignores parallelism: identical predictions at p=1 and p=90")
+	}
+}
+
+func TestAgnosticEmbeddingIndependentOfParallelism(t *testing.T) {
+	g := testGraph(t)
+	enc := NewEncoder(DefaultConfig())
+	e1, err := enc.Embeddings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := enc.Embeddings(g)
+	for i := range e1 {
+		for j := range e1[i] {
+			if e1[i][j] != e2[i][j] {
+				t.Fatal("agnostic embeddings not deterministic")
+			}
+		}
+	}
+}
+
+func TestEmbeddingsDifferAcrossOperators(t *testing.T) {
+	g := testGraph(t)
+	enc := NewEncoder(DefaultConfig())
+	embs, err := enc.Embeddings(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join and a source must embed differently.
+	ji, _ := g.IndexOf("incremental-join")
+	si, _ := g.IndexOf("auctions")
+	same := true
+	for j := range embs[ji] {
+		if embs[ji][j] != embs[si][j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("join and source have identical embeddings")
+	}
+}
+
+func smallCorpus(t *testing.T) *history.Corpus {
+	t.Helper()
+	q2, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := pqp.Build(pqp.TwoWayJoin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := history.DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 25
+	opts.Engine.MeasureTicks = 40
+	opts.Engine.WarmupTicks = 30
+	c, err := history.Generate([]*dag.Graph{q2, two}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPretrainReducesLossAndBeatsBaseline(t *testing.T) {
+	corpus := smallCorpus(t)
+	cfg := DefaultConfig()
+	opts := DefaultTrainOptions()
+	opts.Epochs = 20
+	enc, losses, err := Pretrain(corpus, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != opts.Epochs {
+		t.Fatalf("got %d epoch losses, want %d", len(losses), opts.Epochs)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	// Pre-training uses a positive-weighted loss, so judge by balanced
+	// accuracy: a majority-class predictor scores 0.5.
+	bacc, err := BalancedAccuracy(enc, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bacc < 0.7 {
+		t.Fatalf("balanced accuracy %.3f, want >= 0.7 (majority baseline is 0.5)", bacc)
+	}
+}
+
+func TestPretrainValidation(t *testing.T) {
+	corpus := smallCorpus(t)
+	if _, _, err := Pretrain(&history.Corpus{}, DefaultConfig(), DefaultTrainOptions()); err == nil {
+		t.Fatal("expected empty-corpus error")
+	}
+	bad := DefaultTrainOptions()
+	bad.Epochs = 0
+	if _, _, err := Pretrain(corpus, DefaultConfig(), bad); err == nil {
+		t.Fatal("expected invalid-options error")
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	a := NewEncoder(DefaultConfig())
+	data, err := a.MarshalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 999 // different init, overwritten by restore
+	b := NewEncoder(cfg)
+	if err := b.UnmarshalParams(data); err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := a.Embeddings(g)
+	eb, _ := b.Embeddings(g)
+	for i := range ea {
+		for j := range ea[i] {
+			if ea[i][j] != eb[i][j] {
+				t.Fatal("restored encoder produces different embeddings")
+			}
+		}
+	}
+}

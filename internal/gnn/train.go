@@ -1,0 +1,166 @@
+package gnn
+
+import (
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nn"
+)
+
+// TrainOptions configures supervised pre-training of an encoder on
+// bottleneck-labeled execution histories.
+type TrainOptions struct {
+	Epochs       int
+	LearningRate float64
+	// BatchSize is the number of executions whose gradients are
+	// accumulated before each optimizer step.
+	BatchSize int
+}
+
+// DefaultTrainOptions returns the pre-training hyperparameters used in
+// the reproduction.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 30, LearningRate: 5e-3, BatchSize: 8}
+}
+
+// Pretrain trains a fresh encoder on the corpus with the binary
+// cross-entropy objective over labeled operators (paper §IV-A) and
+// returns it along with the per-epoch mean training loss.
+func Pretrain(corpus *history.Corpus, cfg Config, opts TrainOptions) (*Encoder, []float64, error) {
+	if corpus.Len() == 0 {
+		return nil, nil, fmt.Errorf("gnn: empty corpus")
+	}
+	if opts.Epochs <= 0 || opts.BatchSize <= 0 || opts.LearningRate <= 0 {
+		return nil, nil, fmt.Errorf("gnn: invalid train options %+v", opts)
+	}
+	enc := NewEncoder(cfg)
+	opt := nn.NewAdam(enc.Params(), opts.LearningRate)
+
+	// Positive-class weight counteracting label imbalance (bottleneck
+	// labels are sparse: Algorithm 1 labels only the backpressure
+	// frontier).
+	var n0, n1 float64
+	for _, ex := range corpus.Executions {
+		for _, l := range ex.Labels {
+			switch l {
+			case 0:
+				n0++
+			case 1:
+				n1++
+			}
+		}
+	}
+	posWeight := 1.0
+	if n1 > 0 {
+		posWeight = n0 / n1
+		if posWeight > 15 {
+			posWeight = 15
+		}
+		if posWeight < 1 {
+			posWeight = 1
+		}
+	}
+
+	var losses []float64
+	for ep := 0; ep < opts.Epochs; ep++ {
+		total, batches := 0.0, 0
+		inBatch := 0
+		for _, ex := range corpus.Executions {
+			_, probs, err := enc.Forward(ex.Graph, ex.Parallelism)
+			if err != nil {
+				return nil, nil, fmt.Errorf("gnn: forward %s: %w", ex.Graph.Name, err)
+			}
+			loss := nn.MaskedBCEWeighted(probs, ex.Labels, posWeight)
+			if loss.Val.Data[0] == 0 && allUnlabeled(ex.Labels) {
+				continue
+			}
+			nn.Backward(loss)
+			total += loss.Val.Data[0]
+			batches++
+			inBatch++
+			if inBatch >= opts.BatchSize {
+				opt.Step()
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			opt.Step()
+		}
+		if batches == 0 {
+			return nil, nil, fmt.Errorf("gnn: corpus has no labeled operators")
+		}
+		losses = append(losses, total/float64(batches))
+	}
+	return enc, losses, nil
+}
+
+func allUnlabeled(labels []int) bool {
+	for _, l := range labels {
+		if l >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BalancedAccuracy evaluates the mean of per-class recalls on the
+// corpus's labeled operators at a 0.5 threshold. A majority-class
+// predictor scores 0.5 regardless of imbalance.
+func BalancedAccuracy(enc *Encoder, corpus *history.Corpus) (float64, error) {
+	var tp, fn, tn, fp float64
+	for _, ex := range corpus.Executions {
+		probs, err := enc.PredictBottleneck(ex.Graph, ex.Parallelism)
+		if err != nil {
+			return 0, err
+		}
+		for i, l := range ex.Labels {
+			if l < 0 {
+				continue
+			}
+			pred := probs[i] >= 0.5
+			switch {
+			case l == 1 && pred:
+				tp++
+			case l == 1:
+				fn++
+			case pred:
+				fp++
+			default:
+				tn++
+			}
+		}
+	}
+	if tp+fn == 0 || tn+fp == 0 {
+		return 0, fmt.Errorf("gnn: corpus lacks a class for balanced accuracy")
+	}
+	return (tp/(tp+fn) + tn/(tn+fp)) / 2, nil
+}
+
+// Accuracy evaluates classification accuracy of the encoder on the
+// corpus's labeled operators at a 0.5 threshold.
+func Accuracy(enc *Encoder, corpus *history.Corpus) (float64, error) {
+	correct, total := 0, 0
+	for _, ex := range corpus.Executions {
+		probs, err := enc.PredictBottleneck(ex.Graph, ex.Parallelism)
+		if err != nil {
+			return 0, err
+		}
+		for i, l := range ex.Labels {
+			if l < 0 {
+				continue
+			}
+			pred := 0
+			if probs[i] >= 0.5 {
+				pred = 1
+			}
+			if pred == l {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("gnn: no labeled operators to evaluate")
+	}
+	return float64(correct) / float64(total), nil
+}

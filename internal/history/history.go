@@ -1,0 +1,194 @@
+// Package history generates and holds dataflow execution histories: the
+// pre-training corpus of the StreamTune paper. Each execution records a
+// job graph (with the source rates in force), the deployed parallelism,
+// and the operator-level bottleneck labels obtained via Algorithm 1.
+package history
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/streamtune/streamtune/internal/bottleneck"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/workload"
+)
+
+// Execution is one historical run of a streaming job.
+type Execution struct {
+	// Graph is the job's logical DAG with the source rates that were in
+	// force during the run.
+	Graph *dag.Graph
+	// Parallelism maps operator ID to its deployed parallelism degree.
+	Parallelism map[string]int
+	// Labels holds the Algorithm 1 bottleneck labels by graph index
+	// (-1 unlabeled, 0 non-bottleneck, 1 bottleneck).
+	Labels []int
+	// Deficit is the job-level performance shortfall in [0, 1]: zero when
+	// the job sustained its ideal sink throughput, approaching one as
+	// bottlenecks squeeze output. ZeroTune's job-level cost model trains
+	// on this signal.
+	Deficit float64
+	// TotalParallelism is the sum of deployed parallelism degrees.
+	TotalParallelism int
+}
+
+// Corpus is a set of historical executions, typically spanning many
+// distinct job structures.
+type Corpus struct {
+	Executions []Execution
+}
+
+// Len reports the number of executions.
+func (c *Corpus) Len() int { return len(c.Executions) }
+
+// Graphs returns one representative graph per distinct job name.
+func (c *Corpus) Graphs() []*dag.Graph {
+	seen := make(map[string]bool)
+	var out []*dag.Graph
+	for _, e := range c.Executions {
+		if !seen[e.Graph.Name] {
+			seen[e.Graph.Name] = true
+			out = append(out, e.Graph)
+		}
+	}
+	return out
+}
+
+// NodeCountDistribution returns, for each operator count, the fraction
+// of distinct job structures in the corpus with that count (the paper's
+// Fig. 5 view of the pre-training data).
+func (c *Corpus) NodeCountDistribution() map[int]float64 {
+	counts := make(map[int]int)
+	total := 0
+	for _, g := range c.Graphs() {
+		counts[g.NumOperators()]++
+		total++
+	}
+	out := make(map[int]float64, len(counts))
+	for n, k := range counts {
+		out[n] = float64(k) / float64(total)
+	}
+	return out
+}
+
+// Options configures corpus generation.
+type Options struct {
+	// SamplesPerGraph is how many (rate, parallelism) samples to execute
+	// per job structure.
+	SamplesPerGraph int
+	// MaxParallelism bounds the random parallelism draw (paper: [1, 60]).
+	MaxParallelism int
+	// Seed drives sampling and per-run engine noise.
+	Seed int64
+	// Engine is the engine configuration to execute histories with.
+	Engine engine.Config
+}
+
+// DefaultOptions returns the paper's pre-training sampling setup on the
+// given engine flavor.
+func DefaultOptions(f engine.Flavor) Options {
+	cfg := engine.DefaultConfig(f)
+	return Options{
+		SamplesPerGraph: 40,
+		MaxParallelism:  60,
+		Seed:            1,
+		Engine:          cfg,
+	}
+}
+
+// Generate executes SamplesPerGraph randomized runs of every graph and
+// labels each run with Algorithm 1. Source rates are drawn uniformly in
+// (1, 10) rate units, where the graphs' current rates are taken as one
+// unit; parallelism degrees are drawn uniformly in [1, MaxParallelism].
+func Generate(graphs []*dag.Graph, opts Options) (*Corpus, error) {
+	if opts.SamplesPerGraph <= 0 {
+		return nil, fmt.Errorf("history: SamplesPerGraph must be positive")
+	}
+	if opts.MaxParallelism < 1 {
+		return nil, fmt.Errorf("history: MaxParallelism must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	corpus := &Corpus{}
+	for _, base := range graphs {
+		for s := 0; s < opts.SamplesPerGraph; s++ {
+			g := base.Clone()
+			g.ScaleSourceRates(workload.RandomMultiplier(rng))
+
+			cfg := opts.Engine
+			cfg.Seed = rng.Int63()
+			eng, err := engine.New(g, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("history: %s: %w", g.Name, err)
+			}
+			par := make(map[string]int, g.NumOperators())
+			pmax := opts.MaxParallelism
+			if pmax > cfg.MaxParallelism {
+				pmax = cfg.MaxParallelism
+			}
+			for _, op := range g.Operators() {
+				par[op.ID] = 1 + rng.Intn(pmax)
+			}
+			if err := eng.Deploy(par); err != nil {
+				return nil, fmt.Errorf("history: deploy %s: %w", g.Name, err)
+			}
+			m, err := eng.Run()
+			if err != nil {
+				return nil, fmt.Errorf("history: run %s: %w", g.Name, err)
+			}
+			labels, err := bottleneck.ForFlavor(eng.Graph(), m, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("history: label %s: %w", g.Name, err)
+			}
+			corpus.Executions = append(corpus.Executions, Execution{
+				Graph:            eng.Graph(),
+				Parallelism:      par,
+				Labels:           labels,
+				Deficit:          deficit(eng.Graph(), m),
+				TotalParallelism: eng.TotalParallelism(),
+			})
+		}
+	}
+	return corpus, nil
+}
+
+// deficit computes the job-level performance shortfall of one run: one
+// minus the ratio of observed sink throughput to the ground-truth ideal
+// sink throughput at the offered source rates, clamped to [0, 1].
+func deficit(g *dag.Graph, m *engine.JobMetrics) float64 {
+	demand, err := engine.GroundTruthDemand(g)
+	if err != nil {
+		return 0
+	}
+	var ideal float64
+	for _, i := range g.Sinks() {
+		ideal += demand[i]
+	}
+	if ideal <= 0 {
+		return 0
+	}
+	d := 1 - m.Throughput/ideal
+	if d < 0 {
+		d = 0
+	}
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// LabeledCount reports how many operator labels in the corpus are
+// definite (not Unlabeled), and how many of those are bottlenecks.
+func (c *Corpus) LabeledCount() (labeled, bottlenecks int) {
+	for _, e := range c.Executions {
+		for _, l := range e.Labels {
+			if l != bottleneck.Unlabeled {
+				labeled++
+				if l == bottleneck.Bottleneck {
+					bottlenecks++
+				}
+			}
+		}
+	}
+	return labeled, bottlenecks
+}

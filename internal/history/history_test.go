@@ -1,0 +1,140 @@
+package history
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/bottleneck"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+func smallGraphSet(t *testing.T) []*dag.Graph {
+	t.Helper()
+	q2, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := pqp.Build(pqp.Linear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := pqp.Build(pqp.TwoWayJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*dag.Graph{q2, lin, two}
+}
+
+func TestGenerateSmallCorpus(t *testing.T) {
+	opts := DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 8
+	opts.Engine.MeasureTicks = 50
+	graphs := smallGraphSet(t)
+	c, err := Generate(graphs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3*8 {
+		t.Fatalf("corpus size = %d, want 24", c.Len())
+	}
+	for _, e := range c.Executions {
+		if len(e.Labels) != e.Graph.NumOperators() {
+			t.Fatalf("%s: %d labels for %d operators", e.Graph.Name, len(e.Labels), e.Graph.NumOperators())
+		}
+		for _, op := range e.Graph.Operators() {
+			p, ok := e.Parallelism[op.ID]
+			if !ok || p < 1 || p > opts.MaxParallelism {
+				t.Fatalf("%s: parallelism %d for %s outside [1,%d]", e.Graph.Name, p, op.ID, opts.MaxParallelism)
+			}
+		}
+		for _, l := range e.Labels {
+			if l < bottleneck.Unlabeled || l > bottleneck.Bottleneck {
+				t.Fatalf("invalid label %d", l)
+			}
+		}
+	}
+}
+
+func TestGenerateProducesBothClasses(t *testing.T) {
+	// Random parallelism in [1,60] against rates in (1,10) units must
+	// produce both bottleneck and non-bottleneck labels, otherwise the
+	// pre-training task is degenerate.
+	opts := DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 20
+	opts.Engine.MeasureTicks = 50
+	c, err := Generate(smallGraphSet(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, bns := c.LabeledCount()
+	if labeled == 0 {
+		t.Fatal("no labeled operators in corpus")
+	}
+	if bns == 0 {
+		t.Fatal("no bottleneck labels in corpus; loads too light")
+	}
+	if bns == labeled {
+		t.Fatal("all labels are bottleneck; loads too heavy")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	opts := DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 4
+	opts.Engine.MeasureTicks = 30
+	a, err := Generate(smallGraphSet(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(smallGraphSet(t), opts)
+	for i := range a.Executions {
+		ea, eb := a.Executions[i], b.Executions[i]
+		for id, p := range ea.Parallelism {
+			if eb.Parallelism[id] != p {
+				t.Fatal("same seed produced different parallelism samples")
+			}
+		}
+		for j := range ea.Labels {
+			if ea.Labels[j] != eb.Labels[j] {
+				t.Fatal("same seed produced different labels")
+			}
+		}
+	}
+}
+
+func TestGenerateOptionValidation(t *testing.T) {
+	graphs := smallGraphSet(t)
+	opts := DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 0
+	if _, err := Generate(graphs, opts); err == nil {
+		t.Fatal("expected SamplesPerGraph error")
+	}
+	opts = DefaultOptions(engine.Flink)
+	opts.MaxParallelism = 0
+	if _, err := Generate(graphs, opts); err == nil {
+		t.Fatal("expected MaxParallelism error")
+	}
+}
+
+func TestNodeCountDistributionAndGraphs(t *testing.T) {
+	opts := DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 2
+	opts.Engine.MeasureTicks = 20
+	c, err := Generate(smallGraphSet(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Graphs()); got != 3 {
+		t.Fatalf("distinct graphs = %d, want 3", got)
+	}
+	dist := c.NodeCountDistribution()
+	var sum float64
+	for _, f := range dist {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("distribution sums to %v, want 1", sum)
+	}
+}

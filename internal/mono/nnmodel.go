@@ -1,0 +1,79 @@
+package mono
+
+import (
+	"math/rand"
+
+	"github.com/streamtune/streamtune/internal/nn"
+)
+
+// NN is the paper's ablation model: an unconstrained multilayer
+// perceptron over [embedding, parallelism]. It does not enforce the
+// monotonic constraint, so nothing prevents it from predicting a higher
+// bottleneck probability at a higher parallelism — the failure mode the
+// paper's §V-I attributes its backpressure incidents to.
+type NN struct {
+	pmax int
+	seed int64
+
+	Epochs       int
+	LearningRate float64
+	Hidden       int
+
+	mlp *nn.MLP
+}
+
+// NewNN creates an untrained unconstrained MLP model.
+func NewNN(pmax int, seed int64) *NN {
+	return &NN{pmax: pmax, seed: seed, Epochs: 120, LearningRate: 1e-2, Hidden: 24}
+}
+
+// Name implements Model.
+func (m *NN) Name() string { return "nn" }
+
+// Monotonic implements Model.
+func (m *NN) Monotonic() bool { return false }
+
+func (m *NN) row(emb []float64, p int) []float64 {
+	f := make([]float64, len(emb)+1)
+	copy(f, emb)
+	if m.pmax > 0 {
+		f[len(emb)] = float64(p) / float64(m.pmax)
+	}
+	return f
+}
+
+// Fit implements Model with full-batch Adam on binary cross-entropy.
+func (m *NN) Fit(samples []Sample) error {
+	if err := validate(samples); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.seed))
+	in := len(samples[0].Embedding) + 1
+	m.mlp = nn.NewMLP(rng, in, m.Hidden, m.Hidden/2, 1)
+
+	rows := make([][]float64, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		rows[i] = m.row(s.Embedding, s.Parallelism)
+		labels[i] = s.Label
+	}
+	x := nn.Leaf(nn.FromRows(rows))
+	opt := nn.NewAdam(m.mlp.Params(), m.LearningRate)
+	for ep := 0; ep < m.Epochs; ep++ {
+		probs := nn.Sigmoid(m.mlp.Forward(x))
+		loss := nn.MaskedBCE(probs, labels)
+		nn.Backward(loss)
+		opt.Step()
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (m *NN) Predict(emb []float64, p int) float64 {
+	if m.mlp == nil {
+		return 0.5
+	}
+	x := nn.Leaf(nn.FromRows([][]float64{m.row(emb, p)}))
+	probs := nn.Sigmoid(m.mlp.Forward(x))
+	return probs.Val.Data[0]
+}

@@ -1,0 +1,298 @@
+package mono
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SVM is a soft-margin support vector machine over
+// [RFF(embedding), parallelism] with the monotonic constraint wp <= 0 of
+// Eq. 5 in the paper. The RBF kernel on the embedding is approximated
+// with random Fourier features so the primal problem can be solved with
+// projected subgradient descent (Pegasos-style); the parallelism term
+// stays linear so the constraint is a simple projection.
+type SVM struct {
+	pmax int
+	seed int64
+
+	// Random Fourier feature parameters (fixed at construction).
+	numFeatures int
+	gamma       float64
+	omega       [][]float64 // numFeatures x embeddingDim, lazily sized
+	phase       []float64
+
+	// Standardization statistics of the embedding dimensions, estimated
+	// at Fit time. RBF kernels need comparable feature scales.
+	mean []float64
+	std  []float64
+
+	// Learned parameters.
+	we []float64 // weights over RFF features
+	wp float64   // parallelism weight, constrained <= 0
+	b  float64
+
+	// Hyperparameters.
+	Lambda float64 // L2 regularization
+	Epochs int
+	// PlattScale sharpens the sigmoid mapping margin -> probability.
+	PlattScale float64
+}
+
+// NewSVM creates an untrained monotonic SVM.
+func NewSVM(pmax int, seed int64) *SVM {
+	return &SVM{
+		pmax:        pmax,
+		seed:        seed,
+		numFeatures: 128,
+		gamma:       0.5,
+		Lambda:      1e-4,
+		Epochs:      60,
+		PlattScale:  2.0,
+	}
+}
+
+// Name implements Model.
+func (s *SVM) Name() string { return "svm" }
+
+// Monotonic implements Model.
+func (s *SVM) Monotonic() bool { return true }
+
+// initFeatures draws the random Fourier features for embedding dim d.
+func (s *SVM) initFeatures(d int) {
+	rng := rand.New(rand.NewSource(s.seed))
+	s.omega = make([][]float64, s.numFeatures)
+	s.phase = make([]float64, s.numFeatures)
+	scale := math.Sqrt(2 * s.gamma)
+	for i := range s.omega {
+		s.omega[i] = make([]float64, d)
+		for j := range s.omega[i] {
+			s.omega[i][j] = rng.NormFloat64() * scale
+		}
+		s.phase[i] = 2 * math.Pi * rng.Float64()
+	}
+}
+
+// standardize z-scores the embedding with the Fit-time statistics.
+func (s *SVM) standardize(emb []float64) []float64 {
+	if s.mean == nil {
+		return emb
+	}
+	out := make([]float64, len(emb))
+	for j, x := range emb {
+		if j < len(s.mean) {
+			out[j] = (x - s.mean[j]) / s.std[j]
+		}
+	}
+	return out
+}
+
+// fitStats estimates per-dimension mean/std over the training set.
+func (s *SVM) fitStats(samples []Sample) {
+	d := len(samples[0].Embedding)
+	s.mean = make([]float64, d)
+	s.std = make([]float64, d)
+	for _, sm := range samples {
+		for j, x := range sm.Embedding {
+			s.mean[j] += x
+		}
+	}
+	n := float64(len(samples))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, sm := range samples {
+		for j, x := range sm.Embedding {
+			dx := x - s.mean[j]
+			s.std[j] += dx * dx
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-6 {
+			s.std[j] = 1
+		}
+	}
+}
+
+// medianGamma sets the RBF width by the median pairwise squared distance
+// heuristic over a subsample of standardized embeddings.
+func (s *SVM) medianGamma(samples []Sample, rng *rand.Rand) {
+	limit := 60
+	if len(samples) < limit {
+		limit = len(samples)
+	}
+	idx := rng.Perm(len(samples))[:limit]
+	var d2s []float64
+	for a := 0; a < limit; a++ {
+		for b := a + 1; b < limit; b++ {
+			ea := s.standardize(samples[idx[a]].Embedding)
+			eb := s.standardize(samples[idx[b]].Embedding)
+			d2 := 0.0
+			for j := range ea {
+				dx := ea[j] - eb[j]
+				d2 += dx * dx
+			}
+			d2s = append(d2s, d2)
+		}
+	}
+	if len(d2s) == 0 {
+		return
+	}
+	sort.Float64s(d2s)
+	med := d2s[len(d2s)/2]
+	if med > 1e-9 {
+		s.gamma = 1 / med
+	}
+}
+
+// rff maps a (raw) embedding into the random-Fourier feature space,
+// standardizing first.
+func (s *SVM) rff(emb []float64) []float64 {
+	emb = s.standardize(emb)
+	z := make([]float64, s.numFeatures)
+	norm := math.Sqrt(2 / float64(s.numFeatures))
+	for i := range z {
+		dot := s.phase[i]
+		w := s.omega[i]
+		for j, x := range emb {
+			if j < len(w) {
+				dot += w[j] * x
+			}
+		}
+		z[i] = norm * math.Cos(dot)
+	}
+	return z
+}
+
+func (s *SVM) normP(p int) float64 {
+	if s.pmax <= 0 {
+		return 0
+	}
+	return float64(p) / float64(s.pmax)
+}
+
+// margin computes the decision value f(x) = we . rff(h) + wp*p + b.
+func (s *SVM) margin(emb []float64, p int) float64 {
+	z := s.rff(emb)
+	f := s.b + s.wp*s.normP(p)
+	for i, zi := range z {
+		f += s.we[i] * zi
+	}
+	return f
+}
+
+// Fit implements Model with projected subgradient descent on the primal
+// hinge-loss objective. Labels are mapped to y in {-1, +1} with +1 =
+// bottleneck; the projection wp = min(wp, 0) enforces the monotonic
+// constraint after every update.
+func (s *SVM) Fit(samples []Sample) error {
+	if err := validate(samples); err != nil {
+		return err
+	}
+	d := len(samples[0].Embedding)
+	s.fitStats(samples)
+	rngGamma := rand.New(rand.NewSource(s.seed + 2))
+	s.medianGamma(samples, rngGamma)
+	s.initFeatures(d)
+	s.we = make([]float64, s.numFeatures)
+	s.wp, s.b = 0, 0
+
+	// Precompute feature vectors.
+	zs := make([][]float64, len(samples))
+	ps := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, sm := range samples {
+		zs[i] = s.rff(sm.Embedding)
+		ps[i] = s.normP(sm.Parallelism)
+		ys[i] = -1
+		if sm.Label == 1 {
+			ys[i] = 1
+		}
+	}
+
+	// Cost-sensitive hinge: weight the minority bottleneck class up so
+	// that imbalanced histories (over-provisioned runs dominate) do not
+	// collapse the model to "never a bottleneck".
+	n0, n1 := 0.0, 0.0
+	for _, y := range ys {
+		if y > 0 {
+			n1++
+		} else {
+			n0++
+		}
+	}
+	posWeight := 1.0
+	if n1 > 0 {
+		posWeight = math.Min(math.Max(n0/n1, 1), 20)
+	}
+
+	rng := rand.New(rand.NewSource(s.seed + 1))
+	order := rng.Perm(len(samples))
+	t := 0
+	// Polyak averaging over the second half of training damps the
+	// variance of the stochastic subgradient path, keeping repeated
+	// refits (Algorithm 2 refits every iteration) stable.
+	avgWe := make([]float64, s.numFeatures)
+	var avgWp, avgB float64
+	avgCount := 0
+	avgFrom := s.Epochs / 2
+	for ep := 0; ep < s.Epochs; ep++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			t++
+			lr := 1 / (s.Lambda * float64(t+100))
+			f := s.b + s.wp*ps[i]
+			for k, zk := range zs[i] {
+				f += s.we[k] * zk
+			}
+			// L2 shrinkage.
+			for k := range s.we {
+				s.we[k] *= 1 - lr*s.Lambda
+			}
+			s.wp *= 1 - lr*s.Lambda
+			if ys[i]*f < 1 {
+				w := 1.0
+				if ys[i] > 0 {
+					w = posWeight
+				}
+				for k, zk := range zs[i] {
+					s.we[k] += lr * w * ys[i] * zk
+				}
+				s.wp += lr * w * ys[i] * ps[i]
+				s.b += lr * w * ys[i] * 0.1
+			}
+			// Monotonic projection (Eq. 5: wp <= 0).
+			if s.wp > 0 {
+				s.wp = 0
+			}
+		}
+		if ep >= avgFrom {
+			for k := range avgWe {
+				avgWe[k] += s.we[k]
+			}
+			avgWp += s.wp
+			avgB += s.b
+			avgCount++
+		}
+	}
+	if avgCount > 0 {
+		for k := range avgWe {
+			s.we[k] = avgWe[k] / float64(avgCount)
+		}
+		s.wp = avgWp / float64(avgCount)
+		s.b = avgB / float64(avgCount)
+		if s.wp > 0 {
+			s.wp = 0
+		}
+	}
+	return nil
+}
+
+// Predict implements Model, mapping the margin through a scaled sigmoid.
+func (s *SVM) Predict(emb []float64, p int) float64 {
+	if s.we == nil {
+		return 0.5
+	}
+	return 1 / (1 + math.Exp(-s.PlattScale*s.margin(emb, p)))
+}

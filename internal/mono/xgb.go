@@ -1,0 +1,234 @@
+package mono
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// XGB is a gradient-boosted tree ensemble on [embedding, parallelism]
+// features with a monotone-decreasing constraint on the parallelism
+// feature, mirroring XGBoost's monotone_constraints implementation:
+// candidate splits on the constrained feature whose left/right leaf
+// values violate the ordering receive gain -inf, and child leaf values
+// are clamped to bounds propagated down the tree.
+type XGB struct {
+	pmax int
+	seed int64
+
+	// Hyperparameters.
+	Rounds       int
+	MaxDepth     int
+	LearningRate float64
+	Lambda       float64 // L2 on leaf weights
+	Gamma        float64 // min split gain
+	MinChild     float64 // min hessian sum per child
+
+	base  float64 // initial log-odds
+	trees []*xgbNode
+	pIdx  int // feature index of parallelism
+}
+
+// NewXGB creates an untrained monotone gradient-boosted tree model.
+func NewXGB(pmax int, seed int64) *XGB {
+	return &XGB{
+		pmax:         pmax,
+		seed:         seed,
+		Rounds:       40,
+		MaxDepth:     4,
+		LearningRate: 0.3,
+		Lambda:       1.0,
+		Gamma:        0.0,
+		MinChild:     1.0,
+	}
+}
+
+// Name implements Model.
+func (x *XGB) Name() string { return "xgb" }
+
+// Monotonic implements Model.
+func (x *XGB) Monotonic() bool { return true }
+
+type xgbNode struct {
+	feature int
+	thresh  float64
+	left    *xgbNode
+	right   *xgbNode
+	weight  float64
+	leaf    bool
+}
+
+func (n *xgbNode) eval(x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.weight
+}
+
+func (x *XGB) features(emb []float64, p int) []float64 {
+	f := make([]float64, len(emb)+1)
+	copy(f, emb)
+	if x.pmax > 0 {
+		f[len(emb)] = float64(p) / float64(x.pmax)
+	}
+	return f
+}
+
+// Fit implements Model.
+func (x *XGB) Fit(samples []Sample) error {
+	if err := validate(samples); err != nil {
+		return err
+	}
+	n := len(samples)
+	x.pIdx = len(samples[0].Embedding)
+	feats := make([][]float64, n)
+	ys := make([]float64, n)
+	for i, s := range samples {
+		feats[i] = x.features(s.Embedding, s.Parallelism)
+		ys[i] = float64(s.Label)
+	}
+
+	// Initial prediction: log-odds of the base rate; positive-class
+	// weighting counters imbalanced histories.
+	pos := 0.0
+	for _, y := range ys {
+		pos += y
+	}
+	rate := math.Min(math.Max(pos/float64(n), 1e-3), 1-1e-3)
+	x.base = math.Log(rate / (1 - rate))
+	x.trees = nil
+	posWeight := 1.0
+	if pos > 0 {
+		posWeight = math.Min(math.Max((float64(n)-pos)/pos, 1), 10)
+	}
+
+	margins := make([]float64, n)
+	for i := range margins {
+		margins[i] = x.base
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(x.seed))
+
+	for r := 0; r < x.Rounds; r++ {
+		for i := range margins {
+			p := 1 / (1 + math.Exp(-margins[i]))
+			w := 1.0
+			if ys[i] > 0 {
+				w = posWeight
+			}
+			grad[i] = w * (p - ys[i])
+			hess[i] = math.Max(w*p*(1-p), 1e-6)
+		}
+		// Subsample rows for mild stochasticity.
+		rows := idx
+		if n > 20 {
+			rows = rng.Perm(n)[:n*9/10]
+		}
+		tree := x.buildNode(feats, grad, hess, rows, 0, math.Inf(-1), math.Inf(1))
+		if tree == nil {
+			break
+		}
+		x.trees = append(x.trees, tree)
+		for i := range margins {
+			margins[i] += x.LearningRate * tree.eval(feats[i])
+		}
+	}
+	return nil
+}
+
+// leafWeight is the regularized optimal leaf value clamped to [lo, hi].
+func (x *XGB) leafWeight(g, h, lo, hi float64) float64 {
+	w := -g / (h + x.Lambda)
+	return math.Min(math.Max(w, lo), hi)
+}
+
+func (x *XGB) buildNode(feats [][]float64, grad, hess []float64, rows []int, depth int, lo, hi float64) *xgbNode {
+	var G, H float64
+	for _, i := range rows {
+		G += grad[i]
+		H += hess[i]
+	}
+	leaf := &xgbNode{leaf: true, weight: x.leafWeight(G, H, lo, hi)}
+	if depth >= x.MaxDepth || len(rows) < 2 {
+		return leaf
+	}
+
+	parentScore := G * G / (H + x.Lambda)
+	bestGain := x.Gamma
+	var bestFeature int
+	var bestThresh, bestWL, bestWR float64
+	var bestLeft, bestRight []int
+
+	nf := len(feats[rows[0]])
+	order := make([]int, len(rows))
+	for f := 0; f < nf; f++ {
+		copy(order, rows)
+		sort.Slice(order, func(a, b int) bool { return feats[order[a]][f] < feats[order[b]][f] })
+		var gl, hl float64
+		for k := 0; k+1 < len(order); k++ {
+			i := order[k]
+			gl += grad[i]
+			hl += hess[i]
+			if feats[order[k]][f] == feats[order[k+1]][f] {
+				continue
+			}
+			gr, hr := G-gl, H-hl
+			if hl < x.MinChild || hr < x.MinChild {
+				continue
+			}
+			gain := gl*gl/(hl+x.Lambda) + gr*gr/(hr+x.Lambda) - parentScore
+			if gain <= bestGain {
+				continue
+			}
+			wl := x.leafWeight(gl, hl, lo, hi)
+			wr := x.leafWeight(gr, hr, lo, hi)
+			// Monotone-decreasing constraint on the parallelism
+			// feature: higher parallelism (right child) must not
+			// predict a higher bottleneck score.
+			if f == x.pIdx && wl < wr {
+				continue // gain := -inf in XGBoost terms
+			}
+			bestGain = gain
+			bestFeature = f
+			bestThresh = (feats[order[k]][f] + feats[order[k+1]][f]) / 2
+			bestWL, bestWR = wl, wr
+			bestLeft = append(bestLeft[:0], order[:k+1]...)
+			bestRight = append(bestRight[:0], order[k+1:]...)
+		}
+	}
+	if bestLeft == nil {
+		return leaf
+	}
+
+	childLoL, childHiL, childLoR, childHiR := lo, hi, lo, hi
+	if bestFeature == x.pIdx {
+		mid := (bestWL + bestWR) / 2
+		childLoL, childLoR = mid, lo
+		childHiL, childHiR = hi, mid
+	}
+	left := x.buildNode(feats, grad, hess, append([]int(nil), bestLeft...), depth+1, childLoL, childHiL)
+	right := x.buildNode(feats, grad, hess, append([]int(nil), bestRight...), depth+1, childLoR, childHiR)
+	return &xgbNode{feature: bestFeature, thresh: bestThresh, left: left, right: right}
+}
+
+// Predict implements Model.
+func (x *XGB) Predict(emb []float64, p int) float64 {
+	if x.trees == nil && x.base == 0 {
+		return 0.5
+	}
+	f := x.features(emb, p)
+	m := x.base
+	for _, t := range x.trees {
+		m += x.LearningRate * t.eval(f)
+	}
+	return 1 / (1 + math.Exp(-m))
+}

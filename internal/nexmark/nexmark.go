@@ -1,0 +1,207 @@
+// Package nexmark provides logical dataflow DAGs for the Nexmark
+// streaming benchmark queries used in the StreamTune evaluation (Q1, Q2,
+// Q3, Q5 and Q8) together with the per-query source-rate units of
+// Table II.
+//
+// The query shapes follow the paper's characterization: Q1 and Q2 are
+// stateless (map, filter); Q3 is a stateful record-at-a-time two-input
+// incremental join; Q5 uses a sliding window; Q8 uses a tumbling window
+// join.
+package nexmark
+
+import (
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// Query identifies a Nexmark query.
+type Query string
+
+// The Nexmark queries evaluated in the paper.
+const (
+	Q1 Query = "q1"
+	Q2 Query = "q2"
+	Q3 Query = "q3"
+	Q5 Query = "q5"
+	Q8 Query = "q8"
+)
+
+// Queries lists the evaluated Nexmark queries in paper order.
+var Queries = []Query{Q1, Q2, Q3, Q5, Q8}
+
+// RateUnit returns the source-rate unit Wu (records/second) for the
+// query on the given engine flavor, per Table II of the paper. Queries
+// with multiple sources have per-source units; the returned map is keyed
+// by source operator ID.
+func RateUnit(q Query, flavor engine.Flavor) (map[string]float64, error) {
+	type key struct {
+		q Query
+		f engine.Flavor
+	}
+	units := map[key]map[string]float64{
+		{Q1, engine.Flink}:  {"bids": 700e3},
+		{Q1, engine.Timely}: {"bids": 9e6},
+		{Q2, engine.Flink}:  {"bids": 900e3},
+		{Q2, engine.Timely}: {"bids": 9e6},
+		{Q3, engine.Flink}:  {"auctions": 200e3, "persons": 40e3},
+		{Q3, engine.Timely}: {"auctions": 5e6, "persons": 5e6},
+		{Q5, engine.Flink}:  {"bids": 80e3},
+		{Q5, engine.Timely}: {"bids": 10e6},
+		{Q8, engine.Flink}:  {"auctions": 100e3, "persons": 60e3},
+		{Q8, engine.Timely}: {"auctions": 4e6, "persons": 4e6},
+	}
+	u, ok := units[key{q, flavor}]
+	if !ok {
+		return nil, fmt.Errorf("nexmark: no rate unit for %s on %s", q, flavor)
+	}
+	out := make(map[string]float64, len(u))
+	for k, v := range u {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Build constructs the logical dataflow DAG for the query with all
+// source rates set to one rate unit for the given flavor.
+func Build(q Query, flavor engine.Flavor) (*dag.Graph, error) {
+	var g *dag.Graph
+	switch q {
+	case Q1:
+		g = buildQ1()
+	case Q2:
+		g = buildQ2()
+	case Q3:
+		g = buildQ3()
+	case Q5:
+		g = buildQ5()
+	case Q8:
+		g = buildQ8()
+	default:
+		return nil, fmt.Errorf("nexmark: unknown query %q", q)
+	}
+	units, err := RateUnit(q, flavor)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.SetSourceRates(units); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("nexmark: %s: %w", q, err)
+	}
+	return g, nil
+}
+
+// buildQ1 is the currency-conversion query: a stateless map over bids.
+func buildQ1() *dag.Graph {
+	g := dag.New("nexmark-q1")
+	g.MustAddOperator(&dag.Operator{ID: "bids", Type: dag.Source, TupleWidthOut: 96})
+	g.MustAddOperator(&dag.Operator{
+		ID: "currency-map", Type: dag.Map, Selectivity: 1,
+		TupleWidthIn: 96, TupleWidthOut: 96,
+	})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 96})
+	g.MustAddEdge("bids", "currency-map")
+	g.MustAddEdge("currency-map", "sink")
+	return g
+}
+
+// buildQ2 is the selection query: a stateless filter over bids.
+func buildQ2() *dag.Graph {
+	g := dag.New("nexmark-q2")
+	g.MustAddOperator(&dag.Operator{ID: "bids", Type: dag.Source, TupleWidthOut: 96})
+	g.MustAddOperator(&dag.Operator{
+		ID: "auction-filter", Type: dag.Filter, Selectivity: 0.2,
+		TupleWidthIn: 96, TupleWidthOut: 96,
+	})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 96})
+	g.MustAddEdge("bids", "auction-filter")
+	g.MustAddEdge("auction-filter", "sink")
+	return g
+}
+
+// buildQ3 is the local-item-suggestion query: an incremental two-input
+// join of filtered auctions and persons.
+func buildQ3() *dag.Graph {
+	g := dag.New("nexmark-q3")
+	g.MustAddOperator(&dag.Operator{ID: "auctions", Type: dag.Source, TupleWidthOut: 128})
+	g.MustAddOperator(&dag.Operator{ID: "persons", Type: dag.Source, TupleWidthOut: 160})
+	g.MustAddOperator(&dag.Operator{
+		ID: "category-filter", Type: dag.Filter, Selectivity: 0.5,
+		TupleWidthIn: 128, TupleWidthOut: 128,
+	})
+	g.MustAddOperator(&dag.Operator{
+		ID: "state-filter", Type: dag.Filter, Selectivity: 0.3,
+		TupleWidthIn: 160, TupleWidthOut: 160,
+	})
+	g.MustAddOperator(&dag.Operator{
+		ID: "incremental-join", Type: dag.Join, JoinKeyClass: dag.IntKey,
+		Selectivity: 0.6, TupleWidthIn: 144, TupleWidthOut: 192,
+	})
+	g.MustAddOperator(&dag.Operator{
+		ID: "project", Type: dag.Map, Selectivity: 1,
+		TupleWidthIn: 192, TupleWidthOut: 96,
+	})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 96})
+	g.MustAddEdge("auctions", "category-filter")
+	g.MustAddEdge("persons", "state-filter")
+	g.MustAddEdge("category-filter", "incremental-join")
+	g.MustAddEdge("state-filter", "incremental-join")
+	g.MustAddEdge("incremental-join", "project")
+	g.MustAddEdge("project", "sink")
+	return g
+}
+
+// buildQ5 is the hot-items query: a sliding window over bids followed by
+// an aggregation.
+func buildQ5() *dag.Graph {
+	g := dag.New("nexmark-q5")
+	g.MustAddOperator(&dag.Operator{ID: "bids", Type: dag.Source, TupleWidthOut: 96})
+	g.MustAddOperator(&dag.Operator{
+		ID: "sliding-window", Type: dag.WindowOp, WindowType: dag.Sliding,
+		WindowPolicy: dag.TimePolicy, WindowLength: 60, SlidingLength: 5,
+		Selectivity: 0.5, TupleWidthIn: 96, TupleWidthOut: 64,
+	})
+	g.MustAddOperator(&dag.Operator{
+		ID: "max-agg", Type: dag.Aggregate, AggFunc: dag.AggMax,
+		AggClass: dag.IntKey, AggKeyClass: dag.IntKey,
+		Selectivity: 0.2, TupleWidthIn: 64, TupleWidthOut: 48,
+	})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 48})
+	g.MustAddEdge("bids", "sliding-window")
+	g.MustAddEdge("sliding-window", "max-agg")
+	g.MustAddEdge("max-agg", "sink")
+	return g
+}
+
+// buildQ8 is the monitor-new-users query: a tumbling window join of
+// persons and auctions.
+func buildQ8() *dag.Graph {
+	g := dag.New("nexmark-q8")
+	g.MustAddOperator(&dag.Operator{ID: "persons", Type: dag.Source, TupleWidthOut: 160})
+	g.MustAddOperator(&dag.Operator{ID: "auctions", Type: dag.Source, TupleWidthOut: 128})
+	g.MustAddOperator(&dag.Operator{
+		ID: "person-window", Type: dag.WindowOp, WindowType: dag.Tumbling,
+		WindowPolicy: dag.TimePolicy, WindowLength: 10,
+		Selectivity: 0.9, TupleWidthIn: 160, TupleWidthOut: 96,
+	})
+	g.MustAddOperator(&dag.Operator{
+		ID: "auction-window", Type: dag.WindowOp, WindowType: dag.Tumbling,
+		WindowPolicy: dag.TimePolicy, WindowLength: 10,
+		Selectivity: 0.9, TupleWidthIn: 128, TupleWidthOut: 96,
+	})
+	g.MustAddOperator(&dag.Operator{
+		ID: "window-join", Type: dag.WindowJoin, WindowType: dag.Tumbling,
+		WindowPolicy: dag.TimePolicy, WindowLength: 10, JoinKeyClass: dag.IntKey,
+		Selectivity: 0.4, TupleWidthIn: 96, TupleWidthOut: 128,
+	})
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: 128})
+	g.MustAddEdge("persons", "person-window")
+	g.MustAddEdge("auctions", "auction-window")
+	g.MustAddEdge("person-window", "window-join")
+	g.MustAddEdge("auction-window", "window-join")
+	g.MustAddEdge("window-join", "sink")
+	return g
+}

@@ -1,0 +1,139 @@
+package nexmark
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+func TestBuildAllQueriesValid(t *testing.T) {
+	for _, q := range Queries {
+		for _, f := range []engine.Flavor{engine.Flink, engine.Timely} {
+			g, err := Build(q, f)
+			if err != nil {
+				t.Fatalf("Build(%s, %s): %v", q, f, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s/%s invalid: %v", q, f, err)
+			}
+		}
+	}
+}
+
+func TestBuildUnknownQuery(t *testing.T) {
+	if _, err := Build(Query("q99"), engine.Flink); err == nil {
+		t.Fatal("expected error for unknown query")
+	}
+}
+
+func TestRateUnitsMatchTableII(t *testing.T) {
+	cases := []struct {
+		q      Query
+		f      engine.Flavor
+		source string
+		want   float64
+	}{
+		{Q1, engine.Flink, "bids", 700e3},
+		{Q1, engine.Timely, "bids", 9e6},
+		{Q2, engine.Flink, "bids", 900e3},
+		{Q3, engine.Flink, "auctions", 200e3},
+		{Q3, engine.Flink, "persons", 40e3},
+		{Q3, engine.Timely, "persons", 5e6},
+		{Q5, engine.Flink, "bids", 80e3},
+		{Q5, engine.Timely, "bids", 10e6},
+		{Q8, engine.Flink, "auctions", 100e3},
+		{Q8, engine.Timely, "auctions", 4e6},
+	}
+	for _, c := range cases {
+		u, err := RateUnit(c.q, c.f)
+		if err != nil {
+			t.Fatalf("RateUnit(%s, %s): %v", c.q, c.f, err)
+		}
+		if u[c.source] != c.want {
+			t.Errorf("Wu[%s/%s/%s] = %v, want %v", c.q, c.f, c.source, u[c.source], c.want)
+		}
+	}
+}
+
+func TestQueryShapes(t *testing.T) {
+	shapes := map[Query]struct {
+		ops     int
+		sources int
+		keyType dag.OpType // a type that must be present
+	}{
+		Q1: {3, 1, dag.Map},
+		Q2: {3, 1, dag.Filter},
+		Q3: {7, 2, dag.Join},
+		Q5: {4, 1, dag.WindowOp},
+		Q8: {6, 2, dag.WindowJoin},
+	}
+	for q, want := range shapes {
+		g, err := Build(q, engine.Flink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumOperators() != want.ops {
+			t.Errorf("%s has %d operators, want %d", q, g.NumOperators(), want.ops)
+		}
+		if len(g.Sources()) != want.sources {
+			t.Errorf("%s has %d sources, want %d", q, len(g.Sources()), want.sources)
+		}
+		found := false
+		for _, op := range g.Operators() {
+			if op.Type == want.keyType {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing a %s operator", q, want.keyType)
+		}
+	}
+}
+
+func TestQ5UsesSlidingWindowQ8UsesTumbling(t *testing.T) {
+	q5, _ := Build(Q5, engine.Flink)
+	for _, op := range q5.Operators() {
+		if op.Type == dag.WindowOp && op.WindowType != dag.Sliding {
+			t.Errorf("Q5 window is %s, want sliding", op.WindowType)
+		}
+	}
+	q8, _ := Build(Q8, engine.Flink)
+	for _, op := range q8.Operators() {
+		if op.Type == dag.WindowJoin && op.WindowType != dag.Tumbling {
+			t.Errorf("Q8 window join is %s, want tumbling", op.WindowType)
+		}
+	}
+}
+
+func TestQueriesRunnable(t *testing.T) {
+	// Every query must execute free of backpressure at 10 rate units
+	// when deployed at its ground-truth optimum with exact capacities.
+	for _, q := range Queries {
+		g, err := Build(q, engine.Flink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ScaleSourceRates(10)
+		cfg := engine.DefaultConfig(engine.Flink)
+		cfg.CapacityNoise = 0
+		e, err := engine.New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := engine.GroundTruthOptimal(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Deploy(opt); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		m, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Backpressured {
+			t.Errorf("%s backpressured at optimum:\n%s", q, m)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a value in the computation graph. Build graphs with the Op
+// functions (MatMul, Add, ReLU, ...) and call Backward on a scalar loss
+// node to populate gradients.
+type Node struct {
+	Val  *Matrix
+	Grad *Matrix
+
+	requiresGrad bool
+	parents      []*Node
+	backward     func()
+}
+
+// Leaf wraps a constant matrix (no gradient).
+func Leaf(m *Matrix) *Node { return &Node{Val: m} }
+
+// Param wraps a trainable matrix (gradient tracked).
+func Param(m *Matrix) *Node {
+	return &Node{Val: m, Grad: NewMatrix(m.Rows, m.Cols), requiresGrad: true}
+}
+
+func (n *Node) ensureGrad() {
+	if n.Grad == nil {
+		n.Grad = NewMatrix(n.Val.Rows, n.Val.Cols)
+	}
+}
+
+func anyRequiresGrad(nodes ...*Node) bool {
+	for _, n := range nodes {
+		if n.requiresGrad {
+			return true
+		}
+	}
+	return false
+}
+
+func newOp(val *Matrix, backward func(), parents ...*Node) *Node {
+	n := &Node{Val: val, parents: parents, backward: backward}
+	if anyRequiresGrad(parents...) {
+		n.requiresGrad = true
+		n.ensureGrad()
+	}
+	return n
+}
+
+// ZeroGrad clears the gradient of n (if any).
+func (n *Node) ZeroGrad() {
+	if n.Grad != nil {
+		for i := range n.Grad.Data {
+			n.Grad.Data[i] = 0
+		}
+	}
+}
+
+// Backward runs reverse-mode differentiation from the scalar node root.
+func Backward(root *Node) {
+	if root.Val.Rows != 1 || root.Val.Cols != 1 {
+		panic(fmt.Sprintf("nn: Backward root must be scalar, got %dx%d", root.Val.Rows, root.Val.Cols))
+	}
+	// Topological order via DFS.
+	var order []*Node
+	visited := make(map[*Node]bool)
+	var visit func(*Node)
+	visit = func(n *Node) {
+		if visited[n] || !n.requiresGrad {
+			return
+		}
+		visited[n] = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(root)
+	root.ensureGrad()
+	root.Grad.Data[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].backward != nil {
+			order[i].backward()
+		}
+	}
+}
+
+// MatMul multiplies a @ b.
+func MatMul(a, b *Node) *Node {
+	val := MatMulRaw(a.Val, b.Val)
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			addInPlace(a.Grad, MatMulRaw(out.Grad, b.Val.Transpose()))
+		}
+		if b.requiresGrad {
+			b.ensureGrad()
+			addInPlace(b.Grad, MatMulRaw(a.Val.Transpose(), out.Grad))
+		}
+	}, a, b)
+	return out
+}
+
+// Add sums two nodes elementwise. If b is a 1 x C row vector and a is
+// R x C, b broadcasts across rows (the bias pattern).
+func Add(a, b *Node) *Node {
+	broadcast := b.Val.Rows == 1 && a.Val.Rows != 1 && a.Val.Cols == b.Val.Cols
+	if !broadcast && (a.Val.Rows != b.Val.Rows || a.Val.Cols != b.Val.Cols) {
+		panic(fmt.Sprintf("nn: Add shape mismatch %dx%d + %dx%d", a.Val.Rows, a.Val.Cols, b.Val.Rows, b.Val.Cols))
+	}
+	val := a.Val.Clone()
+	for i := 0; i < val.Rows; i++ {
+		for j := 0; j < val.Cols; j++ {
+			if broadcast {
+				val.Data[i*val.Cols+j] += b.Val.At(0, j)
+			} else {
+				val.Data[i*val.Cols+j] += b.Val.At(i, j)
+			}
+		}
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			addInPlace(a.Grad, out.Grad)
+		}
+		if b.requiresGrad {
+			b.ensureGrad()
+			if broadcast {
+				for i := 0; i < out.Grad.Rows; i++ {
+					for j := 0; j < out.Grad.Cols; j++ {
+						b.Grad.Data[j] += out.Grad.At(i, j)
+					}
+				}
+			} else {
+				addInPlace(b.Grad, out.Grad)
+			}
+		}
+	}, a, b)
+	return out
+}
+
+// Scale multiplies every element by c.
+func Scale(a *Node, c float64) *Node {
+	val := a.Val.Clone()
+	for i := range val.Data {
+		val.Data[i] *= c
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] += c * out.Grad.Data[i]
+			}
+		}
+	}, a)
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Node) *Node {
+	val := a.Val.Clone()
+	for i, x := range val.Data {
+		if x < 0 {
+			val.Data[i] = 0
+		}
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i := range a.Grad.Data {
+				if a.Val.Data[i] > 0 {
+					a.Grad.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	}, a)
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Node) *Node {
+	val := a.Val.Clone()
+	for i, x := range val.Data {
+		val.Data[i] = math.Tanh(x)
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i := range a.Grad.Data {
+				t := out.Val.Data[i]
+				a.Grad.Data[i] += (1 - t*t) * out.Grad.Data[i]
+			}
+		}
+	}, a)
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Node) *Node {
+	val := a.Val.Clone()
+	for i, x := range val.Data {
+		val.Data[i] = 1 / (1 + math.Exp(-x))
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i := range a.Grad.Data {
+				s := out.Val.Data[i]
+				a.Grad.Data[i] += s * (1 - s) * out.Grad.Data[i]
+			}
+		}
+	}, a)
+	return out
+}
+
+// ConcatCols concatenates a (R x Ca) and b (R x Cb) into R x (Ca+Cb).
+func ConcatCols(a, b *Node) *Node {
+	if a.Val.Rows != b.Val.Rows {
+		panic(fmt.Sprintf("nn: ConcatCols row mismatch %d vs %d", a.Val.Rows, b.Val.Rows))
+	}
+	ca, cb := a.Val.Cols, b.Val.Cols
+	val := NewMatrix(a.Val.Rows, ca+cb)
+	for i := 0; i < val.Rows; i++ {
+		copy(val.Data[i*val.Cols:i*val.Cols+ca], a.Val.Data[i*ca:(i+1)*ca])
+		copy(val.Data[i*val.Cols+ca:(i+1)*val.Cols], b.Val.Data[i*cb:(i+1)*cb])
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i := 0; i < val.Rows; i++ {
+				for j := 0; j < ca; j++ {
+					a.Grad.Data[i*ca+j] += out.Grad.At(i, j)
+				}
+			}
+		}
+		if b.requiresGrad {
+			b.ensureGrad()
+			for i := 0; i < val.Rows; i++ {
+				for j := 0; j < cb; j++ {
+					b.Grad.Data[i*cb+j] += out.Grad.At(i, ca+j)
+				}
+			}
+		}
+	}, a, b)
+	return out
+}
+
+// MeanRows averages an R x C node over rows into 1 x C.
+func MeanRows(a *Node) *Node {
+	r := a.Val.Rows
+	if r == 0 {
+		panic("nn: MeanRows on empty matrix")
+	}
+	val := NewMatrix(1, a.Val.Cols)
+	for i := 0; i < r; i++ {
+		for j := 0; j < a.Val.Cols; j++ {
+			val.Data[j] += a.Val.At(i, j) / float64(r)
+		}
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i := 0; i < r; i++ {
+				for j := 0; j < a.Val.Cols; j++ {
+					a.Grad.Data[i*a.Val.Cols+j] += out.Grad.Data[j] / float64(r)
+				}
+			}
+		}
+	}, a)
+	return out
+}
+
+// MaskedBCE computes the mean binary cross-entropy of predictions
+// (N x 1 probabilities) against labels, ignoring entries whose label is
+// negative (the paper's unlabeled operators). It returns a scalar node.
+func MaskedBCE(pred *Node, labels []int) *Node {
+	return MaskedBCEWeighted(pred, labels, 1)
+}
+
+// MaskedBCEWeighted is MaskedBCE with the positive class weighted by
+// posWeight, for imbalanced bottleneck labels.
+func MaskedBCEWeighted(pred *Node, labels []int, posWeight float64) *Node {
+	if pred.Val.Cols != 1 || pred.Val.Rows != len(labels) {
+		panic(fmt.Sprintf("nn: MaskedBCE wants Nx1 preds for %d labels, got %dx%d",
+			len(labels), pred.Val.Rows, pred.Val.Cols))
+	}
+	const eps = 1e-7
+	if posWeight <= 0 {
+		posWeight = 1
+	}
+	totalW := 0.0
+	loss := 0.0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		p := math.Min(math.Max(pred.Val.Data[i], eps), 1-eps)
+		if l == 1 {
+			loss -= posWeight * math.Log(p)
+			totalW += posWeight
+		} else {
+			loss -= math.Log(1 - p)
+			totalW++
+		}
+	}
+	if totalW == 0 {
+		return Leaf(NewMatrix(1, 1)) // zero loss, no gradient
+	}
+	val := NewMatrix(1, 1)
+	val.Data[0] = loss / totalW
+	var out *Node
+	out = newOp(val, func() {
+		if pred.requiresGrad {
+			pred.ensureGrad()
+			g := out.Grad.Data[0] / totalW
+			for i, l := range labels {
+				if l < 0 {
+					continue
+				}
+				p := math.Min(math.Max(pred.Val.Data[i], eps), 1-eps)
+				if l == 1 {
+					pred.Grad.Data[i] += g * posWeight * (-1 / p)
+				} else {
+					pred.Grad.Data[i] += g * (1 / (1 - p))
+				}
+			}
+		}
+	}, pred)
+	return out
+}
+
+// MSE computes the mean squared error between pred and target (same
+// shape), returning a scalar node.
+func MSE(pred *Node, target *Matrix) *Node {
+	if pred.Val.Rows != target.Rows || pred.Val.Cols != target.Cols {
+		panic("nn: MSE shape mismatch")
+	}
+	n := float64(len(target.Data))
+	val := NewMatrix(1, 1)
+	for i := range target.Data {
+		d := pred.Val.Data[i] - target.Data[i]
+		val.Data[0] += d * d / n
+	}
+	var out *Node
+	out = newOp(val, func() {
+		if pred.requiresGrad {
+			pred.ensureGrad()
+			g := out.Grad.Data[0]
+			for i := range target.Data {
+				pred.Grad.Data[i] += g * 2 * (pred.Val.Data[i] - target.Data[i]) / n
+			}
+		}
+	}, pred)
+	return out
+}

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+)
+
+// Linear is a fully-connected layer y = x @ W + b.
+type Linear struct {
+	W *Node
+	B *Node
+}
+
+// NewLinear creates a Glorot-initialized linear layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	w := NewMatrix(in, out)
+	XavierInit(w, rng)
+	return &Linear{W: Param(w), B: Param(NewMatrix(1, out))}
+}
+
+// Forward applies the layer to x (N x in).
+func (l *Linear) Forward(x *Node) *Node { return Add(MatMul(x, l.W), l.B) }
+
+// Params returns the layer's trainable nodes.
+func (l *Linear) Params() []*Node { return []*Node{l.W, l.B} }
+
+// MLP is a stack of linear layers with ReLU between them (none after the
+// last layer).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP creates an MLP with the given layer widths, e.g. (in, hidden,
+// out).
+func NewMLP(rng *rand.Rand, widths ...int) *MLP {
+	if len(widths) < 2 {
+		panic("nn: MLP needs at least input and output widths")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		m.Layers = append(m.Layers, NewLinear(widths[i], widths[i+1], rng))
+	}
+	return m
+}
+
+// Forward applies the MLP.
+func (m *MLP) Forward(x *Node) *Node {
+	for i, l := range m.Layers {
+		x = l.Forward(x)
+		if i+1 < len(m.Layers) {
+			x = ReLU(x)
+		}
+	}
+	return x
+}
+
+// Params returns all trainable nodes.
+func (m *MLP) Params() []*Node {
+	var ps []*Node
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// modelState is the serialized form of a parameter list.
+type modelState struct {
+	Shapes [][2]int    `json:"shapes"`
+	Data   [][]float64 `json:"data"`
+}
+
+// MarshalParams serializes parameter values (not gradients) to JSON.
+func MarshalParams(params []*Node) ([]byte, error) {
+	st := modelState{}
+	for _, p := range params {
+		st.Shapes = append(st.Shapes, [2]int{p.Val.Rows, p.Val.Cols})
+		st.Data = append(st.Data, append([]float64(nil), p.Val.Data...))
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalParams restores parameter values in place. Shapes must match.
+func UnmarshalParams(data []byte, params []*Node) error {
+	var st modelState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	if len(st.Shapes) != len(params) {
+		return fmt.Errorf("nn: param count mismatch: stored %d, have %d", len(st.Shapes), len(params))
+	}
+	for i, p := range params {
+		if st.Shapes[i][0] != p.Val.Rows || st.Shapes[i][1] != p.Val.Cols {
+			return fmt.Errorf("nn: param %d shape mismatch: stored %v, have %dx%d",
+				i, st.Shapes[i], p.Val.Rows, p.Val.Cols)
+		}
+		copy(p.Val.Data, st.Data[i])
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package nn is a minimal neural-network toolkit built on a dense-matrix
+// reverse-mode automatic differentiation engine. It provides exactly the
+// operations the StreamTune reproduction needs: linear layers, ReLU /
+// sigmoid / tanh activations, column concatenation (for the FUSE step of
+// Eq. 3), mean pooling (for ZeroTune's job-level readout), masked binary
+// cross-entropy and mean-squared-error losses, and SGD / Adam optimizers.
+//
+// Everything is float64 and single-threaded; the graphs involved are tiny
+// (streaming DAGs have at most tens of operators).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nn: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("nn: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// FromVec builds a column vector (n x 1).
+func FromVec(v []float64) *Matrix {
+	m := NewMatrix(len(v), 1)
+	copy(m.Data, v)
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// matMulInto computes dst = a @ b.
+func matMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmul shape mismatch (%dx%d)@(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for k := range drow {
+			drow[k] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMul returns a @ b.
+func MatMulRaw(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	matMulInto(out, a, b)
+	return out
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// addInPlace computes dst += src.
+func addInPlace(dst, src *Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("nn: add shape mismatch %dx%d vs %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// XavierInit fills m with Glorot-uniform values drawn from rng.
+func XavierInit(m *Matrix, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}

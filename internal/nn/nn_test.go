@@ -1,0 +1,311 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Set/At mismatch")
+	}
+	r := FromRows([][]float64{{1, 2}, {3, 4}})
+	if r.At(1, 0) != 3 {
+		t.Fatal("FromRows layout wrong")
+	}
+	v := FromVec([]float64{7, 8})
+	if v.Rows != 2 || v.Cols != 1 || v.At(1, 0) != 8 {
+		t.Fatal("FromVec wrong")
+	}
+	c := r.Clone()
+	c.Set(0, 0, 99)
+	if r.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+	row := r.Row(0)
+	row[0] = 42
+	if r.At(0, 0) == 42 {
+		t.Fatal("Row shares storage")
+	}
+}
+
+func TestMatMulRaw(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := MatMulRaw(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("transpose wrong: %+v", at)
+	}
+}
+
+// numericalGrad estimates dLoss/dParam[i] by central differences.
+func numericalGrad(param *Matrix, i int, loss func() float64) float64 {
+	const h = 1e-6
+	orig := param.Data[i]
+	param.Data[i] = orig + h
+	up := loss()
+	param.Data[i] = orig - h
+	down := loss()
+	param.Data[i] = orig
+	return (up - down) / (2 * h)
+}
+
+// TestGradientsMatchNumerical verifies reverse-mode gradients against
+// finite differences through a full network: sigmoid(relu(xW1+b1)W2+b2)
+// with masked BCE loss.
+func TestGradientsMatchNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := FromRows([][]float64{{0.5, -0.2, 0.8}, {-1, 0.3, 0.1}, {0.2, 0.9, -0.5}})
+	labels := []int{1, 0, -1} // include an unlabeled row
+
+	w1 := NewMatrix(3, 4)
+	XavierInit(w1, rng)
+	b1 := NewMatrix(1, 4)
+	w2 := NewMatrix(4, 1)
+	XavierInit(w2, rng)
+	b2 := NewMatrix(1, 1)
+
+	forward := func() (*Node, []*Node) {
+		pw1, pb1, pw2, pb2 := Param(w1), Param(b1), Param(w2), Param(b2)
+		h := ReLU(Add(MatMul(Leaf(x), pw1), pb1))
+		out := Sigmoid(Add(MatMul(h, pw2), pb2))
+		loss := MaskedBCE(out, labels)
+		return loss, []*Node{pw1, pb1, pw2, pb2}
+	}
+	lossValue := func() float64 {
+		l, _ := forward()
+		return l.Val.Data[0]
+	}
+
+	loss, params := forward()
+	Backward(loss)
+	mats := []*Matrix{w1, b1, w2, b2}
+	for pi, p := range params {
+		for i := range p.Grad.Data {
+			got := p.Grad.Data[i]
+			want := numericalGrad(mats[pi], i, lossValue)
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d grad[%d] = %v, numerical %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGradientsThroughConcatMeanTanh(t *testing.T) {
+	a := FromRows([][]float64{{0.1, 0.2}, {0.3, -0.4}})
+	b := FromRows([][]float64{{0.5}, {-0.6}})
+	target := FromRows([][]float64{{0.2, 0.1, 0.7}})
+
+	forward := func() (*Node, []*Node) {
+		pa, pb := Param(a), Param(b)
+		cat := ConcatCols(pa, pb) // 2x3
+		pooled := MeanRows(Tanh(cat))
+		loss := MSE(pooled, target)
+		return loss, []*Node{pa, pb}
+	}
+	lossValue := func() float64 {
+		l, _ := forward()
+		return l.Val.Data[0]
+	}
+	loss, params := forward()
+	Backward(loss)
+	mats := []*Matrix{a, b}
+	for pi, p := range params {
+		for i := range p.Grad.Data {
+			got := p.Grad.Data[i]
+			want := numericalGrad(mats[pi], i, lossValue)
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("param %d grad[%d] = %v, numerical %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestScaleGradient(t *testing.T) {
+	m := FromRows([][]float64{{2}})
+	p := Param(m)
+	loss := Scale(p, 3)
+	Backward(loss)
+	if p.Grad.Data[0] != 3 {
+		t.Fatalf("d(3x)/dx = %v, want 3", p.Grad.Data[0])
+	}
+}
+
+func TestAddBroadcastBias(t *testing.T) {
+	x := Leaf(FromRows([][]float64{{1, 2}, {3, 4}}))
+	b := Param(FromRows([][]float64{{10, 20}}))
+	out := Add(x, b)
+	if out.Val.At(1, 1) != 24 {
+		t.Fatalf("broadcast add = %v, want 24", out.Val.At(1, 1))
+	}
+	loss := MSE(out, NewMatrix(2, 2))
+	Backward(loss)
+	// dL/db_j sums over rows.
+	if b.Grad.Data[0] == 0 || b.Grad.Data[1] == 0 {
+		t.Fatal("bias gradient not accumulated across rows")
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mlp := NewMLP(rng, 2, 8, 1)
+	x := FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	labels := []int{0, 1, 1, 0}
+	opt := NewAdam(mlp.Params(), 0.05)
+	var last float64
+	for i := 0; i < 400; i++ {
+		out := Sigmoid(mlp.Forward(Leaf(x)))
+		loss := MaskedBCE(out, labels)
+		last = loss.Val.Data[0]
+		Backward(loss)
+		opt.Step()
+	}
+	if last > 0.1 {
+		t.Fatalf("XOR training loss = %v, want < 0.1", last)
+	}
+	out := Sigmoid(mlp.Forward(Leaf(x)))
+	for i, l := range labels {
+		pred := out.Val.Data[i] >= 0.5
+		if pred != (l == 1) {
+			t.Fatalf("XOR sample %d misclassified (p=%v)", i, out.Val.Data[i])
+		}
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lin := NewLinear(3, 1, rng)
+	x := FromRows([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}})
+	target := FromRows([][]float64{{1}, {2}, {3}, {6}})
+	opt := NewSGD(lin.Params(), 0.1)
+	first, last := 0.0, 0.0
+	for i := 0; i < 300; i++ {
+		loss := MSE(lin.Forward(Leaf(x)), target)
+		if i == 0 {
+			first = loss.Val.Data[0]
+		}
+		last = loss.Val.Data[0]
+		Backward(loss)
+		opt.Step()
+	}
+	if last > first/100 {
+		t.Fatalf("SGD loss %v -> %v; insufficient decrease", first, last)
+	}
+}
+
+func TestMaskedBCEAllUnlabeled(t *testing.T) {
+	pred := Param(FromRows([][]float64{{0.5}, {0.9}}))
+	loss := MaskedBCE(pred, []int{-1, -1})
+	if loss.Val.Data[0] != 0 {
+		t.Fatal("all-unlabeled BCE should be zero")
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMLP(rng, 4, 8, 2)
+	data, err := MarshalParams(a.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMLP(rand.New(rand.NewSource(99)), 4, 8, 2)
+	if err := UnmarshalParams(data, b.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := Leaf(FromRows([][]float64{{1, -1, 0.5, 2}}))
+	ya := a.Forward(x).Val.Data[0]
+	yb := b.Forward(x).Val.Data[0]
+	if ya != yb {
+		t.Fatalf("restored model differs: %v vs %v", ya, yb)
+	}
+	// Mismatched shapes must error.
+	c := NewMLP(rand.New(rand.NewSource(1)), 4, 9, 2)
+	if err := UnmarshalParams(data, c.Params()); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+// Property: sigmoid output is always in (0, 1) and matches 1/(1+e^-x).
+func TestSigmoidProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 500 {
+			return true
+		}
+		out := Sigmoid(Leaf(FromRows([][]float64{{x}})))
+		v := out.Val.Data[0]
+		want := 1 / (1 + math.Exp(-x))
+		return v > 0 && v < 1 && math.Abs(v-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReLU is idempotent and non-negative.
+func TestReLUProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				vals[i] = 0
+			}
+		}
+		m := FromVec(vals)
+		once := ReLU(Leaf(m))
+		twice := ReLU(once)
+		for i := range once.Val.Data {
+			if once.Val.Data[i] < 0 || once.Val.Data[i] != twice.Val.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("matmul", func() {
+		MatMulRaw(NewMatrix(2, 3), NewMatrix(2, 3))
+	})
+	assertPanics("add", func() {
+		Add(Leaf(NewMatrix(2, 3)), Leaf(NewMatrix(3, 2)))
+	})
+	assertPanics("concat", func() {
+		ConcatCols(Leaf(NewMatrix(2, 3)), Leaf(NewMatrix(3, 1)))
+	})
+	assertPanics("backward non-scalar", func() {
+		Backward(Param(NewMatrix(2, 1)))
+	})
+	assertPanics("ragged rows", func() {
+		FromRows([][]float64{{1, 2}, {3}})
+	})
+}

@@ -1,0 +1,70 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and zeroes the gradients.
+	Step()
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	Params []*Node
+	LR     float64
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(params []*Node, lr float64) *SGD { return &SGD{Params: params, LR: lr} }
+
+// Step applies one gradient-descent update and zeroes gradients.
+func (o *SGD) Step() {
+	for _, p := range o.Params {
+		for i := range p.Val.Data {
+			p.Val.Data[i] -= o.LR * p.Grad.Data[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba).
+type Adam struct {
+	Params []*Node
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam creates an Adam optimizer with standard defaults.
+func NewAdam(params []*Node, lr float64) *Adam {
+	a := &Adam{Params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p.Val.Data)))
+		a.v = append(a.v, make([]float64, len(p.Val.Data)))
+	}
+	return a
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (o *Adam) Step() {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for k, p := range o.Params {
+		m, v := o.m[k], o.v[k]
+		for i := range p.Val.Data {
+			g := p.Grad.Data[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Val.Data[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

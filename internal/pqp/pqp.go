@@ -1,0 +1,229 @@
+// Package pqp generates the synthetic Parallel Query Processing (PQP)
+// workload of ZeroTune, used by the StreamTune evaluation: Linear queries
+// (8 variants), 2-way joins (16 variants) and 3-way joins (32 variants),
+// with tumbling/sliding window configurations and common streaming
+// operators (source, filter, join, aggregate).
+//
+// Variants are generated deterministically from the template and variant
+// index, so query i is identical across processes.
+package pqp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Template identifies a PQP query template.
+type Template string
+
+// The three PQP templates of the paper's evaluation.
+const (
+	Linear       Template = "linear"
+	TwoWayJoin   Template = "2-way-join"
+	ThreeWayJoin Template = "3-way-join"
+)
+
+// Templates lists the PQP templates in paper order.
+var Templates = []Template{Linear, TwoWayJoin, ThreeWayJoin}
+
+// Variants reports the number of query variants per template used in the
+// paper's evaluation (8 linear, 16 two-way, 32 three-way).
+func Variants(t Template) int {
+	switch t {
+	case Linear:
+		return 8
+	case TwoWayJoin:
+		return 16
+	case ThreeWayJoin:
+		return 32
+	}
+	return 0
+}
+
+// RateUnit returns the PQP source-rate unit Wu in records/second
+// (Table II: Linear 5K, 2-way-join 0.5K, 3-way-join 0.25K).
+func RateUnit(t Template) float64 {
+	switch t {
+	case Linear:
+		return 5e3
+	case TwoWayJoin:
+		return 0.5e3
+	case ThreeWayJoin:
+		return 0.25e3
+	}
+	return 0
+}
+
+// Build constructs variant idx of the template with all source rates set
+// to one rate unit. It returns an error for an unknown template or an
+// out-of-range variant index.
+func Build(t Template, idx int) (*dag.Graph, error) {
+	if idx < 0 || idx >= Variants(t) {
+		return nil, fmt.Errorf("pqp: variant %d out of range for %s (have %d)", idx, t, Variants(t))
+	}
+	rng := rand.New(rand.NewSource(int64(idx)*7919 + int64(len(t))))
+	var g *dag.Graph
+	switch t {
+	case Linear:
+		g = buildLinear(idx, rng)
+	case TwoWayJoin:
+		g = buildJoin(idx, rng, 2)
+	case ThreeWayJoin:
+		g = buildJoin(idx, rng, 3)
+	default:
+		return nil, fmt.Errorf("pqp: unknown template %q", t)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("pqp: %s[%d]: %w", t, idx, err)
+	}
+	return g, nil
+}
+
+// All builds every variant of the template, in index order.
+func All(t Template) ([]*dag.Graph, error) {
+	out := make([]*dag.Graph, 0, Variants(t))
+	for i := 0; i < Variants(t); i++ {
+		g, err := Build(t, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// jitter returns base scaled by a uniform factor in [1-spread, 1+spread].
+func jitter(rng *rand.Rand, base, spread float64) float64 {
+	return base * (1 + spread*(2*rng.Float64()-1))
+}
+
+func pick[T any](rng *rand.Rand, xs ...T) T { return xs[rng.Intn(len(xs))] }
+
+// windowed decorates op with a random window configuration.
+func windowed(rng *rand.Rand, op *dag.Operator) {
+	op.WindowType = pick(rng, dag.Tumbling, dag.Sliding)
+	op.WindowPolicy = pick(rng, dag.CountPolicy, dag.TimePolicy)
+	op.WindowLength = pick(rng, 10.0, 30.0, 60.0, 120.0)
+	if op.WindowType == dag.Sliding {
+		op.SlidingLength = op.WindowLength / pick(rng, 2.0, 5.0, 10.0)
+	}
+}
+
+// buildLinear produces source -> (1..4 chained filters/maps) ->
+// [aggregate] -> sink, 4..8 operators total.
+func buildLinear(idx int, rng *rand.Rand) *dag.Graph {
+	g := dag.New(fmt.Sprintf("pqp-linear-%02d", idx))
+	width := pick(rng, 64.0, 96.0, 128.0)
+	g.MustAddOperator(&dag.Operator{
+		ID: "src", Type: dag.Source, SourceRate: RateUnit(Linear),
+		TupleWidthOut: width, TupleDataType: pick(rng, dag.RowTuple, dag.PojoTuple, dag.JSONTuple),
+	})
+	prev := "src"
+	nChain := 1 + rng.Intn(4)
+	for i := 0; i < nChain; i++ {
+		id := fmt.Sprintf("op%d", i+1)
+		ty := pick(rng, dag.Filter, dag.Map, dag.FlatMap)
+		sel := 1.0
+		switch ty {
+		case dag.Filter:
+			sel = 0.4 + 0.5*rng.Float64()
+		case dag.FlatMap:
+			sel = 1 + rng.Float64()
+		}
+		g.MustAddOperator(&dag.Operator{
+			ID: id, Type: ty, Selectivity: sel,
+			TupleWidthIn: width, TupleWidthOut: width,
+			CostFactor: jitter(rng, 40, 0.3),
+		})
+		g.MustAddEdge(prev, id)
+		prev = id
+	}
+	if rng.Float64() < 0.7 {
+		agg := &dag.Operator{
+			ID: "agg", Type: dag.Aggregate,
+			AggFunc:  pick(rng, dag.AggMin, dag.AggMax, dag.AggAvg, dag.AggSum, dag.AggCount),
+			AggClass: pick(rng, dag.IntKey, dag.FloatKey), AggKeyClass: pick(rng, dag.IntKey, dag.StringKey),
+			Selectivity: 0.2 + 0.3*rng.Float64(), TupleWidthIn: width, TupleWidthOut: width / 2,
+			CostFactor: jitter(rng, 50, 0.3),
+		}
+		if rng.Float64() < 0.5 {
+			windowed(rng, agg)
+		}
+		g.MustAddOperator(agg)
+		g.MustAddEdge(prev, "agg")
+		prev = "agg"
+	}
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: width})
+	g.MustAddEdge(prev, "sink")
+	return g
+}
+
+// buildJoin produces an n-way windowed join query: n sources, each with
+// a filter, left-deep joins, a final aggregate and a sink.
+func buildJoin(idx int, rng *rand.Rand, ways int) *dag.Graph {
+	t := TwoWayJoin
+	if ways == 3 {
+		t = ThreeWayJoin
+	}
+	g := dag.New(fmt.Sprintf("pqp-%s-%02d", t, idx))
+	width := pick(rng, 64.0, 128.0)
+
+	// Ground-truth cost factors sized so that, at 10x the rate unit,
+	// joins dominate the parallelism budget (the paper's Fig. 6 shows
+	// PQP joins needing tens of slots).
+	filterCF, joinCF, aggCF := 200.0, 280.0, 260.0
+	if ways == 3 {
+		filterCF, joinCF, aggCF = 220.0, 440.0, 300.0
+	}
+
+	for i := 0; i < ways; i++ {
+		sid := fmt.Sprintf("src%d", i+1)
+		fid := fmt.Sprintf("filter%d", i+1)
+		g.MustAddOperator(&dag.Operator{
+			ID: sid, Type: dag.Source, SourceRate: RateUnit(t),
+			TupleWidthOut: width, TupleDataType: pick(rng, dag.RowTuple, dag.PojoTuple),
+		})
+		g.MustAddOperator(&dag.Operator{
+			ID: fid, Type: dag.Filter, Selectivity: 0.55 + 0.3*rng.Float64(),
+			TupleWidthIn: width, TupleWidthOut: width,
+			CostFactor: jitter(rng, filterCF, 0.25),
+		})
+		g.MustAddEdge(sid, fid)
+	}
+
+	prev := "filter1"
+	for j := 2; j <= ways; j++ {
+		jid := fmt.Sprintf("join%d", j-1)
+		join := &dag.Operator{
+			ID: jid, Type: dag.WindowJoin,
+			JoinKeyClass: pick(rng, dag.IntKey, dag.StringKey),
+			Selectivity:  0.6 + 0.3*rng.Float64(),
+			TupleWidthIn: width, TupleWidthOut: width * 1.5,
+			CostFactor: jitter(rng, joinCF, 0.25),
+		}
+		windowed(rng, join)
+		g.MustAddOperator(join)
+		g.MustAddEdge(prev, jid)
+		g.MustAddEdge(fmt.Sprintf("filter%d", j), jid)
+		prev = jid
+	}
+
+	agg := &dag.Operator{
+		ID: "agg", Type: dag.Aggregate,
+		AggFunc:  pick(rng, dag.AggAvg, dag.AggSum, dag.AggCount),
+		AggClass: dag.FloatKey, AggKeyClass: pick(rng, dag.IntKey, dag.StringKey),
+		Selectivity:  0.25 + 0.25*rng.Float64(),
+		TupleWidthIn: width * 1.5, TupleWidthOut: width / 2,
+		CostFactor: jitter(rng, aggCF, 0.25),
+	}
+	if rng.Float64() < 0.5 {
+		windowed(rng, agg)
+	}
+	g.MustAddOperator(agg)
+	g.MustAddEdge(prev, "agg")
+	g.MustAddOperator(&dag.Operator{ID: "sink", Type: dag.Sink, TupleWidthIn: width / 2})
+	g.MustAddEdge("agg", "sink")
+	return g
+}

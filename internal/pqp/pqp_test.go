@@ -1,0 +1,163 @@
+package pqp
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+func TestVariantCounts(t *testing.T) {
+	if Variants(Linear) != 8 || Variants(TwoWayJoin) != 16 || Variants(ThreeWayJoin) != 32 {
+		t.Fatalf("variant counts = %d/%d/%d, want 8/16/32",
+			Variants(Linear), Variants(TwoWayJoin), Variants(ThreeWayJoin))
+	}
+	if Variants(Template("zzz")) != 0 {
+		t.Fatal("unknown template should have 0 variants")
+	}
+}
+
+func TestRateUnitsMatchTableII(t *testing.T) {
+	if RateUnit(Linear) != 5e3 {
+		t.Errorf("Linear Wu = %v, want 5000", RateUnit(Linear))
+	}
+	if RateUnit(TwoWayJoin) != 0.5e3 {
+		t.Errorf("2-way Wu = %v, want 500", RateUnit(TwoWayJoin))
+	}
+	if RateUnit(ThreeWayJoin) != 0.25e3 {
+		t.Errorf("3-way Wu = %v, want 250", RateUnit(ThreeWayJoin))
+	}
+	if RateUnit(Template("zzz")) != 0 {
+		t.Error("unknown template should have 0 rate unit")
+	}
+}
+
+func TestBuildAllVariantsValid(t *testing.T) {
+	for _, tmpl := range Templates {
+		gs, err := All(tmpl)
+		if err != nil {
+			t.Fatalf("All(%s): %v", tmpl, err)
+		}
+		if len(gs) != Variants(tmpl) {
+			t.Fatalf("All(%s) = %d graphs, want %d", tmpl, len(gs), Variants(tmpl))
+		}
+		for i, g := range gs {
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s[%d] invalid: %v", tmpl, i, err)
+			}
+		}
+	}
+}
+
+func TestBuildOutOfRange(t *testing.T) {
+	if _, err := Build(Linear, 8); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := Build(Linear, -1); err == nil {
+		t.Fatal("expected negative-index error")
+	}
+	if _, err := Build(Template("zzz"), 0); err == nil {
+		t.Fatal("expected unknown-template error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(TwoWayJoin, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Build(TwoWayJoin, 5)
+	if a.String() != b.String() {
+		t.Fatal("same variant built differently across calls")
+	}
+	opA, opB := a.Operator("join1"), b.Operator("join1")
+	if opA.CostFactor != opB.CostFactor || opA.Selectivity != opB.Selectivity {
+		t.Fatal("same variant has different hidden parameters")
+	}
+	c, _ := Build(TwoWayJoin, 6)
+	if a.Operator("join1").CostFactor == c.Operator("join1").CostFactor {
+		t.Fatal("different variants share identical cost factors")
+	}
+}
+
+func TestJoinTemplateShape(t *testing.T) {
+	g, err := Build(ThreeWayJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Sources()); got != 3 {
+		t.Fatalf("3-way join has %d sources, want 3", got)
+	}
+	joins := 0
+	for _, op := range g.Operators() {
+		if op.Type == dag.WindowJoin {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Fatalf("3-way join has %d join operators, want 2", joins)
+	}
+	if g.NumOperators() < 9 || g.NumOperators() > 11 {
+		t.Fatalf("3-way join has %d operators, want 9..11", g.NumOperators())
+	}
+}
+
+func TestLinearTemplateShape(t *testing.T) {
+	for i := 0; i < Variants(Linear); i++ {
+		g, err := Build(Linear, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Sources()) != 1 {
+			t.Fatalf("linear[%d] has %d sources", i, len(g.Sources()))
+		}
+		if n := g.NumOperators(); n < 3 || n > 8 {
+			t.Fatalf("linear[%d] has %d operators, want 3..8", i, n)
+		}
+		// Linear queries must be chains: every op has <= 1 downstream.
+		for j := 0; j < g.NumOperators(); j++ {
+			if len(g.Downstream(j)) > 1 {
+				t.Fatalf("linear[%d] has fan-out at %s", i, g.OperatorAt(j).ID)
+			}
+		}
+	}
+}
+
+func TestJoinsDemandSubstantialParallelism(t *testing.T) {
+	// At 10x the rate unit, the ground-truth total parallelism of join
+	// templates must land in the tens (Fig. 6's PQP ballpark), and
+	// 3-way must exceed 2-way.
+	cfg := engine.DefaultConfig(engine.Flink)
+	total := func(tmpl Template, idx int) int {
+		g, err := Build(tmpl, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ScaleSourceRates(10)
+		opt, err := engine.GroundTruthOptimal(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, p := range opt {
+			sum += p
+		}
+		return sum
+	}
+	two := 0
+	for i := 0; i < 4; i++ {
+		two += total(TwoWayJoin, i)
+	}
+	two /= 4
+	three := 0
+	for i := 0; i < 4; i++ {
+		three += total(ThreeWayJoin, i)
+	}
+	three /= 4
+	if two < 15 || two > 70 {
+		t.Errorf("2-way optimal total parallelism = %d, want tens", two)
+	}
+	if three <= two {
+		t.Errorf("3-way total %d not above 2-way total %d", three, two)
+	}
+}

@@ -1,0 +1,96 @@
+// Package simsearch implements graph similarity search over dataflow
+// DAGs (Definition 1 of the StreamTune paper) and the similarity center
+// of a DAG cluster (Definition 2): the DAG appearing most often in the
+// threshold-based similarity search results of all cluster members — an
+// inexpensive approximation of the median graph used as the K-means
+// cluster representative.
+package simsearch
+
+import (
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+)
+
+// Method selects the GED verification used by the search.
+type Method int
+
+// Search methods.
+const (
+	// AStarLS uses the label-set lower bound with threshold pruning
+	// (the AStar+-LSa approach).
+	AStarLS Method = iota
+	// DirectGED computes full distances without bounds — the baseline
+	// of Fig. 11b.
+	DirectGED
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case AStarLS:
+		return "astar+-lsa"
+	case DirectGED:
+		return "direct-ged"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Similar returns the indices of graphs in set whose GED to the query
+// does not exceed tau (Definition 1).
+func Similar(query *dag.Graph, set []*dag.Graph, tau float64, method Method) []int {
+	var out []int
+	for i, g := range set {
+		if withinTau(query, g, tau, method) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func withinTau(a, b *dag.Graph, tau float64, method Method) bool {
+	switch method {
+	case DirectGED:
+		return ged.DistanceDirect(a, b) <= tau
+	default:
+		ok, _ := ged.WithinThreshold(a, b, tau)
+		return ok
+	}
+}
+
+// Center computes the similarity center of the cluster (Definition 2):
+// the member with the highest appearance count across all members'
+// similarity searches at threshold tau. Ties break to the lowest index.
+// It returns the index of the center within the cluster slice.
+func Center(cluster []*dag.Graph, tau float64, method Method) (int, error) {
+	if len(cluster) == 0 {
+		return -1, fmt.Errorf("simsearch: empty cluster")
+	}
+	counts := make([]int, len(cluster))
+	for _, q := range cluster {
+		for _, idx := range Similar(q, cluster, tau, method) {
+			counts[idx]++
+		}
+	}
+	best := 0
+	for i, c := range counts {
+		if c > counts[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// AppearanceCounts returns, for every cluster member, how many members'
+// similarity searches it appears in at threshold tau. Exposed for tests
+// and diagnostics.
+func AppearanceCounts(cluster []*dag.Graph, tau float64, method Method) []int {
+	counts := make([]int, len(cluster))
+	for _, q := range cluster {
+		for _, idx := range Similar(q, cluster, tau, method) {
+			counts[idx]++
+		}
+	}
+	return counts
+}

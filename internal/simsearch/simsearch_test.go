@@ -1,0 +1,106 @@
+package simsearch
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// chainOf builds a linear chain with the given middle operator types.
+func chainOf(name string, mids ...dag.OpType) *dag.Graph {
+	g := dag.New(name)
+	g.MustAddOperator(&dag.Operator{ID: "s", Type: dag.Source})
+	prev := "s"
+	for i, ty := range mids {
+		id := fmt.Sprintf("m%d", i)
+		g.MustAddOperator(&dag.Operator{ID: id, Type: ty})
+		g.MustAddEdge(prev, id)
+		prev = id
+	}
+	g.MustAddOperator(&dag.Operator{ID: "k", Type: dag.Sink})
+	g.MustAddEdge(prev, "k")
+	return g
+}
+
+func family() []*dag.Graph {
+	return []*dag.Graph{
+		chainOf("a", dag.Map),                                          // 3 nodes
+		chainOf("b", dag.Filter),                                       // 3 nodes, 1 relabel from a
+		chainOf("c", dag.Map, dag.Filter),                              // 4 nodes
+		chainOf("d", dag.Map, dag.Filter, dag.Map),                     // 5 nodes
+		chainOf("e", dag.Join, dag.Join, dag.Join, dag.Join, dag.Join), // far away
+	}
+}
+
+func TestSimilarFindsCloseGraphs(t *testing.T) {
+	set := family()
+	got := Similar(set[0], set, 1, AStarLS)
+	// Graph a itself (d=0) and b (one relabel) must qualify at tau=1.
+	want := map[int]bool{0: true, 1: true}
+	if len(got) < 2 {
+		t.Fatalf("Similar = %v, want at least a and b", got)
+	}
+	for _, i := range got {
+		if !want[i] && i != 2 {
+			t.Errorf("unexpected member %d at tau=1", i)
+		}
+	}
+}
+
+func TestSimilarMethodsAgree(t *testing.T) {
+	set := family()
+	for _, q := range set {
+		fast := Similar(q, set, 3, AStarLS)
+		slow := Similar(q, set, 3, DirectGED)
+		if len(fast) != len(slow) {
+			t.Fatalf("methods disagree for %s: %v vs %v", q.Name, fast, slow)
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("methods disagree for %s: %v vs %v", q.Name, fast, slow)
+			}
+		}
+	}
+}
+
+func TestCenterPicksCentralGraph(t *testing.T) {
+	set := family()
+	ci, err := Center(set, 3, AStarLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join-chain outlier (index 4) must never be the center.
+	if ci == 4 {
+		t.Fatalf("center = outlier %d", ci)
+	}
+	counts := AppearanceCounts(set, 3, AStarLS)
+	for i, c := range counts {
+		if c > counts[ci] {
+			t.Fatalf("center %d has count %d but %d has %d", ci, counts[ci], i, c)
+		}
+	}
+}
+
+func TestCenterEmptyCluster(t *testing.T) {
+	if _, err := Center(nil, 3, AStarLS); err == nil {
+		t.Fatal("expected empty-cluster error")
+	}
+}
+
+func TestCenterSingleton(t *testing.T) {
+	set := []*dag.Graph{chainOf("solo", dag.Map)}
+	ci, err := Center(set, 1, AStarLS)
+	if err != nil || ci != 0 {
+		t.Fatalf("singleton center = (%d, %v), want (0, nil)", ci, err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if AStarLS.String() != "astar+-lsa" || DirectGED.String() != "direct-ged" {
+		t.Fatal("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method should still render")
+	}
+}

@@ -1,0 +1,202 @@
+// Package streamtune implements the StreamTune tuner: offline
+// pre-training (GED clustering of historical dataflow DAGs + per-cluster
+// GNN encoders trained on operator-level bottleneck labels) and the
+// online fine-tuning loop of Algorithm 2 (cluster assignment, warm-up
+// dataset, monotonic prediction model, topological parallelism
+// recommendation via binary search, and iterative refinement from
+// runtime feedback).
+package streamtune
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/cluster"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/history"
+)
+
+// Config parameterizes pre-training and online tuning.
+type Config struct {
+	// GNN configures the per-cluster encoders.
+	GNN gnn.Config
+	// Train configures encoder pre-training.
+	Train gnn.TrainOptions
+	// Cluster configures GED K-means. When Cluster.K == 0, the elbow
+	// method picks k up to MaxElbowK.
+	Cluster cluster.Options
+	// MaxElbowK bounds the elbow search.
+	MaxElbowK int
+	// Global disables clustering entirely and trains one encoder on the
+	// whole corpus (the paper's limited-pre-training fallback, §VII).
+	Global bool
+
+	// Model selects the fine-tuned prediction layer: "svm", "xgb", "nn".
+	Model string
+	// ModelSeed seeds the prediction model.
+	ModelSeed int64
+	// Threshold is the bottleneck-probability decision threshold for the
+	// binary search.
+	Threshold float64
+	// WarmupSamples is the number of historical executions sampled from
+	// the assigned cluster to seed the fine-tuning dataset T.
+	WarmupSamples int
+	// MaxIterations bounds one online tuning process.
+	MaxIterations int
+	// FeedbackWeight replicates each runtime-feedback sample this many
+	// times in T, so fresh operator-level observations outweigh the
+	// warm-up history during model refits.
+	FeedbackWeight int
+	// MaxTrainingSet caps |T|; when exceeded, the oldest samples are
+	// dropped first. Keeps refit cost bounded over long tuning
+	// campaigns (the paper's 120 rate changes per query).
+	MaxTrainingSet int
+	// StabilityBand treats a backpressure-free recommendation within
+	// this per-operator distance of the current deployment as converged,
+	// suppressing churn from refit variance: a stop-and-restart
+	// reconfiguration is never worth one slot.
+	StabilityBand int
+	// StabilizeWait is the simulated settling time charged after each
+	// reconfiguration (paper: 10 minutes).
+	StabilizeWait time.Duration
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		GNN:            gnn.DefaultConfig(),
+		Train:          gnn.DefaultTrainOptions(),
+		Cluster:        cluster.DefaultOptions(0),
+		MaxElbowK:      6,
+		Model:          "svm",
+		ModelSeed:      1,
+		Threshold:      0.4,
+		WarmupSamples:  60,
+		MaxIterations:  8,
+		FeedbackWeight: 2,
+		MaxTrainingSet: 2000,
+		StabilityBand:  2,
+		StabilizeWait:  10 * time.Minute,
+	}
+}
+
+// PreTrained is the artifact of offline pre-training: the clustering and
+// one encoder per cluster, plus the corpus partition for warm-up
+// sampling.
+type PreTrained struct {
+	Config   Config
+	Clusters *cluster.Result
+	Encoders []*gnn.Encoder
+	// Losses holds per-cluster training loss curves.
+	Losses [][]float64
+	// TrainTime is the wall-clock duration of PreTrain.
+	TrainTime time.Duration
+
+	corpus      *history.Corpus
+	execCluster []int // cluster id per corpus execution
+}
+
+// PreTrain clusters the corpus's distinct dataflow structures with GED
+// K-means and trains one GNN encoder per cluster on the operator-level
+// bottleneck classification task.
+func PreTrain(corpus *history.Corpus, cfg Config) (*PreTrained, error) {
+	if corpus.Len() == 0 {
+		return nil, fmt.Errorf("streamtune: empty corpus")
+	}
+	start := time.Now()
+
+	graphs := corpus.Graphs()
+	var clusters *cluster.Result
+	var err error
+	switch {
+	case cfg.Global || len(graphs) == 1:
+		// Single global encoder: one cluster containing everything.
+		clusters = &cluster.Result{
+			Centers:     []*dag.Graph{graphs[0]},
+			Assignments: make([]int, len(graphs)),
+		}
+	case cfg.Cluster.K > 0:
+		clusters, err = cluster.KMeans(graphs, cfg.Cluster)
+	default:
+		maxK := cfg.MaxElbowK
+		if maxK < 1 {
+			maxK = 4
+		}
+		var k int
+		k, _, err = cluster.ElbowK(graphs, maxK, cfg.Cluster)
+		if err == nil {
+			o := cfg.Cluster
+			o.K = k
+			clusters, err = cluster.KMeans(graphs, o)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("streamtune: clustering: %w", err)
+	}
+
+	// Partition executions by the cluster of their job structure.
+	graphCluster := make(map[string]int, len(graphs))
+	for i, g := range graphs {
+		graphCluster[g.Name] = clusters.Assignments[i]
+	}
+	k := len(clusters.Centers)
+	subCorpora := make([]*history.Corpus, k)
+	for c := range subCorpora {
+		subCorpora[c] = &history.Corpus{}
+	}
+	execCluster := make([]int, corpus.Len())
+	for i, ex := range corpus.Executions {
+		c := graphCluster[ex.Graph.Name]
+		execCluster[i] = c
+		subCorpora[c].Executions = append(subCorpora[c].Executions, ex)
+	}
+
+	pt := &PreTrained{
+		Config:      cfg,
+		Clusters:    clusters,
+		corpus:      corpus,
+		execCluster: execCluster,
+	}
+	for c := 0; c < k; c++ {
+		gcfg := cfg.GNN
+		gcfg.Seed = cfg.GNN.Seed + int64(c)
+		if subCorpora[c].Len() == 0 {
+			// An empty cluster still needs an encoder for assignment
+			// fallback; train it on the full corpus.
+			subCorpora[c] = corpus
+		}
+		enc, losses, err := gnn.Pretrain(subCorpora[c], gcfg, cfg.Train)
+		if err != nil {
+			return nil, fmt.Errorf("streamtune: pre-train cluster %d: %w", c, err)
+		}
+		pt.Encoders = append(pt.Encoders, enc)
+		pt.Losses = append(pt.Losses, losses)
+	}
+	pt.TrainTime = time.Since(start)
+	return pt, nil
+}
+
+// AssignCluster returns the nearest cluster for a target job and its GED
+// distance to that cluster's center.
+func (pt *PreTrained) AssignCluster(g *dag.Graph) (int, float64) {
+	return pt.Clusters.Assign(g)
+}
+
+// Encoder returns the pre-trained encoder of cluster c.
+func (pt *PreTrained) Encoder(c int) *gnn.Encoder { return pt.Encoders[c] }
+
+// clusterExecutions returns the corpus executions belonging to cluster c
+// (or the whole corpus if the cluster has none).
+func (pt *PreTrained) clusterExecutions(c int) []history.Execution {
+	var out []history.Execution
+	for i, ex := range pt.corpus.Executions {
+		if pt.execCluster[i] == c {
+			out = append(out, ex)
+		}
+	}
+	if len(out) == 0 {
+		return pt.corpus.Executions
+	}
+	return out
+}

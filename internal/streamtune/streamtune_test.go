@@ -1,0 +1,280 @@
+package streamtune
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+// testConfig shrinks training for fast tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Train.Epochs = 12
+	cfg.WarmupSamples = 40
+	cfg.StabilizeWait = time.Minute
+	return cfg
+}
+
+var (
+	corpusOnce sync.Once
+	corpusVal  *history.Corpus
+	ptOnce     sync.Once
+	ptVal      *PreTrained
+)
+
+// sharedCorpus builds a small mixed corpus once per test binary.
+func sharedCorpus(t *testing.T) *history.Corpus {
+	t.Helper()
+	corpusOnce.Do(func() {
+		q2, err := nexmark.Build(nexmark.Q2, engine.Flink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q3, err := nexmark.Build(nexmark.Q3, engine.Flink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := pqp.Build(pqp.Linear, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := pqp.Build(pqp.TwoWayJoin, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := history.DefaultOptions(engine.Flink)
+		opts.SamplesPerGraph = 25
+		opts.Engine.MeasureTicks = 40
+		corpusVal, err = history.Generate([]*dag.Graph{q2, q3, lin, two}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if corpusVal == nil {
+		t.Fatal("corpus generation failed earlier")
+	}
+	return corpusVal
+}
+
+func sharedPreTrained(t *testing.T) *PreTrained {
+	t.Helper()
+	corpus := sharedCorpus(t)
+	ptOnce.Do(func() {
+		var err error
+		ptVal, err = PreTrain(corpus, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ptVal == nil {
+		t.Fatal("pre-training failed earlier")
+	}
+	return ptVal
+}
+
+func TestPreTrainValidation(t *testing.T) {
+	if _, err := PreTrain(&history.Corpus{}, testConfig()); err == nil {
+		t.Fatal("expected empty-corpus error")
+	}
+}
+
+func TestPreTrainProducesEncoders(t *testing.T) {
+	pt := sharedPreTrained(t)
+	if len(pt.Encoders) == 0 || len(pt.Encoders) != len(pt.Clusters.Centers) {
+		t.Fatalf("encoders %d vs centers %d", len(pt.Encoders), len(pt.Clusters.Centers))
+	}
+	for c, losses := range pt.Losses {
+		if len(losses) == 0 {
+			t.Fatalf("cluster %d has no loss curve", c)
+		}
+		if losses[len(losses)-1] > losses[0] {
+			t.Errorf("cluster %d loss increased: %v -> %v", c, losses[0], losses[len(losses)-1])
+		}
+	}
+	if pt.TrainTime <= 0 {
+		t.Error("TrainTime not recorded")
+	}
+}
+
+func TestGlobalEncoderFallback(t *testing.T) {
+	corpus := sharedCorpus(t)
+	cfg := testConfig()
+	cfg.Global = true
+	cfg.Train.Epochs = 4
+	pt, err := PreTrain(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Encoders) != 1 {
+		t.Fatalf("global mode trained %d encoders, want 1", len(pt.Encoders))
+	}
+}
+
+func TestNewTunerAssignsCluster(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(pt, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuner.ClusterID() < 0 || tuner.ClusterID() >= len(pt.Encoders) {
+		t.Fatalf("cluster id %d out of range", tuner.ClusterID())
+	}
+	if tuner.TrainingSetSize() == 0 {
+		t.Fatal("warm-up dataset is empty")
+	}
+}
+
+func TestNewTunerRejectsInvalidGraph(t *testing.T) {
+	pt := sharedPreTrained(t)
+	if _, err := NewTuner(pt, dag.New("empty")); err == nil {
+		t.Fatal("expected invalid-graph error")
+	}
+}
+
+func TestTuneEliminatesBackpressure(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleSourceRates(8)
+	ecfg := engine.DefaultConfig(engine.Flink)
+	e, err := engine.New(g, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(pt, e.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil || res.Final.Backpressured {
+		t.Fatalf("StreamTune left job backpressured: %+v", res.Final)
+	}
+	if res.Reconfigurations == 0 {
+		t.Fatal("no deployment performed")
+	}
+	if len(res.CPUTrace) != res.Reconfigurations && len(res.CPUTrace) < res.Iterations-1 {
+		t.Errorf("CPU trace length %d inconsistent with %d iterations", len(res.CPUTrace), res.Iterations)
+	}
+	if res.RecommendTime <= 0 || res.TuningTime <= 0 {
+		t.Error("timing not recorded")
+	}
+}
+
+func TestTuneNearOptimalParallelism(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleSourceRates(10)
+	ecfg := engine.DefaultConfig(engine.Flink)
+	e, err := engine.New(g, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(pt, e.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := engine.GroundTruthOptimal(e.Graph(), ecfg)
+	optTotal := 0
+	for _, p := range opt {
+		optTotal += p
+	}
+	got := res.TotalParallelism()
+	if got > optTotal*3 {
+		t.Fatalf("StreamTune total %d way above optimum %d", got, optTotal)
+	}
+	if res.Final.Backpressured {
+		t.Fatal("final deployment backpressured")
+	}
+}
+
+func TestTrainingSetGrowsWithFeedback(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleSourceRates(5)
+	e, err := engine.New(g, engine.DefaultConfig(engine.Flink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(pt, e.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tuner.TrainingSetSize()
+	if _, err := tuner.Tune(e); err != nil {
+		t.Fatal(err)
+	}
+	if tuner.TrainingSetSize() <= before {
+		t.Fatalf("fine-tuning dataset did not grow: %d -> %d", before, tuner.TrainingSetSize())
+	}
+}
+
+func TestTuneWithXGBModel(t *testing.T) {
+	corpus := sharedCorpus(t)
+	cfg := testConfig()
+	cfg.Model = "xgb"
+	cfg.Train.Epochs = 6
+	pt, err := PreTrain(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleSourceRates(6)
+	e, err := engine.New(g, engine.DefaultConfig(engine.Flink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := NewTuner(pt, e.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tuner.Tune(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil || res.Final.Backpressured {
+		t.Fatal("XGB-backed tuner left job backpressured")
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	corpus := sharedCorpus(t)
+	cfg := testConfig()
+	cfg.Model = "forest"
+	cfg.Train.Epochs = 2
+	pt, err := PreTrain(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := nexmark.Build(nexmark.Q2, engine.Flink)
+	if _, err := NewTuner(pt, g); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}

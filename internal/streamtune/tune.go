@@ -1,0 +1,425 @@
+package streamtune
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/bottleneck"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/mono"
+)
+
+// System is the engine surface the online tuner drives. *engine.Engine
+// satisfies it.
+type System interface {
+	Graph() *dag.Graph
+	Config() engine.Config
+	Deploy(map[string]int) error
+	Run() (*engine.JobMetrics, error)
+	Stabilize(d time.Duration)
+}
+
+// Tuner performs online fine-tuning for one target streaming job
+// (Algorithm 2). It retains the fine-tuning dataset T across calls to
+// Tune, so successive source-rate changes benefit from accumulated
+// feedback.
+type Tuner struct {
+	cfg       Config
+	enc       *gnn.Encoder
+	clusterID int
+	model     mono.Model
+	train     []mono.Sample
+}
+
+// NewTuner assigns the target job to its nearest cluster, retrieves the
+// cluster's pre-trained encoder, and constructs the warm-up fine-tuning
+// dataset from the cluster's historical executions (Algorithm 2, lines
+// 1-3).
+func NewTuner(pt *PreTrained, g *dag.Graph) (*Tuner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("streamtune: target job: %w", err)
+	}
+	c, _ := pt.AssignCluster(g)
+	model, err := mono.New(pt.Config.Model, pt.Config.GNN.PMax, pt.Config.ModelSeed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tuner{cfg: pt.Config, enc: pt.Encoder(c), clusterID: c, model: model}
+
+	// Warm-up dataset: embeddings + labels from sampled cluster history.
+	execs := pt.clusterExecutions(c)
+	n := pt.Config.WarmupSamples
+	if n <= 0 || n > len(execs) {
+		n = len(execs)
+	}
+	if err := t.absorb(execs[:n]); err != nil {
+		return nil, err
+	}
+	// A cluster of rarely-bottlenecked (or always-bottlenecked) jobs can
+	// yield a single-class warm-up set, which no classifier can fit.
+	// Widen to the rest of the cluster, then to the whole corpus.
+	if !t.bothClasses() {
+		if err := t.absorb(execs[n:]); err != nil {
+			return nil, err
+		}
+	}
+	if !t.bothClasses() {
+		if err := t.absorb(pt.corpus.Executions); err != nil {
+			return nil, err
+		}
+	}
+	// Distill the pre-trained head's knowledge into T: the head saw
+	// parallelism through FUSE during pre-training; querying it across a
+	// parallelism grid hands the fine-tuned model a dense view of each
+	// operator's bottleneck boundary (Algorithm 2, line 3:
+	// ConstructWarmUpDataset(enc)).
+	seen := make(map[string]bool)
+	distilled := 0
+	for _, ex := range execs {
+		if seen[ex.Graph.Name] || distilled >= 10 {
+			continue
+		}
+		seen[ex.Graph.Name] = true
+		distilled++
+		if err := t.distill(ex.Graph); err != nil {
+			return nil, err
+		}
+	}
+	if !t.bothClasses() {
+		return nil, fmt.Errorf("streamtune: corpus lacks both bottleneck classes for warm-up")
+	}
+	return t, nil
+}
+
+// parallelismGrid is the Fibonacci-spaced grid used for distillation.
+var parallelismGrid = []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+// distill queries the pre-trained head across the parallelism grid and
+// appends its hard labels to T. With FUSE applied after message passing,
+// each operator's head prediction depends only on its own embedding and
+// parallelism, so one parallelism-aware forward pass per grid point
+// labels every operator.
+func (t *Tuner) distill(g *dag.Graph) error {
+	embs, err := t.enc.Embeddings(g)
+	if err != nil {
+		return fmt.Errorf("streamtune: distill embed %s: %w", g.Name, err)
+	}
+	pmax := t.cfg.GNN.PMax
+	par := make(map[string]int, g.NumOperators())
+	for _, p := range parallelismGrid {
+		if p > pmax {
+			break
+		}
+		for _, op := range g.Operators() {
+			par[op.ID] = p
+		}
+		probs, err := t.enc.PredictBottleneck(g, par)
+		if err != nil {
+			return fmt.Errorf("streamtune: distill predict %s: %w", g.Name, err)
+		}
+		for i := range probs {
+			label := 0
+			if probs[i] >= 0.5 {
+				label = 1
+			}
+			t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: p, Label: label})
+		}
+	}
+	return nil
+}
+
+// absorb appends the labeled operators of the executions to T.
+func (t *Tuner) absorb(execs []history.Execution) error {
+	for _, ex := range execs {
+		embs, err := t.enc.Embeddings(ex.Graph)
+		if err != nil {
+			return fmt.Errorf("streamtune: warm-up embed %s: %w", ex.Graph.Name, err)
+		}
+		for i, op := range ex.Graph.Operators() {
+			if ex.Labels[i] < 0 {
+				continue
+			}
+			p := ex.Parallelism[op.ID]
+			t.train = append(t.train, mono.Sample{
+				Embedding:   embs[i],
+				Parallelism: p,
+				Label:       ex.Labels[i],
+			})
+			// Monotonicity-implied augmentation: a bottleneck at p is a
+			// bottleneck at any lower degree; a non-bottleneck at p stays
+			// one at any higher degree. This counteracts the natural
+			// sparsity of positive labels in histories (Algorithm 1 only
+			// labels the backpressure frontier).
+			if ex.Labels[i] == 1 {
+				if p > 1 {
+					t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: p - 1, Label: 1})
+				}
+				if half := p / 2; half >= 1 && half != p-1 {
+					t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: half, Label: 1})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// trim caps |T| at MaxTrainingSet, dropping oldest samples first but
+// never evicting the last representatives of a class.
+func (t *Tuner) trim() {
+	max := t.cfg.MaxTrainingSet
+	if max <= 0 || len(t.train) <= max {
+		return
+	}
+	kept := append([]mono.Sample(nil), t.train[len(t.train)-max:]...)
+	var have0, have1 bool
+	for _, s := range kept {
+		if s.Label == 0 {
+			have0 = true
+		} else {
+			have1 = true
+		}
+	}
+	if !have0 || !have1 {
+		// Rescue the newest samples of the missing class from the
+		// dropped prefix.
+		missing := 0
+		if !have1 {
+			missing = 1
+		}
+		for i := len(t.train) - max - 1; i >= 0; i-- {
+			if t.train[i].Label == missing {
+				kept = append(kept, t.train[i])
+				break
+			}
+		}
+	}
+	t.train = kept
+}
+
+// bothClasses reports whether T holds at least one sample per class.
+func (t *Tuner) bothClasses() bool {
+	var have0, have1 bool
+	for _, s := range t.train {
+		if s.Label == 0 {
+			have0 = true
+		} else {
+			have1 = true
+		}
+		if have0 && have1 {
+			return true
+		}
+	}
+	return false
+}
+
+// ClusterID reports the cluster the target job was assigned to.
+func (t *Tuner) ClusterID() int { return t.clusterID }
+
+// TrainingSetSize reports the current size of the fine-tuning dataset T.
+func (t *Tuner) TrainingSetSize() int { return len(t.train) }
+
+// Result summarizes one online tuning process.
+type Result struct {
+	// Parallelism is the final per-operator recommendation.
+	Parallelism map[string]int
+	// Reconfigurations counts deployments performed during this tuning
+	// process.
+	Reconfigurations int
+	// BackpressureEvents counts measurement windows with job-level
+	// backpressure during tuning.
+	BackpressureEvents int
+	// Iterations counts fit/recommend/deploy rounds.
+	Iterations int
+	// CPUTrace holds the cluster CPU utilization after each deployment.
+	CPUTrace []float64
+	// RecommendTime is the cumulative model fitting + inference
+	// wall-clock time (excluding simulated engine time).
+	RecommendTime time.Duration
+	// TuningTime is the simulated wall-clock cost: stabilization waits
+	// plus measurement windows.
+	TuningTime time.Duration
+	// Final holds the last measurement.
+	Final *engine.JobMetrics
+}
+
+// TotalParallelism sums the final assignment.
+func (r *Result) TotalParallelism() int {
+	total := 0
+	for _, p := range r.Parallelism {
+		total += p
+	}
+	return total
+}
+
+// Tune executes Algorithm 2 against the system: fit the monotonic model
+// to T, recommend the minimum non-bottleneck parallelism per operator in
+// topological order, redeploy, harvest bottleneck labels, and iterate
+// until backpressure-free and stable.
+func (t *Tuner) Tune(sys System) (*Result, error) {
+	g := sys.Graph()
+	cfg := sys.Config()
+	res := &Result{}
+
+	// Parallelism-agnostic embeddings reflect the current source rates.
+	embs, err := t.enc.Embeddings(g)
+	if err != nil {
+		return nil, fmt.Errorf("streamtune: embed target: %w", err)
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Refresh the head-distilled view of the target at its current rates
+	// before fitting.
+	if err := t.distill(g); err != nil {
+		return nil, err
+	}
+
+	var cur map[string]int
+	// lower holds, per operator, one more than the highest parallelism
+	// observed to bottleneck at the current source rates. By the
+	// monotonic system behavior, recommendations below it are known bad;
+	// clamping prevents the fit/observe loop from re-trying them.
+	lower := make(map[string]int, g.NumOperators())
+	backpressured := true
+	for iter := 0; iter < t.cfg.MaxIterations; iter++ {
+		fitStart := time.Now()
+		if err := t.model.Fit(t.train); err != nil {
+			return nil, fmt.Errorf("streamtune: fit %s: %w", t.model.Name(), err)
+		}
+		rec := make(map[string]int, g.NumOperators())
+		for _, i := range topo {
+			op := g.OperatorAt(i)
+			p := mono.MinNonBottleneck(t.model, embs[i], cfg.MaxParallelism, t.cfg.Threshold)
+			if lb := lower[op.ID]; p < lb {
+				p = lb
+			}
+			if p > cfg.MaxParallelism {
+				p = cfg.MaxParallelism // physical ceiling; stay saturated
+			}
+			rec[op.ID] = p
+		}
+		res.RecommendTime += time.Since(fitStart)
+		res.Iterations++
+
+		if cur != nil && !backpressured && withinBand(rec, cur, t.cfg.StabilityBand) {
+			break // Algorithm 2's fixed point: stable and backpressure-free.
+		}
+		if cur == nil || !equal(rec, cur) {
+			if err := sys.Deploy(rec); err != nil {
+				return nil, fmt.Errorf("streamtune: deploy: %w", err)
+			}
+			res.Reconfigurations++
+			cur = rec
+			sys.Stabilize(t.cfg.StabilizeWait)
+			res.TuningTime += t.cfg.StabilizeWait
+		}
+
+		m, err := sys.Run()
+		if err != nil {
+			return nil, fmt.Errorf("streamtune: measure: %w", err)
+		}
+		res.TuningTime += m.Window
+		res.CPUTrace = append(res.CPUTrace, m.AvgCPUUtil)
+		res.Final = m
+		backpressured = m.Backpressured
+		if backpressured {
+			res.BackpressureEvents++
+		}
+
+		// Harvest runtime feedback into T (Algorithm 2, lines 10-11).
+		labels, err := bottleneck.ForFlavor(g, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		w := t.cfg.FeedbackWeight
+		if w < 1 {
+			w = 1
+		}
+		for i, op := range g.Operators() {
+			if labels[i] < 0 {
+				continue
+			}
+			p := cur[op.ID]
+			sample := mono.Sample{Embedding: embs[i], Parallelism: p, Label: labels[i]}
+			for k := 0; k < w; k++ {
+				t.train = append(t.train, sample)
+			}
+			// Monotonicity-implied augmentation: a bottleneck at p is a
+			// bottleneck at p-1; a non-bottleneck at p stays one at p+1.
+			if labels[i] == 1 {
+				if p+1 > lower[op.ID] {
+					lower[op.ID] = p + 1
+				}
+				if p > 1 {
+					t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: p - 1, Label: 1})
+				}
+			} else if p < cfg.MaxParallelism {
+				t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: p + 1, Label: 0})
+			}
+		}
+		t.trim()
+		if !backpressured && equalRecommendation(t, embs, topo, g, cfg, cur, lower) {
+			break
+		}
+	}
+	res.Parallelism = cur
+	return res, nil
+}
+
+// equalRecommendation refits and checks whether the recommendation is
+// already at its fixed point, avoiding a wasted extra loop round.
+func equalRecommendation(t *Tuner, embs [][]float64, topo []int, g *dag.Graph, cfg engine.Config, cur, lower map[string]int) bool {
+	if err := t.model.Fit(t.train); err != nil {
+		return false
+	}
+	rec := make(map[string]int, len(cur))
+	for _, i := range topo {
+		op := g.OperatorAt(i)
+		p := mono.MinNonBottleneck(t.model, embs[i], cfg.MaxParallelism, t.cfg.Threshold)
+		if lb := lower[op.ID]; p < lb {
+			p = lb
+		}
+		rec[op.ID] = p
+	}
+	return withinBand(rec, cur, t.cfg.StabilityBand)
+}
+
+// withinBand reports whether every operator's recommendation is within
+// band of the current deployment.
+func withinBand(rec, cur map[string]int, band int) bool {
+	if band < 0 {
+		band = 0
+	}
+	for k, v := range rec {
+		d := v - cur[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > band {
+			return false
+		}
+	}
+	return len(rec) == len(cur)
+}
+
+func equal(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TrainingSamples returns a copy of the fine-tuning dataset T, for
+// diagnostics and tests.
+func (t *Tuner) TrainingSamples() []mono.Sample {
+	return append([]mono.Sample(nil), t.train...)
+}

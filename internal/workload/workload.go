@@ -1,0 +1,75 @@
+// Package workload provides the source-rate simulation of the StreamTune
+// evaluation: per-query source-rate units (Table II) and the periodic
+// rate pattern used to drive 120 rate changes per query (§V-A).
+package workload
+
+import "math/rand"
+
+// BasicCycle is the paper's basic cycle of ten source-rate multipliers,
+// each to be multiplied by the query's rate unit Wu.
+var BasicCycle = []int{3, 7, 4, 2, 1, 10, 8, 5, 6, 9}
+
+// CycleRepeats is how many times the basic cycle is replicated to form
+// one permutation sequence (the paper forms sequences of 20 rates).
+const CycleRepeats = 2
+
+// NumPermutations is the number of distinct permutations of the replicated
+// sequence generated per query, yielding 20*6 = 120 rate changes.
+const NumPermutations = 6
+
+// Pattern is a sequence of source-rate multipliers for one tuning run.
+type Pattern struct {
+	// Multipliers holds the per-step factors to apply to the rate unit.
+	Multipliers []int
+}
+
+// Len reports the number of rate changes in the pattern.
+func (p Pattern) Len() int { return len(p.Multipliers) }
+
+// Rates materializes the pattern against a rate unit Wu, in
+// records/second.
+func (p Pattern) Rates(wu float64) []float64 {
+	out := make([]float64, len(p.Multipliers))
+	for i, m := range p.Multipliers {
+		out[i] = float64(m) * wu
+	}
+	return out
+}
+
+// PeriodicPatterns generates the paper's evaluation schedule: the basic
+// cycle replicated CycleRepeats times, permuted NumPermutations times with
+// the given seed. The first permutation is the identity (the replicated
+// basic cycle itself); the rest are seeded shuffles, so results are
+// reproducible.
+func PeriodicPatterns(seed int64) []Pattern {
+	base := make([]int, 0, len(BasicCycle)*CycleRepeats)
+	for i := 0; i < CycleRepeats; i++ {
+		base = append(base, BasicCycle...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	patterns := make([]Pattern, 0, NumPermutations)
+	patterns = append(patterns, Pattern{Multipliers: append([]int(nil), base...)})
+	for i := 1; i < NumPermutations; i++ {
+		perm := append([]int(nil), base...)
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		patterns = append(patterns, Pattern{Multipliers: perm})
+	}
+	return patterns
+}
+
+// TotalChanges reports the total number of rate changes across a set of
+// patterns (the paper's 120 per query).
+func TotalChanges(ps []Pattern) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Len()
+	}
+	return n
+}
+
+// RandomMultiplier draws a uniform multiplier in [1, 10] for pre-training
+// data generation (the paper samples rates in (1Wu, 10Wu) distinct from
+// the tuning-time rates).
+func RandomMultiplier(rng *rand.Rand) float64 {
+	return 1 + 9*rng.Float64()
+}

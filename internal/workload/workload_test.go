@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCycle(t *testing.T) {
+	if len(BasicCycle) != 10 {
+		t.Fatalf("basic cycle length = %d, want 10", len(BasicCycle))
+	}
+	// The cycle is a permutation of 1..10 (paper §V-A).
+	seen := make(map[int]bool)
+	for _, m := range BasicCycle {
+		if m < 1 || m > 10 || seen[m] {
+			t.Fatalf("cycle %v is not a permutation of 1..10", BasicCycle)
+		}
+		seen[m] = true
+	}
+}
+
+func TestPeriodicPatternsShape(t *testing.T) {
+	ps := PeriodicPatterns(42)
+	if len(ps) != NumPermutations {
+		t.Fatalf("patterns = %d, want %d", len(ps), NumPermutations)
+	}
+	for i, p := range ps {
+		if p.Len() != len(BasicCycle)*CycleRepeats {
+			t.Fatalf("pattern %d length = %d, want %d", i, p.Len(), len(BasicCycle)*CycleRepeats)
+		}
+	}
+	if got := TotalChanges(ps); got != 120 {
+		t.Fatalf("TotalChanges = %d, want 120 (paper: 20x6)", got)
+	}
+}
+
+func TestPeriodicPatternsArePermutationsOfSameMultiset(t *testing.T) {
+	ps := PeriodicPatterns(7)
+	want := append([]int(nil), ps[0].Multipliers...)
+	sort.Ints(want)
+	for i, p := range ps {
+		got := append([]int(nil), p.Multipliers...)
+		sort.Ints(got)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("pattern %d is not a permutation of the replicated cycle", i)
+			}
+		}
+	}
+}
+
+func TestPeriodicPatternsDeterministic(t *testing.T) {
+	a := PeriodicPatterns(99)
+	b := PeriodicPatterns(99)
+	for i := range a {
+		for j := range a[i].Multipliers {
+			if a[i].Multipliers[j] != b[i].Multipliers[j] {
+				t.Fatal("same seed produced different patterns")
+			}
+		}
+	}
+	c := PeriodicPatterns(100)
+	diff := false
+	for i := 1; i < len(a) && !diff; i++ {
+		for j := range a[i].Multipliers {
+			if a[i].Multipliers[j] != c[i].Multipliers[j] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical shuffles")
+	}
+}
+
+func TestRates(t *testing.T) {
+	p := Pattern{Multipliers: []int{3, 7}}
+	r := p.Rates(1000)
+	if r[0] != 3000 || r[1] != 7000 {
+		t.Fatalf("Rates = %v, want [3000 7000]", r)
+	}
+}
+
+func TestRandomMultiplierRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomMultiplier(rng)
+		return m >= 1 && m <= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package streamtune is the public API of the StreamTune reproduction:
+// adaptive parallelism tuning for stream processing systems via
+// pre-trained GNN encoders over dataflow DAGs and an online fine-tuning
+// loop with a monotonic bottleneck-prediction model (ICDE 2025,
+// arXiv:2504.12074).
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - Building logical dataflow DAGs (Graph, Operator, operator types).
+//   - The simulated execution substrates (Engine, Flink/Timely flavors).
+//   - The Nexmark and PQP evaluation workloads.
+//   - Historical-corpus generation, pre-training, and online tuning.
+//   - The DS2, ContTune and ZeroTune baselines.
+//
+// See examples/quickstart for a minimal end-to-end walkthrough.
+package streamtune
+
+import (
+	"github.com/streamtune/streamtune/internal/baselines/conttune"
+	"github.com/streamtune/streamtune/internal/baselines/ds2"
+	"github.com/streamtune/streamtune/internal/baselines/zerotune"
+	"github.com/streamtune/streamtune/internal/bottleneck"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+	"github.com/streamtune/streamtune/internal/streamtune"
+	"github.com/streamtune/streamtune/internal/workload"
+)
+
+// Dataflow DAG model.
+type (
+	// Graph is a logical dataflow DAG.
+	Graph = dag.Graph
+	// Operator is a dataflow operator with the static features of the
+	// paper's Table I.
+	Operator = dag.Operator
+	// OpType identifies an operator's computational role.
+	OpType = dag.OpType
+)
+
+// NewGraph returns an empty named dataflow graph.
+func NewGraph(name string) *Graph { return dag.New(name) }
+
+// Operator types.
+const (
+	Source     = dag.Source
+	Sink       = dag.Sink
+	Map        = dag.Map
+	Filter     = dag.Filter
+	FlatMap    = dag.FlatMap
+	Join       = dag.Join
+	Aggregate  = dag.Aggregate
+	WindowOp   = dag.WindowOp
+	WindowJoin = dag.WindowJoin
+)
+
+// Execution substrate.
+type (
+	// Engine is the simulated DSPS (Flink or Timely flavor).
+	Engine = engine.Engine
+	// EngineConfig parameterizes an Engine.
+	EngineConfig = engine.Config
+	// Flavor selects Flink or Timely semantics.
+	Flavor = engine.Flavor
+	// JobMetrics is one measurement window.
+	JobMetrics = engine.JobMetrics
+	// OpMetrics is one operator's runtime metrics.
+	OpMetrics = engine.OpMetrics
+)
+
+// Engine flavors.
+const (
+	Flink  = engine.Flink
+	Timely = engine.Timely
+)
+
+// NewEngine creates a simulated engine for a job graph.
+func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) { return engine.New(g, cfg) }
+
+// DefaultEngineConfig returns the evaluation defaults for a flavor.
+func DefaultEngineConfig(f Flavor) EngineConfig { return engine.DefaultConfig(f) }
+
+// Histories and pre-training.
+type (
+	// Corpus is a set of labeled historical executions.
+	Corpus = history.Corpus
+	// Execution is one historical run.
+	Execution = history.Execution
+	// HistoryOptions configures corpus generation.
+	HistoryOptions = history.Options
+	// Config parameterizes StreamTune pre-training and online tuning.
+	Config = streamtune.Config
+	// PreTrained is the offline pre-training artifact.
+	PreTrained = streamtune.PreTrained
+	// Tuner is the online fine-tuning loop (Algorithm 2).
+	Tuner = streamtune.Tuner
+	// TuneResult summarizes one tuning process.
+	TuneResult = streamtune.Result
+	// System is the engine surface the tuner drives.
+	System = streamtune.System
+	// GNNConfig parameterizes the dataflow encoder.
+	GNNConfig = gnn.Config
+)
+
+// DefaultHistoryOptions returns corpus-generation defaults for a flavor.
+func DefaultHistoryOptions(f Flavor) HistoryOptions { return history.DefaultOptions(f) }
+
+// GenerateHistory executes randomized runs of the graphs and labels them
+// with Algorithm 1, producing a pre-training corpus.
+func GenerateHistory(graphs []*Graph, opts HistoryOptions) (*Corpus, error) {
+	return history.Generate(graphs, opts)
+}
+
+// DefaultConfig returns the paper's StreamTune configuration.
+func DefaultConfig() Config { return streamtune.DefaultConfig() }
+
+// PreTrain clusters the corpus by Graph Edit Distance and trains one GNN
+// encoder per cluster on operator-level bottleneck prediction.
+func PreTrain(corpus *Corpus, cfg Config) (*PreTrained, error) {
+	return streamtune.PreTrain(corpus, cfg)
+}
+
+// NewTuner assigns a target job to its nearest cluster and prepares the
+// online fine-tuning state.
+func NewTuner(pt *PreTrained, g *Graph) (*Tuner, error) { return streamtune.NewTuner(pt, g) }
+
+// Bottleneck labeling (Algorithm 1).
+const (
+	// Unlabeled marks operators whose adequacy is inconclusive.
+	Unlabeled = bottleneck.Unlabeled
+	// NonBottleneck marks operators that keep up with their input.
+	NonBottleneck = bottleneck.NonBottleneck
+	// Bottleneck marks operators whose processing ability is
+	// insufficient.
+	Bottleneck = bottleneck.Bottleneck
+)
+
+// LabelBottlenecks runs Algorithm 1 on a measurement window.
+func LabelBottlenecks(g *Graph, m *JobMetrics, cfg EngineConfig) ([]int, error) {
+	return bottleneck.ForFlavor(g, m, cfg)
+}
+
+// Workloads.
+type (
+	// NexmarkQuery identifies a Nexmark benchmark query.
+	NexmarkQuery = nexmark.Query
+	// PQPTemplate identifies a PQP synthetic query template.
+	PQPTemplate = pqp.Template
+	// RatePattern is a periodic source-rate schedule.
+	RatePattern = workload.Pattern
+)
+
+// Nexmark queries evaluated in the paper.
+const (
+	NexmarkQ1 = nexmark.Q1
+	NexmarkQ2 = nexmark.Q2
+	NexmarkQ3 = nexmark.Q3
+	NexmarkQ5 = nexmark.Q5
+	NexmarkQ8 = nexmark.Q8
+)
+
+// PQP templates.
+const (
+	PQPLinear       = pqp.Linear
+	PQPTwoWayJoin   = pqp.TwoWayJoin
+	PQPThreeWayJoin = pqp.ThreeWayJoin
+)
+
+// BuildNexmark constructs a Nexmark query DAG with Table II rate units.
+func BuildNexmark(q NexmarkQuery, f Flavor) (*Graph, error) { return nexmark.Build(q, f) }
+
+// BuildPQP constructs one deterministic PQP query variant.
+func BuildPQP(t PQPTemplate, variant int) (*Graph, error) { return pqp.Build(t, variant) }
+
+// PeriodicRatePatterns returns the paper's periodic source-rate schedule
+// (6 permutations x 20 changes).
+func PeriodicRatePatterns(seed int64) []RatePattern { return workload.PeriodicPatterns(seed) }
+
+// Baselines.
+type (
+	// DS2Result is the outcome of one DS2 tuning process.
+	DS2Result = ds2.Result
+	// ContTuneTuner is the ContTune Bayesian-optimization tuner.
+	ContTuneTuner = conttune.Tuner
+	// ContTuneResult is the outcome of one ContTune tuning process.
+	ContTuneResult = conttune.Result
+	// ZeroTuneModel is the zero-shot job-level cost model.
+	ZeroTuneModel = zerotune.Model
+)
+
+// TuneDS2 runs the DS2 controller against a deployed engine.
+func TuneDS2(e *Engine) (*DS2Result, error) { return ds2.Tune(e, ds2.DefaultOptions()) }
+
+// NewContTune creates a ContTune tuner with the paper's alpha = 3.
+func NewContTune() *ContTuneTuner { return conttune.NewTuner(conttune.DefaultOptions()) }
+
+// TrainZeroTune fits the ZeroTune cost model on a corpus.
+func TrainZeroTune(corpus *Corpus, gcfg GNNConfig) (*ZeroTuneModel, error) {
+	return zerotune.Train(corpus, gcfg, zerotune.DefaultTrainOptions())
+}
