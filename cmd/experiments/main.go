@@ -6,50 +6,115 @@
 //	experiments -exp fig6            # one experiment
 //	experiments -exp all             # everything
 //	experiments -exp fig7a -quick    # CI-scale configuration
+//	experiments -exp all -workers 8  # bound the worker pool
 //
 // Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
 // fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
 // ablation-global, all.
+//
+// -workers bounds the fan-out of each parallel stage (concurrent
+// drivers, experiment cells, corpus samples, GED pairs, per-cluster
+// training). Stages nest, so the total number of live goroutines can
+// exceed N — the Go scheduler still caps effective CPU parallelism at
+// GOMAXPROCS. Every parallel path is deterministic, so the rendered
+// tables are identical for any worker count. 0 (the default) uses
+// every CPU; 1 reproduces the fully sequential run.
+//
+// Unless -bench-out is empty, a BENCH_experiments.json wall-clock
+// summary (total and per-driver seconds, worker count) is written so
+// speedups can be tracked across runs.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"github.com/streamtune/streamtune/internal/experiments"
+	"github.com/streamtune/streamtune/internal/parallel"
 )
+
+// allDrivers is the fixed rendering order of -exp all.
+var allDrivers = []string{
+	"table2", "fig4", "fig5", "fig6", "fig7a", "table3", "fig9a",
+	"fig7b", "fig8a", "fig8bcd", "fig9b", "fig10", "fig11a", "fig11b",
+	"ablation-noise", "ablation-global",
+}
+
+// benchSummary is the wall-clock record written to -bench-out.
+type benchSummary struct {
+	Experiment    string             `json:"experiment"`
+	Quick         bool               `json:"quick"`
+	Workers       int                `json:"workers"`
+	NumCPU        int                `json:"num_cpu"`
+	TotalSeconds  float64            `json:"total_seconds"`
+	DriverSeconds map[string]float64 `json:"driver_seconds"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see package doc)")
 	quick := flag.Bool("quick", false, "use the scaled-down configuration")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	benchOut := flag.String("bench-out", "BENCH_experiments.json", "wall-clock summary path (empty to disable)")
 	flag.Parse()
 
 	opts := experiments.Full()
 	if *quick {
 		opts = experiments.Quick()
 	}
+	opts.Parallelism = *workers
 
-	if err := run(*exp, opts); err != nil {
+	summary := &benchSummary{
+		Experiment:    *exp,
+		Quick:         *quick,
+		Workers:       parallel.Workers(*workers),
+		NumCPU:        runtime.NumCPU(),
+		DriverSeconds: make(map[string]float64),
+	}
+	start := time.Now()
+	if err := run(*exp, opts, summary); err != nil {
 		log.Fatalf("experiment %s: %v", *exp, err)
+	}
+	summary.TotalSeconds = time.Since(start).Seconds()
+
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, summary); err != nil {
+			log.Fatalf("bench summary: %v", err)
+		}
 	}
 }
 
-func run(exp string, opts experiments.Options) error {
+func writeBench(path string, s *benchSummary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(exp string, opts experiments.Options, summary *benchSummary) error {
 	out := os.Stdout
 	needSweep := map[string]bool{"fig6": true, "fig7a": true, "table3": true, "fig9a": true, "all": true}
 
 	var sweep []*experiments.CycleStats
 	if needSweep[exp] {
+		sweepStart := time.Now()
 		var err error
 		sweep, err = experiments.Sweep(opts)
 		if err != nil {
 			return err
 		}
+		summary.DriverSeconds["sweep"] = time.Since(sweepStart).Seconds()
 	}
 
-	once := func(id string) error {
+	once := func(id string, out io.Writer) error {
 		switch id {
 		case "table2":
 			t, err := experiments.Table2()
@@ -156,18 +221,60 @@ func run(exp string, opts experiments.Options) error {
 		return nil
 	}
 
-	if exp != "all" {
-		return once(exp)
+	timed := func(id string, out io.Writer) error {
+		driverStart := time.Now()
+		err := once(id, out)
+		summary.DriverSeconds[id] = time.Since(driverStart).Seconds()
+		return err
 	}
-	for _, id := range []string{
-		"table2", "fig4", "fig5", "fig6", "fig7a", "table3", "fig9a",
-		"fig7b", "fig8a", "fig8bcd", "fig9b", "fig10", "fig11a", "fig11b",
-		"ablation-noise", "ablation-global",
-	} {
-		if err := once(id); err != nil {
-			return err
+
+	if exp != "all" {
+		return timed(exp, out)
+	}
+
+	// Run every driver concurrently, each rendering into its own buffer.
+	// Buffers are flushed incrementally in the fixed allDrivers order as
+	// their drivers complete, so stdout streams like a sequential run
+	// and is byte-identical to one; if a driver fails, everything before
+	// it has already been printed (a failed driver's partial buffer is
+	// never flushed). The memoizing artifact cache deduplicates the
+	// shared corpora and pre-training work across drivers, and each
+	// driver additionally fans its own cells out.
+	bufs := make([]bytes.Buffer, len(allDrivers))
+	times := make([]float64, len(allDrivers))
+	var mu sync.Mutex
+	done := make([]bool, len(allDrivers))
+	flushed := 0
+	var flushErr error
+	flushPrefix := func() { // caller holds mu
+		for flushed < len(allDrivers) && done[flushed] {
+			if _, err := bufs[flushed].WriteTo(out); err != nil && flushErr == nil {
+				flushErr = err
+			}
+			fmt.Fprintln(out)
+			flushed++
 		}
-		fmt.Fprintln(out)
+	}
+	err := parallel.ForEach(len(allDrivers), opts.Parallelism, func(i int) error {
+		driverStart := time.Now()
+		err := once(allDrivers[i], &bufs[i])
+		times[i] = time.Since(driverStart).Seconds()
+		mu.Lock()
+		if err == nil {
+			done[i] = true
+		}
+		flushPrefix()
+		mu.Unlock()
+		return err
+	})
+	for i, id := range allDrivers {
+		summary.DriverSeconds[id] = times[i]
+	}
+	if err != nil {
+		return err
+	}
+	if flushErr != nil {
+		return flushErr
 	}
 	return nil
 }

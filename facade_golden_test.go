@@ -1,0 +1,152 @@
+package streamtune_test
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune"
+	"github.com/streamtune/streamtune/internal/bottleneck"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+	istreamtune "github.com/streamtune/streamtune/internal/streamtune"
+	"github.com/streamtune/streamtune/internal/workload"
+)
+
+// TestGoldenOperatorTypeReExports pins every re-exported operator type
+// to its internal value: downstream users persist graphs built from the
+// facade constants, so a drift would corrupt their data silently.
+func TestGoldenOperatorTypeReExports(t *testing.T) {
+	golden := []struct {
+		name     string
+		facade   streamtune.OpType
+		internal dag.OpType
+	}{
+		{"Source", streamtune.Source, dag.Source},
+		{"Sink", streamtune.Sink, dag.Sink},
+		{"Map", streamtune.Map, dag.Map},
+		{"Filter", streamtune.Filter, dag.Filter},
+		{"FlatMap", streamtune.FlatMap, dag.FlatMap},
+		{"Join", streamtune.Join, dag.Join},
+		{"Aggregate", streamtune.Aggregate, dag.Aggregate},
+		{"WindowOp", streamtune.WindowOp, dag.WindowOp},
+		{"WindowJoin", streamtune.WindowJoin, dag.WindowJoin},
+	}
+	seen := make(map[dag.OpType]string, len(golden))
+	for _, c := range golden {
+		if c.facade != c.internal {
+			t.Errorf("%s: facade %v != internal %v", c.name, c.facade, c.internal)
+		}
+		if prev, dup := seen[c.internal]; dup {
+			t.Errorf("%s aliases %s", c.name, prev)
+		}
+		seen[c.internal] = c.name
+	}
+}
+
+// TestGoldenFlavorAndQueryReExports pins engine flavors, Nexmark query
+// ids, and PQP template ids.
+func TestGoldenFlavorAndQueryReExports(t *testing.T) {
+	if streamtune.Flink != engine.Flink || streamtune.Timely != engine.Timely {
+		t.Error("engine flavor re-exports drifted")
+	}
+	queries := []struct {
+		facade   streamtune.NexmarkQuery
+		internal nexmark.Query
+	}{
+		{streamtune.NexmarkQ1, nexmark.Q1},
+		{streamtune.NexmarkQ2, nexmark.Q2},
+		{streamtune.NexmarkQ3, nexmark.Q3},
+		{streamtune.NexmarkQ5, nexmark.Q5},
+		{streamtune.NexmarkQ8, nexmark.Q8},
+	}
+	for _, c := range queries {
+		if c.facade != c.internal {
+			t.Errorf("query re-export %v != %v", c.facade, c.internal)
+		}
+	}
+	templates := []struct {
+		facade   streamtune.PQPTemplate
+		internal pqp.Template
+	}{
+		{streamtune.PQPLinear, pqp.Linear},
+		{streamtune.PQPTwoWayJoin, pqp.TwoWayJoin},
+		{streamtune.PQPThreeWayJoin, pqp.ThreeWayJoin},
+	}
+	for _, c := range templates {
+		if c.facade != c.internal {
+			t.Errorf("template re-export %v != %v", c.facade, c.internal)
+		}
+	}
+	if streamtune.Unlabeled != bottleneck.Unlabeled ||
+		streamtune.NonBottleneck != bottleneck.NonBottleneck ||
+		streamtune.Bottleneck != bottleneck.Bottleneck {
+		t.Error("bottleneck label re-exports drifted")
+	}
+}
+
+// TestGoldenConstructorsDelegate asserts the facade constructors return
+// the same artifacts as the internal packages they wrap.
+func TestGoldenConstructorsDelegate(t *testing.T) {
+	fg, err := streamtune.BuildNexmark(streamtune.NexmarkQ5, streamtune.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := nexmark.Build(nexmark.Q5, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fg.Name != ig.Name || fg.NumOperators() != ig.NumOperators() || fg.NumEdges() != ig.NumEdges() {
+		t.Errorf("BuildNexmark(%s) = %s/%d ops, internal %s/%d ops",
+			nexmark.Q5, fg.Name, fg.NumOperators(), ig.Name, ig.NumOperators())
+	}
+
+	fp, err := streamtune.BuildPQP(streamtune.PQPTwoWayJoin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := pqp.Build(pqp.TwoWayJoin, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Name != ip.Name || fp.NumOperators() != ip.NumOperators() {
+		t.Errorf("BuildPQP variant drifted: %s vs %s", fp.Name, ip.Name)
+	}
+
+	fpats := streamtune.PeriodicRatePatterns(7)
+	ipats := workload.PeriodicPatterns(7)
+	if len(fpats) != len(ipats) {
+		t.Fatalf("patterns = %d, internal %d", len(fpats), len(ipats))
+	}
+	for i := range fpats {
+		if fpats[i].Len() != ipats[i].Len() {
+			t.Fatalf("pattern %d length drifted", i)
+		}
+		for j, m := range fpats[i].Multipliers {
+			if ipats[i].Multipliers[j] != m {
+				t.Fatalf("pattern %d multiplier %d drifted", i, j)
+			}
+		}
+	}
+}
+
+// TestGoldenDefaultConfigDelegates asserts the facade's DefaultConfig
+// and engine defaults are the internal ones, including the new Workers
+// knob's zero value (auto parallelism).
+func TestGoldenDefaultConfigDelegates(t *testing.T) {
+	fc := streamtune.DefaultConfig()
+	ic := istreamtune.DefaultConfig()
+	if fc.Model != ic.Model || fc.Threshold != ic.Threshold ||
+		fc.Train.Epochs != ic.Train.Epochs || fc.MaxElbowK != ic.MaxElbowK ||
+		fc.Workers != ic.Workers {
+		t.Errorf("DefaultConfig drifted: %+v vs %+v", fc, ic)
+	}
+	if fc.Workers != 0 {
+		t.Errorf("DefaultConfig().Workers = %d, want 0 (auto)", fc.Workers)
+	}
+	fe := streamtune.DefaultEngineConfig(streamtune.Flink)
+	ie := engine.DefaultConfig(engine.Flink)
+	if fe.MaxParallelism != ie.MaxParallelism || fe.MeasureTicks != ie.MeasureTicks {
+		t.Errorf("DefaultEngineConfig drifted: %+v vs %+v", fe, ie)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/streamtune/streamtune
+
+go 1.22

@@ -12,6 +12,7 @@ import (
 
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/simsearch"
 )
 
@@ -27,6 +28,10 @@ type Options struct {
 	Method simsearch.Method
 	// Seed drives centroid initialization.
 	Seed int64
+	// Workers bounds the goroutines used for the pairwise GED work of
+	// the assignment and center-update steps. Results are identical for
+	// every worker count; values below one use every CPU.
+	Workers int
 }
 
 // DefaultOptions returns the clustering setup used in the reproduction
@@ -96,13 +101,14 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 
 	assign := make([]int, n)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		// Assignment step.
+		// Assignment step: the full graphs x centers GED matrix is
+		// computed in parallel, then reduced deterministically.
+		dists := ged.CrossDistances(graphs, centers, opts.Workers)
 		changed := false
-		for i, g := range graphs {
+		for i := range graphs {
 			best, bestD := 0, math.Inf(1)
-			for c, center := range centers {
-				d := ged.Distance(g, center)
-				if d < bestD {
+			for c := range centers {
+				if d := dists[i][c]; d < bestD {
 					best, bestD = c, d
 				}
 			}
@@ -114,7 +120,9 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 		if !changed && iter > 0 {
 			break
 		}
-		// Update step: similarity centers.
+		// Update step: similarity centers. The loop stays sequential so
+		// empty-cluster re-seeding consumes rng draws in a fixed order;
+		// the quadratic similarity search inside each center fans out.
 		for c := 0; c < k; c++ {
 			var members []*dag.Graph
 			var memberIdx []int
@@ -130,7 +138,7 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 				centers[c] = graphs[gi]
 				continue
 			}
-			ci, err := simsearch.Center(members, opts.Tau, opts.Method)
+			ci, err := simsearch.CenterWorkers(members, opts.Tau, opts.Method, opts.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: center of cluster %d: %w", c, err)
 			}
@@ -139,8 +147,14 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Centers: centers, Assignments: assign}
-	for i, g := range graphs {
-		res.Inertia += ged.Distance(g, centers[assign[i]])
+	perGraph, err := parallel.Map(n, opts.Workers, func(i int) (float64, error) {
+		return ged.Distance(graphs[i], centers[assign[i]]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range perGraph {
+		res.Inertia += d
 	}
 	return res, nil
 }

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestKMeansWorkerInvariant asserts clustering is identical for every
+// worker count: the pairwise GED work is pure and the rng-consuming
+// control flow stays sequential.
+func TestKMeansWorkerInvariant(t *testing.T) {
+	gs, _ := twoFamilies()
+	run := func(workers int) *Result {
+		o := DefaultOptions(2)
+		o.Workers = workers
+		r, err := KMeans(gs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		r := run(workers)
+		if r.Inertia != ref.Inertia {
+			t.Fatalf("workers=%d: inertia %v, want %v", workers, r.Inertia, ref.Inertia)
+		}
+		for i := range ref.Assignments {
+			if r.Assignments[i] != ref.Assignments[i] {
+				t.Fatalf("workers=%d: assignment[%d] = %d, want %d",
+					workers, i, r.Assignments[i], ref.Assignments[i])
+			}
+		}
+		for c := range ref.Centers {
+			if r.Centers[c].Name != ref.Centers[c].Name {
+				t.Fatalf("workers=%d: center[%d] = %s, want %s",
+					workers, c, r.Centers[c].Name, ref.Centers[c].Name)
+			}
+		}
+	}
+}
+
+// TestElbowKWorkerInvariant asserts the elbow search is unaffected by
+// the worker count threaded through KMeans.
+func TestElbowKWorkerInvariant(t *testing.T) {
+	gs, _ := twoFamilies()
+	run := func(workers int) (int, []float64) {
+		o := DefaultOptions(0)
+		o.Workers = workers
+		k, inertias, err := ElbowK(gs, 4, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, inertias
+	}
+	refK, refI := run(1)
+	for _, workers := range []int{2, 8} {
+		k, inertias := run(workers)
+		if k != refK {
+			t.Fatalf("workers=%d: elbow k = %d, want %d", workers, k, refK)
+		}
+		for i := range refI {
+			if inertias[i] != refI[i] {
+				t.Fatalf("workers=%d: inertia[%d] = %v, want %v", workers, i, inertias[i], refI[i])
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/streamtune/streamtune/internal/dag"
@@ -287,11 +288,18 @@ func (e *Engine) Run() (*JobMetrics, error) {
 		}
 	}
 
-	// Epoch latencies (Timely).
+	// Epoch latencies (Timely), reported in epoch order: iterating the
+	// epochs map directly would randomize the order per run.
 	if timely {
 		tickDur := 1.0 / tps
 		endTick := totalTicks
-		for ep, s := range epochs {
+		ids := make([]int, 0, len(epochs))
+		for ep := range epochs {
+			ids = append(ids, ep)
+		}
+		sort.Ints(ids)
+		for _, ep := range ids {
+			s := epochs[ep]
 			if s.closedAt < 0 {
 				continue // epoch still open at run end; skip
 			}
@@ -306,7 +314,6 @@ func (e *Engine) Run() (*JobMetrics, error) {
 				lat = tickDur
 			}
 			m.EpochLatencies = append(m.EpochLatencies, lat)
-			_ = ep
 		}
 		e.epochClock += totalTicks
 	}

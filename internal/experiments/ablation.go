@@ -9,6 +9,7 @@ import (
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/simsearch"
 	"github.com/streamtune/streamtune/internal/streamtune"
 	"github.com/streamtune/streamtune/internal/workload"
@@ -28,16 +29,25 @@ func Fig11a(opts Options) (*Table, error) {
 		Header: []string{"Query", "Model", "Avg reconfigs", "Backpressure events"},
 	}
 	queries := []nexmark.Query{nexmark.Q3, nexmark.Q5, nexmark.Q8}
-	for _, model := range []string{"nn", "svm", "xgb"} {
-		cfg := streamtune.DefaultConfig()
-		cfg.Train.Epochs = opts.TrainEpochs
-		cfg.Cluster.K = 3 // fixed k: the ablation varies the model, not the clustering
-		cfg.Model = model
-		pt, err := streamtune.PreTrain(corpus, cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, q := range queries {
+	models := []string{"nn", "svm", "xgb"}
+	// Pre-train once: Config.Model only selects the fine-tuned head that
+	// NewTuner instantiates, so the clustering and encoders are
+	// bit-identical across models and per-model copies just override the
+	// head selection.
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = opts.TrainEpochs
+	cfg.Cluster.K = 3 // fixed k: the ablation varies the model, not the clustering
+	cfg.Workers = opts.Parallelism
+	base, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := parallel.Map(len(models), opts.Parallelism, func(mi int) ([][]string, error) {
+		model := models[mi]
+		pt := *base // shallow copy; the shared encoders/corpus are read-only
+		pt.Config.Model = model
+		return parallel.Map(len(queries), opts.Parallelism, func(qi int) ([]string, error) {
+			q := queries[qi]
 			g, err := nexmark.Build(q, engine.Flink)
 			if err != nil {
 				return nil, err
@@ -49,16 +59,22 @@ func Fig11a(opts Options) (*Table, error) {
 			w := Workload{Name: string(q), Graph: g, Units: units, Nexmark: true}
 			o := opts
 			o.Patterns = 1
-			stats, err := RunCycle(w, MethodStreamTune, cycleEnv{pt: pt}, o, engine.Flink)
+			stats, err := RunCycle(w, MethodStreamTune, cycleEnv{pt: &pt}, o, engine.Flink)
 			if err != nil {
 				return nil, err
 			}
-			t.Rows = append(t.Rows, []string{
+			return []string{
 				string(q), model,
 				fmt.Sprintf("%.2f", stats.AvgReconfigurations()),
 				fmt.Sprintf("%d", stats.BackpressureEvents),
-			})
-		}
+			}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rs := range rows {
+		t.Rows = append(t.Rows, rs...)
 	}
 	return t, nil
 }
@@ -145,34 +161,34 @@ func AblationNoise(opts Options, noises []float64) ([]NoiseRow, error) {
 		return nil, err
 	}
 
-	var rows []NoiseRow
-	for _, noise := range noises {
+	return parallel.Map(len(noises), opts.Parallelism, func(ni int) (NoiseRow, error) {
+		noise := noises[ni]
 		row := NoiseRow{Noise: noise}
 		for _, method := range []string{MethodDS2, MethodStreamTune} {
 			eng, st, err := noisyEngine(g, units, noise, opts, pt, method)
 			if err != nil {
-				return nil, err
+				return NoiseRow{}, err
 			}
 			procs, reconfigs, bp := 0, 0, 0
 			pat := workload.PeriodicPatterns(opts.Seed)[0]
 			for _, mult := range pat.Multipliers {
 				for id, wu := range units {
 					if err := eng.SetSourceRate(id, wu*float64(mult)); err != nil {
-						return nil, err
+						return NoiseRow{}, err
 					}
 				}
 				switch method {
 				case MethodDS2:
 					r, err := ds2.Tune(eng, ds2.DefaultOptions())
 					if err != nil {
-						return nil, err
+						return NoiseRow{}, err
 					}
 					reconfigs += r.Reconfigurations
 					bp += r.BackpressureEvents
 				case MethodStreamTune:
 					r, err := st.Tune(eng)
 					if err != nil {
-						return nil, err
+						return NoiseRow{}, err
 					}
 					reconfigs += r.Reconfigurations
 					bp += r.BackpressureEvents
@@ -186,9 +202,8 @@ func AblationNoise(opts Options, noises []float64) ([]NoiseRow, error) {
 				row.StreamTuneRecfg, row.StreamTuneBackpres = avg, bp
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func noisyEngine(g *dag.Graph, units map[string]float64, noise float64, opts Options, pt *streamtune.PreTrained, method string) (*engine.Engine, *streamtune.Tuner, error) {
@@ -230,10 +245,13 @@ func AblationGlobal(opts Options) (*Table, error) {
 		Title:  "Ablation: clustered vs global encoder (Nexmark Q5)",
 		Header: []string{"Mode", "Avg reconfigs", "Backpressure events", "Final parallelism @10Wu"},
 	}
-	for _, global := range []bool{false, true} {
+	modes := []bool{false, true}
+	rows, err := parallel.Map(len(modes), opts.Parallelism, func(i int) ([]string, error) {
+		global := modes[i]
 		cfg := streamtune.DefaultConfig()
 		cfg.Train.Epochs = opts.TrainEpochs
 		cfg.Global = global
+		cfg.Workers = opts.Parallelism
 		pt, err := streamtune.PreTrain(corpus, cfg)
 		if err != nil {
 			return nil, err
@@ -257,12 +275,16 @@ func AblationGlobal(opts Options) (*Table, error) {
 		if global {
 			mode = "global"
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			mode,
 			fmt.Sprintf("%.2f", stats.AvgReconfigurations()),
 			fmt.Sprintf("%d", stats.BackpressureEvents),
 			fmt.Sprintf("%d", stats.FinalParallelismAt10Wu),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }

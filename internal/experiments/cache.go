@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// The figure drivers repeatedly rebuild the same expensive artifacts:
+// the pre-training corpus, the clustered PreTrained model, and the
+// Sweep environment (PreTrained + ZeroTune). All of them are pure
+// functions of (flavor, Options[, holdout]), so a process-wide
+// memoizing cache builds each once and shares it across drivers — the
+// "-exp all" suite then pays for pre-training once instead of once per
+// figure. Entries are keyed on the full option struct (Go's comparable
+// structs subsume an explicit options hash), so any scale change misses
+// the cache instead of returning a stale artifact.
+//
+// Cached artifacts are shared across concurrently running drivers and
+// must therefore be treated as immutable by every consumer; the tuners
+// and baselines only ever read them.
+
+type corpusKey struct {
+	flavor engine.Flavor
+	opts   Options
+}
+
+type pretrainKey struct {
+	flavor  engine.Flavor
+	opts    Options
+	holdout string // "\x00"-joined holdout names
+}
+
+type envKey struct {
+	opts Options
+}
+
+type fig8Key struct {
+	opts Options
+}
+
+// pretrainArtifact pairs the two values PreTrain returns.
+type pretrainArtifact struct {
+	pt     *streamtune.PreTrained
+	corpus *history.Corpus
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+type artifactCache struct {
+	mu      sync.Mutex
+	entries map[any]*cacheEntry
+}
+
+// do returns the memoized artifact for key, invoking build exactly once
+// per key even under concurrent callers (other callers of the same key
+// block until the first build finishes).
+func (c *artifactCache) do(key any, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[any]*cacheEntry)
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// reset drops every cached artifact (tests use this to force genuinely
+// independent rebuilds when comparing worker counts).
+func (c *artifactCache) reset() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+}
+
+// sharedArtifacts is the process-wide cache used by BuildCorpus,
+// PreTrain, and buildEnv.
+var sharedArtifacts artifactCache
+
+// ResetArtifactCache drops all memoized corpora and pre-training
+// artifacts, forcing the next drivers to rebuild from scratch.
+func ResetArtifactCache() { sharedArtifacts.reset() }
+
+func holdoutKey(holdout []string) string { return strings.Join(holdout, "\x00") }

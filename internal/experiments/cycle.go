@@ -10,6 +10,7 @@ import (
 	"github.com/streamtune/streamtune/internal/baselines/zerotune"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/streamtune"
 	"github.com/streamtune/streamtune/internal/workload"
 )
@@ -192,7 +193,10 @@ func methodsFor(w Workload) []string {
 // Sweep runs every (workload, method) pair of the Flink evaluation and
 // returns the stats in deterministic order. One pre-training pass and
 // one ZeroTune model are shared across workloads — exactly the paper's
-// setup (global history, PQP-only ZeroTune).
+// setup (global history, PQP-only ZeroTune). The cells are mutually
+// independent (each owns its engine and tuner; the pre-trained
+// artifacts are only read), so they run on up to opts.Parallelism
+// workers with results delivered in sequential order.
 func Sweep(opts Options) ([]*CycleStats, error) {
 	ws, err := FlinkWorkloads(opts)
 	if err != nil {
@@ -202,35 +206,44 @@ func Sweep(opts Options) ([]*CycleStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*CycleStats
+	type cell struct {
+		w      Workload
+		method string
+	}
+	var cells []cell
 	for _, w := range ws {
 		for _, method := range methodsFor(w) {
-			s, err := RunCycle(w, method, env, opts, engine.Flink)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, s)
+			cells = append(cells, cell{w: w, method: method})
 		}
 	}
-	return out, nil
+	return parallel.Map(len(cells), opts.Parallelism, func(i int) (*CycleStats, error) {
+		return RunCycle(cells[i].w, cells[i].method, env, opts, engine.Flink)
+	})
 }
 
 // buildEnv pre-trains StreamTune on the full corpus and ZeroTune on the
-// PQP subset.
+// PQP subset. The environment is memoized per options and shared (read
+// only) across drivers.
 func buildEnv(opts Options) (cycleEnv, error) {
-	pt, corpus, err := PreTrain(engine.Flink, opts)
+	v, err := sharedArtifacts.do(envKey{opts: opts}, func() (any, error) {
+		pt, corpus, err := PreTrain(engine.Flink, opts)
+		if err != nil {
+			return nil, err
+		}
+		pqpCorpus := pqpOnly(corpus)
+		ztOpts := zerotune.DefaultTrainOptions()
+		ztOpts.Epochs = opts.TrainEpochs
+		gcfg := pt.Config.GNN
+		ztm, err := zerotune.Train(pqpCorpus, gcfg, ztOpts)
+		if err != nil {
+			return nil, err
+		}
+		return cycleEnv{pt: pt, ztm: ztm}, nil
+	})
 	if err != nil {
 		return cycleEnv{}, err
 	}
-	pqpCorpus := pqpOnly(corpus)
-	ztOpts := zerotune.DefaultTrainOptions()
-	ztOpts.Epochs = opts.TrainEpochs
-	gcfg := pt.Config.GNN
-	ztm, err := zerotune.Train(pqpCorpus, gcfg, ztOpts)
-	if err != nil {
-		return cycleEnv{}, err
-	}
-	return cycleEnv{pt: pt, ztm: ztm}, nil
+	return v.(cycleEnv), nil
 }
 
 // pqpOnly filters a corpus down to PQP executions (graph names carry the

@@ -41,6 +41,16 @@ type Options struct {
 	PQPVariants int
 	// MeasureTicks is the engine measurement window per run.
 	MeasureTicks int
+	// Parallelism bounds the fan-out of each parallel stage of the
+	// evaluation: corpus generation, GED clustering, per-cluster GNN
+	// pre-training, and the independent experiment cells (workload x
+	// method, parallelism sweeps). Stages nest, so total live
+	// goroutines can exceed this value — effective CPU parallelism is
+	// still capped at GOMAXPROCS by the runtime. Every parallel path is
+	// deterministic, so results are identical for any value; 1 runs
+	// fully sequentially (the seed behavior) and values below one use
+	// every CPU.
+	Parallelism int
 }
 
 // Full returns the paper-scale configuration.
@@ -174,48 +184,68 @@ func CorpusGraphs(flavor engine.Flavor) ([]*dag.Graph, error) {
 	return out, nil
 }
 
-// BuildCorpus generates the pre-training corpus for the flavor.
+// BuildCorpus generates the pre-training corpus for the flavor. The
+// result is memoized per (flavor, opts) and shared across drivers;
+// callers must not mutate it.
 func BuildCorpus(flavor engine.Flavor, opts Options) (*history.Corpus, error) {
-	graphs, err := CorpusGraphs(flavor)
+	v, err := sharedArtifacts.do(corpusKey{flavor: flavor, opts: opts}, func() (any, error) {
+		graphs, err := CorpusGraphs(flavor)
+		if err != nil {
+			return nil, err
+		}
+		hopts := history.DefaultOptions(flavor)
+		hopts.SamplesPerGraph = opts.CorpusSamples
+		hopts.Seed = opts.Seed
+		hopts.Engine.MeasureTicks = opts.MeasureTicks
+		hopts.Workers = opts.Parallelism
+		return history.Generate(graphs, hopts)
+	})
 	if err != nil {
 		return nil, err
 	}
-	hopts := history.DefaultOptions(flavor)
-	hopts.SamplesPerGraph = opts.CorpusSamples
-	hopts.Seed = opts.Seed
-	hopts.Engine.MeasureTicks = opts.MeasureTicks
-	return history.Generate(graphs, hopts)
+	return v.(*history.Corpus), nil
 }
 
 // PreTrain builds the corpus and pre-trains StreamTune for the flavor.
 // The holdout list removes job structures (by graph name) from the
-// corpus before training — used by the unseen-workload case study.
+// corpus before training — used by the unseen-workload case study. The
+// artifact is memoized per (flavor, opts, holdout) and shared across
+// drivers; callers must treat it as read-only.
 func PreTrain(flavor engine.Flavor, opts Options, holdout ...string) (*streamtune.PreTrained, *history.Corpus, error) {
-	corpus, err := BuildCorpus(flavor, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(holdout) > 0 {
-		skip := make(map[string]bool, len(holdout))
-		for _, h := range holdout {
-			skip[h] = true
+	key := pretrainKey{flavor: flavor, opts: opts, holdout: holdoutKey(holdout)}
+	v, err := sharedArtifacts.do(key, func() (any, error) {
+		corpus, err := BuildCorpus(flavor, opts)
+		if err != nil {
+			return nil, err
 		}
-		kept := &history.Corpus{}
-		for _, ex := range corpus.Executions {
-			if !skip[ex.Graph.Name] {
-				kept.Executions = append(kept.Executions, ex)
+		if len(holdout) > 0 {
+			skip := make(map[string]bool, len(holdout))
+			for _, h := range holdout {
+				skip[h] = true
 			}
+			kept := &history.Corpus{}
+			for _, ex := range corpus.Executions {
+				if !skip[ex.Graph.Name] {
+					kept.Executions = append(kept.Executions, ex)
+				}
+			}
+			corpus = kept
 		}
-		corpus = kept
-	}
-	cfg := streamtune.DefaultConfig()
-	cfg.Train.Epochs = opts.TrainEpochs
-	cfg.GNN.PMax = engine.DefaultConfig(flavor).MaxParallelism
-	pt, err := streamtune.PreTrain(corpus, cfg)
+		cfg := streamtune.DefaultConfig()
+		cfg.Train.Epochs = opts.TrainEpochs
+		cfg.GNN.PMax = engine.DefaultConfig(flavor).MaxParallelism
+		cfg.Workers = opts.Parallelism
+		pt, err := streamtune.PreTrain(corpus, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return pretrainArtifact{pt: pt, corpus: corpus}, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return pt, corpus, nil
+	art := v.(pretrainArtifact)
+	return art.pt, art.corpus, nil
 }
 
 // Table is a generic printable result: a header and rows of cells.

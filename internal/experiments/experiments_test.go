@@ -7,11 +7,18 @@ import (
 	"github.com/streamtune/streamtune/internal/engine"
 )
 
+// tiny returns sub-Quick options for tests; under -short it shrinks the
+// corpus and training further so the suite stays fast (the comparative
+// shapes the gated tests assert need the larger scale).
 func tiny() Options {
 	o := Quick()
 	o.CorpusSamples = 10
 	o.TrainEpochs = 5
 	o.MeasureTicks = 40
+	if testing.Short() {
+		o.CorpusSamples = 4
+		o.TrainEpochs = 2
+	}
 	return o
 }
 
@@ -151,7 +158,13 @@ func TestCycleShapes(t *testing.T) {
 }
 
 func TestFig11bSpeedup(t *testing.T) {
-	tab, err := Fig11b(tiny(), []int{40})
+	// Direct GED is the quadratic no-pruning baseline; shrink the
+	// dataset under -short where it dominates the suite's runtime.
+	sizes := []int{40}
+	if testing.Short() {
+		sizes = []int{8}
+	}
+	tab, err := Fig11b(tiny(), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/pqp"
 )
 
@@ -110,24 +111,41 @@ func Fig4(opts Options) ([]Fig4Point, int, int, error) {
 		return pa, om.CPULoad > 0.95 && m.Backpressured, nil
 	}
 
-	var points []Fig4Point
-	filterThreshold, windowThreshold := -1, -1
-	for p := 1; p <= 25; p++ {
+	// Every (operator, parallelism) measurement owns a fresh graph and
+	// engine, so the 25-point sweep fans out; the threshold scan below
+	// consumes the samples in parallelism order, independent of worker
+	// scheduling.
+	const maxP = 25
+	type sample struct {
+		fpa, wpa float64
+		fbn, wbn bool
+	}
+	samples, err := parallel.Map(maxP, opts.Parallelism, func(i int) (sample, error) {
+		p := i + 1
 		fpa, fbn, err := measure("filter", p)
 		if err != nil {
-			return nil, 0, 0, err
+			return sample{}, err
 		}
 		wpa, wbn, err := measure("window", p)
 		if err != nil {
-			return nil, 0, 0, err
+			return sample{}, err
 		}
-		if !fbn && filterThreshold < 0 {
+		return sample{fpa: fpa, wpa: wpa, fbn: fbn, wbn: wbn}, nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var points []Fig4Point
+	filterThreshold, windowThreshold := -1, -1
+	for i, s := range samples {
+		p := i + 1
+		if !s.fbn && filterThreshold < 0 {
 			filterThreshold = p
 		}
-		if !wbn && windowThreshold < 0 {
+		if !s.wbn && windowThreshold < 0 {
 			windowThreshold = p
 		}
-		points = append(points, Fig4Point{Parallelism: p, FilterPA: fpa, WindowPA: wpa})
+		points = append(points, Fig4Point{Parallelism: p, FilterPA: s.fpa, WindowPA: s.wpa})
 	}
 	return points, filterThreshold, windowThreshold, nil
 }
@@ -293,19 +311,24 @@ func Fig10(opts Options) (*Table, error) {
 	}
 	o := opts
 	o.Patterns = 1
+	var traced []Workload
 	for _, w := range ws {
-		if !wanted[w.Name] {
-			continue
+		if wanted[w.Name] {
+			traced = append(traced, w)
 		}
-		stats, err := RunCycle(w, MethodStreamTune, env, o, engine.Flink)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := parallel.Map(len(traced), opts.Parallelism, func(i int) (*CycleStats, error) {
+		return RunCycle(traced[i], MethodStreamTune, env, o, engine.Flink)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, stats := range results {
 		iter := 0
 		for _, trace := range stats.CPUTraces {
 			for _, u := range trace {
 				t.Rows = append(t.Rows, []string{
-					w.Name, fmt.Sprintf("%d", iter), fmt.Sprintf("%.1f", 100*u),
+					traced[i].Name, fmt.Sprintf("%d", iter), fmt.Sprintf("%.1f", 100*u),
 				})
 				iter++
 			}

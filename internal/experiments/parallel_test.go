@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/parallel"
+	"github.com/streamtune/streamtune/internal/pqp"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// withWorkers returns tiny options pinned to a worker count.
+func withWorkers(workers int) Options {
+	o := tiny()
+	o.Parallelism = workers
+	return o
+}
+
+// fig4Fingerprint hashes every Fig4 sample and threshold.
+func fig4Fingerprint(t *testing.T, opts Options) string {
+	t.Helper()
+	points, ft, wt, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "ft=%d wt=%d\n", ft, wt)
+	for _, p := range points {
+		fmt.Fprintf(h, "%d|%.12e|%.12e\n", p.Parallelism, p.FilterPA, p.WindowPA)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestFig4WorkerInvariant asserts the parallelism sweep produces
+// bit-identical measurements at Parallelism=1 and Parallelism=8.
+func TestFig4WorkerInvariant(t *testing.T) {
+	seq := fig4Fingerprint(t, withWorkers(1))
+	par := fig4Fingerprint(t, withWorkers(8))
+	if seq != par {
+		t.Fatalf("Fig4 diverged: workers=1 %s vs workers=8 %s", seq, par)
+	}
+}
+
+// corpusFingerprint hashes the generated corpus content.
+func corpusFingerprint(t *testing.T, opts Options) string {
+	t.Helper()
+	corpus, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for _, ex := range corpus.Executions {
+		fmt.Fprintf(h, "%s|%v|%d|%.12e\n", ex.Graph.Name, ex.Labels, ex.TotalParallelism, ex.Deficit)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestBuildCorpusWorkerInvariant asserts corpus generation is identical
+// across worker counts. The cache is keyed on the full option struct
+// (including Parallelism), so the two corpora are genuinely rebuilt.
+func TestBuildCorpusWorkerInvariant(t *testing.T) {
+	ResetArtifactCache()
+	defer ResetArtifactCache()
+	seq := corpusFingerprint(t, withWorkers(1))
+	par := corpusFingerprint(t, withWorkers(8))
+	if seq != par {
+		t.Fatalf("corpus diverged: workers=1 %s vs workers=8 %s", seq, par)
+	}
+}
+
+// TestBuildCorpusMemoized asserts the artifact cache returns the same
+// corpus instance for repeated identical requests and rebuilds after a
+// reset.
+func TestBuildCorpusMemoized(t *testing.T) {
+	ResetArtifactCache()
+	defer ResetArtifactCache()
+	opts := withWorkers(1)
+	a, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeated BuildCorpus with identical options rebuilt the corpus")
+	}
+	ResetArtifactCache()
+	c, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("BuildCorpus returned a cached corpus after ResetArtifactCache")
+	}
+}
+
+// TestPreTrainHoldoutDistinctFromFull asserts the holdout variant is
+// cached under its own key rather than aliasing the full artifact.
+func TestPreTrainHoldoutDistinctFromFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GED-clusters the full 61-graph corpus twice")
+	}
+	ResetArtifactCache()
+	defer ResetArtifactCache()
+	opts := withWorkers(1)
+	_, full, err := PreTrain(engine.Flink, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, held, err := PreTrain(engine.Flink, opts, full.Executions[0].Graph.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() == held.Len() {
+		t.Fatalf("holdout corpus len %d not reduced from %d", held.Len(), full.Len())
+	}
+}
+
+// smallEnv pre-trains on a four-structure corpus (no elbow search), so
+// concurrent-cell tests stay cheap enough for race mode under -short.
+func smallEnv(t *testing.T) cycleEnv {
+	t.Helper()
+	q2, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := nexmark.Build(nexmark.Q3, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := pqp.Build(pqp.Linear, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := pqp.Build(pqp.TwoWayJoin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopts := history.DefaultOptions(engine.Flink)
+	hopts.SamplesPerGraph = 6
+	hopts.Engine.MeasureTicks = 30
+	corpus, err := history.Generate([]*dag.Graph{q2, q3, lin, two}, hopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := streamtune.DefaultConfig()
+	cfg.Train.Epochs = 2
+	cfg.Cluster.K = 2
+	pt, err := streamtune.PreTrain(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cycleEnv{pt: pt}
+}
+
+// TestRunCycleCellsWorkerInvariant drives concurrent workload x method
+// tuning cells — the unit Sweep parallelizes — against a shared
+// PreTrained artifact and asserts the statistics match a sequential
+// run. Unlike TestSweepWorkerInvariant this stays cheap enough to run
+// under -race -short, giving the concurrent cell path standing race
+// coverage in CI.
+func TestRunCycleCellsWorkerInvariant(t *testing.T) {
+	env := smallEnv(t)
+	q2, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := nexmark.RateUnit(nexmark.Q2, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{Name: "(Nexmark)Q2", Graph: q2, Units: units, Nexmark: true}
+	opts := tiny()
+	opts.Patterns = 1
+	opts.MeasureTicks = 30
+	methods := []string{MethodDS2, MethodContTune, MethodStreamTune}
+
+	run := func(workers int) []*CycleStats {
+		o := opts
+		o.Parallelism = workers
+		stats, err := parallel.Map(len(methods), workers, func(i int) (*CycleStats, error) {
+			return RunCycle(w, methods[i], env, o, engine.Flink)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	ref := run(1)
+	par := run(8)
+	for i := range ref {
+		a, b := ref[i], par[i]
+		if a.Method != b.Method || a.Processes != b.Processes ||
+			a.Reconfigurations != b.Reconfigurations ||
+			a.BackpressureEvents != b.BackpressureEvents ||
+			a.FinalParallelismAt10Wu != b.FinalParallelismAt10Wu {
+			t.Fatalf("cell %s diverged: workers=1 %+v vs workers=8 %+v", a.Method, a, b)
+		}
+		for k, v := range a.FinalParallelism {
+			if b.FinalParallelism[k] != v {
+				t.Fatalf("cell %s: final parallelism[%s] = %d, want %d",
+					a.Method, k, b.FinalParallelism[k], v)
+			}
+		}
+	}
+}
+
+// sweepFingerprint hashes every deterministic field of a sweep: the
+// wall-clock RecommendTime is excluded (it is genuine measured time),
+// the simulated TuneDurations are included.
+func sweepFingerprint(t *testing.T, opts Options) string {
+	t.Helper()
+	stats, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for _, s := range stats {
+		fmt.Fprintf(h, "%s|%s|p=%d r=%d bp=%d f10=%d durs=%v\n",
+			s.Workload, s.Method, s.Processes, s.Reconfigurations,
+			s.BackpressureEvents, s.FinalParallelismAt10Wu, s.TuneDurations)
+		keys := make([]string, 0, len(s.FinalParallelism))
+		for k := range s.FinalParallelism {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(h, "  %s=%d\n", k, s.FinalParallelism[k])
+		}
+		for _, trace := range s.CPUTraces {
+			fmt.Fprintf(h, "  cpu=%.12v\n", trace)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestSweepWorkerInvariant asserts the full Flink evaluation sweep —
+// corpus, clustering, pre-training, and all workload x method tuning
+// cells — produces identical statistics at Parallelism=1 and
+// Parallelism=8. This is the end-to-end determinism contract behind the
+// -workers flag of cmd/experiments.
+func TestSweepWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep integration test")
+	}
+	ResetArtifactCache()
+	defer ResetArtifactCache()
+	seq := sweepFingerprint(t, withWorkers(1))
+	par := sweepFingerprint(t, withWorkers(8))
+	if seq != par {
+		t.Fatalf("sweep diverged: workers=1 %s vs workers=8 %s", seq, par)
+	}
+}
+
+// TestFig8WorkerInvariant asserts the Timely generality evaluation is
+// identical across worker counts.
+func TestFig8WorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timely integration test")
+	}
+	ResetArtifactCache()
+	defer ResetArtifactCache()
+	run := func(opts Options) string {
+		results, err := Fig8(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha256.New()
+		for _, r := range results {
+			fmt.Fprintf(h, "%s|%s|%d|%.12v\n", r.Workload, r.Method, r.Total, r.Latencies)
+		}
+		return fmt.Sprintf("%x", h.Sum(nil))
+	}
+	seq := run(withWorkers(1))
+	par := run(withWorkers(8))
+	if seq != par {
+		t.Fatalf("Fig8 diverged: workers=1 %s vs workers=8 %s", seq, par)
+	}
+}

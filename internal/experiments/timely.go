@@ -8,6 +8,7 @@ import (
 	"github.com/streamtune/streamtune/internal/baselines/ds2"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/streamtune"
 )
 
@@ -24,8 +25,20 @@ type TimelyResult struct {
 
 // Fig8 runs the generality evaluation on the Timely flavor: final
 // parallelism at 10 x Wu per method (Fig. 8a) and per-epoch latency
-// distributions under the recommended configurations (Fig. 8b-d).
+// distributions under the recommended configurations (Fig. 8b-d). The
+// results are memoized per options and shared (read-only) between the
+// fig8a and fig8bcd drivers, which render different views of one sweep.
 func Fig8(opts Options) ([]*TimelyResult, error) {
+	v, err := sharedArtifacts.do(fig8Key{opts: opts}, func() (any, error) {
+		return fig8Compute(opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*TimelyResult), nil
+}
+
+func fig8Compute(opts Options) ([]*TimelyResult, error) {
 	ws, err := TimelyWorkloads()
 	if err != nil {
 		return nil, err
@@ -35,74 +48,83 @@ func Fig8(opts Options) ([]*TimelyResult, error) {
 		return nil, err
 	}
 
-	var out []*TimelyResult
+	// Each (workload, method) cell owns its engines and tuner state; the
+	// shared PreTrained artifact is read-only, so the cells fan out.
+	type cell struct {
+		w      Workload
+		method string
+	}
+	var cells []cell
 	for _, w := range ws {
 		for _, method := range []string{MethodDS2, MethodContTune, MethodStreamTune} {
-			g := w.Graph.Clone()
-			w.SetRate(g, 10)
-			ecfg := engine.DefaultConfig(engine.Timely)
-			ecfg.Seed = opts.Seed
-			ecfg.MeasureTicks = opts.MeasureTicks
-			eng, err := engine.New(g, ecfg)
-			if err != nil {
-				return nil, err
-			}
-			initial := make(map[string]int)
-			for _, op := range g.Operators() {
-				initial[op.ID] = 1
-			}
-			if err := eng.Deploy(initial); err != nil {
-				return nil, err
-			}
-
-			res := &TimelyResult{Workload: w.Name, Method: method}
-			switch method {
-			case MethodDS2:
-				r, err := ds2.Tune(eng, ds2.DefaultOptions())
-				if err != nil {
-					return nil, err
-				}
-				res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
-			case MethodContTune:
-				ct := conttune.NewTuner(conttune.DefaultOptions())
-				r, err := ct.Tune(eng)
-				if err != nil {
-					return nil, err
-				}
-				res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
-			case MethodStreamTune:
-				st, err := streamtune.NewTuner(pt, eng.Graph())
-				if err != nil {
-					return nil, err
-				}
-				r, err := st.Tune(eng)
-				if err != nil {
-					return nil, err
-				}
-				res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
-			}
-
-			// Measure per-epoch latencies under the final deployment
-			// with a longer window for a denser CDF.
-			lcfg := ecfg
-			lcfg.MeasureTicks = opts.MeasureTicks * 3
-			leng, err := engine.New(w.Graph.Clone(), lcfg)
-			if err != nil {
-				return nil, err
-			}
-			w.SetRate(leng.Graph(), 10)
-			if err := leng.Deploy(res.Parallelism); err != nil {
-				return nil, err
-			}
-			m, err := leng.Run()
-			if err != nil {
-				return nil, err
-			}
-			res.Latencies = m.EpochLatencies
-			out = append(out, res)
+			cells = append(cells, cell{w: w, method: method})
 		}
 	}
-	return out, nil
+	return parallel.Map(len(cells), opts.Parallelism, func(i int) (*TimelyResult, error) {
+		w, method := cells[i].w, cells[i].method
+		g := w.Graph.Clone()
+		w.SetRate(g, 10)
+		ecfg := engine.DefaultConfig(engine.Timely)
+		ecfg.Seed = opts.Seed
+		ecfg.MeasureTicks = opts.MeasureTicks
+		eng, err := engine.New(g, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		initial := make(map[string]int)
+		for _, op := range g.Operators() {
+			initial[op.ID] = 1
+		}
+		if err := eng.Deploy(initial); err != nil {
+			return nil, err
+		}
+
+		res := &TimelyResult{Workload: w.Name, Method: method}
+		switch method {
+		case MethodDS2:
+			r, err := ds2.Tune(eng, ds2.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
+		case MethodContTune:
+			ct := conttune.NewTuner(conttune.DefaultOptions())
+			r, err := ct.Tune(eng)
+			if err != nil {
+				return nil, err
+			}
+			res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
+		case MethodStreamTune:
+			st, err := streamtune.NewTuner(pt, eng.Graph())
+			if err != nil {
+				return nil, err
+			}
+			r, err := st.Tune(eng)
+			if err != nil {
+				return nil, err
+			}
+			res.Parallelism, res.Total = r.Parallelism, r.TotalParallelism()
+		}
+
+		// Measure per-epoch latencies under the final deployment
+		// with a longer window for a denser CDF.
+		lcfg := ecfg
+		lcfg.MeasureTicks = opts.MeasureTicks * 3
+		leng, err := engine.New(w.Graph.Clone(), lcfg)
+		if err != nil {
+			return nil, err
+		}
+		w.SetRate(leng.Graph(), 10)
+		if err := leng.Deploy(res.Parallelism); err != nil {
+			return nil, err
+		}
+		m, err := leng.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.Latencies = m.EpochLatencies
+		return res, nil
+	})
 }
 
 // Fig8aTable renders final Timely parallelism per method.

@@ -1,0 +1,41 @@
+package ged
+
+import (
+	"math"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/parallel"
+)
+
+// CrossDistances computes the full queries x targets GED matrix with up
+// to workers goroutines. Each cell is an independent exact search over
+// immutable graph views, so the matrix is identical for every worker
+// count. out[i][j] = Distance(queries[i], targets[j]).
+func CrossDistances(queries, targets []*dag.Graph, workers int) [][]float64 {
+	// Build the compact views once per graph instead of once per pair.
+	qv := make([]*graphView, len(queries))
+	for i, g := range queries {
+		qv[i] = view(g)
+	}
+	tv := make([]*graphView, len(targets))
+	for j, g := range targets {
+		tv[j] = view(g)
+	}
+	out := make([][]float64, len(queries))
+	for i := range out {
+		out[i] = make([]float64, len(targets))
+	}
+	if len(targets) == 0 {
+		return out
+	}
+	// Fan out over cells, not rows: with few targets (typical K-means
+	// assignment has K centers) rows would under-utilize the pool.
+	n := len(queries) * len(targets)
+	_ = parallel.ForEach(n, workers, func(c int) error {
+		i, j := c/len(targets), c%len(targets)
+		d, _ := search(qv[i], tv[j], math.Inf(1), true)
+		out[i][j] = d
+		return nil
+	})
+	return out
+}

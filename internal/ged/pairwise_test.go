@@ -1,0 +1,56 @@
+package ged
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+func chain(name string, types ...dag.OpType) *dag.Graph {
+	g := dag.New(name)
+	g.MustAddOperator(&dag.Operator{ID: "s", Type: dag.Source})
+	prev := "s"
+	for i, ty := range types {
+		id := string(rune('a' + i))
+		g.MustAddOperator(&dag.Operator{ID: id, Type: ty})
+		g.MustAddEdge(prev, id)
+		prev = id
+	}
+	g.MustAddOperator(&dag.Operator{ID: "k", Type: dag.Sink})
+	g.MustAddEdge(prev, "k")
+	return g
+}
+
+func TestCrossDistancesMatchesDistance(t *testing.T) {
+	queries := []*dag.Graph{
+		chain("a", dag.Map),
+		chain("b", dag.Map, dag.Filter),
+		chain("c", dag.Join, dag.Aggregate),
+	}
+	targets := []*dag.Graph{
+		chain("x", dag.Filter),
+		chain("y", dag.Map, dag.Filter, dag.Aggregate),
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := CrossDistances(queries, targets, workers)
+		for i, q := range queries {
+			for j, tg := range targets {
+				want := Distance(q, tg)
+				if got[i][j] != want {
+					t.Fatalf("workers=%d: [%d][%d] = %v, want %v", workers, i, j, got[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossDistancesEmpty(t *testing.T) {
+	if got := CrossDistances(nil, nil, 4); len(got) != 0 {
+		t.Fatalf("CrossDistances(nil, nil) = %v", got)
+	}
+	qs := []*dag.Graph{chain("a", dag.Map)}
+	got := CrossDistances(qs, nil, 4)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("CrossDistances(qs, nil) = %v, want one empty row", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/streamtune/streamtune/internal/bottleneck"
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/workload"
 )
 
@@ -83,6 +84,11 @@ type Options struct {
 	Seed int64
 	// Engine is the engine configuration to execute histories with.
 	Engine engine.Config
+	// Workers bounds the goroutines executing sample runs. All sampling
+	// randomness is drawn up front on the calling goroutine, so the
+	// corpus is identical for every worker count (including 1, which
+	// runs inline). Values below one use every CPU.
+	Workers int
 }
 
 // DefaultOptions returns the paper's pre-training sampling setup on the
@@ -97,10 +103,23 @@ func DefaultOptions(f engine.Flavor) Options {
 	}
 }
 
+// sampleDraw is the pre-drawn randomness of one corpus sample. Drawing
+// every random value sequentially before fanning the engine runs out
+// keeps the corpus bit-identical to a fully sequential generation for
+// any worker count.
+type sampleDraw struct {
+	base        *dag.Graph
+	multiplier  float64
+	engineSeed  int64
+	parallelism map[string]int
+}
+
 // Generate executes SamplesPerGraph randomized runs of every graph and
 // labels each run with Algorithm 1. Source rates are drawn uniformly in
 // (1, 10) rate units, where the graphs' current rates are taken as one
 // unit; parallelism degrees are drawn uniformly in [1, MaxParallelism].
+// Runs execute on up to Workers goroutines; the corpus content and
+// ordering do not depend on the worker count.
 func Generate(graphs []*dag.Graph, opts Options) (*Corpus, error) {
 	if opts.SamplesPerGraph <= 0 {
 		return nil, fmt.Errorf("history: SamplesPerGraph must be positive")
@@ -108,48 +127,64 @@ func Generate(graphs []*dag.Graph, opts Options) (*Corpus, error) {
 	if opts.MaxParallelism < 1 {
 		return nil, fmt.Errorf("history: MaxParallelism must be >= 1")
 	}
+	// Phase 1 (sequential): draw all sampling randomness in the exact
+	// order the sequential generator consumed it.
 	rng := rand.New(rand.NewSource(opts.Seed))
-	corpus := &Corpus{}
+	pmax := opts.MaxParallelism
+	if pmax > opts.Engine.MaxParallelism {
+		pmax = opts.Engine.MaxParallelism
+	}
+	var draws []sampleDraw
 	for _, base := range graphs {
 		for s := 0; s < opts.SamplesPerGraph; s++ {
-			g := base.Clone()
-			g.ScaleSourceRates(workload.RandomMultiplier(rng))
-
-			cfg := opts.Engine
-			cfg.Seed = rng.Int63()
-			eng, err := engine.New(g, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("history: %s: %w", g.Name, err)
+			d := sampleDraw{
+				base:        base,
+				multiplier:  workload.RandomMultiplier(rng),
+				engineSeed:  rng.Int63(),
+				parallelism: make(map[string]int, base.NumOperators()),
 			}
-			par := make(map[string]int, g.NumOperators())
-			pmax := opts.MaxParallelism
-			if pmax > cfg.MaxParallelism {
-				pmax = cfg.MaxParallelism
+			for _, op := range base.Operators() {
+				d.parallelism[op.ID] = 1 + rng.Intn(pmax)
 			}
-			for _, op := range g.Operators() {
-				par[op.ID] = 1 + rng.Intn(pmax)
-			}
-			if err := eng.Deploy(par); err != nil {
-				return nil, fmt.Errorf("history: deploy %s: %w", g.Name, err)
-			}
-			m, err := eng.Run()
-			if err != nil {
-				return nil, fmt.Errorf("history: run %s: %w", g.Name, err)
-			}
-			labels, err := bottleneck.ForFlavor(eng.Graph(), m, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("history: label %s: %w", g.Name, err)
-			}
-			corpus.Executions = append(corpus.Executions, Execution{
-				Graph:            eng.Graph(),
-				Parallelism:      par,
-				Labels:           labels,
-				Deficit:          deficit(eng.Graph(), m),
-				TotalParallelism: eng.TotalParallelism(),
-			})
+			draws = append(draws, d)
 		}
 	}
-	return corpus, nil
+
+	// Phase 2 (parallel): execute and label each pre-drawn sample.
+	execs, err := parallel.Map(len(draws), opts.Workers, func(i int) (Execution, error) {
+		d := draws[i]
+		g := d.base.Clone()
+		g.ScaleSourceRates(d.multiplier)
+
+		cfg := opts.Engine
+		cfg.Seed = d.engineSeed
+		eng, err := engine.New(g, cfg)
+		if err != nil {
+			return Execution{}, fmt.Errorf("history: %s: %w", g.Name, err)
+		}
+		if err := eng.Deploy(d.parallelism); err != nil {
+			return Execution{}, fmt.Errorf("history: deploy %s: %w", g.Name, err)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			return Execution{}, fmt.Errorf("history: run %s: %w", g.Name, err)
+		}
+		labels, err := bottleneck.ForFlavor(eng.Graph(), m, cfg)
+		if err != nil {
+			return Execution{}, fmt.Errorf("history: label %s: %w", g.Name, err)
+		}
+		return Execution{
+			Graph:            eng.Graph(),
+			Parallelism:      d.parallelism,
+			Labels:           labels,
+			Deficit:          deficit(eng.Graph(), m),
+			TotalParallelism: eng.TotalParallelism(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{Executions: execs}, nil
 }
 
 // deficit computes the job-level performance shortfall of one run: one

@@ -1,0 +1,55 @@
+package history
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// TestGenerateWorkerInvariant asserts corpus generation is bit-identical
+// for every worker count: the sampling randomness is drawn before the
+// fan-out, so scheduling cannot perturb it.
+func TestGenerateWorkerInvariant(t *testing.T) {
+	graphs := smallGraphSet(t)
+	base := DefaultOptions(engine.Flink)
+	base.SamplesPerGraph = 6
+	base.Engine.MeasureTicks = 30
+
+	gen := func(workers int) *Corpus {
+		opts := base
+		opts.Workers = workers
+		c, err := Generate(graphs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	ref := gen(1)
+	for _, workers := range []int{2, 8} {
+		c := gen(workers)
+		if c.Len() != ref.Len() {
+			t.Fatalf("workers=%d: corpus size %d, want %d", workers, c.Len(), ref.Len())
+		}
+		for i := range ref.Executions {
+			a, b := ref.Executions[i], c.Executions[i]
+			if a.Graph.Name != b.Graph.Name {
+				t.Fatalf("workers=%d: execution %d graph %s, want %s", workers, i, b.Graph.Name, a.Graph.Name)
+			}
+			if a.Deficit != b.Deficit || a.TotalParallelism != b.TotalParallelism {
+				t.Fatalf("workers=%d: execution %d diverged: %+v vs %+v", workers, i, b, a)
+			}
+			for id, p := range a.Parallelism {
+				if b.Parallelism[id] != p {
+					t.Fatalf("workers=%d: execution %d parallelism[%s] = %d, want %d",
+						workers, i, id, b.Parallelism[id], p)
+				}
+			}
+			for j := range a.Labels {
+				if a.Labels[j] != b.Labels[j] {
+					t.Fatalf("workers=%d: execution %d label %d diverged", workers, i, j)
+				}
+			}
+		}
+	}
+}

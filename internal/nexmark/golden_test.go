@@ -1,0 +1,144 @@
+package nexmark
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// edgeList renders a graph's edges as sorted "from->to" strings.
+func edgeList(t *testing.T, q Query, f engine.Flavor) []string {
+	t.Helper()
+	g, err := Build(q, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []string
+	for i := 0; i < g.NumOperators(); i++ {
+		from := g.OperatorAt(i).ID
+		for _, d := range g.Downstream(i) {
+			edges = append(edges, fmt.Sprintf("%s->%s", from, g.OperatorAt(d).ID))
+		}
+	}
+	sort.Strings(edges)
+	return edges
+}
+
+// TestGoldenDAGShapes pins the exact operator count and edge list of
+// every evaluated Nexmark query: the DAG topologies are model inputs
+// (GED, GNN features), so a silent shape change would invalidate every
+// downstream result.
+func TestGoldenDAGShapes(t *testing.T) {
+	golden := []struct {
+		q     Query
+		ops   int
+		edges []string
+	}{
+		{Q1, 3, []string{"bids->currency-map", "currency-map->sink"}},
+		{Q2, 3, []string{"auction-filter->sink", "bids->auction-filter"}},
+		{Q3, 7, []string{
+			"auctions->category-filter",
+			"category-filter->incremental-join",
+			"incremental-join->project",
+			"persons->state-filter",
+			"project->sink",
+			"state-filter->incremental-join",
+		}},
+		{Q5, 4, []string{"bids->sliding-window", "max-agg->sink", "sliding-window->max-agg"}},
+		{Q8, 6, []string{
+			"auction-window->window-join",
+			"auctions->auction-window",
+			"person-window->window-join",
+			"persons->person-window",
+			"window-join->sink",
+		}},
+	}
+	for _, want := range golden {
+		for _, f := range []engine.Flavor{engine.Flink, engine.Timely} {
+			g, err := Build(want.q, f)
+			if err != nil {
+				t.Fatalf("Build(%s, %s): %v", want.q, f, err)
+			}
+			if g.NumOperators() != want.ops {
+				t.Errorf("%s/%s: %d operators, want %d", want.q, f, g.NumOperators(), want.ops)
+			}
+			got := edgeList(t, want.q, f)
+			if len(got) != len(want.edges) {
+				t.Fatalf("%s/%s: edges %v, want %v", want.q, f, got, want.edges)
+			}
+			for i := range got {
+				if got[i] != want.edges[i] {
+					t.Errorf("%s/%s: edge[%d] = %s, want %s", want.q, f, i, got[i], want.edges[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenRateUnits pins the complete Table II: every query, every
+// flavor, every source.
+func TestGoldenRateUnits(t *testing.T) {
+	golden := []struct {
+		q     Query
+		f     engine.Flavor
+		units map[string]float64
+	}{
+		{Q1, engine.Flink, map[string]float64{"bids": 700e3}},
+		{Q1, engine.Timely, map[string]float64{"bids": 9e6}},
+		{Q2, engine.Flink, map[string]float64{"bids": 900e3}},
+		{Q2, engine.Timely, map[string]float64{"bids": 9e6}},
+		{Q3, engine.Flink, map[string]float64{"auctions": 200e3, "persons": 40e3}},
+		{Q3, engine.Timely, map[string]float64{"auctions": 5e6, "persons": 5e6}},
+		{Q5, engine.Flink, map[string]float64{"bids": 80e3}},
+		{Q5, engine.Timely, map[string]float64{"bids": 10e6}},
+		{Q8, engine.Flink, map[string]float64{"auctions": 100e3, "persons": 60e3}},
+		{Q8, engine.Timely, map[string]float64{"auctions": 4e6, "persons": 4e6}},
+	}
+	for _, want := range golden {
+		got, err := RateUnit(want.q, want.f)
+		if err != nil {
+			t.Fatalf("RateUnit(%s, %s): %v", want.q, want.f, err)
+		}
+		if len(got) != len(want.units) {
+			t.Errorf("%s/%s: units %v, want %v", want.q, want.f, got, want.units)
+		}
+		for src, wu := range want.units {
+			if got[src] != wu {
+				t.Errorf("%s/%s: Wu[%s] = %v, want %v", want.q, want.f, src, got[src], wu)
+			}
+		}
+		// The built graph must carry exactly one rate unit per source.
+		g, err := Build(want.q, want.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src, wu := range want.units {
+			op := g.Operator(src)
+			if op == nil {
+				t.Fatalf("%s/%s: source %s missing from graph", want.q, want.f, src)
+			}
+			if op.SourceRate != wu {
+				t.Errorf("%s/%s: graph rate[%s] = %v, want %v", want.q, want.f, src, op.SourceRate, wu)
+			}
+		}
+	}
+}
+
+// TestGoldenRateUnitCopies asserts RateUnit returns a fresh map each
+// call: callers scale the returned units in place.
+func TestGoldenRateUnitCopies(t *testing.T) {
+	a, err := RateUnit(Q1, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a["bids"] = 1
+	b, err := RateUnit(Q1, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["bids"] != 700e3 {
+		t.Fatalf("RateUnit shares state across calls: %v", b["bids"])
+	}
+}

@@ -1,0 +1,100 @@
+// Package parallel provides the bounded worker-pool primitives used to
+// fan independent work out across CPUs: corpus generation, pairwise GED
+// computation, per-cluster GNN pre-training, and the experiment drivers
+// of internal/experiments.
+//
+// Every helper takes an explicit worker count and preserves result
+// determinism: outputs are delivered in input-index order regardless of
+// scheduling, and a worker count of one executes inline on the calling
+// goroutine with exact sequential fail-fast semantics. Callers are
+// responsible for making the work itself schedule-independent (pure
+// functions of the index, or pre-drawn randomness).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values below one mean "use every
+// CPU" (GOMAXPROCS); anything else is returned unchanged.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines. With workers <= 1 the calls run inline, sequentially and
+// fail-fast. With more workers, all indices are attempted unless an
+// error occurs, after which not-yet-started indices are skipped; the
+// recorded error with the lowest index is returned, so the error
+// observed is deterministic whenever a single index fails.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) with at most workers goroutines and returns
+// the results in index order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

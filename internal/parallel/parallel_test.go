@@ -1,0 +1,152 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 250
+		var hits [n]atomic.Int32
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(0, 8, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+func TestForEachSequentialFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran != 4 {
+		t.Fatalf("sequential fail-fast ran %d calls, want 4", ran)
+	}
+}
+
+func TestForEachParallelReturnsLowestIndexError(t *testing.T) {
+	err := ForEach(64, 8, func(i int) error {
+		if i == 17 {
+			return fmt.Errorf("failed at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "failed at 17" {
+		t.Fatalf("err = %v, want the single recorded error", err)
+	}
+}
+
+func TestForEachSkipsAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(10_000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Logf("note: all %d indices ran before the failure was observed", got)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Map(100, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(8, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+}
+
+// TestForEachDeterministicAccumulation checks the contract callers rely
+// on: indexed writes compose into schedule-independent results.
+func TestForEachDeterministicAccumulation(t *testing.T) {
+	ref := make([]float64, 500)
+	for i := range ref {
+		ref[i] = float64(i) * 1.5
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got := make([]float64, len(ref))
+		if err := ForEach(len(ref), workers, func(i int) error {
+			got[i] = float64(i) * 1.5
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: got[%d] = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/parallel"
 )
 
 // Method selects the GED verification used by the search.
@@ -64,14 +65,19 @@ func withinTau(a, b *dag.Graph, tau float64, method Method) bool {
 // similarity searches at threshold tau. Ties break to the lowest index.
 // It returns the index of the center within the cluster slice.
 func Center(cluster []*dag.Graph, tau float64, method Method) (int, error) {
+	return CenterWorkers(cluster, tau, method, 1)
+}
+
+// CenterWorkers is Center with the per-member similarity searches fanned
+// out across up to workers goroutines. GED is a pure function of the two
+// graphs, so the result is identical for every worker count.
+func CenterWorkers(cluster []*dag.Graph, tau float64, method Method, workers int) (int, error) {
 	if len(cluster) == 0 {
 		return -1, fmt.Errorf("simsearch: empty cluster")
 	}
-	counts := make([]int, len(cluster))
-	for _, q := range cluster {
-		for _, idx := range Similar(q, cluster, tau, method) {
-			counts[idx]++
-		}
+	counts, err := appearanceCounts(cluster, tau, method, workers)
+	if err != nil {
+		return -1, err
 	}
 	best := 0
 	for i, c := range counts {
@@ -86,11 +92,25 @@ func Center(cluster []*dag.Graph, tau float64, method Method) (int, error) {
 // similarity searches it appears in at threshold tau. Exposed for tests
 // and diagnostics.
 func AppearanceCounts(cluster []*dag.Graph, tau float64, method Method) []int {
+	counts, _ := appearanceCounts(cluster, tau, method, 1)
+	return counts
+}
+
+// appearanceCounts runs every member's similarity search (in parallel
+// when workers > 1) and joins the per-query hit lists into appearance
+// counts on the calling goroutine, keeping the tally order-independent.
+func appearanceCounts(cluster []*dag.Graph, tau float64, method Method, workers int) ([]int, error) {
+	hits, err := parallel.Map(len(cluster), workers, func(q int) ([]int, error) {
+		return Similar(cluster[q], cluster, tau, method), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	counts := make([]int, len(cluster))
-	for _, q := range cluster {
-		for _, idx := range Similar(q, cluster, tau, method) {
+	for _, hit := range hits {
+		for _, idx := range hit {
 			counts[idx]++
 		}
 	}
-	return counts
+	return counts, nil
 }

@@ -1,0 +1,59 @@
+package streamtune
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPreTrainWorkerInvariant asserts pre-training yields bit-identical
+// encoder weights, clustering, and loss curves for every worker count:
+// each cluster's encoder derives its seed from the cluster id, not from
+// any shared rng consumed under scheduling.
+func TestPreTrainWorkerInvariant(t *testing.T) {
+	corpus := sharedCorpus(t)
+	run := func(workers int) *PreTrained {
+		cfg := testConfig()
+		cfg.Train.Epochs = 4
+		cfg.Workers = workers
+		cfg.Cluster.Workers = workers
+		pt, err := PreTrain(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		pt := run(workers)
+		if len(pt.Encoders) != len(ref.Encoders) {
+			t.Fatalf("workers=%d: %d encoders, want %d", workers, len(pt.Encoders), len(ref.Encoders))
+		}
+		for i := range ref.Clusters.Assignments {
+			if pt.Clusters.Assignments[i] != ref.Clusters.Assignments[i] {
+				t.Fatalf("workers=%d: assignment[%d] diverged", workers, i)
+			}
+		}
+		for c := range ref.Encoders {
+			refW, err := ref.Encoders[c].MarshalParams()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotW, err := pt.Encoders[c].MarshalParams()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refW, gotW) {
+				t.Fatalf("workers=%d: encoder %d weights diverged from sequential training", workers, c)
+			}
+			if len(pt.Losses[c]) != len(ref.Losses[c]) {
+				t.Fatalf("workers=%d: encoder %d loss curve length diverged", workers, c)
+			}
+			for e := range ref.Losses[c] {
+				if pt.Losses[c][e] != ref.Losses[c][e] {
+					t.Fatalf("workers=%d: encoder %d epoch %d loss %v, want %v",
+						workers, c, e, pt.Losses[c][e], ref.Losses[c][e])
+				}
+			}
+		}
+	}
+}

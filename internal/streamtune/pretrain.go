@@ -15,6 +15,7 @@ import (
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/gnn"
 	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/parallel"
 )
 
 // Config parameterizes pre-training and online tuning.
@@ -28,6 +29,12 @@ type Config struct {
 	Cluster cluster.Options
 	// MaxElbowK bounds the elbow search.
 	MaxElbowK int
+	// Workers bounds the goroutines used to train the per-cluster
+	// encoders concurrently (and is forwarded to GED clustering when
+	// Cluster.Workers is unset). Each encoder derives its own seed from
+	// GNN.Seed and its cluster id, so the trained weights are identical
+	// for every worker count; values below one use every CPU.
+	Workers int
 	// Global disables clustering entirely and trains one encoder on the
 	// whole corpus (the paper's limited-pre-training fallback, §VII).
 	Global bool
@@ -107,6 +114,10 @@ func PreTrain(corpus *history.Corpus, cfg Config) (*PreTrained, error) {
 	start := time.Now()
 
 	graphs := corpus.Graphs()
+	copts := cfg.Cluster
+	if copts.Workers == 0 {
+		copts.Workers = cfg.Workers
+	}
 	var clusters *cluster.Result
 	var err error
 	switch {
@@ -116,17 +127,17 @@ func PreTrain(corpus *history.Corpus, cfg Config) (*PreTrained, error) {
 			Centers:     []*dag.Graph{graphs[0]},
 			Assignments: make([]int, len(graphs)),
 		}
-	case cfg.Cluster.K > 0:
-		clusters, err = cluster.KMeans(graphs, cfg.Cluster)
+	case copts.K > 0:
+		clusters, err = cluster.KMeans(graphs, copts)
 	default:
 		maxK := cfg.MaxElbowK
 		if maxK < 1 {
 			maxK = 4
 		}
 		var k int
-		k, _, err = cluster.ElbowK(graphs, maxK, cfg.Cluster)
+		k, _, err = cluster.ElbowK(graphs, maxK, copts)
 		if err == nil {
-			o := cfg.Cluster
+			o := copts
 			o.K = k
 			clusters, err = cluster.KMeans(graphs, o)
 		}
@@ -158,20 +169,34 @@ func PreTrain(corpus *history.Corpus, cfg Config) (*PreTrained, error) {
 		corpus:      corpus,
 		execCluster: execCluster,
 	}
-	for c := 0; c < k; c++ {
+	// Per-cluster encoders train concurrently: each derives its seed
+	// from the cluster id and touches only its own parameters, so the
+	// weights match sequential training for any worker count.
+	type trained struct {
+		enc    *gnn.Encoder
+		losses []float64
+	}
+	encoders, err := parallel.Map(k, cfg.Workers, func(c int) (trained, error) {
 		gcfg := cfg.GNN
 		gcfg.Seed = cfg.GNN.Seed + int64(c)
-		if subCorpora[c].Len() == 0 {
+		sub := subCorpora[c]
+		if sub.Len() == 0 {
 			// An empty cluster still needs an encoder for assignment
 			// fallback; train it on the full corpus.
-			subCorpora[c] = corpus
+			sub = corpus
 		}
-		enc, losses, err := gnn.Pretrain(subCorpora[c], gcfg, cfg.Train)
+		enc, losses, err := gnn.Pretrain(sub, gcfg, cfg.Train)
 		if err != nil {
-			return nil, fmt.Errorf("streamtune: pre-train cluster %d: %w", c, err)
+			return trained{}, fmt.Errorf("streamtune: pre-train cluster %d: %w", c, err)
 		}
-		pt.Encoders = append(pt.Encoders, enc)
-		pt.Losses = append(pt.Losses, losses)
+		return trained{enc: enc, losses: losses}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range encoders {
+		pt.Encoders = append(pt.Encoders, tr.enc)
+		pt.Losses = append(pt.Losses, tr.losses)
 	}
 	pt.TrainTime = time.Since(start)
 	return pt, nil
