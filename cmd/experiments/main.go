@@ -10,7 +10,8 @@
 //
 // Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
 // fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
-// ablation-global, all.
+// ablation-global, ged-bench, all ("all" excludes ged-bench; run it
+// explicitly).
 //
 // -workers bounds the fan-out of each parallel stage (concurrent
 // drivers, experiment cells, corpus samples, GED pairs, per-cluster
@@ -22,7 +23,9 @@
 //
 // Unless -bench-out is empty, a BENCH_experiments.json wall-clock
 // summary (total and per-driver seconds, worker count) is written so
-// speedups can be tracked across runs.
+// speedups can be tracked across runs. The ged-bench experiment
+// additionally writes BENCH_ged.json: per-scale seed-vs-pipeline
+// timings, filter/verify/cache pair counts and A* states expanded.
 package main
 
 import (
@@ -63,6 +66,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the scaled-down configuration")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	benchOut := flag.String("bench-out", "BENCH_experiments.json", "wall-clock summary path (empty to disable)")
+	gedBenchOut := flag.String("ged-bench-out", "BENCH_ged.json", "ged-bench report path (empty to disable)")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -79,7 +83,7 @@ func main() {
 		DriverSeconds: make(map[string]float64),
 	}
 	start := time.Now()
-	if err := run(*exp, opts, summary); err != nil {
+	if err := run(*exp, opts, summary, *gedBenchOut); err != nil {
 		log.Fatalf("experiment %s: %v", *exp, err)
 	}
 	summary.TotalSeconds = time.Since(start).Seconds()
@@ -99,7 +103,7 @@ func writeBench(path string, s *benchSummary) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(exp string, opts experiments.Options, summary *benchSummary) error {
+func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOut string) error {
 	out := os.Stdout
 	needSweep := map[string]bool{"fig6": true, "fig7a": true, "table3": true, "fig9a": true, "all": true}
 
@@ -215,6 +219,25 @@ func run(exp string, opts experiments.Options, summary *benchSummary) error {
 				return err
 			}
 			t.Render(out)
+		case "ged-bench":
+			sizes := []int{80, 160, 320}
+			if opts.CorpusSamples < experiments.Full().CorpusSamples {
+				sizes = []int{24, 48}
+			}
+			rows, err := experiments.GEDBench(opts, sizes)
+			if err != nil {
+				return err
+			}
+			experiments.GEDBenchTable(rows).Render(out)
+			if gedBenchOut != "" {
+				data, err := json.MarshalIndent(rows, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(gedBenchOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

@@ -100,10 +100,14 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 	}
 
 	assign := make([]int, n)
+	// One fingerprint-keyed distance cache spans all iterations: centers
+	// recur across assignment rounds and corpora are full of cloned
+	// templates, so later iterations resolve almost entirely from cache.
+	cache := ged.NewPairCache()
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		// Assignment step: the full graphs x centers GED matrix is
 		// computed in parallel, then reduced deterministically.
-		dists := ged.CrossDistances(graphs, centers, opts.Workers)
+		dists := ged.CrossDistancesCached(graphs, centers, opts.Workers, cache)
 		changed := false
 		for i := range graphs {
 			best, bestD := 0, math.Inf(1)
@@ -138,7 +142,7 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 				centers[c] = graphs[gi]
 				continue
 			}
-			ci, err := simsearch.CenterWorkers(members, opts.Tau, opts.Method, opts.Workers)
+			ci, err := simsearch.CenterWorkersCached(members, opts.Tau, opts.Method, opts.Workers, cache)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: center of cluster %d: %w", c, err)
 			}
@@ -148,7 +152,7 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 
 	res := &Result{Centers: centers, Assignments: assign}
 	perGraph, err := parallel.Map(n, opts.Workers, func(i int) (float64, error) {
-		return ged.Distance(graphs[i], centers[assign[i]]), nil
+		return cache.Distance(graphs[i], centers[assign[i]]), nil
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/simsearch"
+)
+
+// GEDBenchRow is one corpus scale of the GED engine benchmark: the
+// filter-and-verify pipeline (metric index, fingerprint dedup, bounded
+// search) against the seed pipeline (linear scan, raw bounded search
+// per pair) on the same similarity-center and cross-distance workloads,
+// with the pipeline counters showing how pairs were resolved.
+type GEDBenchRow struct {
+	Size             int     `json:"size"`
+	DistinctGraphs   int     `json:"distinct_graphs"`
+	Tau              float64 `json:"tau"`
+	CenterScanSec    float64 `json:"center_scan_seconds"`
+	CenterIndexedSec float64 `json:"center_indexed_seconds"`
+	CenterSpeedup    float64 `json:"center_speedup"`
+	CrossScanSec     float64 `json:"cross_scan_seconds"`
+	CrossDedupSec    float64 `json:"cross_dedup_seconds"`
+	CrossSpeedup     float64 `json:"cross_speedup"`
+	// Pipeline counters accumulated over the indexed/deduped runs.
+	FilterAnswered uint64 `json:"pairs_filter_answered"`
+	Verified       uint64 `json:"pairs_verified"`
+	CacheHits      uint64 `json:"pairs_cache_hits"`
+	StatesExpanded uint64 `json:"states_expanded"`
+	// NoSearchFraction is the fraction of pairs resolved without
+	// opening the A* queue: filter bounds, fingerprint cache, or index
+	// triangle pruning, over all pairs the engine was asked about.
+	NoSearchFraction float64 `json:"no_search_fraction"`
+	// Index pruning counters for the center workload.
+	IndexCandidates uint64 `json:"index_candidates"`
+	IndexPruned     uint64 `json:"index_pruned_lb"`
+	IndexAccepted   uint64 `json:"index_accepted_ub"`
+}
+
+// GEDBench measures the GED engine on corpus-scale similarity workloads
+// (the Fig. 11b setting: perturbed clones of the query-template corpus,
+// tau = 5) and cross-checks that the optimized pipeline returns exactly
+// the seed results at every scale.
+func GEDBench(opts Options, sizes []int) ([]GEDBenchRow, error) {
+	const tau = 5
+	rows := make([]GEDBenchRow, 0, len(sizes))
+	for _, size := range sizes {
+		set := randomDAGSet(opts.Seed, size)
+		if len(set) == 0 {
+			return nil, fmt.Errorf("gedbench: empty DAG set at size %d", size)
+		}
+		row := GEDBenchRow{Size: size, Tau: tau, DistinctGraphs: distinctStructures(set)}
+
+		// Similarity-center workload: seed scan vs metric index.
+		start := time.Now()
+		scanCenter, err := simsearch.CenterScan(set, tau, opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		row.CenterScanSec = time.Since(start).Seconds()
+
+		// Index construction is part of the timed cost: the seed scan
+		// amortizes nothing either.
+		ged.ResetCounters()
+		start = time.Now()
+		ix := simsearch.NewIndex(set, opts.Parallelism)
+		fastCenter := ix.Center(tau, simsearch.AStarLS, opts.Parallelism)
+		row.CenterIndexedSec = time.Since(start).Seconds()
+		if fastCenter != scanCenter {
+			return nil, fmt.Errorf("gedbench: size %d: indexed center %d != seed center %d",
+				size, fastCenter, scanCenter)
+		}
+		ist := ix.Stats()
+		row.IndexCandidates = ist.Candidates
+		row.IndexPruned = ist.PrunedLB
+		row.IndexAccepted = ist.AcceptedUB
+
+		// Cross-distance workload (K-means assignment shape): raw
+		// per-cell search vs fingerprint-deduped pipeline.
+		targets := set
+		if len(targets) > 8 {
+			targets = set[:8]
+		}
+		start = time.Now()
+		base := ged.CrossDistancesSearchOnly(set, targets, opts.Parallelism)
+		row.CrossScanSec = time.Since(start).Seconds()
+		start = time.Now()
+		fast := ged.CrossDistancesCached(set, targets, opts.Parallelism, nil)
+		row.CrossDedupSec = time.Since(start).Seconds()
+		for i := range base {
+			for j := range base[i] {
+				if base[i][j] != fast[i][j] {
+					return nil, fmt.Errorf("gedbench: size %d: cell [%d][%d] dedup %v != seed %v",
+						size, i, j, fast[i][j], base[i][j])
+				}
+			}
+		}
+
+		c := ged.SnapshotCounters()
+		row.FilterAnswered = c.FilterAnswered
+		row.Verified = c.Searched
+		row.CacheHits = c.CacheHits
+		row.StatesExpanded = c.Expanded
+		resolved := row.FilterAnswered + row.CacheHits + row.IndexPruned + row.IndexAccepted
+		if total := resolved + row.Verified; total > 0 {
+			row.NoSearchFraction = float64(resolved) / float64(total)
+		}
+		if row.CenterIndexedSec > 0 {
+			row.CenterSpeedup = row.CenterScanSec / row.CenterIndexedSec
+		}
+		if row.CrossDedupSec > 0 {
+			row.CrossSpeedup = row.CrossScanSec / row.CrossDedupSec
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GEDBenchTable renders the benchmark rows.
+func GEDBenchTable(rows []GEDBenchRow) *Table {
+	t := &Table{
+		Title: "GED engine: filter-and-verify vs seed pipeline (tau=5)",
+		Header: []string{
+			"Scale", "Distinct", "Center seed", "Center indexed", "Speedup",
+			"Cross seed", "Cross dedup", "Speedup", "Filtered", "Verified", "Cached",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Size),
+			fmt.Sprintf("%d", r.DistinctGraphs),
+			fmt.Sprintf("%.3fs", r.CenterScanSec),
+			fmt.Sprintf("%.3fs", r.CenterIndexedSec),
+			fmt.Sprintf("%.1fx", r.CenterSpeedup),
+			fmt.Sprintf("%.3fs", r.CrossScanSec),
+			fmt.Sprintf("%.3fs", r.CrossDedupSec),
+			fmt.Sprintf("%.1fx", r.CrossSpeedup),
+			fmt.Sprintf("%d", r.FilterAnswered),
+			fmt.Sprintf("%d", r.Verified),
+			fmt.Sprintf("%d", r.CacheHits),
+		})
+	}
+	return t
+}
+
+func distinctStructures(set []*dag.Graph) int {
+	seen := make(map[string]bool)
+	for _, g := range set {
+		seen[ged.Fingerprint(g)] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,83 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// benchGraphs returns a deterministic corpus-like family: random DAGs
+// plus renamed clones, mirroring how StreamTune corpora repeat
+// structures.
+func benchGraphs(n int) []*dag.Graph {
+	rng := rand.New(rand.NewSource(77))
+	out := make([]*dag.Graph, 0, n)
+	for len(out) < n {
+		if len(out) > 2 && rng.Float64() < 0.4 {
+			c := out[rng.Intn(len(out))].Clone()
+			c.Name = "clone"
+			out = append(out, c)
+			continue
+		}
+		out = append(out, randomDAG(rng, 4+rng.Intn(5)))
+	}
+	return out
+}
+
+func benchSize(b *testing.B) int {
+	if testing.Short() {
+		return 10
+	}
+	return 24
+}
+
+// BenchmarkGEDDistance measures the filter-and-verify pipeline on a
+// fixed bag of random pairs.
+func BenchmarkGEDDistance(b *testing.B) {
+	gs := benchGraphs(benchSize(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := gs[i%len(gs)]
+		c := gs[(i*7+3)%len(gs)]
+		Distance(a, c)
+	}
+}
+
+// BenchmarkGEDDistanceSearchOnly measures the raw bounded A* (the seed
+// pipeline) on the same pairs, for before/after comparison.
+func BenchmarkGEDDistanceSearchOnly(b *testing.B) {
+	gs := benchGraphs(benchSize(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := gs[i%len(gs)]
+		c := gs[(i*7+3)%len(gs)]
+		DistanceWithStats(a, c, true)
+	}
+}
+
+// BenchmarkCrossDistances measures the deduplicating matrix against a
+// K-means-shaped workload (many queries, few targets).
+func BenchmarkCrossDistances(b *testing.B) {
+	gs := benchGraphs(benchSize(b))
+	targets := gs[:4]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossDistances(gs, targets, 0)
+	}
+}
+
+// BenchmarkCrossDistancesSearchOnly is the seed per-cell matrix on the
+// same workload.
+func BenchmarkCrossDistancesSearchOnly(b *testing.B) {
+	gs := benchGraphs(benchSize(b))
+	targets := gs[:4]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossDistancesSearchOnly(gs, targets, 0)
+	}
+}

@@ -1,0 +1,103 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// TestDifferentialDistance proves the filter-and-verify pipeline returns
+// bit-identical distances to the seed solver on randomized DAG pairs.
+func TestDifferentialDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pairs := 220
+	if testing.Short() {
+		pairs = 60
+	}
+	for trial := 0; trial < pairs; trial++ {
+		a := randomDAG(rng, 1+rng.Intn(7))
+		b := randomDAG(rng, 1+rng.Intn(7))
+		got := Distance(a, b)
+		want := refDistance(a, b)
+		if got != want {
+			t.Fatalf("trial %d: pipeline %v != seed %v\nA: %s\nB: %s", trial, got, want, a, b)
+		}
+		if gotRaw, _ := DistanceWithStats(a, b, true); gotRaw != want {
+			t.Fatalf("trial %d: raw solver %v != seed %v\nA: %s\nB: %s", trial, gotRaw, want, a, b)
+		}
+	}
+}
+
+// TestDifferentialWithinThreshold proves threshold queries agree with
+// the seed on the hit/miss decision and on the exact hit distance, and
+// that the new miss-path value is a valid finite lower bound.
+func TestDifferentialWithinThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pairs := 220
+	if testing.Short() {
+		pairs = 60
+	}
+	for trial := 0; trial < pairs; trial++ {
+		a := randomDAG(rng, 1+rng.Intn(6))
+		b := randomDAG(rng, 1+rng.Intn(6))
+		tau := float64(rng.Intn(7))
+		gotOK, gotD := WithinThreshold(a, b, tau)
+		wantOK, wantD := refWithinThreshold(a, b, tau)
+		if gotOK != wantOK {
+			t.Fatalf("trial %d tau=%v: pipeline ok=%v, seed ok=%v\nA: %s\nB: %s",
+				trial, tau, gotOK, wantOK, a, b)
+		}
+		if gotOK {
+			if gotD != wantD {
+				t.Fatalf("trial %d tau=%v: hit distance %v != seed %v", trial, tau, gotD, wantD)
+			}
+			continue
+		}
+		// Miss path: the seed returned +Inf; the pipeline must return a
+		// finite lower bound in (tau, exact].
+		exact := refDistance(a, b)
+		if math.IsInf(gotD, 1) || gotD <= tau || gotD > exact {
+			t.Fatalf("trial %d tau=%v: miss lower bound %v not in (tau, %v]", trial, tau, gotD, exact)
+		}
+		// The search-only path must agree on the decision too.
+		rawOK, rawD := WithinThresholdSearchOnly(a, b, tau)
+		if rawOK != wantOK {
+			t.Fatalf("trial %d tau=%v: search-only ok=%v, seed ok=%v", trial, tau, rawOK, wantOK)
+		}
+		if rawD <= tau || rawD > exact {
+			t.Fatalf("trial %d tau=%v: search-only miss bound %v not in (tau, %v]", trial, tau, rawD, exact)
+		}
+	}
+}
+
+// TestDifferentialCrossDistances proves the deduplicating matrix equals
+// per-pair seed distances, including over structurally-duplicated
+// inputs, for several worker counts.
+func TestDifferentialCrossDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	qs := make([]*dag.Graph, 0, 8)
+	for i := 0; i < 6; i++ {
+		qs = append(qs, randomDAG(rng, 1+rng.Intn(5)))
+	}
+	// Duplicate some queries under new names to exercise the dedup path.
+	qs = append(qs, qs[0].Clone(), qs[2].Clone())
+	qs[len(qs)-2].Name = "dup0"
+	qs[len(qs)-1].Name = "dup2"
+	ts := make([]*dag.Graph, 0, 4)
+	for j := 0; j < 4; j++ {
+		ts = append(ts, randomDAG(rng, 1+rng.Intn(6)))
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := CrossDistancesCached(qs, ts, workers, NewPairCache())
+		for i, q := range qs {
+			for j, tg := range ts {
+				want := refDistance(q, tg)
+				if got[i][j] != want {
+					t.Fatalf("workers=%d: [%d][%d] = %v, seed %v", workers, i, j, got[i][j], want)
+				}
+			}
+		}
+	}
+}

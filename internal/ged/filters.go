@@ -1,0 +1,184 @@
+// Filter stage of the filter-and-verify GED pipeline: cheap lower
+// bounds and a greedy-mapping upper bound computed in O(n^2) without
+// opening the A* queue. Every similarity query runs the filters first;
+// the exact search only verifies pairs the bounds cannot decide.
+package ged
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// FilterBounds returns the filter stage's lower and upper bounds on
+// ged(g1, g2). The lower bound combines the size, label-multiset and
+// degree-sequence bounds; the upper bound is the cost of an explicit
+// greedy node mapping, so it is always achievable. lower <= GED <= upper
+// holds for every pair.
+func FilterBounds(g1, g2 *dag.Graph) (lower, upper float64) {
+	return boundsViews(view(g1), view(g2))
+}
+
+func boundsViews(v1, v2 *graphView) (lower, upper float64) {
+	return lowerBoundViews(v1, v2), newSolver(v1, v2, false).greedyUpper()
+}
+
+// lowerBoundViews is max over the admissible lower bounds:
+//
+//   - label-multiset: every matched node with a differing label costs a
+//     relabel, and the node-count difference costs insertions/deletions;
+//   - size: the edge-count difference costs edge insertions/deletions
+//     (flips preserve the edge count);
+//   - degree-sequence: each edge insertion/deletion changes the total
+//     degree of exactly two nodes by one, and flips change none, so the
+//     optimally-matched total-degree difference D needs >= ceil(D/2)
+//     edge operations.
+//
+// Relabel, node and edge operations are disjoint, so the three parts
+// add.
+func lowerBoundViews(v1, v2 *graphView) float64 {
+	n1, n2 := v1.n, v2.n
+	small, large := n1, n2
+	if small > large {
+		small, large = large, small
+	}
+	common := 0
+	for l := 0; l < len(v1.labelHist) && l < len(v2.labelHist); l++ {
+		m := v1.labelHist[l]
+		if v2.labelHist[l] < m {
+			m = v2.labelHist[l]
+		}
+		common += m
+	}
+	nodePart := float64(small-common)*costRelabel + float64(large-small)*costNode
+
+	edgeDiff := v1.edges - v2.edges
+	if edgeDiff < 0 {
+		edgeDiff = -edgeDiff
+	}
+	degHalf := (degreeMismatch(v1, v2) + 1) / 2
+	edgePart := float64(edgeDiff)
+	if h := float64(degHalf); h > edgePart {
+		edgePart = h
+	}
+	return nodePart + edgePart*costEdge
+}
+
+// degreeMismatch is the minimum sum of |deg1 - deg2| over matchings of
+// the total-degree multisets, padding the smaller graph with zeros:
+// sorted alignment attains the minimum, and the views carry their
+// sorted sequences precomputed, so this is an allocation-free scan.
+// Zero pads sort before everything else, so the shorter sequence is
+// aligned to the tail of the longer one.
+func degreeMismatch(v1, v2 *graphView) int {
+	a, b := v1.sortedDeg, v2.sortedDeg
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	pad := len(b) - len(a)
+	sum := 0
+	for i, d := range b {
+		if i < pad {
+			sum += d
+			continue
+		}
+		diff := a[i-pad] - d
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff
+	}
+	return sum
+}
+
+// greedyUpper builds one explicit full mapping greedily — each g1 node
+// takes the cheapest incremental assignment (substitution or deletion),
+// preferring the same-index node on ties so identical graphs map by
+// identity — and returns its exact edit cost. The result is a valid
+// edit script cost, hence an upper bound on the GED. The state it uses
+// is returned to the solver's free list, so a following search reuses
+// it.
+func (s *solver) greedyUpper() float64 {
+	v1, v2 := s.v1, s.v2
+	st := s.newState()
+	st.k, st.g = 0, 0
+	st.rem2 = int32(v2.n)
+	st.e2 = int32(v2.edges)
+	st.eUsed = 0
+	for w := range st.used {
+		st.used[w] = 0
+	}
+	for i := 0; i < v1.n; i++ {
+		bestC := math.Inf(1)
+		bestJ := -2
+		for j := 0; j < v2.n; j++ {
+			if st.used.test(j) {
+				continue
+			}
+			c := s.substCost(st, i, j)
+			if c < bestC || (c == bestC && j == i) {
+				bestC, bestJ = c, j
+			}
+		}
+		if del := costNode + s.deleteEdgeCost(i, i); del < bestC {
+			bestC, bestJ = del, -1
+		}
+		st.mapping[i] = int32(bestJ)
+		if bestJ >= 0 {
+			outToUsed := int32(v2.out[bestJ].andCount(st.used))
+			inToUsed := int32(v2.in[bestJ].andCount(st.used))
+			st.used.set(bestJ)
+			st.rem2--
+			st.eUsed += outToUsed + inToUsed
+		}
+		st.g += bestC
+		st.k++
+	}
+	total := st.g + float64(st.rem2)*costNode + float64(int32(v2.edges)-st.eUsed)*costEdge
+	s.release(st)
+	return total
+}
+
+// Package-level cumulative counters of the filter-and-verify pipeline,
+// for benchmark reporting (BENCH_ged.json). They are observational only:
+// no result depends on them.
+var counters struct {
+	FilterAnswered atomic.Uint64 // pairs answered by filters alone
+	Searched       atomic.Uint64 // pairs that opened the A* queue
+	Expanded       atomic.Uint64 // total A* states expanded
+	CacheHits      atomic.Uint64 // pairs answered by the fingerprint cache
+}
+
+// Counters is a snapshot of the package's cumulative pipeline counters.
+type Counters struct {
+	// FilterAnswered counts pairs resolved by the filter lower/upper
+	// bounds without any search.
+	FilterAnswered uint64
+	// Searched counts pairs that required the exact A* verification.
+	Searched uint64
+	// Expanded is the total number of A* states expanded across all
+	// searched pairs.
+	Expanded uint64
+	// CacheHits counts pairs answered by the canonical-fingerprint
+	// distance cache.
+	CacheHits uint64
+}
+
+// SnapshotCounters returns the cumulative pipeline counters.
+func SnapshotCounters() Counters {
+	return Counters{
+		FilterAnswered: counters.FilterAnswered.Load(),
+		Searched:       counters.Searched.Load(),
+		Expanded:       counters.Expanded.Load(),
+		CacheHits:      counters.CacheHits.Load(),
+	}
+}
+
+// ResetCounters zeroes the cumulative pipeline counters.
+func ResetCounters() {
+	counters.FilterAnswered.Store(0)
+	counters.Searched.Store(0)
+	counters.Expanded.Store(0)
+	counters.CacheHits.Store(0)
+}

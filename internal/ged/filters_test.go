@@ -1,0 +1,178 @@
+package ged
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFilterBoundsSandwichExact: every filter lower bound <= exact GED
+// and the greedy upper bound >= exact GED, on randomized DAG pairs.
+func TestFilterBoundsSandwichExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	trials := 150
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		a := randomDAG(rng, 1+rng.Intn(7))
+		b := randomDAG(rng, 1+rng.Intn(7))
+		lb, ub := FilterBounds(a, b)
+		exact := refDistance(a, b)
+		if lb > exact {
+			t.Fatalf("trial %d: lower bound %v > exact %v\nA: %s\nB: %s", trial, lb, exact, a, b)
+		}
+		if ub < exact {
+			t.Fatalf("trial %d: upper bound %v < exact %v\nA: %s\nB: %s", trial, ub, exact, a, b)
+		}
+	}
+}
+
+// TestFilterBoundsIdentical: identical structures must be fully decided
+// by the filters (lb == ub == 0), the property the fingerprint dedup and
+// most corpus-scale pruning rely on.
+func TestFilterBoundsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, 1+rng.Intn(8))
+		c := g.Clone()
+		c.Name = "clone"
+		lb, ub := FilterBounds(g, c)
+		if lb != 0 || ub != 0 {
+			t.Fatalf("identical pair bounds (%v, %v), want (0, 0) for %s", lb, ub, g)
+		}
+	}
+}
+
+// TestMetricProperties: GED is a metric on random DAGs — identity,
+// symmetry, and the triangle inequality — through the full pipeline.
+func TestMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	trials := 40
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		g1 := randomDAG(rng, 1+rng.Intn(5))
+		g2 := randomDAG(rng, 1+rng.Intn(5))
+		g3 := randomDAG(rng, 1+rng.Intn(5))
+		if d := Distance(g1, g1); d != 0 {
+			t.Fatalf("identity violated: d(g1,g1) = %v", d)
+		}
+		d12, d21 := Distance(g1, g2), Distance(g2, g1)
+		if d12 != d21 {
+			t.Fatalf("symmetry violated: %v vs %v\nA: %s\nB: %s", d12, d21, g1, g2)
+		}
+		d13, d23 := Distance(g1, g3), Distance(g2, g3)
+		if d13 > d12+d23+1e-9 {
+			t.Fatalf("triangle violated: d13=%v > d12=%v + d23=%v", d13, d12, d23)
+		}
+	}
+}
+
+func TestFingerprintEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	g := randomDAG(rng, 6)
+	c := g.Clone()
+	c.Name = "renamed"
+	if Fingerprint(g) != Fingerprint(c) {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	// A structural perturbation must change the fingerprint.
+	h := g.Clone()
+	ops := h.Operators()
+	ops[2].Type = (ops[2].Type + 1) % 9
+	if Fingerprint(g) == Fingerprint(h) {
+		t.Fatal("relabel did not change the fingerprint")
+	}
+}
+
+func TestPairCacheDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	a := randomDAG(rng, 5)
+	b := randomDAG(rng, 6)
+	c := NewPairCache()
+	first := c.Distance(a, b)
+	if want := refDistance(a, b); first != want {
+		t.Fatalf("cache distance %v, seed %v", first, want)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+	// Symmetric lookup must hit the same entry.
+	if again := c.Distance(b, a); again != first {
+		t.Fatalf("reversed lookup %v, want %v", again, first)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("reversed lookup grew the cache to %d entries", c.Len())
+	}
+}
+
+// TestPipelineDistanceStats: the filter outcome is reported coherently.
+func TestPipelineDistanceStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	g := randomDAG(rng, 6)
+	c := g.Clone()
+	d, stats := PipelineDistance(g, c)
+	if d != 0 || !stats.Filtered || stats.Expanded != 0 {
+		t.Fatalf("identical pair: d=%v stats=%+v, want filtered zero-distance", d, stats)
+	}
+	sawSearch := false
+	for trial := 0; trial < 30 && !sawSearch; trial++ {
+		a := randomDAG(rng, 2+rng.Intn(5))
+		b := randomDAG(rng, 2+rng.Intn(5))
+		d, stats := PipelineDistance(a, b)
+		if stats.LowerBound > d || stats.UpperBound < d {
+			t.Fatalf("bounds (%v, %v) do not sandwich distance %v", stats.LowerBound, stats.UpperBound, d)
+		}
+		if !stats.Filtered {
+			sawSearch = true
+			if stats.Expanded <= 0 {
+				t.Fatalf("verified pair expanded %d states", stats.Expanded)
+			}
+		}
+	}
+	if !sawSearch {
+		t.Fatal("no random pair required verification; filters suspiciously strong")
+	}
+}
+
+// TestHeapInvariant: the consolidated priority queue pops states in
+// nondecreasing f order under randomized pushes and interleaved pops.
+func TestHeapInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	var h []*state
+	var oracle []float64 // sorted multiset of live values
+	for op := 0; op < 2000; op++ {
+		if len(oracle) == 0 || rng.Float64() < 0.6 {
+			v := float64(rng.Intn(50))
+			h = heapPush(h, &state{f: v})
+			i := sort.SearchFloat64s(oracle, v)
+			oracle = append(oracle, 0)
+			copy(oracle[i+1:], oracle[i:])
+			oracle[i] = v
+		} else {
+			var st *state
+			h, st = heapPop(h)
+			if st.f != oracle[0] {
+				t.Fatalf("op %d: popped %v, oracle minimum %v", op, st.f, oracle[0])
+			}
+			oracle = oracle[1:]
+		}
+	}
+	// Deterministic oracle check: push a fixed multiset, pop everything.
+	h = nil
+	vals := []float64{5, 1, 4, 1, 3, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	for _, v := range vals {
+		h = heapPush(h, &state{f: v})
+	}
+	want := append([]float64(nil), vals...)
+	sort.Float64s(want)
+	for i := range want {
+		var st *state
+		h, st = heapPop(h)
+		if st.f != want[i] {
+			t.Fatalf("pop %d = %v, want %v", i, st.f, want[i])
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Canonical fingerprints and the fingerprint-keyed distance cache that
+// dedupe identical DAGs across a corpus: StreamTune corpora are built by
+// cloning and perturbing a small set of query templates, so most GED
+// pairs repeat and only one representative per distinct structure needs
+// an exact computation.
+package ged
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Fingerprint returns a byte-exact key of the graph's labeled structure:
+// operator types in insertion order plus the sorted adjacency of every
+// node. Graph and operator names are excluded — GED ignores them — so
+// clones and re-rated copies of the same template share a fingerprint.
+// Equal fingerprints imply identical solver views, hence identical GED
+// to every third graph. (Isomorphic graphs built in different insertion
+// orders may still get distinct fingerprints; the cache then simply
+// computes both, it never returns a wrong distance.)
+func Fingerprint(g *dag.Graph) string {
+	n := g.NumOperators()
+	buf := make([]byte, 0, 8+8*n)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		buf = binary.AppendUvarint(buf, uint64(g.OperatorAt(i).Type))
+	}
+	for i := 0; i < n; i++ {
+		down := append([]int(nil), g.Downstream(i)...)
+		sort.Ints(down)
+		buf = binary.AppendUvarint(buf, uint64(len(down)))
+		for _, d := range down {
+			buf = binary.AppendUvarint(buf, uint64(d))
+		}
+	}
+	return string(buf)
+}
+
+type pairKey struct{ a, b string }
+
+// orientedKey orders the pair canonically; GED is symmetric, so one
+// cache entry serves both orientations.
+func orientedKey(ka, kb string) pairKey {
+	if ka <= kb {
+		return pairKey{ka, kb}
+	}
+	return pairKey{kb, ka}
+}
+
+// PairCache memoizes exact GED values by canonical fingerprint pair. It
+// is safe for concurrent use; distances are pure functions of the two
+// structures, so concurrent duplicate computations store the same value.
+type PairCache struct {
+	mu sync.RWMutex
+	m  map[pairKey]float64
+}
+
+// NewPairCache returns an empty cache.
+func NewPairCache() *PairCache {
+	return &PairCache{m: make(map[pairKey]float64)}
+}
+
+// Len reports the number of distinct structure pairs cached.
+func (c *PairCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Distance returns the exact GED between g1 and g2, consulting the
+// cache first and storing the result on a miss.
+func (c *PairCache) Distance(g1, g2 *dag.Graph) float64 {
+	key := orientedKey(Fingerprint(g1), Fingerprint(g2))
+	if d, ok := c.lookup(key); ok {
+		return d
+	}
+	d := distanceViews(view(g1), view(g2))
+	c.store(key, d)
+	return d
+}
+
+func (c *PairCache) lookup(key pairKey) (float64, bool) {
+	d, ok := c.peek(key)
+	if ok {
+		counters.CacheHits.Add(1)
+	}
+	return d, ok
+}
+
+// peek is lookup without touching the cache-hit counter, for bulk
+// callers that account for their own hits.
+func (c *PairCache) peek(key pairKey) (float64, bool) {
+	c.mu.RLock()
+	d, ok := c.m[key]
+	c.mu.RUnlock()
+	return d, ok
+}
+
+func (c *PairCache) store(key pairKey, d float64) {
+	c.mu.Lock()
+	c.m[key] = d
+	c.mu.Unlock()
+}

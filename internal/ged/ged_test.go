@@ -109,8 +109,13 @@ func TestWithinThreshold(t *testing.T) {
 	if ok {
 		t.Fatalf("distant graphs reported within tau=1 (d=%v)", d)
 	}
-	if !math.IsInf(d, 1) {
-		t.Fatalf("out-of-threshold distance = %v, want +Inf", d)
+	// The miss path reports a finite lower bound on the distance, always
+	// beyond the threshold and never beyond the exact distance.
+	if math.IsInf(d, 1) || d <= 1 {
+		t.Fatalf("out-of-threshold bound = %v, want finite value > tau", d)
+	}
+	if exact := Distance(a, big); d > exact {
+		t.Fatalf("out-of-threshold bound %v exceeds exact distance %v", d, exact)
 	}
 }
 

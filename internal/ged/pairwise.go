@@ -8,11 +8,96 @@ import (
 )
 
 // CrossDistances computes the full queries x targets GED matrix with up
-// to workers goroutines. Each cell is an independent exact search over
-// immutable graph views, so the matrix is identical for every worker
-// count. out[i][j] = Distance(queries[i], targets[j]).
+// to workers goroutines. Structurally-identical graphs (by canonical
+// fingerprint) are deduplicated, so only one exact computation runs per
+// distinct pair; every cell is a pure function of the two structures, so
+// the matrix is identical for every worker count.
+// out[i][j] = Distance(queries[i], targets[j]).
 func CrossDistances(queries, targets []*dag.Graph, workers int) [][]float64 {
-	// Build the compact views once per graph instead of once per pair.
+	return CrossDistancesCached(queries, targets, workers, nil)
+}
+
+// CrossDistancesCached is CrossDistances sharing a fingerprint-keyed
+// distance cache across calls: K-means re-evaluates the same graphs
+// against recurring centers every iteration, so a per-run cache answers
+// most later iterations without any search. A nil cache uses a fresh
+// private one (dedup within the call only).
+func CrossDistancesCached(queries, targets []*dag.Graph, workers int, cache *PairCache) [][]float64 {
+	if cache == nil {
+		cache = NewPairCache()
+	}
+	out := make([][]float64, len(queries))
+	for i := range out {
+		out[i] = make([]float64, len(targets))
+	}
+	if len(queries) == 0 || len(targets) == 0 {
+		return out
+	}
+
+	// One fingerprint and view per graph, deduplicated by structure.
+	type rep struct {
+		key  string
+		view *graphView
+	}
+	distinct := make(map[string]*graphView)
+	intern := func(gs []*dag.Graph) []rep {
+		reps := make([]rep, len(gs))
+		for i, g := range gs {
+			key := Fingerprint(g)
+			if _, ok := distinct[key]; !ok {
+				distinct[key] = view(g)
+			}
+			reps[i] = rep{key: key, view: distinct[key]}
+		}
+		return reps
+	}
+	qr := intern(queries)
+	tr := intern(targets)
+
+	// Collect the distinct uncached pairs in deterministic order.
+	type job struct {
+		key    pairKey
+		va, vb *graphView
+	}
+	seen := make(map[pairKey]bool)
+	var jobs []job
+	for _, q := range qr {
+		for _, t := range tr {
+			key := orientedKey(q.key, t.key)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if _, ok := cache.peek(key); !ok {
+				jobs = append(jobs, job{key: key, va: q.view, vb: t.view})
+			}
+		}
+	}
+	vals := make([]float64, len(jobs))
+	_ = parallel.ForEach(len(jobs), workers, func(i int) error {
+		vals[i] = distanceViews(jobs[i].va, jobs[i].vb)
+		return nil
+	})
+	for i, j := range jobs {
+		cache.store(j.key, vals[i])
+	}
+	// Every cell beyond the freshly-computed distinct pairs was answered
+	// by the cache (pre-existing entries or within-call dedup).
+	counters.CacheHits.Add(uint64(len(queries)*len(targets) - len(jobs)))
+
+	for i, q := range qr {
+		for j, t := range tr {
+			d, _ := cache.peek(orientedKey(q.key, t.key))
+			out[i][j] = d
+		}
+	}
+	return out
+}
+
+// CrossDistancesSearchOnly is the seed pipeline — one raw bounded A*
+// search per cell, no filters, no deduplication — kept as the benchmark
+// baseline for the filter-and-verify path.
+func CrossDistancesSearchOnly(queries, targets []*dag.Graph, workers int) [][]float64 {
 	qv := make([]*graphView, len(queries))
 	for i, g := range queries {
 		qv[i] = view(g)
@@ -33,8 +118,8 @@ func CrossDistances(queries, targets []*dag.Graph, workers int) [][]float64 {
 	n := len(queries) * len(targets)
 	_ = parallel.ForEach(n, workers, func(c int) error {
 		i, j := c/len(targets), c%len(targets)
-		d, _ := search(qv[i], tv[j], math.Inf(1), true)
-		out[i][j] = d
+		s := newSolver(qv[i], tv[j], true)
+		out[i][j] = s.search(math.Inf(1), math.Inf(1))
 		return nil
 	})
 	return out

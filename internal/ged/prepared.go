@@ -1,0 +1,51 @@
+package ged
+
+import (
+	"math"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Prepared is a graph with its solver view precomputed once, for
+// callers that evaluate many pairs over the same graphs (similarity
+// search, metric indexes, clustering). The view is immutable and safe
+// for concurrent use.
+type Prepared struct {
+	g *dag.Graph
+	v *graphView
+}
+
+// Prepare builds the reusable pair-evaluation handle for g.
+func Prepare(g *dag.Graph) *Prepared {
+	return &Prepared{g: g, v: view(g)}
+}
+
+// PrepareAll prepares every graph of a set.
+func PrepareAll(gs []*dag.Graph) []*Prepared {
+	out := make([]*Prepared, len(gs))
+	for i, g := range gs {
+		out[i] = Prepare(g)
+	}
+	return out
+}
+
+// Graph returns the underlying graph.
+func (p *Prepared) Graph() *dag.Graph { return p.g }
+
+// Distance is the filter-and-verify exact GED to q.
+func (p *Prepared) Distance(q *Prepared) float64 {
+	return distanceViews(p.v, q.v)
+}
+
+// WithinThreshold is the filter-and-verify threshold query against q,
+// with the same semantics as the package-level WithinThreshold.
+func (p *Prepared) WithinThreshold(q *Prepared, tau float64) (bool, float64) {
+	return withinViews(p.v, q.v, tau)
+}
+
+// DistanceDirect is the zero-heuristic unfiltered exact GED to q — the
+// Fig. 11b baseline, view reuse aside.
+func (p *Prepared) DistanceDirect(q *Prepared) float64 {
+	s := newSolver(p.v, q.v, false)
+	return s.search(math.Inf(1), math.Inf(1))
+}

@@ -1,0 +1,304 @@
+package ged
+
+// This file carries a verbatim copy of the seed GED solver (pre
+// filter-and-verify pipeline): best-first search over partial node
+// mappings with [][]bool adjacency and the from-scratch label-set
+// bound. It exists purely as the differential-test oracle proving the
+// optimized pipeline returns bit-identical distances.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// BenchmarkGEDDistanceSeed runs the verbatim seed solver on the same
+// pair bag as BenchmarkGEDDistance, so the before/after factor of the
+// whole PR is measurable from one `go test -bench GEDDistance` run.
+func BenchmarkGEDDistanceSeed(b *testing.B) {
+	gs := benchGraphs(benchSize(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := gs[i%len(gs)]
+		c := gs[(i*7+3)%len(gs)]
+		refDistance(a, c)
+	}
+}
+
+type refView struct {
+	n      int
+	labels []int
+	adj    [][]bool
+	edges  int
+}
+
+func refViewOf(g *dag.Graph) *refView {
+	n := g.NumOperators()
+	v := &refView{n: n, labels: make([]int, n), adj: make([][]bool, n)}
+	for i := 0; i < n; i++ {
+		v.labels[i] = int(g.OperatorAt(i).Type)
+		v.adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for _, d := range g.Downstream(i) {
+			v.adj[i][d] = true
+			v.edges++
+		}
+	}
+	return v
+}
+
+// refDistance is the seed Distance.
+func refDistance(g1, g2 *dag.Graph) float64 {
+	return refAstar(refViewOf(g1), refViewOf(g2), math.Inf(1), true)
+}
+
+// refWithinThreshold is the seed WithinThreshold.
+func refWithinThreshold(g1, g2 *dag.Graph, tau float64) (bool, float64) {
+	d := refAstar(refViewOf(g1), refViewOf(g2), tau, true)
+	if d <= tau {
+		return true, d
+	}
+	return false, math.Inf(1)
+}
+
+type refState struct {
+	k       int
+	mapping []int
+	used    []bool
+	g       float64
+	f       float64
+}
+
+type refPQ []*refState
+
+func (q *refPQ) push(s *refState) {
+	*q = append(*q, s)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*q)[parent].f <= (*q)[i].f {
+			break
+		}
+		(*q)[parent], (*q)[i] = (*q)[i], (*q)[parent]
+		i = parent
+	}
+}
+
+func (q *refPQ) pop() *refState {
+	old := *q
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	*q = old[:n-1]
+	h := *q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].f < h[small].f {
+			small = l
+		}
+		if r < len(h) && h[r].f < h[small].f {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+func refAstar(v1, v2 *refView, tau float64, useBound bool) float64 {
+	start := &refState{mapping: make([]int, 0, v1.n), used: make([]bool, v2.n)}
+	start.f = 0
+	if useBound {
+		start.f = refLabelSetBound(v1, v2, start)
+	}
+	open := refPQ{}
+	open.push(start)
+	best := math.Inf(1)
+
+	for len(open) > 0 {
+		cur := open.pop()
+		if cur.f >= best || cur.f > tau {
+			if cur.f > tau {
+				return cur.f
+			}
+			continue
+		}
+		if cur.k == v1.n {
+			total := cur.g + refFinishCost(v1, v2, cur)
+			if total < best {
+				best = total
+			}
+			if best <= cur.f {
+				return best
+			}
+			continue
+		}
+		i := cur.k
+		for j := 0; j < v2.n; j++ {
+			if cur.used[j] {
+				continue
+			}
+			g := cur.g + refSubstCost(v1, v2, cur, i, j)
+			child := refExtend(cur, j, g)
+			child.f = g
+			if useBound {
+				child.f += refLabelSetBound(v1, v2, child)
+			}
+			if child.f < best && child.f <= tau {
+				open.push(child)
+			}
+		}
+		g := cur.g + costNode + refDeleteEdgeCost(v1, cur, i)
+		child := refExtend(cur, -1, g)
+		child.f = g
+		if useBound {
+			child.f += refLabelSetBound(v1, v2, child)
+		}
+		if child.f < best && child.f <= tau {
+			open.push(child)
+		}
+	}
+	return best
+}
+
+func refExtend(s *refState, j int, g float64) *refState {
+	m := make([]int, s.k+1)
+	copy(m, s.mapping)
+	m[s.k] = j
+	used := append([]bool(nil), s.used...)
+	if j >= 0 {
+		used[j] = true
+	}
+	return &refState{k: s.k + 1, mapping: m, used: used, g: g}
+}
+
+func refSubstCost(v1, v2 *refView, s *refState, i, j int) float64 {
+	c := 0.0
+	if v1.labels[i] != v2.labels[j] {
+		c += costRelabel
+	}
+	for a := 0; a < s.k; a++ {
+		b := s.mapping[a]
+		fwd1, bwd1 := v1.adj[a][i], v1.adj[i][a]
+		var fwd2, bwd2 bool
+		if b >= 0 && j >= 0 {
+			fwd2, bwd2 = v2.adj[b][j], v2.adj[j][b]
+		}
+		switch {
+		case fwd1 == fwd2 && bwd1 == bwd2:
+		case fwd1 != fwd2 && bwd1 != bwd2:
+			if (fwd1 || bwd1) && (fwd2 || bwd2) {
+				c += costEdgeFlip
+			} else {
+				c += 2 * costEdge
+			}
+		default:
+			c += costEdge
+		}
+	}
+	return c
+}
+
+func refDeleteEdgeCost(v1 *refView, s *refState, i int) float64 {
+	c := 0.0
+	for a := 0; a < s.k; a++ {
+		if v1.adj[a][i] {
+			c += costEdge
+		}
+		if v1.adj[i][a] {
+			c += costEdge
+		}
+	}
+	return c
+}
+
+func refFinishCost(v1, v2 *refView, s *refState) float64 {
+	c := 0.0
+	for j := 0; j < v2.n; j++ {
+		if !s.used[j] {
+			c += costNode
+		}
+	}
+	for x := 0; x < v2.n; x++ {
+		for y := 0; y < v2.n; y++ {
+			if v2.adj[x][y] && (!s.used[x] || !s.used[y]) {
+				c += costEdge
+			}
+		}
+	}
+	return c
+}
+
+func refLabelSetBound(v1, v2 *refView, s *refState) float64 {
+	rem1 := v1.n - s.k
+	var labels1 []int
+	for i := s.k; i < v1.n; i++ {
+		labels1 = append(labels1, v1.labels[i])
+	}
+	var labels2 []int
+	rem2 := 0
+	for j := 0; j < v2.n; j++ {
+		if !s.used[j] {
+			labels2 = append(labels2, v2.labels[j])
+			rem2++
+		}
+	}
+	common := refMultisetIntersection(labels1, labels2)
+	small := rem1
+	if rem2 < small {
+		small = rem2
+	}
+	nodeBound := float64(small-common)*costRelabel + math.Abs(float64(rem1-rem2))*costNode
+
+	e1 := refRegionEdges(v1, s.k)
+	e2 := 0
+	for x := 0; x < v2.n; x++ {
+		for y := 0; y < v2.n; y++ {
+			if v2.adj[x][y] && !s.used[x] && !s.used[y] {
+				e2++
+			}
+		}
+	}
+	edgeBound := math.Abs(float64(e1-e2)) * costEdge
+	return nodeBound + edgeBound
+}
+
+func refRegionEdges(v *refView, from int) int {
+	e := 0
+	for x := from; x < v.n; x++ {
+		for y := from; y < v.n; y++ {
+			if v.adj[x][y] {
+				e++
+			}
+		}
+	}
+	return e
+}
+
+func refMultisetIntersection(a, b []int) int {
+	sort.Ints(a)
+	sort.Ints(b)
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			c++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c
+}

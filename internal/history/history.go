@@ -11,6 +11,7 @@ import (
 	"github.com/streamtune/streamtune/internal/bottleneck"
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/ged"
 	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/workload"
 )
@@ -54,6 +55,19 @@ func (c *Corpus) Graphs() []*dag.Graph {
 		}
 	}
 	return out
+}
+
+// DistinctStructures reports how many structurally-distinct job graphs
+// (by ged.Fingerprint, ignoring names and rates) the corpus holds. The
+// GED layer dedupes identical structures through its fingerprint cache,
+// so this is the effective number of exact computations a similarity
+// query over the corpus costs — typically far below Len().
+func (c *Corpus) DistinctStructures() int {
+	seen := make(map[string]bool)
+	for _, e := range c.Executions {
+		seen[ged.Fingerprint(e.Graph)] = true
+	}
+	return len(seen)
 }
 
 // NodeCountDistribution returns, for each operator count, the fraction

@@ -137,4 +137,10 @@ func TestNodeCountDistributionAndGraphs(t *testing.T) {
 	if sum < 0.999 || sum > 1.001 {
 		t.Fatalf("distribution sums to %v, want 1", sum)
 	}
+	// Every execution clones one of three templates (rates differ, but
+	// fingerprints ignore rates), so the corpus has exactly three
+	// distinct structures despite Len() == 6.
+	if got := c.DistinctStructures(); got != 3 {
+		t.Fatalf("DistinctStructures = %d, want 3", got)
+	}
 }

@@ -1,0 +1,67 @@
+package simsearch
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+const benchTau = 5
+
+func benchSet(b *testing.B) []*dag.Graph {
+	b.Helper()
+	n := 48
+	if testing.Short() {
+		n = 12
+	}
+	return randomSet(31, n)
+}
+
+// BenchmarkSimilarScan is the linear-scan similarity search (per-pair
+// filter-and-verify, no index).
+func BenchmarkSimilarScan(b *testing.B) {
+	set := benchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Similar(set[i%len(set)], set, benchTau, AStarLS)
+	}
+}
+
+// BenchmarkSimilarIndexed is the same queries through the pivot metric
+// index (index construction amortized outside the timer).
+func BenchmarkSimilarIndexed(b *testing.B) {
+	set := benchSet(b)
+	ix := NewIndex(set, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Similar(set[i%len(set)], benchTau, AStarLS)
+	}
+}
+
+// BenchmarkCenter is the indexed similarity-center computation used by
+// K-means cluster updates.
+func BenchmarkCenter(b *testing.B) {
+	set := benchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CenterWorkers(set, benchTau, AStarLS, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCenterScan is the seed-pipeline center (linear scan, raw
+// bounded search per pair) on the same set.
+func BenchmarkCenterScan(b *testing.B) {
+	set := benchSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CenterScan(set, benchTau, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

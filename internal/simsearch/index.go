@@ -1,0 +1,274 @@
+// Metric index for graph similarity search. GED is a metric on DAGs
+// (identity, symmetry, triangle inequality — property-tested in
+// internal/ged), so a small set of pivot graphs with precomputed exact
+// distances prunes most candidates of a threshold query by the triangle
+// inequality:
+//
+//	|d(q,p) - d(c,p)| > tau  =>  d(q,c) > tau   (reject without search)
+//	 d(q,p) + d(p,c) <= tau  =>  d(q,c) <= tau  (accept without search)
+//
+// Candidates the pivots cannot decide fall through to the
+// filter-and-verify pipeline of internal/ged. Structurally-identical
+// graphs (by canonical fingerprint) share one representative, so
+// corpus-scale duplicate DAGs cost one computation each.
+package simsearch
+
+import (
+	"sync/atomic"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/parallel"
+)
+
+// numPivots is the number of pivot graphs per index; farther-first
+// selection saturates quickly on dataflow DAG families, so a handful of
+// pivots already decides most candidate pairs.
+const numPivots = 3
+
+// indexMinSize is the smallest cluster for which CenterWorkers builds an
+// index: below it, the pivot-table construction costs more than the
+// pairs it prunes.
+const indexMinSize = 8
+
+// Index is a pivot-based metric index over a fixed graph set.
+type Index struct {
+	set  []*dag.Graph
+	prep []*ged.Prepared // one prepared view per structural representative
+
+	repOf     []int          // member -> ordinal of its structural representative
+	reps      []int          // rep ordinal -> member index of first occurrence
+	groupSize []int          // rep ordinal -> number of members sharing the structure
+	keyToRep  map[string]int // fingerprint -> rep ordinal
+	pivots    []int          // rep ordinals serving as pivots
+	pivotDist [][]float64    // [pivot][rep ordinal] exact GED
+
+	stats indexCounters
+}
+
+// IndexStats counts how candidate pairs were decided. All fields are
+// cumulative over the queries served by the index.
+type IndexStats struct {
+	// Candidates is the number of (query, representative) pairs
+	// examined.
+	Candidates uint64
+	// PrunedLB is the pairs rejected by the pivot lower bound.
+	PrunedLB uint64
+	// AcceptedUB is the pairs accepted by the pivot upper bound.
+	AcceptedUB uint64
+	// Verified is the pairs that fell through to the GED pipeline.
+	Verified uint64
+}
+
+type indexCounters struct {
+	candidates, prunedLB, acceptedUB, verified atomic.Uint64
+}
+
+// NewIndex builds the index over set, computing pivot distances with up
+// to workers goroutines. The construction is deterministic: pivots are
+// chosen farthest-first with ties to the lowest ordinal.
+func NewIndex(set []*dag.Graph, workers int) *Index {
+	return NewIndexCached(set, workers, nil)
+}
+
+// NewIndexCached is NewIndex with the pivot distances served through a
+// fingerprint-keyed distance cache, so a caller that rebuilds indexes
+// over recurring members (the K-means update loop) computes each
+// distinct pivot pair once across all rebuilds. A nil cache uses a
+// fresh private one.
+func NewIndexCached(set []*dag.Graph, workers int, cache *ged.PairCache) *Index {
+	ix := &Index{set: set, keyToRep: make(map[string]int)}
+	ix.repOf = make([]int, len(set))
+	for i, g := range set {
+		key := ged.Fingerprint(g)
+		r, ok := ix.keyToRep[key]
+		if !ok {
+			r = len(ix.reps)
+			ix.keyToRep[key] = r
+			ix.reps = append(ix.reps, i)
+			ix.groupSize = append(ix.groupSize, 0)
+			ix.prep = append(ix.prep, ged.Prepare(g))
+		}
+		ix.repOf[i] = r
+		ix.groupSize[r]++
+	}
+
+	R := len(ix.reps)
+	p := numPivots
+	if p > R {
+		p = R
+	}
+	// Farthest-first pivot selection over representatives. minDist[r] is
+	// the distance from r to its closest chosen pivot. Pivot rows run
+	// through the deduplicating matrix so a shared cache can answer
+	// recurring pairs across index rebuilds.
+	repGraphs := make([]*dag.Graph, R)
+	for r, m := range ix.reps {
+		repGraphs[r] = set[m]
+	}
+	minDist := make([]float64, R)
+	for p0 := 0; len(ix.pivots) < p; {
+		ix.pivots = append(ix.pivots, p0)
+		row := ged.CrossDistancesCached([]*dag.Graph{repGraphs[p0]}, repGraphs, workers, cache)[0]
+		ix.pivotDist = append(ix.pivotDist, row)
+		next, nextD := -1, -1.0
+		for r := 0; r < R; r++ {
+			if len(ix.pivots) == 1 || row[r] < minDist[r] {
+				minDist[r] = row[r]
+			}
+			if !ix.isPivot(r) && minDist[r] > nextD {
+				next, nextD = r, minDist[r]
+			}
+		}
+		if next < 0 {
+			break
+		}
+		p0 = next
+	}
+	return ix
+}
+
+func (ix *Index) isPivot(r int) bool {
+	for _, p := range ix.pivots {
+		if p == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the cumulative pruning counters.
+func (ix *Index) Stats() IndexStats {
+	return IndexStats{
+		Candidates: ix.stats.candidates.Load(),
+		PrunedLB:   ix.stats.prunedLB.Load(),
+		AcceptedUB: ix.stats.acceptedUB.Load(),
+		Verified:   ix.stats.verified.Load(),
+	}
+}
+
+// Similar returns the indices of graphs in the indexed set whose GED to
+// the query does not exceed tau (Definition 1), using pivot pruning
+// before per-pair verification. The result is identical to the linear
+// scan Similar for every method.
+func (ix *Index) Similar(query *dag.Graph, tau float64, method Method) []int {
+	decisions := ix.decide(query, tau, method)
+	var out []int
+	for i := range ix.set {
+		if decisions[ix.repOf[i]] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// decide resolves, per structural representative, whether the query is
+// within tau of that structure.
+func (ix *Index) decide(query *dag.Graph, tau float64, method Method) []bool {
+	R := len(ix.reps)
+	// Query-to-pivot distances: free when the query is itself indexed.
+	dq := make([]float64, len(ix.pivots))
+	var pq *ged.Prepared
+	if r, ok := ix.keyToRep[ged.Fingerprint(query)]; ok {
+		pq = ix.prep[r]
+		for p := range ix.pivots {
+			dq[p] = ix.pivotDist[p][r]
+		}
+	} else {
+		pq = ged.Prepare(query)
+		for p := range ix.pivots {
+			dq[p] = pq.Distance(ix.prep[ix.pivots[p]])
+		}
+	}
+	decisions := make([]bool, R)
+	for r := 0; r < R; r++ {
+		in, decided := ix.pivotDecide(dq, r, tau)
+		if !decided {
+			ix.stats.verified.Add(1)
+			in = withinTau(pq, ix.prep[r], tau, method)
+		}
+		decisions[r] = in
+	}
+	return decisions
+}
+
+// pivotDecide applies the triangle inequality against every pivot.
+func (ix *Index) pivotDecide(dq []float64, r int, tau float64) (in, decided bool) {
+	ix.stats.candidates.Add(1)
+	for p := range ix.pivots {
+		dpr := ix.pivotDist[p][r]
+		diff := dq[p] - dpr
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tau {
+			ix.stats.prunedLB.Add(1)
+			return false, true
+		}
+		if dq[p]+dpr <= tau {
+			ix.stats.acceptedUB.Add(1)
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// Center computes the similarity center (Definition 2) of the indexed
+// set: every member's similarity search runs through the pivot table,
+// and each distinct structure pair is verified at most once. The result
+// is identical to the linear-scan center for every worker count.
+func (ix *Index) Center(tau float64, method Method, workers int) int {
+	return argmaxFirst(ix.appearanceCounts(tau, method, workers))
+}
+
+// appearanceCounts mirrors the scan-path definition: counts[i] is the
+// number of members q with ged(q, set[i]) <= tau. Distances depend only
+// on structural representatives, so the count reduces to a weighted sum
+// over the symmetric rep-pair within-threshold matrix, computed once per
+// unordered pair.
+func (ix *Index) appearanceCounts(tau float64, method Method, workers int) []int {
+	R := len(ix.reps)
+	within := make([][]bool, R)
+	for a := range within {
+		within[a] = make([]bool, R)
+		within[a][a] = tau >= 0 // identity: d = 0
+	}
+	// Upper-triangle pairs, flattened for the worker pool.
+	type pair struct{ a, b int }
+	var pairs []pair
+	for a := 0; a < R; a++ {
+		for b := a + 1; b < R; b++ {
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+	dq := make([][]float64, R)
+	for r := 0; r < R; r++ {
+		dq[r] = make([]float64, len(ix.pivots))
+		for p := range ix.pivots {
+			dq[r][p] = ix.pivotDist[p][r]
+		}
+	}
+	res, _ := parallel.Map(len(pairs), workers, func(i int) (bool, error) {
+		pr := pairs[i]
+		in, decided := ix.pivotDecide(dq[pr.a], pr.b, tau)
+		if !decided {
+			ix.stats.verified.Add(1)
+			in = withinTau(ix.prep[pr.a], ix.prep[pr.b], tau, method)
+		}
+		return in, nil
+	})
+	for i, pr := range pairs {
+		within[pr.a][pr.b] = res[i]
+		within[pr.b][pr.a] = res[i]
+	}
+	counts := make([]int, len(ix.set))
+	for i := range ix.set {
+		r := ix.repOf[i]
+		for a := 0; a < R; a++ {
+			if within[r][a] {
+				counts[i] += ix.groupSize[a]
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,138 @@
+package simsearch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// randomSet builds a structurally-varied family with deliberate
+// duplicates (clones under new names) so the fingerprint dedup path is
+// always exercised.
+func randomSet(seed int64, n int) []*dag.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*dag.Graph, 0, n)
+	for len(out) < n {
+		if len(out) > 2 && rng.Float64() < 0.3 {
+			c := out[rng.Intn(len(out))].Clone()
+			c.Name = fmt.Sprintf("dup%d", len(out))
+			out = append(out, c)
+			continue
+		}
+		size := 2 + rng.Intn(5)
+		types := make([]dag.OpType, size)
+		types[0] = dag.Source
+		for i := 1; i < size; i++ {
+			types[i] = dag.OpType(rng.Intn(dag.NumOpTypes()))
+		}
+		g := dag.New(fmt.Sprintf("g%d", len(out)))
+		for i, ty := range types {
+			g.MustAddOperator(&dag.Operator{ID: fmt.Sprintf("n%d", i), Type: ty})
+		}
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < 0.4 {
+					g.MustAddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", j))
+				}
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// TestIndexedSimilarEqualsScan: the pivot index returns exactly the
+// linear-scan neighbor set, for every method, on in-set and out-of-set
+// queries across thresholds.
+func TestIndexedSimilarEqualsScan(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		set := randomSet(seed, 14)
+		ix := NewIndex(set, 2)
+		queries := append([]*dag.Graph{}, set[:4]...)
+		queries = append(queries, randomSet(seed+100, 3)...)
+		for _, method := range []Method{AStarLS, DirectGED} {
+			for _, tau := range []float64{0, 1, 3, 6} {
+				for qi, q := range queries {
+					want := Similar(q, set, tau, method)
+					got := ix.Similar(q, tau, method)
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("seed=%d method=%v tau=%v query=%d: indexed %v != scan %v",
+							seed, method, tau, qi, got, want)
+					}
+				}
+			}
+		}
+		st := ix.Stats()
+		if st.Candidates == 0 || st.PrunedLB+st.AcceptedUB == 0 {
+			t.Fatalf("index never pruned: %+v", st)
+		}
+	}
+}
+
+// TestIndexedCenterEqualsScan: the indexed center equals both the
+// appearance-count scan and the seed-pipeline CenterScan for every
+// worker count.
+func TestIndexedCenterEqualsScan(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		set := randomSet(seed, 16)
+		for _, tau := range []float64{1, 3, 5} {
+			wantCounts := AppearanceCounts(set, tau, AStarLS)
+			want := argmaxFirst(wantCounts)
+			seedCenter, err := CenterScan(set, tau, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seedCenter != want {
+				t.Fatalf("seed=%d tau=%v: CenterScan %d != scan %d", seed, tau, seedCenter, want)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got, err := CenterWorkers(set, tau, AStarLS, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("seed=%d tau=%v workers=%d: indexed center %d != scan %d",
+						seed, tau, workers, got, want)
+				}
+				ixCounts := NewIndex(set, workers).appearanceCounts(tau, AStarLS, workers)
+				for i := range wantCounts {
+					if ixCounts[i] != wantCounts[i] {
+						t.Fatalf("seed=%d tau=%v: counts[%d] indexed %d != scan %d",
+							seed, tau, i, ixCounts[i], wantCounts[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexSmallClusterFallback: below the index threshold CenterWorkers
+// must still agree with the scan (it takes the scan path).
+func TestIndexSmallClusterFallback(t *testing.T) {
+	set := randomSet(9, indexMinSize-1)
+	want := argmaxFirst(AppearanceCounts(set, 3, AStarLS))
+	got, err := CenterWorkers(set, 3, AStarLS, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("small-cluster center %d != scan %d", got, want)
+	}
+}
+
+// TestIndexDirectMethodKeepsScan: the DirectGED baseline must produce
+// identical results through CenterWorkers (which deliberately does not
+// index it).
+func TestIndexDirectMethodKeepsScan(t *testing.T) {
+	set := randomSet(11, 10)
+	want := argmaxFirst(AppearanceCounts(set, 3, DirectGED))
+	got, err := CenterWorkers(set, 3, DirectGED, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("direct center %d != scan %d", got, want)
+	}
+}

@@ -39,23 +39,28 @@ func (m Method) String() string {
 }
 
 // Similar returns the indices of graphs in set whose GED to the query
-// does not exceed tau (Definition 1).
+// does not exceed tau (Definition 1). The query's solver view is built
+// once and shared across all candidate pairs.
 func Similar(query *dag.Graph, set []*dag.Graph, tau float64, method Method) []int {
+	return similarPrepared(ged.Prepare(query), ged.PrepareAll(set), tau, method)
+}
+
+func similarPrepared(pq *ged.Prepared, set []*ged.Prepared, tau float64, method Method) []int {
 	var out []int
-	for i, g := range set {
-		if withinTau(query, g, tau, method) {
+	for i, p := range set {
+		if withinTau(pq, p, tau, method) {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-func withinTau(a, b *dag.Graph, tau float64, method Method) bool {
+func withinTau(a, b *ged.Prepared, tau float64, method Method) bool {
 	switch method {
 	case DirectGED:
-		return ged.DistanceDirect(a, b) <= tau
+		return a.DistanceDirect(b) <= tau
 	default:
-		ok, _ := ged.WithinThreshold(a, b, tau)
+		ok, _ := a.WithinThreshold(b, tau)
 		return ok
 	}
 }
@@ -71,21 +76,72 @@ func Center(cluster []*dag.Graph, tau float64, method Method) (int, error) {
 // CenterWorkers is Center with the per-member similarity searches fanned
 // out across up to workers goroutines. GED is a pure function of the two
 // graphs, so the result is identical for every worker count.
+//
+// For the bounded-search method on non-trivial clusters the searches run
+// through a pivot metric index (see Index): the triangle inequality
+// decides most member pairs from a handful of precomputed distances, and
+// structurally-identical members collapse onto one representative. The
+// DirectGED method keeps the plain scan — it is the "directly computing
+// GED" baseline of Fig. 11b and must not be quietly accelerated.
 func CenterWorkers(cluster []*dag.Graph, tau float64, method Method, workers int) (int, error) {
+	return CenterWorkersCached(cluster, tau, method, workers, nil)
+}
+
+// CenterWorkersCached is CenterWorkers with the index pivot distances
+// served through a shared fingerprint-keyed cache, for callers that
+// compute centers of overlapping clusters repeatedly (K-means).
+func CenterWorkersCached(cluster []*dag.Graph, tau float64, method Method, workers int, cache *ged.PairCache) (int, error) {
 	if len(cluster) == 0 {
 		return -1, fmt.Errorf("simsearch: empty cluster")
+	}
+	if method == AStarLS && len(cluster) >= indexMinSize {
+		return NewIndexCached(cluster, workers, cache).Center(tau, method, workers), nil
 	}
 	counts, err := appearanceCounts(cluster, tau, method, workers)
 	if err != nil {
 		return -1, err
 	}
+	return argmaxFirst(counts), nil
+}
+
+// CenterScan is the pre-index linear-scan center with the raw
+// (filter-free) threshold search per pair — the seed pipeline, kept as
+// the differential-test reference and benchmark baseline.
+func CenterScan(cluster []*dag.Graph, tau float64, workers int) (int, error) {
+	if len(cluster) == 0 {
+		return -1, fmt.Errorf("simsearch: empty cluster")
+	}
+	hits, err := parallel.Map(len(cluster), workers, func(q int) ([]int, error) {
+		var out []int
+		for i, g := range cluster {
+			if ok, _ := ged.WithinThresholdSearchOnly(cluster[q], g, tau); ok {
+				out = append(out, i)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return -1, err
+	}
+	counts := make([]int, len(cluster))
+	for _, hit := range hits {
+		for _, idx := range hit {
+			counts[idx]++
+		}
+	}
+	return argmaxFirst(counts), nil
+}
+
+// argmaxFirst returns the index of the maximum count, ties to the lowest
+// index (the Definition 2 tie-break shared by every center path).
+func argmaxFirst(counts []int) int {
 	best := 0
 	for i, c := range counts {
 		if c > counts[best] {
 			best = i
 		}
 	}
-	return best, nil
+	return best
 }
 
 // AppearanceCounts returns, for every cluster member, how many members'
@@ -99,9 +155,11 @@ func AppearanceCounts(cluster []*dag.Graph, tau float64, method Method) []int {
 // appearanceCounts runs every member's similarity search (in parallel
 // when workers > 1) and joins the per-query hit lists into appearance
 // counts on the calling goroutine, keeping the tally order-independent.
+// Solver views are prepared once per member, not once per pair.
 func appearanceCounts(cluster []*dag.Graph, tau float64, method Method, workers int) ([]int, error) {
+	prep := ged.PrepareAll(cluster)
 	hits, err := parallel.Map(len(cluster), workers, func(q int) ([]int, error) {
-		return Similar(cluster[q], cluster, tau, method), nil
+		return similarPrepared(prep[q], prep, tau, method), nil
 	})
 	if err != nil {
 		return nil, err
