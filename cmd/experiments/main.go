@@ -10,8 +10,8 @@
 //
 // Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
 // fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
-// ablation-global, ged-bench, all ("all" excludes ged-bench; run it
-// explicitly).
+// ablation-global, ged-bench, nn-bench, all ("all" excludes ged-bench
+// and nn-bench; run them explicitly).
 //
 // -workers bounds the fan-out of each parallel stage (concurrent
 // drivers, experiment cells, corpus samples, GED pairs, per-cluster
@@ -26,6 +26,9 @@
 // speedups can be tracked across runs. The ged-bench experiment
 // additionally writes BENCH_ged.json: per-scale seed-vs-pipeline
 // timings, filter/verify/cache pair counts and A* states expanded.
+// The nn-bench experiment writes BENCH_nn.json: seed-vs-compiled-plan
+// wall clock for GNN pre-training, ZeroTune cost-model training, and
+// online-tuning inference, with bit-identical-result cross-checks.
 package main
 
 import (
@@ -67,6 +70,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	benchOut := flag.String("bench-out", "BENCH_experiments.json", "wall-clock summary path (empty to disable)")
 	gedBenchOut := flag.String("ged-bench-out", "BENCH_ged.json", "ged-bench report path (empty to disable)")
+	nnBenchOut := flag.String("nn-bench-out", "BENCH_nn.json", "nn-bench report path (empty to disable)")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -83,7 +87,7 @@ func main() {
 		DriverSeconds: make(map[string]float64),
 	}
 	start := time.Now()
-	if err := run(*exp, opts, summary, *gedBenchOut); err != nil {
+	if err := run(*exp, opts, summary, *gedBenchOut, *nnBenchOut); err != nil {
 		log.Fatalf("experiment %s: %v", *exp, err)
 	}
 	summary.TotalSeconds = time.Since(start).Seconds()
@@ -103,7 +107,7 @@ func writeBench(path string, s *benchSummary) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOut string) error {
+func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOut, nnBenchOut string) error {
 	out := os.Stdout
 	needSweep := map[string]bool{"fig6": true, "fig7a": true, "table3": true, "fig9a": true, "all": true}
 
@@ -219,6 +223,21 @@ func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOu
 				return err
 			}
 			t.Render(out)
+		case "nn-bench":
+			report, err := experiments.NNBench(opts)
+			if err != nil {
+				return err
+			}
+			experiments.NNBenchTable(report).Render(out)
+			if nnBenchOut != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(nnBenchOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+			}
 		case "ged-bench":
 			sizes := []int{80, 160, 320}
 			if opts.CorpusSamples < experiments.Full().CorpusSamples {

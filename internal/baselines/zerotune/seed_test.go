@@ -1,0 +1,60 @@
+package zerotune
+
+// Differential test: the compiled-plan cost model must train to
+// byte-identical weights and predictions as the seed eager path (no
+// execution reordering is involved, so equality is exact end to end).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/gnn"
+)
+
+func TestPlanTrainingMatchesSeedEager(t *testing.T) {
+	corpus := pqpCorpus(t)
+	gcfg := gnn.DefaultConfig()
+	gcfg.Hidden = 16
+	opts := DefaultTrainOptions()
+	opts.Epochs = 6
+
+	plan, err := Train(corpus, gcfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eopts := opts
+	eopts.Eager = true
+	eager, err := Train(corpus, gcfg, eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for _, ex := range corpus.Executions[:5] {
+		par := make(map[string]int)
+		for _, op := range ex.Graph.Operators() {
+			par[op.ID] = 1 + rng.Intn(40)
+		}
+		pd, err := plan.PredictDeficit(ex.Graph, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cross-engine, cross-model: the plan-trained model and the
+		// eager-trained model must agree bit for bit on both predict
+		// paths.
+		for name, got := range map[string]func() (float64, error){
+			"plan model, eager predict":  func() (float64, error) { return plan.PredictDeficitEager(ex.Graph, par) },
+			"eager model, plan predict":  func() (float64, error) { return eager.PredictDeficit(ex.Graph, par) },
+			"eager model, eager predict": func() (float64, error) { return eager.PredictDeficitEager(ex.Graph, par) },
+		} {
+			v, err := got()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(v) != math.Float64bits(pd) {
+				t.Fatalf("%s = %v, plan/plan = %v (bit difference)", name, v, pd)
+			}
+		}
+	}
+}

@@ -6,11 +6,18 @@
 // recommendation samples candidate parallelism assignments and picks the
 // one with the best predicted performance (paper §V-A) — an objective
 // with no resource term, which is why it over-provisions in Fig. 6.
+//
+// The cost model trains and predicts on the compiled plan engine of
+// internal/nn, reusing the encoder's cached aggregation structures; the
+// seed eager path is retained behind TrainOptions.Eager and
+// PredictDeficitEager as the differential oracle and benchmark
+// baseline.
 package zerotune
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/gnn"
@@ -23,6 +30,16 @@ type Model struct {
 	enc  *gnn.Encoder
 	head *nn.MLP
 	pmax int
+
+	// infer pools compiled grad-free plans by operator count.
+	infer sync.Map // int -> *sync.Pool of *ztPlan
+}
+
+// ztPlan bundles a compiled cost-model plan with its bind points.
+type ztPlan struct {
+	plan *nn.Plan
+	refs gnn.PlanRefs
+	pred nn.Ref
 }
 
 // TrainOptions configures cost-model training.
@@ -31,12 +48,57 @@ type TrainOptions struct {
 	LearningRate float64
 	Hidden       int
 	Seed         int64
+	// Eager selects the seed eager-autodiff training loop instead of
+	// the compiled plans. Both produce bit-identical models; the eager
+	// path exists as the differential oracle and nn-bench baseline.
+	Eager bool
 }
 
 // DefaultTrainOptions returns the training setup used in the
 // reproduction.
 func DefaultTrainOptions() TrainOptions {
 	return TrainOptions{Epochs: 40, LearningRate: 5e-3, Hidden: 16, Seed: 1}
+}
+
+// buildPlan compiles the full cost-model computation for graphs of n
+// operators: encoder forward, mean pooling, regression head, and (for
+// training plans) the MSE loss.
+func (m *Model) buildPlan(n int, train bool) *ztPlan {
+	b := nn.NewBuilder()
+	zp := &ztPlan{}
+	zp.refs = m.enc.AppendPlan(b, n, 1, true)
+	pooled := b.MeanRows(zp.refs.Emb)
+	zp.pred = b.MLP(m.head, pooled, nn.ActSigmoid)
+	if train {
+		zp.plan = b.Build(b.MSE(zp.pred))
+	} else {
+		zp.plan = b.BuildForward()
+	}
+	return zp
+}
+
+// bind points a plan at one (job, deployment) pair.
+func (m *Model) bind(zp *ztPlan, g *dag.Graph, par map[string]int) error {
+	st := gnn.StructureOf(g)
+	zp.plan.BindConst(zp.refs.Up, st.Up)
+	zp.plan.BindConst(zp.refs.Down, st.Down)
+	xd := zp.plan.InputData(zp.refs.X)
+	for i, op := range g.Operators() {
+		pos := i * dag.FeatureDim
+		if v := dag.FeatureVectorInto(op, xd[pos:pos]); len(v) != dag.FeatureDim {
+			return fmt.Errorf("zerotune: encode %s: operator %q encoded %d features, want %d",
+				g.Name, op.ID, len(v), dag.FeatureDim)
+		}
+	}
+	pd := zp.plan.InputData(zp.refs.Par)
+	for i, op := range g.Operators() {
+		p, ok := par[op.ID]
+		if !ok {
+			return fmt.Errorf("zerotune: encode %s: missing parallelism for %q", g.Name, op.ID)
+		}
+		pd[i] = dag.NormalizeParallelism(p, m.pmax)
+	}
+	return nil
 }
 
 // Train fits the cost model on a corpus: the regression target is the
@@ -58,23 +120,54 @@ func Train(corpus *history.Corpus, gcfg gnn.Config, opts TrainOptions) (*Model, 
 	params := append(m.enc.Params(), m.head.Params()...)
 	opt := nn.NewAdam(params, opts.LearningRate)
 
+	if opts.Eager {
+		for ep := 0; ep < opts.Epochs; ep++ {
+			for _, ex := range corpus.Executions {
+				pred, err := m.predictNodeEager(ex.Graph, ex.Parallelism)
+				if err != nil {
+					return nil, err
+				}
+				target := nn.FromRows([][]float64{{ex.Deficit}})
+				loss := nn.MSE(pred, target)
+				nn.Backward(loss)
+				opt.Step()
+			}
+		}
+		return m, nil
+	}
+
+	// Compiled path: one training plan per operator count, reused
+	// across executions and epochs.
+	plans := make(map[int]*ztPlan)
+	target := nn.NewMatrix(1, 1)
 	for ep := 0; ep < opts.Epochs; ep++ {
 		for _, ex := range corpus.Executions {
-			pred, err := m.predictNode(ex.Graph, ex.Parallelism)
-			if err != nil {
+			n := ex.Graph.NumOperators()
+			if n == 0 {
+				return nil, fmt.Errorf("zerotune: encode %s: empty graph", ex.Graph.Name)
+			}
+			zp, ok := plans[n]
+			if !ok {
+				zp = m.buildPlan(n, true)
+				plans[n] = zp
+			}
+			if err := m.bind(zp, ex.Graph, ex.Parallelism); err != nil {
 				return nil, err
 			}
-			target := nn.FromRows([][]float64{{ex.Deficit}})
-			loss := nn.MSE(pred, target)
-			nn.Backward(loss)
+			target.Data[0] = ex.Deficit
+			zp.plan.SetTarget(target)
+			zp.plan.Forward()
+			zp.plan.Backward()
 			opt.Step()
 		}
 	}
 	return m, nil
 }
 
-// predictNode builds the autodiff graph for one (job, deployment) pair.
-func (m *Model) predictNode(g *dag.Graph, par map[string]int) (*nn.Node, error) {
+// predictNodeEager builds the seed eager autodiff graph for one
+// (job, deployment) pair. Retained verbatim as the differential oracle
+// and benchmark baseline for the compiled path.
+func (m *Model) predictNodeEager(g *dag.Graph, par map[string]int) (*nn.Node, error) {
 	emb, _, err := m.enc.Forward(g, par)
 	if err != nil {
 		return nil, fmt.Errorf("zerotune: encode %s: %w", g.Name, err)
@@ -83,14 +176,38 @@ func (m *Model) predictNode(g *dag.Graph, par map[string]int) (*nn.Node, error) 
 	return nn.Sigmoid(m.head.Forward(pooled)), nil
 }
 
-// PredictDeficit estimates the job-level performance deficit of a
-// deployment (0 good, 1 starved).
-func (m *Model) PredictDeficit(g *dag.Graph, par map[string]int) (float64, error) {
-	pred, err := m.predictNode(g, par)
+// PredictDeficitEager estimates the deficit on the seed eager path.
+func (m *Model) PredictDeficitEager(g *dag.Graph, par map[string]int) (float64, error) {
+	pred, err := m.predictNodeEager(g, par)
 	if err != nil {
 		return 0, err
 	}
 	return pred.Val.Data[0], nil
+}
+
+// PredictDeficit estimates the job-level performance deficit of a
+// deployment (0 good, 1 starved) on a pooled compiled plan,
+// bit-identical to the eager path.
+func (m *Model) PredictDeficit(g *dag.Graph, par map[string]int) (float64, error) {
+	n := g.NumOperators()
+	if n == 0 {
+		return 0, fmt.Errorf("zerotune: encode %s: empty graph", g.Name)
+	}
+	pi, ok := m.infer.Load(n)
+	if !ok {
+		pi, _ = m.infer.LoadOrStore(n, &sync.Pool{})
+	}
+	pool := pi.(*sync.Pool)
+	zp, _ := pool.Get().(*ztPlan)
+	if zp == nil {
+		zp = m.buildPlan(n, false)
+	}
+	defer pool.Put(zp)
+	if err := m.bind(zp, g, par); err != nil {
+		return 0, err
+	}
+	zp.plan.Forward()
+	return zp.plan.Value(zp.pred).Data[0], nil
 }
 
 // RecommendOptions configures sampling-based recommendation.

@@ -33,6 +33,14 @@ func featureDim() int {
 // min-max scaling into [0,1] for numeric ones, and log-scaled source rate.
 func FeatureVector(op *Operator) []float64 {
 	v := make([]float64, 0, FeatureDim)
+	return FeatureVectorInto(op, v)
+}
+
+// FeatureVectorInto appends the feature encoding of op to dst and
+// returns the extended slice, letting batch encoders fill one flat
+// buffer without a per-operator allocation.
+func FeatureVectorInto(op *Operator, dst []float64) []float64 {
+	v := dst
 	v = appendOneHot(v, int(op.Type), int(numOpTypes))
 	v = appendOneHot(v, int(op.WindowType), int(numWindowTypes))
 	v = appendOneHot(v, int(op.WindowPolicy), int(numWindowPolicies))

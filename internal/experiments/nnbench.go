@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/baselines/zerotune"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/gnn"
+)
+
+// NNBenchReport is the result of the neural-engine benchmark: the seed
+// eager autodiff paths against the compiled-plan engine (pooled
+// buffers, cached aggregation structures, block-diagonal batching,
+// grad-free inference sessions) on the three model workloads this
+// repository runs — per-cluster GNN pre-training, ZeroTune cost-model
+// training, and the tuner's online-loop inference pattern. Every
+// comparison cross-checks bit-identical results before timing is
+// reported, mirroring BENCH_ged.json.
+type NNBenchReport struct {
+	CorpusExecutions   int `json:"corpus_executions"`
+	DistinctStructures int `json:"distinct_structures"`
+	Epochs             int `json:"epochs"`
+	ZeroTuneEpochs     int `json:"zerotune_epochs"`
+
+	// Pretrain: gnn.PretrainEager (seed) vs the batched gnn.Pretrain,
+	// both at the default encoder/training configuration apart from the
+	// epoch count. The seed runs the same structure-ordered execution
+	// sequence the batched path uses, and both must produce
+	// byte-identical weights.
+	PretrainSeedSeconds float64 `json:"pretrain_seed_seconds"`
+	PretrainPlanSeconds float64 `json:"pretrain_plan_seconds"`
+	PretrainSpeedup     float64 `json:"pretrain_speedup"`
+
+	// ZeroTune job-level cost-model training, eager vs compiled.
+	ZeroTuneSeedSeconds float64 `json:"zerotune_seed_seconds"`
+	ZeroTunePlanSeconds float64 `json:"zerotune_plan_seconds"`
+	ZeroTuneSpeedup     float64 `json:"zerotune_speedup"`
+
+	// Online-tuning inference: the distillation pattern of Algorithm 2
+	// (one parallelism-agnostic pass plus a Fibonacci parallelism grid
+	// of predictions per job), eager Forward vs the grad-free
+	// InferSession fast path.
+	InferGraphs      int     `json:"infer_graphs"`
+	InferRounds      int     `json:"infer_rounds"`
+	InferSeedSeconds float64 `json:"infer_seed_seconds"`
+	InferPlanSeconds float64 `json:"infer_plan_seconds"`
+	InferSpeedup     float64 `json:"infer_speedup"`
+}
+
+// nnBenchGrid mirrors the tuner's Fibonacci distillation grid.
+var nnBenchGrid = []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+// NNBench runs the neural-engine benchmark on the shared pre-training
+// corpus.
+func NNBench(opts Options) (*NNBenchReport, error) {
+	corpus, err := BuildCorpus(engine.Flink, opts)
+	if err != nil {
+		return nil, err
+	}
+	r := &NNBenchReport{
+		CorpusExecutions:   corpus.Len(),
+		DistinctStructures: corpus.DistinctStructures(),
+		Epochs:             opts.TrainEpochs,
+	}
+
+	// --- Pre-training ---
+	cfg := gnn.DefaultConfig()
+	topts := gnn.DefaultTrainOptions()
+	topts.Epochs = opts.TrainEpochs
+	grouped := gnn.GroupByStructure(corpus)
+
+	start := time.Now()
+	seedEnc, _, err := gnn.PretrainEager(grouped, cfg, topts)
+	if err != nil {
+		return nil, fmt.Errorf("nnbench: seed pretrain: %w", err)
+	}
+	r.PretrainSeedSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	planEnc, _, err := gnn.Pretrain(corpus, cfg, topts)
+	if err != nil {
+		return nil, fmt.Errorf("nnbench: batched pretrain: %w", err)
+	}
+	r.PretrainPlanSeconds = time.Since(start).Seconds()
+
+	seedW, err := seedEnc.MarshalParams()
+	if err != nil {
+		return nil, err
+	}
+	planW, err := planEnc.MarshalParams()
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(seedW, planW) {
+		return nil, fmt.Errorf("nnbench: batched pretrain weights diverged from seed")
+	}
+	if r.PretrainPlanSeconds > 0 {
+		r.PretrainSpeedup = r.PretrainSeedSeconds / r.PretrainPlanSeconds
+	}
+
+	// --- ZeroTune cost-model training ---
+	// ZeroTune steps the optimizer once per execution, so its epochs are
+	// far more expensive than pre-training epochs; cap the benchmark
+	// phase to keep the whole report inside one sitting.
+	zopts := zerotune.DefaultTrainOptions()
+	zopts.Epochs = opts.TrainEpochs
+	if zopts.Epochs > 10 {
+		zopts.Epochs = 10
+	}
+	r.ZeroTuneEpochs = zopts.Epochs
+	ezopts := zopts
+	ezopts.Eager = true
+
+	start = time.Now()
+	seedModel, err := zerotune.Train(corpus, cfg, ezopts)
+	if err != nil {
+		return nil, fmt.Errorf("nnbench: seed zerotune: %w", err)
+	}
+	r.ZeroTuneSeedSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	planModel, err := zerotune.Train(corpus, cfg, zopts)
+	if err != nil {
+		return nil, fmt.Errorf("nnbench: plan zerotune: %w", err)
+	}
+	r.ZeroTunePlanSeconds = time.Since(start).Seconds()
+	if r.ZeroTunePlanSeconds > 0 {
+		r.ZeroTuneSpeedup = r.ZeroTuneSeedSeconds / r.ZeroTunePlanSeconds
+	}
+
+	// --- Online-tuning inference ---
+	workloads, err := FlinkWorkloads(opts)
+	if err != nil {
+		return nil, err
+	}
+	rounds := 30
+	if opts.CorpusSamples < Full().CorpusSamples {
+		rounds = 8
+	}
+	r.InferGraphs = len(workloads)
+	r.InferRounds = rounds
+
+	parFor := func(w Workload, p int) map[string]int {
+		par := make(map[string]int, w.Graph.NumOperators())
+		for _, op := range w.Graph.Operators() {
+			par[op.ID] = p
+		}
+		return par
+	}
+
+	// Cross-check bit for bit before timing. ZeroTune first: the
+	// eager-trained and plan-trained models must agree on both predict
+	// engines.
+	for _, w := range workloads {
+		par := parFor(w, 8)
+		want, err := seedModel.PredictDeficitEager(w.Graph, par)
+		if err != nil {
+			return nil, err
+		}
+		got, err := planModel.PredictDeficit(w.Graph, par)
+		if err != nil {
+			return nil, err
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			return nil, fmt.Errorf("nnbench: %s: plan zerotune model diverged from seed", w.Name)
+		}
+	}
+	// Then the encoder inference session against the seed Forward on
+	// every grid point.
+	for _, w := range workloads {
+		sess, err := planEnc.NewInferSession(w.Graph)
+		if err != nil {
+			return nil, err
+		}
+		aemb, aprobs, err := planEnc.Forward(w.Graph, nil)
+		if err != nil {
+			return nil, err
+		}
+		embs := sess.Embeddings()
+		for i := range embs {
+			row := aemb.Val.Row(i)
+			for j := range row {
+				if math.Float64bits(embs[i][j]) != math.Float64bits(row[j]) {
+					return nil, fmt.Errorf("nnbench: %s: session embedding diverged from seed forward", w.Name)
+				}
+			}
+		}
+		for i := range aprobs.Val.Data {
+			if math.Float64bits(sess.AgnosticProbs()[i]) != math.Float64bits(aprobs.Val.Data[i]) {
+				return nil, fmt.Errorf("nnbench: %s: session probs diverged from seed forward", w.Name)
+			}
+		}
+		for _, p := range nnBenchGrid {
+			par := parFor(w, p)
+			_, want, err := planEnc.Forward(w.Graph, par)
+			if err != nil {
+				return nil, err
+			}
+			got, err := sess.Probs(par)
+			if err != nil {
+				return nil, err
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want.Val.Data[i]) {
+					return nil, fmt.Errorf("nnbench: %s: grid p=%d diverged from seed forward", w.Name, p)
+				}
+			}
+		}
+	}
+
+	start = time.Now()
+	for round := 0; round < rounds; round++ {
+		for _, w := range workloads {
+			if _, _, err := planEnc.Forward(w.Graph, nil); err != nil {
+				return nil, err
+			}
+			for _, p := range nnBenchGrid {
+				if _, _, err := planEnc.Forward(w.Graph, parFor(w, p)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	r.InferSeedSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	for round := 0; round < rounds; round++ {
+		for _, w := range workloads {
+			sess, err := planEnc.NewInferSession(w.Graph)
+			if err != nil {
+				return nil, err
+			}
+			_ = sess.Embeddings()
+			for _, p := range nnBenchGrid {
+				if _, err := sess.Probs(parFor(w, p)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	r.InferPlanSeconds = time.Since(start).Seconds()
+	if r.InferPlanSeconds > 0 {
+		r.InferSpeedup = r.InferSeedSeconds / r.InferPlanSeconds
+	}
+	return r, nil
+}
+
+// NNBenchTable renders the benchmark report.
+func NNBenchTable(r *NNBenchReport) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("NN engine: compiled plans vs seed eager autodiff (%d executions, %d structures, %d epochs)",
+			r.CorpusExecutions, r.DistinctStructures, r.Epochs),
+		Header: []string{"Workload", "Seed", "Compiled", "Speedup"},
+	}
+	row := func(name string, seed, plan, speedup float64) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.3fs", seed),
+			fmt.Sprintf("%.3fs", plan),
+			fmt.Sprintf("%.1fx", speedup),
+		})
+	}
+	row("GNN pre-training (batched)", r.PretrainSeedSeconds, r.PretrainPlanSeconds, r.PretrainSpeedup)
+	row("ZeroTune cost-model training", r.ZeroTuneSeedSeconds, r.ZeroTunePlanSeconds, r.ZeroTuneSpeedup)
+	row(fmt.Sprintf("Online inference (%dx%d grid rounds)", r.InferRounds, r.InferGraphs),
+		r.InferSeedSeconds, r.InferPlanSeconds, r.InferSpeedup)
+	return t
+}

@@ -1,0 +1,140 @@
+package gnn
+
+// Benchmarks comparing the seed eager paths against the compiled plan
+// engine on encoder-shaped workloads. The seed side (Forward,
+// PretrainEager) is the retained old implementation, so one benchmark
+// run measures this PR's before/after factor; cmd/experiments -exp
+// nn-bench wraps the same comparisons at corpus scale.
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+func benchGraph(b *testing.B) *dag.Graph {
+	g, err := nexmark.Build(nexmark.Q3, engine.Flink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchCorpus(b *testing.B) *history.Corpus {
+	q2, err := nexmark.Build(nexmark.Q2, engine.Flink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	two, err := pqp.Build(pqp.TwoWayJoin, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := history.DefaultOptions(engine.Flink)
+	opts.SamplesPerGraph = 20
+	opts.Engine.MeasureTicks = 40
+	opts.Engine.WarmupTicks = 30
+	c, err := history.Generate([]*dag.Graph{q2, two}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchTrainOptions() TrainOptions {
+	o := DefaultTrainOptions()
+	o.Epochs = 2
+	return o
+}
+
+func BenchmarkForwardSeed(b *testing.B) {
+	g := benchGraph(b)
+	enc := NewEncoder(DefaultConfig())
+	par := parAll(g, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.Forward(g, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInfer(b *testing.B) {
+	g := benchGraph(b)
+	enc := NewEncoder(DefaultConfig())
+	par := parAll(g, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.Infer(g, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineInferSeed and BenchmarkOnlineInferSession time the
+// tuner's online pattern: one agnostic pass plus a Fibonacci grid of
+// parallelism-aware predictions (the distillation loop of Algorithm 2).
+var benchGrid = []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+func BenchmarkOnlineInferSeed(b *testing.B) {
+	g := benchGraph(b)
+	enc := NewEncoder(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.Forward(g, nil); err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range benchGrid {
+			if _, _, err := enc.Forward(g, parAll(g, p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkOnlineInferSession(b *testing.B) {
+	g := benchGraph(b)
+	enc := NewEncoder(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := enc.NewInferSession(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sess.Embeddings()
+		for _, p := range benchGrid {
+			if _, err := sess.Probs(parAll(g, p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPretrainSeed(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PretrainEager(corpus, DefaultConfig(), benchTrainOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPretrainBatched(b *testing.B) {
+	corpus := benchCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Pretrain(corpus, DefaultConfig(), benchTrainOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ package gnn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/nn"
@@ -54,6 +55,9 @@ type Encoder struct {
 	downW []*nn.Linear // per-layer downstream aggregation transform
 	fuse  *nn.Linear   // FUSE (hidden+1 -> hidden), applied after the last layer
 	head  *nn.MLP      // bottleneck prediction head
+
+	// plans pools compiled execution plans by shape (see plan.go).
+	plans sync.Map // planKey -> *sync.Pool of *encPlan
 }
 
 // NewEncoder creates a randomly initialized encoder.
@@ -113,6 +117,12 @@ func aggMatrices(g *dag.Graph) (up, down *nn.Matrix) {
 // a parallelism to every operator, the encoder runs in parallelism-aware
 // mode, and the returned embeddings are the post-FUSE states feeding the
 // head; if nil, the returned embeddings are parallelism-agnostic.
+//
+// Forward builds an eager autodiff graph per call and is deliberately
+// kept at its seed implementation: it is the differential oracle and
+// the nn-bench baseline for the compiled plan paths (Infer,
+// InferSession, the batched Pretrain). Hot paths should use those
+// instead.
 func (e *Encoder) Forward(g *dag.Graph, par map[string]int) (*nn.Node, *nn.Node, error) {
 	n := g.NumOperators()
 	if n == 0 {
@@ -153,31 +163,18 @@ func (e *Encoder) Forward(g *dag.Graph, par map[string]int) (*nn.Node, *nn.Node,
 }
 
 // Embeddings returns the parallelism-agnostic embedding of every
-// operator of g (by graph index), detached from the autodiff graph.
+// operator of g (by graph index), detached from the autodiff graph. It
+// runs on the grad-free plan path.
 func (e *Encoder) Embeddings(g *dag.Graph) ([][]float64, error) {
-	h, _, err := e.Forward(g, nil)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]float64, h.Val.Rows)
-	for i := range out {
-		out[i] = h.Val.Row(i)
-	}
-	return out, nil
+	embs, _, err := e.Infer(g, nil)
+	return embs, err
 }
 
 // PredictBottleneck returns per-operator bottleneck probabilities under
-// the given deployment.
+// the given deployment. It runs on the grad-free plan path.
 func (e *Encoder) PredictBottleneck(g *dag.Graph, par map[string]int) ([]float64, error) {
-	_, probs, err := e.Forward(g, par)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, probs.Val.Rows)
-	for i := range out {
-		out[i] = probs.Val.Data[i]
-	}
-	return out, nil
+	_, probs, err := e.Infer(g, par)
+	return probs, err
 }
 
 // MarshalParams serializes the encoder weights.

@@ -1,0 +1,247 @@
+package gnn
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/nn"
+)
+
+// Compiled-plan execution for the encoder. Plans are keyed by shape
+// (operator count, batch blocks, parallelism-aware or not, kind) and
+// pooled per encoder: concurrent inference callers — the experiment
+// drivers share pre-trained encoders across goroutines — each check
+// out their own plan instance over the shared parameters. Replays are
+// bit-identical to the seed eager Forward (differential tests in
+// seed_test.go enforce this).
+
+type planKind int
+
+const (
+	planTrain planKind = iota // forward + masked-BCE backward
+	planInfer                 // grad-free full forward
+	planFuse                  // grad-free FUSE + head over cached states
+)
+
+type planKey struct {
+	n, blocks int
+	par       bool
+	kind      planKind
+}
+
+// encPlan bundles a compiled plan with its binding points.
+type encPlan struct {
+	plan       *nn.Plan
+	x, pvec    nn.Ref
+	up, down   nn.ConstRef
+	emb, probs nn.Ref
+}
+
+// PlanRefs identifies the bind points of an encoder forward appended to
+// a plan builder: fill X (and Par when parallelism-aware), bind Up and
+// Down to the graph's cached aggregation matrices, and read Emb and
+// Probs after Forward. Consumers such as the ZeroTune cost model extend
+// the builder beyond Emb with their own heads.
+type PlanRefs struct {
+	X, Par     nn.Ref
+	Up, Down   nn.ConstRef
+	Emb, Probs nn.Ref
+}
+
+// AppendPlan appends the encoder's forward computation for graphs of n
+// operators (blocks block-diagonal executions) to b, mirroring Forward
+// op for op: input projection, Layers message-passing iterations, the
+// FUSE transform when par is set, and the prediction head.
+func (e *Encoder) AppendPlan(b *nn.Builder, n, blocks int, par bool) PlanRefs {
+	rows := n * blocks
+	refs := PlanRefs{
+		X:    b.Input(rows, dag.FeatureDim),
+		Up:   b.Const(n, n),
+		Down: b.Const(n, n),
+	}
+	h := b.Linear(e.input, refs.X, nn.ActReLU)
+	for l := 0; l < e.cfg.Layers; l++ {
+		s := b.Linear(e.selfW[l], h, nn.ActNone)
+		u2 := b.Linear(e.upW[l], b.BlockMatMul(refs.Up, h), nn.ActNone)
+		d2 := b.Linear(e.downW[l], b.BlockMatMul(refs.Down, h), nn.ActNone)
+		h = b.Sum3(s, u2, d2, nn.ActReLU)
+	}
+	headIn := h
+	if par {
+		refs.Par = b.Input(rows, 1)
+		headIn = b.Linear(e.fuse, b.ConcatCols(h, refs.Par), nn.ActReLU)
+	}
+	refs.Emb = headIn
+	refs.Probs = b.MLP(e.head, headIn, nn.ActSigmoid)
+	return refs
+}
+
+func (e *Encoder) buildPlan(key planKey) *encPlan {
+	b := nn.NewBuilder()
+	b.SetBlocks(key.blocks)
+	if key.kind == planFuse {
+		h := b.Input(key.n*key.blocks, e.cfg.Hidden)
+		pv := b.Input(key.n*key.blocks, 1)
+		headIn := b.Linear(e.fuse, b.ConcatCols(h, pv), nn.ActReLU)
+		probs := b.MLP(e.head, headIn, nn.ActSigmoid)
+		return &encPlan{plan: b.BuildForward(), x: h, pvec: pv, emb: headIn, probs: probs}
+	}
+	refs := e.AppendPlan(b, key.n, key.blocks, key.par)
+	ep := &encPlan{x: refs.X, pvec: refs.Par, up: refs.Up, down: refs.Down, emb: refs.Emb, probs: refs.Probs}
+	if key.kind == planTrain {
+		ep.plan = b.Build(b.MaskedBCE(refs.Probs))
+	} else {
+		ep.plan = b.BuildForward()
+	}
+	return ep
+}
+
+// getPlan checks a plan for key out of the encoder's pool, building one
+// on first use (or when the pool drained under GC pressure).
+func (e *Encoder) getPlan(key planKey) *encPlan {
+	pi, ok := e.plans.Load(key)
+	if !ok {
+		pi, _ = e.plans.LoadOrStore(key, &sync.Pool{})
+	}
+	if v := pi.(*sync.Pool).Get(); v != nil {
+		return v.(*encPlan)
+	}
+	return e.buildPlan(key)
+}
+
+func (e *Encoder) putPlan(key planKey, ep *encPlan) {
+	pi, _ := e.plans.Load(key)
+	pi.(*sync.Pool).Put(ep)
+}
+
+// fillFeatures encodes the operator features of g into block blk of the
+// plan's feature input.
+func fillFeatures(p *nn.Plan, x nn.Ref, g *dag.Graph, blk int) {
+	xd := p.InputData(x)
+	off := blk * g.NumOperators() * dag.FeatureDim
+	for i, op := range g.Operators() {
+		pos := off + i*dag.FeatureDim
+		// The append-into window has exactly FeatureDim capacity left
+		// in xd; a length mismatch means the encoder and FeatureDim
+		// drifted apart, so fail loudly instead of dropping features.
+		if v := dag.FeatureVectorInto(op, xd[pos:pos]); len(v) != dag.FeatureDim {
+			panic(fmt.Sprintf("gnn: operator %q encoded %d features, want %d", op.ID, len(v), dag.FeatureDim))
+		}
+	}
+}
+
+// fillParallelism encodes the normalized parallelism of every operator
+// into block blk of the plan's parallelism input, mirroring Forward's
+// validation of missing assignments.
+func fillParallelism(p *nn.Plan, pvec nn.Ref, g *dag.Graph, par map[string]int, pmax, blk int) error {
+	pd := p.InputData(pvec)
+	off := blk * g.NumOperators()
+	for i, op := range g.Operators() {
+		d, ok := par[op.ID]
+		if !ok {
+			return fmt.Errorf("gnn: missing parallelism for %q", op.ID)
+		}
+		pd[off+i] = dag.NormalizeParallelism(d, pmax)
+	}
+	return nil
+}
+
+func matRows(m *nn.Matrix) [][]float64 {
+	out := make([][]float64, m.Rows)
+	flat := make([]float64, len(m.Data))
+	copy(flat, m.Data)
+	for i := range out {
+		out[i] = flat[i*m.Cols : (i+1)*m.Cols]
+	}
+	return out
+}
+
+// Infer is the grad-free fast path of Forward: it replays a pooled
+// compiled plan over the graph's cached aggregation structure and
+// returns per-operator embeddings and bottleneck probabilities,
+// bit-identical to Forward(g, par) but without building an autodiff
+// graph. If par is nil the embeddings are parallelism-agnostic, as with
+// Forward.
+func (e *Encoder) Infer(g *dag.Graph, par map[string]int) ([][]float64, []float64, error) {
+	n := g.NumOperators()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("gnn: empty graph %q", g.Name)
+	}
+	key := planKey{n: n, blocks: 1, par: par != nil, kind: planInfer}
+	ep := e.getPlan(key)
+	defer e.putPlan(key, ep)
+	st := structureOf(g)
+	ep.plan.BindConst(ep.up, st.up)
+	ep.plan.BindConst(ep.down, st.down)
+	fillFeatures(ep.plan, ep.x, g, 0)
+	if par != nil {
+		if err := fillParallelism(ep.plan, ep.pvec, g, par, e.cfg.PMax, 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	ep.plan.Forward()
+	embs := matRows(ep.plan.Value(ep.emb))
+	probs := append([]float64(nil), ep.plan.Value(ep.probs).Data...)
+	return embs, probs, nil
+}
+
+// InferSession caches the parallelism-agnostic message-passing states
+// of one graph so the tuner's online loop can sweep parallelism
+// assignments paying only for the FUSE transform and the head — the
+// expensive structure-dependent part of the forward runs once. Probs
+// results are bit-identical to Forward(g, par). A session holds private
+// buffers and is not safe for concurrent use.
+type InferSession struct {
+	enc   *Encoder
+	g     *dag.Graph
+	n     int
+	h     *nn.Matrix
+	embs  [][]float64
+	probs []float64
+}
+
+// NewInferSession runs the agnostic forward once and captures the
+// pre-FUSE states.
+func (e *Encoder) NewInferSession(g *dag.Graph) (*InferSession, error) {
+	n := g.NumOperators()
+	if n == 0 {
+		return nil, fmt.Errorf("gnn: empty graph %q", g.Name)
+	}
+	key := planKey{n: n, blocks: 1, par: false, kind: planInfer}
+	ep := e.getPlan(key)
+	defer e.putPlan(key, ep)
+	st := structureOf(g)
+	ep.plan.BindConst(ep.up, st.up)
+	ep.plan.BindConst(ep.down, st.down)
+	fillFeatures(ep.plan, ep.x, g, 0)
+	ep.plan.Forward()
+	s := &InferSession{enc: e, g: g, n: n,
+		h:     ep.plan.Value(ep.emb).Clone(),
+		embs:  matRows(ep.plan.Value(ep.emb)),
+		probs: append([]float64(nil), ep.plan.Value(ep.probs).Data...),
+	}
+	return s, nil
+}
+
+// Embeddings returns the parallelism-agnostic embedding of every
+// operator (shared slices; callers must not mutate).
+func (s *InferSession) Embeddings() [][]float64 { return s.embs }
+
+// AgnosticProbs returns the head's probabilities without FUSE (the
+// par == nil prediction).
+func (s *InferSession) AgnosticProbs() []float64 { return s.probs }
+
+// Probs predicts per-operator bottleneck probabilities under par,
+// replaying only FUSE + head over the cached states.
+func (s *InferSession) Probs(par map[string]int) ([]float64, error) {
+	key := planKey{n: s.n, blocks: 1, par: true, kind: planFuse}
+	ep := s.enc.getPlan(key)
+	defer s.enc.putPlan(key, ep)
+	ep.plan.SetInput(ep.x, s.h)
+	if err := fillParallelism(ep.plan, ep.pvec, s.g, par, s.enc.cfg.PMax, 0); err != nil {
+		return nil, err
+	}
+	ep.plan.Forward()
+	return append([]float64(nil), ep.plan.Value(ep.probs).Data...), nil
+}

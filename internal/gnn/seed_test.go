@@ -1,0 +1,287 @@
+package gnn
+
+// Differential tests holding the compiled plan paths (Infer,
+// InferSession, batched Pretrain) bit-identical to the seed
+// implementation, following the internal/ged/seed_test.go precedent.
+// The seed here is not a copy: Forward and PretrainEager ARE the
+// unchanged seed code, deliberately retained as the oracle and as the
+// nn-bench baseline (see their doc comments) — these tests are what
+// keeps them honest.
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/history"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+func seedTestGraphs(t testing.TB) []*dag.Graph {
+	var gs []*dag.Graph
+	for _, q := range []nexmark.Query{nexmark.Q1, nexmark.Q3, nexmark.Q5, nexmark.Q8} {
+		g, err := nexmark.Build(q, engine.Flink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	for _, tmpl := range []pqp.Template{pqp.Linear, pqp.TwoWayJoin} {
+		g, err := pqp.Build(tmpl, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+func parAll(g *dag.Graph, p int) map[string]int {
+	out := make(map[string]int, g.NumOperators())
+	for _, op := range g.Operators() {
+		out[op.ID] = p
+	}
+	return out
+}
+
+func sameFloats(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %v, want %v (bit difference)", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestInferMatchesSeedForward holds the grad-free plan path
+// bit-identical to the seed eager Forward across graphs, parallelism
+// modes, and repeated (pool-reusing) calls.
+func TestInferMatchesSeedForward(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	for round := 0; round < 2; round++ { // round 2 reuses pooled plans
+		for _, g := range seedTestGraphs(t) {
+			for _, par := range []map[string]int{nil, parAll(g, 1), parAll(g, 37)} {
+				emb, probs, err := enc.Forward(g, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				iemb, iprobs, err := enc.Infer(g, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range iemb {
+					sameFloats(t, "embedding row", iemb[i], emb.Val.Row(i))
+				}
+				sameFloats(t, "probs", iprobs, probs.Val.Data)
+			}
+		}
+	}
+}
+
+// TestInferErrorsMatchSeed pins the validation behavior of the plan
+// path to the seed Forward.
+func TestInferErrorsMatchSeed(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	if _, _, err := enc.Infer(dag.New("empty"), nil); err == nil {
+		t.Fatal("expected empty-graph error")
+	}
+	g := seedTestGraphs(t)[1]
+	if _, _, err := enc.Infer(g, map[string]int{"bids": 1}); err == nil {
+		t.Fatal("expected missing-parallelism error")
+	}
+	if _, err := enc.NewInferSession(dag.New("empty")); err == nil {
+		t.Fatal("expected empty-graph session error")
+	}
+}
+
+// TestInferSessionMatchesSeedForward sweeps a parallelism grid through
+// a session (one agnostic pass + FUSE/head replays) and demands bitwise
+// agreement with full seed forwards — the tuner's online-loop pattern.
+func TestInferSessionMatchesSeedForward(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	for _, g := range seedTestGraphs(t) {
+		sess, err := enc.NewInferSession(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agnostic, agProbs, err := enc.Forward(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		embs := sess.Embeddings()
+		for i := range embs {
+			sameFloats(t, "session embedding", embs[i], agnostic.Val.Row(i))
+		}
+		sameFloats(t, "session agnostic probs", sess.AgnosticProbs(), agProbs.Val.Data)
+		for _, p := range []int{1, 2, 5, 13, 34, 89} {
+			par := parAll(g, p)
+			_, want, err := enc.Forward(g, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sess.Probs(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameFloats(t, "session probs", got, want.Val.Data)
+		}
+		if _, err := sess.Probs(map[string]int{}); err == nil {
+			t.Fatal("expected missing-parallelism error from session")
+		}
+	}
+}
+
+// structureOrdered reorders a corpus the way the batched Pretrain does.
+// It additionally cross-checks GroupByStructure against an independent
+// ged.Fingerprint-based grouping, so the exported helper cannot drift
+// from the rule the oracle relies on.
+func structureOrdered(t *testing.T, c *history.Corpus) *history.Corpus {
+	t.Helper()
+	var order []string
+	groups := make(map[string][]history.Execution)
+	for _, ex := range c.Executions {
+		key := ged.Fingerprint(ex.Graph)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], ex)
+	}
+	want := &history.Corpus{}
+	for _, k := range order {
+		want.Executions = append(want.Executions, groups[k]...)
+	}
+	got := GroupByStructure(c)
+	if len(got.Executions) != len(want.Executions) {
+		t.Fatalf("GroupByStructure kept %d executions, want %d", len(got.Executions), len(want.Executions))
+	}
+	for i := range want.Executions {
+		if got.Executions[i].Graph != want.Executions[i].Graph {
+			t.Fatalf("GroupByStructure order diverged at %d", i)
+		}
+	}
+	return got
+}
+
+// TestPretrainMatchesSeedOnStructureOrder is the full-training
+// differential: the batched block-diagonal Pretrain must produce
+// byte-identical weights and loss curves to the seed per-execution
+// loop fed the same structure-grouped execution order.
+func TestPretrainMatchesSeedOnStructureOrder(t *testing.T) {
+	corpus := smallCorpus(t)
+	cfg := DefaultConfig()
+	opts := DefaultTrainOptions()
+	opts.Epochs = 6
+
+	batched, batchedLosses, err := Pretrain(corpus, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, seedLosses, err := PretrainEager(structureOrdered(t, corpus), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(batchedLosses) != len(seedLosses) {
+		t.Fatalf("%d epoch losses, want %d", len(batchedLosses), len(seedLosses))
+	}
+	for i := range seedLosses {
+		if math.Float64bits(batchedLosses[i]) != math.Float64bits(seedLosses[i]) {
+			t.Fatalf("epoch %d loss %v != seed %v", i, batchedLosses[i], seedLosses[i])
+		}
+	}
+	bw, err := batched.MarshalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := seed.MarshalParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bw, sw) {
+		t.Fatal("batched Pretrain weights diverged from seed loop on the same order")
+	}
+}
+
+// TestPretrainBatchSizeBoundaries covers chunking against awkward
+// batch sizes (chunks must never span an optimizer step).
+func TestPretrainBatchSizeBoundaries(t *testing.T) {
+	corpus := smallCorpus(t)
+	cfg := DefaultConfig()
+	cfg.Hidden = 12
+	for _, bs := range []int{1, 3, 7, 1000} {
+		opts := TrainOptions{Epochs: 2, LearningRate: 5e-3, BatchSize: bs}
+		batched, _, err := Pretrain(corpus, cfg, opts)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bs, err)
+		}
+		seed, _, err := PretrainEager(structureOrdered(t, corpus), cfg, opts)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bs, err)
+		}
+		bw, _ := batched.MarshalParams()
+		sw, _ := seed.MarshalParams()
+		if !bytes.Equal(bw, sw) {
+			t.Fatalf("batch size %d: batched weights diverged from seed", bs)
+		}
+	}
+}
+
+// TestConcurrentInferIsRaceFreeAndDeterministic checks the plan pools
+// under concurrent inference on one shared encoder (the artifact-cache
+// sharing pattern of the experiment drivers), relying on -race runs to
+// surface unsynchronized access.
+func TestConcurrentInferIsRaceFreeAndDeterministic(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	gs := seedTestGraphs(t)
+	type result struct{ probs []float64 }
+	want := make([][]float64, len(gs))
+	for i, g := range gs {
+		var err error
+		_, want[i], err = enc.Infer(g, parAll(g, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for i, g := range gs {
+					_, probs, err := enc.Infer(g, parAll(g, 5))
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range probs {
+						if probs[j] != want[i][j] {
+							errs <- errConcurrentMismatch
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errConcurrentMismatch = errDeterminism("concurrent Infer diverged from sequential result")
+
+type errDeterminism string
+
+func (e errDeterminism) Error() string { return string(e) }

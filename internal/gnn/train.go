@@ -3,6 +3,7 @@ package gnn
 import (
 	"fmt"
 
+	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/history"
 	"github.com/streamtune/streamtune/internal/nn"
 )
@@ -23,22 +24,10 @@ func DefaultTrainOptions() TrainOptions {
 	return TrainOptions{Epochs: 30, LearningRate: 5e-3, BatchSize: 8}
 }
 
-// Pretrain trains a fresh encoder on the corpus with the binary
-// cross-entropy objective over labeled operators (paper §IV-A) and
-// returns it along with the per-epoch mean training loss.
-func Pretrain(corpus *history.Corpus, cfg Config, opts TrainOptions) (*Encoder, []float64, error) {
-	if corpus.Len() == 0 {
-		return nil, nil, fmt.Errorf("gnn: empty corpus")
-	}
-	if opts.Epochs <= 0 || opts.BatchSize <= 0 || opts.LearningRate <= 0 {
-		return nil, nil, fmt.Errorf("gnn: invalid train options %+v", opts)
-	}
-	enc := NewEncoder(cfg)
-	opt := nn.NewAdam(enc.Params(), opts.LearningRate)
-
-	// Positive-class weight counteracting label imbalance (bottleneck
-	// labels are sparse: Algorithm 1 labels only the backpressure
-	// frontier).
+// posWeightOf computes the positive-class weight counteracting label
+// imbalance (bottleneck labels are sparse: Algorithm 1 labels only the
+// backpressure frontier).
+func posWeightOf(corpus *history.Corpus) float64 {
 	var n0, n1 float64
 	for _, ex := range corpus.Executions {
 		for _, l := range ex.Labels {
@@ -60,6 +49,181 @@ func Pretrain(corpus *history.Corpus, cfg Config, opts TrainOptions) (*Encoder, 
 			posWeight = 1
 		}
 	}
+	return posWeight
+}
+
+// GroupByStructure returns a copy of the corpus whose executions are
+// stably reordered into structural-fingerprint groups, groups ordered
+// by first appearance. This is exactly the order the batched Pretrain
+// trains in, so PretrainEager on the grouped corpus is the seed oracle
+// for Pretrain on the original one (the differential tests and the
+// nn-bench cross-check both lean on this).
+func GroupByStructure(corpus *history.Corpus) *history.Corpus {
+	var order []string
+	groups := make(map[string][]history.Execution)
+	for _, ex := range corpus.Executions {
+		key := structureOf(ex.Graph).key
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], ex)
+	}
+	out := &history.Corpus{}
+	for _, k := range order {
+		out.Executions = append(out.Executions, groups[k]...)
+	}
+	return out
+}
+
+// execPrep is one labeled execution prepared for batched training: its
+// cached structure, flat feature and parallelism encodings, and labels.
+type execPrep struct {
+	st     *structure
+	graph  string
+	feats  []float64
+	pvec   []float64
+	labels []int
+}
+
+// prepExecutions encodes the corpus once in GroupByStructure order,
+// dropping executions without a single labeled operator (the training
+// loop skips them anyway). Consecutive runs of equal structures then
+// batch into block-diagonal plan replays.
+func prepExecutions(corpus *history.Corpus, pmax int) ([]execPrep, error) {
+	var seq []execPrep
+	for _, ex := range GroupByStructure(corpus).Executions {
+		if ex.Graph.NumOperators() == 0 {
+			return nil, fmt.Errorf("gnn: %s: empty graph", ex.Graph.Name)
+		}
+		if allUnlabeled(ex.Labels) {
+			continue
+		}
+		st := structureOf(ex.Graph)
+		prep := execPrep{st: st, graph: ex.Graph.Name, labels: ex.Labels}
+		n := ex.Graph.NumOperators()
+		prep.feats = make([]float64, 0, n*dag.FeatureDim)
+		prep.pvec = make([]float64, n)
+		for i, op := range ex.Graph.Operators() {
+			prep.feats = dag.FeatureVectorInto(op, prep.feats)
+			p, ok := ex.Parallelism[op.ID]
+			if !ok {
+				return nil, fmt.Errorf("gnn: %s: missing parallelism for %q", ex.Graph.Name, op.ID)
+			}
+			prep.pvec[i] = dag.NormalizeParallelism(p, pmax)
+		}
+		seq = append(seq, prep)
+	}
+	return seq, nil
+}
+
+// Pretrain trains a fresh encoder on the corpus with the binary
+// cross-entropy objective over labeled operators (paper §IV-A) and
+// returns it along with the per-epoch mean training loss.
+//
+// Training runs on the compiled engine: executions are reordered into
+// GroupByStructure order, consecutive same-structure executions are
+// packed into block-diagonal batched plan replays (never spanning an
+// optimizer-step boundary), and every replay reuses pooled buffers.
+// The result is bit-identical to PretrainEager on the same
+// structure-grouped corpus — the differential tests in seed_test.go
+// hold the two paths equal. Note the reorder itself is a deliberate
+// semantic change: on a corpus whose executions interleave structures,
+// trained weights differ numerically from the seed loop run in raw
+// corpus order (gradient batches form in a different sequence), the
+// same way any batching reorder would.
+func Pretrain(corpus *history.Corpus, cfg Config, opts TrainOptions) (*Encoder, []float64, error) {
+	if corpus.Len() == 0 {
+		return nil, nil, fmt.Errorf("gnn: empty corpus")
+	}
+	if opts.Epochs <= 0 || opts.BatchSize <= 0 || opts.LearningRate <= 0 {
+		return nil, nil, fmt.Errorf("gnn: invalid train options %+v", opts)
+	}
+	enc := NewEncoder(cfg)
+	opt := nn.NewAdam(enc.Params(), opts.LearningRate)
+	posWeight := posWeightOf(corpus)
+
+	seq, err := prepExecutions(corpus, cfg.PMax)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(seq) == 0 {
+		return nil, nil, fmt.Errorf("gnn: corpus has no labeled operators")
+	}
+
+	maxRows := 0
+	for _, p := range seq {
+		if r := p.st.n * opts.BatchSize; r > maxRows {
+			maxRows = r
+		}
+	}
+	labelBuf := make([]int, 0, maxRows)
+
+	var losses []float64
+	for ep := 0; ep < opts.Epochs; ep++ {
+		total, batches := 0.0, 0
+		inBatch := 0
+		for i := 0; i < len(seq); {
+			// One chunk: consecutive executions sharing a structure,
+			// capped so the chunk never crosses a step boundary.
+			st := seq[i].st
+			j := i + 1
+			for j < len(seq) && j-i < opts.BatchSize-inBatch && seq[j].st == st {
+				j++
+			}
+			blocks := j - i
+			n := st.n
+
+			key := planKey{n: n, blocks: blocks, par: true, kind: planTrain}
+			epn := enc.getPlan(key)
+			epn.plan.BindConst(epn.up, st.up)
+			epn.plan.BindConst(epn.down, st.down)
+			xd := epn.plan.InputData(epn.x)
+			pd := epn.plan.InputData(epn.pvec)
+			labelBuf = labelBuf[:0]
+			for b := 0; b < blocks; b++ {
+				prep := seq[i+b]
+				copy(xd[b*len(prep.feats):], prep.feats)
+				copy(pd[b*n:], prep.pvec)
+				labelBuf = append(labelBuf, prep.labels...)
+			}
+			epn.plan.SetLabels(labelBuf, posWeight)
+			epn.plan.Forward()
+			for _, lv := range epn.plan.Losses() {
+				total += lv
+			}
+			batches += blocks
+			epn.plan.Backward()
+			enc.putPlan(key, epn)
+
+			inBatch += blocks
+			if inBatch >= opts.BatchSize {
+				opt.Step()
+				inBatch = 0
+			}
+			i = j
+		}
+		if inBatch > 0 {
+			opt.Step()
+		}
+		losses = append(losses, total/float64(batches))
+	}
+	return enc, losses, nil
+}
+
+// PretrainEager is the seed pre-training loop: one eager autodiff graph
+// per execution in corpus order. It is retained verbatim as the
+// differential-test oracle and the nn-bench baseline for the batched
+// Pretrain above; everything else should call Pretrain.
+func PretrainEager(corpus *history.Corpus, cfg Config, opts TrainOptions) (*Encoder, []float64, error) {
+	if corpus.Len() == 0 {
+		return nil, nil, fmt.Errorf("gnn: empty corpus")
+	}
+	if opts.Epochs <= 0 || opts.BatchSize <= 0 || opts.LearningRate <= 0 {
+		return nil, nil, fmt.Errorf("gnn: invalid train options %+v", opts)
+	}
+	enc := NewEncoder(cfg)
+	opt := nn.NewAdam(enc.Params(), opts.LearningRate)
+	posWeight := posWeightOf(corpus)
 
 	var losses []float64
 	for ep := 0; ep < opts.Epochs; ep++ {

@@ -1,7 +1,9 @@
 package mono
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/streamtune/streamtune/internal/nn"
 )
@@ -20,6 +22,10 @@ type NN struct {
 	Hidden       int
 
 	mlp *nn.MLP
+	// pred pools compiled single-row inference plans over the current
+	// mlp; Fit replaces the pool (stale plans reference the old layers
+	// and are dropped with it).
+	pred *sync.Pool
 }
 
 // NewNN creates an untrained unconstrained MLP model.
@@ -42,7 +48,16 @@ func (m *NN) row(emb []float64, p int) []float64 {
 	return f
 }
 
-// Fit implements Model with full-batch Adam on binary cross-entropy.
+// predPlan is a pooled single-row inference plan.
+type predPlan struct {
+	plan  *nn.Plan
+	x     nn.Ref
+	probs nn.Ref
+}
+
+// Fit implements Model with full-batch Adam on binary cross-entropy,
+// training through one compiled plan replayed per epoch (bit-identical
+// to the seed eager loop; see the differential test).
 func (m *NN) Fit(samples []Sample) error {
 	if err := validate(samples); err != nil {
 		return err
@@ -57,23 +72,47 @@ func (m *NN) Fit(samples []Sample) error {
 		rows[i] = m.row(s.Embedding, s.Parallelism)
 		labels[i] = s.Label
 	}
-	x := nn.Leaf(nn.FromRows(rows))
+	b := nn.NewBuilder()
+	x := b.Input(len(samples), in)
+	plan := b.Build(b.MaskedBCE(b.MLP(m.mlp, x, nn.ActSigmoid)))
+	plan.SetInput(x, nn.FromRows(rows))
+	plan.SetLabels(labels, 1)
 	opt := nn.NewAdam(m.mlp.Params(), m.LearningRate)
 	for ep := 0; ep < m.Epochs; ep++ {
-		probs := nn.Sigmoid(m.mlp.Forward(x))
-		loss := nn.MaskedBCE(probs, labels)
-		nn.Backward(loss)
+		plan.Forward()
+		plan.Backward()
 		opt.Step()
 	}
+
+	mlp := m.mlp
+	m.pred = &sync.Pool{New: func() any {
+		pb := nn.NewBuilder()
+		px := pb.Input(1, in)
+		pp := pb.MLP(mlp, px, nn.ActSigmoid)
+		return &predPlan{plan: pb.BuildForward(), x: px, probs: pp}
+	}}
 	return nil
 }
 
-// Predict implements Model.
+// Predict implements Model on a pooled grad-free plan (the binary
+// search of MinNonBottleneck hits this in the tuner's online loop).
 func (m *NN) Predict(emb []float64, p int) float64 {
 	if m.mlp == nil {
 		return 0.5
 	}
-	x := nn.Leaf(nn.FromRows([][]float64{m.row(emb, p)}))
-	probs := nn.Sigmoid(m.mlp.Forward(x))
-	return probs.Val.Data[0]
+	pp := m.pred.Get().(*predPlan)
+	xd := pp.plan.InputData(pp.x)
+	if len(emb)+1 != len(xd) {
+		panic(fmt.Sprintf("mono: NN.Predict embedding dim %d, fitted with %d", len(emb), len(xd)-1))
+	}
+	copy(xd, emb)
+	if m.pmax > 0 {
+		xd[len(emb)] = float64(p) / float64(m.pmax)
+	} else {
+		xd[len(emb)] = 0
+	}
+	pp.plan.Forward()
+	out := pp.plan.Value(pp.probs).Data[0]
+	m.pred.Put(pp)
+	return out
 }

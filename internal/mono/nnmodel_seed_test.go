@@ -1,0 +1,114 @@
+package mono
+
+// Differential test pinning the plan-compiled NN ablation model to a
+// verbatim copy of its seed implementation (eager autodiff graphs per
+// epoch and per prediction), per the internal/ged/seed_test.go
+// precedent.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/nn"
+)
+
+// refNN is the seed NN.Fit/Predict implementation, verbatim except for
+// the receiver type.
+type refNN struct {
+	pmax int
+	seed int64
+
+	Epochs       int
+	LearningRate float64
+	Hidden       int
+
+	mlp *nn.MLP
+}
+
+func (m *refNN) row(emb []float64, p int) []float64 {
+	f := make([]float64, len(emb)+1)
+	copy(f, emb)
+	if m.pmax > 0 {
+		f[len(emb)] = float64(p) / float64(m.pmax)
+	}
+	return f
+}
+
+func (m *refNN) Fit(samples []Sample) error {
+	if err := validate(samples); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.seed))
+	in := len(samples[0].Embedding) + 1
+	m.mlp = nn.NewMLP(rng, in, m.Hidden, m.Hidden/2, 1)
+
+	rows := make([][]float64, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		rows[i] = m.row(s.Embedding, s.Parallelism)
+		labels[i] = s.Label
+	}
+	x := nn.Leaf(nn.FromRows(rows))
+	opt := nn.NewAdam(m.mlp.Params(), m.LearningRate)
+	for ep := 0; ep < m.Epochs; ep++ {
+		probs := nn.Sigmoid(m.mlp.Forward(x))
+		loss := nn.MaskedBCE(probs, labels)
+		nn.Backward(loss)
+		opt.Step()
+	}
+	return nil
+}
+
+func (m *refNN) Predict(emb []float64, p int) float64 {
+	if m.mlp == nil {
+		return 0.5
+	}
+	x := nn.Leaf(nn.FromRows([][]float64{m.row(emb, p)}))
+	probs := nn.Sigmoid(m.mlp.Forward(x))
+	return probs.Val.Data[0]
+}
+
+func TestNNMatchesSeedImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		emb := make([]float64, 6)
+		for j := range emb {
+			emb[j] = rng.NormFloat64()
+		}
+		p := 1 + rng.Intn(40)
+		label := 0
+		if emb[0]+emb[1]-float64(p)/20 > 0 {
+			label = 1
+		}
+		samples = append(samples, Sample{Embedding: emb, Parallelism: p, Label: label})
+	}
+	// The synthetic set can degenerate to one class; force both.
+	samples[0].Label = 0
+	samples[1].Label = 1
+
+	got := NewNN(60, 5)
+	got.Epochs = 50
+	want := &refNN{pmax: 60, seed: 5, Epochs: 50, LearningRate: got.LearningRate, Hidden: got.Hidden}
+
+	if err := got.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		emb := make([]float64, 6)
+		for j := range emb {
+			emb[j] = rng.NormFloat64()
+		}
+		for _, p := range []int{1, 7, 23, 60} {
+			g := got.Predict(emb, p)
+			w := want.Predict(emb, p)
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("Predict(%d) = %v, seed %v (bit difference)", p, g, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks comparing the seed eager graph engine against compiled
+// plan replay on an MLP-shaped training step and an inference pass.
+// The eager path is the deliberately retained seed implementation, so
+// one `go test -bench Train` run measures the PR's before/after factor.
+
+const (
+	benchRows   = 16
+	benchIn     = 10
+	benchHidden = 32
+)
+
+func benchSetup() (*MLP, *Matrix, []int) {
+	rng := rand.New(rand.NewSource(1))
+	mlp := NewMLP(rand.New(rand.NewSource(2)), benchIn, benchHidden, benchHidden/2, 1)
+	x := NewMatrix(benchRows, benchIn)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	labels := make([]int, benchRows)
+	for i := range labels {
+		labels[i] = rng.Intn(3) - 1
+	}
+	return mlp, x, labels
+}
+
+func BenchmarkTrainStepEager(b *testing.B) {
+	mlp, x, labels := benchSetup()
+	opt := NewAdam(mlp.Params(), 1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := MaskedBCE(Sigmoid(mlp.Forward(Leaf(x))), labels)
+		Backward(loss)
+		opt.Step()
+	}
+}
+
+func BenchmarkTrainStepPlan(b *testing.B) {
+	mlp, x, labels := benchSetup()
+	opt := NewAdam(mlp.Params(), 1e-3)
+	bd := NewBuilder()
+	xr := bd.Input(benchRows, benchIn)
+	plan := bd.Build(bd.MaskedBCE(bd.MLP(mlp, xr, ActSigmoid)))
+	plan.SetInput(xr, x)
+	plan.SetLabels(labels, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Forward()
+		plan.Backward()
+		opt.Step()
+	}
+}
+
+func BenchmarkInferEager(b *testing.B) {
+	mlp, x, _ := benchSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Sigmoid(mlp.Forward(Leaf(x)))
+		_ = out.Val
+	}
+}
+
+func BenchmarkInferPlan(b *testing.B) {
+	mlp, x, _ := benchSetup()
+	bd := NewBuilder()
+	xr := bd.Input(benchRows, benchIn)
+	probs := bd.MLP(mlp, xr, ActSigmoid)
+	plan := bd.BuildForward()
+	plan.SetInput(xr, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Forward()
+		_ = plan.Value(probs)
+	}
+}

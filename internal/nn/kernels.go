@@ -1,0 +1,275 @@
+package nn
+
+// Matmul kernels for the compiled Plan engine.
+//
+// Each kernel computes every output cell as the same left-to-right
+// chain of adds over ascending k that the seed matMulInto produces
+// (including the skip of zero left-operand elements), so plan replays
+// stay bit-identical to the eager graphs. Within that constraint the
+// kernels are free to be fast: output cells are independent, so the
+// column loop is blocked into groups of eight register accumulators
+// (hiding the serial add latency of each cell's chain), and the
+// transpose-aware variants avoid materializing Transpose() copies of
+// the weights.
+
+// mmInto computes dst = a @ b.
+func mmInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("nn: mmInto shape mismatch")
+	}
+	bc := b.Cols
+	bd := b.Data
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*bc : (i+1)*bc]
+		mmRow(drow, arow, bd, bc)
+	}
+}
+
+// mmRow computes one output row: drow = arow @ b, where b is bc wide.
+func mmRow(drow, arow, bd []float64, bc int) {
+	var j int
+	for ; j+8 <= bc; j += 8 {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[k*bc+j:]
+			s0 += av * brow[0]
+			s1 += av * brow[1]
+			s2 += av * brow[2]
+			s3 += av * brow[3]
+			s4 += av * brow[4]
+			s5 += av * brow[5]
+			s6 += av * brow[6]
+			s7 += av * brow[7]
+		}
+		drow[j] = s0
+		drow[j+1] = s1
+		drow[j+2] = s2
+		drow[j+3] = s3
+		drow[j+4] = s4
+		drow[j+5] = s5
+		drow[j+6] = s6
+		drow[j+7] = s7
+	}
+	for ; j+4 <= bc; j += 4 {
+		var s0, s1, s2, s3 float64
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[k*bc+j:]
+			s0 += av * brow[0]
+			s1 += av * brow[1]
+			s2 += av * brow[2]
+			s3 += av * brow[3]
+		}
+		drow[j] = s0
+		drow[j+1] = s1
+		drow[j+2] = s2
+		drow[j+3] = s3
+	}
+	for ; j < bc; j++ {
+		var s float64
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			s += av * bd[k*bc+j]
+		}
+		drow[j] = s
+	}
+}
+
+// mmBTAccumInto computes dst += a @ bᵀ without materializing either
+// the transpose or the product: every product cell is a dot of two
+// contiguous rows, built in a register chain and added to dst exactly
+// like the eager temp-then-addInPlace sequence.
+func mmBTAccumInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("nn: mmBTAccumInto shape mismatch")
+	}
+	n := a.Cols
+	br := b.Rows
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		drow := dst.Data[i*dst.Cols : i*dst.Cols+br]
+		var j int
+		for ; j+8 <= br; j += 8 {
+			b0 := b.Data[j*n : (j+1)*n]
+			b1 := b.Data[(j+1)*n : (j+2)*n]
+			b2 := b.Data[(j+2)*n : (j+3)*n]
+			b3 := b.Data[(j+3)*n : (j+4)*n]
+			b4 := b.Data[(j+4)*n : (j+5)*n]
+			b5 := b.Data[(j+5)*n : (j+6)*n]
+			b6 := b.Data[(j+6)*n : (j+7)*n]
+			b7 := b.Data[(j+7)*n : (j+8)*n]
+			var s0, s1, s2, s3, s4, s5, s6, s7 float64
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+				s4 += av * b4[k]
+				s5 += av * b5[k]
+				s6 += av * b6[k]
+				s7 += av * b7[k]
+			}
+			drow[j] += s0
+			drow[j+1] += s1
+			drow[j+2] += s2
+			drow[j+3] += s3
+			drow[j+4] += s4
+			drow[j+5] += s5
+			drow[j+6] += s6
+			drow[j+7] += s7
+		}
+		for ; j+4 <= br; j += 4 {
+			b0 := b.Data[j*n : (j+1)*n]
+			b1 := b.Data[(j+1)*n : (j+2)*n]
+			b2 := b.Data[(j+2)*n : (j+3)*n]
+			b3 := b.Data[(j+3)*n : (j+4)*n]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			drow[j] += s0
+			drow[j+1] += s1
+			drow[j+2] += s2
+			drow[j+3] += s3
+		}
+		for ; j < br; j++ {
+			brow := b.Data[j*n : (j+1)*n]
+			var s float64
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				s += av * brow[k]
+			}
+			drow[j] += s
+		}
+	}
+}
+
+// transposeInto writes aᵀ into dst (pure data movement).
+func transposeInto(dst, a *Matrix) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic("nn: transposeInto shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range arow {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+}
+
+// mmTBlockAccumInto computes dst += Σ_block atᵀᵀ_block @ b_block —
+// that is, dst += aᵀ @ b per block of a block-diagonal batch — taking
+// the LEFT operand already transposed (at = aᵀ, rows contiguous).
+// Every destination cell is held in a register while the per-block
+// chains are built and added in ascending block order: the same
+// fresh-product-then-add sequence the eager per-execution backward
+// performs, with the same zero skips.
+func mmTBlockAccumInto(dst, at, b *Matrix, blocks, rpb int) {
+	if at.Cols != b.Rows || dst.Rows != at.Rows || dst.Cols != b.Cols || blocks*rpb != b.Rows {
+		panic("nn: mmTBlockAccumInto shape mismatch")
+	}
+	bc := b.Cols
+	bd := b.Data
+	for i := 0; i < at.Rows; i++ {
+		arow := at.Data[i*at.Cols : (i+1)*at.Cols]
+		drow := dst.Data[i*bc : (i+1)*bc]
+		var j int
+		for ; j+8 <= bc; j += 8 {
+			g0, g1, g2, g3 := drow[j], drow[j+1], drow[j+2], drow[j+3]
+			g4, g5, g6, g7 := drow[j+4], drow[j+5], drow[j+6], drow[j+7]
+			for blk := 0; blk < blocks; blk++ {
+				var s0, s1, s2, s3, s4, s5, s6, s7 float64
+				for k := blk * rpb; k < (blk+1)*rpb; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := bd[k*bc+j:]
+					s0 += av * brow[0]
+					s1 += av * brow[1]
+					s2 += av * brow[2]
+					s3 += av * brow[3]
+					s4 += av * brow[4]
+					s5 += av * brow[5]
+					s6 += av * brow[6]
+					s7 += av * brow[7]
+				}
+				g0 += s0
+				g1 += s1
+				g2 += s2
+				g3 += s3
+				g4 += s4
+				g5 += s5
+				g6 += s6
+				g7 += s7
+			}
+			drow[j] = g0
+			drow[j+1] = g1
+			drow[j+2] = g2
+			drow[j+3] = g3
+			drow[j+4] = g4
+			drow[j+5] = g5
+			drow[j+6] = g6
+			drow[j+7] = g7
+		}
+		for ; j+4 <= bc; j += 4 {
+			g0, g1, g2, g3 := drow[j], drow[j+1], drow[j+2], drow[j+3]
+			for blk := 0; blk < blocks; blk++ {
+				var s0, s1, s2, s3 float64
+				for k := blk * rpb; k < (blk+1)*rpb; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := bd[k*bc+j:]
+					s0 += av * brow[0]
+					s1 += av * brow[1]
+					s2 += av * brow[2]
+					s3 += av * brow[3]
+				}
+				g0 += s0
+				g1 += s1
+				g2 += s2
+				g3 += s3
+			}
+			drow[j] = g0
+			drow[j+1] = g1
+			drow[j+2] = g2
+			drow[j+3] = g3
+		}
+		for ; j < bc; j++ {
+			g := drow[j]
+			for blk := 0; blk < blocks; blk++ {
+				var s float64
+				for k := blk * rpb; k < (blk+1)*rpb; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					s += av * bd[k*bc+j]
+				}
+				g += s
+			}
+			drow[j] = g
+		}
+	}
+}

@@ -5,8 +5,23 @@
 // Eq. 3), mean pooling (for ZeroTune's job-level readout), masked binary
 // cross-entropy and mean-squared-error losses, and SGD / Adam optimizers.
 //
-// Everything is float64 and single-threaded; the graphs involved are tiny
-// (streaming DAGs have at most tens of operators).
+// The package offers two execution modes over the same parameters:
+//
+//   - The eager graph API (Leaf/Param + the Op functions + Backward)
+//     allocates a fresh computation graph per execution. It is kept
+//     byte-for-byte at its seed implementation: it is the differential
+//     oracle the compiled engine is verified against and the baseline
+//     the nn-bench experiment times. Do not "optimize" it.
+//   - The compiled Plan API (Builder/Plan) records the same computation
+//     once per shape and replays forward/backward into preallocated
+//     buffers with fused kernels — zero steady-state allocation, with
+//     optional block-diagonal batching over executions that share a
+//     graph structure. Plan replays are bit-identical to the eager
+//     graphs (enforced by differential tests).
+//
+// Everything is float64 and each plan replay is single-threaded; a Plan
+// is not safe for concurrent use, but distinct Plans over shared
+// parameters may run read-only (inference) replays concurrently.
 package nn
 
 import (
@@ -95,7 +110,7 @@ func matMulInto(dst, a, b *Matrix) {
 	}
 }
 
-// MatMul returns a @ b.
+// MatMulRaw returns a @ b.
 func MatMulRaw(a, b *Matrix) *Matrix {
 	out := NewMatrix(a.Rows, b.Cols)
 	matMulInto(out, a, b)

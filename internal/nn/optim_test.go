@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAdamMatchesHandComputedTrajectory drives Adam with a fixed
+// gradient schedule and checks every parameter update against the
+// bias-corrected reference recurrence computed independently here
+// (Kingma & Ba, Algorithm 1).
+func TestAdamMatchesHandComputedTrajectory(t *testing.T) {
+	p := Param(FromRows([][]float64{{1.0, -2.0}}))
+	const lr = 0.1
+	opt := NewAdam([]*Node{p}, lr)
+
+	grads := [][]float64{
+		{1.0, -0.5},
+		{0.25, 2.0},
+		{-3.0, 0.0},
+		{0.5, 0.5},
+	}
+
+	// Independent reference state.
+	want := []float64{1.0, -2.0}
+	m := []float64{0, 0}
+	v := []float64{0, 0}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	for step, g := range grads {
+		copy(p.Grad.Data, g)
+		opt.Step()
+
+		tt := float64(step + 1)
+		for i := range want {
+			m[i] = beta1*m[i] + (1-beta1)*g[i]
+			v[i] = beta2*v[i] + (1-beta2)*g[i]*g[i]
+			mh := m[i] / (1 - math.Pow(beta1, tt))
+			vh := v[i] / (1 - math.Pow(beta2, tt))
+			want[i] -= lr * mh / (math.Sqrt(vh) + eps)
+			if math.Abs(p.Val.Data[i]-want[i]) > 1e-15 {
+				t.Fatalf("step %d param[%d] = %.18f, want %.18f", step+1, i, p.Val.Data[i], want[i])
+			}
+		}
+	}
+
+	// First-step sanity against the closed form: with m1h = g and
+	// v1h = g^2, the first update is lr * sign(g) (up to eps).
+	q := Param(FromRows([][]float64{{0.5}}))
+	qopt := NewAdam([]*Node{q}, lr)
+	q.Grad.Data[0] = 0.125
+	qopt.Step()
+	wantFirst := 0.5 - lr*0.125/(math.Sqrt(0.125*0.125)+eps)
+	if math.Abs(q.Val.Data[0]-wantFirst) > 1e-15 {
+		t.Fatalf("first Adam step = %.18f, want %.18f", q.Val.Data[0], wantFirst)
+	}
+}
+
+// TestOptimizersZeroGradientsAfterStep checks the Step contract shared
+// by SGD and Adam: accumulated gradients are cleared so the next
+// backward pass starts fresh.
+func TestOptimizersZeroGradientsAfterStep(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(params []*Node) Optimizer
+	}{
+		{"sgd", func(params []*Node) Optimizer { return NewSGD(params, 0.1) }},
+		{"adam", func(params []*Node) Optimizer { return NewAdam(params, 0.1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Param(FromRows([][]float64{{1, 2}, {3, 4}}))
+			b := Param(FromRows([][]float64{{-1, -2}}))
+			opt := tc.mk([]*Node{a, b})
+			for i := range a.Grad.Data {
+				a.Grad.Data[i] = float64(i + 1)
+			}
+			for i := range b.Grad.Data {
+				b.Grad.Data[i] = -float64(i + 1)
+			}
+			before := append(append([]float64(nil), a.Val.Data...), b.Val.Data...)
+			opt.Step()
+			after := append(append([]float64(nil), a.Val.Data...), b.Val.Data...)
+			for i := range before {
+				if before[i] == after[i] {
+					t.Fatalf("%s: param %d unchanged by Step with nonzero gradient", tc.name, i)
+				}
+			}
+			for _, p := range []*Node{a, b} {
+				for i, g := range p.Grad.Data {
+					if g != 0 {
+						t.Fatalf("%s: grad[%d] = %v after Step, want 0", tc.name, i, g)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,818 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the compiled execution engine: a Plan records an
+// autodiff computation once per shape and replays forward/backward into
+// preallocated buffers with fused kernels. A replay performs exactly
+// the floating-point operations, in exactly the order, that building
+// and differentiating the equivalent eager graph would perform, so plan
+// results are bit-identical to the eager API (differential tests
+// enforce this). The only divergence is deliberate: a plan built with
+// blocks > 1 runs a block-diagonal batch of independent executions that
+// share one shape, equivalent to running the eager graph once per block
+// in ascending block order.
+//
+// Replays allocate nothing: values, gradients, and per-op backward
+// scratch are all preallocated at Build time.
+
+// Act selects the activation fused into a plan op.
+type Act int
+
+// Fused activations.
+const (
+	ActNone Act = iota
+	ActReLU
+	ActSigmoid
+	ActTanh
+)
+
+// Ref identifies a tensor (input or op output) within one Plan.
+type Ref int
+
+// ConstRef identifies a rebindable gradient-free constant matrix slot
+// (the cached aggregation matrices of the GNN encoder bind here without
+// copying).
+type ConstRef int
+
+type opKind int
+
+const (
+	opLinear opKind = iota
+	opBlockMM
+	opSum3
+	opConcat
+	opMeanRows
+	opAct
+	opBCE
+	opMSE
+)
+
+type planOp struct {
+	kind opKind
+	out  Ref
+	in   [3]Ref
+	nin  int
+	act  Act
+	lin  *Linear  // opLinear
+	cm   ConstRef // opBlockMM
+
+	// Backward scratch, preallocated at Build time (nil on
+	// forward-only plans or when unused).
+	gAct  *Matrix // activation-masked output gradient
+	tmpX  *Matrix // input-gradient product before accumulation (opBlockMM)
+	tmpXT *Matrix // transposed input for the weight-gradient kernel (opLinear)
+}
+
+// Plan is a compiled computation: a fixed op sequence over fixed-shape
+// buffers. Plans are built with a Builder, fed via SetInput / BindConst
+// / SetLabels / SetTarget, and replayed with Forward and Backward.
+// A Plan is not safe for concurrent use.
+type Plan struct {
+	ops    []planOp
+	vals   []*Matrix
+	grads  []*Matrix // nil entries: inputs, or all nil when forward-only
+	isIn   []bool
+	consts []*Matrix
+	cshape [][2]int
+	bwd    []int // op indices in backward execution order
+	blocks int
+
+	loss      Ref // -1 when forward-only
+	bceW      []float64
+	labels    []int
+	posW      float64
+	labelsSet bool
+	target    *Matrix
+	targetSet bool
+}
+
+// Builder accumulates ops for a Plan. Methods panic on shape mismatch,
+// mirroring the eager API.
+type Builder struct {
+	p     *Plan
+	prod  []int // producing op index per ref, -1 for inputs
+	built bool
+}
+
+// NewBuilder returns an empty plan builder for a single execution
+// (blocks == 1).
+func NewBuilder() *Builder {
+	return &Builder{p: &Plan{loss: -1, blocks: 1, posW: 1}}
+}
+
+// SetBlocks declares that the plan runs a block-diagonal batch of n
+// independent same-shape executions. Must be called before any op is
+// added. Row counts of inputs and op outputs must be multiples of n;
+// weight gradients accumulate per block in ascending block order,
+// matching a sequential eager run over the blocks.
+func (b *Builder) SetBlocks(n int) {
+	if len(b.p.ops) > 0 || len(b.p.vals) > 0 {
+		panic("nn: SetBlocks after ops were added")
+	}
+	if n < 1 {
+		panic("nn: SetBlocks needs n >= 1")
+	}
+	b.p.blocks = n
+}
+
+func (b *Builder) newRef(rows, cols int, input bool) Ref {
+	if rows%b.p.blocks != 0 {
+		panic(fmt.Sprintf("nn: plan tensor rows %d not divisible by %d blocks", rows, b.p.blocks))
+	}
+	b.p.vals = append(b.p.vals, NewMatrix(rows, cols))
+	b.p.isIn = append(b.p.isIn, input)
+	b.prod = append(b.prod, -1)
+	return Ref(len(b.p.vals) - 1)
+}
+
+func (b *Builder) shape(r Ref) (int, int) { return b.p.vals[r].Rows, b.p.vals[r].Cols }
+
+func (b *Builder) addOp(op planOp, rows, cols int) Ref {
+	op.out = b.newRef(rows, cols, false)
+	b.p.ops = append(b.p.ops, op)
+	b.prod[op.out] = len(b.p.ops) - 1
+	return op.out
+}
+
+// Input declares a runtime-fed leaf of fixed shape (no gradient).
+func (b *Builder) Input(rows, cols int) Ref { return b.newRef(rows, cols, true) }
+
+// Const declares a rebindable gradient-free constant slot of fixed
+// shape. Bind a matrix with Plan.BindConst before the first Forward.
+func (b *Builder) Const(rows, cols int) ConstRef {
+	b.p.consts = append(b.p.consts, nil)
+	b.p.cshape = append(b.p.cshape, [2]int{rows, cols})
+	return ConstRef(len(b.p.consts) - 1)
+}
+
+// Linear applies the fused x @ W + bias followed by act, using the
+// layer's shared parameter nodes (gradients accumulate into l.W.Grad
+// and l.B.Grad during Backward, exactly as the eager
+// act(Add(MatMul(x, W), B)) chain would).
+func (b *Builder) Linear(l *Linear, x Ref, act Act) Ref {
+	rows, cols := b.shape(x)
+	if cols != l.W.Val.Rows {
+		panic(fmt.Sprintf("nn: plan Linear input %d cols, layer wants %d", cols, l.W.Val.Rows))
+	}
+	return b.addOp(planOp{kind: opLinear, in: [3]Ref{x}, nin: 1, act: act, lin: l}, rows, l.W.Val.Cols)
+}
+
+// MLP chains the layers of m with ReLU between them and final after the
+// last, matching Sigmoid-/identity-wrapped MLP.Forward.
+func (b *Builder) MLP(m *MLP, x Ref, final Act) Ref {
+	for i, l := range m.Layers {
+		act := ActReLU
+		if i == len(m.Layers)-1 {
+			act = final
+		}
+		x = b.Linear(l, x, act)
+	}
+	return x
+}
+
+// BlockMatMul multiplies each block of x by the constant matrix bound
+// to c: out = blockdiag(c, ..., c) @ x.
+func (b *Builder) BlockMatMul(c ConstRef, x Ref) Ref {
+	rows, cols := b.shape(x)
+	sh := b.p.cshape[c]
+	if rows != b.p.blocks*sh[1] {
+		panic(fmt.Sprintf("nn: BlockMatMul wants %d x const-cols %d rows, got %d", b.p.blocks, sh[1], rows))
+	}
+	return b.addOp(planOp{kind: opBlockMM, in: [3]Ref{x}, nin: 1, cm: c}, b.p.blocks*sh[0], cols)
+}
+
+// Sum3 computes act(x + (y + z)) elementwise, matching the eager
+// act(Add(x, Add(y, z))) nesting.
+func (b *Builder) Sum3(x, y, z Ref, act Act) Ref {
+	r, c := b.shape(x)
+	for _, o := range []Ref{y, z} {
+		if or, oc := b.shape(o); or != r || oc != c {
+			panic("nn: Sum3 shape mismatch")
+		}
+	}
+	return b.addOp(planOp{kind: opSum3, in: [3]Ref{x, y, z}, nin: 3, act: act}, r, c)
+}
+
+// ConcatCols concatenates x (R x Cx) and y (R x Cy) into R x (Cx+Cy).
+func (b *Builder) ConcatCols(x, y Ref) Ref {
+	xr, xc := b.shape(x)
+	yr, yc := b.shape(y)
+	if xr != yr {
+		panic("nn: plan ConcatCols row mismatch")
+	}
+	return b.addOp(planOp{kind: opConcat, in: [3]Ref{x, y}, nin: 2}, xr, xc+yc)
+}
+
+// MeanRows averages an R x C tensor over rows into 1 x C. Requires
+// blocks == 1.
+func (b *Builder) MeanRows(x Ref) Ref {
+	if b.p.blocks != 1 {
+		panic("nn: MeanRows requires blocks == 1")
+	}
+	r, c := b.shape(x)
+	if r == 0 {
+		panic("nn: MeanRows on empty tensor")
+	}
+	return b.addOp(planOp{kind: opMeanRows, in: [3]Ref{x}, nin: 1}, 1, c)
+}
+
+// Activate applies act elementwise as a standalone op.
+func (b *Builder) Activate(x Ref, act Act) Ref {
+	r, c := b.shape(x)
+	return b.addOp(planOp{kind: opAct, in: [3]Ref{x}, nin: 1, act: act}, r, c)
+}
+
+// MaskedBCE computes the per-block mean masked binary cross-entropy of
+// x (rows x 1 probabilities) against the labels set via SetLabels,
+// yielding a blocks x 1 loss tensor. Backward seeds every block's loss
+// gradient with 1, equivalent to one eager Backward per block.
+func (b *Builder) MaskedBCE(x Ref) Ref {
+	r, c := b.shape(x)
+	if c != 1 {
+		panic(fmt.Sprintf("nn: MaskedBCE wants Nx1 predictions, got %dx%d", r, c))
+	}
+	return b.addOp(planOp{kind: opBCE, in: [3]Ref{x}, nin: 1}, b.p.blocks, 1)
+}
+
+// MSE computes the mean squared error of x against the target set via
+// SetTarget, yielding a 1 x 1 loss. Requires blocks == 1.
+func (b *Builder) MSE(x Ref) Ref {
+	if b.p.blocks != 1 {
+		panic("nn: MSE requires blocks == 1")
+	}
+	r, c := b.shape(x)
+	b.p.target = NewMatrix(r, c)
+	return b.addOp(planOp{kind: opMSE, in: [3]Ref{x}, nin: 1}, 1, 1)
+}
+
+// finish freezes the builder into p.
+func (b *Builder) finish() *Plan {
+	if b.built {
+		panic("nn: Builder reused after Build")
+	}
+	b.built = true
+	return b.p
+}
+
+// BuildForward compiles a gradient-free inference plan: Backward
+// panics, and no gradient or scratch buffers are allocated.
+func (b *Builder) BuildForward() *Plan { return b.finish() }
+
+// Build compiles a training plan rooted at loss, which must be the
+// output of MaskedBCE or MSE. The backward op order is the reverse
+// DFS post-order from loss with parents visited in argument order —
+// the exact order eager Backward uses — so gradient accumulation into
+// shared buffers matches the eager graph bit for bit.
+func (b *Builder) Build(loss Ref) *Plan {
+	p := b.finish()
+	if oi := b.prod[loss]; oi < 0 || (p.ops[oi].kind != opBCE && p.ops[oi].kind != opMSE) {
+		panic("nn: Build loss must be a MaskedBCE or MSE output")
+	}
+	p.loss = loss
+	p.bceW = make([]float64, p.blocks)
+
+	// Gradient buffers for every op output (inputs are leaves).
+	p.grads = make([]*Matrix, len(p.vals))
+	for i, v := range p.vals {
+		if !p.isIn[i] {
+			p.grads[i] = NewMatrix(v.Rows, v.Cols)
+		}
+	}
+
+	// Labels buffer for BCE ops (sized to the prediction rows).
+	for _, op := range p.ops {
+		if op.kind == opBCE {
+			p.labels = make([]int, p.vals[op.in[0]].Rows)
+		}
+	}
+
+	// Backward order: DFS from loss mirroring eager Backward.
+	visited := make([]bool, len(p.ops))
+	var order []int
+	var visit func(Ref)
+	visit = func(r Ref) {
+		oi := b.prod[r]
+		if oi < 0 || visited[oi] {
+			return
+		}
+		visited[oi] = true
+		for k := 0; k < p.ops[oi].nin; k++ {
+			visit(p.ops[oi].in[k])
+		}
+		order = append(order, oi)
+	}
+	visit(loss)
+	p.bwd = make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		p.bwd = append(p.bwd, order[i])
+	}
+
+	// Backward scratch.
+	for i := range p.ops {
+		op := &p.ops[i]
+		if !visited[i] {
+			continue
+		}
+		out := p.vals[op.out]
+		if op.act != ActNone && (op.kind == opLinear || op.kind == opSum3) {
+			op.gAct = NewMatrix(out.Rows, out.Cols)
+		}
+		switch op.kind {
+		case opLinear:
+			x := p.vals[op.in[0]]
+			op.tmpXT = NewMatrix(x.Cols, x.Rows)
+		case opBlockMM:
+			if p.grads[op.in[0]] != nil {
+				x := p.vals[op.in[0]]
+				op.tmpX = NewMatrix(x.Rows, x.Cols)
+			}
+		}
+	}
+	return p
+}
+
+// SetInput copies src into the input ref's buffer.
+func (p *Plan) SetInput(r Ref, src *Matrix) {
+	if !p.isIn[r] {
+		panic("nn: SetInput on non-input ref")
+	}
+	dst := p.vals[r]
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("nn: SetInput shape %dx%d, want %dx%d", src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	copy(dst.Data, src.Data)
+}
+
+// InputData returns the raw backing slice of an input ref for direct
+// row filling (avoiding an intermediate matrix).
+func (p *Plan) InputData(r Ref) []float64 {
+	if !p.isIn[r] {
+		panic("nn: InputData on non-input ref")
+	}
+	return p.vals[r].Data
+}
+
+// BindConst aliases m (no copy) as the value of const slot c. The bound
+// matrix must not be mutated while the plan replays.
+func (p *Plan) BindConst(c ConstRef, m *Matrix) {
+	sh := p.cshape[c]
+	if m.Rows != sh[0] || m.Cols != sh[1] {
+		panic(fmt.Sprintf("nn: BindConst shape %dx%d, want %dx%d", m.Rows, m.Cols, sh[0], sh[1]))
+	}
+	p.consts[c] = m
+}
+
+// SetLabels copies the BCE labels (one per prediction row; negative =
+// unlabeled) and sets the positive-class weight.
+func (p *Plan) SetLabels(labels []int, posWeight float64) {
+	if p.labels == nil {
+		panic("nn: SetLabels on a plan without MaskedBCE")
+	}
+	if len(labels) != len(p.labels) {
+		panic(fmt.Sprintf("nn: SetLabels got %d labels, want %d", len(labels), len(p.labels)))
+	}
+	copy(p.labels, labels)
+	if posWeight <= 0 {
+		posWeight = 1
+	}
+	p.posW = posWeight
+	p.labelsSet = true
+}
+
+// SetTarget copies the MSE regression target.
+func (p *Plan) SetTarget(t *Matrix) {
+	if p.target == nil {
+		panic("nn: SetTarget on a plan without MSE")
+	}
+	if t.Rows != p.target.Rows || t.Cols != p.target.Cols {
+		panic(fmt.Sprintf("nn: SetTarget shape %dx%d, want %dx%d", t.Rows, t.Cols, p.target.Rows, p.target.Cols))
+	}
+	copy(p.target.Data, t.Data)
+	p.targetSet = true
+}
+
+// Value returns the current value buffer of r. The view is invalidated
+// by the next Forward; callers must not mutate non-input buffers.
+func (p *Plan) Value(r Ref) *Matrix { return p.vals[r] }
+
+// Losses returns the per-block loss values after a Forward (length
+// blocks for MaskedBCE plans, 1 for MSE plans).
+func (p *Plan) Losses() []float64 { return p.vals[p.loss].Data }
+
+// Forward replays the recorded computation into the plan's buffers.
+func (p *Plan) Forward() {
+	for i := range p.ops {
+		p.forwardOp(&p.ops[i])
+	}
+}
+
+// Backward zeroes intermediate gradients, seeds every loss block's
+// gradient with 1, and replays the recorded ops in eager-Backward
+// order. Parameter gradients accumulate (the optimizers zero them on
+// Step), exactly as with eager Backward.
+func (p *Plan) Backward() {
+	if p.loss < 0 {
+		panic("nn: Backward on a forward-only plan")
+	}
+	for _, g := range p.grads {
+		if g == nil {
+			continue
+		}
+		for i := range g.Data {
+			g.Data[i] = 0
+		}
+	}
+	lg := p.grads[p.loss]
+	for i := range lg.Data {
+		lg.Data[i] = 1
+	}
+	for _, oi := range p.bwd {
+		p.backwardOp(&p.ops[oi])
+	}
+}
+
+func applyAct(act Act, data []float64) {
+	switch act {
+	case ActReLU:
+		for i, x := range data {
+			if x < 0 {
+				data[i] = 0
+			}
+		}
+	case ActSigmoid:
+		for i, x := range data {
+			data[i] = 1 / (1 + math.Exp(-x))
+		}
+	case ActTanh:
+		for i, x := range data {
+			data[i] = math.Tanh(x)
+		}
+	}
+}
+
+// maskAct writes the activation-local gradient into ga: the eager
+// chain allocates a fresh zero gradient for the pre-activation node and
+// accumulates the masked output gradient into it; writing the masked
+// values over the full buffer produces the same bits.
+func maskAct(act Act, ga, out, g *Matrix) {
+	switch act {
+	case ActReLU:
+		// ReLU output is positive exactly where its input is, so the
+		// seed's pre-activation mask can be read off the output.
+		for i, v := range out.Data {
+			if v > 0 {
+				ga.Data[i] = g.Data[i]
+			} else {
+				ga.Data[i] = 0
+			}
+		}
+	case ActSigmoid:
+		for i, s := range out.Data {
+			ga.Data[i] = s * (1 - s) * g.Data[i]
+		}
+	case ActTanh:
+		for i, t := range out.Data {
+			ga.Data[i] = (1 - t*t) * g.Data[i]
+		}
+	default:
+		panic("nn: maskAct on ActNone")
+	}
+}
+
+func (p *Plan) forwardOp(op *planOp) {
+	out := p.vals[op.out]
+	switch op.kind {
+	case opLinear:
+		x := p.vals[op.in[0]]
+		mmInto(out, x, op.lin.W.Val)
+		// Bias broadcast and activation fused into one sweep; per
+		// element this is exactly the eager Add-then-activate values.
+		bias := op.lin.B.Val.Data
+		switch op.act {
+		case ActReLU:
+			for i := 0; i < out.Rows; i++ {
+				row := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for j, bv := range bias {
+					v := row[j] + bv
+					if v < 0 {
+						v = 0
+					}
+					row[j] = v
+				}
+			}
+		case ActSigmoid:
+			for i := 0; i < out.Rows; i++ {
+				row := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for j, bv := range bias {
+					row[j] = 1 / (1 + math.Exp(-(row[j] + bv)))
+				}
+			}
+		case ActTanh:
+			for i := 0; i < out.Rows; i++ {
+				row := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for j, bv := range bias {
+					row[j] = math.Tanh(row[j] + bv)
+				}
+			}
+		default:
+			for i := 0; i < out.Rows; i++ {
+				row := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for j, bv := range bias {
+					row[j] += bv
+				}
+			}
+		}
+
+	case opBlockMM:
+		c := p.consts[op.cm]
+		if c == nil {
+			panic("nn: BlockMatMul const not bound")
+		}
+		x := p.vals[op.in[0]]
+		n, m := c.Rows, c.Cols
+		for blk := 0; blk < p.blocks; blk++ {
+			xoff, ooff := blk*m, blk*n
+			for i := 0; i < n; i++ {
+				drow := out.Data[(ooff+i)*out.Cols : (ooff+i+1)*out.Cols]
+				for j := range drow {
+					drow[j] = 0
+				}
+				crow := c.Data[i*m : (i+1)*m]
+				for k, av := range crow {
+					if av == 0 {
+						continue
+					}
+					brow := x.Data[(xoff+k)*x.Cols : (xoff+k+1)*x.Cols]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+
+	case opSum3:
+		a := p.vals[op.in[0]].Data
+		b := p.vals[op.in[1]].Data
+		c := p.vals[op.in[2]].Data
+		for i := range out.Data {
+			out.Data[i] = a[i] + (b[i] + c[i])
+		}
+		applyAct(op.act, out.Data)
+
+	case opConcat:
+		a, b := p.vals[op.in[0]], p.vals[op.in[1]]
+		ca, cb := a.Cols, b.Cols
+		for i := 0; i < out.Rows; i++ {
+			copy(out.Data[i*out.Cols:i*out.Cols+ca], a.Data[i*ca:(i+1)*ca])
+			copy(out.Data[i*out.Cols+ca:(i+1)*out.Cols], b.Data[i*cb:(i+1)*cb])
+		}
+
+	case opMeanRows:
+		a := p.vals[op.in[0]]
+		r := a.Rows
+		for j := range out.Data {
+			out.Data[j] = 0
+		}
+		for i := 0; i < r; i++ {
+			for j := 0; j < a.Cols; j++ {
+				out.Data[j] += a.At(i, j) / float64(r)
+			}
+		}
+
+	case opAct:
+		a := p.vals[op.in[0]]
+		switch op.act {
+		case ActReLU:
+			for i, x := range a.Data {
+				if x < 0 {
+					x = 0
+				}
+				out.Data[i] = x
+			}
+		case ActSigmoid:
+			for i, x := range a.Data {
+				out.Data[i] = 1 / (1 + math.Exp(-x))
+			}
+		case ActTanh:
+			for i, x := range a.Data {
+				out.Data[i] = math.Tanh(x)
+			}
+		default:
+			copy(out.Data, a.Data)
+		}
+
+	case opBCE:
+		if !p.labelsSet {
+			panic("nn: MaskedBCE plan replayed before SetLabels")
+		}
+		const eps = 1e-7
+		x := p.vals[op.in[0]]
+		rpb := x.Rows / p.blocks
+		for blk := 0; blk < p.blocks; blk++ {
+			totalW, loss := 0.0, 0.0
+			for i := blk * rpb; i < (blk+1)*rpb; i++ {
+				l := p.labels[i]
+				if l < 0 {
+					continue
+				}
+				pv := math.Min(math.Max(x.Data[i], eps), 1-eps)
+				if l == 1 {
+					loss -= p.posW * math.Log(pv)
+					totalW += p.posW
+				} else {
+					loss -= math.Log(1 - pv)
+					totalW++
+				}
+			}
+			p.bceW[blk] = totalW
+			if totalW == 0 {
+				out.Data[blk] = 0
+			} else {
+				out.Data[blk] = loss / totalW
+			}
+		}
+
+	case opMSE:
+		if !p.targetSet {
+			panic("nn: MSE plan replayed before SetTarget")
+		}
+		x := p.vals[op.in[0]]
+		n := float64(len(p.target.Data))
+		out.Data[0] = 0
+		for i := range p.target.Data {
+			d := x.Data[i] - p.target.Data[i]
+			out.Data[0] += d * d / n
+		}
+	}
+}
+
+func (p *Plan) backwardOp(op *planOp) {
+	out := p.vals[op.out]
+	g := p.grads[op.out]
+	switch op.kind {
+	case opLinear:
+		ga := g
+		if op.act != ActNone {
+			ga = op.gAct
+			maskAct(op.act, ga, out, g)
+		}
+		x := p.vals[op.in[0]]
+		// The bias gradient accumulates row by row across the whole
+		// batch (the eager broadcast-Add backward per block, in order).
+		bg := op.lin.B.Grad.Data
+		for i := 0; i < out.Rows; i++ {
+			row := ga.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, v := range row {
+				bg[j] += v
+			}
+		}
+		if gx := p.grads[op.in[0]]; gx != nil {
+			mmBTAccumInto(gx, ga, op.lin.W.Val)
+		}
+		// Weight gradient: one fresh per-block product chain, added in
+		// ascending block order — the same per-execution temp + add the
+		// eager MatMul backward performs. Transposing x first turns the
+		// strided column walk into contiguous row dots.
+		transposeInto(op.tmpXT, x)
+		mmTBlockAccumInto(op.lin.W.Grad, op.tmpXT, ga, p.blocks, out.Rows/p.blocks)
+
+	case opBlockMM:
+		if gx := p.grads[op.in[0]]; gx != nil {
+			c := p.consts[op.cm]
+			n, m := c.Rows, c.Cols
+			tmp := op.tmpX
+			for blk := 0; blk < p.blocks; blk++ {
+				xoff, ooff := blk*m, blk*n
+				for v := 0; v < m; v++ {
+					drow := tmp.Data[(xoff+v)*tmp.Cols : (xoff+v+1)*tmp.Cols]
+					for j := range drow {
+						drow[j] = 0
+					}
+					for k := 0; k < n; k++ {
+						av := c.Data[k*m+v]
+						if av == 0 {
+							continue
+						}
+						grow := g.Data[(ooff+k)*g.Cols : (ooff+k+1)*g.Cols]
+						for j, gv := range grow {
+							drow[j] += av * gv
+						}
+					}
+				}
+			}
+			addInPlace(gx, tmp)
+		}
+
+	case opSum3:
+		ga := g
+		if op.act != ActNone {
+			ga = op.gAct
+			maskAct(op.act, ga, out, g)
+		}
+		for k := 0; k < 3; k++ {
+			if gx := p.grads[op.in[k]]; gx != nil {
+				addInPlace(gx, ga)
+			}
+		}
+
+	case opConcat:
+		a, b := p.vals[op.in[0]], p.vals[op.in[1]]
+		ca, cb := a.Cols, b.Cols
+		if gx := p.grads[op.in[0]]; gx != nil {
+			for i := 0; i < out.Rows; i++ {
+				for j := 0; j < ca; j++ {
+					gx.Data[i*ca+j] += g.At(i, j)
+				}
+			}
+		}
+		if gx := p.grads[op.in[1]]; gx != nil {
+			for i := 0; i < out.Rows; i++ {
+				for j := 0; j < cb; j++ {
+					gx.Data[i*cb+j] += g.At(i, ca+j)
+				}
+			}
+		}
+
+	case opMeanRows:
+		if gx := p.grads[op.in[0]]; gx != nil {
+			a := p.vals[op.in[0]]
+			r := a.Rows
+			for i := 0; i < r; i++ {
+				for j := 0; j < a.Cols; j++ {
+					gx.Data[i*a.Cols+j] += g.Data[j] / float64(r)
+				}
+			}
+		}
+
+	case opAct:
+		gx := p.grads[op.in[0]]
+		if gx == nil {
+			return
+		}
+		a := p.vals[op.in[0]]
+		switch op.act {
+		case ActReLU:
+			for i := range gx.Data {
+				if a.Data[i] > 0 {
+					gx.Data[i] += g.Data[i]
+				}
+			}
+		case ActSigmoid:
+			for i := range gx.Data {
+				s := out.Data[i]
+				gx.Data[i] += s * (1 - s) * g.Data[i]
+			}
+		case ActTanh:
+			for i := range gx.Data {
+				t := out.Data[i]
+				gx.Data[i] += (1 - t*t) * g.Data[i]
+			}
+		default:
+			addInPlace(gx, g)
+		}
+
+	case opBCE:
+		const eps = 1e-7
+		gx := p.grads[op.in[0]]
+		if gx == nil {
+			return
+		}
+		x := p.vals[op.in[0]]
+		rpb := x.Rows / p.blocks
+		for blk := 0; blk < p.blocks; blk++ {
+			totalW := p.bceW[blk]
+			if totalW == 0 {
+				continue
+			}
+			gb := g.Data[blk] / totalW
+			for i := blk * rpb; i < (blk+1)*rpb; i++ {
+				l := p.labels[i]
+				if l < 0 {
+					continue
+				}
+				pv := math.Min(math.Max(x.Data[i], eps), 1-eps)
+				if l == 1 {
+					gx.Data[i] += gb * p.posW * (-1 / pv)
+				} else {
+					gx.Data[i] += gb * (1 / (1 - pv))
+				}
+			}
+		}
+
+	case opMSE:
+		gx := p.grads[op.in[0]]
+		if gx == nil {
+			return
+		}
+		x := p.vals[op.in[0]]
+		n := float64(len(p.target.Data))
+		gb := g.Data[0]
+		for i := range p.target.Data {
+			gx.Data[i] += gb * 2 * (x.Data[i] - p.target.Data[i]) / n
+		}
+	}
+}

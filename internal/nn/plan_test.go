@@ -1,0 +1,450 @@
+package nn
+
+// Differential tests for the compiled Plan engine. The eager graph API
+// is kept byte-for-byte at its seed implementation (see the package
+// doc), so comparing plan replays against eagerly built graphs is a
+// comparison against the seed code, in the same spirit as
+// internal/ged/seed_test.go. Every comparison below demands exact
+// float64 bit equality, not approximate closeness.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bitsEqual(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func requireSameMatrix(t *testing.T, what string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", what, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if !bitsEqual(got.Data[i], want.Data[i]) {
+			t.Fatalf("%s: element %d = %v, want %v (bit difference)", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randLabels(rng *rand.Rand, n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(3) - 1 // -1, 0, 1
+	}
+	return labels
+}
+
+// cloneMLP deep-copies an MLP so eager and plan paths hold disjoint
+// parameters with identical initial values.
+func cloneMLP(m *MLP) *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		c.Layers = append(c.Layers, &Linear{W: Param(l.W.Val.Clone()), B: Param(l.B.Val.Clone())})
+	}
+	return c
+}
+
+func requireSameParams(t *testing.T, what string, got, want []*Node) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d params, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		requireSameMatrix(t, what+" value", got[i].Val, want[i].Val)
+		requireSameMatrix(t, what+" grad", got[i].Grad, want[i].Grad)
+	}
+}
+
+// TestPlanMLPBCEMatchesEager replays an MLP + sigmoid + masked BCE plan
+// over several random inputs and checks probabilities, loss, and
+// parameter gradients against freshly built eager graphs, bit for bit.
+// Replaying the same plan across rounds also exercises buffer reuse.
+func TestPlanMLPBCEMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const rows, in = 9, 6
+	eagerMLP := NewMLP(rand.New(rand.NewSource(11)), in, 10, 5, 1)
+	planMLP := cloneMLP(eagerMLP)
+
+	b := NewBuilder()
+	x := b.Input(rows, in)
+	probs := b.MLP(planMLP, x, ActSigmoid)
+	plan := b.Build(b.MaskedBCE(probs))
+
+	for round := 0; round < 5; round++ {
+		xm := randMatrix(rng, rows, in)
+		labels := randLabels(rng, rows)
+		posW := []float64{1, 1, 2.5, 7, 1}[round]
+
+		plan.SetInput(x, xm)
+		plan.SetLabels(labels, posW)
+		plan.Forward()
+		plan.Backward()
+
+		eagerProbs := Sigmoid(eagerMLP.Forward(Leaf(xm)))
+		eagerLoss := MaskedBCEWeighted(eagerProbs, labels, posW)
+		Backward(eagerLoss)
+
+		requireSameMatrix(t, "probs", plan.Value(probs), eagerProbs.Val)
+		if !bitsEqual(plan.Losses()[0], eagerLoss.Val.Data[0]) {
+			t.Fatalf("round %d: loss %v != eager %v", round, plan.Losses()[0], eagerLoss.Val.Data[0])
+		}
+		requireSameParams(t, "mlp", planMLP.Params(), eagerMLP.Params())
+		// The eager graph accumulates into fresh parameter gradients
+		// each round; mirror that for the shared plan parameters.
+		for _, p := range planMLP.Params() {
+			p.ZeroGrad()
+		}
+		for _, p := range eagerMLP.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// TestPlanFullTrainingMatchesEager runs the same full-batch Adam
+// training loop through both engines and demands byte-identical final
+// weights.
+func TestPlanFullTrainingMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const rows, in = 12, 5
+	xm := randMatrix(rng, rows, in)
+	labels := randLabels(rng, rows)
+
+	eagerMLP := NewMLP(rand.New(rand.NewSource(4)), in, 8, 1)
+	planMLP := cloneMLP(eagerMLP)
+
+	eagerOpt := NewAdam(eagerMLP.Params(), 0.01)
+	for ep := 0; ep < 40; ep++ {
+		loss := MaskedBCE(Sigmoid(eagerMLP.Forward(Leaf(xm))), labels)
+		Backward(loss)
+		eagerOpt.Step()
+	}
+
+	b := NewBuilder()
+	x := b.Input(rows, in)
+	plan := b.Build(b.MaskedBCE(b.MLP(planMLP, x, ActSigmoid)))
+	plan.SetInput(x, xm)
+	plan.SetLabels(labels, 1)
+	planOpt := NewAdam(planMLP.Params(), 0.01)
+	for ep := 0; ep < 40; ep++ {
+		plan.Forward()
+		plan.Backward()
+		planOpt.Step()
+	}
+
+	eagerBytes, err := MarshalParams(eagerMLP.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planBytes, err := MarshalParams(planMLP.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(eagerBytes) != string(planBytes) {
+		t.Fatal("plan training diverged from eager training")
+	}
+}
+
+// gnnLayerEager mirrors one encoder message-passing layer eagerly:
+// ReLU(self(h) + (up(agg_up @ h) + down(agg_dn @ h))).
+func gnnLayerEager(selfW, upW, downW *Linear, up, down *Matrix, h *Node) *Node {
+	return ReLU(Add(selfW.Forward(h),
+		Add(upW.Forward(MatMul(Leaf(up), h)),
+			downW.Forward(MatMul(Leaf(down), h)))))
+}
+
+// sparseAgg builds a row-normalized aggregation-like sparse matrix.
+func sparseAgg(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		deg := rng.Intn(3)
+		seen := map[int]bool{}
+		for d := 0; d < deg; d++ {
+			j := rng.Intn(n)
+			if j == i || seen[j] {
+				continue
+			}
+			seen[j] = true
+		}
+		for j := range seen {
+			m.Set(i, j, 1/float64(len(seen)))
+		}
+	}
+	return m
+}
+
+// TestPlanGNNShapeMatchesEager exercises the gnn-shaped op mix (Sum3,
+// BlockMatMul, ConcatCols, fused linears) against the eager chain.
+func TestPlanGNNShapeMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, feat, hidden = 7, 10, 8
+
+	mk := func(in, out int, seed int64) (*Linear, *Linear) {
+		l := NewLinear(in, out, rand.New(rand.NewSource(seed)))
+		return l, &Linear{W: Param(l.W.Val.Clone()), B: Param(l.B.Val.Clone())}
+	}
+	inpE, inpP := mk(feat, hidden, 1)
+	selfE, selfP := mk(hidden, hidden, 2)
+	upE, upP := mk(hidden, hidden, 3)
+	downE, downP := mk(hidden, hidden, 4)
+	fuseE, fuseP := mk(hidden+1, hidden, 5)
+	headE, headP := mk(hidden, 1, 6)
+
+	up := sparseAgg(rng, n)
+	down := sparseAgg(rng, n)
+	xm := randMatrix(rng, n, feat)
+	pv := randMatrix(rng, n, 1)
+	labels := randLabels(rng, n)
+
+	// Eager chain.
+	h := ReLU(inpE.Forward(Leaf(xm)))
+	h = gnnLayerEager(selfE, upE, downE, up, down, h)
+	headIn := ReLU(fuseE.Forward(ConcatCols(h, Leaf(pv))))
+	probs := Sigmoid(headE.Forward(headIn))
+	lossE := MaskedBCEWeighted(probs, labels, 3)
+	Backward(lossE)
+
+	// Plan.
+	b := NewBuilder()
+	x := b.Input(n, feat)
+	pvec := b.Input(n, 1)
+	upC := b.Const(n, n)
+	downC := b.Const(n, n)
+	hR := b.Linear(inpP, x, ActReLU)
+	s := b.Linear(selfP, hR, ActNone)
+	u2 := b.Linear(upP, b.BlockMatMul(upC, hR), ActNone)
+	d2 := b.Linear(downP, b.BlockMatMul(downC, hR), ActNone)
+	hR = b.Sum3(s, u2, d2, ActReLU)
+	headInR := b.Linear(fuseP, b.ConcatCols(hR, pvec), ActReLU)
+	probsR := b.Linear(headP, headInR, ActSigmoid)
+	plan := b.Build(b.MaskedBCE(probsR))
+
+	plan.BindConst(upC, up)
+	plan.BindConst(downC, down)
+	plan.SetInput(x, xm)
+	plan.SetInput(pvec, pv)
+	plan.SetLabels(labels, 3)
+	plan.Forward()
+	plan.Backward()
+
+	requireSameMatrix(t, "headIn", plan.Value(headInR), headIn.Val)
+	requireSameMatrix(t, "probs", plan.Value(probsR), probs.Val)
+	if !bitsEqual(plan.Losses()[0], lossE.Val.Data[0]) {
+		t.Fatalf("loss %v != eager %v", plan.Losses()[0], lossE.Val.Data[0])
+	}
+	pairs := [][2]*Linear{{inpP, inpE}, {selfP, selfE}, {upP, upE}, {downP, downE}, {fuseP, fuseE}, {headP, headE}}
+	for _, pr := range pairs {
+		requireSameParams(t, "layer", pr[0].Params(), pr[1].Params())
+	}
+}
+
+// TestPlanBatchedMatchesSequentialEager checks that a blocks=B plan
+// replay equals B sequential eager executions: same per-block losses
+// and the same accumulated parameter gradients, bit for bit.
+func TestPlanBatchedMatchesSequentialEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const blocks, n, feat, hidden = 4, 5, 9, 6
+
+	mk := func(in, out int, seed int64) (*Linear, *Linear) {
+		l := NewLinear(in, out, rand.New(rand.NewSource(seed)))
+		return l, &Linear{W: Param(l.W.Val.Clone()), B: Param(l.B.Val.Clone())}
+	}
+	inpE, inpP := mk(feat, hidden, 10)
+	selfE, selfP := mk(hidden, hidden, 11)
+	upE, upP := mk(hidden, hidden, 12)
+	downE, downP := mk(hidden, hidden, 13)
+	headE, headP := mk(hidden, 1, 14)
+
+	up := sparseAgg(rng, n)
+	down := sparseAgg(rng, n)
+
+	xs := make([]*Matrix, blocks)
+	labels := make([][]int, blocks)
+	for i := range xs {
+		xs[i] = randMatrix(rng, n, feat)
+		labels[i] = randLabels(rng, n)
+	}
+
+	// Sequential eager executions, gradients accumulating.
+	var eagerLosses []float64
+	for i := 0; i < blocks; i++ {
+		h := ReLU(inpE.Forward(Leaf(xs[i])))
+		h = gnnLayerEager(selfE, upE, downE, up, down, h)
+		probs := Sigmoid(headE.Forward(h))
+		loss := MaskedBCEWeighted(probs, labels[i], 2)
+		Backward(loss)
+		eagerLosses = append(eagerLosses, loss.Val.Data[0])
+	}
+
+	// One batched plan replay.
+	b := NewBuilder()
+	b.SetBlocks(blocks)
+	x := b.Input(blocks*n, feat)
+	upC := b.Const(n, n)
+	downC := b.Const(n, n)
+	h := b.Linear(inpP, x, ActReLU)
+	s := b.Linear(selfP, h, ActNone)
+	u2 := b.Linear(upP, b.BlockMatMul(upC, h), ActNone)
+	d2 := b.Linear(downP, b.BlockMatMul(downC, h), ActNone)
+	h = b.Sum3(s, u2, d2, ActReLU)
+	probs := b.Linear(headP, h, ActSigmoid)
+	plan := b.Build(b.MaskedBCE(probs))
+
+	plan.BindConst(upC, up)
+	plan.BindConst(downC, down)
+	xall := plan.InputData(x)
+	var lall []int
+	for i := 0; i < blocks; i++ {
+		copy(xall[i*n*feat:], xs[i].Data)
+		lall = append(lall, labels[i]...)
+	}
+	plan.SetLabels(lall, 2)
+	plan.Forward()
+	plan.Backward()
+
+	for i, want := range eagerLosses {
+		if !bitsEqual(plan.Losses()[i], want) {
+			t.Fatalf("block %d loss %v != eager %v", i, plan.Losses()[i], want)
+		}
+	}
+	pairs := [][2]*Linear{{inpP, inpE}, {selfP, selfE}, {upP, upE}, {downP, downE}, {headP, headE}}
+	for _, pr := range pairs {
+		requireSameParams(t, "batched layer", pr[0].Params(), pr[1].Params())
+	}
+}
+
+// TestPlanMeanRowsMSEMatchesEager covers the ZeroTune-shaped readout:
+// mean pooling, a regression head, and the MSE loss.
+func TestPlanMeanRowsMSEMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, hidden = 6, 5
+	headE := NewMLP(rand.New(rand.NewSource(18)), hidden, 4, 1)
+	headP := cloneMLP(headE)
+
+	xm := randMatrix(rng, n, hidden)
+	target := FromRows([][]float64{{0.37}})
+
+	pooled := MeanRows(Leaf(xm))
+	// Leaf input means the pooled tensor itself carries no gradient in
+	// the eager graph; route through a Tanh Activate on the plan side
+	// too, to also cover the standalone activation op.
+	predE := Sigmoid(headE.Forward(Tanh(pooled)))
+	lossE := MSE(predE, target)
+	Backward(lossE)
+
+	b := NewBuilder()
+	x := b.Input(n, hidden)
+	pl := b.Activate(b.MeanRows(x), ActTanh)
+	pred := b.MLP(headP, pl, ActSigmoid)
+	plan := b.Build(b.MSE(pred))
+	plan.SetInput(x, xm)
+	plan.SetTarget(target)
+	plan.Forward()
+	plan.Backward()
+
+	requireSameMatrix(t, "pred", plan.Value(pred), predE.Val)
+	if !bitsEqual(plan.Losses()[0], lossE.Val.Data[0]) {
+		t.Fatalf("mse %v != eager %v", plan.Losses()[0], lossE.Val.Data[0])
+	}
+	requireSameParams(t, "head", headP.Params(), headE.Params())
+}
+
+// TestPlanReplayAllocatesNothing is the acceptance check that
+// steady-state plan replay performs zero allocations, for both the
+// training and the forward-only engines.
+func TestPlanReplayAllocatesNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const rows, in = 10, 7
+	mlp := NewMLP(rand.New(rand.NewSource(6)), in, 12, 1)
+	xm := randMatrix(rng, rows, in)
+	labels := randLabels(rng, rows)
+
+	b := NewBuilder()
+	x := b.Input(rows, in)
+	plan := b.Build(b.MaskedBCE(b.MLP(mlp, x, ActSigmoid)))
+	plan.SetInput(x, xm)
+	plan.SetLabels(labels, 2)
+	plan.Forward()
+	plan.Backward()
+
+	if n := testing.AllocsPerRun(50, func() {
+		plan.SetInput(x, xm)
+		plan.Forward()
+		plan.Backward()
+	}); n != 0 {
+		t.Fatalf("training replay allocates %v times per run, want 0", n)
+	}
+
+	fb := NewBuilder()
+	fx := fb.Input(rows, in)
+	fprobs := fb.MLP(mlp, fx, ActSigmoid)
+	fplan := fb.BuildForward()
+	fplan.SetInput(fx, xm)
+	fplan.Forward()
+	if n := testing.AllocsPerRun(50, func() {
+		fplan.SetInput(fx, xm)
+		fplan.Forward()
+		_ = fplan.Value(fprobs)
+	}); n != 0 {
+		t.Fatalf("inference replay allocates %v times per run, want 0", n)
+	}
+}
+
+// TestPlanMisusePanics pins the builder/replay error contract.
+func TestPlanMisusePanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mlp := NewMLP(rand.New(rand.NewSource(1)), 3, 2, 1)
+	assertPanics("backward on forward-only plan", func() {
+		b := NewBuilder()
+		x := b.Input(2, 3)
+		b.MLP(mlp, x, ActSigmoid)
+		p := b.BuildForward()
+		p.Forward()
+		p.Backward()
+	})
+	assertPanics("build with non-loss root", func() {
+		b := NewBuilder()
+		x := b.Input(2, 3)
+		b.Build(b.MLP(mlp, x, ActSigmoid))
+	})
+	assertPanics("linear shape mismatch", func() {
+		b := NewBuilder()
+		x := b.Input(2, 4)
+		b.Linear(mlp.Layers[0], x, ActNone)
+	})
+	assertPanics("set blocks after ops", func() {
+		b := NewBuilder()
+		b.Input(2, 3)
+		b.SetBlocks(2)
+	})
+	assertPanics("bce before SetLabels", func() {
+		b := NewBuilder()
+		x := b.Input(2, 3)
+		p := b.Build(b.MaskedBCE(b.MLP(mlp, x, ActSigmoid)))
+		p.Forward()
+	})
+	assertPanics("unbound const", func() {
+		b := NewBuilder()
+		x := b.Input(2, 3)
+		c := b.Const(2, 2)
+		b.BlockMatMul(c, x)
+		p := b.BuildForward()
+		p.Forward()
+	})
+}

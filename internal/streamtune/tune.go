@@ -84,7 +84,11 @@ func NewTuner(pt *PreTrained, g *dag.Graph) (*Tuner, error) {
 		}
 		seen[ex.Graph.Name] = true
 		distilled++
-		if err := t.distill(ex.Graph); err != nil {
+		sess, err := t.enc.NewInferSession(ex.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("streamtune: distill embed %s: %w", ex.Graph.Name, err)
+		}
+		if err := t.distill(sess, ex.Graph); err != nil {
 			return nil, err
 		}
 	}
@@ -100,13 +104,11 @@ var parallelismGrid = []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
 // distill queries the pre-trained head across the parallelism grid and
 // appends its hard labels to T. With FUSE applied after message passing,
 // each operator's head prediction depends only on its own embedding and
-// parallelism, so one parallelism-aware forward pass per grid point
-// labels every operator.
-func (t *Tuner) distill(g *dag.Graph) error {
-	embs, err := t.enc.Embeddings(g)
-	if err != nil {
-		return fmt.Errorf("streamtune: distill embed %s: %w", g.Name, err)
-	}
+// parallelism, so the grid replays only FUSE + head over the session's
+// cached message-passing states (the grad-free fast path; one full
+// encoder pass total instead of one per grid point).
+func (t *Tuner) distill(sess *gnn.InferSession, g *dag.Graph) error {
+	embs := sess.Embeddings()
 	pmax := t.cfg.GNN.PMax
 	par := make(map[string]int, g.NumOperators())
 	for _, p := range parallelismGrid {
@@ -116,7 +118,7 @@ func (t *Tuner) distill(g *dag.Graph) error {
 		for _, op := range g.Operators() {
 			par[op.ID] = p
 		}
-		probs, err := t.enc.PredictBottleneck(g, par)
+		probs, err := sess.Probs(par)
 		if err != nil {
 			return fmt.Errorf("streamtune: distill predict %s: %w", g.Name, err)
 		}
@@ -263,18 +265,21 @@ func (t *Tuner) Tune(sys System) (*Result, error) {
 	cfg := sys.Config()
 	res := &Result{}
 
-	// Parallelism-agnostic embeddings reflect the current source rates.
-	embs, err := t.enc.Embeddings(g)
+	// One inference session serves both the parallelism-agnostic
+	// embeddings (which reflect the current source rates) and the
+	// distillation grid below.
+	sess, err := t.enc.NewInferSession(g)
 	if err != nil {
 		return nil, fmt.Errorf("streamtune: embed target: %w", err)
 	}
+	embs := sess.Embeddings()
 	topo, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
 	// Refresh the head-distilled view of the target at its current rates
 	// before fitting.
-	if err := t.distill(g); err != nil {
+	if err := t.distill(sess, g); err != nil {
 		return nil, err
 	}
 
