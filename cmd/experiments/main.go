@@ -10,8 +10,8 @@
 //
 // Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
 // fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
-// ablation-global, ged-bench, nn-bench, all ("all" excludes ged-bench
-// and nn-bench; run them explicitly).
+// ablation-global, ged-bench, nn-bench, service-bench, all ("all"
+// excludes ged-bench, nn-bench and service-bench; run them explicitly).
 //
 // -workers bounds the fan-out of each parallel stage (concurrent
 // drivers, experiment cells, corpus samples, GED pairs, per-cluster
@@ -29,6 +29,10 @@
 // The nn-bench experiment writes BENCH_nn.json: seed-vs-compiled-plan
 // wall clock for GNN pre-training, ZeroTune cost-model training, and
 // online-tuning inference, with bit-identical-result cross-checks.
+// The service-bench experiment writes BENCH_service.json: N concurrent
+// jobs tuned through the multi-tenant service (jobs/sec, recommend
+// latency quantiles, shared-artifact hit rates), cross-checked
+// bit-for-bit against sequential single-job Tuner runs.
 package main
 
 import (
@@ -71,6 +75,8 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_experiments.json", "wall-clock summary path (empty to disable)")
 	gedBenchOut := flag.String("ged-bench-out", "BENCH_ged.json", "ged-bench report path (empty to disable)")
 	nnBenchOut := flag.String("nn-bench-out", "BENCH_nn.json", "nn-bench report path (empty to disable)")
+	serviceBenchOut := flag.String("service-bench-out", "BENCH_service.json", "service-bench report path (empty to disable)")
+	serviceJobs := flag.Int("service-jobs", 0, "service-bench concurrent jobs (0 = 16, or 8 with -quick)")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -86,8 +92,16 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 		DriverSeconds: make(map[string]float64),
 	}
+	jobs := *serviceJobs
+	if jobs <= 0 {
+		jobs = 16
+		if *quick {
+			jobs = 8
+		}
+	}
+
 	start := time.Now()
-	if err := run(*exp, opts, summary, *gedBenchOut, *nnBenchOut); err != nil {
+	if err := run(*exp, opts, summary, *gedBenchOut, *nnBenchOut, *serviceBenchOut, jobs); err != nil {
 		log.Fatalf("experiment %s: %v", *exp, err)
 	}
 	summary.TotalSeconds = time.Since(start).Seconds()
@@ -107,7 +121,7 @@ func writeBench(path string, s *benchSummary) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOut, nnBenchOut string) error {
+func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOut, nnBenchOut, serviceBenchOut string, serviceJobs int) error {
 	out := os.Stdout
 	needSweep := map[string]bool{"fig6": true, "fig7a": true, "table3": true, "fig9a": true, "all": true}
 
@@ -235,6 +249,21 @@ func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOu
 					return err
 				}
 				if err := os.WriteFile(nnBenchOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+			}
+		case "service-bench":
+			report, err := experiments.ServiceBench(opts, serviceJobs)
+			if err != nil {
+				return err
+			}
+			experiments.ServiceBenchTable(report).Render(out)
+			if serviceBenchOut != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(serviceBenchOut, append(data, '\n'), 0o644); err != nil {
 					return err
 				}
 			}

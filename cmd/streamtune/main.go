@@ -3,106 +3,192 @@
 //	streamtune inspect -query q5            # show a workload DAG
 //	streamtune tune -query q5 -rate 10      # pre-train on Nexmark+PQP and tune
 //	streamtune pretrain -samples 40         # corpus + pre-training stats
+//	streamtune serve -addr :8571            # multi-tenant tuning service
+//
+// Every subcommand exits 0 on success and 1 on failure. tune always
+// writes a final JSON summary — including on tuning failure, where the
+// summary carries the error and whatever partial results exist — so
+// scripted callers never lose a run's outcome to a crash-and-exit.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/streamtune/streamtune"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/experiments"
+	"github.com/streamtune/streamtune/internal/service"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	var err error
 	switch os.Args[1] {
 	case "inspect":
-		cmdInspect(os.Args[2:])
+		err = cmdInspect(os.Args[2:])
 	case "tune":
-		cmdTune(os.Args[2:])
+		err = cmdTune(os.Args[2:])
 	case "pretrain":
-		cmdPretrain(os.Args[2:])
+		err = cmdPretrain(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamtune:", err)
+		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: streamtune <inspect|tune|pretrain> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: streamtune <inspect|tune|pretrain|serve> [flags]")
 	os.Exit(2)
 }
 
-func buildQuery(name string) *streamtune.Graph {
+func buildQuery(name string) (*streamtune.Graph, error) {
 	g, err := streamtune.BuildNexmark(streamtune.NexmarkQuery(name), streamtune.Flink)
 	if err != nil {
-		log.Fatalf("unknown query %q (want q1, q2, q3, q5, q8): %v", name, err)
+		return nil, fmt.Errorf("unknown query %q (want q1, q2, q3, q5, q8): %w", name, err)
 	}
-	return g
+	return g, nil
 }
 
-func cmdInspect(args []string) {
+func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	query := fs.String("query", "q5", "nexmark query")
 	asJSON := fs.Bool("json", false, "emit the DAG as JSON")
 	fs.Parse(args)
 
-	g := buildQuery(*query)
+	g, err := buildQuery(*query)
+	if err != nil {
+		return err
+	}
 	if *asJSON {
 		data, err := json.MarshalIndent(g, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		os.Stdout.Write(append(data, '\n'))
-		return
+		return nil
 	}
 	fmt.Println(g)
+	return nil
 }
 
-func cmdTune(args []string) {
+// tuneSummary is the machine-readable outcome of one tune run. It is
+// written even when tuning fails, carrying the error and any partial
+// results gathered before the failure.
+type tuneSummary struct {
+	Query string  `json:"query"`
+	Rate  float64 `json:"rate"`
+	OK    bool    `json:"ok"`
+	Error string  `json:"error,omitempty"`
+
+	ClusterID        int            `json:"cluster_id,omitempty"`
+	Iterations       int            `json:"iterations,omitempty"`
+	Reconfigurations int            `json:"reconfigurations,omitempty"`
+	Parallelism      map[string]int `json:"parallelism,omitempty"`
+	TotalParallelism int            `json:"total_parallelism,omitempty"`
+	BackpressureFree bool           `json:"backpressure_free"`
+	RecommendSeconds float64        `json:"recommend_seconds,omitempty"`
+	TuningSeconds    float64        `json:"tuning_seconds,omitempty"`
+}
+
+func cmdTune(args []string) error {
 	fs := flag.NewFlagSet("tune", flag.ExitOnError)
 	query := fs.String("query", "q5", "nexmark query")
 	rate := fs.Float64("rate", 10, "source rate multiplier (x Wu)")
 	quick := fs.Bool("quick", true, "scaled-down pre-training")
+	out := fs.String("out", "", "also write the final JSON summary to this file")
 	fs.Parse(args)
 
+	summary := &tuneSummary{Query: *query, Rate: *rate}
+	err := runTune(summary, *query, *rate, *quick)
+	summary.OK = err == nil
+	if err != nil {
+		summary.Error = err.Error()
+	}
+	// Flush the summary on every path: success, partial tuning failure,
+	// even pre-training failure — scripted callers always get a record.
+	data, merr := json.MarshalIndent(summary, "", "  ")
+	if merr != nil {
+		if err != nil {
+			return err
+		}
+		return merr
+	}
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+	if *out != "" {
+		if werr := os.WriteFile(*out, data, 0o644); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintln(os.Stderr, "streamtune:", werr)
+			}
+		}
+	}
+	return err
+}
+
+// runTune performs the actual tuning, filling summary incrementally so
+// partial results survive a mid-run failure.
+func runTune(summary *tuneSummary, query string, rate float64, quick bool) error {
 	opts := experiments.Full()
-	if *quick {
+	if quick {
 		opts = experiments.Quick()
 	}
-	fmt.Println("pre-training on the Nexmark + PQP corpus...")
+	fmt.Fprintln(os.Stderr, "pre-training on the Nexmark + PQP corpus...")
 	pt, _, err := experiments.PreTrain(engine.Flink, opts)
 	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("pre-train: %w", err)
 	}
 
-	g := buildQuery(*query)
-	g.ScaleSourceRates(*rate)
+	g, err := buildQuery(query)
+	if err != nil {
+		return err
+	}
+	g.ScaleSourceRates(rate)
 	eng, err := streamtune.NewEngine(g, streamtune.DefaultEngineConfig(streamtune.Flink))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tuner, err := streamtune.NewTuner(pt, eng.Graph())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	summary.ClusterID = tuner.ClusterID()
 	res, err := tuner.Tune(eng)
 	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("tune %s at %.0fxWu: %w", g.Name, rate, err)
 	}
-	fmt.Printf("tuned %s at %.0fxWu in %d reconfiguration(s):\n", g.Name, *rate, res.Reconfigurations)
-	for _, op := range g.Operators() {
-		fmt.Printf("  %-18s p=%d\n", op.ID, res.Parallelism[op.ID])
-	}
-	fmt.Printf("backpressure-free: %v\n", !res.Final.Backpressured)
+
+	summary.Iterations = res.Iterations
+	summary.Reconfigurations = res.Reconfigurations
+	summary.Parallelism = res.Parallelism
+	summary.TotalParallelism = res.TotalParallelism()
+	summary.BackpressureFree = res.Final != nil && !res.Final.Backpressured
+	summary.RecommendSeconds = res.RecommendTime.Seconds()
+	summary.TuningSeconds = res.TuningTime.Seconds()
+
+	fmt.Fprintf(os.Stderr, "tuned %s at %.0fxWu in %d reconfiguration(s)\n", g.Name, rate, res.Reconfigurations)
+	return nil
 }
 
-func cmdPretrain(args []string) {
+func cmdPretrain(args []string) error {
 	fs := flag.NewFlagSet("pretrain", flag.ExitOnError)
 	samples := fs.Int("samples", 15, "executions per job structure")
 	epochs := fs.Int("epochs", 10, "training epochs")
@@ -113,18 +199,110 @@ func cmdPretrain(args []string) {
 	opts.TrainEpochs = *epochs
 	corpus, err := experiments.BuildCorpus(engine.Flink, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	labeled, bns := corpus.LabeledCount()
 	fmt.Printf("corpus: %d executions, %d labeled operators (%d bottlenecks)\n",
 		corpus.Len(), labeled, bns)
 	pt, _, err := experiments.PreTrain(engine.Flink, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("clusters: %d, pre-training time: %v\n", len(pt.Encoders), pt.TrainTime.Round(1e6))
 	for c, losses := range pt.Losses {
 		fmt.Printf("  cluster %d: loss %.4f -> %.4f over %d epochs\n",
 			c, losses[0], losses[len(losses)-1], len(losses))
 	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8571", "HTTP listen address")
+	quick := fs.Bool("quick", true, "scaled-down pre-training")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	lease := fs.Duration("lease", 30*time.Minute, "session idle lease TTL (0 disables eviction)")
+	maxSessions := fs.Int("max-sessions", 1024, "session registry cap (0 = unlimited)")
+	evictEvery := fs.Duration("evict-every", time.Minute, "idle-eviction janitor period")
+	snapshot := fs.String("snapshot", "", "snapshot path: restored at startup when present, written on shutdown")
+	fs.Parse(args)
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Parallelism = *workers
+	log.Printf("pre-training shared artifact (quick=%v)...", *quick)
+	pt, _, err := experiments.PreTrain(engine.Flink, opts)
+	if err != nil {
+		return fmt.Errorf("pre-train: %w", err)
+	}
+	log.Printf("pre-trained %d cluster encoder(s) in %v", len(pt.Encoders), pt.TrainTime.Round(time.Millisecond))
+
+	cfg := service.Config{LeaseTTL: *lease, MaxSessions: *maxSessions, Workers: *workers}
+	var svc *service.Service
+	if *snapshot != "" {
+		if data, rerr := os.ReadFile(*snapshot); rerr == nil {
+			svc, err = service.Restore(pt, cfg, data)
+			if err != nil {
+				return fmt.Errorf("restore snapshot %s: %w", *snapshot, err)
+			}
+			log.Printf("restored %d session(s) from %s", len(svc.JobIDs()), *snapshot)
+		} else if !errors.Is(rerr, os.ErrNotExist) {
+			return fmt.Errorf("read snapshot %s: %w", *snapshot, rerr)
+		}
+	}
+	if svc == nil {
+		svc, err = service.New(pt, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	stop := make(chan struct{})
+	if *lease > 0 && *evictEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*evictEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if n := svc.EvictIdle(); n > 0 {
+						log.Printf("evicted %d idle session(s)", n)
+					}
+				}
+			}
+		}()
+	}
+
+	shutdownDone := make(chan error, 1)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("shutting down...")
+		close(stop)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if *snapshot != "" {
+			if data, serr := svc.Snapshot(); serr != nil {
+				log.Printf("snapshot: %v", serr)
+			} else if werr := os.WriteFile(*snapshot, data, 0o644); werr != nil {
+				log.Printf("write snapshot: %v", werr)
+			} else {
+				log.Printf("wrote %d session(s) to %s", len(svc.JobIDs()), *snapshot)
+			}
+		}
+		shutdownDone <- err
+	}()
+
+	log.Printf("tuning service listening on %s (lease %v, %d workers)", *addr, *lease, svc.Stats().WorkerCap)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownDone
 }

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/parallel"
+	"github.com/streamtune/streamtune/internal/service"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// ServiceBenchReport is the result of the tuning-service load
+// benchmark: N concurrent jobs driven through one multi-tenant
+// service sharing a single PreTrained artifact, cross-checked
+// bit-for-bit against sequential caller-owned Tuner runs of the same
+// jobs before any timing is reported (mirroring BENCH_ged.json and
+// BENCH_nn.json).
+type ServiceBenchReport struct {
+	Jobs               int `json:"jobs"`
+	Workers            int `json:"workers"`
+	DistinctStructures int `json:"distinct_structures"`
+
+	// Sequential: one caller-owned Tuner per job, one after another —
+	// the single-job deployment model the service replaces.
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	// Service: all jobs in flight at once against the shared service.
+	ServiceSeconds float64 `json:"service_seconds"`
+	Speedup        float64 `json:"speedup"`
+	JobsPerSecond  float64 `json:"jobs_per_second"`
+
+	// BitIdentical records that every concurrent final recommendation
+	// equaled its sequential reference; the benchmark fails otherwise.
+	BitIdentical bool `json:"bit_identical"`
+
+	// Recommend-call latency distribution, measured client-side across
+	// every job (includes worker-pool queueing).
+	Recommendations int     `json:"recommendations"`
+	RecommendP50Ms  float64 `json:"recommend_p50_ms"`
+	RecommendP99Ms  float64 `json:"recommend_p99_ms"`
+
+	// Shared-artifact effectiveness: admissions resolved entirely from
+	// the shared fingerprint-keyed GED cache, and registrations landing
+	// on an already-warm cluster encoder.
+	AdmissionCacheHitRate float64 `json:"admission_cache_hit_rate"`
+	EncoderWarmHitRate    float64 `json:"encoder_warm_hit_rate"`
+
+	// SnapshotBytes is the size of the full-registry snapshot taken
+	// after the run; SnapshotRestored records that the restored service
+	// reproduced every final recommendation.
+	SnapshotBytes    int  `json:"snapshot_bytes"`
+	SnapshotRestored bool `json:"snapshot_restored"`
+}
+
+// serviceBenchJob is one load-generator tenant.
+type serviceBenchJob struct {
+	id    string
+	graph *dag.Graph
+}
+
+// serviceBenchJobs replicates the Flink workloads across rate
+// multipliers until n jobs exist. Structures repeat on purpose: a
+// production tenant population is dominated by clones of a few query
+// shapes, which is what the shared admission cache exploits.
+func serviceBenchJobs(opts Options, n int) ([]serviceBenchJob, error) {
+	workloads, err := FlinkWorkloads(opts)
+	if err != nil {
+		return nil, err
+	}
+	rates := []float64{3, 7, 5, 9}
+	jobs := make([]serviceBenchJob, 0, n)
+	for i := 0; len(jobs) < n; i++ {
+		w := workloads[i%len(workloads)]
+		rate := rates[(i/len(workloads))%len(rates)]
+		g := w.Graph.Clone()
+		w.SetRate(g, rate)
+		// The index suffix keeps IDs unique past one full
+		// workloads x rates cycle (arbitrary -service-jobs values).
+		jobs = append(jobs, serviceBenchJob{
+			id:    fmt.Sprintf("%s#%dx-%d", w.Name, int(rate), i),
+			graph: g,
+		})
+	}
+	return jobs, nil
+}
+
+// benchEngine builds the simulated client system for one job.
+func benchEngine(g *dag.Graph, opts Options) (*engine.Engine, error) {
+	cfg := engine.DefaultConfig(engine.Flink)
+	cfg.MeasureTicks = opts.MeasureTicks
+	return engine.New(g, cfg)
+}
+
+// ServiceBench tunes n concurrent jobs through the service and reports
+// throughput, latency quantiles, and shared-artifact hit rates. Every
+// concurrent recommendation is cross-checked bit-for-bit against a
+// sequential single-job Tuner run before timings are reported.
+func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("servicebench: need at least one job, got %d", n)
+	}
+	pt, corpus, err := PreTrain(engine.Flink, opts)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := serviceBenchJobs(opts, n)
+	if err != nil {
+		return nil, err
+	}
+	r := &ServiceBenchReport{
+		Jobs:               n,
+		Workers:            parallel.Workers(opts.Parallelism),
+		DistinctStructures: corpus.DistinctStructures(),
+	}
+
+	// --- Sequential reference: one caller-owned tuner per job ---
+	want := make([]map[string]int, len(jobs))
+	start := time.Now()
+	for i, job := range jobs {
+		eng, err := benchEngine(job.graph, opts)
+		if err != nil {
+			return nil, err
+		}
+		tuner, err := streamtune.NewTuner(pt, eng.Graph())
+		if err != nil {
+			return nil, fmt.Errorf("servicebench: tuner %s: %w", job.id, err)
+		}
+		res, err := tuner.Tune(eng)
+		if err != nil {
+			return nil, fmt.Errorf("servicebench: sequential tune %s: %w", job.id, err)
+		}
+		want[i] = res.Parallelism
+	}
+	r.SequentialSeconds = time.Since(start).Seconds()
+
+	// --- Concurrent run through the shared service ---
+	svc, err := service.New(pt, service.Config{Workers: opts.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	got := make([]map[string]int, len(jobs))
+	latencies := make([][]time.Duration, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	start = time.Now()
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], latencies[i], errs[i] = driveServiceJob(svc, jobs[i], opts, pt.Config.StabilizeWait)
+		}(i)
+	}
+	wg.Wait()
+	r.ServiceSeconds = time.Since(start).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("servicebench: job %s: %w", jobs[i].id, err)
+		}
+	}
+
+	// --- Cross-check before reporting any timing ---
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return nil, fmt.Errorf("servicebench: job %s diverged from sequential tuner:\nservice    %v\nsequential %v",
+				jobs[i].id, got[i], want[i])
+		}
+	}
+	r.BitIdentical = true
+	if r.ServiceSeconds > 0 {
+		r.Speedup = r.SequentialSeconds / r.ServiceSeconds
+		r.JobsPerSecond = float64(n) / r.ServiceSeconds
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	r.Recommendations = len(all)
+	if len(all) > 0 {
+		r.RecommendP50Ms = float64(all[len(all)/2].Microseconds()) / 1e3
+		p99 := (len(all) - 1) * 99 / 100
+		r.RecommendP99Ms = float64(all[p99].Microseconds()) / 1e3
+	}
+	st := svc.Stats()
+	if tot := st.AdmissionCacheHits + st.AdmissionCacheMisses; tot > 0 {
+		r.AdmissionCacheHitRate = float64(st.AdmissionCacheHits) / float64(tot)
+	}
+	if st.Registered > 0 {
+		r.EncoderWarmHitRate = float64(st.EncoderWarmHits) / float64(st.Registered)
+	}
+
+	// --- Snapshot the finished registry and verify the restore ---
+	snap, err := svc.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	r.SnapshotBytes = len(snap)
+	restored, err := service.Restore(pt, service.Config{Workers: opts.Parallelism}, snap)
+	if err != nil {
+		return nil, fmt.Errorf("servicebench: restore: %w", err)
+	}
+	for i, job := range jobs {
+		rec, err := restored.Recommend(job.id)
+		if err != nil {
+			return nil, fmt.Errorf("servicebench: restored recommend %s: %w", job.id, err)
+		}
+		if !rec.Done || !reflect.DeepEqual(rec.Parallelism, want[i]) {
+			return nil, fmt.Errorf("servicebench: restored job %s lost its recommendation", job.id)
+		}
+	}
+	r.SnapshotRestored = true
+	return r, nil
+}
+
+// driveServiceJob registers one job and runs its simulated engine
+// against the service until convergence.
+func driveServiceJob(svc *service.Service, job serviceBenchJob, opts Options, stabilize time.Duration) (map[string]int, []time.Duration, error) {
+	eng, err := benchEngine(job.graph, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := svc.Register(job.id, job.graph, eng.Config()); err != nil {
+		return nil, nil, err
+	}
+	var latencies []time.Duration
+	for rounds := 0; rounds < 1000; rounds++ {
+		t0 := time.Now()
+		rec, err := svc.Recommend(job.id)
+		latencies = append(latencies, time.Since(t0))
+		if err != nil {
+			return nil, nil, err
+		}
+		if rec.Done {
+			return rec.Parallelism, latencies, nil
+		}
+		if rec.Deploy {
+			if err := eng.Deploy(rec.Parallelism); err != nil {
+				return nil, nil, err
+			}
+			eng.Stabilize(stabilize)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		done, err := svc.Observe(job.id, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		if done {
+			t0 := time.Now()
+			rec, err := svc.Recommend(job.id)
+			latencies = append(latencies, time.Since(t0))
+			if err != nil {
+				return nil, nil, err
+			}
+			return rec.Parallelism, latencies, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("no convergence in 1000 rounds")
+}
+
+// ServiceBenchTable renders the benchmark report.
+func ServiceBenchTable(r *ServiceBenchReport) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Tuning service: %d concurrent jobs, %d workers (%d distinct structures)",
+			r.Jobs, r.Workers, r.DistinctStructures),
+		Header: []string{"Metric", "Value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("sequential single-job total", fmt.Sprintf("%.3fs", r.SequentialSeconds))
+	add("concurrent service total", fmt.Sprintf("%.3fs", r.ServiceSeconds))
+	add("speedup", fmt.Sprintf("%.1fx", r.Speedup))
+	add("throughput", fmt.Sprintf("%.2f jobs/s", r.JobsPerSecond))
+	add("recommend p50 / p99", fmt.Sprintf("%.1fms / %.1fms (%d calls)", r.RecommendP50Ms, r.RecommendP99Ms, r.Recommendations))
+	add("admission cache hit rate", fmt.Sprintf("%.0f%%", 100*r.AdmissionCacheHitRate))
+	add("encoder warm hit rate", fmt.Sprintf("%.0f%%", 100*r.EncoderWarmHitRate))
+	add("bit-identical to sequential", fmt.Sprintf("%v", r.BitIdentical))
+	add("snapshot restored", fmt.Sprintf("%v (%d bytes)", r.SnapshotRestored, r.SnapshotBytes))
+	return t
+}

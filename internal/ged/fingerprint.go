@@ -70,6 +70,15 @@ func (c *PairCache) Len() int {
 	return len(c.m)
 }
 
+// Lookup returns the cached distance for the pair when present,
+// without computing anything on a miss. Callers that account hits and
+// misses themselves (e.g. the tuning service's admission stats) use it
+// ahead of Distance so the classification reflects what their own call
+// found, not concurrent cache growth.
+func (c *PairCache) Lookup(g1, g2 *dag.Graph) (float64, bool) {
+	return c.lookup(orientedKey(Fingerprint(g1), Fingerprint(g2)))
+}
+
 // Distance returns the exact GED between g1 and g2, consulting the
 // cache first and storing the result on a miss.
 func (c *PairCache) Distance(g1, g2 *dag.Graph) float64 {

@@ -81,6 +81,37 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
+// Limiter bounds the number of tasks executing concurrently. Unlike
+// ForEach — which owns a fixed batch of index-addressed work — a
+// Limiter serves open-ended request streams: long-lived services
+// acquire a slot per request, so at most `workers` expensive operations
+// (model refits, encoder inference) run at once while excess callers
+// queue in FIFO-ish channel order. The zero Limiter is not usable; use
+// NewLimiter.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a limiter admitting at most Workers(workers)
+// concurrent executions.
+func NewLimiter(workers int) *Limiter {
+	return &Limiter{slots: make(chan struct{}, Workers(workers))}
+}
+
+// Cap reports the maximum number of concurrent executions.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
+// InFlight reports the number of slots currently held.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Do runs fn once a slot is available and releases the slot when fn
+// returns, propagating fn's error.
+func (l *Limiter) Do(fn func() error) error {
+	l.slots <- struct{}{}
+	defer func() { <-l.slots }()
+	return fn()
+}
+
 // Map runs fn over [0, n) with at most workers goroutines and returns
 // the results in index order.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {

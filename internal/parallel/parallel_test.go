@@ -150,3 +150,44 @@ func TestForEachDeterministicAccumulation(t *testing.T) {
 		}
 	}
 }
+
+// TestLimiterBound asserts Do never admits more than Cap concurrent
+// executions and propagates errors from the task.
+func TestLimiterBound(t *testing.T) {
+	l := NewLimiter(3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", l.Cap())
+	}
+	var inFlight, peak atomic.Int64
+	done := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		go func() {
+			done <- l.Do(func() error {
+				n := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				inFlight.Add(-1)
+				return nil
+			})
+		}()
+	}
+	for i := 0; i < 64; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency = %d, want <= 3", p)
+	}
+	if l.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", l.InFlight())
+	}
+	boom := errors.New("boom")
+	if err := l.Do(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

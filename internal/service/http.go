@@ -1,0 +1,162 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+)
+
+// RegisterRequest is the POST /v1/jobs body.
+type RegisterRequest struct {
+	JobID string     `json:"job_id"`
+	Graph *dag.Graph `json:"graph"`
+	// Engine describes the client's system. Omitted fields fall back to
+	// the Flink evaluation defaults.
+	Engine *engine.Config `json:"engine_config,omitempty"`
+}
+
+// ObserveRequest is the POST /v1/jobs/{id}/metrics body.
+type ObserveRequest struct {
+	Metrics *engine.JobMetrics `json:"metrics"`
+}
+
+// ObserveResponse reports whether the tuning process completed.
+type ObserveResponse struct {
+	JobID string `json:"job_id"`
+	Done  bool   `json:"done"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs                register a job (RegisterRequest -> RegisterResult)
+//	GET    /v1/jobs/{id}           session state (SessionInfo)
+//	DELETE /v1/jobs/{id}           release a session
+//	POST   /v1/jobs/{id}/recommend next recommendation (Recommendation)
+//	POST   /v1/jobs/{id}/metrics   post a measured window (ObserveRequest -> ObserveResponse)
+//	GET    /v1/stats               service counters (Stats)
+//	GET    /v1/snapshot            full session snapshot (ServiceSnapshot JSON)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleRegister)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleSession)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRelease)
+	mux.HandleFunc("POST /v1/jobs/{id}/recommend", s.handleRecommend)
+	mux.HandleFunc("POST /v1/jobs/{id}/metrics", s.handleObserve)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// statusFor maps service errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDuplicateJob),
+		errors.Is(err, ErrAwaitingMetrics),
+		errors.Is(err, ErrAwaitingRecommend),
+		errors.Is(err, ErrCompleted):
+		return http.StatusConflict
+	case errors.Is(err, ErrSessionLimit):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrInvalidJob):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are out; nothing useful left to do on error
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: decode request: %v", ErrInvalidJob, err))
+		return
+	}
+	cfg := engine.DefaultConfig(engine.Flink)
+	if req.Engine != nil {
+		cfg = *req.Engine
+	}
+	res, err := s.Register(req.JobID, req.Graph, cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleSession(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Release(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"job_id": id, "status": "released"})
+}
+
+func (s *Service) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Recommend(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: decode request: %v", ErrInvalidJob, err))
+		return
+	}
+	done, err := s.Observe(id, req.Metrics)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ObserveResponse{JobID: id, Done: done})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

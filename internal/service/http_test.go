@@ -1,0 +1,159 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// httpJSON posts (or gets) a JSON body and decodes the response.
+func httpJSON(t *testing.T, client *http.Client, method, url string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServiceHTTP tunes one job end to end over the HTTP API and
+// asserts the final recommendation matches the sequential tuner.
+func TestServiceHTTP(t *testing.T) {
+	s := newTestService(t, DefaultConfig())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	engCfg := testEngineConfig()
+
+	want := sequentialResult(t, targetGraph(t, nexmark.Q5, 5), engCfg)
+
+	g := targetGraph(t, nexmark.Q5, 5)
+	var reg RegisterResult
+	status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "http-q5", Graph: g, Engine: &engCfg}, &reg)
+	if status != http.StatusOK {
+		t.Fatalf("register status = %d", status)
+	}
+	if reg.WarmupSamples == 0 {
+		t.Fatal("register reported an empty warm-up dataset")
+	}
+
+	// Duplicate registration maps to 409, malformed admission to 400.
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "http-q5", Graph: g}, nil); status != http.StatusConflict {
+		t.Fatalf("duplicate register status = %d, want 409", status)
+	}
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "no-dag"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("empty-DAG register status = %d, want 400", status)
+	}
+
+	eng, err := engine.New(g, engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	for i := 0; i < 200; i++ {
+		var rec Recommendation
+		if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs/http-q5/recommend", nil, &rec); status != http.StatusOK {
+			t.Fatalf("recommend status = %d", status)
+		}
+		if rec.Done {
+			got = rec.Parallelism
+			break
+		}
+		if rec.Deploy {
+			if err := eng.Deploy(rec.Parallelism); err != nil {
+				t.Fatal(err)
+			}
+			eng.Stabilize(s.pt.Config.StabilizeWait)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var obs ObserveResponse
+		if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs/http-q5/metrics",
+			ObserveRequest{Metrics: m}, &obs); status != http.StatusOK {
+			t.Fatalf("metrics status = %d", status)
+		}
+	}
+	if got == nil {
+		// The loop may have completed via Observe; fetch the final state.
+		var rec Recommendation
+		if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs/http-q5/recommend", nil, &rec); status != http.StatusOK || !rec.Done {
+			t.Fatalf("final recommend status = %d done = %v", status, rec.Done)
+		}
+		got = rec.Parallelism
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HTTP recommendation diverged from sequential tuner:\n got %v\nwant %v", got, want)
+	}
+
+	var info SessionInfo
+	if status := httpJSON(t, client, http.MethodGet, srv.URL+"/v1/jobs/http-q5", nil, &info); status != http.StatusOK {
+		t.Fatalf("session status = %d", status)
+	}
+	if !info.Done || !reflect.DeepEqual(info.Parallelism, want) {
+		t.Errorf("session info: done=%v parallelism=%v", info.Done, info.Parallelism)
+	}
+
+	var st Stats
+	if status := httpJSON(t, client, http.MethodGet, srv.URL+"/v1/stats", nil, &st); status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	if st.ActiveSessions != 1 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 active / 1 completed", st)
+	}
+
+	// The HTTP snapshot restores into a working service.
+	resp, err := client.Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if _, err := snap.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	restored, err := Restore(sharedPreTrained(t), DefaultConfig(), snap.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := restored.Recommend("http-q5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Done || !reflect.DeepEqual(rec.Parallelism, want) {
+		t.Errorf("restored-via-HTTP recommendation = %v done=%v, want %v", rec.Parallelism, rec.Done, want)
+	}
+
+	if status := httpJSON(t, client, http.MethodDelete, srv.URL+"/v1/jobs/http-q5", nil, nil); status != http.StatusOK {
+		t.Fatalf("release status = %d", status)
+	}
+	if status := httpJSON(t, client, http.MethodGet, srv.URL+"/v1/jobs/http-q5", nil, nil); status != http.StatusNotFound {
+		t.Fatalf("released session status = %d, want 404", status)
+	}
+}

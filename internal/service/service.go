@@ -1,0 +1,602 @@
+// Package service implements the multi-tenant online tuning service: a
+// long-running, concurrency-safe front end over one shared PreTrained
+// artifact set (clustering, per-cluster GNN encoders, corpus partition)
+// and a registry of per-job tuning sessions.
+//
+// Each job passes admission (DAG validation, cluster assignment through
+// a shared fingerprint-keyed GED cache), then follows a lease-based
+// lifecycle: register -> recommend -> observe metrics -> ... -> done,
+// with idle sessions evicted when their lease expires. The expensive
+// per-request work (model refits, encoder inference) runs through a
+// bounded worker pool, so a burst of tenants degrades into queueing
+// rather than unbounded goroutine fan-out. Session state snapshots to
+// JSON and restores onto a fresh service holding the same PreTrained
+// artifact, resuming every job mid-tuning with bit-identical
+// recommendations.
+//
+// The service never touches an engine: clients own their systems,
+// deploy the recommendations they receive, and post back the measured
+// windows. Driving Step/Observe through the service is bit-identical to
+// a local Tuner.Tune run against the same system (see
+// internal/streamtune.Process).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/parallel"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// Admission and lifecycle errors. Callers distinguish them with
+// errors.Is; the HTTP layer maps them to status codes.
+var (
+	// ErrInvalidJob rejects admission: malformed job ID or DAG.
+	ErrInvalidJob = errors.New("service: invalid job")
+	// ErrDuplicateJob rejects admission: the job ID is already registered.
+	ErrDuplicateJob = errors.New("service: job already registered")
+	// ErrSessionLimit rejects admission: the registry is full.
+	ErrSessionLimit = errors.New("service: session limit reached")
+	// ErrUnknownJob reports an unregistered (or evicted) job ID.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrAwaitingMetrics reports a Recommend while the previous
+	// recommendation still awaits its measurement window.
+	ErrAwaitingMetrics = errors.New("service: awaiting metrics for the outstanding recommendation")
+	// ErrAwaitingRecommend reports an Observe with no outstanding
+	// recommendation.
+	ErrAwaitingRecommend = errors.New("service: no outstanding recommendation")
+	// ErrCompleted reports an Observe on a finished tuning process.
+	ErrCompleted = errors.New("service: tuning process already complete")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// LeaseTTL is how long a session may sit idle before EvictIdle
+	// removes it. Zero or negative disables idle eviction.
+	LeaseTTL time.Duration
+	// MaxSessions caps the registry size. Zero or negative means
+	// unlimited.
+	MaxSessions int
+	// Workers bounds the worker pool executing model refits and encoder
+	// inference; values below one use every CPU.
+	Workers int
+	// Clock supplies the current time for leases; nil uses time.Now.
+	// Tests and deterministic drivers inject a fake clock.
+	Clock func() time.Time
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config {
+	return Config{LeaseTTL: 30 * time.Minute, MaxSessions: 1024}
+}
+
+// sessionPhase is the protocol position of a session.
+type sessionPhase int
+
+const (
+	phaseBuilding  sessionPhase = iota // admission in progress; not addressable yet
+	phaseRecommend                     // next call must be Recommend
+	phaseObserve                       // next call must be Observe
+	phaseDone                          // tuning complete
+)
+
+func (p sessionPhase) String() string {
+	switch p {
+	case phaseBuilding:
+		return "building"
+	case phaseRecommend:
+		return "recommend"
+	case phaseObserve:
+		return "observe"
+	case phaseDone:
+		return "done"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// session is one registered job's tuning state. Its mutex serializes
+// the per-job protocol; distinct sessions proceed concurrently up to
+// the worker-pool bound.
+type session struct {
+	mu sync.Mutex
+
+	id          string
+	clusterID   int
+	clusterDist float64
+	graph       *dag.Graph
+	engCfg      engine.Config
+
+	tuner *streamtune.Tuner
+	proc  *streamtune.Process
+
+	phase   sessionPhase
+	history []Recommendation
+	lease   time.Time
+}
+
+// Recommendation is one recommend-step outcome, also the unit of the
+// per-session history.
+type Recommendation struct {
+	JobID     string `json:"job_id"`
+	Iteration int    `json:"iteration"`
+	// Parallelism is the per-operator assignment the client should run.
+	// On Done it is the final recommendation of the whole process.
+	Parallelism map[string]int `json:"parallelism,omitempty"`
+	// Deploy reports whether Parallelism differs from the client's
+	// current deployment and must be rolled out before measuring.
+	Deploy bool `json:"deploy"`
+	// Done reports process convergence; no further steps are needed.
+	Done bool `json:"done"`
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	ActiveSessions  int    `json:"active_sessions"`
+	Registered      uint64 `json:"registered"`
+	Rejected        uint64 `json:"rejected"`
+	Released        uint64 `json:"released"`
+	Evicted         uint64 `json:"evicted"`
+	Completed       uint64 `json:"completed"`
+	Recommendations uint64 `json:"recommendations"`
+	Observations    uint64 `json:"observations"`
+
+	// AdmissionCacheHits counts cluster assignments fully resolved from
+	// the shared fingerprint-keyed GED cache (no exact GED computed);
+	// AdmissionCacheMisses counts the rest. Their ratio is the
+	// shared-artifact hit rate of admission.
+	AdmissionCacheHits   uint64 `json:"admission_cache_hits"`
+	AdmissionCacheMisses uint64 `json:"admission_cache_misses"`
+	// EncoderWarmHits counts registrations assigned to a cluster whose
+	// encoder had already served an earlier session of this process —
+	// its compiled plans and structure caches are warm.
+	EncoderWarmHits uint64 `json:"encoder_warm_hits"`
+	// WorkersInFlight and WorkerCap describe the worker pool at the
+	// moment of the snapshot.
+	WorkersInFlight int `json:"workers_in_flight"`
+	WorkerCap       int `json:"worker_cap"`
+}
+
+// Service is the multi-tenant tuning service. Create with New; all
+// methods are safe for concurrent use.
+type Service struct {
+	cfg  Config
+	pt   *streamtune.PreTrained
+	pool *parallel.Limiter
+	// admission memoizes exact GED values across every admission; the
+	// corpus-scale observation (PR2) holds for tenants too: most jobs
+	// are structural clones of a few templates.
+	admission *ged.PairCache
+
+	mu           sync.Mutex
+	sessions     map[string]*session
+	warmClusters map[int]bool
+
+	registered      atomic.Uint64
+	rejected        atomic.Uint64
+	released        atomic.Uint64
+	evicted         atomic.Uint64
+	completed       atomic.Uint64
+	recommendations atomic.Uint64
+	observations    atomic.Uint64
+	admissionHits   atomic.Uint64
+	admissionMisses atomic.Uint64
+	encoderWarmHits atomic.Uint64
+}
+
+// New creates a service over a shared pre-training artifact.
+func New(pt *streamtune.PreTrained, cfg Config) (*Service, error) {
+	if pt == nil || len(pt.Encoders) == 0 {
+		return nil, fmt.Errorf("service: nil or empty PreTrained artifact")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Service{
+		cfg:          cfg,
+		pt:           pt,
+		pool:         parallel.NewLimiter(cfg.Workers),
+		admission:    ged.NewPairCache(),
+		sessions:     make(map[string]*session),
+		warmClusters: make(map[int]bool),
+	}, nil
+}
+
+// PreTrained returns the shared artifact the service serves.
+func (s *Service) PreTrained() *streamtune.PreTrained { return s.pt }
+
+// admit validates a registration request. It returns an error wrapping
+// ErrInvalidJob for malformed jobs so callers can classify rejects.
+func admit(id string, g *dag.Graph) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty job ID", ErrInvalidJob)
+	}
+	if g == nil || g.NumOperators() == 0 {
+		return fmt.Errorf("%w: empty DAG", ErrInvalidJob)
+	}
+	for _, op := range g.Operators() {
+		if op.Type < 0 || int(op.Type) >= dag.NumOpTypes() {
+			return fmt.Errorf("%w: operator %q has unknown type %d", ErrInvalidJob, op.ID, int(op.Type))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidJob, err)
+	}
+	return nil
+}
+
+// assignCluster resolves the nearest cluster through the shared GED
+// cache. Iteration order and tie-breaking match
+// PreTrained.AssignCluster exactly, so the result is always identical —
+// only the cost differs when the structure repeats. An admission
+// counts as a cache hit when every center distance this call looked up
+// was already cached.
+func (s *Service) assignCluster(g *dag.Graph) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	allCached := true
+	for c, center := range s.pt.Clusters.Centers {
+		d, ok := s.admission.Lookup(g, center)
+		if !ok {
+			allCached = false
+			d = s.admission.Distance(g, center)
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	if allCached {
+		s.admissionHits.Add(1)
+	} else {
+		s.admissionMisses.Add(1)
+	}
+	return best, bestD
+}
+
+// RegisterResult reports a successful admission.
+type RegisterResult struct {
+	JobID           string  `json:"job_id"`
+	ClusterID       int     `json:"cluster_id"`
+	ClusterDistance float64 `json:"cluster_distance"`
+	// WarmupSamples is the size of the fine-tuning dataset constructed
+	// at admission.
+	WarmupSamples int `json:"warmup_samples"`
+}
+
+// Register admits a job: validates the DAG, assigns it to its nearest
+// cluster via the shared GED cache, builds the warm-up fine-tuning
+// dataset from the cluster's history, and starts the tuning process.
+// The engine config describes the client's system (flavor, parallelism
+// ceiling, bottleneck thresholds); it is used for recommendations and
+// label harvesting, never to run anything service-side.
+func (s *Service) Register(id string, g *dag.Graph, engCfg engine.Config) (*RegisterResult, error) {
+	if err := admit(id, g); err != nil {
+		s.rejected.Add(1)
+		return nil, err
+	}
+
+	// Reserve the ID before the expensive tuner build so concurrent
+	// duplicate registrations fail fast instead of both building. The
+	// placeholder's phaseBuilding makes it invisible to every other
+	// entry point until the build commits.
+	sess := &session{id: id, phase: phaseBuilding}
+	s.mu.Lock()
+	if _, ok := s.sessions[id]; ok {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateJob, id)
+	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("%w (%d)", ErrSessionLimit, s.cfg.MaxSessions)
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+
+	g = g.Clone() // callers keep their copy; the session owns this one
+
+	err := s.pool.Do(func() error {
+		c, d := s.assignCluster(g)
+		tuner, err := streamtune.NewTunerForCluster(s.pt, g, c)
+		if err != nil {
+			return err
+		}
+		proc, err := tuner.Start(g, engCfg)
+		if err != nil {
+			return err
+		}
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		sess.clusterID = c
+		sess.clusterDist = d
+		sess.graph = g
+		sess.engCfg = engCfg
+		sess.tuner = tuner
+		sess.proc = proc
+		sess.phase = phaseRecommend
+		sess.lease = s.cfg.Clock()
+		return nil
+	})
+	if err != nil {
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("service: register %q: %w", id, err)
+	}
+
+	s.mu.Lock()
+	if s.warmClusters[sess.clusterID] {
+		s.encoderWarmHits.Add(1)
+	}
+	s.warmClusters[sess.clusterID] = true
+	s.mu.Unlock()
+
+	s.registered.Add(1)
+	return &RegisterResult{
+		JobID:           id,
+		ClusterID:       sess.clusterID,
+		ClusterDistance: sess.clusterDist,
+		WarmupSamples:   sess.tuner.TrainingSetSize(),
+	}, nil
+}
+
+// lookup fetches a session by ID. Lease renewal happens inside
+// Recommend/Observe, under the session lock — merely looking a session
+// up (e.g. polling GET /v1/jobs/{id}) does not keep it alive.
+func (s *Service) lookup(id string) (*session, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return sess, nil
+}
+
+// Recommend runs the next recommend step for the job: fit the
+// fine-tuned model to the session's training set and compute the
+// minimum non-bottleneck parallelism per operator. The client must
+// deploy the returned assignment when Deploy is true, measure one
+// window, and post it back via Observe. Once the process converges,
+// Recommend keeps returning the final recommendation with Done set.
+func (s *Service) Recommend(id string) (*Recommendation, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	var out *Recommendation
+	err = s.pool.Do(func() error {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		sess.lease = s.cfg.Clock()
+		switch sess.phase {
+		case phaseBuilding:
+			return fmt.Errorf("%w: %q still registering", ErrUnknownJob, id)
+		case phaseObserve:
+			return fmt.Errorf("%w: job %q iteration %d", ErrAwaitingMetrics, id, sess.proc.Iteration())
+		case phaseDone:
+			out = &Recommendation{
+				JobID:       id,
+				Iteration:   sess.proc.Iteration(),
+				Parallelism: sess.proc.Result().Parallelism,
+				Done:        true,
+			}
+			return nil
+		}
+		rec, deploy, done, err := sess.proc.Step()
+		if err != nil {
+			return err
+		}
+		if done {
+			sess.phase = phaseDone
+			s.completed.Add(1)
+			out = &Recommendation{
+				JobID:       id,
+				Iteration:   sess.proc.Iteration(),
+				Parallelism: sess.proc.Result().Parallelism,
+				Done:        true,
+			}
+		} else {
+			sess.phase = phaseObserve
+			out = &Recommendation{
+				JobID:       id,
+				Iteration:   sess.proc.Iteration(),
+				Parallelism: rec,
+				Deploy:      deploy,
+			}
+		}
+		sess.history = append(sess.history, *out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.recommendations.Add(1)
+	return out, nil
+}
+
+// Observe absorbs one measured window for the job's outstanding
+// recommendation: bottleneck labels are harvested into the session's
+// training set and the convergence checks run. It reports whether the
+// tuning process completed.
+func (s *Service) Observe(id string, m *engine.JobMetrics) (done bool, err error) {
+	if m == nil {
+		return false, fmt.Errorf("%w: nil metrics", ErrInvalidJob)
+	}
+	sess, err := s.lookup(id)
+	if err != nil {
+		return false, err
+	}
+	err = s.pool.Do(func() error {
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		sess.lease = s.cfg.Clock()
+		switch sess.phase {
+		case phaseBuilding:
+			return fmt.Errorf("%w: %q still registering", ErrUnknownJob, id)
+		case phaseRecommend:
+			return fmt.Errorf("%w: job %q", ErrAwaitingRecommend, id)
+		case phaseDone:
+			return fmt.Errorf("%w: job %q", ErrCompleted, id)
+		}
+		var stepErr error
+		done, stepErr = sess.proc.Observe(m)
+		if stepErr != nil {
+			return stepErr
+		}
+		if done {
+			sess.phase = phaseDone
+			s.completed.Add(1)
+		} else {
+			sess.phase = phaseRecommend
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	s.observations.Add(1)
+	return done, nil
+}
+
+// SessionInfo is a point-in-time view of one session.
+type SessionInfo struct {
+	JobID           string           `json:"job_id"`
+	Operators       int              `json:"operators"`
+	EngineFlavor    string           `json:"engine_flavor"`
+	ClusterID       int              `json:"cluster_id"`
+	ClusterDistance float64          `json:"cluster_distance"`
+	Phase           string           `json:"phase"`
+	Iteration       int              `json:"iteration"`
+	Done            bool             `json:"done"`
+	TrainingSamples int              `json:"training_samples"`
+	LeaseExpires    time.Time        `json:"lease_expires"`
+	Parallelism     map[string]int   `json:"parallelism,omitempty"`
+	History         []Recommendation `json:"history,omitempty"`
+}
+
+// Session returns the current view of a registered job.
+func (s *Service) Session(id string) (*SessionInfo, error) {
+	sess, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.phase == phaseBuilding {
+		return nil, fmt.Errorf("%w: %q still registering", ErrUnknownJob, id)
+	}
+	info := &SessionInfo{
+		JobID:           sess.id,
+		Operators:       sess.graph.NumOperators(),
+		EngineFlavor:    sess.engCfg.Flavor.String(),
+		ClusterID:       sess.clusterID,
+		ClusterDistance: sess.clusterDist,
+		Phase:           sess.phase.String(),
+		Iteration:       sess.proc.Iteration(),
+		Done:            sess.phase == phaseDone,
+		TrainingSamples: sess.tuner.TrainingSetSize(),
+		History:         append([]Recommendation(nil), sess.history...),
+	}
+	if s.cfg.LeaseTTL > 0 {
+		info.LeaseExpires = sess.lease.Add(s.cfg.LeaseTTL)
+	}
+	if sess.phase == phaseDone {
+		info.Parallelism = sess.proc.Result().Parallelism
+	} else {
+		info.Parallelism = sess.proc.Recommendation()
+	}
+	return info, nil
+}
+
+// Release removes a job's session explicitly. A session still inside
+// admission is not releasable — removing it would orphan the build in
+// flight — and reads as not-yet-registered, like every other entry
+// point.
+func (s *Service) Release(id string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		sess.mu.Lock()
+		if sess.phase == phaseBuilding {
+			ok = false
+		} else {
+			delete(s.sessions, id)
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	s.released.Add(1)
+	return nil
+}
+
+// EvictIdle removes every session whose lease expired and reports how
+// many were evicted. A server typically calls it from a janitor ticker.
+func (s *Service) EvictIdle() int {
+	if s.cfg.LeaseTTL <= 0 {
+		return 0
+	}
+	deadline := s.cfg.Clock().Add(-s.cfg.LeaseTTL)
+	var victims []string
+	s.mu.Lock()
+	for id, sess := range s.sessions {
+		sess.mu.Lock()
+		idle := sess.phase != phaseBuilding && sess.lease.Before(deadline)
+		sess.mu.Unlock()
+		if idle {
+			victims = append(victims, id)
+		}
+	}
+	for _, id := range victims {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	s.evicted.Add(uint64(len(victims)))
+	return len(victims)
+}
+
+// JobIDs returns the registered job IDs in sorted order.
+func (s *Service) JobIDs() []string {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{
+		ActiveSessions:       active,
+		Registered:           s.registered.Load(),
+		Rejected:             s.rejected.Load(),
+		Released:             s.released.Load(),
+		Evicted:              s.evicted.Load(),
+		Completed:            s.completed.Load(),
+		Recommendations:      s.recommendations.Load(),
+		Observations:         s.observations.Load(),
+		AdmissionCacheHits:   s.admissionHits.Load(),
+		AdmissionCacheMisses: s.admissionMisses.Load(),
+		EncoderWarmHits:      s.encoderWarmHits.Load(),
+		WorkersInFlight:      s.pool.InFlight(),
+		WorkerCap:            s.pool.Cap(),
+	}
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// snapshotVersion guards the wire format of service snapshots.
+const snapshotVersion = 1
+
+// ServiceSnapshot is the serialized session registry: everything needed
+// to resume every in-flight tuning session on a fresh service holding
+// the same PreTrained artifact. Counters are intentionally excluded —
+// a restarted service starts its statistics over.
+type ServiceSnapshot struct {
+	Version  int               `json:"version"`
+	Sessions []SessionSnapshot `json:"sessions"`
+}
+
+// SessionSnapshot is one serialized session.
+type SessionSnapshot struct {
+	JobID           string                   `json:"job_id"`
+	ClusterDistance float64                  `json:"cluster_distance"`
+	Phase           string                   `json:"phase"`
+	Lease           time.Time                `json:"lease"`
+	History         []Recommendation         `json:"history,omitempty"`
+	Tuner           *streamtune.TunerState   `json:"tuner"`
+	Process         *streamtune.ProcessState `json:"process"`
+}
+
+// Snapshot serializes every session (in sorted job-ID order, so equal
+// registries produce equal bytes) to JSON.
+func (s *Service) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
+	snap := ServiceSnapshot{Version: snapshotVersion}
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.phase == phaseBuilding {
+			sess.mu.Unlock()
+			continue // mid-admission; the client will retry registration
+		}
+		snap.Sessions = append(snap.Sessions, SessionSnapshot{
+			JobID:           sess.id,
+			ClusterDistance: sess.clusterDist,
+			Phase:           sess.phase.String(),
+			Lease:           sess.lease,
+			History:         append([]Recommendation(nil), sess.history...),
+			Tuner:           sess.tuner.State(),
+			Process:         sess.proc.State(),
+		})
+		sess.mu.Unlock()
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// parsePhase maps a serialized phase name back to its protocol state.
+func parsePhase(name string) (sessionPhase, error) {
+	switch name {
+	case "recommend":
+		return phaseRecommend, nil
+	case "observe":
+		return phaseObserve, nil
+	case "done":
+		return phaseDone, nil
+	}
+	return 0, fmt.Errorf("service: snapshot has unknown phase %q", name)
+}
+
+// Restore creates a service from a snapshot taken by Snapshot against
+// the same PreTrained artifact. Every session resumes exactly where it
+// stopped: the fine-tuning training sets, cluster assignments, and
+// in-flight loop state are restored verbatim, so subsequent
+// recommendations are bit-identical to an uninterrupted run.
+func Restore(pt *streamtune.PreTrained, cfg Config, data []byte) (*Service, error) {
+	var snap ServiceSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("service: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("service: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	s, err := New(pt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, ss := range snap.Sessions {
+		phase, err := parsePhase(ss.Phase)
+		if err != nil {
+			return nil, fmt.Errorf("service: job %q: %w", ss.JobID, err)
+		}
+		tuner, err := streamtune.RestoreTuner(pt, ss.Tuner)
+		if err != nil {
+			return nil, fmt.Errorf("service: restore tuner %q: %w", ss.JobID, err)
+		}
+		proc, err := tuner.Resume(ss.Process)
+		if err != nil {
+			return nil, fmt.Errorf("service: resume process %q: %w", ss.JobID, err)
+		}
+		if _, ok := s.sessions[ss.JobID]; ok {
+			return nil, fmt.Errorf("service: snapshot repeats job %q", ss.JobID)
+		}
+		s.sessions[ss.JobID] = &session{
+			id:          ss.JobID,
+			clusterID:   ss.Tuner.ClusterID,
+			clusterDist: ss.ClusterDistance,
+			graph:       ss.Process.Graph,
+			engCfg:      ss.Process.Engine,
+			tuner:       tuner,
+			proc:        proc,
+			phase:       phase,
+			history:     append([]Recommendation(nil), ss.History...),
+			lease:       ss.Lease,
+		}
+		s.warmClusters[ss.Tuner.ClusterID] = true
+	}
+	return s, nil
+}

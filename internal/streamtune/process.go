@@ -1,0 +1,202 @@
+package streamtune
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/bottleneck"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/mono"
+)
+
+// Process is one online tuning process (Algorithm 2) decomposed into
+// explicit recommend/observe steps, so a caller that owns the engine —
+// a remote client of the tuning service, or Tune itself — can interleave
+// deployments and measurements with the model updates. The sequence
+//
+//	p, _ := t.Start(g, cfg)
+//	for {
+//		rec, deploy, done, _ := p.Step()
+//		if done { break }
+//		if deploy { /* deploy rec, wait StabilizeWait */ }
+//		m := /* measure one window */
+//		if done, _ := p.Observe(m); done { break }
+//	}
+//
+// performs exactly the fits, recommendations, and training-set updates
+// of Tune, so recommendations are bit-identical to a Tune run against
+// the same system.
+type Process struct {
+	t    *Tuner
+	g    *dag.Graph
+	cfg  engine.Config
+	embs [][]float64
+	topo []int
+
+	cur   map[string]int
+	lower map[string]int // per operator: 1 + highest parallelism observed to bottleneck
+	bp    bool           // last window showed job-level backpressure
+	iter  int            // completed recommend/observe rounds
+	done  bool
+	res   *Result
+}
+
+// Start begins a tuning process for the target graph on a system with
+// the given engine configuration: it opens one inference session (the
+// embeddings reflect the graph's current source rates), and refreshes
+// the head-distilled view of the target before the first fit.
+func (t *Tuner) Start(g *dag.Graph, cfg engine.Config) (*Process, error) {
+	sess, err := t.enc.NewInferSession(g)
+	if err != nil {
+		return nil, fmt.Errorf("streamtune: embed target: %w", err)
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.distill(sess, g); err != nil {
+		return nil, err
+	}
+	return &Process{
+		t:     t,
+		g:     g,
+		cfg:   cfg,
+		embs:  sess.Embeddings(),
+		topo:  topo,
+		lower: make(map[string]int, g.NumOperators()),
+		bp:    true,
+		res:   &Result{},
+	}, nil
+}
+
+// Step fits the monotonic model to the current training set and computes
+// the next per-operator recommendation in topological order. When deploy
+// is true the recommendation differs from the current deployment and the
+// caller must deploy it (and wait StabilizeWait) before measuring; when
+// false the current deployment stands and the caller only measures.
+// After done is returned true the process is complete and Result holds
+// the final recommendation.
+func (p *Process) Step() (rec map[string]int, deploy, done bool, err error) {
+	if p.done {
+		return nil, false, true, nil
+	}
+	if p.iter >= p.t.cfg.MaxIterations {
+		p.finish()
+		return nil, false, true, nil
+	}
+	fitStart := time.Now()
+	if err := p.t.model.Fit(p.t.train); err != nil {
+		return nil, false, false, fmt.Errorf("streamtune: fit %s: %w", p.t.model.Name(), err)
+	}
+	rec = make(map[string]int, p.g.NumOperators())
+	for _, i := range p.topo {
+		op := p.g.OperatorAt(i)
+		pr := mono.MinNonBottleneck(p.t.model, p.embs[i], p.cfg.MaxParallelism, p.t.cfg.Threshold)
+		if lb := p.lower[op.ID]; pr < lb {
+			pr = lb
+		}
+		if pr > p.cfg.MaxParallelism {
+			pr = p.cfg.MaxParallelism // physical ceiling; stay saturated
+		}
+		rec[op.ID] = pr
+	}
+	p.res.RecommendTime += time.Since(fitStart)
+	p.res.Iterations++
+
+	if p.cur != nil && !p.bp && withinBand(rec, p.cur, p.t.cfg.StabilityBand) {
+		p.finish() // Algorithm 2's fixed point: stable and backpressure-free.
+		return nil, false, true, nil
+	}
+	deploy = p.cur == nil || !equal(rec, p.cur)
+	if deploy {
+		p.res.Reconfigurations++
+		p.cur = rec
+		p.res.TuningTime += p.t.cfg.StabilizeWait
+	}
+	return p.cur, deploy, false, nil
+}
+
+// Observe absorbs one measurement window taken under the last Step's
+// recommendation: it harvests bottleneck labels into the training set
+// (Algorithm 2, lines 10-11), tightens the known-bad lower bounds, and
+// reports whether the process converged.
+func (p *Process) Observe(m *engine.JobMetrics) (done bool, err error) {
+	if p.done {
+		return true, nil
+	}
+	if p.cur == nil {
+		return false, fmt.Errorf("streamtune: Observe before first recommendation")
+	}
+	p.res.TuningTime += m.Window
+	p.res.CPUTrace = append(p.res.CPUTrace, m.AvgCPUUtil)
+	p.res.Final = m
+	p.bp = m.Backpressured
+	if p.bp {
+		p.res.BackpressureEvents++
+	}
+
+	labels, err := bottleneck.ForFlavor(p.g, m, p.cfg)
+	if err != nil {
+		return false, err
+	}
+	t := p.t
+	w := t.cfg.FeedbackWeight
+	if w < 1 {
+		w = 1
+	}
+	for i, op := range p.g.Operators() {
+		if labels[i] < 0 {
+			continue
+		}
+		pd := p.cur[op.ID]
+		sample := mono.Sample{Embedding: p.embs[i], Parallelism: pd, Label: labels[i]}
+		for k := 0; k < w; k++ {
+			t.train = append(t.train, sample)
+		}
+		// Monotonicity-implied augmentation: a bottleneck at p is a
+		// bottleneck at p-1; a non-bottleneck at p stays one at p+1.
+		if labels[i] == 1 {
+			if pd+1 > p.lower[op.ID] {
+				p.lower[op.ID] = pd + 1
+			}
+			if pd > 1 {
+				t.train = append(t.train, mono.Sample{Embedding: p.embs[i], Parallelism: pd - 1, Label: 1})
+			}
+		} else if pd < p.cfg.MaxParallelism {
+			t.train = append(t.train, mono.Sample{Embedding: p.embs[i], Parallelism: pd + 1, Label: 0})
+		}
+	}
+	t.trim()
+	p.iter++
+	if !p.bp && equalRecommendation(t, p.embs, p.topo, p.g, p.cfg, p.cur, p.lower) {
+		p.finish()
+		return true, nil
+	}
+	if p.iter >= t.cfg.MaxIterations {
+		p.finish()
+		return true, nil
+	}
+	return false, nil
+}
+
+// finish seals the process and records the final recommendation.
+func (p *Process) finish() {
+	p.done = true
+	p.res.Parallelism = p.cur
+}
+
+// Done reports whether the process has converged or exhausted its
+// iteration budget.
+func (p *Process) Done() bool { return p.done }
+
+// Iteration reports the number of completed recommend/observe rounds.
+func (p *Process) Iteration() int { return p.iter }
+
+// Recommendation returns the currently deployed recommendation (nil
+// before the first Step).
+func (p *Process) Recommendation() map[string]int { return p.cur }
+
+// Result returns the accumulated tuning summary. It is complete once
+// Done reports true; before that, Parallelism is unset.
+func (p *Process) Result() *Result { return p.res }

@@ -1,0 +1,224 @@
+package streamtune
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// targetEngine builds a fresh engine for the Q5 target at a fixed
+// offered rate; every caller sees an identical simulation.
+func targetEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	g, err := nexmark.Build(nexmark.Q5, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ScaleSourceRates(6)
+	cfg := engine.DefaultConfig(engine.Flink)
+	cfg.MeasureTicks = 40
+	eng, err := engine.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// driveProcess runs one tuning process step by step against the engine,
+// exactly as the tuning service drives remote jobs.
+func driveProcess(t *testing.T, tuner *Tuner, eng *engine.Engine) *Result {
+	t.Helper()
+	p, err := tuner.Start(eng.Graph(), eng.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, deploy, done, err := p.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if deploy {
+			if err := eng.Deploy(rec); err != nil {
+				t.Fatal(err)
+			}
+			eng.Stabilize(tuner.cfg.StabilizeWait)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err = p.Observe(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	return p.Result()
+}
+
+// TestProcessMatchesTune asserts the step-wise Process produces exactly
+// the recommendations and bookkeeping of the monolithic Tune loop.
+func TestProcessMatchesTune(t *testing.T) {
+	pt := sharedPreTrained(t)
+
+	tunerA, err := NewTuner(pt, targetEngine(t).Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tunerA.Tune(targetEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tunerB, err := NewTuner(pt, targetEngine(t).Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveProcess(t, tunerB, targetEngine(t))
+
+	if !reflect.DeepEqual(got.Parallelism, want.Parallelism) {
+		t.Errorf("recommendation diverged:\n got %v\nwant %v", got.Parallelism, want.Parallelism)
+	}
+	if got.Reconfigurations != want.Reconfigurations {
+		t.Errorf("reconfigurations = %d, want %d", got.Reconfigurations, want.Reconfigurations)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("iterations = %d, want %d", got.Iterations, want.Iterations)
+	}
+	if got.BackpressureEvents != want.BackpressureEvents {
+		t.Errorf("backpressure events = %d, want %d", got.BackpressureEvents, want.BackpressureEvents)
+	}
+	if !reflect.DeepEqual(got.CPUTrace, want.CPUTrace) {
+		t.Errorf("cpu trace diverged:\n got %v\nwant %v", got.CPUTrace, want.CPUTrace)
+	}
+	if len(tunerB.train) != len(tunerA.train) {
+		t.Errorf("training set size = %d, want %d", len(tunerB.train), len(tunerA.train))
+	}
+}
+
+// TestProcessSnapshotResume snapshots a tuner and its in-flight process
+// after every observe round, restores both through a JSON round-trip,
+// and asserts the resumed run finishes bit-identically to the
+// uninterrupted one.
+func TestProcessSnapshotResume(t *testing.T) {
+	pt := sharedPreTrained(t)
+
+	ref, err := NewTuner(pt, targetEngine(t).Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveProcess(t, ref, targetEngine(t))
+
+	// Interrupted run: stop after `cut` observe rounds, snapshot, restore
+	// from JSON, and finish on the restored state. The engine is owned by
+	// the client in the service architecture, so it survives the restart.
+	for cut := 1; cut <= 2; cut++ {
+		tuner, err := NewTuner(pt, targetEngine(t).Graph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := targetEngine(t)
+		p, err := tuner.Start(eng.Graph(), eng.Config())
+		if err != nil {
+			t.Fatal(err)
+		}
+		finished := false
+		for round := 0; round < cut; round++ {
+			rec, deploy, done, err := p.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				finished = true
+				break
+			}
+			if deploy {
+				if err := eng.Deploy(rec); err != nil {
+					t.Fatal(err)
+				}
+				eng.Stabilize(tuner.cfg.StabilizeWait)
+			}
+			m, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done, err = p.Observe(m); err != nil {
+				t.Fatal(err)
+			} else if done {
+				finished = true
+				break
+			}
+		}
+
+		// Snapshot both layers through JSON, as the service does.
+		tjson, err := json.Marshal(tuner.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pjson, err := json.Marshal(p.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tst TunerState
+		if err := json.Unmarshal(tjson, &tst); err != nil {
+			t.Fatal(err)
+		}
+		var pst ProcessState
+		if err := json.Unmarshal(pjson, &pst); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RestoreTuner(pt, &tst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := restored.Resume(&pst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Done() != finished {
+			t.Fatalf("cut=%d: resumed done=%v, want %v", cut, rp.Done(), finished)
+		}
+		for !rp.Done() {
+			rec, deploy, done, err := rp.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+			if deploy {
+				if err := eng.Deploy(rec); err != nil {
+					t.Fatal(err)
+				}
+				eng.Stabilize(restored.cfg.StabilizeWait)
+			}
+			m, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done, err = rp.Observe(m); err != nil {
+				t.Fatal(err)
+			} else if done {
+				break
+			}
+		}
+		got := rp.Result()
+		if !reflect.DeepEqual(got.Parallelism, want.Parallelism) {
+			t.Errorf("cut=%d: resumed recommendation diverged:\n got %v\nwant %v", cut, got.Parallelism, want.Parallelism)
+		}
+		if got.Iterations != want.Iterations {
+			t.Errorf("cut=%d: resumed iterations = %d, want %d", cut, got.Iterations, want.Iterations)
+		}
+		if got.Reconfigurations != want.Reconfigurations {
+			t.Errorf("cut=%d: resumed reconfigurations = %d, want %d", cut, got.Reconfigurations, want.Reconfigurations)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package streamtune
+
+import (
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/mono"
+)
+
+// TunerState is the serializable state of a Tuner: everything that is
+// not derivable from the shared PreTrained artifact. The fine-tuned
+// prediction model is deliberately excluded — it is refit from scratch
+// on every Step, so restoring the training set restores the model's
+// behavior bit for bit.
+type TunerState struct {
+	ClusterID int           `json:"cluster_id"`
+	Train     []TrainSample `json:"train"`
+}
+
+// TrainSample is one serialized fine-tuning sample.
+type TrainSample struct {
+	Embedding   []float64 `json:"embedding"`
+	Parallelism int       `json:"parallelism"`
+	Label       int       `json:"label"`
+}
+
+// State snapshots the tuner for later RestoreTuner against the same
+// PreTrained artifact.
+func (t *Tuner) State() *TunerState {
+	st := &TunerState{ClusterID: t.clusterID, Train: make([]TrainSample, len(t.train))}
+	for i, s := range t.train {
+		st.Train[i] = TrainSample{
+			Embedding:   append([]float64(nil), s.Embedding...),
+			Parallelism: s.Parallelism,
+			Label:       s.Label,
+		}
+	}
+	return st
+}
+
+// RestoreTuner reconstructs a Tuner from a snapshot taken with State.
+// The PreTrained artifact must be the one the original tuner was built
+// from (same clustering, same encoder weights, same Config); under that
+// condition the restored tuner's recommendations are bit-identical to
+// the original's, because the prediction model is deterministic in
+// (Config, training set) and the training set is restored verbatim.
+func RestoreTuner(pt *PreTrained, st *TunerState) (*Tuner, error) {
+	if st == nil {
+		return nil, fmt.Errorf("streamtune: nil tuner state")
+	}
+	if st.ClusterID < 0 || st.ClusterID >= len(pt.Encoders) {
+		return nil, fmt.Errorf("streamtune: snapshot cluster %d outside [0, %d)", st.ClusterID, len(pt.Encoders))
+	}
+	model, err := mono.New(pt.Config.Model, pt.Config.GNN.PMax, pt.Config.ModelSeed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tuner{
+		cfg:       pt.Config,
+		enc:       pt.Encoder(st.ClusterID),
+		clusterID: st.ClusterID,
+		model:     model,
+		train:     make([]mono.Sample, len(st.Train)),
+	}
+	for i, s := range st.Train {
+		t.train[i] = mono.Sample{
+			Embedding:   append([]float64(nil), s.Embedding...),
+			Parallelism: s.Parallelism,
+			Label:       s.Label,
+		}
+	}
+	return t, nil
+}
+
+// ProcessState is the serializable state of an in-flight Process. The
+// inference session, embeddings, and topological order are recomputed
+// from the graph on resume — they are pure functions of (graph, encoder
+// weights) — so only the loop state crosses the snapshot.
+type ProcessState struct {
+	Graph         *dag.Graph     `json:"graph"`
+	Engine        engine.Config  `json:"engine_config"`
+	Current       map[string]int `json:"current,omitempty"`
+	LowerBounds   map[string]int `json:"lower_bounds,omitempty"`
+	Backpressured bool           `json:"backpressured"`
+	Iterations    int            `json:"iterations_done"`
+	Done          bool           `json:"done"`
+	Result        *Result        `json:"result"`
+}
+
+// State snapshots the process for later Tuner.Resume.
+func (p *Process) State() *ProcessState {
+	res := *p.res
+	res.Parallelism = copyAssignment(p.res.Parallelism)
+	res.CPUTrace = append([]float64(nil), p.res.CPUTrace...)
+	return &ProcessState{
+		Graph:         p.g.Clone(),
+		Engine:        p.cfg,
+		Current:       copyAssignment(p.cur),
+		LowerBounds:   copyAssignment(p.lower),
+		Backpressured: p.bp,
+		Iterations:    p.iter,
+		Done:          p.done,
+		Result:        &res,
+	}
+}
+
+// Resume reconstructs an in-flight Process from a snapshot taken with
+// State, on a tuner restored from the matching TunerState. Unlike
+// Start, it performs no distillation — the snapshot's training set
+// already contains those samples.
+func (t *Tuner) Resume(st *ProcessState) (*Process, error) {
+	if st == nil || st.Graph == nil {
+		return nil, fmt.Errorf("streamtune: nil process state")
+	}
+	g := st.Graph.Clone()
+	sess, err := t.enc.NewInferSession(g)
+	if err != nil {
+		return nil, fmt.Errorf("streamtune: embed target: %w", err)
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if st.Result != nil {
+		*res = *st.Result
+		res.CPUTrace = append([]float64(nil), st.Result.CPUTrace...)
+	}
+	p := &Process{
+		t:     t,
+		g:     g,
+		cfg:   st.Engine,
+		embs:  sess.Embeddings(),
+		topo:  topo,
+		cur:   copyAssignment(st.Current),
+		lower: copyAssignment(st.LowerBounds),
+		bp:    st.Backpressured,
+		iter:  st.Iterations,
+		done:  st.Done,
+		res:   res,
+	}
+	if p.lower == nil {
+		p.lower = make(map[string]int, g.NumOperators())
+	}
+	if p.done {
+		p.res.Parallelism = p.cur
+	}
+	return p, nil
+}
+
+// copyAssignment deep-copies a per-operator assignment (nil stays nil).
+func copyAssignment(m map[string]int) map[string]int {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

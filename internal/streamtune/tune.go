@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/streamtune/streamtune/internal/bottleneck"
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/gnn"
@@ -43,6 +42,20 @@ func NewTuner(pt *PreTrained, g *dag.Graph) (*Tuner, error) {
 		return nil, fmt.Errorf("streamtune: target job: %w", err)
 	}
 	c, _ := pt.AssignCluster(g)
+	return NewTunerForCluster(pt, g, c)
+}
+
+// NewTunerForCluster is NewTuner with the cluster assignment already
+// decided — the tuning service resolves assignments through its shared
+// fingerprint-keyed GED cache and hands the result in. The assignment
+// must come from the same clustering (distances are pure functions of
+// the structures, so a cached assignment is always identical to
+// pt.AssignCluster's). The graph must already be validated; both
+// callers (NewTuner, service admission) have done so.
+func NewTunerForCluster(pt *PreTrained, g *dag.Graph, c int) (*Tuner, error) {
+	if c < 0 || c >= len(pt.Encoders) {
+		return nil, fmt.Errorf("streamtune: cluster %d outside [0, %d)", c, len(pt.Encoders))
+	}
 	model, err := mono.New(pt.Config.Model, pt.Config.GNN.PMax, pt.Config.ModelSeed)
 	if err != nil {
 		return nil, err
@@ -259,120 +272,41 @@ func (r *Result) TotalParallelism() int {
 // Tune executes Algorithm 2 against the system: fit the monotonic model
 // to T, recommend the minimum non-bottleneck parallelism per operator in
 // topological order, redeploy, harvest bottleneck labels, and iterate
-// until backpressure-free and stable.
+// until backpressure-free and stable. It is a thin driver over the
+// step-wise Process, so results are identical to driving Start / Step /
+// Observe by hand (as the tuning service does).
 func (t *Tuner) Tune(sys System) (*Result, error) {
-	g := sys.Graph()
-	cfg := sys.Config()
-	res := &Result{}
-
-	// One inference session serves both the parallelism-agnostic
-	// embeddings (which reflect the current source rates) and the
-	// distillation grid below.
-	sess, err := t.enc.NewInferSession(g)
-	if err != nil {
-		return nil, fmt.Errorf("streamtune: embed target: %w", err)
-	}
-	embs := sess.Embeddings()
-	topo, err := g.TopoOrder()
+	p, err := t.Start(sys.Graph(), sys.Config())
 	if err != nil {
 		return nil, err
 	}
-	// Refresh the head-distilled view of the target at its current rates
-	// before fitting.
-	if err := t.distill(sess, g); err != nil {
-		return nil, err
-	}
-
-	var cur map[string]int
-	// lower holds, per operator, one more than the highest parallelism
-	// observed to bottleneck at the current source rates. By the
-	// monotonic system behavior, recommendations below it are known bad;
-	// clamping prevents the fit/observe loop from re-trying them.
-	lower := make(map[string]int, g.NumOperators())
-	backpressured := true
-	for iter := 0; iter < t.cfg.MaxIterations; iter++ {
-		fitStart := time.Now()
-		if err := t.model.Fit(t.train); err != nil {
-			return nil, fmt.Errorf("streamtune: fit %s: %w", t.model.Name(), err)
+	for {
+		rec, deploy, done, err := p.Step()
+		if err != nil {
+			return nil, err
 		}
-		rec := make(map[string]int, g.NumOperators())
-		for _, i := range topo {
-			op := g.OperatorAt(i)
-			p := mono.MinNonBottleneck(t.model, embs[i], cfg.MaxParallelism, t.cfg.Threshold)
-			if lb := lower[op.ID]; p < lb {
-				p = lb
-			}
-			if p > cfg.MaxParallelism {
-				p = cfg.MaxParallelism // physical ceiling; stay saturated
-			}
-			rec[op.ID] = p
+		if done {
+			break
 		}
-		res.RecommendTime += time.Since(fitStart)
-		res.Iterations++
-
-		if cur != nil && !backpressured && withinBand(rec, cur, t.cfg.StabilityBand) {
-			break // Algorithm 2's fixed point: stable and backpressure-free.
-		}
-		if cur == nil || !equal(rec, cur) {
+		if deploy {
 			if err := sys.Deploy(rec); err != nil {
 				return nil, fmt.Errorf("streamtune: deploy: %w", err)
 			}
-			res.Reconfigurations++
-			cur = rec
 			sys.Stabilize(t.cfg.StabilizeWait)
-			res.TuningTime += t.cfg.StabilizeWait
 		}
-
 		m, err := sys.Run()
 		if err != nil {
 			return nil, fmt.Errorf("streamtune: measure: %w", err)
 		}
-		res.TuningTime += m.Window
-		res.CPUTrace = append(res.CPUTrace, m.AvgCPUUtil)
-		res.Final = m
-		backpressured = m.Backpressured
-		if backpressured {
-			res.BackpressureEvents++
-		}
-
-		// Harvest runtime feedback into T (Algorithm 2, lines 10-11).
-		labels, err := bottleneck.ForFlavor(g, m, cfg)
+		done, err = p.Observe(m)
 		if err != nil {
 			return nil, err
 		}
-		w := t.cfg.FeedbackWeight
-		if w < 1 {
-			w = 1
-		}
-		for i, op := range g.Operators() {
-			if labels[i] < 0 {
-				continue
-			}
-			p := cur[op.ID]
-			sample := mono.Sample{Embedding: embs[i], Parallelism: p, Label: labels[i]}
-			for k := 0; k < w; k++ {
-				t.train = append(t.train, sample)
-			}
-			// Monotonicity-implied augmentation: a bottleneck at p is a
-			// bottleneck at p-1; a non-bottleneck at p stays one at p+1.
-			if labels[i] == 1 {
-				if p+1 > lower[op.ID] {
-					lower[op.ID] = p + 1
-				}
-				if p > 1 {
-					t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: p - 1, Label: 1})
-				}
-			} else if p < cfg.MaxParallelism {
-				t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: p + 1, Label: 0})
-			}
-		}
-		t.trim()
-		if !backpressured && equalRecommendation(t, embs, topo, g, cfg, cur, lower) {
+		if done {
 			break
 		}
 	}
-	res.Parallelism = cur
-	return res, nil
+	return p.Result(), nil
 }
 
 // equalRecommendation refits and checks whether the recommendation is
