@@ -76,7 +76,7 @@ func main() {
 	gedBenchOut := flag.String("ged-bench-out", "BENCH_ged.json", "ged-bench report path (empty to disable)")
 	nnBenchOut := flag.String("nn-bench-out", "BENCH_nn.json", "nn-bench report path (empty to disable)")
 	serviceBenchOut := flag.String("service-bench-out", "BENCH_service.json", "service-bench report path (empty to disable)")
-	serviceJobs := flag.Int("service-jobs", 0, "service-bench concurrent jobs (0 = 16, or 8 with -quick)")
+	serviceJobs := flag.Int("service-jobs", 0, "service-bench concurrent jobs (0 = 16)")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -92,12 +92,12 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 		DriverSeconds: make(map[string]float64),
 	}
+	// 16 jobs over the 8 Flink workloads puts two structural clones on
+	// every fingerprint, so the batched pass exercises real coalescing
+	// (occupancy > 1) even in the -quick CI smoke run.
 	jobs := *serviceJobs
 	if jobs <= 0 {
 		jobs = 16
-		if *quick {
-			jobs = 8
-		}
 	}
 
 	start := time.Now()

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -224,6 +225,8 @@ func cmdServe(args []string) error {
 	lease := fs.Duration("lease", 30*time.Minute, "session idle lease TTL (0 disables eviction)")
 	maxSessions := fs.Int("max-sessions", 1024, "session registry cap (0 = unlimited)")
 	evictEvery := fs.Duration("evict-every", time.Minute, "idle-eviction janitor period")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "cross-tenant inference batching deadline (0 disables batching)")
+	maxBatch := fs.Int("max-batch", 8, "max sessions coalesced into one inference batch")
 	snapshot := fs.String("snapshot", "", "snapshot path: restored at startup when present, written on shutdown")
 	fs.Parse(args)
 
@@ -239,7 +242,13 @@ func cmdServe(args []string) error {
 	}
 	log.Printf("pre-trained %d cluster encoder(s) in %v", len(pt.Encoders), pt.TrainTime.Round(time.Millisecond))
 
-	cfg := service.Config{LeaseTTL: *lease, MaxSessions: *maxSessions, Workers: *workers}
+	cfg := service.Config{
+		LeaseTTL:    *lease,
+		MaxSessions: *maxSessions,
+		Workers:     *workers,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+	}
 	var svc *service.Service
 	if *snapshot != "" {
 		if data, rerr := os.ReadFile(*snapshot); rerr == nil {
@@ -259,10 +268,24 @@ func cmdServe(args []string) error {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Slow-client protection: a tenant that stalls mid-headers or
+		// mid-body must not pin a connection forever. Writes get more
+		// room than reads — the snapshot endpoint streams the full
+		// session registry.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	stop := make(chan struct{})
+	var janitor sync.WaitGroup
 	if *lease > 0 && *evictEvery > 0 {
+		janitor.Add(1)
 		go func() {
+			defer janitor.Done()
 			tick := time.NewTicker(*evictEvery)
 			defer tick.Stop()
 			for {
@@ -284,10 +307,17 @@ func cmdServe(args []string) error {
 	go func() {
 		<-sig
 		log.Printf("shutting down...")
+		// Ordering matters for snapshot integrity: stop and join the
+		// janitor so no eviction races the snapshot, drain in-flight
+		// HTTP requests, then close the service (completing any
+		// batcher waiters through the single-graph fallback) before
+		// serializing the registry.
 		close(stop)
+		janitor.Wait()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := srv.Shutdown(ctx)
+		svc.Close()
 		if *snapshot != "" {
 			if data, serr := svc.Snapshot(); serr != nil {
 				log.Printf("snapshot: %v", serr)

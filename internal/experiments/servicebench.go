@@ -54,6 +54,23 @@ type ServiceBenchReport struct {
 	// reproduced every final recommendation.
 	SnapshotBytes    int  `json:"snapshot_bytes"`
 	SnapshotRestored bool `json:"snapshot_restored"`
+
+	// Batched: the same concurrent load with the cross-tenant inference
+	// micro-batcher enabled (the serving default). Recommendations must
+	// again match the sequential references bit for bit — batching is a
+	// scheduling change, never a numeric one.
+	BatchWindowMs         float64 `json:"batch_window_ms"`
+	BatchedServiceSeconds float64 `json:"batched_service_seconds"`
+	// BatchedSpeedup compares against the same sequential reference.
+	BatchedSpeedup        float64 `json:"batched_speedup"`
+	BatchedBitIdentical   bool    `json:"batched_bit_identical"`
+	BatchedRecommendP50Ms float64 `json:"batched_recommend_p50_ms"`
+	BatchedRecommendP99Ms float64 `json:"batched_recommend_p99_ms"`
+	// BatchFlushes counts executed inference batches; BatchOccupancy is
+	// the histogram of their sizes (size -> count). Occupancy above one
+	// is the coalescing the batcher exists for.
+	BatchFlushes   uint64         `json:"batch_flushes"`
+	BatchOccupancy map[int]uint64 `json:"batch_occupancy,omitempty"`
 }
 
 // serviceBenchJob is one load-generator tenant.
@@ -137,56 +154,25 @@ func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
 	}
 	r.SequentialSeconds = time.Since(start).Seconds()
 
-	// --- Concurrent run through the shared service ---
-	svc, err := service.New(pt, service.Config{Workers: opts.Parallelism})
+	// --- Concurrent run through the shared service, batching off ---
+	unbatched, err := runServicePass(pt, jobs, opts, service.Config{Workers: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	got := make([]map[string]int, len(jobs))
-	latencies := make([][]time.Duration, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	start = time.Now()
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			got[i], latencies[i], errs[i] = driveServiceJob(svc, jobs[i], opts, pt.Config.StabilizeWait)
-		}(i)
-	}
-	wg.Wait()
-	r.ServiceSeconds = time.Since(start).Seconds()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("servicebench: job %s: %w", jobs[i].id, err)
-		}
-	}
 
 	// --- Cross-check before reporting any timing ---
-	for i := range jobs {
-		if !reflect.DeepEqual(got[i], want[i]) {
-			return nil, fmt.Errorf("servicebench: job %s diverged from sequential tuner:\nservice    %v\nsequential %v",
-				jobs[i].id, got[i], want[i])
-		}
+	if err := requireSequentialMatch(jobs, unbatched.got, want); err != nil {
+		return nil, err
 	}
 	r.BitIdentical = true
+	r.ServiceSeconds = unbatched.seconds
 	if r.ServiceSeconds > 0 {
 		r.Speedup = r.SequentialSeconds / r.ServiceSeconds
 		r.JobsPerSecond = float64(n) / r.ServiceSeconds
 	}
-
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	r.Recommendations = len(all)
-	if len(all) > 0 {
-		r.RecommendP50Ms = float64(all[len(all)/2].Microseconds()) / 1e3
-		p99 := (len(all) - 1) * 99 / 100
-		r.RecommendP99Ms = float64(all[p99].Microseconds()) / 1e3
-	}
-	st := svc.Stats()
+	r.Recommendations = len(unbatched.latencies)
+	r.RecommendP50Ms, r.RecommendP99Ms = latencyQuantiles(unbatched.latencies)
+	st := unbatched.svc.Stats()
 	if tot := st.AdmissionCacheHits + st.AdmissionCacheMisses; tot > 0 {
 		r.AdmissionCacheHitRate = float64(st.AdmissionCacheHits) / float64(tot)
 	}
@@ -194,13 +180,36 @@ func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
 		r.EncoderWarmHitRate = float64(st.EncoderWarmHits) / float64(st.Registered)
 	}
 
-	// --- Snapshot the finished registry and verify the restore ---
-	snap, err := svc.Snapshot()
+	// --- The same load with the micro-batcher enabled ---
+	batchCfg := service.Config{
+		Workers:     opts.Parallelism,
+		BatchWindow: service.DefaultConfig().BatchWindow,
+		MaxBatch:    service.DefaultConfig().MaxBatch,
+	}
+	batched, err := runServicePass(pt, jobs, opts, batchCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := requireSequentialMatch(jobs, batched.got, want); err != nil {
+		return nil, fmt.Errorf("batched pass: %w", err)
+	}
+	r.BatchedBitIdentical = true
+	r.BatchWindowMs = float64(batchCfg.BatchWindow.Microseconds()) / 1e3
+	r.BatchedServiceSeconds = batched.seconds
+	if r.BatchedServiceSeconds > 0 {
+		r.BatchedSpeedup = r.SequentialSeconds / r.BatchedServiceSeconds
+	}
+	r.BatchedRecommendP50Ms, r.BatchedRecommendP99Ms = latencyQuantiles(batched.latencies)
+	r.BatchFlushes = batched.svc.Stats().BatchFlushes
+	r.BatchOccupancy = batched.svc.BatchOccupancy()
+
+	// --- Snapshot the batched registry and verify the grouped restore ---
+	snap, err := batched.svc.Snapshot()
 	if err != nil {
 		return nil, err
 	}
 	r.SnapshotBytes = len(snap)
-	restored, err := service.Restore(pt, service.Config{Workers: opts.Parallelism}, snap)
+	restored, err := service.Restore(pt, batchCfg, snap)
 	if err != nil {
 		return nil, fmt.Errorf("servicebench: restore: %w", err)
 	}
@@ -215,6 +224,73 @@ func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
 	}
 	r.SnapshotRestored = true
 	return r, nil
+}
+
+// servicePass is one concurrent run of the full job set against a fresh
+// service: the final recommendations, the sorted client-side recommend
+// latencies, and the wall-clock total.
+type servicePass struct {
+	got       []map[string]int
+	latencies []time.Duration
+	seconds   float64
+	svc       *service.Service
+}
+
+// runServicePass drives every job concurrently against one service
+// built with cfg.
+func runServicePass(pt *streamtune.PreTrained, jobs []serviceBenchJob, opts Options, cfg service.Config) (*servicePass, error) {
+	svc, err := service.New(pt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	got := make([]map[string]int, len(jobs))
+	latencies := make([][]time.Duration, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], latencies[i], errs[i] = driveServiceJob(svc, jobs[i], opts, pt.Config.StabilizeWait)
+		}(i)
+	}
+	wg.Wait()
+	pass := &servicePass{got: got, seconds: time.Since(start).Seconds(), svc: svc}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("servicebench: job %s: %w", jobs[i].id, err)
+		}
+	}
+	for _, l := range latencies {
+		pass.latencies = append(pass.latencies, l...)
+	}
+	sort.Slice(pass.latencies, func(i, j int) bool { return pass.latencies[i] < pass.latencies[j] })
+	return pass, nil
+}
+
+// requireSequentialMatch demands bit-identity against the sequential
+// references before any timing is trusted.
+func requireSequentialMatch(jobs []serviceBenchJob, got, want []map[string]int) error {
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return fmt.Errorf("servicebench: job %s diverged from sequential tuner:\nservice    %v\nsequential %v",
+				jobs[i].id, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// latencyQuantiles reads p50/p99 in milliseconds off a sorted latency
+// slice.
+func latencyQuantiles(sorted []time.Duration) (p50, p99 float64) {
+	if len(sorted) == 0 {
+		return 0, 0
+	}
+	p50 = float64(sorted[len(sorted)/2].Microseconds()) / 1e3
+	i99 := (len(sorted) - 1) * 99 / 100
+	p99 = float64(sorted[i99].Microseconds()) / 1e3
+	return p50, p99
 }
 
 // driveServiceJob registers one job and runs its simulated engine
@@ -281,6 +357,32 @@ func ServiceBenchTable(r *ServiceBenchReport) *Table {
 	add("admission cache hit rate", fmt.Sprintf("%.0f%%", 100*r.AdmissionCacheHitRate))
 	add("encoder warm hit rate", fmt.Sprintf("%.0f%%", 100*r.EncoderWarmHitRate))
 	add("bit-identical to sequential", fmt.Sprintf("%v", r.BitIdentical))
+	add("batched service total", fmt.Sprintf("%.3fs (window %.1fms)", r.BatchedServiceSeconds, r.BatchWindowMs))
+	add("batched speedup", fmt.Sprintf("%.1fx", r.BatchedSpeedup))
+	add("batched recommend p50 / p99", fmt.Sprintf("%.1fms / %.1fms", r.BatchedRecommendP50Ms, r.BatchedRecommendP99Ms))
+	add("batch occupancy", occupancyString(r.BatchOccupancy, r.BatchFlushes))
+	add("batched bit-identical", fmt.Sprintf("%v", r.BatchedBitIdentical))
 	add("snapshot restored", fmt.Sprintf("%v (%d bytes)", r.SnapshotRestored, r.SnapshotBytes))
 	return t
+}
+
+// occupancyString renders the batch-size histogram compactly, e.g.
+// "1:x10 2:x3 (13 flushes)".
+func occupancyString(occ map[int]uint64, flushes uint64) string {
+	if len(occ) == 0 {
+		return "none"
+	}
+	sizes := make([]int, 0, len(occ))
+	for s := range occ {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	out := ""
+	for _, s := range sizes {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:x%d", s, occ[s])
+	}
+	return fmt.Sprintf("%s (%d flushes)", out, flushes)
 }

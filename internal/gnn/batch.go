@@ -1,0 +1,109 @@
+package gnn
+
+import (
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/nn"
+)
+
+// Grad-free batched inference entry points. The serving path coalesces
+// concurrent tenants whose jobs share a structural fingerprint onto one
+// block-diagonal plan execution, the same idiom Pretrain uses for
+// training batches. Every forward kernel is row-independent given the
+// block-diagonal aggregation matrices, so each block's results are
+// bit-identical to a blocks=1 replay of the same graph (enforced by the
+// differential tests in batch_test.go).
+
+// Graph returns the session's target graph.
+func (s *InferSession) Graph() *dag.Graph { return s.g }
+
+// NewInferSessions runs the parallelism-agnostic forward for several
+// graphs sharing one structure as a single block-diagonal plan
+// execution and returns one InferSession per graph, in input order.
+// The graphs must share aggregation structure (same fingerprint — the
+// caller batches per fingerprint); features may differ freely, which is
+// exactly the serving-time population of rate-perturbed clones. Each
+// returned session is indistinguishable from one built by
+// NewInferSession on the same graph.
+func (e *Encoder) NewInferSessions(graphs []*dag.Graph) ([]*InferSession, error) {
+	if len(graphs) == 0 {
+		return nil, nil
+	}
+	if len(graphs) == 1 {
+		s, err := e.NewInferSession(graphs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*InferSession{s}, nil
+	}
+	n := graphs[0].NumOperators()
+	if n == 0 {
+		return nil, fmt.Errorf("gnn: empty graph %q", graphs[0].Name)
+	}
+	st := structureOf(graphs[0])
+	for _, g := range graphs[1:] {
+		if g.NumOperators() != n || structureOf(g) != st {
+			return nil, fmt.Errorf("gnn: graphs %q and %q do not share a structure", graphs[0].Name, g.Name)
+		}
+	}
+	key := planKey{n: n, blocks: len(graphs), par: false, kind: planInfer}
+	ep := e.getPlan(key)
+	defer e.putPlan(key, ep)
+	ep.plan.BindConst(ep.up, st.up)
+	ep.plan.BindConst(ep.down, st.down)
+	for b, g := range graphs {
+		fillFeatures(ep.plan, ep.x, g, b)
+	}
+	ep.plan.Forward()
+	emb := ep.plan.Value(ep.emb)
+	probs := ep.plan.Value(ep.probs)
+	hidden := emb.Cols
+	out := make([]*InferSession, len(graphs))
+	for b, g := range graphs {
+		h := nn.NewMatrix(n, hidden)
+		copy(h.Data, emb.Data[b*n*hidden:(b+1)*n*hidden])
+		out[b] = &InferSession{enc: e, g: g, n: n,
+			h:     h,
+			embs:  matRows(h),
+			probs: append([]float64(nil), probs.Data[b*n:(b+1)*n]...),
+		}
+	}
+	return out, nil
+}
+
+// ProbsBatch predicts per-operator bottleneck probabilities under every
+// assignment in pars with one FUSE + head replay: the session's cached
+// states are tiled across blocks and each block gets its own
+// parallelism vector. Results match calling Probs once per assignment,
+// bit for bit, in input order.
+func (s *InferSession) ProbsBatch(pars []map[string]int) ([][]float64, error) {
+	if len(pars) == 0 {
+		return nil, nil
+	}
+	if len(pars) == 1 {
+		p, err := s.Probs(pars[0])
+		if err != nil {
+			return nil, err
+		}
+		return [][]float64{p}, nil
+	}
+	key := planKey{n: s.n, blocks: len(pars), par: true, kind: planFuse}
+	ep := s.enc.getPlan(key)
+	defer s.enc.putPlan(key, ep)
+	xd := ep.plan.InputData(ep.x)
+	stride := len(s.h.Data)
+	for b, par := range pars {
+		copy(xd[b*stride:(b+1)*stride], s.h.Data)
+		if err := fillParallelism(ep.plan, ep.pvec, s.g, par, s.enc.cfg.PMax, b); err != nil {
+			return nil, err
+		}
+	}
+	ep.plan.Forward()
+	flat := ep.plan.Value(ep.probs).Data
+	out := make([][]float64, len(pars))
+	for b := range pars {
+		out[b] = append([]float64(nil), flat[b*s.n:(b+1)*s.n]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package gnn
+
+// Differential tests holding the block-diagonal batched inference
+// entry points (NewInferSessions, ProbsBatch) bit-identical to the
+// single-graph paths they coalesce — the serving-time counterpart of
+// seed_test.go's training-batch guarantees.
+
+import (
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// rateVariants returns same-structure clones of g whose source rates
+// (and therefore feature vectors) differ — the serving population the
+// cross-tenant batcher coalesces.
+func rateVariants(g *dag.Graph, rates ...float64) []*dag.Graph {
+	out := make([]*dag.Graph, len(rates))
+	for i, r := range rates {
+		c := g.Clone()
+		c.ScaleSourceRates(r)
+		out[i] = c
+	}
+	return out
+}
+
+// TestNewInferSessionsMatchesSingle demands bitwise agreement between
+// sessions created through one batched block-diagonal forward and
+// sessions created one graph at a time, including the FUSE replays
+// performed through them afterwards.
+func TestNewInferSessionsMatchesSingle(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	for _, g := range seedTestGraphs(t) {
+		variants := rateVariants(g, 1, 3, 7, 9)
+		batched, err := enc.NewInferSessions(variants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batched) != len(variants) {
+			t.Fatalf("got %d sessions, want %d", len(batched), len(variants))
+		}
+		for i, v := range variants {
+			single, err := enc.NewInferSession(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batched[i].Graph() != v {
+				t.Fatalf("session %d bound to wrong graph", i)
+			}
+			sameFloats(t, "agnostic probs", batched[i].AgnosticProbs(), single.AgnosticProbs())
+			be, se := batched[i].Embeddings(), single.Embeddings()
+			for r := range se {
+				sameFloats(t, "embedding row", be[r], se[r])
+			}
+			for _, p := range []int{1, 5, 37} {
+				bp, err := batched[i].Probs(parAll(v, p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sp, err := single.Probs(parAll(v, p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameFloats(t, "session probs", bp, sp)
+			}
+		}
+	}
+}
+
+// TestNewInferSessionsValidation pins the edge cases: empty input,
+// single-graph delegation, and structure mismatches.
+func TestNewInferSessionsValidation(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	if out, err := enc.NewInferSessions(nil); err != nil || out != nil {
+		t.Fatalf("empty input: got (%v, %v), want (nil, nil)", out, err)
+	}
+	gs := seedTestGraphs(t)
+	one, err := enc.NewInferSessions(gs[:1])
+	if err != nil || len(one) != 1 {
+		t.Fatalf("single graph: got (%d sessions, %v)", len(one), err)
+	}
+	if _, err := enc.NewInferSessions([]*dag.Graph{gs[0], gs[1]}); err == nil {
+		t.Fatal("expected structure-mismatch error")
+	}
+	if _, err := enc.NewInferSessions([]*dag.Graph{dag.New("empty"), dag.New("empty")}); err == nil {
+		t.Fatal("expected empty-graph error")
+	}
+}
+
+// TestProbsBatchMatchesProbs holds the batched FUSE grid bit-identical
+// to sequential Probs calls — the distillation fast path.
+func TestProbsBatchMatchesProbs(t *testing.T) {
+	enc := NewEncoder(DefaultConfig())
+	for _, g := range seedTestGraphs(t) {
+		sess, err := enc.NewInferSession(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid := []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+		pars := make([]map[string]int, len(grid))
+		for i, p := range grid {
+			pars[i] = parAll(g, p)
+		}
+		batched, err := sess.ProbsBatch(pars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batched) != len(pars) {
+			t.Fatalf("got %d result rows, want %d", len(batched), len(pars))
+		}
+		for i, par := range pars {
+			want, err := sess.Probs(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameFloats(t, "batched probs", batched[i], want)
+		}
+	}
+	sess, err := enc.NewInferSession(seedTestGraphs(t)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := sess.ProbsBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty grid: got (%v, %v), want (nil, nil)", out, err)
+	}
+	if _, err := sess.ProbsBatch([]map[string]int{{}, {}}); err == nil {
+		t.Fatal("expected missing-parallelism error")
+	}
+}

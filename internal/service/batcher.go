@@ -1,0 +1,210 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/gnn"
+)
+
+// batcher coalesces concurrent inference-session builds across tenants
+// sharing a structural fingerprint onto one block-diagonal batched plan
+// execution (gnn.Encoder.NewInferSessions). Requests queue per
+// (encoder, fingerprint); the first request of a queue arms a deadline
+// timer, and the queue flushes when the deadline expires or the queue
+// reaches maxBatch, whichever comes first. A lone request at its
+// deadline — and every waiter at shutdown — falls back to the
+// single-graph path. Batched results are bit-identical to single-graph
+// sessions (differential tests in internal/gnn), so coalescing is
+// purely a throughput optimization.
+type batcher struct {
+	window   time.Duration
+	maxBatch int
+
+	mu     sync.Mutex
+	queues map[batchKey]*batchQueue
+	closed bool
+
+	// occupancy histograms the executed batch sizes; flushes counts
+	// batched plan executions, batched/single split the sessions served.
+	occupancy map[int]uint64
+	flushes   uint64
+	batched   uint64
+	single    uint64
+}
+
+// batchKey scopes a coalescing queue: only sessions sharing both the
+// cluster encoder and the structural fingerprint may share a plan.
+type batchKey struct {
+	enc *gnn.Encoder
+	fp  string
+}
+
+type inferResult struct {
+	sess *gnn.InferSession
+	err  error
+}
+
+type inferRequest struct {
+	g   *dag.Graph
+	out chan inferResult
+}
+
+// batchQueue is the open queue of one key; a new queue replaces it in
+// batcher.queues after every flush, so a stale timer firing against a
+// drained queue is a no-op.
+type batchQueue struct {
+	reqs  []*inferRequest
+	timer *time.Timer
+}
+
+// newBatcher returns nil (batching disabled) when window <= 0.
+func newBatcher(window time.Duration, maxBatch int) *batcher {
+	if window <= 0 {
+		return nil
+	}
+	if maxBatch <= 1 {
+		maxBatch = 8
+	}
+	return &batcher{
+		window:    window,
+		maxBatch:  maxBatch,
+		queues:    make(map[batchKey]*batchQueue),
+		occupancy: make(map[int]uint64),
+	}
+}
+
+// inferSession enqueues one session build and blocks until its batch
+// executes (at most the deadline window plus the build itself). A nil
+// or closed batcher degrades to the direct single-graph path.
+func (b *batcher) inferSession(enc *gnn.Encoder, fp string, g *dag.Graph) (*gnn.InferSession, error) {
+	if b == nil {
+		return enc.NewInferSession(g)
+	}
+	key := batchKey{enc: enc, fp: fp}
+	req := &inferRequest{g: g, out: make(chan inferResult, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.single++
+		b.mu.Unlock()
+		return enc.NewInferSession(g)
+	}
+	q := b.queues[key]
+	if q == nil {
+		q = &batchQueue{}
+		b.queues[key] = q
+		q.timer = time.AfterFunc(b.window, func() { b.flush(key, q) })
+	}
+	q.reqs = append(q.reqs, req)
+	full := len(q.reqs) >= b.maxBatch
+	b.mu.Unlock()
+	if full {
+		b.flush(key, q)
+	}
+	res := <-req.out
+	return res.sess, res.err
+}
+
+// flush drains q — if it is still the live queue for key — and executes
+// it as one batched build, fanning the per-graph sessions back out to
+// the waiters. Deadline and batch-full flushes race benignly: the
+// loser finds the queue already replaced and returns.
+func (b *batcher) flush(key batchKey, q *batchQueue) {
+	b.mu.Lock()
+	if b.queues[key] != q {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.queues, key)
+	q.timer.Stop()
+	reqs := q.reqs
+	b.recordLocked(len(reqs))
+	b.mu.Unlock()
+	deliver(key.enc, reqs)
+}
+
+// recordLocked updates the occupancy counters for one executed batch.
+// Callers hold b.mu.
+func (b *batcher) recordLocked(size int) {
+	b.flushes++
+	b.occupancy[size]++
+	if size > 1 {
+		b.batched += uint64(size)
+	} else {
+		b.single++
+	}
+}
+
+// deliver executes one batch outside the batcher lock.
+func deliver(enc *gnn.Encoder, reqs []*inferRequest) {
+	graphs := make([]*dag.Graph, len(reqs))
+	for i, r := range reqs {
+		graphs[i] = r.g
+	}
+	sessions, err := enc.NewInferSessions(graphs)
+	for i, r := range reqs {
+		if err != nil {
+			r.out <- inferResult{err: err}
+		} else {
+			r.out <- inferResult{sess: sessions[i]}
+		}
+	}
+}
+
+// inferSessions executes an already-assembled same-structure group
+// immediately — no deadline wait — while still recording occupancy.
+// Restore uses it: the snapshot hands the service every group up
+// front, so there is nothing to wait for. Works on a nil batcher
+// (occupancy simply isn't recorded).
+func (b *batcher) inferSessions(enc *gnn.Encoder, graphs []*dag.Graph) ([]*gnn.InferSession, error) {
+	sessions, err := enc.NewInferSessions(graphs)
+	if b != nil && err == nil {
+		b.mu.Lock()
+		b.recordLocked(len(graphs))
+		b.mu.Unlock()
+	}
+	return sessions, err
+}
+
+// close drains every open queue through the single-graph fallback and
+// rejects future coalescing (requests after close run unbatched).
+// Idempotent; safe on nil.
+func (b *batcher) close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	queues := b.queues
+	b.queues = make(map[batchKey]*batchQueue)
+	b.mu.Unlock()
+	for key, q := range queues {
+		q.timer.Stop()
+		for _, r := range q.reqs {
+			sess, err := key.enc.NewInferSession(r.g)
+			b.mu.Lock()
+			b.single++
+			b.mu.Unlock()
+			r.out <- inferResult{sess: sess, err: err}
+		}
+	}
+}
+
+// stats returns a point-in-time copy of the batching counters.
+func (b *batcher) stats() (occupancy map[int]uint64, flushes, batched, single uint64) {
+	if b == nil {
+		return nil, 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	occupancy = make(map[int]uint64, len(b.occupancy))
+	for k, v := range b.occupancy {
+		occupancy[k] = v
+	}
+	return occupancy, b.flushes, b.batched, b.single
+}

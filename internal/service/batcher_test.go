@@ -1,0 +1,442 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// requireSameSession asserts a batched inference session is bitwise
+// identical to the single-graph path for the same graph.
+func requireSameSession(t *testing.T, enc *gnn.Encoder, got *gnn.InferSession, g *dag.Graph) {
+	t.Helper()
+	want, err := enc.NewInferSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.AgnosticProbs(), want.AgnosticProbs()) {
+		t.Fatalf("batched agnostic probs diverge from single-graph session")
+	}
+	if !reflect.DeepEqual(got.Embeddings(), want.Embeddings()) {
+		t.Fatalf("batched embeddings diverge from single-graph session")
+	}
+}
+
+// TestBatcherCoalescesSameFingerprint fills one queue to maxBatch from
+// concurrent waiters and demands a single full-batch flush whose
+// per-graph results match the single-graph path bit for bit.
+func TestBatcherCoalescesSameFingerprint(t *testing.T) {
+	pt := sharedPreTrained(t)
+	base := targetGraph(t, nexmark.Q5, 1)
+	c, _ := pt.AssignCluster(base)
+	enc := pt.Encoder(c)
+	fp := ged.Fingerprint(base)
+
+	const waiters = 3
+	// The window is a backstop only: the queue reaches maxBatch and
+	// flushes full, so the test never actually waits this long.
+	b := newBatcher(time.Minute, waiters)
+	graphs := make([]*dag.Graph, waiters)
+	for i := range graphs {
+		graphs[i] = base.Clone()
+		graphs[i].ScaleSourceRates(float64(i + 2))
+	}
+	sessions := make([]*gnn.InferSession, waiters)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := range graphs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sessions[i], errs[i] = b.inferSession(enc, fp, graphs[i])
+		}()
+	}
+	wg.Wait()
+	for i := range graphs {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		requireSameSession(t, enc, sessions[i], graphs[i])
+	}
+	occ, flushes, batched, single := b.stats()
+	if flushes != 1 || batched != waiters || single != 0 {
+		t.Errorf("stats = %d flushes / %d batched / %d single, want 1/%d/0", flushes, batched, single, waiters)
+	}
+	if occ[waiters] != 1 {
+		t.Errorf("occupancy = %v, want exactly one batch of %d", occ, waiters)
+	}
+}
+
+// TestBatcherDeadlineFlushesLoneWaiter pins the deadline path: a single
+// request waits out the window, then falls through as a batch of one.
+func TestBatcherDeadlineFlushesLoneWaiter(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g := targetGraph(t, nexmark.Q5, 4)
+	c, _ := pt.AssignCluster(g)
+	enc := pt.Encoder(c)
+
+	const window = 10 * time.Millisecond
+	b := newBatcher(window, 8)
+	start := time.Now()
+	sess, err := b.inferSession(enc, ged.Fingerprint(g), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < window {
+		t.Errorf("lone request completed in %v, before its %v deadline", elapsed, window)
+	}
+	requireSameSession(t, enc, sess, g)
+	occ, flushes, batched, single := b.stats()
+	if flushes != 1 || batched != 0 || single != 1 {
+		t.Errorf("stats = %d flushes / %d batched / %d single, want 1/0/1", flushes, batched, single)
+	}
+	if occ[1] != 1 {
+		t.Errorf("occupancy = %v, want exactly one batch of 1", occ)
+	}
+}
+
+// TestBatcherMixedFingerprints interleaves two structures: requests must
+// coalesce only within their own fingerprint's queue, never across.
+func TestBatcherMixedFingerprints(t *testing.T) {
+	pt := sharedPreTrained(t)
+	type job struct {
+		g   *dag.Graph
+		enc *gnn.Encoder
+		fp  string
+	}
+	var jobs []job
+	for _, q := range []nexmark.Query{nexmark.Q5, nexmark.Q3} {
+		for _, rate := range []float64{2, 3} {
+			g := targetGraph(t, q, rate)
+			c, _ := pt.AssignCluster(g)
+			jobs = append(jobs, job{g: g, enc: pt.Encoder(c), fp: ged.Fingerprint(g)})
+		}
+	}
+	if jobs[0].fp == jobs[2].fp {
+		t.Fatal("test premise broken: Q5 and Q3 share a fingerprint")
+	}
+
+	// maxBatch matches the per-fingerprint job count, so each queue
+	// flushes full and deterministically; the long window is a backstop.
+	b := newBatcher(time.Minute, 2)
+	sessions := make([]*gnn.InferSession, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sessions[i], errs[i] = b.inferSession(j.enc, j.fp, j.g)
+		}()
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		requireSameSession(t, j.enc, sessions[i], j.g)
+	}
+	occ, flushes, batched, single := b.stats()
+	if flushes != 2 || batched != 4 || single != 0 {
+		t.Errorf("stats = %d flushes / %d batched / %d single, want 2/4/0", flushes, batched, single)
+	}
+	if occ[2] != 2 {
+		t.Errorf("occupancy = %v, want two batches of 2", occ)
+	}
+}
+
+// TestBatcherCloseMidWait shuts the batcher down while a request sits in
+// an open window; the waiter must complete through the single-graph
+// fallback, and later requests must bypass coalescing entirely.
+func TestBatcherCloseMidWait(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g := targetGraph(t, nexmark.Q5, 4)
+	c, _ := pt.AssignCluster(g)
+	enc := pt.Encoder(c)
+	fp := ged.Fingerprint(g)
+
+	b := newBatcher(time.Hour, 8) // nothing flushes unless close does
+	type res struct {
+		sess *gnn.InferSession
+		err  error
+	}
+	done := make(chan res, 1)
+	go func() {
+		sess, err := b.inferSession(enc, fp, g)
+		done <- res{sess, err}
+	}()
+	waitFor(t, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.queues) == 1
+	})
+	b.close()
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	requireSameSession(t, enc, r.sess, g)
+
+	// Post-close requests run unbatched, immediately.
+	sess, err := b.inferSession(enc, fp, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSession(t, enc, sess, g)
+	b.close() // idempotent
+
+	occ, flushes, batched, single := b.stats()
+	if flushes != 0 || batched != 0 || single != 2 {
+		t.Errorf("stats = %d flushes / %d batched / %d single, want 0/0/2", flushes, batched, single)
+	}
+	if len(occ) != 0 {
+		t.Errorf("occupancy = %v, want empty (no batched executions)", occ)
+	}
+}
+
+// TestBatcherDisabled covers the nil batcher: every operation degrades
+// to the direct path without panicking.
+func TestBatcherDisabled(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g := targetGraph(t, nexmark.Q5, 4)
+	c, _ := pt.AssignCluster(g)
+	enc := pt.Encoder(c)
+
+	b := newBatcher(0, 8)
+	if b != nil {
+		t.Fatal("zero window must disable batching")
+	}
+	sess, err := b.inferSession(enc, ged.Fingerprint(g), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSession(t, enc, sess, g)
+	if _, err := b.inferSessions(enc, []*dag.Graph{g}); err != nil {
+		t.Fatal(err)
+	}
+	b.close()
+	occ, flushes, batched, single := b.stats()
+	if occ != nil || flushes != 0 || batched != 0 || single != 0 {
+		t.Errorf("nil batcher stats = %v/%d/%d/%d, want all zero", occ, flushes, batched, single)
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServiceBatchedMatchesSequential is the end-to-end differential
+// test for the tentpole: jobs tuned through a batching service — two of
+// them structural clones sharing a coalescing queue — must converge to
+// exactly the recommendations of caller-owned sequential tuners. It
+// then snapshots the finished registry and restores it onto a second
+// batching service, whose grouped resume must batch the structural
+// clones into one block-diagonal forward (deterministic occupancy).
+func TestServiceBatchedMatchesSequential(t *testing.T) {
+	engCfg := testEngineConfig()
+	jobs := []struct {
+		id   string
+		q    nexmark.Query
+		rate float64
+	}{
+		{"q5-lo", nexmark.Q5, 4}, {"q5-hi", nexmark.Q5, 6}, {"q3", nexmark.Q3, 5},
+	}
+
+	want := make([]map[string]int, len(jobs))
+	for i, j := range jobs {
+		want[i] = sequentialResult(t, targetGraph(t, j.q, j.rate), engCfg)
+	}
+
+	s := newTestService(t, Config{Workers: 4, BatchWindow: 5 * time.Millisecond, MaxBatch: 8})
+	graphs := make([]*dag.Graph, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		graphs[i] = targetGraph(t, j.q, j.rate)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Register(j.id, graphs[i], engCfg); err != nil {
+				t.Errorf("register %s: %v", j.id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	got := make([]map[string]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = driveJob(t, s, j.id, graphs[i], engCfg)
+		}()
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %s: batched service diverged from sequential tuner:\n got %v\nwant %v",
+				j.id, got[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.BatchFlushes == 0 {
+		t.Error("BatchFlushes = 0: no inference ran through the batcher")
+	}
+	if total := st.BatchedSessions + st.UnbatchedSessions; total < uint64(len(jobs)) {
+		t.Errorf("batcher served %d sessions, want >= %d", total, len(jobs))
+	}
+
+	// Restore groups the two Q5 clones into one batch of 2 and the Q3
+	// job into a batch of 1 — deterministically, no window involved.
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap ServiceSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sessions) != len(jobs) {
+		t.Fatalf("snapshot holds %d sessions, want %d", len(snap.Sessions), len(jobs))
+	}
+	restored, err := Restore(s.PreTrained(), Config{BatchWindow: 5 * time.Millisecond}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := restored.BatchOccupancy()
+	if occ[2] != 1 || occ[1] != 1 {
+		t.Errorf("restore occupancy = %v, want one batch of 2 and one of 1", occ)
+	}
+	for i, j := range jobs {
+		rec, err := restored.Recommend(j.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Done || !reflect.DeepEqual(rec.Parallelism, want[i]) {
+			t.Errorf("job %s: restored recommendation diverged:\n got %v (done=%v)\nwant %v",
+				j.id, rec.Parallelism, rec.Done, want[i])
+		}
+	}
+}
+
+// TestEvictIdleSkipsBusySession is the snapshot-during-eviction
+// regression test: a session whose Observe is queued behind a saturated
+// worker pool must survive EvictIdle no matter how stale its lease
+// looks, and the concurrent snapshot must still carry it. Once the
+// request completes the session is evictable again.
+func TestEvictIdleSkipsBusySession(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		now = now.Add(d)
+		clockMu.Unlock()
+	}
+
+	s := newTestService(t, Config{LeaseTTL: time.Minute, Workers: 1, Clock: clock})
+	engCfg := testEngineConfig()
+	g := targetGraph(t, nexmark.Q5, 4)
+	if _, err := s.Register("job", g, engCfg); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Recommend("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(g, engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Deploy {
+		if err := eng.Deploy(rec.Parallelism); err != nil {
+			t.Fatal(err)
+		}
+		eng.Stabilize(s.pt.Config.StabilizeWait)
+	}
+	m, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the single-worker pool so the Observe below queues with
+	// its session already marked busy.
+	gate := make(chan struct{})
+	holding := make(chan struct{})
+	poolDone := make(chan struct{})
+	go func() {
+		defer close(poolDone)
+		_ = s.pool.Do(func() error {
+			close(holding)
+			<-gate
+			return nil
+		})
+	}()
+	<-holding
+	obsErr := make(chan error, 1)
+	go func() {
+		_, err := s.Observe("job", m)
+		obsErr <- err
+	}()
+	s.mu.Lock()
+	sess := s.sessions["job"]
+	s.mu.Unlock()
+	waitFor(t, func() bool { return sess.busy.Load() > 0 })
+
+	// The lease is now 2m stale, but the queued request keeps the
+	// session alive — eviction must skip it and the snapshot keep it.
+	advance(2 * time.Minute)
+	if n := s.EvictIdle(); n != 0 {
+		t.Fatalf("evicted %d sessions with a request in flight, want 0", n)
+	}
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap ServiceSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sessions) != 1 || snap.Sessions[0].JobID != "job" {
+		t.Fatalf("snapshot during eviction lost the busy session: %+v", snap.Sessions)
+	}
+
+	close(gate)
+	<-poolDone
+	if err := <-obsErr; err != nil {
+		t.Fatalf("queued observe failed: %v", err)
+	}
+
+	// With the request done (and the lease it renewed stale again), the
+	// session is ordinary idle state and must evict.
+	waitFor(t, func() bool { return sess.busy.Load() == 0 })
+	advance(2 * time.Minute)
+	if n := s.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d sessions after the request drained, want 1", n)
+	}
+	if _, err := s.Session("job"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("busy-skipped session survived its real eviction: %v", err)
+	}
+}

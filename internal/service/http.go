@@ -35,6 +35,38 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// maxRequestBytes caps request bodies. The largest legitimate body is a
+// registration carrying a job DAG — a few KB — so 4 MiB is generous
+// headroom while still stopping a tenant from streaming an unbounded
+// body into the decoder.
+const maxRequestBytes = 4 << 20
+
+// decodeRequest decodes a JSON request body with the server-side
+// hygiene the bare json.Decoder lacks: the body is size-capped, unknown
+// fields are rejected (catching misspelled keys that would otherwise
+// silently decode to an empty request), and trailing garbage after the
+// JSON value is an error. Oversized bodies map to 413, everything else
+// to 400 via ErrInvalidJob.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("%w: body exceeds %d bytes", errRequestTooLarge, tooLarge.Limit)
+		}
+		return fmt.Errorf("%w: decode request: %v", ErrInvalidJob, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: decode request: trailing data after JSON body", ErrInvalidJob)
+	}
+	return nil
+}
+
+// errRequestTooLarge maps to 413 in statusFor; it never leaves the HTTP
+// layer, so it stays unexported.
+var errRequestTooLarge = errors.New("service: request body too large")
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs                register a job (RegisterRequest -> RegisterResult)
@@ -70,6 +102,8 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrInvalidJob):
 		return http.StatusBadRequest
+	case errors.Is(err, errRequestTooLarge):
+		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusInternalServerError
 }
@@ -88,8 +122,8 @@ func writeError(w http.ResponseWriter, err error) {
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: decode request: %v", ErrInvalidJob, err))
+	if err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
 		return
 	}
 	cfg := engine.DefaultConfig(engine.Flink)
@@ -134,8 +168,8 @@ func (s *Service) handleRecommend(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var req ObserveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: decode request: %v", ErrInvalidJob, err))
+	if err := decodeRequest(w, r, &req); err != nil {
+		writeError(w, err)
 		return
 	}
 	done, err := s.Observe(id, req.Metrics)

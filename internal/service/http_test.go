@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/streamtune/streamtune/internal/engine"
@@ -155,5 +156,49 @@ func TestServiceHTTP(t *testing.T) {
 	}
 	if status := httpJSON(t, client, http.MethodGet, srv.URL+"/v1/jobs/http-q5", nil, nil); status != http.StatusNotFound {
 		t.Fatalf("released session status = %d, want 404", status)
+	}
+}
+
+// postRaw posts an arbitrary byte body and returns the status code.
+func postRaw(t *testing.T, client *http.Client, url string, body []byte) int {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestServiceHTTPRejectsMalformedRequests pins the request-body
+// hygiene: unknown fields, trailing garbage, non-JSON, and oversized
+// bodies all fail with 4xx instead of silently decoding to an empty
+// request or streaming unbounded input.
+func TestServiceHTTPRejectsMalformedRequests(t *testing.T) {
+	s := newTestService(t, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	cases := []struct {
+		name string
+		url  string
+		body []byte
+		want int
+	}{
+		{"unknown field", srv.URL + "/v1/jobs", []byte(`{"job_id":"x","grahp":{}}`), http.StatusBadRequest},
+		{"not json", srv.URL + "/v1/jobs", []byte(`not json at all`), http.StatusBadRequest},
+		{"trailing garbage", srv.URL + "/v1/jobs", []byte(`{"job_id":"x"} trailing`), http.StatusBadRequest},
+		{"oversized body", srv.URL + "/v1/jobs",
+			[]byte(`{"job_id":"` + strings.Repeat("x", maxRequestBytes+1) + `"}`), http.StatusRequestEntityTooLarge},
+		{"metrics unknown field", srv.URL + "/v1/jobs/x/metrics", []byte(`{"metricz":{}}`), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := postRaw(t, client, tc.url, tc.body); got != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	if got := s.Stats().Registered; got != 0 {
+		t.Errorf("malformed requests registered %d jobs, want 0", got)
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/mono"
 	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/streamtune"
 )
@@ -69,6 +71,17 @@ type Config struct {
 	// Workers bounds the worker pool executing model refits and encoder
 	// inference; values below one use every CPU.
 	Workers int
+	// BatchWindow is the deadline of the cross-tenant inference
+	// micro-batcher: a registration's target inference waits up to this
+	// long for other tenants with the same structural fingerprint, then
+	// executes the whole group as one block-diagonal batched forward.
+	// Zero or negative disables batching (every request takes the
+	// single-graph path, the pre-batcher behavior).
+	BatchWindow time.Duration
+	// MaxBatch caps how many requests one batch may coalesce; a full
+	// queue flushes before its deadline. Values below two default to 8.
+	// Only meaningful when BatchWindow is positive.
+	MaxBatch int
 	// Clock supplies the current time for leases; nil uses time.Now.
 	// Tests and deterministic drivers inject a fake clock.
 	Clock func() time.Time
@@ -76,7 +89,12 @@ type Config struct {
 
 // DefaultConfig returns the serving defaults.
 func DefaultConfig() Config {
-	return Config{LeaseTTL: 30 * time.Minute, MaxSessions: 1024}
+	return Config{
+		LeaseTTL:    30 * time.Minute,
+		MaxSessions: 1024,
+		BatchWindow: 2 * time.Millisecond,
+		MaxBatch:    8,
+	}
 }
 
 // sessionPhase is the protocol position of a session.
@@ -108,6 +126,13 @@ func (p sessionPhase) String() string {
 // the worker-pool bound.
 type session struct {
 	mu sync.Mutex
+
+	// busy counts in-flight Recommend/Observe requests, incremented
+	// under the registry lock at lookup; EvictIdle skips busy sessions,
+	// so a request queued behind the worker pool can never have its
+	// session evicted (and then silently dropped from the next
+	// snapshot) while it waits.
+	busy atomic.Int32
 
 	id          string
 	clusterID   int
@@ -159,6 +184,14 @@ type Stats struct {
 	// encoder had already served an earlier session of this process —
 	// its compiled plans and structure caches are warm.
 	EncoderWarmHits uint64 `json:"encoder_warm_hits"`
+	// BatchFlushes counts executed inference batches (any size);
+	// BatchedSessions counts sessions served from multi-request batches
+	// and UnbatchedSessions the rest (lone flushes plus shutdown and
+	// disabled-batcher fallbacks). Their split is the coalescing rate
+	// of the cross-tenant micro-batcher.
+	BatchFlushes      uint64 `json:"batch_flushes"`
+	BatchedSessions   uint64 `json:"batched_sessions"`
+	UnbatchedSessions uint64 `json:"unbatched_sessions"`
 	// WorkersInFlight and WorkerCap describe the worker pool at the
 	// moment of the snapshot.
 	WorkersInFlight int `json:"workers_in_flight"`
@@ -175,6 +208,13 @@ type Service struct {
 	// corpus-scale observation (PR2) holds for tenants too: most jobs
 	// are structural clones of a few templates.
 	admission *ged.PairCache
+	// batch coalesces same-fingerprint target inference across tenants;
+	// nil when Config.BatchWindow disables it.
+	batch *batcher
+	// warmups caches the per-cluster warm-up dataset (cluster id ->
+	// *warmupEntry); ClusterWarmup is a pure function of (artifact,
+	// cluster), so one construction serves every registration.
+	warmups sync.Map
 
 	mu           sync.Mutex
 	sessions     map[string]*session
@@ -205,9 +245,36 @@ func New(pt *streamtune.PreTrained, cfg Config) (*Service, error) {
 		pt:           pt,
 		pool:         parallel.NewLimiter(cfg.Workers),
 		admission:    ged.NewPairCache(),
+		batch:        newBatcher(cfg.BatchWindow, cfg.MaxBatch),
 		sessions:     make(map[string]*session),
 		warmClusters: make(map[int]bool),
 	}, nil
+}
+
+// Close stops the inference micro-batcher: waiters mid-window complete
+// through the single-graph fallback and later registrations run
+// unbatched. The service itself stays usable — Close is the
+// drain-before-snapshot step of a graceful shutdown. Idempotent.
+func (s *Service) Close() { s.batch.close() }
+
+// warmupEntry memoizes one cluster's warm-up dataset (or its
+// construction error — deterministic, so retries would fail the same
+// way).
+type warmupEntry struct {
+	once sync.Once
+	warm []mono.Sample
+	err  error
+}
+
+// warmupFor returns the cluster's shared warm-up dataset, constructing
+// it on first use. Concurrent registrations for the same cluster block
+// on the one construction and then proceed together — which also
+// funnels them into the same batcher window right after.
+func (s *Service) warmupFor(c int) ([]mono.Sample, error) {
+	v, _ := s.warmups.LoadOrStore(c, &warmupEntry{})
+	e := v.(*warmupEntry)
+	e.once.Do(func() { e.warm, e.err = streamtune.ClusterWarmup(s.pt, c) })
+	return e.warm, e.err
 }
 
 // PreTrained returns the shared artifact the service serves.
@@ -303,28 +370,54 @@ func (s *Service) Register(id string, g *dag.Graph, engCfg engine.Config) (*Regi
 
 	g = g.Clone() // callers keep their copy; the session owns this one
 
+	// Admission runs in three phases. Pooled: cluster assignment plus
+	// the (cached) cluster warm-up dataset. Unpooled: the target's
+	// inference session through the cross-tenant batcher — the deadline
+	// wait must not hold a pool slot, or a busy pool would serialize
+	// the very requests the window is trying to coalesce. Pooled again:
+	// tuner build, distillation, and the first model fit.
+	var c int
+	var d float64
+	var warm []mono.Sample
 	err := s.pool.Do(func() error {
-		c, d := s.assignCluster(g)
-		tuner, err := streamtune.NewTunerForCluster(s.pt, g, c)
-		if err != nil {
-			return err
-		}
-		proc, err := tuner.Start(g, engCfg)
-		if err != nil {
-			return err
-		}
-		sess.mu.Lock()
-		defer sess.mu.Unlock()
-		sess.clusterID = c
-		sess.clusterDist = d
-		sess.graph = g
-		sess.engCfg = engCfg
-		sess.tuner = tuner
-		sess.proc = proc
-		sess.phase = phaseRecommend
-		sess.lease = s.cfg.Clock()
-		return nil
+		c, d = s.assignCluster(g)
+		var werr error
+		warm, werr = s.warmupFor(c)
+		return werr
 	})
+	var isess *gnn.InferSession
+	if err == nil {
+		isess, err = s.batch.inferSession(s.pt.Encoder(c), ged.Fingerprint(g), g)
+	}
+	if err == nil {
+		err = s.pool.Do(func() error {
+			tuner, err := streamtune.NewTunerWithWarmup(s.pt, c, warm)
+			if err != nil {
+				return err
+			}
+			proc, err := tuner.StartWithSession(isess, engCfg)
+			if err != nil {
+				return err
+			}
+			// Pre-fit the prediction model here, at registration, so the
+			// first Recommend — like every later one — is a pure binary
+			// search over warm state.
+			if err := proc.Prefit(); err != nil {
+				return err
+			}
+			sess.mu.Lock()
+			defer sess.mu.Unlock()
+			sess.clusterID = c
+			sess.clusterDist = d
+			sess.graph = g
+			sess.engCfg = engCfg
+			sess.tuner = tuner
+			sess.proc = proc
+			sess.phase = phaseRecommend
+			sess.lease = s.cfg.Clock()
+			return nil
+		})
+	}
 	if err != nil {
 		s.mu.Lock()
 		delete(s.sessions, id)
@@ -362,6 +455,33 @@ func (s *Service) lookup(id string) (*session, error) {
 	return sess, nil
 }
 
+// lookupBusy is lookup plus an in-flight mark taken under the registry
+// lock, so EvictIdle — which scans under the same lock — can never
+// evict a session between its lookup and its request completing. The
+// caller must decrement sess.busy when the request finishes.
+func (s *Service) lookupBusy(id string) (*session, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		sess.busy.Add(1)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return sess, nil
+}
+
+// modelWarm reports whether the session's next Step skips the model
+// refit — in that case Recommend is a microseconds-scale binary search
+// over cached state and bypasses the worker pool entirely, instead of
+// queueing behind other tenants' fits and registrations.
+func (sess *session) modelWarm() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.phase != phaseBuilding && sess.proc.ModelWarm()
+}
+
 // Recommend runs the next recommend step for the job: fit the
 // fine-tuned model to the session's training set and compute the
 // minimum non-bottleneck parallelism per operator. The client must
@@ -369,12 +489,13 @@ func (s *Service) lookup(id string) (*session, error) {
 // window, and post it back via Observe. Once the process converges,
 // Recommend keeps returning the final recommendation with Done set.
 func (s *Service) Recommend(id string) (*Recommendation, error) {
-	sess, err := s.lookup(id)
+	sess, err := s.lookupBusy(id)
 	if err != nil {
 		return nil, err
 	}
+	defer sess.busy.Add(-1)
 	var out *Recommendation
-	err = s.pool.Do(func() error {
+	run := func() error {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
 		sess.lease = s.cfg.Clock()
@@ -416,7 +537,15 @@ func (s *Service) Recommend(id string) (*Recommendation, error) {
 		}
 		sess.history = append(sess.history, *out)
 		return nil
-	})
+	}
+	// A warm session's Step performs no fit — don't queue microseconds
+	// of binary search behind the pool. Cold sessions (first recommend
+	// after a restore, or a prior fit error) still pay the pooled path.
+	if sess.modelWarm() {
+		err = run()
+	} else {
+		err = s.pool.Do(run)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -432,10 +561,11 @@ func (s *Service) Observe(id string, m *engine.JobMetrics) (done bool, err error
 	if m == nil {
 		return false, fmt.Errorf("%w: nil metrics", ErrInvalidJob)
 	}
-	sess, err := s.lookup(id)
+	sess, err := s.lookupBusy(id)
 	if err != nil {
 		return false, err
 	}
+	defer sess.busy.Add(-1)
 	err = s.pool.Do(func() error {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
@@ -552,6 +682,14 @@ func (s *Service) EvictIdle() int {
 	var victims []string
 	s.mu.Lock()
 	for id, sess := range s.sessions {
+		// A session with an in-flight request (busy is only ever raised
+		// under s.mu, which this scan holds) is live no matter how stale
+		// its lease looks: the request may be queued behind the worker
+		// pool, and evicting now would orphan its result and drop the
+		// session from any snapshot taken before the client retried.
+		if sess.busy.Load() > 0 {
+			continue
+		}
 		sess.mu.Lock()
 		idle := sess.phase != phaseBuilding && sess.lease.Before(deadline)
 		sess.mu.Unlock()
@@ -584,6 +722,7 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	active := len(s.sessions)
 	s.mu.Unlock()
+	_, flushes, batched, single := s.batch.stats()
 	return Stats{
 		ActiveSessions:       active,
 		Registered:           s.registered.Load(),
@@ -596,7 +735,17 @@ func (s *Service) Stats() Stats {
 		AdmissionCacheHits:   s.admissionHits.Load(),
 		AdmissionCacheMisses: s.admissionMisses.Load(),
 		EncoderWarmHits:      s.encoderWarmHits.Load(),
+		BatchFlushes:         flushes,
+		BatchedSessions:      batched,
+		UnbatchedSessions:    single,
 		WorkersInFlight:      s.pool.InFlight(),
 		WorkerCap:            s.pool.Cap(),
 	}
+}
+
+// BatchOccupancy returns the histogram of executed inference batch
+// sizes (size -> count), nil when batching is disabled.
+func (s *Service) BatchOccupancy() map[int]uint64 {
+	occ, _, _, _ := s.batch.stats()
+	return occ
 }

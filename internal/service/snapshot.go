@@ -6,6 +6,9 @@ import (
 	"sort"
 	"time"
 
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/gnn"
 	"github.com/streamtune/streamtune/internal/streamtune"
 )
 
@@ -94,16 +97,64 @@ func Restore(pt *streamtune.PreTrained, cfg Config, data []byte) (*Service, erro
 	if err != nil {
 		return nil, err
 	}
-	for _, ss := range snap.Sessions {
-		phase, err := parsePhase(ss.Phase)
-		if err != nil {
-			return nil, fmt.Errorf("service: job %q: %w", ss.JobID, err)
+
+	// Resuming a session re-runs the target's parallelism-agnostic
+	// forward. The snapshot hands us every session up front, so when
+	// batching is enabled the forwards group by (cluster, fingerprint)
+	// and execute as block-diagonal batches — no deadline window needed,
+	// and bit-identical to sequential resumes. With batching disabled
+	// each group below has exactly one member, i.e. the sequential path.
+	type resumeGroup struct {
+		key     batchKey
+		indices []int
+		graphs  []*dag.Graph
+	}
+	tuners := make([]*streamtune.Tuner, len(snap.Sessions))
+	groupOf := make(map[batchKey]*resumeGroup)
+	var groups []*resumeGroup
+	for i, ss := range snap.Sessions {
+		if ss.Process == nil || ss.Process.Graph == nil {
+			return nil, fmt.Errorf("service: job %q: snapshot has no process graph", ss.JobID)
 		}
 		tuner, err := streamtune.RestoreTuner(pt, ss.Tuner)
 		if err != nil {
 			return nil, fmt.Errorf("service: restore tuner %q: %w", ss.JobID, err)
 		}
-		proc, err := tuner.Resume(ss.Process)
+		tuners[i] = tuner
+		g := ss.Process.Graph.Clone()
+		key := batchKey{enc: pt.Encoder(ss.Tuner.ClusterID), fp: ged.Fingerprint(g)}
+		if s.batch == nil {
+			// Batching disabled: one group per session.
+			groups = append(groups, &resumeGroup{key: key, indices: []int{i}, graphs: []*dag.Graph{g}})
+			continue
+		}
+		grp := groupOf[key]
+		if grp == nil {
+			grp = &resumeGroup{key: key}
+			groupOf[key] = grp
+			groups = append(groups, grp)
+		}
+		grp.indices = append(grp.indices, i)
+		grp.graphs = append(grp.graphs, g)
+	}
+
+	sessions := make([]*gnn.InferSession, len(snap.Sessions))
+	for _, grp := range groups {
+		batch, err := s.batch.inferSessions(grp.key.enc, grp.graphs)
+		if err != nil {
+			return nil, fmt.Errorf("service: resume embed %q: %w", snap.Sessions[grp.indices[0]].JobID, err)
+		}
+		for j, idx := range grp.indices {
+			sessions[idx] = batch[j]
+		}
+	}
+
+	for i, ss := range snap.Sessions {
+		phase, err := parsePhase(ss.Phase)
+		if err != nil {
+			return nil, fmt.Errorf("service: job %q: %w", ss.JobID, err)
+		}
+		proc, err := tuners[i].ResumeWithSession(sessions[i], ss.Process)
 		if err != nil {
 			return nil, fmt.Errorf("service: resume process %q: %w", ss.JobID, err)
 		}
@@ -116,7 +167,7 @@ func Restore(pt *streamtune.PreTrained, cfg Config, data []byte) (*Service, erro
 			clusterDist: ss.ClusterDistance,
 			graph:       ss.Process.Graph,
 			engCfg:      ss.Process.Engine,
-			tuner:       tuner,
+			tuner:       tuners[i],
 			proc:        proc,
 			phase:       phase,
 			history:     append([]Recommendation(nil), ss.History...),

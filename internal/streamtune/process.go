@@ -7,6 +7,7 @@ import (
 	"github.com/streamtune/streamtune/internal/bottleneck"
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/gnn"
 	"github.com/streamtune/streamtune/internal/mono"
 )
 
@@ -51,6 +52,16 @@ func (t *Tuner) Start(g *dag.Graph, cfg engine.Config) (*Process, error) {
 	if err != nil {
 		return nil, fmt.Errorf("streamtune: embed target: %w", err)
 	}
+	return t.StartWithSession(sess, cfg)
+}
+
+// StartWithSession is Start over a caller-provided inference session
+// for the target graph — the tuning service builds sessions through its
+// cross-tenant batcher and injects them here. The session must come
+// from this tuner's encoder; results are identical to Start on the
+// session's graph.
+func (t *Tuner) StartWithSession(sess *gnn.InferSession, cfg engine.Config) (*Process, error) {
+	g := sess.Graph()
 	topo, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -86,8 +97,8 @@ func (p *Process) Step() (rec map[string]int, deploy, done bool, err error) {
 		return nil, false, true, nil
 	}
 	fitStart := time.Now()
-	if err := p.t.model.Fit(p.t.train); err != nil {
-		return nil, false, false, fmt.Errorf("streamtune: fit %s: %w", p.t.model.Name(), err)
+	if err := p.t.fitIfNeeded(); err != nil {
+		return nil, false, false, err
 	}
 	rec = make(map[string]int, p.g.NumOperators())
 	for _, i := range p.topo {
@@ -167,6 +178,7 @@ func (p *Process) Observe(m *engine.JobMetrics) (done bool, err error) {
 			t.train = append(t.train, mono.Sample{Embedding: p.embs[i], Parallelism: pd + 1, Label: 0})
 		}
 	}
+	t.markDirty()
 	t.trim()
 	p.iter++
 	if !p.bp && equalRecommendation(t, p.embs, p.topo, p.g, p.cfg, p.cur, p.lower) {
@@ -177,8 +189,38 @@ func (p *Process) Observe(m *engine.JobMetrics) (done bool, err error) {
 		p.finish()
 		return true, nil
 	}
+	// Warm the model for the next Step while still inside this call, so
+	// the read path (Recommend) is a pure binary search over cached
+	// state. The fit is charged to RecommendTime wherever it runs.
+	fitStart := time.Now()
+	if err := t.fitIfNeeded(); err != nil {
+		return false, err
+	}
+	p.res.RecommendTime += time.Since(fitStart)
 	return false, nil
 }
+
+// Prefit warms the prediction model against the current training set
+// (a no-op when it is already warm or the process is done), so a
+// subsequent Step skips the fit. Fit wall-clock is charged to
+// RecommendTime exactly as if Step had performed it.
+func (p *Process) Prefit() error {
+	if p.done {
+		return nil
+	}
+	fitStart := time.Now()
+	if err := p.t.fitIfNeeded(); err != nil {
+		return err
+	}
+	p.res.RecommendTime += time.Since(fitStart)
+	return nil
+}
+
+// ModelWarm reports whether the next Step will skip the model refit
+// (the process is done, or the model is fitted to the current training
+// set) — the service's cue that Recommend is cheap enough to bypass the
+// worker pool.
+func (p *Process) ModelWarm() bool { return p.done || p.t.modelWarm() }
 
 // finish seals the process and records the final recommendation.
 func (p *Process) finish() {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/gnn"
 	"github.com/streamtune/streamtune/internal/mono"
 )
 
@@ -70,6 +71,7 @@ func RestoreTuner(pt *PreTrained, st *TunerState) (*Tuner, error) {
 			Label:       s.Label,
 		}
 	}
+	t.markDirty()
 	return t, nil
 }
 
@@ -118,6 +120,19 @@ func (t *Tuner) Resume(st *ProcessState) (*Process, error) {
 	if err != nil {
 		return nil, fmt.Errorf("streamtune: embed target: %w", err)
 	}
+	return t.ResumeWithSession(sess, st)
+}
+
+// ResumeWithSession is Resume over a caller-provided inference session
+// for the snapshot's graph (the restoring service groups sessions by
+// structural fingerprint and rebuilds them through one block-diagonal
+// batched forward). The session's graph — typically a clone of
+// st.Graph — becomes the process's target.
+func (t *Tuner) ResumeWithSession(sess *gnn.InferSession, st *ProcessState) (*Process, error) {
+	if st == nil {
+		return nil, fmt.Errorf("streamtune: nil process state")
+	}
+	g := sess.Graph()
 	topo, err := g.TopoOrder()
 	if err != nil {
 		return nil, err

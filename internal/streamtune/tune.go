@@ -31,7 +31,40 @@ type Tuner struct {
 	clusterID int
 	model     mono.Model
 	train     []mono.Sample
+
+	// Fit deduplication: every mutation of train bumps trainVersion;
+	// fitVersion records the version the model was last fitted against.
+	// All prediction models refit from scratch as a deterministic pure
+	// function of (training set, seed), so skipping a refit when the set
+	// is unchanged is bit-identical to refitting — it only removes the
+	// dominant redundant cost from the serving path (each tuning round
+	// used to fit twice: Observe's convergence check and the next Step).
+	trainVersion uint64
+	fitVersion   uint64
+	fitted       bool
 }
+
+// markDirty records a training-set mutation, invalidating the fitted
+// model.
+func (t *Tuner) markDirty() { t.trainVersion++ }
+
+// fitIfNeeded refits the prediction model only when the training set
+// changed since the last fit. Deterministic from-scratch fits make the
+// skip bit-identical to an unconditional refit.
+func (t *Tuner) fitIfNeeded() error {
+	if t.fitted && t.fitVersion == t.trainVersion {
+		return nil
+	}
+	if err := t.model.Fit(t.train); err != nil {
+		return fmt.Errorf("streamtune: fit %s: %w", t.model.Name(), err)
+	}
+	t.fitted = true
+	t.fitVersion = t.trainVersion
+	return nil
+}
+
+// modelWarm reports whether the next fitIfNeeded will be a no-op.
+func (t *Tuner) modelWarm() bool { return t.fitted && t.fitVersion == t.trainVersion }
 
 // NewTuner assigns the target job to its nearest cluster, retrieves the
 // cluster's pre-trained encoder, and constructs the warm-up fine-tuning
@@ -53,14 +86,25 @@ func NewTuner(pt *PreTrained, g *dag.Graph) (*Tuner, error) {
 // pt.AssignCluster's). The graph must already be validated; both
 // callers (NewTuner, service admission) have done so.
 func NewTunerForCluster(pt *PreTrained, g *dag.Graph, c int) (*Tuner, error) {
-	if c < 0 || c >= len(pt.Encoders) {
-		return nil, fmt.Errorf("streamtune: cluster %d outside [0, %d)", c, len(pt.Encoders))
-	}
-	model, err := mono.New(pt.Config.Model, pt.Config.GNN.PMax, pt.Config.ModelSeed)
+	warm, err := ClusterWarmup(pt, c)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tuner{cfg: pt.Config, enc: pt.Encoder(c), clusterID: c, model: model}
+	return NewTunerWithWarmup(pt, c, warm)
+}
+
+// ClusterWarmup constructs the warm-up fine-tuning dataset of cluster c
+// (Algorithm 2, lines 1-3): labeled embeddings from sampled cluster
+// history, widened to the whole corpus when a class is missing, plus
+// the head-distilled parallelism grid over up to ten cluster graphs.
+// The dataset is a pure deterministic function of (pt, c) — the target
+// job never enters its construction — so the tuning service caches one
+// per cluster and shares it across every registration.
+func ClusterWarmup(pt *PreTrained, c int) ([]mono.Sample, error) {
+	if c < 0 || c >= len(pt.Encoders) {
+		return nil, fmt.Errorf("streamtune: cluster %d outside [0, %d)", c, len(pt.Encoders))
+	}
+	t := &Tuner{cfg: pt.Config, enc: pt.Encoder(c), clusterID: c}
 
 	// Warm-up dataset: embeddings + labels from sampled cluster history.
 	execs := pt.clusterExecutions(c)
@@ -108,6 +152,25 @@ func NewTunerForCluster(pt *PreTrained, g *dag.Graph, c int) (*Tuner, error) {
 	if !t.bothClasses() {
 		return nil, fmt.Errorf("streamtune: corpus lacks both bottleneck classes for warm-up")
 	}
+	return t.train, nil
+}
+
+// NewTunerWithWarmup builds a tuner for cluster c over an
+// already-constructed warm-up dataset (from ClusterWarmup, possibly
+// cached and shared — the samples are copied; embeddings are shared
+// read-only). Equivalent to NewTunerForCluster, bit for bit, because
+// the warm-up set is deterministic in (pt, c).
+func NewTunerWithWarmup(pt *PreTrained, c int, warm []mono.Sample) (*Tuner, error) {
+	if c < 0 || c >= len(pt.Encoders) {
+		return nil, fmt.Errorf("streamtune: cluster %d outside [0, %d)", c, len(pt.Encoders))
+	}
+	model, err := mono.New(pt.Config.Model, pt.Config.GNN.PMax, pt.Config.ModelSeed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tuner{cfg: pt.Config, enc: pt.Encoder(c), clusterID: c, model: model,
+		train: append([]mono.Sample(nil), warm...)}
+	t.markDirty()
 	return t, nil
 }
 
@@ -117,37 +180,44 @@ var parallelismGrid = []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
 // distill queries the pre-trained head across the parallelism grid and
 // appends its hard labels to T. With FUSE applied after message passing,
 // each operator's head prediction depends only on its own embedding and
-// parallelism, so the grid replays only FUSE + head over the session's
-// cached message-passing states (the grad-free fast path; one full
-// encoder pass total instead of one per grid point).
+// parallelism, so the whole grid runs as one batched FUSE + head replay
+// over the session's cached message-passing states (one block per grid
+// point) — one full encoder pass plus one grid replay total.
 func (t *Tuner) distill(sess *gnn.InferSession, g *dag.Graph) error {
 	embs := sess.Embeddings()
 	pmax := t.cfg.GNN.PMax
-	par := make(map[string]int, g.NumOperators())
-	for _, p := range parallelismGrid {
-		if p > pmax {
-			break
-		}
+	grid := parallelismGrid
+	for len(grid) > 0 && grid[len(grid)-1] > pmax {
+		grid = grid[:len(grid)-1]
+	}
+	pars := make([]map[string]int, len(grid))
+	for pi, p := range grid {
+		par := make(map[string]int, g.NumOperators())
 		for _, op := range g.Operators() {
 			par[op.ID] = p
 		}
-		probs, err := sess.Probs(par)
-		if err != nil {
-			return fmt.Errorf("streamtune: distill predict %s: %w", g.Name, err)
-		}
-		for i := range probs {
+		pars[pi] = par
+	}
+	probsByPoint, err := sess.ProbsBatch(pars)
+	if err != nil {
+		return fmt.Errorf("streamtune: distill predict %s: %w", g.Name, err)
+	}
+	for pi, p := range grid {
+		for i, prob := range probsByPoint[pi] {
 			label := 0
-			if probs[i] >= 0.5 {
+			if prob >= 0.5 {
 				label = 1
 			}
 			t.train = append(t.train, mono.Sample{Embedding: embs[i], Parallelism: p, Label: label})
 		}
 	}
+	t.markDirty()
 	return nil
 }
 
 // absorb appends the labeled operators of the executions to T.
 func (t *Tuner) absorb(execs []history.Execution) error {
+	defer t.markDirty()
 	for _, ex := range execs {
 		embs, err := t.enc.Embeddings(ex.Graph)
 		if err != nil {
@@ -188,6 +258,7 @@ func (t *Tuner) trim() {
 	if max <= 0 || len(t.train) <= max {
 		return
 	}
+	defer t.markDirty()
 	kept := append([]mono.Sample(nil), t.train[len(t.train)-max:]...)
 	var have0, have1 bool
 	for _, s := range kept {
@@ -309,10 +380,12 @@ func (t *Tuner) Tune(sys System) (*Result, error) {
 	return p.Result(), nil
 }
 
-// equalRecommendation refits and checks whether the recommendation is
-// already at its fixed point, avoiding a wasted extra loop round.
+// equalRecommendation refits (when the training set changed) and checks
+// whether the recommendation is already at its fixed point, avoiding a
+// wasted extra loop round. A fit failure reads as not-converged; the
+// retry in Observe's eager fit surfaces the error.
 func equalRecommendation(t *Tuner, embs [][]float64, topo []int, g *dag.Graph, cfg engine.Config, cur, lower map[string]int) bool {
-	if err := t.model.Fit(t.train); err != nil {
+	if err := t.fitIfNeeded(); err != nil {
 		return false
 	}
 	rec := make(map[string]int, len(cur))

@@ -1,0 +1,179 @@
+package streamtune
+
+// Differential tests for the serving-path extraction points: the cached
+// cluster warm-up, session-injected Start, and fit deduplication must
+// all be bit-identical to the original single-shot paths.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// TestClusterWarmupMatchesNewTuner holds NewTunerWithWarmup over a
+// shared ClusterWarmup dataset bit-identical to the original
+// NewTunerForCluster — the invariant the service's per-cluster warm-up
+// cache rests on.
+func TestClusterWarmupMatchesNewTuner(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g, err := nexmark.Build(nexmark.Q5, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := pt.AssignCluster(g)
+	direct, err := NewTunerForCluster(pt, g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ClusterWarmup(pt, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewTunerWithWarmup(pt, c, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.TrainingSamples(), shared.TrainingSamples()) {
+		t.Fatal("warm-up dataset differs between direct and shared construction")
+	}
+	// The second tuner from the same cached dataset must match too (the
+	// first one must not have mutated the shared samples).
+	shared2, err := NewTunerWithWarmup(pt, c, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.TrainingSamples(), shared2.TrainingSamples()) {
+		t.Fatal("shared warm-up dataset was mutated by a prior tuner build")
+	}
+	if _, err := ClusterWarmup(pt, len(pt.Encoders)); err == nil {
+		t.Fatal("expected out-of-range cluster error")
+	}
+	if _, err := NewTunerWithWarmup(pt, -1, warm); err == nil {
+		t.Fatal("expected out-of-range cluster error")
+	}
+}
+
+// TestStartWithSessionMatchesStart drives two identical tuners to
+// convergence, one through Start and one through an injected inference
+// session plus Prefit (the service's register path), and demands
+// identical tuning outcomes.
+func TestStartWithSessionMatchesStart(t *testing.T) {
+	pt := sharedPreTrained(t)
+
+	eng1 := targetEngine(t)
+	tuner1, err := NewTuner(pt, eng1.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveProcess(t, tuner1, eng1)
+
+	eng2 := targetEngine(t)
+	tuner2, err := NewTuner(pt, eng2.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := pt.Encoder(tuner2.ClusterID()).NewInferSession(eng2.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tuner2.StartWithSession(sess, eng2.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ModelWarm() {
+		t.Fatal("model reads warm before any fit")
+	}
+	if err := p.Prefit(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.ModelWarm() {
+		t.Fatal("model still cold after Prefit")
+	}
+	got := driveSession(t, p, eng2)
+	if !reflect.DeepEqual(got.Parallelism, want.Parallelism) {
+		t.Fatalf("session-injected start diverged:\ngot  %v\nwant %v", got.Parallelism, want.Parallelism)
+	}
+	if got.Iterations != want.Iterations || got.Reconfigurations != want.Reconfigurations {
+		t.Fatalf("loop shape diverged: got %d/%d iterations/reconfigs, want %d/%d",
+			got.Iterations, got.Reconfigurations, want.Iterations, want.Reconfigurations)
+	}
+}
+
+// driveSession runs an already-started process to convergence against
+// the engine.
+func driveSession(t *testing.T, p *Process, eng *engine.Engine) *Result {
+	t.Helper()
+	for {
+		rec, deploy, done, err := p.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		if deploy {
+			if err := eng.Deploy(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done, err = p.Observe(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	return p.Result()
+}
+
+// TestFitDeduplication pins the fit-skip bookkeeping: after an Observe,
+// the model is already warm for the next Step; a fresh restore is cold.
+func TestFitDeduplication(t *testing.T) {
+	pt := sharedPreTrained(t)
+	eng := targetEngine(t)
+	tuner, err := NewTuner(pt, eng.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tuner.Start(eng.Graph(), eng.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, done, err := p.Step()
+	if err != nil || done {
+		t.Fatalf("first step: rec=%v done=%v err=%v", rec, done, err)
+	}
+	if !p.ModelWarm() {
+		t.Fatal("model cold right after a fitted Step")
+	}
+	if err := eng.Deploy(rec); err != nil {
+		t.Fatal(err)
+	}
+	m, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err = p.Observe(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done && !p.ModelWarm() {
+		t.Fatal("Observe left the model cold for the next Step")
+	}
+
+	st := tuner.State()
+	restored, err := RestoreTuner(pt, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.modelWarm() {
+		t.Fatal("restored tuner claims a warm model before any fit")
+	}
+}
