@@ -10,8 +10,9 @@
 //
 // Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
 // fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
-// ablation-global, ged-bench, nn-bench, service-bench, all ("all"
-// excludes ged-bench, nn-bench and service-bench; run them explicitly).
+// ablation-global, ged-bench, nn-bench, service-bench, chaos-bench, all
+// ("all" excludes ged-bench, nn-bench, service-bench and chaos-bench;
+// run them explicitly).
 //
 // -workers bounds the fan-out of each parallel stage (concurrent
 // drivers, experiment cells, corpus samples, GED pairs, per-cluster
@@ -32,7 +33,14 @@
 // The service-bench experiment writes BENCH_service.json: N concurrent
 // jobs tuned through the multi-tenant service (jobs/sec, recommend
 // latency quantiles, shared-artifact hit rates), cross-checked
-// bit-for-bit against sequential single-job Tuner runs.
+// bit-for-bit against sequential single-job Tuner runs, plus a small
+// embedded crash-recovery soak (recovery_cross_checks must be nonzero).
+// The chaos-bench experiment writes BENCH_chaos.json: the full
+// crash-recovery soak — the service is killed at -chaos-kills random
+// points mid-tuning, checkpoint writes fail and checkpoint files are
+// corrupted on a seeded schedule, and every restart must resume from
+// the newest valid checkpoint with recommendations bit-identical to an
+// uninterrupted run.
 package main
 
 import (
@@ -77,6 +85,10 @@ func main() {
 	nnBenchOut := flag.String("nn-bench-out", "BENCH_nn.json", "nn-bench report path (empty to disable)")
 	serviceBenchOut := flag.String("service-bench-out", "BENCH_service.json", "service-bench report path (empty to disable)")
 	serviceJobs := flag.Int("service-jobs", 0, "service-bench concurrent jobs (0 = 16)")
+	chaosBenchOut := flag.String("chaos-bench-out", "BENCH_chaos.json", "chaos-bench report path (empty to disable)")
+	chaosJobs := flag.Int("chaos-jobs", 4, "chaos-bench tenant count")
+	chaosKills := flag.Int("chaos-kills", 24, "chaos-bench injected service kills")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos-bench fault-schedule seed")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -100,8 +112,19 @@ func main() {
 		jobs = 16
 	}
 
+	bench := benchTargets{
+		gedOut:      *gedBenchOut,
+		nnOut:       *nnBenchOut,
+		serviceOut:  *serviceBenchOut,
+		chaosOut:    *chaosBenchOut,
+		serviceJobs: jobs,
+		chaosJobs:   *chaosJobs,
+		chaosKills:  *chaosKills,
+		chaosSeed:   *chaosSeed,
+	}
+
 	start := time.Now()
-	if err := run(*exp, opts, summary, *gedBenchOut, *nnBenchOut, *serviceBenchOut, jobs); err != nil {
+	if err := run(*exp, opts, summary, bench); err != nil {
 		log.Fatalf("experiment %s: %v", *exp, err)
 	}
 	summary.TotalSeconds = time.Since(start).Seconds()
@@ -121,7 +144,28 @@ func writeBench(path string, s *benchSummary) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOut, nnBenchOut, serviceBenchOut string, serviceJobs int) error {
+// benchTargets carries the report destinations and scales of the
+// explicit benchmark experiments.
+type benchTargets struct {
+	gedOut, nnOut, serviceOut, chaosOut string
+	serviceJobs, chaosJobs, chaosKills  int
+	chaosSeed                           int64
+}
+
+// writeReport marshals a benchmark report to path; an empty path
+// disables the write.
+func writeReport(path string, report any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(exp string, opts experiments.Options, summary *benchSummary, bench benchTargets) error {
 	out := os.Stdout
 	needSweep := map[string]bool{"fig6": true, "fig7a": true, "table3": true, "fig9a": true, "all": true}
 
@@ -243,29 +287,26 @@ func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOu
 				return err
 			}
 			experiments.NNBenchTable(report).Render(out)
-			if nnBenchOut != "" {
-				data, err := json.MarshalIndent(report, "", "  ")
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(nnBenchOut, append(data, '\n'), 0o644); err != nil {
-					return err
-				}
+			if err := writeReport(bench.nnOut, report); err != nil {
+				return err
 			}
 		case "service-bench":
-			report, err := experiments.ServiceBench(opts, serviceJobs)
+			report, err := experiments.ServiceBench(opts, bench.serviceJobs)
 			if err != nil {
 				return err
 			}
 			experiments.ServiceBenchTable(report).Render(out)
-			if serviceBenchOut != "" {
-				data, err := json.MarshalIndent(report, "", "  ")
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(serviceBenchOut, append(data, '\n'), 0o644); err != nil {
-					return err
-				}
+			if err := writeReport(bench.serviceOut, report); err != nil {
+				return err
+			}
+		case "chaos-bench":
+			report, err := experiments.ChaosBench(opts, bench.chaosJobs, bench.chaosKills, bench.chaosSeed)
+			if err != nil {
+				return err
+			}
+			experiments.ChaosBenchTable(report).Render(out)
+			if err := writeReport(bench.chaosOut, report); err != nil {
+				return err
 			}
 		case "ged-bench":
 			sizes := []int{80, 160, 320}
@@ -277,14 +318,8 @@ func run(exp string, opts experiments.Options, summary *benchSummary, gedBenchOu
 				return err
 			}
 			experiments.GEDBenchTable(rows).Render(out)
-			if gedBenchOut != "" {
-				data, err := json.MarshalIndent(rows, "", "  ")
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(gedBenchOut, append(data, '\n'), 0o644); err != nil {
-					return err
-				}
+			if err := writeReport(bench.gedOut, rows); err != nil {
+				return err
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", id)

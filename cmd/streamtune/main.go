@@ -228,6 +228,14 @@ func cmdServe(args []string) error {
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "cross-tenant inference batching deadline (0 disables batching)")
 	maxBatch := fs.Int("max-batch", 8, "max sessions coalesced into one inference batch")
 	snapshot := fs.String("snapshot", "", "snapshot path: restored at startup when present, written on shutdown")
+	checkpointDir := fs.String("checkpoint-dir", "", "crash-safe checkpoint directory: restored from at startup, checkpointed to while serving")
+	checkpointEvery := fs.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint cadence")
+	checkpointMutations := fs.Uint64("checkpoint-mutations", 64, "checkpoint early after this many registry mutations (0 = time-only)")
+	checkpointKeep := fs.Int("checkpoint-keep", 3, "checkpoint files retained for corruption fallback")
+	maxQueue := fs.Int("max-queue", 0, "bounded admission queue per worker pool; overflow sheds with 503 (0 = unbounded)")
+	maxPendingInfer := fs.Int("max-pending-infer", 0, "max requests parked in inference batch windows; overflow sheds with 503 (0 = unbounded)")
+	requestTimeout := fs.Duration("request-timeout", 0, "server-side deadline for Register/Recommend/Observe (0 = none)")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 overload responses")
 	fs.Parse(args)
 
 	opts := experiments.Full()
@@ -243,14 +251,34 @@ func cmdServe(args []string) error {
 	log.Printf("pre-trained %d cluster encoder(s) in %v", len(pt.Encoders), pt.TrainTime.Round(time.Millisecond))
 
 	cfg := service.Config{
-		LeaseTTL:    *lease,
-		MaxSessions: *maxSessions,
-		Workers:     *workers,
-		BatchWindow: *batchWindow,
-		MaxBatch:    *maxBatch,
+		LeaseTTL:        *lease,
+		MaxSessions:     *maxSessions,
+		Workers:         *workers,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		MaxQueue:        *maxQueue,
+		MaxPendingInfer: *maxPendingInfer,
+		RequestTimeout:  *requestTimeout,
+		RetryAfter:      *retryAfter,
 	}
+	// Durable state precedence: the checkpoint directory (crash-safe,
+	// rotated, checksummed) wins over the single-file -snapshot, which
+	// remains the graceful-shutdown handoff format.
 	var svc *service.Service
-	if *snapshot != "" {
+	if *checkpointDir != "" {
+		restored, path, skipped, rerr := service.RestoreFromDir(pt, cfg, *checkpointDir)
+		for _, serr := range skipped {
+			log.Printf("checkpoint skipped: %v", serr)
+		}
+		if rerr != nil {
+			return fmt.Errorf("restore from %s: %w", *checkpointDir, rerr)
+		}
+		if restored != nil {
+			svc = restored
+			log.Printf("restored %d session(s) from checkpoint %s", len(svc.JobIDs()), path)
+		}
+	}
+	if svc == nil && *snapshot != "" {
 		if data, rerr := os.ReadFile(*snapshot); rerr == nil {
 			svc, err = service.Restore(pt, cfg, data)
 			if err != nil {
@@ -266,6 +294,21 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
+	}
+
+	var ckpt *service.Checkpointer
+	if *checkpointDir != "" {
+		ckpt, err = service.NewCheckpointer(svc, service.CheckpointConfig{
+			Dir:            *checkpointDir,
+			Interval:       *checkpointEvery,
+			EveryMutations: *checkpointMutations,
+			Keep:           *checkpointKeep,
+		})
+		if err != nil {
+			return err
+		}
+		ckpt.Start()
+		log.Printf("checkpointing to %s every %v (keep %d)", *checkpointDir, *checkpointEvery, *checkpointKeep)
 	}
 
 	srv := &http.Server{
@@ -318,10 +361,19 @@ func cmdServe(args []string) error {
 		defer cancel()
 		err := srv.Shutdown(ctx)
 		svc.Close()
+		if ckpt != nil {
+			if serr := ckpt.Stop(); serr != nil {
+				log.Printf("final checkpoint: %v", serr)
+			} else if path, _ := ckpt.LastCheckpoint(); path != "" {
+				log.Printf("final checkpoint %s", path)
+			}
+		}
 		if *snapshot != "" {
+			// Atomic write: a crash mid-shutdown must never tear the
+			// previous snapshot.
 			if data, serr := svc.Snapshot(); serr != nil {
 				log.Printf("snapshot: %v", serr)
-			} else if werr := os.WriteFile(*snapshot, data, 0o644); werr != nil {
+			} else if werr := service.WriteFileAtomic(*snapshot, data); werr != nil {
 				log.Printf("write snapshot: %v", werr)
 			} else {
 				log.Printf("wrote %d session(s) to %s", len(svc.JobIDs()), *snapshot)

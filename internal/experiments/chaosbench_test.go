@@ -1,0 +1,71 @@
+package experiments
+
+import "testing"
+
+// TestChaosSoakBitIdentical is the crash-recovery acceptance run: the
+// service dies at 20+ seeded points mid-tuning (with checkpoint write
+// failures and corrupted checkpoint files injected along the way) and
+// every restart must resume from the newest valid checkpoint with
+// recommendations bit-identical to an uninterrupted run. runChaosSoak
+// fails on the first divergence, so this test passing IS the
+// bit-identity proof; the assertions below pin that the soak actually
+// exercised what it claims to.
+func TestChaosSoakBitIdentical(t *testing.T) {
+	opts := tiny()
+	jobs, kills := 3, 24
+	if testing.Short() {
+		jobs = 2
+	}
+	r, err := ChaosBench(opts, jobs, kills, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FinalBitIdentical || !r.RecoveryBitIdentical {
+		t.Fatalf("soak not bit-identical: %+v", r)
+	}
+	if r.Restores < 20 {
+		t.Errorf("Restores = %d, want >= 20 kill/restore cycles", r.Restores)
+	}
+	if r.RecoveryCrossChecks == 0 {
+		t.Error("no replayed recommendation was ever cross-checked against the pre-crash log")
+	}
+	if r.CheckpointsWritten == 0 {
+		t.Error("soak never wrote a checkpoint")
+	}
+	if r.CorruptCheckpointsInjected == 0 || r.WriteFailuresInjected == 0 {
+		t.Errorf("fault schedule injected %d corruptions / %d write failures, want both > 0 (seed too tame)",
+			r.CorruptCheckpointsInjected, r.WriteFailuresInjected)
+	}
+	// Every injected write failure must surface as a counted checkpoint
+	// failure, not a silent success.
+	if r.CheckpointFailures < uint64(r.WriteFailuresInjected) {
+		t.Errorf("CheckpointFailures = %d, want >= %d injected write failures",
+			r.CheckpointFailures, r.WriteFailuresInjected)
+	}
+}
+
+// TestChaosSoakSeedsDiverge sanity-checks that the kill schedule really
+// depends on the seed (different seeds, different fault histories)
+// while both runs stay bit-identical to the uninterrupted references.
+func TestChaosSoakSeedsDiverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second soak run is not worth -short time")
+	}
+	opts := tiny()
+	a, err := ChaosBench(opts, 2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosBench(opts, 2, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.FinalBitIdentical || !b.FinalBitIdentical {
+		t.Fatalf("seeded soaks not bit-identical: seed1=%+v seed99=%+v", a, b)
+	}
+	if a.RecoveryCrossChecks == b.RecoveryCrossChecks &&
+		a.CorruptCheckpointsInjected == b.CorruptCheckpointsInjected &&
+		a.ReplayedObservations == b.ReplayedObservations {
+		t.Errorf("seeds 1 and 99 produced identical fault histories — schedule ignores the seed:\n%+v", a)
+	}
+}

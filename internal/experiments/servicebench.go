@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -71,6 +72,17 @@ type ServiceBenchReport struct {
 	// is the coalescing the batcher exists for.
 	BatchFlushes   uint64         `json:"batch_flushes"`
 	BatchOccupancy map[int]uint64 `json:"batch_occupancy,omitempty"`
+
+	// Recovery: an embedded mini crash-recovery soak over a subset of
+	// the jobs — the service is killed mid-tuning and restored from
+	// checkpoints. RecoveryCrossChecks counts replayed recommendations
+	// compared bit-for-bit against the pre-crash log (the CI benchmark
+	// gate fails when this is zero); RecoveryRestores counts the
+	// crash/restore cycles; RecoveryBitIdentical records that the soak's
+	// final recommendations matched the sequential references.
+	RecoveryRestores     int  `json:"recovery_restores"`
+	RecoveryCrossChecks  int  `json:"recovery_cross_checks"`
+	RecoveryBitIdentical bool `json:"recovery_bit_identical"`
 }
 
 // serviceBenchJob is one load-generator tenant.
@@ -214,7 +226,7 @@ func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
 		return nil, fmt.Errorf("servicebench: restore: %w", err)
 	}
 	for i, job := range jobs {
-		rec, err := restored.Recommend(job.id)
+		rec, err := restored.Recommend(context.Background(), job.id)
 		if err != nil {
 			return nil, fmt.Errorf("servicebench: restored recommend %s: %w", job.id, err)
 		}
@@ -223,6 +235,23 @@ func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
 		}
 	}
 	r.SnapshotRestored = true
+
+	// --- Embedded crash-recovery soak over a subset of the jobs ---
+	// A scaled-down chaos-bench pass: enough kills that restores replay
+	// recommendations through the checkpointed registry, cheap enough to
+	// ride along with every service-bench run. The soak errors on the
+	// first replay divergence, so a surviving report proves recovery.
+	soakJobs := jobs
+	if len(soakJobs) > 4 {
+		soakJobs = soakJobs[:4]
+	}
+	soak, err := runChaosSoak(pt, soakJobs, opts, want[:len(soakJobs)], 6, 1)
+	if err != nil {
+		return nil, fmt.Errorf("servicebench: recovery soak: %w", err)
+	}
+	r.RecoveryRestores = soak.Restores
+	r.RecoveryCrossChecks = soak.RecoveryCrossChecks
+	r.RecoveryBitIdentical = soak.RecoveryBitIdentical && soak.FinalBitIdentical
 	return r, nil
 }
 
@@ -300,13 +329,13 @@ func driveServiceJob(svc *service.Service, job serviceBenchJob, opts Options, st
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := svc.Register(job.id, job.graph, eng.Config()); err != nil {
+	if _, err := svc.Register(context.Background(), job.id, job.graph, eng.Config()); err != nil {
 		return nil, nil, err
 	}
 	var latencies []time.Duration
 	for rounds := 0; rounds < 1000; rounds++ {
 		t0 := time.Now()
-		rec, err := svc.Recommend(job.id)
+		rec, err := svc.Recommend(context.Background(), job.id)
 		latencies = append(latencies, time.Since(t0))
 		if err != nil {
 			return nil, nil, err
@@ -324,13 +353,13 @@ func driveServiceJob(svc *service.Service, job serviceBenchJob, opts Options, st
 		if err != nil {
 			return nil, nil, err
 		}
-		done, err := svc.Observe(job.id, m)
+		done, err := svc.Observe(context.Background(), job.id, m)
 		if err != nil {
 			return nil, nil, err
 		}
 		if done {
 			t0 := time.Now()
-			rec, err := svc.Recommend(job.id)
+			rec, err := svc.Recommend(context.Background(), job.id)
 			latencies = append(latencies, time.Since(t0))
 			if err != nil {
 				return nil, nil, err
@@ -363,6 +392,8 @@ func ServiceBenchTable(r *ServiceBenchReport) *Table {
 	add("batch occupancy", occupancyString(r.BatchOccupancy, r.BatchFlushes))
 	add("batched bit-identical", fmt.Sprintf("%v", r.BatchedBitIdentical))
 	add("snapshot restored", fmt.Sprintf("%v (%d bytes)", r.SnapshotRestored, r.SnapshotBytes))
+	add("recovery soak", fmt.Sprintf("%d restores, %d replay cross-checks", r.RecoveryRestores, r.RecoveryCrossChecks))
+	add("recovery bit-identical", fmt.Sprintf("%v", r.RecoveryBitIdentical))
 	return t
 }
 

@@ -1,0 +1,224 @@
+// Package faultinject provides named failpoints for the serving stack:
+// explicit hooks compiled into production code paths that tests and the
+// chaos harness arm to inject failures — write errors on the checkpoint
+// path, corrupted snapshot bytes, batcher flush errors, encoder latency
+// spikes — without touching the code under test.
+//
+// A failpoint is addressed by name. Production code calls Hit (or
+// Corrupt for byte-mangling points) at the guarded site; when nothing is
+// armed the call is a single atomic load. Tests arm a point with Enable
+// plus behavior options and tear it down with Disable or Reset:
+//
+//	faultinject.Enable(faultinject.CheckpointWrite,
+//	    faultinject.WithError(errors.New("disk full")),
+//	    faultinject.Times(1))
+//	defer faultinject.Reset()
+//
+// Firing is deterministic — Every(n) fires on every nth hit and Times(n)
+// disarms after n fires — so a seeded chaos driver controls exactly
+// which operations fail. The package never fires on its own: a binary
+// that enables nothing pays only the disarmed fast path.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Well-known failpoint names wired into the serving stack. Packages may
+// define their own names too; these constants only fix the spelling of
+// the shared ones.
+const (
+	// CheckpointWrite fails the atomic snapshot/checkpoint file write
+	// (internal/service.WriteFileAtomic) before any bytes reach disk.
+	CheckpointWrite = "checkpoint-write"
+	// CheckpointCorrupt mangles checkpoint bytes between serialization
+	// and the (otherwise successful) write, producing an on-disk
+	// checkpoint whose checksum cannot verify.
+	CheckpointCorrupt = "checkpoint-corrupt"
+	// BatcherFlush fails a cross-tenant inference batch flush; every
+	// waiter of the batch receives the injected error.
+	BatcherFlush = "batcher-flush"
+	// EncoderLatency delays encoder inference (batched and single-graph)
+	// without failing it — the latency-spike scenario. Arm it with
+	// WithDelay alone.
+	EncoderLatency = "encoder-latency"
+)
+
+// ErrInjected is wrapped by the default injected error, so tests can
+// errors.Is their way back to "this failure was injected".
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// point is one armed failpoint.
+type point struct {
+	err     error
+	delay   time.Duration
+	corrupt func([]byte) []byte
+	every   int // fire on every nth hit; 1 = always
+	times   int // remaining fires before auto-disarm; < 0 = unlimited
+
+	hits  uint64
+	fired uint64
+}
+
+// Option configures an armed failpoint.
+type Option func(*point)
+
+// WithError sets the error Hit returns when the point fires. Without it
+// (and without WithDelay) firing returns ErrInjected.
+func WithError(err error) Option { return func(p *point) { p.err = err } }
+
+// WithDelay sleeps d on every fire before returning. A point armed with
+// WithDelay and no WithError is a pure latency injection: Hit sleeps and
+// returns nil.
+func WithDelay(d time.Duration) Option { return func(p *point) { p.delay = d } }
+
+// WithCorrupt sets the byte-mangling function Corrupt applies on fire.
+// Without it, Corrupt flips one byte in the middle of the payload —
+// enough to break any checksum while keeping the length plausible.
+func WithCorrupt(fn func([]byte) []byte) Option { return func(p *point) { p.corrupt = fn } }
+
+// Every makes the point fire only on every nth hit (n >= 1).
+func Every(n int) Option {
+	return func(p *point) {
+		if n >= 1 {
+			p.every = n
+		}
+	}
+}
+
+// Times disarms the point after n fires (n >= 1). Hits keep counting,
+// but the point no longer fires.
+func Times(n int) Option {
+	return func(p *point) {
+		if n >= 1 {
+			p.times = n
+		}
+	}
+}
+
+var (
+	// armed counts enabled points; the disarmed fast path of Hit and
+	// Corrupt is one atomic load and no lock.
+	armed  atomic.Int32
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// Enable arms (or re-arms, replacing the previous behavior of) the
+// named failpoint.
+func Enable(name string, opts ...Option) {
+	p := &point{every: 1, times: -1}
+	for _, o := range opts {
+		o(p)
+	}
+	mu.Lock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = p
+	mu.Unlock()
+}
+
+// Disable disarms the named failpoint; a no-op when it is not armed.
+func Disable(name string) {
+	mu.Lock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every failpoint.
+func Reset() {
+	mu.Lock()
+	armed.Add(-int32(len(points)))
+	points = map[string]*point{}
+	mu.Unlock()
+}
+
+// Active reports whether the named failpoint is currently armed.
+func Active(name string) bool {
+	mu.Lock()
+	_, ok := points[name]
+	mu.Unlock()
+	return ok
+}
+
+// Fired reports how many times the named failpoint has fired since it
+// was (last) enabled; zero when disarmed.
+func Fired(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// fire consults the named point under the lock and returns the behavior
+// to apply, consuming one hit.
+func fire(name string) (delay time.Duration, err error, corrupt func([]byte) []byte, ok bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	p, armedHere := points[name]
+	if !armedHere {
+		return 0, nil, nil, false
+	}
+	p.hits++
+	if p.times == 0 || p.hits%uint64(p.every) != 0 {
+		return 0, nil, nil, false
+	}
+	p.fired++
+	if p.times > 0 {
+		p.times--
+	}
+	return p.delay, p.err, p.corrupt, true
+}
+
+// Hit evaluates the named failpoint at a guarded site: when it fires it
+// sleeps the configured delay and returns the configured error (or
+// ErrInjected when only a delay was configured — a delay-only point
+// returns nil). Disarmed points return nil at atomic-load cost.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	delay, err, _, fired := fire(name)
+	if !fired {
+		return nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err == nil && delay == 0 {
+		return fmt.Errorf("%w: %s", ErrInjected, name)
+	}
+	return err
+}
+
+// Corrupt applies the named failpoint's corruption to data when it
+// fires, returning a mangled copy; otherwise data is returned unchanged
+// (not copied). The default corruption flips one byte in the middle of
+// the payload.
+func Corrupt(name string, data []byte) []byte {
+	if armed.Load() == 0 {
+		return data
+	}
+	_, _, corrupt, fired := fire(name)
+	if !fired {
+		return data
+	}
+	if corrupt != nil {
+		return corrupt(append([]byte(nil), data...))
+	}
+	out := append([]byte(nil), data...)
+	if len(out) > 0 {
+		out[len(out)/2] ^= 0xff
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("never-armed"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	data := []byte("payload")
+	if got := Corrupt("never-armed", data); &got[0] != &data[0] {
+		t.Fatal("disarmed Corrupt copied the payload")
+	}
+}
+
+func TestHitReturnsConfiguredError(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("disk full")
+	Enable("p", WithError(sentinel))
+	if err := Hit("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("Hit = %v, want %v", err, sentinel)
+	}
+	if Fired("p") != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired("p"))
+	}
+}
+
+func TestHitDefaultsToErrInjected(t *testing.T) {
+	defer Reset()
+	Enable("p")
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected", err)
+	}
+}
+
+func TestDelayOnlyPointSleepsAndReturnsNil(t *testing.T) {
+	defer Reset()
+	Enable("p", WithDelay(10*time.Millisecond))
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("delay-only Hit = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want >= 10ms", d)
+	}
+}
+
+func TestTimesDisarmsAfterN(t *testing.T) {
+	defer Reset()
+	Enable("p", Times(2))
+	for i := 0; i < 2; i++ {
+		if err := Hit("p"); err == nil {
+			t.Fatalf("fire %d: Hit = nil, want error", i)
+		}
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("after Times(2) exhausted: Hit = %v, want nil", err)
+	}
+	if Fired("p") != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired("p"))
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer Reset()
+	Enable("p", Every(3))
+	var fired int
+	for i := 0; i < 9; i++ {
+		if Hit("p") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Every(3) over 9 hits fired %d times, want 3", fired)
+	}
+}
+
+func TestCorruptFlipsBytes(t *testing.T) {
+	defer Reset()
+	Enable("p")
+	data := []byte("a perfectly healthy checkpoint payload")
+	got := Corrupt("p", data)
+	if string(got) == string(data) {
+		t.Fatal("Corrupt returned the payload unchanged")
+	}
+	if string(data) != "a perfectly healthy checkpoint payload" {
+		t.Fatal("Corrupt mutated the caller's slice")
+	}
+	if len(got) != len(data) {
+		t.Fatalf("default corruption changed length %d -> %d", len(data), len(got))
+	}
+}
+
+func TestCustomCorruption(t *testing.T) {
+	defer Reset()
+	Enable("p", WithCorrupt(func(b []byte) []byte { return b[:len(b)/2] }))
+	data := []byte("0123456789")
+	if got := Corrupt("p", data); len(got) != 5 {
+		t.Fatalf("custom corruption returned %d bytes, want 5", len(got))
+	}
+}
+
+func TestEnableReplacesAndDisable(t *testing.T) {
+	defer Reset()
+	Enable("p", WithError(errors.New("first")))
+	second := errors.New("second")
+	Enable("p", WithError(second))
+	if err := Hit("p"); !errors.Is(err, second) {
+		t.Fatalf("re-armed Hit = %v, want %v", err, second)
+	}
+	Disable("p")
+	if Active("p") {
+		t.Fatal("point still active after Disable")
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("disabled Hit = %v, want nil", err)
+	}
+}

@@ -12,6 +12,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -81,21 +83,47 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	return nil
 }
 
+// ErrSaturated reports that a bounded limiter's waiting room was full:
+// the request was shed immediately instead of queueing. Services map it
+// to a retryable overload response (HTTP 503 + Retry-After).
+var ErrSaturated = errors.New("parallel: limiter saturated")
+
 // Limiter bounds the number of tasks executing concurrently. Unlike
 // ForEach — which owns a fixed batch of index-addressed work — a
 // Limiter serves open-ended request streams: long-lived services
 // acquire a slot per request, so at most `workers` expensive operations
 // (model refits, encoder inference) run at once while excess callers
-// queue in FIFO-ish channel order. The zero Limiter is not usable; use
-// NewLimiter.
+// queue in FIFO-ish channel order. A bounded limiter
+// (NewBoundedLimiter) additionally caps the queue and sheds the
+// overflow, so a saturated service degrades into fast ErrSaturated
+// rejections instead of unbounded queueing. The zero Limiter is not
+// usable; use NewLimiter or NewBoundedLimiter.
 type Limiter struct {
 	slots chan struct{}
+	// queue holds one token per DoCtx request admitted — executing or
+	// waiting. nil means the waiting room is unbounded (NewLimiter).
+	queue chan struct{}
+	// waiting counts DoCtx requests queued for a slot right now.
+	waiting atomic.Int32
 }
 
 // NewLimiter returns a limiter admitting at most Workers(workers)
-// concurrent executions.
+// concurrent executions, with an unbounded waiting room.
 func NewLimiter(workers int) *Limiter {
 	return &Limiter{slots: make(chan struct{}, Workers(workers))}
+}
+
+// NewBoundedLimiter returns a limiter admitting at most
+// Workers(workers) concurrent executions and at most maxQueue further
+// requests waiting for a slot; DoCtx sheds anything beyond that with
+// ErrSaturated. maxQueue < 0 leaves the waiting room unbounded
+// (equivalent to NewLimiter).
+func NewBoundedLimiter(workers, maxQueue int) *Limiter {
+	l := NewLimiter(workers)
+	if maxQueue >= 0 {
+		l.queue = make(chan struct{}, cap(l.slots)+maxQueue)
+	}
+	return l
 }
 
 // Cap reports the maximum number of concurrent executions.
@@ -104,11 +132,47 @@ func (l *Limiter) Cap() int { return cap(l.slots) }
 // InFlight reports the number of slots currently held.
 func (l *Limiter) InFlight() int { return len(l.slots) }
 
+// Queued reports the number of DoCtx requests waiting for a slot right
+// now.
+func (l *Limiter) Queued() int { return int(l.waiting.Load()) }
+
 // Do runs fn once a slot is available and releases the slot when fn
-// returns, propagating fn's error.
+// returns, propagating fn's error. Do ignores the queue bound and never
+// sheds — it is the batch-work entry point; request-serving paths use
+// DoCtx.
 func (l *Limiter) Do(fn func() error) error {
 	l.slots <- struct{}{}
 	defer func() { <-l.slots }()
+	return fn()
+}
+
+// DoCtx is Do for request-serving paths: it sheds immediately with
+// ErrSaturated when the waiting room is full, abandons the wait with
+// ctx.Err() if ctx is done before a slot frees (the caller's deadline
+// or a disconnected client), and otherwise runs fn holding a slot. A
+// context canceled after the slot is acquired but before fn starts also
+// aborts — doomed work is never started, only completed.
+func (l *Limiter) DoCtx(ctx context.Context, fn func() error) error {
+	if l.queue != nil {
+		select {
+		case l.queue <- struct{}{}:
+			defer func() { <-l.queue }()
+		default:
+			return ErrSaturated
+		}
+	}
+	l.waiting.Add(1)
+	select {
+	case l.slots <- struct{}{}:
+	case <-ctx.Done():
+		l.waiting.Add(-1)
+		return ctx.Err()
+	}
+	l.waiting.Add(-1)
+	defer func() { <-l.slots }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return fn()
 }
 

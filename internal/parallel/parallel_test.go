@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -189,5 +190,115 @@ func TestLimiterBound(t *testing.T) {
 	boom := errors.New("boom")
 	if err := l.Do(func() error { return boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// occupy grabs the limiter's only slot through DoCtx and returns a
+// release function plus a channel that reports the holder's exit.
+func occupy(t *testing.T, l *Limiter) (release func(), done chan error) {
+	t.Helper()
+	hold := make(chan struct{})
+	running := make(chan struct{})
+	done = make(chan error, 1)
+	go func() {
+		done <- l.DoCtx(context.Background(), func() error { close(running); <-hold; return nil })
+	}()
+	<-running
+	return func() { close(hold) }, done
+}
+
+// TestBoundedLimiterSheds asserts a full waiting room sheds immediately
+// with ErrSaturated instead of queueing.
+func TestBoundedLimiterSheds(t *testing.T) {
+	l := NewBoundedLimiter(1, 1) // one slot, one waiter
+	release, holder := occupy(t, l)
+
+	// Fill the single queue spot with a second request.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- l.DoCtx(context.Background(), func() error { return nil })
+	}()
+	// Wait until the second request is queued for the slot.
+	for l.Queued() == 0 {
+		runtime.Gosched()
+	}
+
+	// A third request must shed, not wait.
+	if err := l.DoCtx(context.Background(), func() error { return nil }); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow DoCtx = %v, want ErrSaturated", err)
+	}
+
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued DoCtx = %v, want nil", err)
+	}
+	if err := <-holder; err != nil {
+		t.Fatalf("holder DoCtx = %v, want nil", err)
+	}
+}
+
+// TestDoCtxCancelWhileQueued asserts a canceled context frees a queued
+// request without running its task.
+func TestDoCtxCancelWhileQueued(t *testing.T) {
+	l := NewBoundedLimiter(1, 4)
+	release, holder := occupy(t, l)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var ran atomic.Bool
+	go func() {
+		done <- l.DoCtx(ctx, func() error { ran.Store(true); return nil })
+	}()
+	for l.Queued() == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled DoCtx = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("canceled request still executed its task")
+	}
+	release()
+	if err := <-holder; err != nil {
+		t.Fatalf("holder DoCtx = %v, want nil", err)
+	}
+
+	// The queue token was returned: the limiter still serves requests.
+	if err := l.DoCtx(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("DoCtx after cancel = %v, want nil", err)
+	}
+	if l.Queued() != 0 {
+		t.Fatalf("Queued = %d after drain, want 0", l.Queued())
+	}
+}
+
+// TestDoCtxPreCanceled asserts an already-canceled context never starts
+// the task even when a slot is free.
+func TestDoCtxPreCanceled(t *testing.T) {
+	l := NewBoundedLimiter(2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	err := l.DoCtx(ctx, func() error { ran.Store(true); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DoCtx = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("pre-canceled request executed its task")
+	}
+}
+
+// TestUnboundedDoCtx asserts DoCtx on a NewLimiter never sheds.
+func TestUnboundedDoCtx(t *testing.T) {
+	l := NewLimiter(1)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() { done <- l.DoCtx(context.Background(), func() error { return nil }) }()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("unbounded DoCtx = %v, want nil", err)
+		}
 	}
 }

@@ -1,12 +1,21 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/faultinject"
 	"github.com/streamtune/streamtune/internal/gnn"
 )
+
+// errBatcherSaturated reports that the coalescing windows already hold
+// maxPending waiters; Service.classify folds it into ErrOverloaded. It
+// stays unexported — callers outside the package only ever see the
+// classified form.
+var errBatcherSaturated = errors.New("service: inference batcher saturated")
 
 // batcher coalesces concurrent inference-session builds across tenants
 // sharing a structural fingerprint onto one block-diagonal batched plan
@@ -21,10 +30,14 @@ import (
 type batcher struct {
 	window   time.Duration
 	maxBatch int
+	// maxPending bounds the waiters parked across all open windows;
+	// beyond it enqueues shed with errBatcherSaturated. <= 0 = unbounded.
+	maxPending int
 
-	mu     sync.Mutex
-	queues map[batchKey]*batchQueue
-	closed bool
+	mu      sync.Mutex
+	queues  map[batchKey]*batchQueue
+	pending int // waiters currently parked in open windows
+	closed  bool
 
 	// occupancy histograms the executed batch sizes; flushes counts
 	// batched plan executions, batched/single split the sessions served.
@@ -60,7 +73,7 @@ type batchQueue struct {
 }
 
 // newBatcher returns nil (batching disabled) when window <= 0.
-func newBatcher(window time.Duration, maxBatch int) *batcher {
+func newBatcher(window time.Duration, maxBatch, maxPending int) *batcher {
 	if window <= 0 {
 		return nil
 	}
@@ -68,17 +81,22 @@ func newBatcher(window time.Duration, maxBatch int) *batcher {
 		maxBatch = 8
 	}
 	return &batcher{
-		window:    window,
-		maxBatch:  maxBatch,
-		queues:    make(map[batchKey]*batchQueue),
-		occupancy: make(map[int]uint64),
+		window:     window,
+		maxBatch:   maxBatch,
+		maxPending: maxPending,
+		queues:     make(map[batchKey]*batchQueue),
+		occupancy:  make(map[int]uint64),
 	}
 }
 
 // inferSession enqueues one session build and blocks until its batch
 // executes (at most the deadline window plus the build itself). A nil
-// or closed batcher degrades to the direct single-graph path.
-func (b *batcher) inferSession(enc *gnn.Encoder, fp string, g *dag.Graph) (*gnn.InferSession, error) {
+// or closed batcher degrades to the direct single-graph path. When the
+// coalescing windows already hold maxPending waiters the request sheds
+// with errBatcherSaturated; a context done before the batch delivers
+// abandons the wait (the batch still executes for the other waiters —
+// the abandoned result is dropped on the floor of the buffered channel).
+func (b *batcher) inferSession(ctx context.Context, enc *gnn.Encoder, fp string, g *dag.Graph) (*gnn.InferSession, error) {
 	if b == nil {
 		return enc.NewInferSession(g)
 	}
@@ -90,6 +108,11 @@ func (b *batcher) inferSession(enc *gnn.Encoder, fp string, g *dag.Graph) (*gnn.
 		b.mu.Unlock()
 		return enc.NewInferSession(g)
 	}
+	if b.maxPending > 0 && b.pending >= b.maxPending {
+		b.mu.Unlock()
+		return nil, errBatcherSaturated
+	}
+	b.pending++
 	q := b.queues[key]
 	if q == nil {
 		q = &batchQueue{}
@@ -102,8 +125,15 @@ func (b *batcher) inferSession(enc *gnn.Encoder, fp string, g *dag.Graph) (*gnn.
 	if full {
 		b.flush(key, q)
 	}
-	res := <-req.out
-	return res.sess, res.err
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case res := <-req.out:
+		return res.sess, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // flush drains q — if it is still the live queue for key — and executes
@@ -119,6 +149,7 @@ func (b *batcher) flush(key batchKey, q *batchQueue) {
 	delete(b.queues, key)
 	q.timer.Stop()
 	reqs := q.reqs
+	b.pending -= len(reqs)
 	b.recordLocked(len(reqs))
 	b.mu.Unlock()
 	deliver(key.enc, reqs)
@@ -136,13 +167,25 @@ func (b *batcher) recordLocked(size int) {
 	}
 }
 
-// deliver executes one batch outside the batcher lock.
+// deliver executes one batch outside the batcher lock. Two failpoints
+// hook the flush: faultinject.BatcherFlush fails the whole batch (every
+// waiter receives the injected error — never a hang), and
+// faultinject.EncoderLatency stalls it (a delay-only point slows the
+// flush without failing it; configured with an error it fails like a
+// flush fault).
 func deliver(enc *gnn.Encoder, reqs []*inferRequest) {
 	graphs := make([]*dag.Graph, len(reqs))
 	for i, r := range reqs {
 		graphs[i] = r.g
 	}
-	sessions, err := enc.NewInferSessions(graphs)
+	err := faultinject.Hit(faultinject.BatcherFlush)
+	if err == nil {
+		err = faultinject.Hit(faultinject.EncoderLatency)
+	}
+	var sessions []*gnn.InferSession
+	if err == nil {
+		sessions, err = enc.NewInferSessions(graphs)
+	}
 	for i, r := range reqs {
 		if err != nil {
 			r.out <- inferResult{err: err}
@@ -186,8 +229,17 @@ func (b *batcher) close() {
 	for key, q := range queues {
 		q.timer.Stop()
 		for _, r := range q.reqs {
-			sess, err := key.enc.NewInferSession(r.g)
+			// The shutdown fallback honors the flush failpoint too: an
+			// injected flush error surfaces to the waiter instead of
+			// silently succeeding through the single-graph path — and
+			// either way the waiter is answered, never left hanging.
+			var sess *gnn.InferSession
+			err := faultinject.Hit(faultinject.BatcherFlush)
+			if err == nil {
+				sess, err = key.enc.NewInferSession(r.g)
+			}
 			b.mu.Lock()
+			b.pending--
 			b.single++
 			b.mu.Unlock()
 			r.out <- inferResult{sess: sess, err: err}

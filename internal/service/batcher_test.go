@@ -1,15 +1,18 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/faultinject"
 	"github.com/streamtune/streamtune/internal/ged"
 	"github.com/streamtune/streamtune/internal/gnn"
 	"github.com/streamtune/streamtune/internal/nexmark"
@@ -44,7 +47,7 @@ func TestBatcherCoalescesSameFingerprint(t *testing.T) {
 	const waiters = 3
 	// The window is a backstop only: the queue reaches maxBatch and
 	// flushes full, so the test never actually waits this long.
-	b := newBatcher(time.Minute, waiters)
+	b := newBatcher(time.Minute, waiters, 0)
 	graphs := make([]*dag.Graph, waiters)
 	for i := range graphs {
 		graphs[i] = base.Clone()
@@ -57,7 +60,7 @@ func TestBatcherCoalescesSameFingerprint(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sessions[i], errs[i] = b.inferSession(enc, fp, graphs[i])
+			sessions[i], errs[i] = b.inferSession(context.Background(), enc, fp, graphs[i])
 		}()
 	}
 	wg.Wait()
@@ -85,9 +88,9 @@ func TestBatcherDeadlineFlushesLoneWaiter(t *testing.T) {
 	enc := pt.Encoder(c)
 
 	const window = 10 * time.Millisecond
-	b := newBatcher(window, 8)
+	b := newBatcher(window, 8, 0)
 	start := time.Now()
-	sess, err := b.inferSession(enc, ged.Fingerprint(g), g)
+	sess, err := b.inferSession(context.Background(), enc, ged.Fingerprint(g), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestBatcherMixedFingerprints(t *testing.T) {
 
 	// maxBatch matches the per-fingerprint job count, so each queue
 	// flushes full and deterministically; the long window is a backstop.
-	b := newBatcher(time.Minute, 2)
+	b := newBatcher(time.Minute, 2, 0)
 	sessions := make([]*gnn.InferSession, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -135,7 +138,7 @@ func TestBatcherMixedFingerprints(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sessions[i], errs[i] = b.inferSession(j.enc, j.fp, j.g)
+			sessions[i], errs[i] = b.inferSession(context.Background(), j.enc, j.fp, j.g)
 		}()
 	}
 	wg.Wait()
@@ -164,14 +167,14 @@ func TestBatcherCloseMidWait(t *testing.T) {
 	enc := pt.Encoder(c)
 	fp := ged.Fingerprint(g)
 
-	b := newBatcher(time.Hour, 8) // nothing flushes unless close does
+	b := newBatcher(time.Hour, 8, 0) // nothing flushes unless close does
 	type res struct {
 		sess *gnn.InferSession
 		err  error
 	}
 	done := make(chan res, 1)
 	go func() {
-		sess, err := b.inferSession(enc, fp, g)
+		sess, err := b.inferSession(context.Background(), enc, fp, g)
 		done <- res{sess, err}
 	}()
 	waitFor(t, func() bool {
@@ -187,7 +190,7 @@ func TestBatcherCloseMidWait(t *testing.T) {
 	requireSameSession(t, enc, r.sess, g)
 
 	// Post-close requests run unbatched, immediately.
-	sess, err := b.inferSession(enc, fp, g)
+	sess, err := b.inferSession(context.Background(), enc, fp, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,11 +214,11 @@ func TestBatcherDisabled(t *testing.T) {
 	c, _ := pt.AssignCluster(g)
 	enc := pt.Encoder(c)
 
-	b := newBatcher(0, 8)
+	b := newBatcher(0, 8, 0)
 	if b != nil {
 		t.Fatal("zero window must disable batching")
 	}
-	sess, err := b.inferSession(enc, ged.Fingerprint(g), g)
+	sess, err := b.inferSession(context.Background(), enc, ged.Fingerprint(g), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +275,7 @@ func TestServiceBatchedMatchesSequential(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := s.Register(j.id, graphs[i], engCfg); err != nil {
+			if _, err := s.Register(context.Background(), j.id, graphs[i], engCfg); err != nil {
 				t.Errorf("register %s: %v", j.id, err)
 			}
 		}()
@@ -326,7 +329,7 @@ func TestServiceBatchedMatchesSequential(t *testing.T) {
 		t.Errorf("restore occupancy = %v, want one batch of 2 and one of 1", occ)
 	}
 	for i, j := range jobs {
-		rec, err := restored.Recommend(j.id)
+		rec, err := restored.Recommend(context.Background(), j.id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -359,10 +362,10 @@ func TestEvictIdleSkipsBusySession(t *testing.T) {
 	s := newTestService(t, Config{LeaseTTL: time.Minute, Workers: 1, Clock: clock})
 	engCfg := testEngineConfig()
 	g := targetGraph(t, nexmark.Q5, 4)
-	if _, err := s.Register("job", g, engCfg); err != nil {
+	if _, err := s.Register(context.Background(), "job", g, engCfg); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := s.Recommend("job")
+	rec, err := s.Recommend(context.Background(), "job")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +400,7 @@ func TestEvictIdleSkipsBusySession(t *testing.T) {
 	<-holding
 	obsErr := make(chan error, 1)
 	go func() {
-		_, err := s.Observe("job", m)
+		_, err := s.Observe(context.Background(), "job", m)
 		obsErr <- err
 	}()
 	s.mu.Lock()
@@ -439,4 +442,153 @@ func TestEvictIdleSkipsBusySession(t *testing.T) {
 	if _, err := s.Session("job"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("busy-skipped session survived its real eviction: %v", err)
 	}
+}
+
+// TestBatcherFlushInjectedError arms the flush failpoint and asserts a
+// full-batch flush fans the injected error out to every waiter — no
+// waiter hangs, none receives a half-built session.
+func TestBatcherFlushInjectedError(t *testing.T) {
+	defer faultinject.Reset()
+	pt := sharedPreTrained(t)
+	base := targetGraph(t, nexmark.Q5, 1)
+	c, _ := pt.AssignCluster(base)
+	enc := pt.Encoder(c)
+	fp := ged.Fingerprint(base)
+
+	faultinject.Enable(faultinject.BatcherFlush)
+	const waiters = 3
+	b := newBatcher(time.Minute, waiters, 0)
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		g := base.Clone()
+		g.ScaleSourceRates(float64(i + 2))
+		go func() {
+			defer wg.Done()
+			_, errs[i] = b.inferSession(context.Background(), enc, fp, g)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("waiter %d: err = %v, want the injected flush error", i, err)
+		}
+	}
+}
+
+// TestBatcherCloseUnderInjectedFlushErrors is the shutdown satellite: a
+// close that drains parked waiters while the flush failpoint fires must
+// answer every waiter — some with the injected error, the rest through
+// the single-graph fallback — and never hang.
+func TestBatcherCloseUnderInjectedFlushErrors(t *testing.T) {
+	defer faultinject.Reset()
+	pt := sharedPreTrained(t)
+	base := targetGraph(t, nexmark.Q5, 1)
+	c, _ := pt.AssignCluster(base)
+	enc := pt.Encoder(c)
+	fp := ged.Fingerprint(base)
+
+	const waiters = 4
+	b := newBatcher(time.Hour, waiters+1, 0) // parks until close drains
+	type result struct {
+		sess *gnn.InferSession
+		err  error
+	}
+	results := make(chan result, waiters)
+	graphs := make([]*dag.Graph, waiters)
+	for i := range graphs {
+		graphs[i] = base.Clone()
+		graphs[i].ScaleSourceRates(float64(i + 2))
+		g := graphs[i]
+		go func() {
+			sess, err := b.inferSession(context.Background(), enc, fp, g)
+			results <- result{sess, err}
+		}()
+	}
+	// Wait until every waiter is parked in the window.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b.mu.Lock()
+		parked := b.pending
+		b.mu.Unlock()
+		if parked == waiters {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters parked", parked, waiters)
+		}
+		runtime.Gosched()
+	}
+
+	// Two of the four shutdown fallbacks fail; the rest must succeed.
+	faultinject.Enable(faultinject.BatcherFlush, faultinject.Times(2))
+	done := make(chan struct{})
+	go func() { b.close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("close hung with waiters parked")
+	}
+
+	var failed, ok int
+	for i := 0; i < waiters; i++ {
+		select {
+		case r := <-results:
+			switch {
+			case errors.Is(r.err, faultinject.ErrInjected):
+				failed++
+			case r.err == nil && r.sess != nil:
+				ok++
+			default:
+				t.Fatalf("waiter returned (%v, %v): neither fallback nor injected error", r.sess, r.err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("waiter %d never answered after close", i)
+		}
+	}
+	if failed != 2 || ok != 2 {
+		t.Fatalf("close drained %d failed / %d ok, want 2/2", failed, ok)
+	}
+}
+
+// TestBatcherContextCancelAbandonsWait asserts a parked waiter whose
+// context dies leaves immediately; the batch it abandoned still flushes
+// for the others.
+func TestBatcherContextCancelAbandonsWait(t *testing.T) {
+	pt := sharedPreTrained(t)
+	g := targetGraph(t, nexmark.Q5, 4)
+	c, _ := pt.AssignCluster(g)
+	enc := pt.Encoder(c)
+
+	b := newBatcher(time.Hour, 8, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.inferSession(ctx, enc, ged.Fingerprint(g), g)
+		done <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b.mu.Lock()
+		parked := b.pending
+		b.mu.Unlock()
+		if parked == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		runtime.Gosched()
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned wait = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled waiter still parked")
+	}
+	b.close() // drains the abandoned request's slot; must not hang
 }

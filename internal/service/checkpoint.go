@@ -1,0 +1,359 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/faultinject"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// WriteFileAtomic writes data to path crash-safely: the bytes land in a
+// temp file in the same directory, are fsynced, and only then renamed
+// over path — so a crash, OOM-kill, or torn write mid-way never
+// truncates or corrupts an existing file at path; readers see either
+// the old complete content or the new complete content. The containing
+// directory is fsynced after the rename so the new name itself survives
+// a power cut. Honors the faultinject.CheckpointWrite failpoint (the
+// write fails before any byte reaches disk).
+func WriteFileAtomic(path string, data []byte) error {
+	if err := faultinject.Hit(faultinject.CheckpointWrite); err != nil {
+		return fmt.Errorf("service: write %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: write %s: %w", path, err)
+	}
+	// Durability of the rename itself; best-effort — some filesystems
+	// reject directory fsync, and the data is already safe on those.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// checkpointPrefix/-Suffix frame checkpoint file names:
+// checkpoint-00000042.json. The sequence number increases monotonically
+// across restarts (NewCheckpointer resumes past the newest file), so
+// lexical and chronological order agree.
+const (
+	checkpointPrefix = "checkpoint-"
+	checkpointSuffix = ".json"
+)
+
+// checkpointName renders the file name of sequence number seq.
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", checkpointPrefix, seq, checkpointSuffix)
+}
+
+// checkpointSeq parses a checkpoint file name back to its sequence
+// number; ok is false for foreign files (temp files, strays).
+func checkpointSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), checkpointSuffix)
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// ListCheckpoints returns the checkpoint files in dir, newest (highest
+// sequence) first. A missing directory is an empty list, not an error.
+func ListCheckpoints(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	type candidate struct {
+		seq  uint64
+		path string
+	}
+	var cands []candidate
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := checkpointSeq(e.Name()); ok {
+			cands = append(cands, candidate{seq: seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	paths := make([]string, len(cands))
+	for i, c := range cands {
+		paths[i] = c.path
+	}
+	return paths, nil
+}
+
+// RestoreFromDir restores a service from the newest valid checkpoint in
+// dir, falling back past corrupt, truncated, or otherwise unusable
+// files to older ones. It returns the restored service, the path it was
+// restored from, and one error per skipped candidate (so callers can
+// log what was damaged). An empty or missing directory returns
+// (nil, "", nil, nil) — no checkpoint is not an error, it means "start
+// fresh". A directory whose every checkpoint fails returns an error
+// joining the per-file failures.
+func RestoreFromDir(pt *streamtune.PreTrained, cfg Config, dir string) (*Service, string, []error, error) {
+	paths, err := ListCheckpoints(dir)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	var skipped []error
+	for _, path := range paths {
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			skipped = append(skipped, rerr)
+			continue
+		}
+		svc, rerr := Restore(pt, cfg, data)
+		if rerr != nil {
+			skipped = append(skipped, fmt.Errorf("%s: %w", path, rerr))
+			continue
+		}
+		return svc, path, skipped, nil
+	}
+	if len(paths) == 0 {
+		return nil, "", nil, nil
+	}
+	return nil, "", skipped, fmt.Errorf("service: no valid checkpoint among %d candidate(s) in %s: %w",
+		len(paths), dir, errors.Join(skipped...))
+}
+
+// CheckpointConfig parameterizes a Checkpointer.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory; created if missing.
+	Dir string
+	// Interval is the periodic checkpoint cadence (zero or negative
+	// defaults to 30s). A tick with no mutations since the last
+	// checkpoint writes nothing.
+	Interval time.Duration
+	// EveryMutations checkpoints early once this many registry
+	// mutations accumulate, without waiting for Interval. Zero disables
+	// the mutation trigger (time-only).
+	EveryMutations uint64
+	// Keep is how many checkpoint files are retained (older ones are
+	// pruned after each successful write). Zero or negative defaults
+	// to 3; restores fall back through these on corruption.
+	Keep int
+}
+
+// Checkpointer periodically snapshots a service's session registry to
+// crash-safe checkpoint files: every write is atomic (temp + fsync +
+// rename), carries the envelope checksum, and rotates within a bounded
+// retention window. A service that dies between checkpoints loses at
+// most the mutations since the newest one — RestoreFromDir resumes
+// every checkpointed session mid-tuning, bit-identically.
+type Checkpointer struct {
+	svc *Service
+	cfg CheckpointConfig
+
+	mu       sync.Mutex
+	seq      uint64 // next sequence number
+	lastMut  uint64 // Service.Mutations at the last successful write
+	lastTime time.Time
+	lastPath string
+	lastErr  error
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewCheckpointer prepares (but does not start) a checkpointer for svc:
+// the directory is created and the sequence counter resumes past the
+// newest existing checkpoint, so a restarted service never overwrites
+// the files it is recovering from.
+func NewCheckpointer(svc *Service, cfg CheckpointConfig) (*Checkpointer, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("service: checkpointer needs a service")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("service: checkpointer needs a directory")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = 3
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Checkpointer{
+		svc:      svc,
+		cfg:      cfg,
+		lastTime: time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	paths, err := ListCheckpoints(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) > 0 {
+		if seq, ok := checkpointSeq(filepath.Base(paths[0])); ok {
+			c.seq = seq + 1
+		}
+	}
+	// lastMut deliberately starts at zero, not svc.Mutations(): state
+	// accumulated before the checkpointer attached has never been
+	// persisted, so it must count as dirty. A service restored from a
+	// checkpoint starts its mutation counter over, so the worst case is
+	// one redundant early checkpoint — never a silently unprotected one.
+	return c, nil
+}
+
+// CheckpointNow takes one checkpoint unconditionally (even with no new
+// mutations): snapshot, atomic write, rotation. It returns the path
+// written. Failures (including injected ones) are counted on the
+// service and leave the previous checkpoints untouched — the newest
+// valid file on disk is still a safe restore point.
+func (c *Checkpointer) CheckpointNow() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkpointLocked()
+}
+
+func (c *Checkpointer) checkpointLocked() (string, error) {
+	mut := c.svc.Mutations()
+	data, err := c.svc.Snapshot()
+	if err == nil {
+		// The corruption failpoint mangles the bytes after the checksum
+		// was embedded, so the file lands on disk torn: rename succeeds,
+		// verification cannot.
+		data = faultinject.Corrupt(faultinject.CheckpointCorrupt, data)
+		path := filepath.Join(c.cfg.Dir, checkpointName(c.seq))
+		if err = WriteFileAtomic(path, data); err == nil {
+			c.seq++
+			c.lastMut = mut
+			c.lastTime = time.Now()
+			c.lastPath = path
+			c.lastErr = nil
+			c.svc.checkpointsWritten.Add(1)
+			c.svc.checkpointLastBytes.Store(uint64(len(data)))
+			c.pruneLocked()
+			return path, nil
+		}
+	}
+	c.lastErr = err
+	c.svc.checkpointFailures.Add(1)
+	return "", err
+}
+
+// pruneLocked deletes checkpoints beyond the retention window. Removal
+// errors are ignored: a stray undeletable file costs disk, not
+// correctness, and the next rotation retries.
+func (c *Checkpointer) pruneLocked() {
+	paths, err := ListCheckpoints(c.cfg.Dir)
+	if err != nil || len(paths) <= c.cfg.Keep {
+		return
+	}
+	for _, path := range paths[c.cfg.Keep:] {
+		os.Remove(path)
+	}
+}
+
+// maybeCheckpoint applies the cadence rules: nothing without mutations,
+// a checkpoint when the interval elapsed or enough mutations piled up.
+func (c *Checkpointer) maybeCheckpoint() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mut := c.svc.Mutations()
+	if mut == c.lastMut {
+		return
+	}
+	if time.Since(c.lastTime) < c.cfg.Interval &&
+		(c.cfg.EveryMutations == 0 || mut-c.lastMut < c.cfg.EveryMutations) {
+		return
+	}
+	c.checkpointLocked() //nolint:errcheck // counted on the service; surfaced via LastError
+}
+
+// Start launches the background checkpoint loop. Idempotent.
+func (c *Checkpointer) Start() {
+	c.startOnce.Do(func() {
+		go c.loop()
+	})
+}
+
+// loop polls well below the interval so the mutation trigger fires
+// promptly, while the interval rule still paces actual writes.
+func (c *Checkpointer) loop() {
+	defer close(c.done)
+	poll := c.cfg.Interval / 4
+	if poll > time.Second {
+		poll = time.Second
+	}
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.maybeCheckpoint()
+		}
+	}
+}
+
+// Stop halts the loop and takes one final checkpoint if mutations
+// arrived since the last one — the graceful-drain write. It returns the
+// final checkpoint's error, if any. Safe to call without Start, and
+// idempotent.
+func (c *Checkpointer) Stop() error {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+	})
+	c.startOnce.Do(func() { close(c.done) }) // never started: nothing to join
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.svc.Mutations() != c.lastMut {
+		_, err := c.checkpointLocked()
+		return err
+	}
+	return nil
+}
+
+// LastCheckpoint reports the newest successfully written checkpoint
+// path (empty before the first) and the error of the most recent
+// attempt (nil when it succeeded).
+func (c *Checkpointer) LastCheckpoint() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastPath, c.lastErr
+}

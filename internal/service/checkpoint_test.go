@@ -1,0 +1,334 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/faultinject"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// midTuningService registers one job and advances it a couple of rounds
+// so the registry holds genuine mid-tuning state worth checkpointing.
+// The engine is returned so callers can finish the run after a restore.
+func midTuningService(t *testing.T, cfg Config) (*Service, *engine.Engine) {
+	t.Helper()
+	s := newTestService(t, cfg)
+	engCfg := testEngineConfig()
+	g := targetGraph(t, nexmark.Q5, 5)
+	if _, err := s.Register(context.Background(), "ckpt-job", g, engCfg); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(g, engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		rec, err := s.Recommend(context.Background(), "ckpt-job")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Done {
+			break
+		}
+		if rec.Deploy {
+			if err := eng.Deploy(rec.Parallelism); err != nil {
+				t.Fatal(err)
+			}
+			eng.Stabilize(s.pt.Config.StabilizeWait)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Observe(context.Background(), "ckpt-job", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, eng
+}
+
+// TestWriteFileAtomicReplaces asserts an atomic write replaces existing
+// content without leaving temp files behind.
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir holds %d entries after atomic writes, want 1 (temp leak)", len(entries))
+	}
+}
+
+// TestSnapshotChecksumDetectsTornFile is the torn-write satellite: a
+// snapshot whose session bytes were altered after the checksum was
+// embedded — JSON still perfectly parseable — must be rejected by the
+// checksum, and a truncated file must fail with a diagnostic naming the
+// byte offset, not a raw json error.
+func TestSnapshotChecksumDetectsTornFile(t *testing.T) {
+	s, _ := midTuningService(t, DefaultConfig())
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(data); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+
+	// Bit-flip inside the session payload keeping the JSON valid: the
+	// job ID changes, the structure does not. Only the checksum can
+	// catch this.
+	flipped := bytes.Replace(data, []byte("ckpt-job"), []byte("ckpt-joc"), 1)
+	if bytes.Equal(flipped, data) {
+		t.Fatal("test setup: job ID not found in snapshot bytes")
+	}
+	_, err = DecodeSnapshot(flipped)
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("flipped snapshot error = %v, want ErrCorruptSnapshot", err)
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("flipped snapshot error %q does not name the checksum", err)
+	}
+
+	// Truncation: the diagnostic must name where decoding stopped.
+	_, err = DecodeSnapshot(data[:len(data)/3])
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("truncated snapshot error = %v, want ErrCorruptSnapshot", err)
+	}
+	if !strings.Contains(err.Error(), "byte") {
+		t.Fatalf("truncated snapshot error %q does not name a byte offset", err)
+	}
+
+	// Restore surfaces the same classification.
+	if _, err := Restore(sharedPreTrained(t), DefaultConfig(), flipped); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("Restore(flipped) = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+// TestCheckpointRotationAndFallback writes several checkpoints under a
+// small retention window, corrupts the newest on disk, and asserts
+// RestoreFromDir falls back to the older valid file.
+func TestCheckpointRotationAndFallback(t *testing.T) {
+	s, _ := midTuningService(t, DefaultConfig())
+	dir := t.TempDir()
+	c, err := NewCheckpointer(s, CheckpointConfig{Dir: dir, Keep: 2, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := ListCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("retained %d checkpoints, want 2: %v", len(paths), paths)
+	}
+	if filepath.Base(paths[0]) != "checkpoint-00000003.json" {
+		t.Fatalf("newest checkpoint = %s, want checkpoint-00000003.json", paths[0])
+	}
+
+	// Damage the newest file in place (torn tail).
+	newest, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[0], newest[:len(newest)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, from, skipped, err := RestoreFromDir(sharedPreTrained(t), DefaultConfig(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == nil || from != paths[1] {
+		t.Fatalf("restored from %q, want fallback to %q", from, paths[1])
+	}
+	if len(skipped) != 1 || !errors.Is(skipped[0], ErrCorruptSnapshot) {
+		t.Fatalf("skipped = %v, want exactly the corrupt newest", skipped)
+	}
+	if got := restored.JobIDs(); len(got) != 1 || got[0] != "ckpt-job" {
+		t.Fatalf("restored jobs = %v, want [ckpt-job]", got)
+	}
+
+	if st := s.Stats(); st.CheckpointsWritten != 4 || st.CheckpointLastBytes == 0 {
+		t.Fatalf("stats = %+v, want 4 checkpoints written with nonzero last size", st)
+	}
+}
+
+// TestRestoreFromDirEmpty asserts a missing or empty directory means
+// "start fresh", not an error.
+func TestRestoreFromDirEmpty(t *testing.T) {
+	for _, dir := range []string{t.TempDir(), filepath.Join(t.TempDir(), "never-created")} {
+		svc, from, skipped, err := RestoreFromDir(sharedPreTrained(t), DefaultConfig(), dir)
+		if err != nil || svc != nil || from != "" || skipped != nil {
+			t.Fatalf("RestoreFromDir(%s) = (%v, %q, %v, %v), want all-empty", dir, svc, from, skipped, err)
+		}
+	}
+}
+
+// TestCheckpointWriteFailpoint asserts an injected write failure leaves
+// the previous checkpoints intact, counts as a failure, and the next
+// (healthy) checkpoint recovers.
+func TestCheckpointWriteFailpoint(t *testing.T) {
+	defer faultinject.Reset()
+	s, _ := midTuningService(t, DefaultConfig())
+	dir := t.TempDir()
+	c, err := NewCheckpointer(s, CheckpointConfig{Dir: dir, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(faultinject.CheckpointWrite, faultinject.Times(1))
+	if _, err := c.CheckpointNow(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected CheckpointNow error = %v, want ErrInjected", err)
+	}
+	if st := s.Stats(); st.CheckpointFailures != 1 {
+		t.Fatalf("CheckpointFailures = %d, want 1", st.CheckpointFailures)
+	}
+	paths, _ := ListCheckpoints(dir)
+	if len(paths) != 1 {
+		t.Fatalf("failed write left %d files, want the 1 prior checkpoint", len(paths))
+	}
+
+	// The failpoint is exhausted; the service recovers on its own.
+	if _, err := c.CheckpointNow(); err != nil {
+		t.Fatalf("post-failure CheckpointNow = %v, want recovery", err)
+	}
+	if _, _, _, err := RestoreFromDir(sharedPreTrained(t), DefaultConfig(), dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCorruptFailpoint asserts a checkpoint corrupted between
+// checksum and disk (a modeled torn write) is skipped at restore in
+// favor of an older valid file.
+func TestCheckpointCorruptFailpoint(t *testing.T) {
+	defer faultinject.Reset()
+	s, _ := midTuningService(t, DefaultConfig())
+	dir := t.TempDir()
+	c, err := NewCheckpointer(s, CheckpointConfig{Dir: dir, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := c.CheckpointNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(faultinject.CheckpointCorrupt, faultinject.Times(1))
+	if _, err := c.CheckpointNow(); err != nil {
+		t.Fatalf("corrupted checkpoint write itself must succeed, got %v", err)
+	}
+
+	restored, from, skipped, err := RestoreFromDir(sharedPreTrained(t), DefaultConfig(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == nil || from != valid {
+		t.Fatalf("restored from %q, want fallback to valid %q", from, valid)
+	}
+	if len(skipped) != 1 || !errors.Is(skipped[0], ErrCorruptSnapshot) {
+		t.Fatalf("skipped = %v, want the one corrupt file", skipped)
+	}
+}
+
+// TestRestoreFromDirAllCorrupt asserts a directory with only damaged
+// checkpoints fails with every per-file error aggregated.
+func TestRestoreFromDirAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for i, garbage := range []string{"not json", `{"version":2,"checksum":1,"sessions":[]}`} {
+		if err := os.WriteFile(filepath.Join(dir, checkpointName(uint64(i))), []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, skipped, err := RestoreFromDir(sharedPreTrained(t), DefaultConfig(), dir)
+	if err == nil {
+		t.Fatal("RestoreFromDir on all-corrupt dir succeeded")
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped %d candidates, want 2", len(skipped))
+	}
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("aggregate error %v does not wrap ErrCorruptSnapshot", err)
+	}
+}
+
+// TestCheckpointerBackground drives the background loop: a dirty
+// registry is checkpointed within the interval and Stop takes a final
+// write covering the freshest mutations.
+func TestCheckpointerBackground(t *testing.T) {
+	s, eng := midTuningService(t, DefaultConfig())
+	dir := t.TempDir()
+	c, err := NewCheckpointer(s, CheckpointConfig{Dir: dir, Interval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// midTuningService left mutations behind; the loop must notice.
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().CheckpointsWritten == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never wrote")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// New mutations after the last write: Stop must flush them.
+	if rec, err := s.Recommend(context.Background(), "ckpt-job"); err != nil {
+		t.Fatal(err)
+	} else if !rec.Done && rec.Deploy {
+		if err := eng.Deploy(rec.Parallelism); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop may find the loop already flushed the last mutation; all
+	// that matters is the newest file covers the live state.
+	restored, _, _, err := RestoreFromDir(sharedPreTrained(t), DefaultConfig(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := restored.Session("ckpt-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Session("ckpt-job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Phase != want.Phase || info.Iteration != want.Iteration {
+		t.Fatalf("restored session at (%s, %d), live at (%s, %d): final checkpoint missed mutations",
+			info.Phase, info.Iteration, want.Phase, want.Iteration)
+	}
+}

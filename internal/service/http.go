@@ -1,10 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/engine"
@@ -88,6 +91,11 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// statusClientClosedRequest is the de-facto standard (nginx) status for
+// a request abandoned by its own client; the response is never read,
+// the code only keeps access logs honest.
+const statusClientClosedRequest = 499
+
 // statusFor maps service errors to HTTP status codes.
 func statusFor(err error) int {
 	switch {
@@ -100,6 +108,12 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrSessionLimit):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	case errors.Is(err, ErrInvalidJob):
 		return http.StatusBadRequest
 	case errors.Is(err, errRequestTooLarge):
@@ -120,6 +134,25 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
 }
 
+// writeError is the service-aware variant: shed requests (503) carry a
+// Retry-After back-off hint so well-behaved clients spread their
+// retries instead of hammering a saturated service.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		retry := s.cfg.RetryAfter
+		if retry <= 0 {
+			retry = time.Second
+		}
+		secs := int(retry.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := decodeRequest(w, r, &req); err != nil {
@@ -130,9 +163,9 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if req.Engine != nil {
 		cfg = *req.Engine
 	}
-	res, err := s.Register(req.JobID, req.Graph, cfg)
+	res, err := s.Register(r.Context(), req.JobID, req.Graph, cfg)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -157,9 +190,9 @@ func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	rec, err := s.Recommend(r.PathValue("id"))
+	rec, err := s.Recommend(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -172,9 +205,9 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	done, err := s.Observe(id, req.Metrics)
+	done, err := s.Observe(r.Context(), id, req.Metrics)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ObserveResponse{JobID: id, Done: done})

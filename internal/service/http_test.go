@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -143,7 +144,7 @@ func TestServiceHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := restored.Recommend("http-q5")
+	rec, err := restored.Recommend(context.Background(), "http-q5")
 	if err != nil {
 		t.Fatal(err)
 	}

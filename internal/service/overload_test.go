@@ -1,0 +1,268 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// httpPost posts v as JSON and returns the raw response so callers can
+// inspect status and headers.
+func httpPost(t *testing.T, url string, v any) (*http.Response, error) {
+	t.Helper()
+	return httpPostCtx(t, context.Background(), url, v)
+}
+
+func httpPostCtx(t *testing.T, ctx context.Context, url string, v any) (*http.Response, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// holdPool occupies every worker slot of the service's pool and returns
+// a release function. Requests issued while held queue (or shed).
+func holdPool(t *testing.T, s *Service) (release func()) {
+	t.Helper()
+	hold := make(chan struct{})
+	running := make(chan struct{}, s.pool.Cap())
+	done := make(chan error, s.pool.Cap())
+	for i := 0; i < s.pool.Cap(); i++ {
+		go func() {
+			done <- s.pool.DoCtx(context.Background(), func() error {
+				running <- struct{}{}
+				<-hold
+				return nil
+			})
+		}()
+	}
+	for i := 0; i < s.pool.Cap(); i++ {
+		<-running
+	}
+	return func() {
+		close(hold)
+		for i := 0; i < s.pool.Cap(); i++ {
+			if err := <-done; err != nil {
+				t.Errorf("pool holder: %v", err)
+			}
+		}
+	}
+}
+
+// registerOne admits one job so overload tests have a session to hit.
+func registerOne(t *testing.T, s *Service, id string) {
+	t.Helper()
+	if _, err := s.Register(context.Background(), id, targetGraph(t, nexmark.Q5, 5), testEngineConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverloadShedsWith503 saturates the worker pool and its bounded
+// waiting room, then asserts the HTTP API sheds with 503 plus a
+// Retry-After hint while counting the shed in /v1/stats.
+func TestOverloadShedsWith503(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.MaxQueue = 1
+	cfg.RetryAfter = 7 * time.Second
+	s := newTestService(t, cfg)
+	registerOne(t, s, "shed-job")
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	release := holdPool(t, s)
+	// Fill the single waiting-room spot.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- s.pool.DoCtx(context.Background(), func() error { return nil })
+	}()
+	for s.pool.Queued() == 0 {
+		runtime.Gosched()
+	}
+
+	// The next pooled request must shed. Observe always takes the pooled
+	// path; shedding happens before any protocol validation.
+	resp, err := httpPost(t, srv.URL+"/v1/jobs/shed-job/metrics", ObserveRequest{Metrics: &engine.JobMetrics{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated Observe status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want %q", got, "7")
+	}
+	resp.Body.Close()
+
+	if st := s.Stats(); st.Shed != 1 {
+		t.Fatalf("Stats.Shed = %d, want 1", st.Shed)
+	}
+
+	release()
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	// Drained: the same request now reaches protocol validation (409 —
+	// the session awaits a Recommend, not metrics), proving the shed was
+	// transient.
+	r, err := httpPost(t, srv.URL+"/v1/jobs/shed-job/metrics", ObserveRequest{Metrics: &engine.JobMetrics{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("post-drain Observe status = %d, want 409", r.StatusCode)
+	}
+}
+
+// TestObserveHonorsContext pins both context exits: a caller-supplied
+// cancellation while queued (the disconnected client) and the
+// service-side RequestTimeout, each freeing the waiting room and
+// counting in Stats.
+func TestObserveHonorsContext(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.RequestTimeout = 50 * time.Millisecond
+	s := newTestService(t, cfg)
+	registerOne(t, s, "ctx-job")
+
+	release := holdPool(t, s)
+
+	// Caller cancellation while queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Observe(ctx, "ctx-job", &engine.JobMetrics{})
+		done <- err
+	}()
+	for s.pool.Queued() == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Observe = %v, want context.Canceled", err)
+	}
+
+	// Service-side deadline with no caller deadline at all.
+	if _, err := s.Observe(context.Background(), "ctx-job", &engine.JobMetrics{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out Observe = %v, want context.DeadlineExceeded", err)
+	}
+
+	st := s.Stats()
+	if st.Canceled != 1 || st.DeadlineExceeded != 1 {
+		t.Fatalf("Stats canceled/deadline = %d/%d, want 1/1", st.Canceled, st.DeadlineExceeded)
+	}
+
+	release()
+	// Both abandoned requests left the waiting room; the pool serves
+	// again and the request reaches protocol validation.
+	if _, err := s.Observe(context.Background(), "ctx-job", &engine.JobMetrics{}); !errors.Is(err, ErrAwaitingRecommend) {
+		t.Fatalf("post-release Observe = %v, want ErrAwaitingRecommend", err)
+	}
+	if q := s.pool.Queued(); q != 0 {
+		t.Fatalf("Queued = %d after drain, want 0", q)
+	}
+}
+
+// TestHTTPCanceledRequestFreesSlot is the disconnected-client satellite:
+// an HTTP request abandoned by its client must unblock server-side and
+// free its place in line for live traffic.
+func TestHTTPCanceledRequestFreesSlot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	s := newTestService(t, cfg)
+	registerOne(t, s, "gone-job")
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	release := holdPool(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		r, err := httpPostCtx(t, ctx, srv.URL+"/v1/jobs/gone-job/metrics", ObserveRequest{Metrics: &engine.JobMetrics{}})
+		if err == nil {
+			r.Body.Close()
+		}
+		errc <- err
+	}()
+	for s.pool.Queued() == 0 {
+		runtime.Gosched()
+	}
+	cancel() // client disconnects
+	if err := <-errc; err == nil {
+		t.Fatal("canceled client request returned a response")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never observed the client cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	if _, err := s.Observe(context.Background(), "gone-job", &engine.JobMetrics{}); !errors.Is(err, ErrAwaitingRecommend) {
+		t.Fatalf("post-disconnect Observe = %v, want ErrAwaitingRecommend (slot freed)", err)
+	}
+}
+
+// TestBatcherSaturationShedsRegistration bounds the coalescing windows:
+// with one pending inference allowed, a second concurrent registration
+// sheds with ErrOverloaded instead of parking.
+func TestBatcherSaturationShedsRegistration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchWindow = time.Hour // nothing flushes until Close drains
+	cfg.MaxBatch = 100
+	cfg.MaxPendingInfer = 1
+	s := newTestService(t, cfg)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Register(context.Background(), "parked", targetGraph(t, nexmark.Q5, 5), testEngineConfig())
+		first <- err
+	}()
+	// Wait for the first registration to park in its window.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.batch.mu.Lock()
+		pending := s.batch.pending
+		s.batch.mu.Unlock()
+		if pending == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first registration never reached the batcher window")
+		}
+		runtime.Gosched()
+	}
+
+	_, err := s.Register(context.Background(), "shed", targetGraph(t, nexmark.Q3, 5), testEngineConfig())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second registration = %v, want ErrOverloaded", err)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Fatalf("Stats.Shed = %d, want 1", st.Shed)
+	}
+
+	// Draining the batcher completes the parked registration through the
+	// single-graph fallback.
+	s.Close()
+	if err := <-first; err != nil {
+		t.Fatalf("parked registration = %v, want success after drain", err)
+	}
+}

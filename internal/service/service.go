@@ -22,6 +22,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -58,6 +59,11 @@ var (
 	ErrAwaitingRecommend = errors.New("service: no outstanding recommendation")
 	// ErrCompleted reports an Observe on a finished tuning process.
 	ErrCompleted = errors.New("service: tuning process already complete")
+	// ErrOverloaded reports load shedding: the worker pool's waiting room
+	// or the inference batcher was saturated and the request was rejected
+	// immediately instead of queueing. The condition is transient — the
+	// HTTP layer maps it to 503 with a Retry-After hint.
+	ErrOverloaded = errors.New("service: overloaded")
 )
 
 // Config parameterizes a Service.
@@ -82,6 +88,26 @@ type Config struct {
 	// queue flushes before its deadline. Values below two default to 8.
 	// Only meaningful when BatchWindow is positive.
 	MaxBatch int
+	// MaxQueue bounds the worker pool's waiting room: beyond Workers
+	// requests executing plus MaxQueue waiting, Register/Recommend/
+	// Observe shed immediately with ErrOverloaded instead of queueing.
+	// Zero or negative leaves the waiting room unbounded (no shedding —
+	// the batch-driver default; servers opt in).
+	MaxQueue int
+	// MaxPendingInfer bounds how many registrations may sit in the
+	// inference batcher's coalescing windows at once; beyond it,
+	// registrations shed with ErrOverloaded. Zero or negative means
+	// unbounded. Only meaningful when BatchWindow is positive.
+	MaxPendingInfer int
+	// RequestTimeout is a server-side deadline applied to every
+	// Register/Recommend/Observe call on top of the caller's context, so
+	// a request stuck behind a saturated pool eventually abandons the
+	// wait with context.DeadlineExceeded instead of occupying the
+	// waiting room forever. Zero or negative applies none.
+	RequestTimeout time.Duration
+	// RetryAfter is the back-off hint returned with 503 responses when a
+	// request is shed. Zero or negative defaults to 1s.
+	RetryAfter time.Duration
 	// Clock supplies the current time for leases; nil uses time.Now.
 	// Tests and deterministic drivers inject a fake clock.
 	Clock func() time.Time
@@ -193,9 +219,24 @@ type Stats struct {
 	BatchedSessions   uint64 `json:"batched_sessions"`
 	UnbatchedSessions uint64 `json:"unbatched_sessions"`
 	// WorkersInFlight and WorkerCap describe the worker pool at the
-	// moment of the snapshot.
+	// moment of the snapshot; WorkersQueued is how many admitted requests
+	// are waiting for a slot right now.
 	WorkersInFlight int `json:"workers_in_flight"`
 	WorkerCap       int `json:"worker_cap"`
+	WorkersQueued   int `json:"workers_queued"`
+	// Shed counts requests rejected with ErrOverloaded (waiting room or
+	// batcher full); DeadlineExceeded and Canceled count requests
+	// abandoned through their context before completing.
+	Shed             uint64 `json:"shed"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	Canceled         uint64 `json:"canceled"`
+	// Mutations counts registry state changes (the checkpointer's
+	// dirtiness signal); the checkpoint counters are maintained by an
+	// attached Checkpointer.
+	Mutations           uint64 `json:"mutations"`
+	CheckpointsWritten  uint64 `json:"checkpoints_written"`
+	CheckpointFailures  uint64 `json:"checkpoint_failures"`
+	CheckpointLastBytes uint64 `json:"checkpoint_last_bytes"`
 }
 
 // Service is the multi-tenant tuning service. Create with New; all
@@ -230,7 +271,28 @@ type Service struct {
 	admissionHits   atomic.Uint64
 	admissionMisses atomic.Uint64
 	encoderWarmHits atomic.Uint64
+
+	// mutations counts registry state changes (registrations, steps,
+	// observations, releases, evictions) — the checkpointer's dirtiness
+	// signal.
+	mutations atomic.Uint64
+	// shed counts requests rejected because the worker pool's waiting
+	// room or the batcher was saturated; deadlineExceeded and canceled
+	// count requests abandoned through their context.
+	shed             atomic.Uint64
+	deadlineExceeded atomic.Uint64
+	canceled         atomic.Uint64
+	// checkpointsWritten/checkpointFailures are maintained by an
+	// attached Checkpointer.
+	checkpointsWritten  atomic.Uint64
+	checkpointFailures  atomic.Uint64
+	checkpointLastBytes atomic.Uint64
 }
+
+// Mutations reports the number of registry state changes since startup.
+// The checkpointer compares successive values to decide whether a new
+// checkpoint is due.
+func (s *Service) Mutations() uint64 { return s.mutations.Load() }
 
 // New creates a service over a shared pre-training artifact.
 func New(pt *streamtune.PreTrained, cfg Config) (*Service, error) {
@@ -240,15 +302,51 @@ func New(pt *streamtune.PreTrained, cfg Config) (*Service, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = -1 // unbounded waiting room: DoCtx never sheds
+	}
 	return &Service{
 		cfg:          cfg,
 		pt:           pt,
-		pool:         parallel.NewLimiter(cfg.Workers),
+		pool:         parallel.NewBoundedLimiter(cfg.Workers, maxQueue),
 		admission:    ged.NewPairCache(),
-		batch:        newBatcher(cfg.BatchWindow, cfg.MaxBatch),
+		batch:        newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxPendingInfer),
 		sessions:     make(map[string]*session),
 		warmClusters: make(map[int]bool),
 	}, nil
+}
+
+// requestCtx applies the service-side request deadline on top of the
+// caller's context. The returned cancel must always be called.
+func (s *Service) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	return ctx, func() {}
+}
+
+// classify folds an overload or context failure into the service's
+// resilience counters and normalizes saturation to ErrOverloaded. Other
+// errors pass through untouched.
+func (s *Service) classify(op string, err error) error {
+	switch {
+	case errors.Is(err, parallel.ErrSaturated):
+		s.shed.Add(1)
+		return fmt.Errorf("%w: %s shed, worker pool saturated (cap %d, queued %d)",
+			ErrOverloaded, op, s.pool.Cap(), s.pool.Queued())
+	case errors.Is(err, errBatcherSaturated):
+		s.shed.Add(1)
+		return fmt.Errorf("%w: %s shed, inference batcher saturated", ErrOverloaded, op)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineExceeded.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+	}
+	return err
 }
 
 // Close stops the inference micro-batcher: waiters mid-window complete
@@ -343,7 +441,13 @@ type RegisterResult struct {
 // The engine config describes the client's system (flavor, parallelism
 // ceiling, bottleneck thresholds); it is used for recommendations and
 // label harvesting, never to run anything service-side.
-func (s *Service) Register(id string, g *dag.Graph, engCfg engine.Config) (*RegisterResult, error) {
+//
+// ctx bounds the admission: a canceled or expired context abandons the
+// build (including the wait for a worker slot) and a saturated waiting
+// room sheds immediately with ErrOverloaded.
+func (s *Service) Register(ctx context.Context, id string, g *dag.Graph, engCfg engine.Config) (*RegisterResult, error) {
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
 	if err := admit(id, g); err != nil {
 		s.rejected.Add(1)
 		return nil, err
@@ -379,7 +483,7 @@ func (s *Service) Register(id string, g *dag.Graph, engCfg engine.Config) (*Regi
 	var c int
 	var d float64
 	var warm []mono.Sample
-	err := s.pool.Do(func() error {
+	err := s.pool.DoCtx(ctx, func() error {
 		c, d = s.assignCluster(g)
 		var werr error
 		warm, werr = s.warmupFor(c)
@@ -387,10 +491,10 @@ func (s *Service) Register(id string, g *dag.Graph, engCfg engine.Config) (*Regi
 	})
 	var isess *gnn.InferSession
 	if err == nil {
-		isess, err = s.batch.inferSession(s.pt.Encoder(c), ged.Fingerprint(g), g)
+		isess, err = s.batch.inferSession(ctx, s.pt.Encoder(c), ged.Fingerprint(g), g)
 	}
 	if err == nil {
-		err = s.pool.Do(func() error {
+		err = s.pool.DoCtx(ctx, func() error {
 			tuner, err := streamtune.NewTunerWithWarmup(s.pt, c, warm)
 			if err != nil {
 				return err
@@ -423,7 +527,7 @@ func (s *Service) Register(id string, g *dag.Graph, engCfg engine.Config) (*Regi
 		delete(s.sessions, id)
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		return nil, fmt.Errorf("service: register %q: %w", id, err)
+		return nil, fmt.Errorf("service: register %q: %w", id, s.classify("register", err))
 	}
 
 	s.mu.Lock()
@@ -434,6 +538,7 @@ func (s *Service) Register(id string, g *dag.Graph, engCfg engine.Config) (*Regi
 	s.mu.Unlock()
 
 	s.registered.Add(1)
+	s.mutations.Add(1)
 	return &RegisterResult{
 		JobID:           id,
 		ClusterID:       sess.clusterID,
@@ -488,13 +593,20 @@ func (sess *session) modelWarm() bool {
 // deploy the returned assignment when Deploy is true, measure one
 // window, and post it back via Observe. Once the process converges,
 // Recommend keeps returning the final recommendation with Done set.
-func (s *Service) Recommend(id string) (*Recommendation, error) {
+//
+// ctx bounds the request: a disconnected client or expired deadline
+// abandons the wait for a worker slot (freeing it for live requests)
+// and a saturated waiting room sheds with ErrOverloaded.
+func (s *Service) Recommend(ctx context.Context, id string) (*Recommendation, error) {
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
 	sess, err := s.lookupBusy(id)
 	if err != nil {
 		return nil, err
 	}
 	defer sess.busy.Add(-1)
 	var out *Recommendation
+	stepped := false
 	run := func() error {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
@@ -517,6 +629,7 @@ func (s *Service) Recommend(id string) (*Recommendation, error) {
 		if err != nil {
 			return err
 		}
+		stepped = true
 		if done {
 			sess.phase = phaseDone
 			s.completed.Add(1)
@@ -542,22 +655,30 @@ func (s *Service) Recommend(id string) (*Recommendation, error) {
 	// of binary search behind the pool. Cold sessions (first recommend
 	// after a restore, or a prior fit error) still pay the pooled path.
 	if sess.modelWarm() {
-		err = run()
+		if err = ctx.Err(); err == nil {
+			err = run()
+		}
 	} else {
-		err = s.pool.Do(run)
+		err = s.pool.DoCtx(ctx, run)
 	}
 	if err != nil {
-		return nil, err
+		return nil, s.classify("recommend", err)
 	}
 	s.recommendations.Add(1)
+	if stepped {
+		s.mutations.Add(1)
+	}
 	return out, nil
 }
 
 // Observe absorbs one measured window for the job's outstanding
 // recommendation: bottleneck labels are harvested into the session's
 // training set and the convergence checks run. It reports whether the
-// tuning process completed.
-func (s *Service) Observe(id string, m *engine.JobMetrics) (done bool, err error) {
+// tuning process completed. ctx bounds the request exactly as in
+// Recommend.
+func (s *Service) Observe(ctx context.Context, id string, m *engine.JobMetrics) (done bool, err error) {
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
 	if m == nil {
 		return false, fmt.Errorf("%w: nil metrics", ErrInvalidJob)
 	}
@@ -566,7 +687,7 @@ func (s *Service) Observe(id string, m *engine.JobMetrics) (done bool, err error
 		return false, err
 	}
 	defer sess.busy.Add(-1)
-	err = s.pool.Do(func() error {
+	err = s.pool.DoCtx(ctx, func() error {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
 		sess.lease = s.cfg.Clock()
@@ -592,9 +713,10 @@ func (s *Service) Observe(id string, m *engine.JobMetrics) (done bool, err error
 		return nil
 	})
 	if err != nil {
-		return false, err
+		return false, s.classify("observe", err)
 	}
 	s.observations.Add(1)
+	s.mutations.Add(1)
 	return done, nil
 }
 
@@ -669,6 +791,7 @@ func (s *Service) Release(id string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	s.released.Add(1)
+	s.mutations.Add(1)
 	return nil
 }
 
@@ -702,6 +825,7 @@ func (s *Service) EvictIdle() int {
 	}
 	s.mu.Unlock()
 	s.evicted.Add(uint64(len(victims)))
+	s.mutations.Add(uint64(len(victims)))
 	return len(victims)
 }
 
@@ -740,6 +864,14 @@ func (s *Service) Stats() Stats {
 		UnbatchedSessions:    single,
 		WorkersInFlight:      s.pool.InFlight(),
 		WorkerCap:            s.pool.Cap(),
+		WorkersQueued:        s.pool.Queued(),
+		Shed:                 s.shed.Load(),
+		DeadlineExceeded:     s.deadlineExceeded.Load(),
+		Canceled:             s.canceled.Load(),
+		Mutations:            s.mutations.Load(),
+		CheckpointsWritten:   s.checkpointsWritten.Load(),
+		CheckpointFailures:   s.checkpointFailures.Load(),
+		CheckpointLastBytes:  s.checkpointLastBytes.Load(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -104,7 +105,7 @@ func driveJob(t *testing.T, s *Service, id string, g *dag.Graph, engCfg engine.C
 	}
 	stabilize := s.pt.Config.StabilizeWait
 	for i := 0; i < 200; i++ {
-		rec, err := s.Recommend(id)
+		rec, err := s.Recommend(context.Background(), id)
 		if err != nil {
 			t.Fatalf("job %s: recommend: %v", id, err)
 		}
@@ -121,12 +122,12 @@ func driveJob(t *testing.T, s *Service, id string, g *dag.Graph, engCfg engine.C
 		if err != nil {
 			t.Fatalf("job %s: run: %v", id, err)
 		}
-		done, err := s.Observe(id, m)
+		done, err := s.Observe(context.Background(), id, m)
 		if err != nil {
 			t.Fatalf("job %s: observe: %v", id, err)
 		}
 		if done {
-			rec, err := s.Recommend(id)
+			rec, err := s.Recommend(context.Background(), id)
 			if err != nil {
 				t.Fatalf("job %s: final recommend: %v", id, err)
 			}
@@ -183,7 +184,7 @@ func badTypeGraph(t *testing.T) *dag.Graph {
 func TestServiceAdmission(t *testing.T) {
 	s := newTestService(t, DefaultConfig())
 	engCfg := testEngineConfig()
-	if _, err := s.Register("taken", targetGraph(t, nexmark.Q5, 4), engCfg); err != nil {
+	if _, err := s.Register(context.Background(), "taken", targetGraph(t, nexmark.Q5, 4), engCfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -201,7 +202,7 @@ func TestServiceAdmission(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := s.Register(tc.jobID, tc.graph, engCfg)
+			_, err := s.Register(context.Background(), tc.jobID, tc.graph, engCfg)
 			if !errors.Is(err, tc.want) {
 				t.Fatalf("Register(%q) error = %v, want %v", tc.jobID, err, tc.want)
 			}
@@ -221,16 +222,16 @@ func TestServiceAdmission(t *testing.T) {
 func TestServiceSessionLimit(t *testing.T) {
 	s := newTestService(t, Config{MaxSessions: 1})
 	engCfg := testEngineConfig()
-	if _, err := s.Register("a", targetGraph(t, nexmark.Q5, 4), engCfg); err != nil {
+	if _, err := s.Register(context.Background(), "a", targetGraph(t, nexmark.Q5, 4), engCfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Register("b", targetGraph(t, nexmark.Q3, 4), engCfg); !errors.Is(err, ErrSessionLimit) {
+	if _, err := s.Register(context.Background(), "b", targetGraph(t, nexmark.Q3, 4), engCfg); !errors.Is(err, ErrSessionLimit) {
 		t.Fatalf("err = %v, want ErrSessionLimit", err)
 	}
 	if err := s.Release("a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Register("b", targetGraph(t, nexmark.Q3, 4), engCfg); err != nil {
+	if _, err := s.Register(context.Background(), "b", targetGraph(t, nexmark.Q3, 4), engCfg); err != nil {
 		t.Fatalf("register after release: %v", err)
 	}
 }
@@ -241,7 +242,7 @@ func TestServiceProtocol(t *testing.T) {
 	s := newTestService(t, DefaultConfig())
 	engCfg := testEngineConfig()
 	g := targetGraph(t, nexmark.Q5, 4)
-	if _, err := s.Register("p", g, engCfg); err != nil {
+	if _, err := s.Register(context.Background(), "p", g, engCfg); err != nil {
 		t.Fatal(err)
 	}
 	eng, err := engine.New(g, engCfg)
@@ -250,17 +251,17 @@ func TestServiceProtocol(t *testing.T) {
 	}
 
 	m0 := &engine.JobMetrics{}
-	if _, err := s.Observe("p", m0); !errors.Is(err, ErrAwaitingRecommend) {
+	if _, err := s.Observe(context.Background(), "p", m0); !errors.Is(err, ErrAwaitingRecommend) {
 		t.Fatalf("observe before recommend: err = %v, want ErrAwaitingRecommend", err)
 	}
-	rec, err := s.Recommend("p")
+	rec, err := s.Recommend(context.Background(), "p")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rec.Done || !rec.Deploy {
 		t.Fatalf("first recommendation: done=%v deploy=%v, want active deploy", rec.Done, rec.Deploy)
 	}
-	if _, err := s.Recommend("p"); !errors.Is(err, ErrAwaitingMetrics) {
+	if _, err := s.Recommend(context.Background(), "p"); !errors.Is(err, ErrAwaitingMetrics) {
 		t.Fatalf("double recommend: err = %v, want ErrAwaitingMetrics", err)
 	}
 	if err := eng.Deploy(rec.Parallelism); err != nil {
@@ -270,10 +271,10 @@ func TestServiceProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Observe("p", m); err != nil {
+	if _, err := s.Observe(context.Background(), "p", m); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Observe("unknown", m); !errors.Is(err, ErrUnknownJob) {
+	if _, err := s.Observe(context.Background(), "unknown", m); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("unknown job: err = %v, want ErrUnknownJob", err)
 	}
 	info, err := s.Session("p")
@@ -312,7 +313,7 @@ func TestServiceMatchesSequentialTuner(t *testing.T) {
 	graphs := make([]*dag.Graph, len(jobs))
 	for i, j := range jobs {
 		graphs[i] = targetGraph(t, j.q, j.rate)
-		if _, err := s.Register(j.id, graphs[i], engCfg); err != nil {
+		if _, err := s.Register(context.Background(), j.id, graphs[i], engCfg); err != nil {
 			t.Fatalf("register %s: %v", j.id, err)
 		}
 	}
@@ -370,7 +371,7 @@ func TestServiceSnapshotRestore(t *testing.T) {
 	stabilize := s.pt.Config.StabilizeWait
 	for i, j := range jobs {
 		g := targetGraph(t, j.q, j.rate)
-		if _, err := s.Register(j.id, g, engCfg); err != nil {
+		if _, err := s.Register(context.Background(), j.id, g, engCfg); err != nil {
 			t.Fatal(err)
 		}
 		eng, err := engine.New(g, engCfg)
@@ -382,7 +383,7 @@ func TestServiceSnapshotRestore(t *testing.T) {
 		// spans sessions at distinct loop positions (including phase
 		// boundaries).
 		for round := 0; round <= i; round++ {
-			rec, err := s.Recommend(j.id)
+			rec, err := s.Recommend(context.Background(), j.id)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -399,7 +400,7 @@ func TestServiceSnapshotRestore(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := s.Observe(j.id, m); err != nil {
+			if _, err := s.Observe(context.Background(), j.id, m); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -411,7 +412,7 @@ func TestServiceSnapshotRestore(t *testing.T) {
 	if info, err := s.Session(jobs[last].id); err != nil {
 		t.Fatal(err)
 	} else if info.Phase == "recommend" {
-		rec, err := s.Recommend(jobs[last].id)
+		rec, err := s.Recommend(context.Background(), jobs[last].id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -467,12 +468,12 @@ func resumeJob(t *testing.T, s *Service, id string, eng *engine.Engine, stabiliz
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := s.Observe(id, m); err != nil {
+			if _, err := s.Observe(context.Background(), id, m); err != nil {
 				t.Fatal(err)
 			}
 			continue
 		}
-		rec, err := s.Recommend(id)
+		rec, err := s.Recommend(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -489,7 +490,7 @@ func resumeJob(t *testing.T, s *Service, id string, eng *engine.Engine, stabiliz
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Observe(id, m); err != nil {
+		if _, err := s.Observe(context.Background(), id, m); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -504,10 +505,10 @@ func TestServiceLeaseEviction(t *testing.T) {
 	clock := func() time.Time { return now }
 	s := newTestService(t, Config{LeaseTTL: time.Hour, Clock: clock})
 	engCfg := testEngineConfig()
-	if _, err := s.Register("idle", targetGraph(t, nexmark.Q5, 4), engCfg); err != nil {
+	if _, err := s.Register(context.Background(), "idle", targetGraph(t, nexmark.Q5, 4), engCfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Register("busy", targetGraph(t, nexmark.Q3, 4), engCfg); err != nil {
+	if _, err := s.Register(context.Background(), "busy", targetGraph(t, nexmark.Q3, 4), engCfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -515,7 +516,7 @@ func TestServiceLeaseEviction(t *testing.T) {
 		t.Fatalf("evicted %d sessions before expiry, want 0", n)
 	}
 	now = now.Add(45 * time.Minute)
-	if _, err := s.Recommend("busy"); err != nil { // renews busy's lease
+	if _, err := s.Recommend(context.Background(), "busy"); err != nil { // renews busy's lease
 		t.Fatal(err)
 	}
 	now = now.Add(30 * time.Minute) // idle is now 75m stale, busy 30m
@@ -545,7 +546,7 @@ func TestServiceConcurrentRegistration(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = s.Register("same", targetGraph(t, nexmark.Q5, 4), engCfg)
+			_, errs[i] = s.Register(context.Background(), "same", targetGraph(t, nexmark.Q5, 4), engCfg)
 		}()
 	}
 	for i := 0; i < 3; i++ {
@@ -553,7 +554,7 @@ func TestServiceConcurrentRegistration(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			id := fmt.Sprintf("job-%d", i)
-			if _, err := s.Register(id, targetGraph(t, nexmark.Q3, 4), engCfg); err != nil {
+			if _, err := s.Register(context.Background(), id, targetGraph(t, nexmark.Q3, 4), engCfg); err != nil {
 				t.Errorf("register %s: %v", id, err)
 			}
 		}()

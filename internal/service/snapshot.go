@@ -1,8 +1,11 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -12,15 +15,30 @@ import (
 	"github.com/streamtune/streamtune/internal/streamtune"
 )
 
-// snapshotVersion guards the wire format of service snapshots.
-const snapshotVersion = 1
+// snapshotVersion guards the wire format of service snapshots. Version
+// 2 added the embedded checksum; version-1 files (no checksum) are
+// rejected rather than trusted unverified.
+const snapshotVersion = 2
+
+// ErrCorruptSnapshot reports a snapshot that failed structural decoding
+// or checksum verification — a torn write, a truncated file, or
+// bit rot. Restore wraps it so checkpoint recovery can distinguish
+// "this file is damaged, fall back to an older one" from harder
+// failures (artifact mismatch, unknown cluster).
+var ErrCorruptSnapshot = errors.New("service: corrupt snapshot")
 
 // ServiceSnapshot is the serialized session registry: everything needed
 // to resume every in-flight tuning session on a fresh service holding
 // the same PreTrained artifact. Counters are intentionally excluded —
 // a restarted service starts its statistics over.
 type ServiceSnapshot struct {
-	Version  int               `json:"version"`
+	Version int `json:"version"`
+	// Checksum is the IEEE CRC-32 of the compact JSON encoding of
+	// Sessions. It is verified before any session is decoded, so a torn
+	// or bit-flipped snapshot is detected up front with a precise
+	// diagnostic instead of surfacing as an arbitrary decode error (or,
+	// worse, a silently wrong restore).
+	Checksum uint32            `json:"checksum"`
 	Sessions []SessionSnapshot `json:"sessions"`
 }
 
@@ -35,8 +53,18 @@ type SessionSnapshot struct {
 	Process         *streamtune.ProcessState `json:"process"`
 }
 
+// snapshotEnvelope is the wire form of ServiceSnapshot: the sessions
+// stay raw so the checksum can be computed (and verified) over their
+// exact bytes rather than a re-marshaled approximation.
+type snapshotEnvelope struct {
+	Version  int             `json:"version"`
+	Checksum uint32          `json:"checksum"`
+	Sessions json.RawMessage `json:"sessions"`
+}
+
 // Snapshot serializes every session (in sorted job-ID order, so equal
-// registries produce equal bytes) to JSON.
+// registries produce equal bytes) to JSON, embedding a CRC-32 of the
+// session payload in the envelope.
 func (s *Service) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	sessions := make([]*session, 0, len(s.sessions))
@@ -46,14 +74,14 @@ func (s *Service) Snapshot() ([]byte, error) {
 	s.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
 
-	snap := ServiceSnapshot{Version: snapshotVersion}
+	var snaps []SessionSnapshot
 	for _, sess := range sessions {
 		sess.mu.Lock()
 		if sess.phase == phaseBuilding {
 			sess.mu.Unlock()
 			continue // mid-admission; the client will retry registration
 		}
-		snap.Sessions = append(snap.Sessions, SessionSnapshot{
+		snaps = append(snaps, SessionSnapshot{
 			JobID:           sess.id,
 			ClusterDistance: sess.clusterDist,
 			Phase:           sess.phase.String(),
@@ -64,7 +92,60 @@ func (s *Service) Snapshot() ([]byte, error) {
 		})
 		sess.mu.Unlock()
 	}
-	return json.MarshalIndent(snap, "", "  ")
+	payload, err := json.Marshal(snaps)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(snapshotEnvelope{
+		Version:  snapshotVersion,
+		Checksum: crc32.ChecksumIEEE(payload),
+		Sessions: payload,
+	}, "", "  ")
+}
+
+// describeDecodeError turns a json decode failure into a diagnostic
+// that names the byte offset (and total size) of the damage.
+func describeDecodeError(data []byte, err error) string {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Sprintf("%v at byte %d of %d", syn, syn.Offset, len(data))
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return fmt.Sprintf("%v at byte %d of %d", typ, typ.Offset, len(data))
+	}
+	return err.Error()
+}
+
+// DecodeSnapshot parses and verifies a snapshot without building a
+// service: the envelope is decoded, the version checked, and the
+// session payload's CRC-32 verified before any session is touched.
+// Damage produces an error wrapping ErrCorruptSnapshot that names the
+// failure, the snapshot version, and the byte offset where decoding
+// stopped — not a raw json error.
+func DecodeSnapshot(data []byte) (*ServiceSnapshot, error) {
+	var env snapshotEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: decode envelope: %s", ErrCorruptSnapshot, describeDecodeError(data, err))
+	}
+	if env.Version != snapshotVersion {
+		return nil, fmt.Errorf("service: snapshot version %d, want %d", env.Version, snapshotVersion)
+	}
+	// Compact to the exact byte form the checksum was computed over
+	// (MarshalIndent re-indented the payload inside the envelope).
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Sessions); err != nil {
+		return nil, fmt.Errorf("%w: session payload: %s", ErrCorruptSnapshot, describeDecodeError(env.Sessions, err))
+	}
+	if got := crc32.ChecksumIEEE(compact.Bytes()); got != env.Checksum {
+		return nil, fmt.Errorf("%w: checksum mismatch over %d session bytes: stored %08x, computed %08x (torn or bit-flipped write)",
+			ErrCorruptSnapshot, compact.Len(), env.Checksum, got)
+	}
+	snap := &ServiceSnapshot{Version: env.Version, Checksum: env.Checksum}
+	if err := json.Unmarshal(env.Sessions, &snap.Sessions); err != nil {
+		return nil, fmt.Errorf("%w: decode sessions: %s", ErrCorruptSnapshot, describeDecodeError(env.Sessions, err))
+	}
+	return snap, nil
 }
 
 // parsePhase maps a serialized phase name back to its protocol state.
@@ -86,12 +167,9 @@ func parsePhase(name string) (sessionPhase, error) {
 // in-flight loop state are restored verbatim, so subsequent
 // recommendations are bit-identical to an uninterrupted run.
 func Restore(pt *streamtune.PreTrained, cfg Config, data []byte) (*Service, error) {
-	var snap ServiceSnapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("service: decode snapshot: %w", err)
-	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("service: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
 	}
 	s, err := New(pt, cfg)
 	if err != nil {

@@ -104,6 +104,70 @@ func TestProcessMatchesTune(t *testing.T) {
 	}
 }
 
+// TestRestoreRejectsSemanticGarbage pins the validation layer behind
+// the envelope checksum: a checksum can only prove the bytes are the
+// ones the writer produced, so checksum-valid but semantically
+// impossible state (a writer bug, an incompatible version) must be
+// rejected at restore with a diagnostic instead of resumed into a
+// process that mispredicts silently.
+func TestRestoreRejectsSemanticGarbage(t *testing.T) {
+	pt := sharedPreTrained(t)
+	eng := targetEngine(t)
+	tuner, err := NewTuner(pt, eng.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tuner.Start(eng.Graph(), eng.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmax := pt.Config.GNN.PMax
+	anOp := eng.Graph().OperatorAt(0).ID
+
+	tunerCases := map[string]func(*TunerState){
+		"zero parallelism":  func(st *TunerState) { st.Train[0].Parallelism = 0 },
+		"parallelism > max": func(st *TunerState) { st.Train[0].Parallelism = pmax + 1 },
+		"bad label":         func(st *TunerState) { st.Train[0].Label = 7 },
+		"empty embedding":   func(st *TunerState) { st.Train[0].Embedding = nil },
+		"ragged embeddings": func(st *TunerState) { st.Train[1].Embedding = st.Train[1].Embedding[:1] },
+	}
+	for name, mutate := range tunerCases {
+		st := tuner.State()
+		if len(st.Train) < 2 {
+			t.Fatalf("%s: want >= 2 warm-up samples to mutate, got %d", name, len(st.Train))
+		}
+		mutate(st)
+		if _, err := RestoreTuner(pt, st); err == nil {
+			t.Errorf("RestoreTuner accepted a snapshot with %s", name)
+		}
+	}
+
+	processCases := map[string]func(*ProcessState){
+		"negative iterations": func(st *ProcessState) { st.Iterations = -1 },
+		"done without result": func(st *ProcessState) { st.Done, st.Result = true, nil },
+		"ghost operator":      func(st *ProcessState) { st.Current = map[string]int{"no-such-op": 1} },
+		"zero assignment":     func(st *ProcessState) { st.Current = map[string]int{anOp: 0} },
+		"lower bound > max+1": func(st *ProcessState) { st.LowerBounds = map[string]int{anOp: pmax + 2} },
+	}
+	for name, mutate := range processCases {
+		st := p.State()
+		mutate(st)
+		if _, err := tuner.Resume(st); err == nil {
+			t.Errorf("Resume accepted a snapshot with %s", name)
+		}
+	}
+
+	// The unmutated state still restores and resumes: validation rejects
+	// garbage, never the real thing.
+	restored, err := RestoreTuner(pt, tuner.State())
+	if err != nil {
+		t.Fatalf("RestoreTuner rejected a valid snapshot: %v", err)
+	}
+	if _, err := restored.Resume(p.State()); err != nil {
+		t.Fatalf("Resume rejected a valid snapshot: %v", err)
+	}
+}
+
 // TestProcessSnapshotResume snapshots a tuner and its in-flight process
 // after every observe round, restores both through a JSON round-trip,
 // and asserts the resumed run finishes bit-identically to the

@@ -53,6 +53,25 @@ func RestoreTuner(pt *PreTrained, st *TunerState) (*Tuner, error) {
 	if st.ClusterID < 0 || st.ClusterID >= len(pt.Encoders) {
 		return nil, fmt.Errorf("streamtune: snapshot cluster %d outside [0, %d)", st.ClusterID, len(pt.Encoders))
 	}
+	// The snapshot envelope's checksum catches torn writes, not writer
+	// bugs or cross-version drift — validate the semantics too, so a bad
+	// checkpoint is rejected at restore instead of poisoning every
+	// subsequent recommendation.
+	pmax := pt.Config.GNN.PMax
+	dim := -1
+	for i, s := range st.Train {
+		switch {
+		case s.Parallelism < 1 || s.Parallelism > pmax:
+			return nil, fmt.Errorf("streamtune: snapshot train sample %d: parallelism %d outside [1, %d]", i, s.Parallelism, pmax)
+		case s.Label != 0 && s.Label != 1:
+			return nil, fmt.Errorf("streamtune: snapshot train sample %d: label %d is neither 0 (clear) nor 1 (bottleneck)", i, s.Label)
+		case len(s.Embedding) == 0:
+			return nil, fmt.Errorf("streamtune: snapshot train sample %d: empty embedding", i)
+		case dim >= 0 && len(s.Embedding) != dim:
+			return nil, fmt.Errorf("streamtune: snapshot train sample %d: embedding dim %d != %d of earlier samples", i, len(s.Embedding), dim)
+		}
+		dim = len(s.Embedding)
+	}
 	model, err := mono.New(pt.Config.Model, pt.Config.GNN.PMax, pt.Config.ModelSeed)
 	if err != nil {
 		return nil, err
@@ -133,6 +152,9 @@ func (t *Tuner) ResumeWithSession(sess *gnn.InferSession, st *ProcessState) (*Pr
 		return nil, fmt.Errorf("streamtune: nil process state")
 	}
 	g := sess.Graph()
+	if err := st.validate(g, t.cfg.GNN.PMax); err != nil {
+		return nil, fmt.Errorf("streamtune: invalid process state: %w", err)
+	}
 	topo, err := g.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -162,6 +184,37 @@ func (t *Tuner) ResumeWithSession(sess *gnn.InferSession, st *ProcessState) (*Pr
 		p.res.Parallelism = p.cur
 	}
 	return p, nil
+}
+
+// validate rejects semantically impossible loop state: a checksum-valid
+// checkpoint can still carry garbage (a writer bug, a snapshot from an
+// incompatible version), and resuming it would mispredict silently on
+// every later step. pmax bounds deployed parallelism; lower bounds may
+// reach pmax+1 (a bottleneck observed at pmax itself).
+func (st *ProcessState) validate(g *dag.Graph, pmax int) error {
+	if st.Iterations < 0 {
+		return fmt.Errorf("negative iteration count %d", st.Iterations)
+	}
+	if st.Done && st.Result == nil {
+		return fmt.Errorf("done without a result")
+	}
+	for op, p := range st.Current {
+		if g.Operator(op) == nil {
+			return fmt.Errorf("current assignment names operator %q absent from the graph", op)
+		}
+		if p < 1 || p > pmax {
+			return fmt.Errorf("current[%q] = %d outside [1, %d]", op, p, pmax)
+		}
+	}
+	for op, lb := range st.LowerBounds {
+		if g.Operator(op) == nil {
+			return fmt.Errorf("lower bound names operator %q absent from the graph", op)
+		}
+		if lb < 1 || lb > pmax+1 {
+			return fmt.Errorf("lower_bounds[%q] = %d outside [1, %d]", op, lb, pmax+1)
+		}
+	}
+	return nil
 }
 
 // copyAssignment deep-copies a per-operator assignment (nil stays nil).
