@@ -10,9 +10,9 @@
 //
 // Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
 // fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
-// ablation-global, ged-bench, nn-bench, service-bench, chaos-bench, all
-// ("all" excludes ged-bench, nn-bench, service-bench and chaos-bench;
-// run them explicitly).
+// ablation-global, ged-bench, admission-bench, nn-bench, service-bench,
+// chaos-bench, all ("all" excludes the explicit benchmarks; run them
+// explicitly).
 //
 // -workers bounds the fan-out of each parallel stage (concurrent
 // drivers, experiment cells, corpus samples, GED pairs, per-cluster
@@ -25,8 +25,16 @@
 // Unless -bench-out is empty, a BENCH_experiments.json wall-clock
 // summary (total and per-driver seconds, worker count) is written so
 // speedups can be tracked across runs. The ged-bench experiment
-// additionally writes BENCH_ged.json: per-scale seed-vs-pipeline
-// timings, filter/verify/cache pair counts and A* states expanded.
+// additionally writes the "ged" section of BENCH_ged.json: per-scale
+// seed-vs-pipeline timings, filter/verify/cache pair counts and A*
+// states expanded. The admission-bench experiment writes the
+// "admission" section of the same file: corpus growth through the
+// incremental cluster maintainer (pivot index + learned GED band over a
+// bounded cache) timed against a global K-means re-run, with sampled
+// assignments differentially verified against the canonical center
+// scan, plus concurrent service Register throughput under a capped
+// admission cache. The two sections are read-modify-written so either
+// bench can be refreshed alone.
 // The nn-bench experiment writes BENCH_nn.json: seed-vs-compiled-plan
 // wall clock for GNN pre-training, ZeroTune cost-model training, and
 // online-tuning inference, with bit-identical-result cross-checks.
@@ -89,6 +97,7 @@ func main() {
 	chaosJobs := flag.Int("chaos-jobs", 4, "chaos-bench tenant count")
 	chaosKills := flag.Int("chaos-kills", 24, "chaos-bench injected service kills")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos-bench fault-schedule seed")
+	admissionRegisters := flag.Int("admission-registers", 16, "admission-bench concurrent service Register calls")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -121,6 +130,8 @@ func main() {
 		chaosJobs:   *chaosJobs,
 		chaosKills:  *chaosKills,
 		chaosSeed:   *chaosSeed,
+
+		admissionRegisters: *admissionRegisters,
 	}
 
 	start := time.Now()
@@ -150,6 +161,35 @@ type benchTargets struct {
 	gedOut, nnOut, serviceOut, chaosOut string
 	serviceJobs, chaosJobs, chaosKills  int
 	chaosSeed                           int64
+	admissionRegisters                  int
+}
+
+// updateGEDReport read-modify-writes the combined BENCH_ged.json so
+// ged-bench and admission-bench each refresh their own section without
+// clobbering the other's. A legacy bare-array file is read as the GED
+// section. An empty path disables the write.
+func updateGEDReport(path string, mutate func(*experiments.GEDReport)) error {
+	if path == "" {
+		return nil
+	}
+	var report experiments.GEDReport
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		trimmed := bytes.TrimSpace(data)
+		if len(trimmed) > 0 && trimmed[0] == '[' {
+			if err := json.Unmarshal(trimmed, &report.GED); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+		} else if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return err
+	}
+	mutate(&report)
+	return writeReport(path, &report)
 }
 
 // writeReport marshals a benchmark report to path; an empty path
@@ -318,7 +358,24 @@ func run(exp string, opts experiments.Options, summary *benchSummary, bench benc
 				return err
 			}
 			experiments.GEDBenchTable(rows).Render(out)
-			if err := writeReport(bench.gedOut, rows); err != nil {
+			if err := updateGEDReport(bench.gedOut, func(r *experiments.GEDReport) {
+				r.GED = rows
+			}); err != nil {
+				return err
+			}
+		case "admission-bench":
+			sizes := []int{1000, 10000}
+			if opts.CorpusSamples < experiments.Full().CorpusSamples {
+				sizes = []int{160, 320}
+			}
+			report, err := experiments.AdmissionBench(opts, sizes, bench.admissionRegisters)
+			if err != nil {
+				return err
+			}
+			experiments.AdmissionBenchTable(report).Render(out)
+			if err := updateGEDReport(bench.gedOut, func(r *experiments.GEDReport) {
+				r.Admission = report
+			}); err != nil {
 				return err
 			}
 		default:

@@ -193,6 +193,7 @@ func cmdPretrain(args []string) error {
 	fs := flag.NewFlagSet("pretrain", flag.ExitOnError)
 	samples := fs.Int("samples", 15, "executions per job structure")
 	epochs := fs.Int("epochs", 10, "training epochs")
+	artifactDir := fs.String("artifact-dir", "", "write the pre-training artifact store to this directory")
 	fs.Parse(args)
 
 	opts := experiments.Quick()
@@ -214,6 +215,12 @@ func cmdPretrain(args []string) error {
 		fmt.Printf("  cluster %d: loss %.4f -> %.4f over %d epochs\n",
 			c, losses[0], losses[len(losses)-1], len(losses))
 	}
+	if *artifactDir != "" {
+		if err := streamtune.SaveArtifacts(*artifactDir, pt); err != nil {
+			return err
+		}
+		fmt.Printf("wrote artifact store to %s\n", *artifactDir)
+	}
 	return nil
 }
 
@@ -221,12 +228,16 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8571", "HTTP listen address")
 	quick := fs.Bool("quick", true, "scaled-down pre-training")
+	artifacts := fs.String("artifacts", "", "open this artifact store (streamtune pretrain -artifact-dir) instead of pre-training at startup")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
 	lease := fs.Duration("lease", 30*time.Minute, "session idle lease TTL (0 disables eviction)")
 	maxSessions := fs.Int("max-sessions", 1024, "session registry cap (0 = unlimited)")
 	evictEvery := fs.Duration("evict-every", time.Minute, "idle-eviction janitor period")
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "cross-tenant inference batching deadline (0 disables batching)")
 	maxBatch := fs.Int("max-batch", 8, "max sessions coalesced into one inference batch")
+	observeBatchWindow := fs.Duration("observe-batch-window", 0, "Observe label-harvest coalescing window (0 disables)")
+	maxObserveBatch := fs.Int("max-observe-batch", 16, "max observations harvested in one pooled task")
+	admissionCacheCap := fs.Int("admission-cache-cap", 0, "admission distance-cache pair capacity; epoch reset on overflow (0 = unbounded)")
 	snapshot := fs.String("snapshot", "", "snapshot path: restored at startup when present, written on shutdown")
 	checkpointDir := fs.String("checkpoint-dir", "", "crash-safe checkpoint directory: restored from at startup, checkpointed to while serving")
 	checkpointEvery := fs.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint cadence")
@@ -238,28 +249,43 @@ func cmdServe(args []string) error {
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 overload responses")
 	fs.Parse(args)
 
-	opts := experiments.Full()
-	if *quick {
-		opts = experiments.Quick()
+	var pt *streamtune.PreTrained
+	var err error
+	if *artifacts != "" {
+		// Lazy startup: parse the manifest only; corpus groups and
+		// encoders stream in as tenants touch their clusters.
+		pt, err = streamtune.OpenArtifacts(*artifacts)
+		if err != nil {
+			return fmt.Errorf("open artifacts: %w", err)
+		}
+		log.Printf("opened artifact store %s (%d cluster(s), lazily loaded)", *artifacts, len(pt.Encoders))
+	} else {
+		opts := experiments.Full()
+		if *quick {
+			opts = experiments.Quick()
+		}
+		opts.Parallelism = *workers
+		log.Printf("pre-training shared artifact (quick=%v)...", *quick)
+		pt, _, err = experiments.PreTrain(engine.Flink, opts)
+		if err != nil {
+			return fmt.Errorf("pre-train: %w", err)
+		}
+		log.Printf("pre-trained %d cluster encoder(s) in %v", len(pt.Encoders), pt.TrainTime.Round(time.Millisecond))
 	}
-	opts.Parallelism = *workers
-	log.Printf("pre-training shared artifact (quick=%v)...", *quick)
-	pt, _, err := experiments.PreTrain(engine.Flink, opts)
-	if err != nil {
-		return fmt.Errorf("pre-train: %w", err)
-	}
-	log.Printf("pre-trained %d cluster encoder(s) in %v", len(pt.Encoders), pt.TrainTime.Round(time.Millisecond))
 
 	cfg := service.Config{
-		LeaseTTL:        *lease,
-		MaxSessions:     *maxSessions,
-		Workers:         *workers,
-		BatchWindow:     *batchWindow,
-		MaxBatch:        *maxBatch,
-		MaxQueue:        *maxQueue,
-		MaxPendingInfer: *maxPendingInfer,
-		RequestTimeout:  *requestTimeout,
-		RetryAfter:      *retryAfter,
+		LeaseTTL:           *lease,
+		MaxSessions:        *maxSessions,
+		Workers:            *workers,
+		BatchWindow:        *batchWindow,
+		MaxBatch:           *maxBatch,
+		ObserveBatchWindow: *observeBatchWindow,
+		MaxObserveBatch:    *maxObserveBatch,
+		AdmissionCacheCap:  *admissionCacheCap,
+		MaxQueue:           *maxQueue,
+		MaxPendingInfer:    *maxPendingInfer,
+		RequestTimeout:     *requestTimeout,
+		RetryAfter:         *retryAfter,
 	}
 	// Durable state precedence: the checkpoint directory (crash-safe,
 	// rotated, checksummed) wins over the single-file -snapshot, which

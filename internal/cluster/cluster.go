@@ -48,17 +48,41 @@ type Result struct {
 	Assignments []int
 	// Inertia is the sum of GED distances from each graph to its center.
 	Inertia float64
+	// Iterations is the number of assign/update rounds KMeans ran; each
+	// round recomputes all K similarity centers. Zero for results not
+	// produced by KMeans.
+	Iterations int
+
+	// members caches the per-cluster member lists so hot paths calling
+	// ClusterOf per cluster don't rescan Assignments each time. Built
+	// once from Assignments on first use (or by KMeans); invalidated by
+	// anyone mutating Assignments directly via rebuildMembers.
+	members [][]int
 }
 
-// ClusterOf returns the members (input indices) of cluster c.
+// ClusterOf returns the members (input indices) of cluster c. The
+// per-cluster lists are computed once per Result and shared — callers
+// must not mutate the returned slice. Not safe for concurrent first
+// use with a mutation of Assignments.
 func (r *Result) ClusterOf(c int) []int {
-	var out []int
+	if r.members == nil {
+		r.rebuildMembers()
+	}
+	if c < 0 || c >= len(r.members) {
+		return nil
+	}
+	return r.members[c]
+}
+
+// rebuildMembers recomputes the member lists from Assignments in one
+// pass. Call after mutating Assignments out of band.
+func (r *Result) rebuildMembers() {
+	r.members = make([][]int, len(r.Centers))
 	for i, a := range r.Assignments {
-		if a == c {
-			out = append(out, i)
+		if a >= 0 && a < len(r.members) {
+			r.members[a] = append(r.members[a], i)
 		}
 	}
-	return out
 }
 
 // Assign returns the index of the nearest center to g, and the distance.
@@ -100,11 +124,13 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 	}
 
 	assign := make([]int, n)
+	iterations := 0
 	// One fingerprint-keyed distance cache spans all iterations: centers
 	// recur across assignment rounds and corpora are full of cloned
 	// templates, so later iterations resolve almost entirely from cache.
 	cache := ged.NewPairCache()
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		iterations = iter + 1
 		// Assignment step: the full graphs x centers GED matrix is
 		// computed in parallel, then reduced deterministically.
 		dists := ged.CrossDistancesCached(graphs, centers, opts.Workers, cache)
@@ -150,7 +176,8 @@ func KMeans(graphs []*dag.Graph, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{Centers: centers, Assignments: assign}
+	res := &Result{Centers: centers, Assignments: assign, Iterations: iterations}
+	res.rebuildMembers()
 	perGraph, err := parallel.Map(n, opts.Workers, func(i int) (float64, error) {
 		return cache.Distance(graphs[i], centers[assign[i]]), nil
 	})

@@ -1,0 +1,254 @@
+// Incremental cluster maintenance: assign arriving DAGs to existing
+// centers through the simsearch pivot index and the learned GED band,
+// track per-cluster drift, and re-center only the affected cluster
+// lazily — never re-running global K-means on the hot path. Every
+// assignment is exact: it equals the canonical linear scan over centers
+// (strict <, ties to the first cluster), because both the pivot index
+// and the band skip candidates only under exact certificates.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/simsearch"
+)
+
+// nearestIndexMin is the smallest center count for which Add routes
+// assignments through a pivot metric index; below it the band's
+// ordered-certificate scan wins, above it the pivot table amortizes
+// its construction over the arrival stream. Profiling the admission
+// bench put the crossover well past the paper-scale K=8: the index
+// pays full (unpruned) exact query-to-pivot distances per new
+// structure, while the band's scan needs one full distance plus
+// incumbent-pruned threshold searches.
+const nearestIndexMin = 24
+
+// IncrementalOptions configures an Incremental maintainer.
+type IncrementalOptions struct {
+	// Options carries Tau, Method and Workers for lazy re-centering;
+	// zero values default like DefaultOptions.
+	Options
+	// RecenterChurn is the membership-churn fraction that triggers a
+	// lazy local re-center: cluster c is re-centered once the members
+	// added since its last re-center exceed RecenterChurn times its
+	// size at that point. Default 0.25; +Inf disables re-centering.
+	RecenterChurn float64
+	// RecenterMinAdds floors the churn trigger so tiny clusters don't
+	// re-center on every arrival. Default 8.
+	RecenterMinAdds int
+	// Band optionally supplies the learned GED band used to order and
+	// certify assignment work. Nil builds a private band over Cache.
+	Band *ged.Band
+	// Cache is the shared distance cache (nil allocates one). Ignored
+	// when Band is non-nil — the band's cache wins.
+	Cache *ged.PairCache
+}
+
+// IncrementalStats counts the maintainer's work.
+type IncrementalStats struct {
+	// Adds is the number of graphs admitted through Add.
+	Adds int
+	// Recenters is the number of lazy local re-centers performed —
+	// compare against K x iterations center updates of a global K-means
+	// re-run per admission batch.
+	Recenters int
+	// IndexedAssigns and BandAssigns split Adds by the path that served
+	// the nearest-center query.
+	IndexedAssigns int
+	BandAssigns    int
+}
+
+// drift is the per-cluster bookkeeping behind lazy re-centering.
+type drift struct {
+	size    int     // current membership
+	adds    int     // members added since the last re-center
+	inertia float64 // distance mass added since the last re-center
+}
+
+// Incremental maintains a clustering as the corpus grows. It is not
+// safe for concurrent use; callers serialize Adds (the tuning service
+// admits through its own lock).
+type Incremental struct {
+	opts   IncrementalOptions
+	band   *ged.Band
+	res    *Result
+	graphs []*dag.Graph
+	drift  []drift
+
+	ix      *simsearch.Index // pivot index over centers
+	ixDirty bool
+
+	stats IncrementalStats
+}
+
+// NewIncremental wraps a batch clustering result for incremental
+// growth. The result and graph slice are copied shallowly — the
+// caller's Result is never mutated; graphs[i] must be the graph
+// res.Assignments[i] assigns.
+func NewIncremental(res *Result, graphs []*dag.Graph, opts IncrementalOptions) (*Incremental, error) {
+	if res == nil || len(res.Centers) == 0 {
+		return nil, fmt.Errorf("cluster: incremental needs a non-empty clustering")
+	}
+	if len(graphs) != len(res.Assignments) {
+		return nil, fmt.Errorf("cluster: %d graphs but %d assignments", len(graphs), len(res.Assignments))
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 20
+	}
+	if opts.Tau <= 0 {
+		opts.Tau = 5
+	}
+	if opts.RecenterChurn <= 0 {
+		opts.RecenterChurn = 0.25
+	}
+	if opts.RecenterMinAdds <= 0 {
+		opts.RecenterMinAdds = 8
+	}
+	band := opts.Band
+	if band == nil {
+		band = ged.NewBand(opts.Cache, ged.DefaultBandOptions())
+	}
+	own := &Result{
+		Centers:     append([]*dag.Graph(nil), res.Centers...),
+		Assignments: append([]int(nil), res.Assignments...),
+		Inertia:     res.Inertia,
+	}
+	own.rebuildMembers()
+	inc := &Incremental{
+		opts:    opts,
+		band:    band,
+		res:     own,
+		graphs:  append([]*dag.Graph(nil), graphs...),
+		drift:   make([]drift, len(res.Centers)),
+		ixDirty: true,
+	}
+	for _, a := range own.Assignments {
+		if a >= 0 && a < len(inc.drift) {
+			inc.drift[a].size++
+		}
+	}
+	return inc, nil
+}
+
+// Result returns the live clustering (centers, assignments, member
+// lists, inertia). The caller must not mutate it.
+func (inc *Incremental) Result() *Result { return inc.res }
+
+// Band returns the learned band serving the maintainer's assignments.
+func (inc *Incremental) Band() *ged.Band { return inc.band }
+
+// Stats returns a snapshot of the maintainer's work counters.
+func (inc *Incremental) Stats() IncrementalStats { return inc.stats }
+
+// Assign returns the nearest center to g and the exact distance without
+// admitting it — identical to Result.Assign's canonical scan.
+func (inc *Incremental) Assign(g *dag.Graph) (int, float64) {
+	c, d, _ := inc.nearest(g)
+	return c, d
+}
+
+// nearest serves the exact nearest-center query through the pivot index
+// when enough centers exist, and the band's ordered-certificate scan
+// otherwise.
+func (inc *Incremental) nearest(g *dag.Graph) (int, float64, bool) {
+	if len(inc.res.Centers) >= nearestIndexMin {
+		if inc.ixDirty {
+			inc.ix = simsearch.NewIndexCached(inc.res.Centers, inc.opts.Workers, inc.band.Cache())
+			inc.ixDirty = false
+		}
+		c, d := inc.ix.Nearest(g, inc.band)
+		return c, d, true
+	}
+	c, d, _ := inc.band.Nearest(g, inc.res.Centers)
+	return c, d, false
+}
+
+// Add admits g: assigns it to its exact nearest center, updates the
+// cluster's drift, and lazily re-centers that cluster when churn
+// crosses the threshold. Returns the cluster and the exact distance.
+func (inc *Incremental) Add(g *dag.Graph) (int, float64, error) {
+	c, d, indexed := inc.nearest(g)
+	if c < 0 {
+		return -1, d, fmt.Errorf("cluster: no centers to assign to")
+	}
+	if indexed {
+		inc.stats.IndexedAssigns++
+	} else {
+		inc.stats.BandAssigns++
+	}
+	i := len(inc.graphs)
+	inc.graphs = append(inc.graphs, g)
+	inc.res.Assignments = append(inc.res.Assignments, c)
+	inc.res.members[c] = append(inc.res.members[c], i)
+	inc.res.Inertia += d
+	inc.stats.Adds++
+
+	dr := &inc.drift[c]
+	dr.size++
+	dr.adds++
+	dr.inertia += d
+	if dr.adds >= inc.opts.RecenterMinAdds &&
+		float64(dr.adds) >= inc.opts.RecenterChurn*float64(dr.size-dr.adds) {
+		if err := inc.recenter(c); err != nil {
+			return c, d, err
+		}
+	}
+	return c, d, nil
+}
+
+// recenter recomputes cluster c's similarity center over its current
+// members — the same CenterWorkersCached computation the batch K-means
+// update step runs, scoped to the one drifted cluster. Assignments of
+// existing members are left as-is (lazy locality: a later global
+// K-means pass, not the admission path, is where cross-cluster moves
+// belong); the result's inertia is adjusted exactly for the new center.
+func (inc *Incremental) recenter(c int) error {
+	memberIdx := inc.res.members[c]
+	if len(memberIdx) == 0 {
+		return nil
+	}
+	members := make([]*dag.Graph, len(memberIdx))
+	for j, i := range memberIdx {
+		members[j] = inc.graphs[i]
+	}
+	cache := inc.band.Cache()
+	ci, err := simsearch.CenterWorkersCached(members, inc.opts.Tau, inc.opts.Method, inc.opts.Workers, cache)
+	if err != nil {
+		return fmt.Errorf("cluster: re-center cluster %d: %w", c, err)
+	}
+	newCenter := members[ci]
+	oldCenter := inc.res.Centers[c]
+	if ged.Fingerprint(newCenter) != ged.Fingerprint(oldCenter) {
+		// Exact inertia adjustment: swap each member's old-center
+		// distance for its new-center distance. The center search above
+		// already computed the member-pair matrix, so these resolve
+		// almost entirely from cache.
+		var oldSum, newSum float64
+		for _, m := range members {
+			oldSum += cache.Distance(m, oldCenter)
+			newSum += cache.Distance(m, newCenter)
+		}
+		inc.res.Inertia += newSum - oldSum
+		inc.res.Centers[c] = newCenter
+		inc.ixDirty = true
+	}
+	dr := &inc.drift[c]
+	dr.adds = 0
+	dr.inertia = 0
+	inc.stats.Recenters++
+	return nil
+}
+
+// Drift reports cluster c's churn since its last re-center: members
+// added and the distance mass they contributed. Size is the current
+// membership.
+func (inc *Incremental) Drift(c int) (size, adds int, inertia float64) {
+	if c < 0 || c >= len(inc.drift) {
+		return 0, 0, math.NaN()
+	}
+	dr := inc.drift[c]
+	return dr.size, dr.adds, dr.inertia
+}

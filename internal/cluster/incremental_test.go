@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/simsearch"
+)
+
+// perturbedCorpus clones the two test families with occasional single
+// operator retypes — the admission-bench growth pattern in miniature.
+func perturbedCorpus(seed int64, n int) []*dag.Graph {
+	base, _ := twoFamilies()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*dag.Graph, 0, n)
+	for len(out) < n {
+		g := base[rng.Intn(len(base))].Clone()
+		g.Name = fmt.Sprintf("%s#%d", g.Name, len(out))
+		if rng.Float64() < 0.7 {
+			ops := g.Operators()
+			op := ops[rng.Intn(len(ops))]
+			if op.Type != dag.Source && op.Type != dag.Sink {
+				op.Type = dag.OpType(2 + rng.Intn(dag.NumOpTypes()-2))
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// TestIncrementalMatchesBatchOnStaticCorpus is the tentpole
+// differential: on a static corpus the incremental maintainer assigns
+// every graph to exactly the cluster batch K-means converged to.
+func TestIncrementalMatchesBatchOnStaticCorpus(t *testing.T) {
+	gs := perturbedCorpus(31, 40)
+	res, err := KMeans(gs, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(res, gs, IncrementalOptions{Options: DefaultOptions(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gs {
+		c, d := inc.Assign(g)
+		if c != res.Assignments[i] {
+			t.Fatalf("graph %d: incremental assigns %d, batch K-means %d", i, c, res.Assignments[i])
+		}
+		if want := ged.Distance(g, res.Centers[c]); d != want {
+			t.Fatalf("graph %d: distance %v != exact %v", i, d, want)
+		}
+	}
+}
+
+// TestIncrementalAddExactVsCanonical streams new graphs through Add
+// with re-centering disabled and checks every assignment against the
+// canonical Result.Assign scan over the (static) centers.
+func TestIncrementalAddExactVsCanonical(t *testing.T) {
+	gs := perturbedCorpus(32, 24)
+	res, err := KMeans(gs, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := IncrementalOptions{Options: DefaultOptions(3), RecenterChurn: math.Inf(1)}
+	inc, err := NewIncremental(res, gs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range perturbedCorpus(33, 40) {
+		wantC, wantD := res.Assign(g)
+		gotC, gotD, err := inc.Add(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotC != wantC || gotD != wantD {
+			t.Fatalf("add %d: incremental (%d, %v) != canonical (%d, %v)", i, gotC, gotD, wantC, wantD)
+		}
+	}
+	if st := inc.Stats(); st.Recenters != 0 || st.Adds != 40 {
+		t.Fatalf("stats = %+v, want 40 adds and no recenters", inc.Stats())
+	}
+	// The caller's Result must be untouched.
+	if len(res.Assignments) != 24 {
+		t.Fatalf("caller Result mutated: %d assignments", len(res.Assignments))
+	}
+}
+
+// TestIncrementalRecenterDifferential forces lazy re-centering and
+// verifies (a) the re-centered center equals the batch center update
+// over the same members, (b) later assignments stay canonical against
+// the live centers, and (c) the tracked inertia matches an exact
+// recomputation.
+func TestIncrementalRecenterDifferential(t *testing.T) {
+	gs := perturbedCorpus(34, 16)
+	res, err := KMeans(gs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := IncrementalOptions{Options: DefaultOptions(2), RecenterChurn: 0.1, RecenterMinAdds: 4}
+	inc, err := NewIncremental(res, gs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range perturbedCorpus(35, 48) {
+		c, d, err := inc.Add(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Canonical scan against the maintainer's current centers.
+		live := inc.Result()
+		wantC, wantD := live.Assign(g)
+		// Assign ran after the Add's possible re-center; the Add's own
+		// answer was computed against the centers in force at its time,
+		// which differ only if this very Add triggered the re-center.
+		// Re-check directly: the recorded assignment must be exact.
+		if d != ged.Distance(g, live.Centers[c]) && d != wantD {
+			t.Fatalf("add of %s: distance %v is not exact against any live center (canonical %d/%v)",
+				g.Name, d, wantC, wantD)
+		}
+	}
+	st := inc.Stats()
+	if st.Recenters == 0 {
+		t.Fatalf("churn threshold never re-centered: %+v", st)
+	}
+	// Center differential: each live center must equal the batch update
+	// step's center over the same members.
+	live := inc.Result()
+	all := append(append([]*dag.Graph(nil), gs...), func() []*dag.Graph {
+		var added []*dag.Graph
+		for _, g := range perturbedCorpus(35, 48) {
+			added = append(added, g)
+		}
+		return added
+	}()...)
+	for c := range live.Centers {
+		memberIdx := live.ClusterOf(c)
+		if len(memberIdx) == 0 {
+			continue
+		}
+		members := make([]*dag.Graph, len(memberIdx))
+		for j, i := range memberIdx {
+			members[j] = all[i]
+		}
+		// Only clusters whose drift is fully re-centered are comparable;
+		// pending adds since the last re-center shift the member set.
+		_, adds, _ := inc.Drift(c)
+		if adds != 0 {
+			continue
+		}
+		ci, err := simsearch.CenterWorkersCached(members, 5, simsearch.AStarLS, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ged.Fingerprint(live.Centers[c]) != ged.Fingerprint(members[ci]) {
+			t.Fatalf("cluster %d: live center structure differs from batch center update", c)
+		}
+	}
+	// Inertia differential: exact recomputation over live assignments.
+	want := 0.0
+	for i, a := range live.Assignments {
+		want += ged.Distance(all[i], live.Centers[a])
+	}
+	if diff := math.Abs(live.Inertia - want); diff > 1e-9 {
+		t.Fatalf("tracked inertia %v != exact %v (diff %v)", live.Inertia, want, diff)
+	}
+}
+
+// TestIncrementalIndexedPath grows the center count past the pivot
+// index threshold and checks the indexed assignments stay canonical.
+func TestIncrementalIndexedPath(t *testing.T) {
+	gs := perturbedCorpus(36, 60)
+	res, err := KMeans(gs, DefaultOptions(nearestIndexMin+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) < nearestIndexMin {
+		t.Skipf("only %d centers; need %d for the indexed path", len(res.Centers), nearestIndexMin)
+	}
+	inc, err := NewIncremental(res, gs, IncrementalOptions{Options: DefaultOptions(nearestIndexMin + 2), RecenterChurn: math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range perturbedCorpus(37, 30) {
+		wantC, wantD := res.Assign(g)
+		gotC, gotD, err := inc.Add(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotC != wantC || gotD != wantD {
+			t.Fatalf("add %d: indexed (%d, %v) != canonical (%d, %v)", i, gotC, gotD, wantC, wantD)
+		}
+	}
+	if st := inc.Stats(); st.IndexedAssigns == 0 {
+		t.Fatalf("no assignments took the pivot-index path: %+v", st)
+	}
+}
+
+// TestIncrementalValidation covers constructor error paths.
+func TestIncrementalValidation(t *testing.T) {
+	gs := perturbedCorpus(38, 6)
+	if _, err := NewIncremental(nil, gs, IncrementalOptions{}); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	res, err := KMeans(gs, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIncremental(res, gs[:3], IncrementalOptions{}); err == nil {
+		t.Fatal("graph/assignment length mismatch accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package ged
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// bandVariants builds one untrained band plus trained bands at the
+// adversarial margin extremes (0: trust predictions fully; +Inf: never
+// trust them) and with a calibrated margin. Training happens through
+// the public harvesting path: observed exact distances.
+func bandVariants(t *testing.T, seed int64) map[string]*Band {
+	t.Helper()
+	mk := func(opts BandOptions) *Band {
+		opts.MinTrain = 12
+		opts.Epochs = 40
+		b := NewBand(nil, opts)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; !b.Trained() || i < 24; i++ {
+			b.Distance(randomDAG(rng, 1+rng.Intn(6)), randomDAG(rng, 1+rng.Intn(6)))
+			if i > 200 {
+				t.Fatalf("band failed to train after %d observations", i)
+			}
+		}
+		if !b.Trained() {
+			t.Fatalf("band untrained after warmup")
+		}
+		return b
+	}
+	return map[string]*Band{
+		"untrained":  NewBand(nil, BandOptions{}),
+		"margin0":    mk(BandOptions{FixedMargin: true, Margin: 0}),
+		"marginInf":  mk(BandOptions{FixedMargin: true, Margin: math.Inf(1)}),
+		"calibrated": mk(BandOptions{}),
+	}
+}
+
+// TestBandWithinThresholdBitIdentical is the satellite exactness
+// property test: band-enabled WithinThreshold returns bit-identical
+// results (both values, hit and miss) to the band-disabled pipeline
+// across random corpora and adversarial margins.
+func TestBandWithinThresholdBitIdentical(t *testing.T) {
+	trials := 160
+	if testing.Short() {
+		trials = 50
+	}
+	for name, b := range bandVariants(t, 11) {
+		rng := rand.New(rand.NewSource(101))
+		for trial := 0; trial < trials; trial++ {
+			a := randomDAG(rng, 1+rng.Intn(6))
+			g := randomDAG(rng, 1+rng.Intn(6))
+			tau := float64(rng.Intn(7))
+			gotOK, gotD := b.WithinThreshold(a, g, tau)
+			wantOK, wantD := WithinThreshold(a, g, tau)
+			if gotOK != wantOK || gotD != wantD {
+				t.Fatalf("%s trial %d tau=%v: band (%v, %v) != plain (%v, %v)\nA: %s\nB: %s",
+					name, trial, tau, gotOK, gotD, wantOK, wantD, a, g)
+			}
+			// Repeat hits the cache-accept path; it must stay identical.
+			gotOK, gotD = b.WithinThreshold(a, g, tau)
+			if gotOK != wantOK || gotD != wantD {
+				t.Fatalf("%s trial %d tau=%v cached: band (%v, %v) != plain (%v, %v)",
+					name, trial, tau, gotOK, gotD, wantOK, wantD)
+			}
+		}
+	}
+}
+
+// TestBandWithinBooleanExact proves the boolean-only threshold query —
+// where the band is free to accept on an achievable upper bound without
+// searching — still never disagrees with the exact pipeline.
+func TestBandWithinBooleanExact(t *testing.T) {
+	trials := 160
+	if testing.Short() {
+		trials = 50
+	}
+	for name, b := range bandVariants(t, 12) {
+		rng := rand.New(rand.NewSource(102))
+		for trial := 0; trial < trials; trial++ {
+			a := randomDAG(rng, 1+rng.Intn(6))
+			g := randomDAG(rng, 1+rng.Intn(6))
+			tau := float64(rng.Intn(7))
+			want, _ := WithinThreshold(a, g, tau)
+			if got := b.Within(a, g, tau); got != want {
+				t.Fatalf("%s trial %d tau=%v: band %v != plain %v\nA: %s\nB: %s",
+					name, trial, tau, got, want, a, g)
+			}
+		}
+	}
+}
+
+// TestBandCrossDistancesBitIdentical checks the full-matrix path cell
+// for cell against the uncached exact matrix.
+func TestBandCrossDistancesBitIdentical(t *testing.T) {
+	n := 10
+	if testing.Short() {
+		n = 6
+	}
+	for name, b := range bandVariants(t, 13) {
+		rng := rand.New(rand.NewSource(103))
+		gs := make([]*dag.Graph, n)
+		hs := make([]*dag.Graph, n/2)
+		for i := range gs {
+			gs[i] = randomDAG(rng, 1+rng.Intn(6))
+		}
+		for i := range hs {
+			hs[i] = randomDAG(rng, 1+rng.Intn(6))
+		}
+		got := b.CrossDistances(gs, hs, 2)
+		want := CrossDistances(gs, hs, 2)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%s: cell (%d,%d) band %v != plain %v", name, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestBandNearestCanonical proves the banded nearest-center query is
+// identical to the canonical linear scan (strict <, ties to the first
+// index) for every margin, including duplicate-center tie cases, both
+// cold and fully cached.
+func TestBandNearestCanonical(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 20
+	}
+	for name, b := range bandVariants(t, 14) {
+		rng := rand.New(rand.NewSource(104))
+		for trial := 0; trial < trials; trial++ {
+			k := 1 + rng.Intn(9)
+			centers := make([]*dag.Graph, 0, k+1)
+			for len(centers) < k {
+				centers = append(centers, randomDAG(rng, 1+rng.Intn(6)))
+			}
+			if k > 1 && rng.Float64() < 0.5 {
+				// Force a structural duplicate so the first-index
+				// tie-break is exercised.
+				dup := centers[rng.Intn(len(centers))].Clone()
+				dup.Name = "dup"
+				centers = append(centers, dup)
+			}
+			q := randomDAG(rng, 1+rng.Intn(6))
+			wantC, wantD := -1, math.Inf(1)
+			for c, center := range centers {
+				if d := Distance(q, center); d < wantD {
+					wantC, wantD = c, d
+				}
+			}
+			for pass := 0; pass < 2; pass++ {
+				gotC, gotD, _ := b.Nearest(q, centers)
+				if gotC != wantC || gotD != wantD {
+					t.Fatalf("%s trial %d pass %d: Nearest = (%d, %v), canonical scan (%d, %v)",
+						name, trial, pass, gotC, gotD, wantC, wantD)
+				}
+			}
+		}
+		// Empty center list mirrors Result.Assign's (-1, +Inf).
+		if c, d, _ := b.Nearest(randomDAG(rand.New(rand.NewSource(1)), 3), nil); c != -1 || !math.IsInf(d, 1) {
+			t.Fatalf("%s: Nearest over no centers = (%d, %v)", name, c, d)
+		}
+	}
+}

@@ -53,14 +53,34 @@ func orientedKey(ka, kb string) pairKey {
 // PairCache memoizes exact GED values by canonical fingerprint pair. It
 // is safe for concurrent use; distances are pure functions of the two
 // structures, so concurrent duplicate computations store the same value.
+//
+// A cache built with NewPairCacheCap bounds its memory with epoch
+// resets: once the pair count reaches the cap, the whole map is dropped
+// and repopulated by subsequent traffic. Entries are pure recomputable
+// values, so a reset costs only recomputation, never correctness —
+// which is why a wholesale epoch reset beats per-entry eviction here:
+// it needs no access-order bookkeeping on the read-heavy hot path.
 type PairCache struct {
-	mu sync.RWMutex
-	m  map[pairKey]float64
+	mu     sync.RWMutex
+	m      map[pairKey]float64
+	cap    int
+	resets uint64
 }
 
-// NewPairCache returns an empty cache.
+// NewPairCache returns an empty, unbounded cache.
 func NewPairCache() *PairCache {
 	return &PairCache{m: make(map[pairKey]float64)}
+}
+
+// NewPairCacheCap returns an empty cache holding at most maxPairs
+// distinct structure pairs; inserting past the cap clears the cache
+// first (an epoch reset). maxPairs < 1 means unbounded.
+func NewPairCacheCap(maxPairs int) *PairCache {
+	c := NewPairCache()
+	if maxPairs > 0 {
+		c.cap = maxPairs
+	}
+	return c
 }
 
 // Len reports the number of distinct structure pairs cached.
@@ -68,6 +88,16 @@ func (c *PairCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Cap reports the configured pair cap (0 = unbounded).
+func (c *PairCache) Cap() int { return c.cap }
+
+// Resets reports how many epoch resets the cap has forced.
+func (c *PairCache) Resets() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.resets
 }
 
 // Lookup returns the cached distance for the pair when present,
@@ -110,6 +140,12 @@ func (c *PairCache) peek(key pairKey) (float64, bool) {
 
 func (c *PairCache) store(key pairKey, d float64) {
 	c.mu.Lock()
+	if c.cap > 0 && len(c.m) >= c.cap {
+		if _, present := c.m[key]; !present {
+			c.m = make(map[pairKey]float64, c.cap)
+			c.resets++
+		}
+	}
 	c.m[key] = d
 	c.mu.Unlock()
 }

@@ -1,0 +1,48 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPairCacheCapEpochReset proves a capped cache never exceeds its
+// cap, counts its epoch resets, and keeps returning exact distances
+// across resets.
+func TestPairCacheCapEpochReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const cap = 16
+	c := NewPairCacheCap(cap)
+	if c.Cap() != cap {
+		t.Fatalf("Cap() = %d, want %d", c.Cap(), cap)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := randomDAG(rng, 1+rng.Intn(6))
+		b := randomDAG(rng, 1+rng.Intn(6))
+		got := c.Distance(a, b)
+		if want := Distance(a, b); got != want {
+			t.Fatalf("trial %d: capped cache distance %v != %v", trial, got, want)
+		}
+		if c.Len() > cap {
+			t.Fatalf("trial %d: cache holds %d pairs, cap %d", trial, c.Len(), cap)
+		}
+	}
+	if c.Resets() == 0 {
+		t.Fatalf("200 random pairs through a %d-pair cap forced no epoch reset", cap)
+	}
+
+	// A re-stored existing key at the cap must not force a reset.
+	full := NewPairCacheCap(1)
+	a := randomDAG(rng, 3)
+	b := randomDAG(rng, 4)
+	full.Distance(a, b)
+	before := full.Resets()
+	full.store(orientedKey(Fingerprint(a), Fingerprint(b)), full.Distance(a, b))
+	if full.Resets() != before {
+		t.Fatalf("re-storing a present key bumped resets %d -> %d", before, full.Resets())
+	}
+
+	// The default constructor stays unbounded.
+	if NewPairCache().Cap() != 0 {
+		t.Fatalf("NewPairCache should be unbounded")
+	}
+}

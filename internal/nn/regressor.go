@@ -1,0 +1,109 @@
+// Regressor is a tiny scalar-output MLP compiled onto the plan engine:
+// the learned GED band trains one on observed exact distances and uses
+// its predictions to order and gate candidate pairs. Predictions are
+// advisory by construction — callers must keep results exact through
+// certificates — so the regressor needs no accuracy guarantee, only
+// determinism: identical (seed, training set, epochs) produce identical
+// weights and therefore identical predictions.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Regressor wraps an MLP mapping a fixed-width feature vector to one
+// scalar. Fit and Predict are safe for concurrent use with each other;
+// concurrent Predicts serialize on an internal lock (the band predicts
+// a handful of floats per admission, so contention is negligible).
+type Regressor struct {
+	in  int
+	mlp *MLP
+
+	mu      sync.Mutex
+	predict *Plan
+	predIn  Ref
+	predOut Ref
+}
+
+// NewRegressor builds an untrained regressor with the given input
+// width and hidden layer widths, deterministically initialized from
+// seed.
+func NewRegressor(in int, hidden []int, seed int64) *Regressor {
+	widths := make([]int, 0, len(hidden)+2)
+	widths = append(widths, in)
+	widths = append(widths, hidden...)
+	widths = append(widths, 1)
+	rng := rand.New(rand.NewSource(seed))
+	return &Regressor{in: in, mlp: NewMLP(rng, widths...)}
+}
+
+// InputDim reports the expected feature vector width.
+func (r *Regressor) InputDim() int { return r.in }
+
+// Fit trains full-batch with Adam on mean squared error for the given
+// number of epochs, returning the per-epoch losses. Training is
+// deterministic: the same regressor state, data, epochs, and learning
+// rate always yield the same weights.
+func (r *Regressor) Fit(X [][]float64, y []float64, epochs int, lr float64) ([]float64, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("nn: Fit on empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("nn: Fit got %d feature rows but %d targets", len(X), len(y))
+	}
+	for i, row := range X {
+		if len(row) != r.in {
+			return nil, fmt.Errorf("nn: Fit row %d has %d features, want %d", i, len(row), r.in)
+		}
+	}
+	b := NewBuilder()
+	x := b.Input(len(X), r.in)
+	out := b.MLP(r.mlp, x, ActNone)
+	plan := b.Build(b.MSE(out))
+	plan.SetInput(x, FromRows(X))
+	target := NewMatrix(len(y), 1)
+	copy(target.Data, y)
+	plan.SetTarget(target)
+
+	opt := NewAdam(r.mlp.Params(), lr)
+	losses := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		plan.Forward()
+		losses[e] = plan.Losses()[0]
+		plan.Backward()
+		opt.Step()
+	}
+	return losses, nil
+}
+
+// Predict returns the model output for one feature vector. Plans read
+// parameter matrices live, so a Fit between Predicts is picked up
+// without rebuilding the cached single-row plan.
+func (r *Regressor) Predict(x []float64) float64 {
+	if len(x) != r.in {
+		panic(fmt.Sprintf("nn: Predict got %d features, want %d", len(x), r.in))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.predict == nil {
+		b := NewBuilder()
+		in := b.Input(1, r.in)
+		r.predIn = in
+		r.predOut = b.MLP(r.mlp, in, ActNone)
+		r.predict = b.BuildForward()
+	}
+	copy(r.predict.InputData(r.predIn), x)
+	r.predict.Forward()
+	return r.predict.Value(r.predOut).Data[0]
+}
+
+// PredictBatch returns the model outputs for each feature row.
+func (r *Regressor) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = r.Predict(row)
+	}
+	return out
+}

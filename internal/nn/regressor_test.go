@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// regressorData samples a noisy linear target the tiny MLP can fit.
+func regressorData(seed int64, n, in int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, in)
+		s := 0.0
+		for j := range row {
+			row[j] = rng.Float64()
+			s += float64(j+1) * row[j]
+		}
+		X[i] = row
+		y[i] = s
+	}
+	return X, y
+}
+
+// TestRegressorLearns checks the MSE loss drops substantially over a
+// full-batch Adam fit and that predictions land near the target.
+func TestRegressorLearns(t *testing.T) {
+	X, y := regressorData(1, 128, 4)
+	r := NewRegressor(4, []int{16, 8}, 1)
+	losses, err := r.Fit(X, y, 300, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0]/10 {
+		t.Fatalf("loss barely moved: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	if got := r.Predict(X[0]); got < y[0]-1 || got > y[0]+1 {
+		t.Fatalf("Predict(X[0]) = %v, want near %v", got, y[0])
+	}
+}
+
+// TestRegressorDeterministic proves identical (seed, data, epochs)
+// produce bit-identical predictions — the property the band's
+// calibrated margin and the repo's refit-from-scratch idiom rely on.
+func TestRegressorDeterministic(t *testing.T) {
+	X, y := regressorData(2, 64, 3)
+	a := NewRegressor(3, []int{8}, 7)
+	b := NewRegressor(3, []int{8}, 7)
+	if _, err := a.Fit(X, y, 50, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fit(X, y, 50, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range X {
+		if pa, pb := a.Predict(row), b.Predict(row); pa != pb {
+			t.Fatalf("row %d: %v != %v", i, pa, pb)
+		}
+	}
+	// A fit between predictions is picked up by the cached predict plan.
+	before := a.Predict(X[0])
+	if _, err := a.Fit(X, y, 50, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if after := a.Predict(X[0]); after == before {
+		t.Logf("prediction unchanged after refit (converged); acceptable")
+	}
+}
+
+// TestRegressorValidation covers the error paths.
+func TestRegressorValidation(t *testing.T) {
+	r := NewRegressor(2, []int{4}, 1)
+	if _, err := r.Fit(nil, nil, 10, 0.01); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := r.Fit([][]float64{{1, 2}}, []float64{1, 2}, 10, 0.01); err == nil {
+		t.Fatal("mismatched rows/targets accepted")
+	}
+	if _, err := r.Fit([][]float64{{1}}, []float64{1}, 10, 0.01); err == nil {
+		t.Fatal("wrong feature width accepted")
+	}
+	if r.InputDim() != 2 {
+		t.Fatalf("InputDim = %d", r.InputDim())
+	}
+	if got := r.PredictBatch([][]float64{{0, 0}, {1, 1}}); len(got) != 2 {
+		t.Fatalf("PredictBatch len = %d", len(got))
+	}
+}

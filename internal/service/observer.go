@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/parallel"
+)
+
+// observeBatcher coalesces concurrent Observe requests — label
+// harvesting, convergence checks, model warm-up — into one worker-pool
+// task. Each session's harvest is an independent pure step over its own
+// state, so batching changes scheduling only: per-session results are
+// bit-identical to the unbatched path (differential-tested). The win is
+// at thousands-of-tenants scale, where every Observe is sub-millisecond
+// of work behind a full worker-pool round trip of queueing; one flush
+// pays that round trip once for the whole batch.
+//
+// Requests queue globally (unlike the inference batcher there is no
+// compatibility key — any sessions may share a flush). The first
+// request arms the deadline timer; the queue flushes when the deadline
+// expires or it reaches maxBatch. A waiter whose context ends before
+// the flush delivers abandons the wait; its harvest still executes and
+// the result is dropped on the buffered channel's floor.
+type observeBatcher struct {
+	window   time.Duration
+	maxBatch int
+	pool     *parallel.Limiter
+
+	mu     sync.Mutex
+	queue  *observeQueue
+	closed bool
+
+	occupancy map[int]uint64
+	flushes   uint64
+	batched   uint64
+	single    uint64
+}
+
+type observeRequest struct {
+	run func() error
+	out chan error
+}
+
+// observeQueue is the open queue; a fresh queue replaces it after every
+// flush so a stale timer firing against a drained queue is a no-op.
+type observeQueue struct {
+	reqs  []*observeRequest
+	timer *time.Timer
+}
+
+// newObserveBatcher returns nil (coalescing disabled) when window <= 0.
+func newObserveBatcher(window time.Duration, maxBatch int, pool *parallel.Limiter) *observeBatcher {
+	if window <= 0 {
+		return nil
+	}
+	if maxBatch <= 1 {
+		maxBatch = 16
+	}
+	return &observeBatcher{
+		window:    window,
+		maxBatch:  maxBatch,
+		pool:      pool,
+		occupancy: make(map[int]uint64),
+	}
+}
+
+// do enqueues one harvest closure and blocks until its batch executes.
+// A nil or closed batcher degrades to the direct pooled path — exactly
+// the pre-batching behavior. The per-waiter context governs only the
+// wait: once a flush starts, every enqueued harvest runs to completion.
+func (b *observeBatcher) do(ctx context.Context, pool *parallel.Limiter, run func() error) error {
+	if b == nil {
+		return pool.DoCtx(ctx, run)
+	}
+	req := &observeRequest{run: run, out: make(chan error, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.single++
+		b.mu.Unlock()
+		return pool.DoCtx(ctx, run)
+	}
+	q := b.queue
+	if q == nil {
+		q = &observeQueue{}
+		b.queue = q
+		q.timer = time.AfterFunc(b.window, func() { b.flush(q) })
+	}
+	q.reqs = append(q.reqs, req)
+	full := len(q.reqs) >= b.maxBatch
+	b.mu.Unlock()
+	if full {
+		b.flush(q)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case err := <-req.out:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// flush drains q — if it is still the live queue — and executes every
+// harvest inside one worker-pool task. Pool saturation (a bounded
+// waiting room that is full) sheds the whole batch: every waiter
+// receives ErrSaturated and the service classifies it to ErrOverloaded,
+// the same contract as the unbatched path.
+func (b *observeBatcher) flush(q *observeQueue) {
+	b.mu.Lock()
+	if b.queue != q {
+		b.mu.Unlock()
+		return
+	}
+	b.queue = nil
+	q.timer.Stop()
+	reqs := q.reqs
+	b.flushes++
+	b.occupancy[len(reqs)]++
+	if len(reqs) > 1 {
+		b.batched += uint64(len(reqs))
+	} else {
+		b.single++
+	}
+	b.mu.Unlock()
+
+	errs := make([]error, len(reqs))
+	poolErr := b.pool.DoCtx(context.Background(), func() error {
+		for i, r := range reqs {
+			errs[i] = r.run()
+		}
+		return nil
+	})
+	for i, r := range reqs {
+		if poolErr != nil {
+			r.out <- poolErr
+		} else {
+			r.out <- errs[i]
+		}
+	}
+}
+
+// close flushes any open queue inline (answering every waiter) and
+// routes future requests to the direct pooled path. Idempotent; safe on
+// nil.
+func (b *observeBatcher) close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	q := b.queue
+	b.queue = nil
+	b.mu.Unlock()
+	if q == nil {
+		return
+	}
+	q.timer.Stop()
+	b.mu.Lock()
+	b.occupancy[len(q.reqs)]++
+	b.flushes++
+	b.single += uint64(len(q.reqs))
+	b.mu.Unlock()
+	for _, r := range q.reqs {
+		r.out <- r.run()
+	}
+}
+
+// stats returns a point-in-time copy of the coalescing counters.
+func (b *observeBatcher) stats() (flushes, batched, single uint64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushes, b.batched, b.single
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// TestObserveBatchingBitIdentical drives concurrent jobs through a
+// service with Observe coalescing enabled and demands every final
+// recommendation match the sequential single-job tuner bit for bit —
+// batching may only change scheduling, never results.
+func TestObserveBatchingBitIdentical(t *testing.T) {
+	engCfg := testEngineConfig()
+	jobs := []struct {
+		id   string
+		q    nexmark.Query
+		rate float64
+	}{
+		{"ob-q5", nexmark.Q5, 3}, {"ob-q3", nexmark.Q3, 3},
+		{"ob-q2", nexmark.Q2, 3}, {"ob-q8", nexmark.Q8, 3},
+	}
+	want := make([]map[string]int, len(jobs))
+	for i, j := range jobs {
+		want[i] = sequentialResult(t, targetGraph(t, j.q, j.rate), engCfg)
+	}
+
+	s := newTestService(t, Config{
+		Workers:            4,
+		ObserveBatchWindow: 5 * time.Millisecond,
+		MaxObserveBatch:    4,
+	})
+	graphs := make([]*dag.Graph, len(jobs))
+	for i, j := range jobs {
+		graphs[i] = targetGraph(t, j.q, j.rate)
+		if _, err := s.Register(context.Background(), j.id, graphs[i], engCfg); err != nil {
+			t.Fatalf("register %s: %v", j.id, err)
+		}
+	}
+	got := make([]map[string]int, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = driveJob(t, s, j.id, graphs[i], engCfg)
+		}()
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %s: batched-Observe recommendation diverged:\n got %v\nwant %v",
+				j.id, got[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.ObserveBatchFlushes == 0 {
+		t.Errorf("no observe flushes recorded across %d observations", st.Observations)
+	}
+	if served := st.BatchedObservations + st.UnbatchedObservations; served != st.Observations {
+		t.Errorf("flushes served %d observations, service counted %d", served, st.Observations)
+	}
+}
+
+// TestObserveBatcherCloseDegrades proves a closed coalescer falls back
+// to the direct pooled path — Observe keeps working through shutdown.
+func TestObserveBatcherCloseDegrades(t *testing.T) {
+	engCfg := testEngineConfig()
+	s := newTestService(t, Config{
+		Workers:            2,
+		ObserveBatchWindow: time.Millisecond,
+	})
+	s.Close()
+	g := targetGraph(t, nexmark.Q2, 3)
+	if _, err := s.Register(context.Background(), "post-close", g, engCfg); err != nil {
+		t.Fatal(err)
+	}
+	if rec := driveJob(t, s, "post-close", g, engCfg); len(rec) == 0 {
+		t.Fatal("no recommendation after close")
+	}
+}
+
+// TestAdmissionCacheCapInStats proves a capped admission cache epoch-
+// resets under pressure and surfaces size/cap/resets through Stats.
+func TestAdmissionCacheCapInStats(t *testing.T) {
+	engCfg := testEngineConfig()
+	s := newTestService(t, Config{Workers: 2, AdmissionCacheCap: 2})
+	for i, q := range []nexmark.Query{nexmark.Q2, nexmark.Q3, nexmark.Q5} {
+		g := targetGraph(t, q, 3)
+		if _, err := s.Register(context.Background(), g.Name+"-cap", g, engCfg); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.AdmissionCacheCap != 2 {
+		t.Fatalf("AdmissionCacheCap = %d, want 2", st.AdmissionCacheCap)
+	}
+	if st.AdmissionCacheSize > 2 {
+		t.Fatalf("AdmissionCacheSize = %d exceeds cap", st.AdmissionCacheSize)
+	}
+	// Three distinct structures against >= 1 center exceed two pairs, so
+	// at least one epoch reset must have fired.
+	if st.AdmissionCacheResets == 0 {
+		t.Fatalf("no epoch resets despite cap pressure: %+v", st)
+	}
+}

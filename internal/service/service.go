@@ -99,6 +99,23 @@ type Config struct {
 	// registrations shed with ErrOverloaded. Zero or negative means
 	// unbounded. Only meaningful when BatchWindow is positive.
 	MaxPendingInfer int
+	// ObserveBatchWindow coalesces concurrent Observe requests into one
+	// worker-pool task: a request waits up to this long for other
+	// tenants' observations, then the whole batch executes as a single
+	// pooled task. Per-session results are bit-identical to the
+	// unbatched path — only the per-request pool round trip is
+	// amortized. Zero or negative disables coalescing (the default).
+	ObserveBatchWindow time.Duration
+	// MaxObserveBatch caps how many observations one flush may coalesce;
+	// a full queue flushes before its deadline. Values below two default
+	// to 16. Only meaningful when ObserveBatchWindow is positive.
+	MaxObserveBatch int
+	// AdmissionCacheCap bounds the shared admission GED cache (in pairs)
+	// with epoch reset: at the cap the cache drops its map and starts a
+	// fresh epoch, so a 100k-graph soak doesn't hold every pair ever
+	// computed. Entries are pure recomputable distances, so a reset
+	// costs only recomputation. Zero or negative means unbounded.
+	AdmissionCacheCap int
 	// RequestTimeout is a server-side deadline applied to every
 	// Register/Recommend/Observe call on top of the caller's context, so
 	// a request stuck behind a saturated pool eventually abandons the
@@ -206,6 +223,12 @@ type Stats struct {
 	// shared-artifact hit rate of admission.
 	AdmissionCacheHits   uint64 `json:"admission_cache_hits"`
 	AdmissionCacheMisses uint64 `json:"admission_cache_misses"`
+	// AdmissionCacheSize is the pairs held right now; AdmissionCacheCap
+	// the configured bound (0 = unbounded); AdmissionCacheResets how
+	// many times the cache hit its cap and started a fresh epoch.
+	AdmissionCacheSize   int    `json:"admission_cache_size"`
+	AdmissionCacheCap    int    `json:"admission_cache_cap"`
+	AdmissionCacheResets uint64 `json:"admission_cache_resets"`
 	// EncoderWarmHits counts registrations assigned to a cluster whose
 	// encoder had already served an earlier session of this process —
 	// its compiled plans and structure caches are warm.
@@ -218,6 +241,12 @@ type Stats struct {
 	BatchFlushes      uint64 `json:"batch_flushes"`
 	BatchedSessions   uint64 `json:"batched_sessions"`
 	UnbatchedSessions uint64 `json:"unbatched_sessions"`
+	// ObserveBatchFlushes counts executed Observe coalescing flushes;
+	// BatchedObservations counts observations served from multi-request
+	// flushes and UnbatchedObservations the rest.
+	ObserveBatchFlushes   uint64 `json:"observe_batch_flushes"`
+	BatchedObservations   uint64 `json:"batched_observations"`
+	UnbatchedObservations uint64 `json:"unbatched_observations"`
 	// WorkersInFlight and WorkerCap describe the worker pool at the
 	// moment of the snapshot; WorkersQueued is how many admitted requests
 	// are waiting for a slot right now.
@@ -252,6 +281,9 @@ type Service struct {
 	// batch coalesces same-fingerprint target inference across tenants;
 	// nil when Config.BatchWindow disables it.
 	batch *batcher
+	// observe coalesces concurrent Observe-side label harvests into one
+	// pooled task; nil when Config.ObserveBatchWindow disables it.
+	observe *observeBatcher
 	// warmups caches the per-cluster warm-up dataset (cluster id ->
 	// *warmupEntry); ClusterWarmup is a pure function of (artifact,
 	// cluster), so one construction serves every registration.
@@ -306,12 +338,14 @@ func New(pt *streamtune.PreTrained, cfg Config) (*Service, error) {
 	if maxQueue <= 0 {
 		maxQueue = -1 // unbounded waiting room: DoCtx never sheds
 	}
+	pool := parallel.NewBoundedLimiter(cfg.Workers, maxQueue)
 	return &Service{
 		cfg:          cfg,
 		pt:           pt,
-		pool:         parallel.NewBoundedLimiter(cfg.Workers, maxQueue),
-		admission:    ged.NewPairCache(),
+		pool:         pool,
+		admission:    ged.NewPairCacheCap(cfg.AdmissionCacheCap),
 		batch:        newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.MaxPendingInfer),
+		observe:      newObserveBatcher(cfg.ObserveBatchWindow, cfg.MaxObserveBatch, pool),
 		sessions:     make(map[string]*session),
 		warmClusters: make(map[int]bool),
 	}, nil
@@ -353,7 +387,10 @@ func (s *Service) classify(op string, err error) error {
 // through the single-graph fallback and later registrations run
 // unbatched. The service itself stays usable — Close is the
 // drain-before-snapshot step of a graceful shutdown. Idempotent.
-func (s *Service) Close() { s.batch.close() }
+func (s *Service) Close() {
+	s.batch.close()
+	s.observe.close()
+}
 
 // warmupEntry memoizes one cluster's warm-up dataset (or its
 // construction error — deterministic, so retries would fail the same
@@ -687,7 +724,9 @@ func (s *Service) Observe(ctx context.Context, id string, m *engine.JobMetrics) 
 		return false, err
 	}
 	defer sess.busy.Add(-1)
-	err = s.pool.DoCtx(ctx, func() error {
+	// The harvest closure runs identically batched or not; the observe
+	// coalescer only decides how many of these share one pooled task.
+	err = s.observe.do(ctx, s.pool, func() error {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
 		sess.lease = s.cfg.Clock()
@@ -847,31 +886,38 @@ func (s *Service) Stats() Stats {
 	active := len(s.sessions)
 	s.mu.Unlock()
 	_, flushes, batched, single := s.batch.stats()
+	oflushes, obatched, osingle := s.observe.stats()
 	return Stats{
-		ActiveSessions:       active,
-		Registered:           s.registered.Load(),
-		Rejected:             s.rejected.Load(),
-		Released:             s.released.Load(),
-		Evicted:              s.evicted.Load(),
-		Completed:            s.completed.Load(),
-		Recommendations:      s.recommendations.Load(),
-		Observations:         s.observations.Load(),
-		AdmissionCacheHits:   s.admissionHits.Load(),
-		AdmissionCacheMisses: s.admissionMisses.Load(),
-		EncoderWarmHits:      s.encoderWarmHits.Load(),
-		BatchFlushes:         flushes,
-		BatchedSessions:      batched,
-		UnbatchedSessions:    single,
-		WorkersInFlight:      s.pool.InFlight(),
-		WorkerCap:            s.pool.Cap(),
-		WorkersQueued:        s.pool.Queued(),
-		Shed:                 s.shed.Load(),
-		DeadlineExceeded:     s.deadlineExceeded.Load(),
-		Canceled:             s.canceled.Load(),
-		Mutations:            s.mutations.Load(),
-		CheckpointsWritten:   s.checkpointsWritten.Load(),
-		CheckpointFailures:   s.checkpointFailures.Load(),
-		CheckpointLastBytes:  s.checkpointLastBytes.Load(),
+		ActiveSessions:        active,
+		Registered:            s.registered.Load(),
+		Rejected:              s.rejected.Load(),
+		Released:              s.released.Load(),
+		Evicted:               s.evicted.Load(),
+		Completed:             s.completed.Load(),
+		Recommendations:       s.recommendations.Load(),
+		Observations:          s.observations.Load(),
+		AdmissionCacheHits:    s.admissionHits.Load(),
+		AdmissionCacheMisses:  s.admissionMisses.Load(),
+		AdmissionCacheSize:    s.admission.Len(),
+		AdmissionCacheCap:     s.admission.Cap(),
+		AdmissionCacheResets:  s.admission.Resets(),
+		EncoderWarmHits:       s.encoderWarmHits.Load(),
+		BatchFlushes:          flushes,
+		BatchedSessions:       batched,
+		UnbatchedSessions:     single,
+		ObserveBatchFlushes:   oflushes,
+		BatchedObservations:   obatched,
+		UnbatchedObservations: osingle,
+		WorkersInFlight:       s.pool.InFlight(),
+		WorkerCap:             s.pool.Cap(),
+		WorkersQueued:         s.pool.Queued(),
+		Shed:                  s.shed.Load(),
+		DeadlineExceeded:      s.deadlineExceeded.Load(),
+		Canceled:              s.canceled.Load(),
+		Mutations:             s.mutations.Load(),
+		CheckpointsWritten:    s.checkpointsWritten.Load(),
+		CheckpointFailures:    s.checkpointFailures.Load(),
+		CheckpointLastBytes:   s.checkpointLastBytes.Load(),
 	}
 }
 

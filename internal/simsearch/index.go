@@ -14,6 +14,8 @@
 package simsearch
 
 import (
+	"math"
+	"sort"
 	"sync/atomic"
 
 	"github.com/streamtune/streamtune/internal/dag"
@@ -211,6 +213,84 @@ func (ix *Index) pivotDecide(dq []float64, r int, tau float64) (in, decided bool
 		}
 	}
 	return false, false
+}
+
+// Nearest returns the member index nearest to query plus the exact
+// distance — identical to a linear exact scan over the set (strict <,
+// ties to the first member index) regardless of the band. Candidates
+// are examined in ascending pivot-lower-bound order so a tight
+// incumbent lands early; a candidate is skipped only when its pivot
+// lower bound certifies it cannot beat the incumbent lexicographically,
+// and the rest are verified with incumbent-pruned exact searches. A
+// non-nil band serves the exact distances it computes through its
+// shared cache (harvesting regressor training pairs as a side effect).
+func (ix *Index) Nearest(query *dag.Graph, band *ged.Band) (int, float64) {
+	if len(ix.set) == 0 {
+		return -1, math.Inf(1)
+	}
+	R := len(ix.reps)
+	ix.stats.candidates.Add(uint64(R))
+	dq := make([]float64, len(ix.pivots))
+	var pq *ged.Prepared
+	if r, ok := ix.keyToRep[ged.Fingerprint(query)]; ok {
+		pq = ix.prep[r]
+		for p := range ix.pivots {
+			dq[p] = ix.pivotDist[p][r]
+		}
+	} else {
+		pq = ged.Prepare(query)
+		for p := range ix.pivots {
+			if band != nil {
+				dq[p] = band.Distance(query, ix.set[ix.reps[ix.pivots[p]]])
+			} else {
+				dq[p] = pq.Distance(ix.prep[ix.pivots[p]])
+			}
+		}
+	}
+	// Pivot lower bound per representative: |d(q,p) - d(p,r)| <= d(q,r)
+	// for every pivot p by the triangle inequality.
+	lb := make([]float64, R)
+	order := make([]int, R)
+	for r := 0; r < R; r++ {
+		order[r] = r
+		for p := range ix.pivots {
+			diff := dq[p] - ix.pivotDist[p][r]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > lb[r] {
+				lb[r] = diff
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return lb[order[i]] < lb[order[j]] })
+	best, bestD := -1, math.Inf(1)
+	for _, r := range order {
+		// ix.reps[r] is the lowest member index of the structure, so the
+		// scan's lexicographic (distance, index) minimum reduces to the
+		// minimum of (d_r, reps[r]) over representatives.
+		first := ix.reps[r]
+		if best >= 0 && (lb[r] > bestD || (lb[r] == bestD && first > best)) {
+			ix.stats.prunedLB.Add(1)
+			continue
+		}
+		if best < 0 {
+			var d float64
+			if band != nil {
+				d = band.Distance(query, ix.set[first])
+			} else {
+				d = pq.Distance(ix.prep[r])
+			}
+			best, bestD = first, d
+			continue
+		}
+		ix.stats.verified.Add(1)
+		within, d := pq.WithinThreshold(ix.prep[r], bestD)
+		if within && (d < bestD || (d == bestD && first < best)) {
+			best, bestD = first, d
+		}
+	}
+	return best, bestD
 }
 
 // Center computes the similarity center (Definition 2) of the indexed

@@ -1,0 +1,55 @@
+package simsearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/ged"
+)
+
+// TestIndexNearestMatchesScan proves the pivot-pruned nearest query is
+// identical to the linear exact scan — index and distance — with and
+// without a learned band, for member and non-member queries.
+func TestIndexNearestMatchesScan(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 15
+	}
+	set := randomSet(21, 24)
+	ix := NewIndex(set, 2)
+	band := ged.NewBand(nil, ged.BandOptions{MinTrain: 12, Epochs: 40})
+	rng := rand.New(rand.NewSource(22))
+	queries := randomSet(23, trials)
+	for trial, q := range queries {
+		if rng.Float64() < 0.3 {
+			// Member query: pivot distances come free from the table.
+			q = set[rng.Intn(len(set))]
+		}
+		wantC, wantD := -1, math.Inf(1)
+		for i, g := range set {
+			if d := ged.Distance(q, g); d < wantD {
+				wantC, wantD = i, d
+			}
+		}
+		gotC, gotD := ix.Nearest(q, nil)
+		if gotC != wantC || gotD != wantD {
+			t.Fatalf("trial %d: Nearest(nil band) = (%d, %v), scan (%d, %v)", trial, gotC, gotD, wantC, wantD)
+		}
+		gotC, gotD = ix.Nearest(q, band)
+		if gotC != wantC || gotD != wantD {
+			t.Fatalf("trial %d: Nearest(band) = (%d, %v), scan (%d, %v)", trial, gotC, gotD, wantC, wantD)
+		}
+	}
+	if st := ix.Stats(); st.PrunedLB == 0 {
+		t.Fatalf("no pivot lower-bound prunes across %d nearest queries: %+v", trials, st)
+	}
+}
+
+// TestIndexNearestEmpty covers the degenerate set.
+func TestIndexNearestEmpty(t *testing.T) {
+	ix := NewIndex(nil, 1)
+	if c, d := ix.Nearest(randomSet(1, 1)[0], nil); c != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("Nearest over empty set = (%d, %v)", c, d)
+	}
+}

@@ -1,0 +1,363 @@
+package streamtune
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/cluster"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/history"
+)
+
+// The lazy artifact store replaces the monolithic in-memory PreTrained
+// hand-off with an indexed directory:
+//
+//	manifest.json   config, clustering, losses, corpus index, file list
+//	corpus.jsonl    one execution per line, grouped contiguously by cluster
+//	encoder-NNN.json  per-cluster encoder weights (nn.MarshalParams)
+//
+// OpenArtifacts parses only the manifest and the (small) encoder weight
+// files' raw bytes; per-cluster executions stream in on first use via the
+// manifest's byte-offset index, and encoders are constructed on first
+// Encoder(c). At admission scale the corpus dominates the artifact size,
+// so a service that only ever sees jobs from a few clusters never pays
+// for the rest.
+
+const (
+	artifactVersion  = 1
+	manifestFileName = "manifest.json"
+	corpusFileName   = "corpus.jsonl"
+)
+
+// artifactGroup indexes one cluster's contiguous run of corpus.jsonl.
+type artifactGroup struct {
+	Cluster int   `json:"cluster"`
+	Offset  int64 `json:"offset"`
+	Bytes   int64 `json:"bytes"`
+	Count   int   `json:"count"`
+}
+
+// artifactManifest is the eagerly-parsed part of the store.
+type artifactManifest struct {
+	Version    int             `json:"version"`
+	Config     Config          `json:"config"`
+	Clusters   *cluster.Result `json:"clusters"`
+	Losses     [][]float64     `json:"losses"`
+	TrainTime  time.Duration   `json:"train_time_ns"`
+	Executions int             `json:"executions"`
+	Groups     []artifactGroup `json:"corpus_groups"`
+	Encoders   []string        `json:"encoder_files"`
+}
+
+// artifactExec is one corpus.jsonl line. Index is the execution's
+// position in the original corpus, so the full-corpus order can be
+// reconstructed exactly from the cluster-grouped file.
+type artifactExec struct {
+	Index int               `json:"index"`
+	Exec  history.Execution `json:"execution"`
+}
+
+func encoderFileName(c int) string { return fmt.Sprintf("encoder-%03d.json", c) }
+
+// SaveArtifacts writes the pre-training artifact directory. The
+// PreTrained must be an in-memory one (from PreTrain); re-saving a
+// lazily-opened store is not supported.
+func SaveArtifacts(dir string, pt *PreTrained) error {
+	if pt.lazy != nil {
+		return fmt.Errorf("streamtune: cannot re-save an artifact-backed PreTrained")
+	}
+	if pt.corpus == nil {
+		return fmt.Errorf("streamtune: PreTrained has no corpus to save")
+	}
+	k := len(pt.Clusters.Centers)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("streamtune: artifact dir: %w", err)
+	}
+
+	// Corpus: one execution per line, grouped contiguously by cluster so
+	// one seek + one bounded read loads a cluster's warm-up history.
+	f, err := os.Create(filepath.Join(dir, corpusFileName))
+	if err != nil {
+		return fmt.Errorf("streamtune: write corpus: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var offset int64
+	groups := make([]artifactGroup, 0, k)
+	for c := 0; c < k; c++ {
+		g := artifactGroup{Cluster: c, Offset: offset}
+		for i, ex := range pt.corpus.Executions {
+			if pt.execCluster[i] != c {
+				continue
+			}
+			line, err := json.Marshal(artifactExec{Index: i, Exec: ex})
+			if err != nil {
+				return fmt.Errorf("streamtune: encode execution %d: %w", i, err)
+			}
+			line = append(line, '\n')
+			if _, err := w.Write(line); err != nil {
+				return fmt.Errorf("streamtune: write corpus: %w", err)
+			}
+			offset += int64(len(line))
+			g.Count++
+		}
+		g.Bytes = offset - g.Offset
+		groups = append(groups, g)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("streamtune: write corpus: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("streamtune: write corpus: %w", err)
+	}
+
+	encFiles := make([]string, k)
+	for c := 0; c < k; c++ {
+		data, err := pt.Encoder(c).MarshalParams()
+		if err != nil {
+			return fmt.Errorf("streamtune: marshal encoder %d: %w", c, err)
+		}
+		encFiles[c] = encoderFileName(c)
+		if err := os.WriteFile(filepath.Join(dir, encFiles[c]), data, 0o644); err != nil {
+			return fmt.Errorf("streamtune: write encoder %d: %w", c, err)
+		}
+	}
+
+	// Manifest last: a directory with a manifest is a complete store.
+	man := artifactManifest{
+		Version:    artifactVersion,
+		Config:     pt.Config,
+		Clusters:   pt.Clusters,
+		Losses:     pt.Losses,
+		TrainTime:  pt.TrainTime,
+		Executions: pt.corpus.Len(),
+		Groups:     groups,
+		Encoders:   encFiles,
+	}
+	data, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return fmt.Errorf("streamtune: encode manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFileName), data, 0o644); err != nil {
+		return fmt.Errorf("streamtune: write manifest: %w", err)
+	}
+	return nil
+}
+
+// artifactStore backs a lazily-opened PreTrained. Encoder weight bytes
+// are read and shape-validated at open (they are small); encoders are
+// constructed and corpus groups decoded only on first use.
+type artifactStore struct {
+	dir      string
+	man      artifactManifest
+	encBytes [][]byte
+
+	mu         sync.Mutex
+	encs       []*gnn.Encoder
+	groups     map[int][]artifactExec
+	all        []history.Execution
+	groupLoads int
+	encBuilds  int
+}
+
+// OpenArtifacts opens an artifact directory written by SaveArtifacts.
+// Only the manifest and encoder weight bytes load eagerly; every input
+// that could fail later (file presence, sizes, weight shapes) is
+// validated here so the PreTrained accessors keep their non-error
+// signatures.
+func OpenArtifacts(dir string) (*PreTrained, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFileName))
+	if err != nil {
+		return nil, fmt.Errorf("streamtune: open artifacts: %w", err)
+	}
+	var man artifactManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("streamtune: decode manifest: %w", err)
+	}
+	if man.Version != artifactVersion {
+		return nil, fmt.Errorf("streamtune: artifact version %d, want %d", man.Version, artifactVersion)
+	}
+	if man.Clusters == nil || len(man.Clusters.Centers) == 0 {
+		return nil, fmt.Errorf("streamtune: manifest has no clustering")
+	}
+	k := len(man.Clusters.Centers)
+	if len(man.Encoders) != k {
+		return nil, fmt.Errorf("streamtune: %d encoder files for %d clusters", len(man.Encoders), k)
+	}
+	if len(man.Groups) != k {
+		return nil, fmt.Errorf("streamtune: %d corpus groups for %d clusters", len(man.Groups), k)
+	}
+	total := 0
+	for c, g := range man.Groups {
+		if g.Cluster != c || g.Offset < 0 || g.Bytes < 0 || g.Count < 0 {
+			return nil, fmt.Errorf("streamtune: corpus group %d malformed: %+v", c, g)
+		}
+		total += g.Count
+	}
+	if total != man.Executions {
+		return nil, fmt.Errorf("streamtune: corpus groups hold %d executions, manifest says %d", total, man.Executions)
+	}
+	if man.Config.GNN.Hidden <= 0 || man.Config.GNN.Layers <= 0 {
+		return nil, fmt.Errorf("streamtune: manifest GNN config invalid: %+v", man.Config.GNN)
+	}
+	fi, err := os.Stat(filepath.Join(dir, corpusFileName))
+	if err != nil {
+		return nil, fmt.Errorf("streamtune: open artifacts: %w", err)
+	}
+	for c, g := range man.Groups {
+		if g.Offset+g.Bytes > fi.Size() {
+			return nil, fmt.Errorf("streamtune: corpus group %d extends past %s (%d bytes)", c, corpusFileName, fi.Size())
+		}
+	}
+
+	// Encoder bytes: read now, shape-check against a throwaway encoder of
+	// the same configuration, construct lazily. After this check a later
+	// UnmarshalParams of the same bytes cannot fail.
+	template := gnn.NewEncoder(man.Config.GNN)
+	encBytes := make([][]byte, k)
+	for c, name := range man.Encoders {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("streamtune: open artifacts: %w", err)
+		}
+		if err := template.UnmarshalParams(b); err != nil {
+			return nil, fmt.Errorf("streamtune: encoder %d (%s): %w", c, name, err)
+		}
+		encBytes[c] = b
+	}
+
+	st := &artifactStore{
+		dir:      dir,
+		man:      man,
+		encBytes: encBytes,
+		encs:     make([]*gnn.Encoder, k),
+		groups:   make(map[int][]artifactExec, k),
+	}
+	return &PreTrained{
+		Config:   man.Config,
+		Clusters: man.Clusters,
+		// Placeholders keep len(pt.Encoders) == k for range checks; reads
+		// go through Encoder(c), which routes to the store.
+		Encoders:  make([]*gnn.Encoder, k),
+		Losses:    man.Losses,
+		TrainTime: man.TrainTime,
+		lazy:      st,
+	}, nil
+}
+
+// encoder constructs (once) and returns cluster c's encoder.
+func (s *artifactStore) encoder(c int) *gnn.Encoder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.encs[c]; e != nil {
+		return e
+	}
+	gcfg := s.man.Config.GNN
+	gcfg.Seed += int64(c) // mirrors PreTrain's per-cluster derivation
+	e := gnn.NewEncoder(gcfg)
+	if err := e.UnmarshalParams(s.encBytes[c]); err != nil {
+		// Unreachable: the same bytes shape-checked at OpenArtifacts.
+		panic(fmt.Sprintf("streamtune: artifact encoder %d: %v", c, err))
+	}
+	s.encs[c] = e
+	s.encBuilds++
+	return e
+}
+
+// groupLocked loads (once) cluster c's corpus lines. Caller holds mu.
+func (s *artifactStore) groupLocked(c int) ([]artifactExec, error) {
+	if g, ok := s.groups[c]; ok {
+		return g, nil
+	}
+	gi := s.man.Groups[c]
+	out := make([]artifactExec, 0, gi.Count)
+	if gi.Count > 0 {
+		f, err := os.Open(filepath.Join(s.dir, corpusFileName))
+		if err != nil {
+			return nil, fmt.Errorf("streamtune: load cluster %d corpus: %w", c, err)
+		}
+		defer f.Close()
+		if _, err := f.Seek(gi.Offset, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("streamtune: load cluster %d corpus: %w", c, err)
+		}
+		dec := json.NewDecoder(io.LimitReader(bufio.NewReader(f), gi.Bytes))
+		for i := 0; i < gi.Count; i++ {
+			var ae artifactExec
+			if err := dec.Decode(&ae); err != nil {
+				return nil, fmt.Errorf("streamtune: decode cluster %d execution %d: %w", c, i, err)
+			}
+			if ae.Index < 0 || ae.Index >= s.man.Executions {
+				return nil, fmt.Errorf("streamtune: cluster %d execution %d: index %d outside corpus of %d",
+					c, i, ae.Index, s.man.Executions)
+			}
+			out = append(out, ae)
+		}
+	}
+	s.groups[c] = out
+	s.groupLoads++
+	return out, nil
+}
+
+// clusterExecutions mirrors the in-memory PreTrained semantics: cluster
+// c's executions in corpus order, or the whole corpus when the cluster
+// has none.
+func (s *artifactStore) clusterExecutions(c int) ([]history.Execution, error) {
+	s.mu.Lock()
+	g, err := s.groupLocked(c)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if len(g) == 0 {
+		return s.allExecutions()
+	}
+	out := make([]history.Execution, len(g))
+	for i, ae := range g {
+		out[i] = ae.Exec
+	}
+	return out, nil
+}
+
+// allExecutions materializes the full corpus in its original order.
+func (s *artifactStore) allExecutions() ([]history.Execution, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.all != nil {
+		return s.all, nil
+	}
+	all := make([]history.Execution, s.man.Executions)
+	filled := make([]bool, s.man.Executions)
+	for c := range s.man.Groups {
+		g, err := s.groupLocked(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, ae := range g {
+			if filled[ae.Index] {
+				return nil, fmt.Errorf("streamtune: corpus index %d appears twice", ae.Index)
+			}
+			filled[ae.Index] = true
+			all[ae.Index] = ae.Exec
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			return nil, fmt.Errorf("streamtune: corpus index %d missing from every group", i)
+		}
+	}
+	s.all = all
+	return all, nil
+}
+
+// stats reports lazy-load activity.
+func (s *artifactStore) stats() (groupLoads, encBuilds int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.groupLoads, s.encBuilds
+}

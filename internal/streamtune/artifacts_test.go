@@ -1,0 +1,219 @@
+package streamtune
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/mono"
+)
+
+// saveShared saves the shared PreTrained into a fresh temp dir.
+func saveShared(t *testing.T) (*PreTrained, string) {
+	t.Helper()
+	pt := sharedPreTrained(t)
+	dir := t.TempDir()
+	if err := SaveArtifacts(dir, pt); err != nil {
+		t.Fatal(err)
+	}
+	return pt, dir
+}
+
+// TestArtifactsRoundTrip proves the manifest carries the clustering,
+// losses, and config through the store exactly.
+func TestArtifactsRoundTrip(t *testing.T) {
+	pt, dir := saveShared(t)
+	lazy, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Config != pt.Config {
+		t.Fatalf("config changed: %+v != %+v", lazy.Config, pt.Config)
+	}
+	if lazy.TrainTime != pt.TrainTime {
+		t.Fatalf("train time %v != %v", lazy.TrainTime, pt.TrainTime)
+	}
+	if len(lazy.Clusters.Centers) != len(pt.Clusters.Centers) {
+		t.Fatalf("%d centers != %d", len(lazy.Clusters.Centers), len(pt.Clusters.Centers))
+	}
+	for c := range pt.Clusters.Centers {
+		if ged.Fingerprint(lazy.Clusters.Centers[c]) != ged.Fingerprint(pt.Clusters.Centers[c]) {
+			t.Fatalf("center %d structure changed across the round trip", c)
+		}
+	}
+	if len(lazy.Clusters.Assignments) != len(pt.Clusters.Assignments) {
+		t.Fatalf("assignment count changed")
+	}
+	for i, a := range pt.Clusters.Assignments {
+		if lazy.Clusters.Assignments[i] != a {
+			t.Fatalf("assignment %d: %d != %d", i, lazy.Clusters.Assignments[i], a)
+		}
+	}
+	if lazy.Clusters.Inertia != pt.Clusters.Inertia {
+		t.Fatalf("inertia %v != %v", lazy.Clusters.Inertia, pt.Clusters.Inertia)
+	}
+	for c := range pt.Losses {
+		for e := range pt.Losses[c] {
+			if lazy.Losses[c][e] != pt.Losses[c][e] {
+				t.Fatalf("loss curve %d diverged at epoch %d", c, e)
+			}
+		}
+	}
+	// Corpus order survives the cluster-grouped layout.
+	all, err := lazy.allExecutions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != pt.corpus.Len() {
+		t.Fatalf("%d executions != %d", len(all), pt.corpus.Len())
+	}
+	for i, ex := range pt.corpus.Executions {
+		if all[i].Graph.Name != ex.Graph.Name || all[i].TotalParallelism != ex.TotalParallelism {
+			t.Fatalf("execution %d reordered: %s/%d != %s/%d",
+				i, all[i].Graph.Name, all[i].TotalParallelism, ex.Graph.Name, ex.TotalParallelism)
+		}
+	}
+}
+
+// TestArtifactsLazyAndBitIdentical is the tentpole differential: nothing
+// loads until touched, and the warm-up datasets — encoder embeddings
+// over streamed executions included — are bit-identical to the in-memory
+// PreTrained's, for every cluster.
+func TestArtifactsLazyAndBitIdentical(t *testing.T) {
+	pt, dir := saveShared(t)
+	lazy, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl, eb := lazy.ArtifactStats(); gl != 0 || eb != 0 {
+		t.Fatalf("open already loaded %d groups, %d encoders", gl, eb)
+	}
+
+	clusters := len(pt.Clusters.Centers)
+	if testing.Short() && clusters > 1 {
+		clusters = 1
+	}
+	for c := 0; c < clusters; c++ {
+		want, err := ClusterWarmup(pt, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ClusterWarmup(lazy, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cluster %d: %d warm-up samples != %d", c, len(got), len(want))
+		}
+		for i := range want {
+			if !sampleEqual(got[i], want[i]) {
+				t.Fatalf("cluster %d sample %d diverged", c, i)
+			}
+		}
+	}
+	gl, eb := lazy.ArtifactStats()
+	if gl == 0 || eb == 0 {
+		t.Fatalf("warm-ups loaded %d groups, %d encoders; expected lazy loads to have happened", gl, eb)
+	}
+	if eb > clusters {
+		t.Fatalf("%d encoders built for %d touched clusters", eb, clusters)
+	}
+	// Encoders memoize: a second warm-up builds nothing new.
+	if _, err := ClusterWarmup(lazy, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, eb2 := lazy.ArtifactStats(); eb2 != eb {
+		t.Fatalf("repeat warm-up rebuilt encoders: %d -> %d", eb, eb2)
+	}
+}
+
+func sampleEqual(a, b mono.Sample) bool {
+	if a.Parallelism != b.Parallelism || a.Label != b.Label || len(a.Embedding) != len(b.Embedding) {
+		return false
+	}
+	for i := range a.Embedding {
+		if a.Embedding[i] != b.Embedding[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArtifactsValidation covers the fail-at-open paths: the accessors
+// have no error returns, so every corruption must be caught by
+// OpenArtifacts.
+func TestArtifactsValidation(t *testing.T) {
+	if _, err := OpenArtifacts(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("opened a nonexistent directory")
+	}
+
+	_, dir := saveShared(t)
+	manifest := filepath.Join(dir, manifestFileName)
+	good, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(manifest, good, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := os.WriteFile(manifest, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArtifacts(dir); err == nil {
+		t.Fatal("opened a truncated manifest")
+	}
+	restore()
+
+	if err := os.WriteFile(manifest, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArtifacts(dir); err == nil {
+		t.Fatal("opened an unknown artifact version")
+	}
+	restore()
+
+	// Corrupt encoder weights must fail at open, not at first Encoder(c).
+	enc := filepath.Join(dir, encoderFileName(0))
+	goodEnc, err := os.ReadFile(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(enc, []byte(`{"shapes":[[1,1]],"data":[[0]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArtifacts(dir); err == nil {
+		t.Fatal("opened mis-shaped encoder weights")
+	}
+	if err := os.WriteFile(enc, goodEnc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A truncated corpus file is caught by the size check at open.
+	corpus := filepath.Join(dir, corpusFileName)
+	goodCorpus, err := os.ReadFile(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(corpus, goodCorpus[:len(goodCorpus)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArtifacts(dir); err == nil {
+		t.Fatal("opened a truncated corpus file")
+	}
+
+	// Re-saving a lazily-opened store is refused.
+	if err := os.WriteFile(corpus, goodCorpus, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := OpenArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveArtifacts(t.TempDir(), lazy); err == nil {
+		t.Fatal("re-saved an artifact-backed PreTrained")
+	}
+}

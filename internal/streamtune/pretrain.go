@@ -102,6 +102,10 @@ type PreTrained struct {
 
 	corpus      *history.Corpus
 	execCluster []int // cluster id per corpus execution
+
+	// lazy, when set, backs the corpus and encoders with an on-disk
+	// artifact store (OpenArtifacts) instead of the in-memory fields.
+	lazy *artifactStore
 }
 
 // PreTrain clusters the corpus's distinct dataflow structures with GED
@@ -208,12 +212,24 @@ func (pt *PreTrained) AssignCluster(g *dag.Graph) (int, float64) {
 	return pt.Clusters.Assign(g)
 }
 
-// Encoder returns the pre-trained encoder of cluster c.
-func (pt *PreTrained) Encoder(c int) *gnn.Encoder { return pt.Encoders[c] }
+// Encoder returns the pre-trained encoder of cluster c. On an
+// artifact-backed PreTrained the encoder is constructed from its weight
+// file on first use (the bytes were validated at OpenArtifacts, so this
+// cannot fail late).
+func (pt *PreTrained) Encoder(c int) *gnn.Encoder {
+	if pt.lazy != nil {
+		return pt.lazy.encoder(c)
+	}
+	return pt.Encoders[c]
+}
 
 // clusterExecutions returns the corpus executions belonging to cluster c
-// (or the whole corpus if the cluster has none).
-func (pt *PreTrained) clusterExecutions(c int) []history.Execution {
+// (or the whole corpus if the cluster has none). Artifact-backed stores
+// stream the cluster's group from disk on first use.
+func (pt *PreTrained) clusterExecutions(c int) ([]history.Execution, error) {
+	if pt.lazy != nil {
+		return pt.lazy.clusterExecutions(c)
+	}
 	var out []history.Execution
 	for i, ex := range pt.corpus.Executions {
 		if pt.execCluster[i] == c {
@@ -221,7 +237,27 @@ func (pt *PreTrained) clusterExecutions(c int) []history.Execution {
 		}
 	}
 	if len(out) == 0 {
-		return pt.corpus.Executions
+		return pt.corpus.Executions, nil
 	}
-	return out
+	return out, nil
+}
+
+// allExecutions returns the whole corpus in its original order.
+func (pt *PreTrained) allExecutions() ([]history.Execution, error) {
+	if pt.lazy != nil {
+		return pt.lazy.allExecutions()
+	}
+	return pt.corpus.Executions, nil
+}
+
+// ArtifactStats reports lazy-load activity on an artifact-backed
+// PreTrained: how many per-cluster corpus groups were streamed in and
+// how many encoders were constructed. Both are zero for an in-memory
+// PreTrained — and stay zero until something actually touches a cluster,
+// which is the point of the lazy store.
+func (pt *PreTrained) ArtifactStats() (corpusGroupLoads, encoderBuilds int) {
+	if pt.lazy == nil {
+		return 0, 0
+	}
+	return pt.lazy.stats()
 }

@@ -107,7 +107,10 @@ func ClusterWarmup(pt *PreTrained, c int) ([]mono.Sample, error) {
 	t := &Tuner{cfg: pt.Config, enc: pt.Encoder(c), clusterID: c}
 
 	// Warm-up dataset: embeddings + labels from sampled cluster history.
-	execs := pt.clusterExecutions(c)
+	execs, err := pt.clusterExecutions(c)
+	if err != nil {
+		return nil, err
+	}
 	n := pt.Config.WarmupSamples
 	if n <= 0 || n > len(execs) {
 		n = len(execs)
@@ -124,7 +127,11 @@ func ClusterWarmup(pt *PreTrained, c int) ([]mono.Sample, error) {
 		}
 	}
 	if !t.bothClasses() {
-		if err := t.absorb(pt.corpus.Executions); err != nil {
+		all, err := pt.allExecutions()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.absorb(all); err != nil {
 			return nil, err
 		}
 	}

@@ -127,6 +127,16 @@ func PreTrain(corpus *Corpus, cfg Config) (*PreTrained, error) {
 // online fine-tuning state.
 func NewTuner(pt *PreTrained, g *Graph) (*Tuner, error) { return streamtune.NewTuner(pt, g) }
 
+// SaveArtifacts writes the pre-training outcome as an indexed artifact
+// directory: a manifest, a cluster-grouped execution log, and one weight
+// file per cluster encoder.
+func SaveArtifacts(dir string, pt *PreTrained) error { return streamtune.SaveArtifacts(dir, pt) }
+
+// OpenArtifacts opens a SaveArtifacts directory. Only the manifest and
+// encoder weight bytes load eagerly; per-cluster executions and encoder
+// construction happen on first use.
+func OpenArtifacts(dir string) (*PreTrained, error) { return streamtune.OpenArtifacts(dir) }
+
 // Bottleneck labeling (Algorithm 1).
 const (
 	// Unlabeled marks operators whose adequacy is inconclusive.
