@@ -11,8 +11,8 @@
 // Experiment IDs: table2, fig4, fig5, fig6, fig7a, fig7b, table3, fig8a,
 // fig8bcd, fig9a, fig9b, fig10, fig11a, fig11b, ablation-noise,
 // ablation-global, ged-bench, admission-bench, nn-bench, service-bench,
-// chaos-bench, all ("all" excludes the explicit benchmarks; run them
-// explicitly).
+// chaos-bench, scenario-bench, all ("all" excludes the explicit
+// benchmarks; run them explicitly).
 //
 // -workers bounds the fan-out of each parallel stage (concurrent
 // drivers, experiment cells, corpus samples, GED pairs, per-cluster
@@ -49,6 +49,13 @@
 // corrupted on a seeded schedule, and every restart must resume from
 // the newest valid checkpoint with recommendations bit-identical to an
 // uninterrupted run.
+// The scenario-bench experiment writes BENCH_scenarios.json: the
+// adversarial-traffic suite — bursty, diurnal, and skewed-key rate
+// traces driven through StreamTune and the DS2 / ContTune baselines,
+// each with a seeded mid-stream DAG mutation, reporting per-cell
+// reconfiguration and backpressure counts plus a differential check
+// that the service's PATCH-topology warm start converges bit-identically
+// to tuning the mutated job from scratch.
 package main
 
 import (
@@ -98,6 +105,8 @@ func main() {
 	chaosKills := flag.Int("chaos-kills", 24, "chaos-bench injected service kills")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos-bench fault-schedule seed")
 	admissionRegisters := flag.Int("admission-registers", 16, "admission-bench concurrent service Register calls")
+	scenarioBenchOut := flag.String("scenario-bench-out", "BENCH_scenarios.json", "scenario-bench report path (empty to disable)")
+	scenarioSteps := flag.Int("scenario-steps", 0, "scenario-bench trace length (0 = 48)")
 	flag.Parse()
 
 	opts := experiments.Full()
@@ -132,6 +141,8 @@ func main() {
 		chaosSeed:   *chaosSeed,
 
 		admissionRegisters: *admissionRegisters,
+		scenarioOut:        *scenarioBenchOut,
+		scenarioSteps:      *scenarioSteps,
 	}
 
 	start := time.Now()
@@ -162,6 +173,8 @@ type benchTargets struct {
 	serviceJobs, chaosJobs, chaosKills  int
 	chaosSeed                           int64
 	admissionRegisters                  int
+	scenarioOut                         string
+	scenarioSteps                       int
 }
 
 // updateGEDReport read-modify-writes the combined BENCH_ged.json so
@@ -346,6 +359,15 @@ func run(exp string, opts experiments.Options, summary *benchSummary, bench benc
 			}
 			experiments.ChaosBenchTable(report).Render(out)
 			if err := writeReport(bench.chaosOut, report); err != nil {
+				return err
+			}
+		case "scenario-bench":
+			report, err := experiments.ScenarioBench(opts, bench.scenarioSteps)
+			if err != nil {
+				return err
+			}
+			experiments.ScenarioBenchTable(report).Render(out)
+			if err := writeReport(bench.scenarioOut, report); err != nil {
 				return err
 			}
 		case "ged-bench":

@@ -49,6 +49,9 @@ func (t OpType) String() string {
 // one-hot encoding.
 func NumOpTypes() int { return int(numOpTypes) }
 
+// Valid reports whether t is a defined operator type.
+func (t OpType) Valid() bool { return t >= 0 && t < numOpTypes }
+
 // WindowType is the window shifting strategy.
 type WindowType int
 
@@ -59,6 +62,9 @@ const (
 	Sliding
 	numWindowTypes
 )
+
+// Valid reports whether t is a defined window type.
+func (t WindowType) Valid() bool { return t >= 0 && t < numWindowTypes }
 
 // String returns the name of the window type.
 func (t WindowType) String() string {
@@ -84,6 +90,9 @@ const (
 	numWindowPolicies
 )
 
+// Valid reports whether p is a defined window policy.
+func (p WindowPolicy) Valid() bool { return p >= 0 && p < numWindowPolicies }
+
 // String returns the name of the window policy.
 func (p WindowPolicy) String() string {
 	switch p {
@@ -108,6 +117,9 @@ const (
 	StringKey
 	numKeyClasses
 )
+
+// Valid reports whether k is a defined key class.
+func (k KeyClass) Valid() bool { return k >= 0 && k < numKeyClasses }
 
 // String returns the name of the key class.
 func (k KeyClass) String() string {
@@ -138,6 +150,9 @@ const (
 	numAggFuncs
 )
 
+// Valid reports whether f is a defined aggregation function.
+func (f AggFunc) Valid() bool { return f >= 0 && f < numAggFuncs }
+
 // String returns the name of the aggregation function.
 func (f AggFunc) String() string {
 	switch f {
@@ -167,6 +182,9 @@ const (
 	JSONTuple
 	numTupleTypes
 )
+
+// Valid reports whether t is a defined tuple type.
+func (t TupleType) Valid() bool { return t >= 0 && t < numTupleTypes }
 
 // String returns the name of the tuple type.
 func (t TupleType) String() string {

@@ -2,7 +2,9 @@ package dag
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -324,6 +326,53 @@ func TestJSONRoundTrip(t *testing.T) {
 	s := back.Operator("s")
 	if s.SourceRate != 1234 || s.CostFactor != 2 {
 		t.Fatalf("operator s corrupted: %+v", s)
+	}
+}
+
+func TestJSONRejectsUnknownEnums(t *testing.T) {
+	// Each enum field must be range-checked on decode: a raw JSON graph
+	// with an out-of-range value must never construct an operator state
+	// no builder could produce.
+	cases := []struct {
+		field string
+		body  string
+	}{
+		{"type", `"type": 99`},
+		{"type", `"type": -1`},
+		{"window_type", `"window_type": 7`},
+		{"window_policy", `"window_policy": 5`},
+		{"join_key_class", `"join_key_class": 9`},
+		{"agg_class", `"agg_class": 9`},
+		{"agg_key_class", `"agg_key_class": -2`},
+		{"agg_func", `"agg_func": 42`},
+		{"tuple_data_type", `"tuple_data_type": 3`},
+	}
+	for _, c := range cases {
+		doc := fmt.Sprintf(`{"name":"bad","operators":[{"id":"x",%s}],"edges":[]}`, c.body)
+		var g Graph
+		err := json.Unmarshal([]byte(doc), &g)
+		if err == nil {
+			t.Errorf("decode with bad %s accepted", c.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("decode with bad %s: error %q does not name the field", c.field, err)
+		}
+	}
+
+	// In-range values at the top of each enum still decode.
+	ok := `{"name":"ok","operators":[
+		{"id":"s","type":0,"source_rate":1},
+		{"id":"x","type":8,"window_type":2,"window_policy":2,"window_length":10,"sliding_length":5,
+		 "join_key_class":3,"tuple_data_type":2},
+		{"id":"k","type":1}],
+		"edges":[["s","x"],["x","k"]]}`
+	var g Graph
+	if err := json.Unmarshal([]byte(ok), &g); err != nil {
+		t.Fatalf("decode of max in-range enums failed: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("decoded graph invalid: %v", err)
 	}
 }
 

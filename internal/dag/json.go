@@ -62,6 +62,9 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	}
 	*g = *New(gj.Name)
 	for _, oj := range gj.Operators {
+		if err := oj.checkEnums(); err != nil {
+			return err
+		}
 		op := &Operator{
 			ID: oj.ID, Type: OpType(oj.Type),
 			WindowType: WindowType(oj.WindowType), WindowPolicy: WindowPolicy(oj.WindowPolicy),
@@ -80,6 +83,39 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// checkEnums rejects out-of-range enum values so a decoded graph can
+// never hold an operator state no builder could construct.
+func (oj *operatorJSON) checkEnums() error {
+	bad := func(field string, v int) error {
+		return fmt.Errorf("dag: operator %q: invalid %s %d", oj.ID, field, v)
+	}
+	if !OpType(oj.Type).Valid() {
+		return bad("type", oj.Type)
+	}
+	if !WindowType(oj.WindowType).Valid() {
+		return bad("window_type", oj.WindowType)
+	}
+	if !WindowPolicy(oj.WindowPolicy).Valid() {
+		return bad("window_policy", oj.WindowPolicy)
+	}
+	if !KeyClass(oj.JoinKeyClass).Valid() {
+		return bad("join_key_class", oj.JoinKeyClass)
+	}
+	if !KeyClass(oj.AggClass).Valid() {
+		return bad("agg_class", oj.AggClass)
+	}
+	if !KeyClass(oj.AggKeyClass).Valid() {
+		return bad("agg_key_class", oj.AggKeyClass)
+	}
+	if !AggFunc(oj.AggFunc).Valid() {
+		return bad("agg_func", oj.AggFunc)
+	}
+	if !TupleType(oj.TupleDataType).Valid() {
+		return bad("tuple_data_type", oj.TupleDataType)
 	}
 	return nil
 }

@@ -1,0 +1,235 @@
+package dagspec
+
+import (
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Compile validates the spec and builds the corresponding dag.Graph.
+// On validation failure the returned error is a ValidationErrors
+// carrying every field-level failure.
+func (s *Spec) Compile() (*dag.Graph, error) {
+	if errs := s.Validate(); len(errs) > 0 {
+		return nil, errs
+	}
+	g := dag.New(s.Name)
+	for _, n := range s.Nodes {
+		if err := g.AddOperator(n.operator()); err != nil {
+			return nil, fmt.Errorf("dagspec: compile: %w", err)
+		}
+	}
+	for _, edge := range s.Edges {
+		if err := g.AddEdge(edge[0], edge[1]); err != nil {
+			return nil, fmt.Errorf("dagspec: compile: %w", err)
+		}
+	}
+	// Validate already covered the dag invariants at the spec level;
+	// this re-check is an internal consistency assertion.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("dagspec: compiled graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// operator translates a validated node into a dag.Operator.
+func (n Node) operator() *dag.Operator {
+	kind, _ := canonicalKind(n.Kind)
+	op := &dag.Operator{ID: n.ID, Type: kindToType[kind]}
+	ns := n.Spec
+	if ns == nil {
+		return op
+	}
+	op.SourceRate = ns.Rate
+	op.Selectivity = ns.Selectivity
+	op.CostFactor = ns.CostFactor
+	if w := ns.Window; w != nil {
+		op.WindowType = windowTypes[w.Type]
+		op.WindowPolicy = windowPolicies[w.Policy]
+		op.WindowLength = w.Length
+		op.SlidingLength = w.Slide
+	}
+	if j := ns.Join; j != nil {
+		op.JoinKeyClass = keyClasses[j.Key]
+	}
+	if a := ns.Agg; a != nil {
+		op.AggFunc = aggFuncs[a.Func]
+		op.AggClass = keyClasses[a.Class]
+		op.AggKeyClass = keyClasses[a.Key]
+	}
+	if t := ns.Tuple; t != nil {
+		op.TupleWidthIn = t.WidthIn
+		op.TupleWidthOut = t.WidthOut
+		op.TupleDataType = tupleFormats[t.Format]
+	}
+	return op
+}
+
+// FromGraph decompiles a graph into a spec that recompiles to a
+// bit-identical graph. It errors when the graph is not expressible —
+// for example a window operator without a window configuration, or an
+// enum value outside the named range. Every built-in Nexmark/PQP
+// template is expressible.
+func FromGraph(g *dag.Graph) (*Spec, error) {
+	s := &Spec{Version: Version, Name: g.Name}
+	for _, op := range g.Operators() {
+		n, err := nodeFor(op)
+		if err != nil {
+			return nil, err
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	ops := g.Operators()
+	for i := range ops {
+		for _, d := range g.Downstream(i) {
+			s.Edges = append(s.Edges, [2]string{ops[i].ID, ops[d].ID})
+		}
+	}
+	return s, nil
+}
+
+// nodeFor translates one operator, rejecting states the spec cannot
+// express.
+func nodeFor(op *dag.Operator) (Node, error) {
+	fail := func(format string, args ...any) (Node, error) {
+		return Node{}, fmt.Errorf("dagspec: operator %q: %s", op.ID, fmt.Sprintf(format, args...))
+	}
+	if !op.Type.Valid() {
+		return fail("invalid operator type %d", int(op.Type))
+	}
+	kind := op.Type.String()
+	ns := &NodeSpec{}
+
+	if op.WindowType != dag.NoWindow {
+		if kind != KindWindow && kind != KindWindowJoin && kind != KindAggregate {
+			return fail("window configuration not expressible on %s", kind)
+		}
+		w := &WindowSpec{Length: op.WindowLength, Slide: op.SlidingLength}
+		switch op.WindowType {
+		case dag.Tumbling:
+			w.Type = "tumbling"
+		case dag.Sliding:
+			w.Type = "sliding"
+		default:
+			return fail("invalid window type %d", int(op.WindowType))
+		}
+		switch op.WindowPolicy {
+		case dag.CountPolicy:
+			w.Policy = "count"
+		case dag.TimePolicy:
+			w.Policy = "time"
+		default:
+			return fail("windowed operator needs a count or time policy")
+		}
+		if !(w.Length > 0) {
+			return fail("windowed operator needs a positive window length")
+		}
+		if op.WindowType == dag.Sliding {
+			if !(w.Slide > 0) || w.Slide > w.Length {
+				return fail("sliding window needs 0 < slide <= length")
+			}
+		} else if w.Slide != 0 {
+			return fail("tumbling window cannot carry a slide")
+		}
+		ns.Window = w
+	} else {
+		if kind == KindWindow || kind == KindWindowJoin {
+			return fail("%s operator without window configuration", kind)
+		}
+		if op.WindowPolicy != dag.NoPolicy || op.WindowLength != 0 || op.SlidingLength != 0 {
+			return fail("window fields set without a window type")
+		}
+	}
+
+	if op.JoinKeyClass != dag.NoKey {
+		if kind != KindJoin && kind != KindWindowJoin {
+			return fail("join key not expressible on %s", kind)
+		}
+		key, err := keyClassName(op.JoinKeyClass)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ns.Join = &JoinSpec{Key: key}
+	}
+
+	if op.AggFunc != dag.NoAgg || op.AggClass != dag.NoKey || op.AggKeyClass != dag.NoKey {
+		if kind != KindAggregate {
+			return fail("aggregation fields not expressible on %s", kind)
+		}
+		a := &AggSpec{}
+		if op.AggFunc != dag.NoAgg {
+			if !op.AggFunc.Valid() {
+				return fail("invalid aggregation function %d", int(op.AggFunc))
+			}
+			a.Func = op.AggFunc.String()
+		}
+		var err error
+		if op.AggClass != dag.NoKey {
+			if a.Class, err = keyClassName(op.AggClass); err != nil {
+				return fail("%v", err)
+			}
+		}
+		if op.AggKeyClass != dag.NoKey {
+			if a.Key, err = keyClassName(op.AggKeyClass); err != nil {
+				return fail("%v", err)
+			}
+		}
+		ns.Agg = a
+	}
+
+	if op.TupleWidthIn != 0 || op.TupleWidthOut != 0 || op.TupleDataType != dag.RowTuple {
+		if op.TupleWidthIn < 0 || op.TupleWidthOut < 0 {
+			return fail("negative tuple width")
+		}
+		t := &TupleSpec{WidthIn: op.TupleWidthIn, WidthOut: op.TupleWidthOut}
+		if op.TupleDataType != dag.RowTuple {
+			if !op.TupleDataType.Valid() {
+				return fail("invalid tuple type %d", int(op.TupleDataType))
+			}
+			t.Format = op.TupleDataType.String()
+		}
+		ns.Tuple = t
+	}
+
+	if op.SourceRate != 0 {
+		if kind != KindSource {
+			return fail("source rate not expressible on %s", kind)
+		}
+		if op.SourceRate < 0 {
+			return fail("negative source rate")
+		}
+		ns.Rate = op.SourceRate
+	}
+	// Selectivity/CostFactor 1 is the AddOperator default; omit it so a
+	// recompile restores the identical value.
+	if op.Selectivity != 1 {
+		if !(op.Selectivity > 0) {
+			return fail("selectivity must be positive")
+		}
+		ns.Selectivity = op.Selectivity
+	}
+	if op.CostFactor != 1 {
+		if !(op.CostFactor > 0) {
+			return fail("cost_factor must be positive")
+		}
+		ns.CostFactor = op.CostFactor
+	}
+
+	if (*ns == NodeSpec{}) {
+		ns = nil
+	}
+	return Node{ID: op.ID, Kind: kind, Spec: ns}, nil
+}
+
+// keyClassName spells a key class, rejecting out-of-range values.
+func keyClassName(k dag.KeyClass) (string, error) {
+	switch k {
+	case dag.IntKey:
+		return "int", nil
+	case dag.FloatKey:
+		return "float", nil
+	case dag.StringKey:
+		return "string", nil
+	}
+	return "", fmt.Errorf("invalid key class %d", int(k))
+}

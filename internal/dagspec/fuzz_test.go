@@ -1,0 +1,73 @@
+package dagspec
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+// FuzzParse asserts the spec frontend's safety contract: Parse never
+// panics, and every document it accepts either fails validation with
+// structured errors or compiles to a Validate()-clean dag.Graph that
+// survives a decompile/recompile round trip bit-identically.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(specDoc))
+	f.Add([]byte(`{"version": 1, "nodes": [{"id": "s", "kind": "source"}]}`))
+	f.Add([]byte(`{"version": 2, "nodes": []}`))
+	f.Add([]byte(`{"version": 1, "nodes": [{"id": "w", "kind": "window",
+		"spec": {"window": {"type": "sliding", "policy": "time", "length": 60, "slide": 5}}}]}`))
+	f.Add([]byte(`{"version": 1, "nodes": [{"id": "s", "kind": "source", "spec": {"rate": -0}}]}`))
+	f.Add([]byte(`not json`))
+	for _, q := range []nexmark.Query{nexmark.Q3, nexmark.Q5, nexmark.Q8} {
+		if g, err := nexmark.Build(q, engine.Flink); err == nil {
+			if spec, err := FromGraph(g); err == nil {
+				if data, err := spec.Encode(); err == nil {
+					f.Add(data)
+				}
+			}
+		}
+	}
+	if g, err := pqp.Build(pqp.ThreeWayJoin, 7); err == nil {
+		if spec, err := FromGraph(g); err == nil {
+			if data, err := spec.Encode(); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		g, err := spec.Compile()
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted spec compiled to invalid graph: %v\nspec: %s", err, data)
+		}
+		back, err := FromGraph(g)
+		if err != nil {
+			t.Fatalf("compiled graph not decompilable: %v\nspec: %s", err, data)
+		}
+		g2, err := back.Compile()
+		if err != nil {
+			t.Fatalf("decompiled spec does not recompile: %v\nspec: %s", err, data)
+		}
+		a, err := g.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g2.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("round trip not bit-identical:\n%s\n%s", a, b)
+		}
+	})
+}

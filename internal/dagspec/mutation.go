@@ -1,0 +1,190 @@
+package dagspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Mutation is a versioned topology change applied to a running job's
+// graph: insert operators, remove operators (dropping their incident
+// edges), and rewire edges. Removals apply before insertions, so a
+// node may be removed and re-added in one mutation to replace its
+// configuration. A document must carry at least one change.
+//
+//	{
+//	  "version": 1,
+//	  "add_nodes": [{"id": "dedup", "kind": "filter", "spec": {"selectivity": 0.8}}],
+//	  "remove_edges": [["bids", "win"]],
+//	  "add_edges": [["bids", "dedup"], ["dedup", "win"]]
+//	}
+//
+// Validation failures carry the same structured field paths as spec
+// validation (for example add_nodes[0].spec.window.slide); failures of
+// the resulting topology as a whole (a cycle, an unreachable operator)
+// are reported against the mutated result under a result. prefix.
+type Mutation struct {
+	Version     int         `json:"version"`
+	AddNodes    []Node      `json:"add_nodes,omitempty"`
+	RemoveNodes []string    `json:"remove_nodes,omitempty"`
+	AddEdges    [][2]string `json:"add_edges,omitempty"`
+	RemoveEdges [][2]string `json:"remove_edges,omitempty"`
+}
+
+// ParseMutation decodes a mutation document with the same strictness as
+// Parse: unknown fields and trailing garbage are rejected. The returned
+// mutation has been parsed but not validated; Apply validates against a
+// concrete graph.
+func ParseMutation(data []byte) (*Mutation, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Mutation
+	if err := dec.Decode(&m); err != nil {
+		return nil, ValidationErrors{{Message: decodeMessage(err)}}
+	}
+	if dec.More() {
+		return nil, ValidationErrors{{Message: "trailing data after mutation document"}}
+	}
+	return &m, nil
+}
+
+// Apply validates the mutation against the graph and builds the mutated
+// graph. The input graph is never modified. Validation failures return
+// a ValidationErrors with field paths into the mutation document.
+func (m *Mutation) Apply(g *dag.Graph) (*dag.Graph, error) {
+	base, err := FromGraph(g)
+	if err != nil {
+		return nil, fmt.Errorf("dagspec: current topology not expressible as a spec: %w", err)
+	}
+	var e errs
+	if m.Version != Version {
+		e.add("version", "unsupported mutation version %d (want %d)", m.Version, Version)
+	}
+	if len(m.AddNodes) == 0 && len(m.RemoveNodes) == 0 && len(m.AddEdges) == 0 && len(m.RemoveEdges) == 0 {
+		e.add("", "mutation contains no changes")
+		return nil, e.list
+	}
+
+	index := make(map[string]bool, len(base.Nodes))
+	for _, n := range base.Nodes {
+		index[n.ID] = true
+	}
+
+	removed := make(map[string]bool, len(m.RemoveNodes))
+	for i, id := range m.RemoveNodes {
+		path := fmt.Sprintf("remove_nodes[%d]", i)
+		switch {
+		case !index[id]:
+			e.add(path, "unknown node %q", id)
+		case removed[id]:
+			e.add(path, "node %q removed twice", id)
+		default:
+			removed[id] = true
+		}
+	}
+
+	surviving := make(map[string]bool, len(base.Nodes))
+	for _, n := range base.Nodes {
+		if !removed[n.ID] {
+			surviving[n.ID] = true
+		}
+	}
+	for i, n := range m.AddNodes {
+		path := fmt.Sprintf("add_nodes[%d]", i)
+		switch {
+		case n.ID == "":
+			e.add(path+".id", "id must not be empty")
+		case surviving[n.ID]:
+			e.add(path+".id", "node %q already exists", n.ID)
+		default:
+			surviving[n.ID] = true
+		}
+		kind, ok := canonicalKind(n.Kind)
+		if !ok {
+			e.add(path+".kind", "unknown kind %q (one of %s)", n.Kind, strings.Join(Kinds(), ", "))
+			continue
+		}
+		validateNodeSpec(&e, path+".spec", kind, n.Spec)
+	}
+
+	baseEdge := make(map[[2]string]bool, len(base.Edges))
+	for _, edge := range base.Edges {
+		baseEdge[edge] = true
+	}
+	removedEdge := make(map[[2]string]bool, len(m.RemoveEdges))
+	for i, edge := range m.RemoveEdges {
+		path := fmt.Sprintf("remove_edges[%d]", i)
+		switch {
+		case !baseEdge[edge]:
+			e.add(path, "unknown edge %q -> %q", edge[0], edge[1])
+		case removedEdge[edge]:
+			e.add(path, "edge %q -> %q removed twice", edge[0], edge[1])
+		default:
+			removedEdge[edge] = true
+		}
+	}
+
+	// Surviving edges: not removed explicitly, not incident to a removed
+	// node.
+	var edges [][2]string
+	finalEdge := make(map[[2]string]bool, len(base.Edges))
+	for _, edge := range base.Edges {
+		if removedEdge[edge] || removed[edge[0]] || removed[edge[1]] {
+			continue
+		}
+		edges = append(edges, edge)
+		finalEdge[edge] = true
+	}
+	for i, edge := range m.AddEdges {
+		path := fmt.Sprintf("add_edges[%d]", i)
+		ok := true
+		if !surviving[edge[0]] {
+			e.add(path+"[0]", "unknown node %q", edge[0])
+			ok = false
+		}
+		if !surviving[edge[1]] {
+			e.add(path+"[1]", "unknown node %q", edge[1])
+			ok = false
+		}
+		if !ok {
+			continue
+		}
+		if edge[0] == edge[1] {
+			e.add(path, "self-edge on node %q", edge[0])
+			continue
+		}
+		if finalEdge[edge] {
+			e.add(path, "duplicate edge %q -> %q", edge[0], edge[1])
+			continue
+		}
+		edges = append(edges, edge)
+		finalEdge[edge] = true
+	}
+	if len(e.list) > 0 {
+		return nil, e.list
+	}
+
+	nodes := make([]Node, 0, len(base.Nodes)+len(m.AddNodes))
+	for _, n := range base.Nodes {
+		if !removed[n.ID] {
+			nodes = append(nodes, n)
+		}
+	}
+	nodes = append(nodes, m.AddNodes...)
+	final := &Spec{Version: Version, Name: base.Name, Nodes: nodes, Edges: edges}
+	if verrs := final.Validate(); len(verrs) > 0 {
+		out := make(ValidationErrors, len(verrs))
+		for i, fe := range verrs {
+			path := "result"
+			if fe.Path != "" {
+				path += "." + fe.Path
+			}
+			out[i] = FieldError{Path: path, Message: fe.Message}
+		}
+		return nil, out
+	}
+	return final.Compile()
+}

@@ -1,0 +1,222 @@
+package dagspec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// baseGraph compiles the shared test document into a graph: source ->
+// filter -> sink.
+func baseGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	spec, err := Parse([]byte(specDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMutationApply covers the three mutation primitives — insert,
+// remove, rewire — and asserts the input graph is never modified.
+func TestMutationApply(t *testing.T) {
+	g := baseGraph(t)
+	before, _ := g.MarshalJSON()
+
+	mut, err := ParseMutation([]byte(`{
+		"version": 1,
+		"add_nodes": [{"id": "m", "kind": "map", "spec": {"cost_factor": 2}}],
+		"remove_edges": [["f", "k"]],
+		"add_edges": [["f", "m"], ["m", "k"]]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mut.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumOperators() != 4 || out.NumEdges() != 3 {
+		t.Fatalf("mutated graph = %s, want 4 ops / 3 edges", out)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if op := out.Operator("m"); op == nil || op.Type != dag.Map || op.CostFactor != 2 {
+		t.Fatalf("inserted operator = %+v", out.Operator("m"))
+	}
+	after, _ := g.MarshalJSON()
+	if string(before) != string(after) {
+		t.Fatal("Apply modified the input graph")
+	}
+
+	// Removing a node drops its incident edges implicitly; the rewire
+	// reconnects around it.
+	mut2, err := ParseMutation([]byte(`{
+		"version": 1,
+		"remove_nodes": ["f"],
+		"add_edges": [["s", "k"]]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := mut2.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.NumOperators() != 2 || out2.NumEdges() != 1 {
+		t.Fatalf("mutated graph = %s, want 2 ops / 1 edge", out2)
+	}
+
+	// Remove-then-re-add replaces a node's configuration in place.
+	mut3, err := ParseMutation([]byte(`{
+		"version": 1,
+		"remove_nodes": ["f"],
+		"add_nodes": [{"id": "f", "kind": "filter", "spec": {"selectivity": 0.25}}],
+		"add_edges": [["s", "f"], ["f", "k"]]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3, err := mut3.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out3.Operator("f").Selectivity; got != 0.25 {
+		t.Fatalf("replaced selectivity = %v, want 0.25", got)
+	}
+}
+
+// TestMutationValidationPaths asserts each failure mode reports its
+// structured field path.
+func TestMutationValidationPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		path string
+		msg  string
+	}{
+		{
+			"bad version",
+			`{"version": 9, "remove_nodes": ["f"]}`,
+			"version", "unsupported mutation version",
+		},
+		{
+			"no changes",
+			`{"version": 1}`,
+			"", "no changes",
+		},
+		{
+			"remove unknown node",
+			`{"version": 1, "remove_nodes": ["ghost"]}`,
+			"remove_nodes[0]", "unknown node",
+		},
+		{
+			"remove node twice",
+			`{"version": 1, "remove_nodes": ["f", "f"]}`,
+			"remove_nodes[1]", "removed twice",
+		},
+		{
+			"add existing node",
+			`{"version": 1, "add_nodes": [{"id": "f", "kind": "filter"}]}`,
+			"add_nodes[0].id", "already exists",
+		},
+		{
+			"add node with bad kind",
+			`{"version": 1, "add_nodes": [{"id": "x", "kind": "teleport"}]}`,
+			"add_nodes[0].kind", "unknown kind",
+		},
+		{
+			"add node with bad spec",
+			`{"version": 1, "add_nodes": [{"id": "w", "kind": "window"}], "add_edges": [["f", "w"]]}`,
+			"add_nodes[0].spec.window", "require a window block",
+		},
+		{
+			"remove unknown edge",
+			`{"version": 1, "remove_edges": [["s", "k"]]}`,
+			"remove_edges[0]", "unknown edge",
+		},
+		{
+			"add edge to unknown node",
+			`{"version": 1, "add_edges": [["f", "ghost"]]}`,
+			"add_edges[0][1]", "unknown node",
+		},
+		{
+			"add edge to removed node",
+			`{"version": 1, "remove_nodes": ["f"], "add_edges": [["s", "f"]]}`,
+			"add_edges[0][1]", "unknown node",
+		},
+		{
+			"add duplicate edge",
+			`{"version": 1, "add_edges": [["s", "f"]]}`,
+			"add_edges[0]", "duplicate edge",
+		},
+		{
+			"add self edge",
+			`{"version": 1, "add_edges": [["f", "f"]]}`,
+			"add_edges[0]", "self-edge",
+		},
+		{
+			"mutation creates cycle",
+			`{"version": 1, "add_nodes": [{"id": "m", "kind": "map"}], "add_edges": [["f", "m"], ["m", "f"]]}`,
+			"result.edges", "cycle",
+		},
+		{
+			"mutation strands node",
+			`{"version": 1, "remove_edges": [["s", "f"]]}`,
+			"result.nodes[1]", "unreachable",
+		},
+		{
+			"mutation feeds a source",
+			`{"version": 1, "add_nodes": [{"id": "s2", "kind": "source", "spec": {"rate": 1}}], "add_edges": [["f", "s2"], ["s2", "k"]]}`,
+			"result.edges[2][1]", "cannot have inputs",
+		},
+		{
+			"mutation removes every source",
+			`{"version": 1, "remove_nodes": ["s"]}`,
+			"result.nodes", "at least one source",
+		},
+	}
+	g := baseGraph(t)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mut, err := ParseMutation([]byte(c.doc))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = mut.Apply(g)
+			if err == nil {
+				t.Fatal("Apply accepted invalid mutation")
+			}
+			var verrs ValidationErrors
+			if !errors.As(err, &verrs) {
+				t.Fatalf("error is %T, want ValidationErrors", err)
+			}
+			for _, fe := range verrs {
+				if fe.Path == c.path && strings.Contains(fe.Message, c.msg) {
+					return
+				}
+			}
+			t.Fatalf("no error at %q containing %q; got %v", c.path, c.msg, verrs)
+		})
+	}
+}
+
+// TestParseMutationRejects covers document-level failures.
+func TestParseMutationRejects(t *testing.T) {
+	for _, doc := range []string{
+		`{"version": 1,`,
+		`{"version": 1, "add_node": []}`,
+		`{"version": 1} trailing`,
+	} {
+		if _, err := ParseMutation([]byte(doc)); err == nil {
+			t.Errorf("ParseMutation accepted %q", doc)
+		}
+	}
+}

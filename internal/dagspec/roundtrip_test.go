@@ -1,0 +1,203 @@
+package dagspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/pqp"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden spec files from the current templates")
+
+// templates yields every built-in Nexmark/PQP graph: the full template
+// surface the spec must express.
+func templates(t *testing.T) []*dag.Graph {
+	t.Helper()
+	var gs []*dag.Graph
+	for _, q := range nexmark.Queries {
+		for _, flavor := range []engine.Flavor{engine.Flink, engine.Timely} {
+			g, err := nexmark.Build(q, flavor)
+			if err != nil {
+				t.Fatalf("nexmark %s/%s: %v", q, flavor, err)
+			}
+			// Same shape per flavor but different source rates; keep
+			// both so the rate field round-trips at both magnitudes.
+			g.Name = fmt.Sprintf("%s-%s", g.Name, flavor)
+			gs = append(gs, g)
+		}
+	}
+	for _, tmpl := range pqp.Templates {
+		all, err := pqp.All(tmpl)
+		if err != nil {
+			t.Fatalf("pqp %s: %v", tmpl, err)
+		}
+		gs = append(gs, all...)
+	}
+	return gs
+}
+
+// graphBytes is the bit-identity fingerprint: the graph's own JSON
+// encoding, which serializes every operator field.
+func graphBytes(t *testing.T, g *dag.Graph) []byte {
+	t.Helper()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal graph %s: %v", g.Name, err)
+	}
+	return data
+}
+
+// TestTemplateRoundTrip decompiles every built-in template to a spec and
+// recompiles it; the result must be bit-identical to the original graph.
+func TestTemplateRoundTrip(t *testing.T) {
+	for _, g := range templates(t) {
+		spec, err := FromGraph(g)
+		if err != nil {
+			t.Errorf("%s: FromGraph: %v", g.Name, err)
+			continue
+		}
+		// The spec document itself must survive an encode/parse cycle.
+		data, err := spec.Encode()
+		if err != nil {
+			t.Errorf("%s: encode: %v", g.Name, err)
+			continue
+		}
+		spec2, err := Parse(data)
+		if err != nil {
+			t.Errorf("%s: reparse: %v", g.Name, err)
+			continue
+		}
+		back, err := spec2.Compile()
+		if err != nil {
+			t.Errorf("%s: recompile: %v", g.Name, err)
+			continue
+		}
+		want, got := graphBytes(t, g), graphBytes(t, back)
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: round trip not bit-identical\n want %s\n  got %s", g.Name, want, got)
+		}
+	}
+}
+
+// TestGoldenSpecs pins the canonical spec encoding of representative
+// templates so the external format cannot drift silently. Regenerate
+// with -update-golden after an intentional format change.
+func TestGoldenSpecs(t *testing.T) {
+	cases := []struct {
+		golden string
+		build  func() (*dag.Graph, error)
+	}{
+		{"nexmark-q5.json", func() (*dag.Graph, error) { return nexmark.Build(nexmark.Q5, engine.Flink) }},
+		{"nexmark-q8.json", func() (*dag.Graph, error) { return nexmark.Build(nexmark.Q8, engine.Flink) }},
+		{"pqp-2-way-join-02.json", func() (*dag.Graph, error) { return pqp.Build(pqp.TwoWayJoin, 2) }},
+	}
+	for _, c := range cases {
+		g, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", c.golden, err)
+		}
+		spec, err := FromGraph(g)
+		if err != nil {
+			t.Fatalf("%s: FromGraph: %v", c.golden, err)
+		}
+		data, err := spec.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.golden, err)
+		}
+		path := filepath.Join("testdata", c.golden)
+		if *updateGolden {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", c.golden, err)
+		}
+		if !bytes.Equal(want, data) {
+			t.Errorf("%s: spec encoding drifted from golden file\n want:\n%s\n got:\n%s", c.golden, want, data)
+		}
+	}
+}
+
+// TestGoldenSpecsCompile proves the committed golden files themselves
+// compile back to the exact template graphs — the files are live
+// documentation, not snapshots of a possibly-broken encoder.
+func TestGoldenSpecsCompile(t *testing.T) {
+	q5, err := nexmark.Build(nexmark.Q5, engine.Flink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "nexmark-q5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(graphBytes(t, q5), graphBytes(t, g)) {
+		t.Fatal("golden nexmark-q5.json does not compile to the Q5 template")
+	}
+}
+
+// TestAliasesAndDefaults covers the accepted hyphenated kind aliases and
+// the defaulting of omitted selectivity/cost_factor.
+func TestAliasesAndDefaults(t *testing.T) {
+	doc := []byte(`{
+		"version": 1,
+		"name": "alias",
+		"nodes": [
+			{"id": "s", "kind": "source", "spec": {"rate": 100}},
+			{"id": "fm", "kind": "flat-map"},
+			{"id": "wj", "kind": "window-join", "spec": {"window": {"type": "tumbling", "policy": "time", "length": 10}}},
+			{"id": "a", "kind": "window-agg", "spec": {"agg": {"func": "sum"}}},
+			{"id": "k", "kind": "sink"}
+		],
+		"edges": [["s","fm"],["s","wj"],["fm","wj"],["wj","a"],["a","k"]]
+	}`)
+	spec, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Operator("fm").Type; got != dag.FlatMap {
+		t.Errorf("flat-map alias compiled to %v", got)
+	}
+	if got := g.Operator("wj").Type; got != dag.WindowJoin {
+		t.Errorf("window-join alias compiled to %v", got)
+	}
+	if got := g.Operator("a").Type; got != dag.Aggregate {
+		t.Errorf("window-agg alias compiled to %v", got)
+	}
+	if got := g.Operator("fm").Selectivity; got != 1 {
+		t.Errorf("omitted selectivity = %v, want engine default 1", got)
+	}
+	if got := g.Operator("fm").CostFactor; got != 1 {
+		t.Errorf("omitted cost_factor = %v, want engine default 1", got)
+	}
+	// Decompilation emits canonical kind names.
+	back, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nodes[1].Kind != KindFlatMap || back.Nodes[2].Kind != KindWindowJoin {
+		t.Errorf("decompiled kinds not canonical: %q, %q", back.Nodes[1].Kind, back.Nodes[2].Kind)
+	}
+}

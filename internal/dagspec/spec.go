@@ -1,0 +1,237 @@
+// Package dagspec defines the external, human-readable JSON job spec
+// accepted by the tuning service and compiles it to internal/dag graphs.
+//
+// A spec is a versioned document of nodes and edges:
+//
+//	{
+//	  "version": 1,
+//	  "name": "my-job",
+//	  "nodes": [
+//	    {"id": "bids", "kind": "source", "spec": {"rate": 80000, "tuple": {"width_out": 96}}},
+//	    {"id": "win",  "kind": "window", "spec": {"window": {"type": "sliding", "policy": "time", "length": 60, "slide": 5}}},
+//	    {"id": "sink", "kind": "sink"}
+//	  ],
+//	  "edges": [["bids", "win"], ["win", "sink"]]
+//	}
+//
+// Kinds, window types, policies, key classes, aggregation functions and
+// tuple formats are all spelled as strings — clients never see the
+// internal enum integers of dag.Graph's own JSON form. Multi-root DAGs
+// (several source nodes) are supported. Validation failures carry
+// structured field paths (for example nodes[3].spec.window.slide) so
+// clients can point at the offending field; the service surfaces them in
+// the details of its error envelope.
+//
+// FromGraph inverts Compile: every built-in Nexmark/PQP template
+// decompiles to a spec that recompiles to a bit-identical graph
+// (golden-tested in roundtrip_test.go).
+package dagspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// Version is the only spec version currently understood.
+const Version = 1
+
+// Spec is a versioned external description of a dataflow DAG.
+type Spec struct {
+	Version int         `json:"version"`
+	Name    string      `json:"name,omitempty"`
+	Nodes   []Node      `json:"nodes"`
+	Edges   [][2]string `json:"edges,omitempty"`
+}
+
+// Node is one operator of the spec. Kind selects the operator type by
+// name; Spec carries the kind-specific configuration and may be omitted
+// entirely for kinds that need none (for example a sink).
+type Node struct {
+	ID   string    `json:"id"`
+	Kind string    `json:"kind"`
+	Spec *NodeSpec `json:"spec,omitempty"`
+}
+
+// NodeSpec is the per-node configuration. Every field is optional at the
+// JSON level; per-kind validation decides which blocks are required or
+// forbidden (a "window" node must carry a window block, a "filter" must
+// not, and so on).
+type NodeSpec struct {
+	// Rate is the records/second emitted by a source node. Only valid
+	// on kind "source".
+	Rate float64 `json:"rate,omitempty"`
+	// Selectivity is the output/input record ratio used by the
+	// simulated engine. Omitted or zero means the engine default of 1.
+	Selectivity float64 `json:"selectivity,omitempty"`
+	// CostFactor scales the node's per-record cost in the simulated
+	// engine. Omitted or zero means the engine default of 1.
+	CostFactor float64     `json:"cost_factor,omitempty"`
+	Window     *WindowSpec `json:"window,omitempty"`
+	Join       *JoinSpec   `json:"join,omitempty"`
+	Agg        *AggSpec    `json:"agg,omitempty"`
+	Tuple      *TupleSpec  `json:"tuple,omitempty"`
+}
+
+// WindowSpec configures windowing on "window", "windowjoin" and
+// (optionally) "aggregate" nodes.
+type WindowSpec struct {
+	// Type is "tumbling" or "sliding".
+	Type string `json:"type"`
+	// Policy is "count" or "time".
+	Policy string `json:"policy"`
+	// Length is the window extent: records under the count policy,
+	// seconds under the time policy.
+	Length float64 `json:"length"`
+	// Slide is the sliding step; required for sliding windows and
+	// forbidden for tumbling ones.
+	Slide float64 `json:"slide,omitempty"`
+}
+
+// JoinSpec configures "join" and "windowjoin" nodes.
+type JoinSpec struct {
+	// Key is the join key class: "int", "float" or "string".
+	Key string `json:"key"`
+}
+
+// AggSpec configures "aggregate" nodes.
+type AggSpec struct {
+	// Func is the aggregation function: "min", "max", "avg", "sum" or
+	// "count".
+	Func string `json:"func,omitempty"`
+	// Class is the data type class of the aggregated value.
+	Class string `json:"class,omitempty"`
+	// Key is the data type class of the grouping key.
+	Key string `json:"key,omitempty"`
+}
+
+// TupleSpec describes the tuples flowing through a node.
+type TupleSpec struct {
+	// WidthIn and WidthOut are tuple sizes in bytes.
+	WidthIn  float64 `json:"width_in,omitempty"`
+	WidthOut float64 `json:"width_out,omitempty"`
+	// Format is the serialization class: "row" (default), "pojo" or
+	// "json".
+	Format string `json:"format,omitempty"`
+}
+
+// Node kinds, matching dag.OpType names.
+const (
+	KindSource     = "source"
+	KindSink       = "sink"
+	KindMap        = "map"
+	KindFilter     = "filter"
+	KindFlatMap    = "flatmap"
+	KindJoin       = "join"
+	KindAggregate  = "aggregate"
+	KindWindow     = "window"
+	KindWindowJoin = "windowjoin"
+)
+
+// kindToType maps canonical kind names to operator types.
+var kindToType = map[string]dag.OpType{
+	KindSource:     dag.Source,
+	KindSink:       dag.Sink,
+	KindMap:        dag.Map,
+	KindFilter:     dag.Filter,
+	KindFlatMap:    dag.FlatMap,
+	KindJoin:       dag.Join,
+	KindAggregate:  dag.Aggregate,
+	KindWindow:     dag.WindowOp,
+	KindWindowJoin: dag.WindowJoin,
+}
+
+// kindAliases accepts common hyphenated spellings on input. The
+// decompiler always emits canonical names.
+var kindAliases = map[string]string{
+	"flat-map":    KindFlatMap,
+	"window-join": KindWindowJoin,
+	"window-agg":  KindAggregate,
+}
+
+// Kinds lists the canonical node kinds in a stable order.
+func Kinds() []string {
+	return []string{
+		KindSource, KindSink, KindMap, KindFilter, KindFlatMap,
+		KindJoin, KindAggregate, KindWindow, KindWindowJoin,
+	}
+}
+
+// canonicalKind resolves aliases and reports whether the kind is known.
+func canonicalKind(k string) (string, bool) {
+	if alias, ok := kindAliases[k]; ok {
+		k = alias
+	}
+	_, ok := kindToType[k]
+	return k, ok
+}
+
+// FieldError locates one validation failure within a spec document. Path
+// is a dotted/indexed route from the document root, for example
+// nodes[3].spec.window.slide or edges[1][0]; an empty path refers to the
+// document as a whole.
+type FieldError struct {
+	Path    string `json:"path,omitempty"`
+	Message string `json:"message"`
+}
+
+func (e FieldError) String() string {
+	if e.Path == "" {
+		return e.Message
+	}
+	return e.Path + ": " + e.Message
+}
+
+// ValidationErrors is the full list of validation failures for a spec.
+// It implements error so it can flow through service admission; callers
+// recover the structured list with errors.As.
+type ValidationErrors []FieldError
+
+// Error summarizes the first failure and the count of the rest.
+func (e ValidationErrors) Error() string {
+	switch len(e) {
+	case 0:
+		return "dagspec: invalid spec"
+	case 1:
+		return "dagspec: " + e[0].String()
+	default:
+		return fmt.Sprintf("dagspec: %s (and %d more)", e[0].String(), len(e)-1)
+	}
+}
+
+// Parse decodes a spec document. Unknown fields and trailing garbage are
+// rejected so client typos fail loudly instead of being ignored. The
+// returned spec has been parsed but not validated; Compile validates.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, ValidationErrors{{Message: decodeMessage(err)}}
+	}
+	if dec.More() {
+		return nil, ValidationErrors{{Message: "trailing data after spec document"}}
+	}
+	return &s, nil
+}
+
+// decodeMessage strips the encoding/json prefix noise from a decode
+// error so the message reads naturally inside an error detail.
+func decodeMessage(err error) string {
+	msg := err.Error()
+	msg = strings.TrimPrefix(msg, "json: ")
+	return msg
+}
+
+// Encode renders the spec as indented JSON with a trailing newline —
+// the canonical on-disk form used by golden files and examples/spec.
+func (s *Spec) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,291 @@
+package dagspec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/streamtune/streamtune/internal/dag"
+)
+
+// String spellings of the dag enums, used both ways: validation parses
+// them, the decompiler emits them. They intentionally match the dag
+// String() methods.
+var (
+	windowTypes = map[string]dag.WindowType{
+		"tumbling": dag.Tumbling,
+		"sliding":  dag.Sliding,
+	}
+	windowPolicies = map[string]dag.WindowPolicy{
+		"count": dag.CountPolicy,
+		"time":  dag.TimePolicy,
+	}
+	keyClasses = map[string]dag.KeyClass{
+		"int":    dag.IntKey,
+		"float":  dag.FloatKey,
+		"string": dag.StringKey,
+	}
+	aggFuncs = map[string]dag.AggFunc{
+		"min":   dag.AggMin,
+		"max":   dag.AggMax,
+		"avg":   dag.AggAvg,
+		"sum":   dag.AggSum,
+		"count": dag.AggCount,
+	}
+	tupleFormats = map[string]dag.TupleType{
+		"row":  dag.RowTuple,
+		"pojo": dag.PojoTuple,
+		"json": dag.JSONTuple,
+	}
+)
+
+// errs collects field errors during validation.
+type errs struct {
+	list ValidationErrors
+}
+
+func (e *errs) add(path, format string, args ...any) {
+	e.list = append(e.list, FieldError{Path: path, Message: fmt.Sprintf(format, args...)})
+}
+
+// Validate checks the spec in full and returns every failure with its
+// field path, or nil when the spec is well-formed. Graph-level checks
+// (cycles, reachability) run only once the node and edge lists are
+// individually sound, so a typo does not cascade into spurious
+// structural errors.
+func (s *Spec) Validate() ValidationErrors {
+	var e errs
+	if s.Version != Version {
+		e.add("version", "unsupported spec version %d (want %d)", s.Version, Version)
+	}
+	if len(s.Nodes) == 0 {
+		e.add("nodes", "at least one node required")
+		return e.list
+	}
+
+	index := make(map[string]int, len(s.Nodes))
+	kinds := make([]string, len(s.Nodes))
+	for i, n := range s.Nodes {
+		path := fmt.Sprintf("nodes[%d]", i)
+		if n.ID == "" {
+			e.add(path+".id", "id must not be empty")
+		} else if prev, dup := index[n.ID]; dup {
+			e.add(path+".id", "duplicate node id %q (first at nodes[%d])", n.ID, prev)
+		} else {
+			index[n.ID] = i
+		}
+		kind, ok := canonicalKind(n.Kind)
+		if !ok {
+			e.add(path+".kind", "unknown kind %q (one of %s)", n.Kind, strings.Join(Kinds(), ", "))
+			continue
+		}
+		kinds[i] = kind
+		validateNodeSpec(&e, path+".spec", kind, n.Spec)
+	}
+
+	for j, edge := range s.Edges {
+		path := fmt.Sprintf("edges[%d]", j)
+		from, okFrom := index[edge[0]]
+		to, okTo := index[edge[1]]
+		if !okFrom {
+			e.add(path+"[0]", "unknown node %q", edge[0])
+		}
+		if !okTo {
+			e.add(path+"[1]", "unknown node %q", edge[1])
+		}
+		if !okFrom || !okTo {
+			continue
+		}
+		if from == to {
+			e.add(path, "self-edge on node %q", edge[0])
+			continue
+		}
+		if kinds[to] == KindSource {
+			e.add(path+"[1]", "source node %q cannot have inputs", edge[1])
+		}
+		for k := 0; k < j; k++ {
+			if s.Edges[k] == edge {
+				e.add(path, "duplicate edge %q -> %q", edge[0], edge[1])
+				break
+			}
+		}
+	}
+
+	if len(e.list) == 0 {
+		s.validateStructure(&e, index, kinds)
+	}
+	if len(e.list) == 0 {
+		return nil
+	}
+	return e.list
+}
+
+// validateNodeSpec enforces the per-kind block rules.
+func validateNodeSpec(e *errs, path, kind string, ns *NodeSpec) {
+	if ns == nil {
+		if kind == KindWindow || kind == KindWindowJoin {
+			e.add(path+".window", "%s nodes require a window block", kind)
+		}
+		return
+	}
+	if ns.Rate != 0 && kind != KindSource {
+		e.add(path+".rate", "rate only allowed on source nodes")
+	}
+	if ns.Rate < 0 {
+		e.add(path+".rate", "rate must not be negative")
+	}
+	if ns.Selectivity < 0 {
+		e.add(path+".selectivity", "selectivity must not be negative")
+	}
+	if ns.CostFactor < 0 {
+		e.add(path+".cost_factor", "cost_factor must not be negative")
+	}
+
+	switch {
+	case ns.Window == nil && (kind == KindWindow || kind == KindWindowJoin):
+		e.add(path+".window", "%s nodes require a window block", kind)
+	case ns.Window != nil:
+		switch kind {
+		case KindWindow, KindWindowJoin, KindAggregate:
+			validateWindow(e, path+".window", ns.Window)
+		default:
+			e.add(path+".window", "window block not allowed on %s nodes", kind)
+		}
+	}
+
+	if ns.Join != nil {
+		if kind != KindJoin && kind != KindWindowJoin {
+			e.add(path+".join", "join block not allowed on %s nodes", kind)
+		} else if _, ok := keyClasses[ns.Join.Key]; !ok {
+			e.add(path+".join.key", "unknown key class %q (one of int, float, string)", ns.Join.Key)
+		}
+	}
+
+	if ns.Agg != nil {
+		if kind != KindAggregate {
+			e.add(path+".agg", "agg block not allowed on %s nodes", kind)
+		} else {
+			if ns.Agg.Func != "" {
+				if _, ok := aggFuncs[ns.Agg.Func]; !ok {
+					e.add(path+".agg.func", "unknown aggregation function %q (one of min, max, avg, sum, count)", ns.Agg.Func)
+				}
+			}
+			validateKeyClass(e, path+".agg.class", ns.Agg.Class)
+			validateKeyClass(e, path+".agg.key", ns.Agg.Key)
+		}
+	}
+
+	if ns.Tuple != nil {
+		if ns.Tuple.WidthIn < 0 {
+			e.add(path+".tuple.width_in", "width must not be negative")
+		}
+		if ns.Tuple.WidthOut < 0 {
+			e.add(path+".tuple.width_out", "width must not be negative")
+		}
+		if ns.Tuple.Format != "" {
+			if _, ok := tupleFormats[ns.Tuple.Format]; !ok {
+				e.add(path+".tuple.format", "unknown tuple format %q (one of row, pojo, json)", ns.Tuple.Format)
+			}
+		}
+	}
+}
+
+func validateKeyClass(e *errs, path, class string) {
+	if class == "" {
+		return
+	}
+	if _, ok := keyClasses[class]; !ok {
+		e.add(path, "unknown key class %q (one of int, float, string)", class)
+	}
+}
+
+func validateWindow(e *errs, path string, w *WindowSpec) {
+	wt, ok := windowTypes[w.Type]
+	if !ok {
+		e.add(path+".type", "unknown window type %q (one of tumbling, sliding)", w.Type)
+	}
+	if _, ok := windowPolicies[w.Policy]; !ok {
+		e.add(path+".policy", "unknown window policy %q (one of count, time)", w.Policy)
+	}
+	if !(w.Length > 0) {
+		e.add(path+".length", "length must be positive")
+	}
+	switch wt {
+	case dag.Sliding:
+		if !(w.Slide > 0) {
+			e.add(path+".slide", "sliding windows require a positive slide")
+		} else if w.Slide > w.Length {
+			e.add(path+".slide", "slide %v exceeds window length %v", w.Slide, w.Length)
+		}
+	case dag.Tumbling:
+		if w.Slide != 0 {
+			e.add(path+".slide", "slide only allowed on sliding windows")
+		}
+	}
+}
+
+// validateStructure runs the graph-level checks: at least one source,
+// acyclic, every node reachable from a source. Called only on specs
+// whose nodes and edges are individually valid.
+func (s *Spec) validateStructure(e *errs, index map[string]int, kinds []string) {
+	n := len(s.Nodes)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	for _, edge := range s.Edges {
+		from, to := index[edge[0]], index[edge[1]]
+		adj[from] = append(adj[from], to)
+		indeg[to]++
+	}
+
+	var sources []int
+	for i, k := range kinds {
+		if k == KindSource {
+			sources = append(sources, i)
+		}
+	}
+	if len(sources) == 0 {
+		e.add("nodes", "at least one source node required")
+		return
+	}
+
+	// Kahn's algorithm: fewer than n visited nodes means a cycle.
+	queue := make([]int, 0, n)
+	deg := append([]int(nil), indeg...)
+	for i := 0; i < n; i++ {
+		if deg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, d := range adj[v] {
+			deg[d]--
+			if deg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if visited != n {
+		e.add("edges", "graph contains a cycle")
+		return
+	}
+
+	reached := make([]bool, n)
+	stack := append([]int(nil), sources...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reached[v] {
+			continue
+		}
+		reached[v] = true
+		stack = append(stack, adj[v]...)
+	}
+	for i, r := range reached {
+		if !r {
+			e.add(fmt.Sprintf("nodes[%d]", i), "node %q unreachable from any source", s.Nodes[i].ID)
+		}
+	}
+}

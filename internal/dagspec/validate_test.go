@@ -1,0 +1,252 @@
+package dagspec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// specDoc is a minimal valid document the failure cases below mutate.
+const specDoc = `{
+	"version": 1,
+	"name": "t",
+	"nodes": [
+		{"id": "s", "kind": "source", "spec": {"rate": 100, "tuple": {"width_out": 96}}},
+		{"id": "f", "kind": "filter", "spec": {"selectivity": 0.5}},
+		{"id": "k", "kind": "sink"}
+	],
+	"edges": [["s", "f"], ["f", "k"]]
+}`
+
+func TestValidSpecCompiles(t *testing.T) {
+	spec, err := Parse([]byte(specDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumOperators() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("unexpected graph: %s", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidationPaths asserts each failure mode reports the documented
+// structured field path.
+func TestValidationPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		path string
+		msg  string
+	}{
+		{
+			"bad version",
+			`{"version": 2, "nodes": [{"id": "s", "kind": "source"}]}`,
+			"version", "unsupported spec version",
+		},
+		{
+			"no nodes",
+			`{"version": 1, "nodes": []}`,
+			"nodes", "at least one node",
+		},
+		{
+			"empty id",
+			`{"version": 1, "nodes": [{"id": "", "kind": "source"}]}`,
+			"nodes[0].id", "empty",
+		},
+		{
+			"duplicate id",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source"}, {"id": "s", "kind": "sink"}]}`,
+			"nodes[1].id", "duplicate",
+		},
+		{
+			"unknown kind",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "teleport"}]}`,
+			"nodes[0].kind", "unknown kind",
+		},
+		{
+			"rate on filter",
+			`{"version": 1, "nodes": [{"id": "f", "kind": "filter", "spec": {"rate": 5}}]}`,
+			"nodes[0].spec.rate", "only allowed on source",
+		},
+		{
+			"negative selectivity",
+			`{"version": 1, "nodes": [{"id": "f", "kind": "filter", "spec": {"selectivity": -1}}]}`,
+			"nodes[0].spec.selectivity", "negative",
+		},
+		{
+			"window node without window block",
+			`{"version": 1, "nodes": [{"id": "w", "kind": "window"}]}`,
+			"nodes[0].spec.window", "require a window block",
+		},
+		{
+			"window block on filter",
+			`{"version": 1, "nodes": [{"id": "f", "kind": "filter", "spec": {"window": {"type": "tumbling", "policy": "time", "length": 1}}}]}`,
+			"nodes[0].spec.window", "not allowed on filter",
+		},
+		{
+			"bad window type",
+			`{"version": 1, "nodes": [{"id": "w", "kind": "window", "spec": {"window": {"type": "hopping", "policy": "time", "length": 1}}}]}`,
+			"nodes[0].spec.window.type", "unknown window type",
+		},
+		{
+			"sliding without slide",
+			`{"version": 1, "nodes": [{"id": "w", "kind": "window", "spec": {"window": {"type": "sliding", "policy": "time", "length": 60}}}]}`,
+			"nodes[0].spec.window.slide", "positive slide",
+		},
+		{
+			"slide exceeds length",
+			`{"version": 1, "nodes": [{"id": "w", "kind": "window", "spec": {"window": {"type": "sliding", "policy": "time", "length": 60, "slide": 61}}}]}`,
+			"nodes[0].spec.window.slide", "exceeds window length",
+		},
+		{
+			"slide on tumbling",
+			`{"version": 1, "nodes": [{"id": "w", "kind": "window", "spec": {"window": {"type": "tumbling", "policy": "count", "length": 60, "slide": 5}}}]}`,
+			"nodes[0].spec.window.slide", "only allowed on sliding",
+		},
+		{
+			"bad join key",
+			`{"version": 1, "nodes": [{"id": "j", "kind": "join", "spec": {"join": {"key": "uuid"}}}]}`,
+			"nodes[0].spec.join.key", "unknown key class",
+		},
+		{
+			"agg on map",
+			`{"version": 1, "nodes": [{"id": "m", "kind": "map", "spec": {"agg": {"func": "sum"}}}]}`,
+			"nodes[0].spec.agg", "not allowed on map",
+		},
+		{
+			"bad agg func",
+			`{"version": 1, "nodes": [{"id": "a", "kind": "aggregate", "spec": {"agg": {"func": "median"}}}]}`,
+			"nodes[0].spec.agg.func", "unknown aggregation function",
+		},
+		{
+			"bad tuple format",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source", "spec": {"tuple": {"format": "avro"}}}]}`,
+			"nodes[0].spec.tuple.format", "unknown tuple format",
+		},
+		{
+			"unknown edge endpoint",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source"}], "edges": [["s", "ghost"]]}`,
+			"edges[0][1]", "unknown node",
+		},
+		{
+			"self edge",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source"}, {"id": "f", "kind": "filter"}], "edges": [["f", "f"]]}`,
+			"edges[0]", "self-edge",
+		},
+		{
+			"edge into source",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source"}, {"id": "f", "kind": "filter"}], "edges": [["f", "s"]]}`,
+			"edges[0][1]", "cannot have inputs",
+		},
+		{
+			"duplicate edge",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source"}, {"id": "f", "kind": "filter"}], "edges": [["s", "f"], ["s", "f"]]}`,
+			"edges[1]", "duplicate edge",
+		},
+		{
+			"no sources",
+			`{"version": 1, "nodes": [{"id": "f", "kind": "filter"}]}`,
+			"nodes", "at least one source",
+		},
+		{
+			"cycle",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source"}, {"id": "a", "kind": "map"}, {"id": "b", "kind": "map"}],
+			 "edges": [["s", "a"], ["a", "b"], ["b", "a"]]}`,
+			"edges", "cycle",
+		},
+		{
+			"unreachable node",
+			`{"version": 1, "nodes": [{"id": "s", "kind": "source"}, {"id": "k", "kind": "sink"}], "edges": []}`,
+			"nodes[1]", "unreachable",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := Parse([]byte(c.doc))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = spec.Compile()
+			if err == nil {
+				t.Fatal("compile accepted invalid spec")
+			}
+			var verrs ValidationErrors
+			if !errors.As(err, &verrs) {
+				t.Fatalf("error is %T, want ValidationErrors", err)
+			}
+			found := false
+			for _, fe := range verrs {
+				if fe.Path == c.path && strings.Contains(fe.Message, c.msg) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("no error at %q containing %q; got %v", c.path, c.msg, verrs)
+			}
+		})
+	}
+}
+
+// TestParseRejects covers document-level failures: malformed JSON,
+// unknown fields, trailing garbage.
+func TestParseRejects(t *testing.T) {
+	for _, doc := range []string{
+		`{"version": 1,`,
+		`{"version": 1, "nodes": [], "bogus": true}`,
+		`{"version": 1, "nodes": [{"id": "s", "kind": "source", "spec": {"rte": 1}}]}`,
+		specDoc + `{"another": "doc"}`,
+	} {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("Parse accepted %q", doc)
+		}
+	}
+}
+
+// TestMultiRoot exercises a three-source DAG, beyond anything in the
+// built-in templates.
+func TestMultiRoot(t *testing.T) {
+	doc := []byte(`{
+		"version": 1,
+		"name": "fan-in",
+		"nodes": [
+			{"id": "s1", "kind": "source", "spec": {"rate": 10}},
+			{"id": "s2", "kind": "source", "spec": {"rate": 20}},
+			{"id": "s3", "kind": "source", "spec": {"rate": 30}},
+			{"id": "j1", "kind": "windowjoin", "spec": {"join": {"key": "int"}, "window": {"type": "sliding", "policy": "count", "length": 100, "slide": 10}}},
+			{"id": "j2", "kind": "join", "spec": {"join": {"key": "string"}}},
+			{"id": "k", "kind": "sink"}
+		],
+		"edges": [["s1","j1"],["s2","j1"],["j1","j2"],["s3","j2"],["j2","k"]]
+	}`)
+	spec, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sources()) != 3 {
+		t.Fatalf("sources = %d, want 3", len(g.Sources()))
+	}
+	back, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := back.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g.MarshalJSON()
+	b, _ := g2.MarshalJSON()
+	if string(a) != string(b) {
+		t.Fatalf("multi-root round trip not bit-identical:\n%s\n%s", a, b)
+	}
+}

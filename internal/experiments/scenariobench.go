@@ -1,0 +1,497 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"github.com/streamtune/streamtune/internal/baselines/conttune"
+	"github.com/streamtune/streamtune/internal/baselines/ds2"
+	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/dagspec"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+	"github.com/streamtune/streamtune/internal/parallel"
+	"github.com/streamtune/streamtune/internal/service"
+	"github.com/streamtune/streamtune/internal/streamtune"
+	"github.com/streamtune/streamtune/internal/workload"
+)
+
+// scenarioMutation is the seeded mid-stream topology change every
+// scenario cell applies: a selectivity-0.8 pre-filter spliced between
+// the Q5 source and its sliding window (expressed as a dagspec mutation
+// document, the same wire format PATCH /v1/jobs/{id}/topology accepts).
+const scenarioMutation = `{
+	"version": 1,
+	"add_nodes": [{"id": "prefilter", "kind": "filter",
+		"spec": {"selectivity": 0.8, "tuple": {"width_in": 96, "width_out": 96}}}],
+	"remove_edges": [["bids", "sliding-window"]],
+	"add_edges": [["bids", "prefilter"], ["prefilter", "sliding-window"]]
+}`
+
+// ScenarioCell is one (trace, method) run of the adversarial-traffic
+// benchmark: a full pass over the trace's rate multipliers with one
+// seeded mid-stream topology mutation.
+type ScenarioCell struct {
+	Scenario string `json:"scenario"`
+	Method   string `json:"method"`
+	// Steps is the number of tuning processes (one per rate change).
+	Steps int `json:"steps"`
+	// MutationStep is the trace position after which the topology
+	// mutates; identical across methods of the same scenario.
+	MutationStep       int     `json:"mutation_step"`
+	Reconfigurations   int     `json:"reconfigurations"`
+	BackpressureEvents int     `json:"backpressure_events"`
+	RecommendSeconds   float64 `json:"recommend_seconds"`
+	// FinalParallelism is the total parallelism after the last process.
+	FinalParallelism int `json:"final_parallelism"`
+	// WarmStart records that the method carried tuning state across the
+	// mutation (StreamTune: same-cluster tuner survived; ContTune: the
+	// per-operator GPs persist by ID; DS2 is stateless, always false).
+	WarmStart bool `json:"warm_start"`
+}
+
+// ScenarioBenchReport is the result of -exp scenario-bench: the three
+// adversarial traffic traces (bursty, diurnal, skewed) driven through
+// StreamTune and the DS2 / ContTune baselines, each with a seeded
+// mid-stream DAG mutation, plus a differential check that the service's
+// PATCH-topology warm start converges bit-identically to tuning the
+// mutated job from scratch.
+type ScenarioBenchReport struct {
+	Workload string         `json:"workload"`
+	Seed     int64          `json:"seed"`
+	Steps    int            `json:"steps_per_trace"`
+	Cells    []ScenarioCell `json:"cells"`
+
+	// Per-method totals across all scenarios (the guarded aggregates).
+	StreamTuneReconfigurations int `json:"streamtune_reconfigurations"`
+	DS2Reconfigurations        int `json:"ds2_reconfigurations"`
+	ContTuneReconfigurations   int `json:"conttune_reconfigurations"`
+	StreamTuneBackpressure     int `json:"streamtune_backpressure"`
+	DS2Backpressure            int `json:"ds2_backpressure"`
+	ContTuneBackpressure       int `json:"conttune_backpressure"`
+
+	// Differential mutation check through the service API: a job is
+	// registered, driven partway, mutated via MutateTopology, and driven
+	// to convergence; the final recommendation must be bit-identical to a
+	// caller-owned tuner taken through the same lifecycle (partial tune,
+	// tuner carried across the mutation, fresh process on the mutated
+	// graph) — the service's snapshot/restore warm start and batched
+	// inference must not change a single recommendation.
+	// MutationWarmStart records that the check exercised the warm-start
+	// path (tuner state carried across the mutation rather than rebuilt
+	// cold).
+	MutationWarmStart    bool `json:"mutation_warm_start"`
+	MutationBitIdentical bool `json:"mutation_bit_identical"`
+}
+
+// scenarioWorkload returns the Nexmark Q5 evaluation workload — the job
+// the scenario mutation is written against.
+func scenarioWorkload() (Workload, error) {
+	g, err := nexmark.Build(nexmark.Q5, engine.Flink)
+	if err != nil {
+		return Workload{}, err
+	}
+	units, err := nexmark.RateUnit(nexmark.Q5, engine.Flink)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{Name: "(Nexmark)Q5", Graph: g, Units: units, Nexmark: true}, nil
+}
+
+// ScenarioBench runs the adversarial-traffic scenario suite: every
+// trace x method cell plus the service-path mutation differential.
+// steps is the trace length (<= 0 selects 48).
+func ScenarioBench(opts Options, steps int) (*ScenarioBenchReport, error) {
+	if steps <= 0 {
+		steps = 48
+	}
+	pt, _, err := PreTrain(engine.Flink, opts)
+	if err != nil {
+		return nil, err
+	}
+	w, err := scenarioWorkload()
+	if err != nil {
+		return nil, err
+	}
+	mut, err := dagspec.ParseMutation([]byte(scenarioMutation))
+	if err != nil {
+		return nil, fmt.Errorf("scenariobench: mutation doc: %w", err)
+	}
+
+	traces := scenarioTraces(opts.Seed, steps)
+	// The mutation lands mid-stream — in the middle third of the trace,
+	// at a seeded position shared by every method of the same scenario
+	// so their reconfiguration counts stay comparable.
+	rng := rand.New(rand.NewSource(opts.Seed + 1789))
+	mutSteps := make([]int, len(traces))
+	for i := range traces {
+		mutSteps[i] = steps/3 + rng.Intn(steps/3+1)
+	}
+
+	methods := []string{MethodDS2, MethodContTune, MethodStreamTune}
+	type cellSpec struct {
+		trace   scenarioTrace
+		mutStep int
+		method  string
+	}
+	var specs []cellSpec
+	for i, tr := range traces {
+		for _, m := range methods {
+			specs = append(specs, cellSpec{trace: tr, mutStep: mutSteps[i], method: m})
+		}
+	}
+	cells, err := parallel.Map(len(specs), opts.Parallelism, func(i int) (*ScenarioCell, error) {
+		s := specs[i]
+		return runScenarioCell(w, s.trace, s.method, s.mutStep, mut, pt, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &ScenarioBenchReport{Workload: w.Name, Seed: opts.Seed, Steps: steps}
+	for _, c := range cells {
+		r.Cells = append(r.Cells, *c)
+		switch c.Method {
+		case MethodStreamTune:
+			r.StreamTuneReconfigurations += c.Reconfigurations
+			r.StreamTuneBackpressure += c.BackpressureEvents
+		case MethodDS2:
+			r.DS2Reconfigurations += c.Reconfigurations
+			r.DS2Backpressure += c.BackpressureEvents
+		case MethodContTune:
+			r.ContTuneReconfigurations += c.Reconfigurations
+			r.ContTuneBackpressure += c.BackpressureEvents
+		}
+	}
+
+	warm, identical, err := mutationDifferential(pt, w, mut, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.MutationWarmStart = warm
+	r.MutationBitIdentical = identical
+	return r, nil
+}
+
+// scenarioTrace decouples the bench loop from the workload package's
+// trace type (keeps the cell runner testable with hand-built traces).
+type scenarioTrace struct {
+	name        string
+	multipliers []float64
+}
+
+// runScenarioCell drives one trace with one method, mutating the
+// topology after mutStep rate changes.
+func runScenarioCell(w Workload, tr scenarioTrace, method string, mutStep int, mut *dagspec.Mutation, pt *streamtune.PreTrained, opts Options) (*ScenarioCell, error) {
+	ecfg := engine.DefaultConfig(engine.Flink)
+	ecfg.Seed = opts.Seed
+	ecfg.MeasureTicks = opts.MeasureTicks
+	g := w.Graph.Clone()
+	eng, err := engine.New(g, ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s/%s: %w", tr.name, method, err)
+	}
+
+	cur := make(map[string]int, g.NumOperators())
+	for _, op := range g.Operators() {
+		cur[op.ID] = 1
+	}
+	if err := eng.Deploy(cur); err != nil {
+		return nil, err
+	}
+
+	cell := &ScenarioCell{Scenario: tr.name, Method: method, MutationStep: mutStep}
+	var st *streamtune.Tuner
+	var ct *conttune.Tuner
+	switch method {
+	case MethodStreamTune:
+		st, err = streamtune.NewTuner(pt, eng.Graph())
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", tr.name, err)
+		}
+	case MethodContTune:
+		ct = conttune.NewTuner(conttune.DefaultOptions())
+	}
+
+	for i, mult := range tr.multipliers {
+		if i == mutStep {
+			newG, err := mut.Apply(eng.Graph())
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s/%s: mutate: %w", tr.name, method, err)
+			}
+			eng, err = engine.New(newG, ecfg)
+			if err != nil {
+				return nil, err
+			}
+			// The running assignment survives the splice; the inserted
+			// operator starts at parallelism 1.
+			assign := make(map[string]int, newG.NumOperators())
+			for _, op := range newG.Operators() {
+				if p, ok := cur[op.ID]; ok {
+					assign[op.ID] = p
+				} else {
+					assign[op.ID] = 1
+				}
+			}
+			if err := eng.Deploy(assign); err != nil {
+				return nil, err
+			}
+			cur = assign
+			switch method {
+			case MethodStreamTune:
+				// Same cluster: the fine-tuned training set carries over
+				// (the next Start distills the mutated graph into it) —
+				// the tuner-level analogue of the service warm start.
+				c, _ := pt.AssignCluster(eng.Graph())
+				if c == st.ClusterID() {
+					cell.WarmStart = true
+				} else {
+					st, err = streamtune.NewTuner(pt, eng.Graph())
+					if err != nil {
+						return nil, err
+					}
+				}
+			case MethodContTune:
+				// ContTune's per-operator GPs are keyed by ID, so the
+				// surviving operators keep their models and only the
+				// spliced one starts cold.
+				cell.WarmStart = true
+			}
+		}
+		w.SetRate(eng.Graph(), mult)
+
+		var total, reconfigs, bpEvents int
+		var recTime time.Duration
+		switch method {
+		case MethodDS2:
+			res, err := ds2.Tune(eng, ds2.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			total, reconfigs, bpEvents = res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents
+			recTime = res.RecommendTime
+			cur = res.Parallelism
+		case MethodContTune:
+			res, err := ct.Tune(eng)
+			if err != nil {
+				return nil, err
+			}
+			total, reconfigs, bpEvents = res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents
+			recTime = res.RecommendTime
+			cur = res.Parallelism
+		case MethodStreamTune:
+			res, err := st.Tune(eng)
+			if err != nil {
+				return nil, err
+			}
+			total, reconfigs, bpEvents = res.TotalParallelism(), res.Reconfigurations, res.BackpressureEvents
+			recTime = res.RecommendTime
+			cur = res.Parallelism
+		default:
+			return nil, fmt.Errorf("scenario: unknown method %q", method)
+		}
+		cell.Steps++
+		cell.Reconfigurations += reconfigs
+		cell.BackpressureEvents += bpEvents
+		cell.RecommendSeconds += recTime.Seconds()
+		cell.FinalParallelism = total
+	}
+	return cell, nil
+}
+
+// mutationDifferential replays the PATCH-topology contract through the
+// service: register, tune partway, mutate, finish — then demand the
+// final recommendation is bit-identical to a caller-owned tuner taken
+// through the exact same lifecycle. The caller-owned side never
+// snapshots, never batches inference, and never crosses the service's
+// phase machinery, so equality proves the warm start changes where
+// tuning starts, not where it converges.
+func mutationDifferential(pt *streamtune.PreTrained, w Workload, mut *dagspec.Mutation, opts Options) (warmStart, bitIdentical bool, err error) {
+	ecfg := engine.DefaultConfig(engine.Flink)
+	ecfg.Seed = opts.Seed
+	ecfg.MeasureTicks = opts.MeasureTicks
+	g := w.Graph.Clone()
+	w.SetRate(g, 4)
+
+	svc, err := service.New(pt, service.Config{Workers: opts.Parallelism})
+	if err != nil {
+		return false, false, err
+	}
+	const jobID = "scenario-mutation"
+	ctx := context.Background()
+	if _, err := svc.Register(ctx, jobID, g, ecfg); err != nil {
+		return false, false, err
+	}
+
+	// Accumulate a few observations on the original topology so the warm
+	// start has session history to carry across.
+	eng, err := engine.New(g, ecfg)
+	if err != nil {
+		return false, false, err
+	}
+	for round := 0; round < 3; round++ {
+		rec, err := svc.Recommend(ctx, jobID)
+		if err != nil {
+			return false, false, err
+		}
+		if rec.Done {
+			break
+		}
+		if rec.Deploy {
+			if err := eng.Deploy(rec.Parallelism); err != nil {
+				return false, false, err
+			}
+			eng.Stabilize(pt.Config.StabilizeWait)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			return false, false, err
+		}
+		if _, err := svc.Observe(ctx, jobID, m); err != nil {
+			return false, false, err
+		}
+	}
+
+	newG, err := mut.Apply(g)
+	if err != nil {
+		return false, false, err
+	}
+	refWarm, ref, err := mutateThenTuneReference(pt, g, newG, ecfg)
+	if err != nil {
+		return false, false, err
+	}
+
+	res, err := svc.MutateTopology(ctx, jobID, mut)
+	if err != nil {
+		return false, false, fmt.Errorf("scenariobench: mutate: %w", err)
+	}
+	// The client redeploys the mutated job and finishes tuning against a
+	// system running the new topology.
+	mutEng, err := engine.New(newG.Clone(), ecfg)
+	if err != nil {
+		return false, false, err
+	}
+	var got map[string]int
+	for rounds := 0; ; rounds++ {
+		if rounds >= 1000 {
+			return false, false, fmt.Errorf("scenariobench: post-mutation drive: no convergence in %d rounds", rounds)
+		}
+		rec, err := svc.Recommend(ctx, jobID)
+		if err != nil {
+			return false, false, fmt.Errorf("scenariobench: post-mutation drive: %w", err)
+		}
+		if rec.Done {
+			got = rec.Parallelism
+			break
+		}
+		if rec.Deploy {
+			if err := mutEng.Deploy(rec.Parallelism); err != nil {
+				return false, false, err
+			}
+			mutEng.Stabilize(pt.Config.StabilizeWait)
+		}
+		m, err := mutEng.Run()
+		if err != nil {
+			return false, false, err
+		}
+		if _, err := svc.Observe(ctx, jobID, m); err != nil {
+			return false, false, fmt.Errorf("scenariobench: post-mutation drive: %w", err)
+		}
+	}
+	return res.WarmStart, res.WarmStart == refWarm && reflect.DeepEqual(got, ref), nil
+}
+
+// mutateThenTuneReference is the caller-owned side of the differential:
+// the same partial tune on g, the same carry-the-tuner-across-the-
+// mutation decision the service makes (same cluster keeps the tuner,
+// a cluster change rebuilds it cold), and a fresh tuning process on the
+// mutated graph driven to convergence.
+func mutateThenTuneReference(pt *streamtune.PreTrained, g, newG *dag.Graph, ecfg engine.Config) (warmStart bool, final map[string]int, err error) {
+	tuner, err := streamtune.NewTuner(pt, g)
+	if err != nil {
+		return false, nil, err
+	}
+	eng, err := engine.New(g.Clone(), ecfg)
+	if err != nil {
+		return false, nil, err
+	}
+	p, err := tuner.Start(g, ecfg)
+	if err != nil {
+		return false, nil, err
+	}
+	for round := 0; round < 3; round++ {
+		rec, deploy, done, err := p.Step()
+		if err != nil {
+			return false, nil, err
+		}
+		if done {
+			break
+		}
+		if deploy {
+			if err := eng.Deploy(rec); err != nil {
+				return false, nil, err
+			}
+			eng.Stabilize(pt.Config.StabilizeWait)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			return false, nil, err
+		}
+		if _, err := p.Observe(m); err != nil {
+			return false, nil, err
+		}
+	}
+
+	c, _ := pt.AssignCluster(newG)
+	warmStart = c == tuner.ClusterID()
+	if !warmStart {
+		tuner, err = streamtune.NewTuner(pt, newG)
+		if err != nil {
+			return false, nil, err
+		}
+	}
+	newEng, err := engine.New(newG.Clone(), ecfg)
+	if err != nil {
+		return false, nil, err
+	}
+	res, err := tuner.Tune(newEng)
+	if err != nil {
+		return false, nil, err
+	}
+	return warmStart, res.Parallelism, nil
+}
+
+// scenarioTraces adapts workload.ScenarioTraces to the bench's local
+// trace type.
+func scenarioTraces(seed int64, n int) []scenarioTrace {
+	var out []scenarioTrace
+	for _, tr := range workload.ScenarioTraces(seed, n) {
+		out = append(out, scenarioTrace{name: tr.Name, multipliers: tr.Multipliers})
+	}
+	return out
+}
+
+// ScenarioBenchTable renders the scenario report.
+func ScenarioBenchTable(r *ScenarioBenchReport) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Adversarial-traffic scenarios: %s, %d steps/trace, seed %d",
+			r.Workload, r.Steps, r.Seed),
+		Header: []string{"Scenario", "Method", "Reconfigs", "Backpressure", "Final p", "Warm start"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Scenario, c.Method,
+			fmt.Sprintf("%d", c.Reconfigurations),
+			fmt.Sprintf("%d", c.BackpressureEvents),
+			fmt.Sprintf("%d", c.FinalParallelism),
+			fmt.Sprintf("%v", c.WarmStart),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"-- mutation differential", "",
+		fmt.Sprintf("warm=%v", r.MutationWarmStart),
+		fmt.Sprintf("bit-identical=%v", r.MutationBitIdentical), "", ""})
+	return t
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestScenarioBenchShape runs the adversarial-traffic suite at a tiny
+// scale and asserts the grid is complete, every cell mutated
+// mid-stream, and the service warm-start differential held.
+func TestScenarioBenchShape(t *testing.T) {
+	opts := Quick()
+	opts.Parallelism = 0
+	const steps = 9
+	r, err := ScenarioBench(opts, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 9 {
+		t.Fatalf("cells = %d, want 9 (3 traces x 3 methods)", len(r.Cells))
+	}
+	seen := map[string]map[string]bool{}
+	mutSteps := map[string]int{}
+	for _, c := range r.Cells {
+		if c.Steps != steps {
+			t.Errorf("%s/%s: steps = %d, want %d", c.Scenario, c.Method, c.Steps, steps)
+		}
+		if c.MutationStep <= 0 || c.MutationStep >= steps {
+			t.Errorf("%s/%s: mutation step %d not mid-stream", c.Scenario, c.Method, c.MutationStep)
+		}
+		// All methods of one scenario mutate at the same seeded step.
+		if prev, ok := mutSteps[c.Scenario]; ok && prev != c.MutationStep {
+			t.Errorf("%s: mutation steps differ across methods: %d vs %d", c.Scenario, prev, c.MutationStep)
+		}
+		mutSteps[c.Scenario] = c.MutationStep
+		if c.Method == MethodDS2 && c.WarmStart {
+			t.Errorf("%s: DS2 is stateless, cannot warm-start", c.Scenario)
+		}
+		if seen[c.Scenario] == nil {
+			seen[c.Scenario] = map[string]bool{}
+		}
+		seen[c.Scenario][c.Method] = true
+		if c.Reconfigurations <= 0 {
+			t.Errorf("%s/%s: no reconfigurations over %d rate changes", c.Scenario, c.Method, steps)
+		}
+	}
+	for _, name := range []string{"bursty", "diurnal", "skewed"} {
+		for _, m := range []string{MethodDS2, MethodContTune, MethodStreamTune} {
+			if !seen[name][m] {
+				t.Errorf("missing cell %s/%s", name, m)
+			}
+		}
+	}
+	if !r.MutationBitIdentical {
+		t.Error("service mutate-then-tune diverged from the caller-owned reference")
+	}
+	if !r.MutationWarmStart {
+		t.Error("mutation differential did not exercise the warm-start path")
+	}
+
+	// The report must round-trip through JSON (it is committed as
+	// BENCH_scenarios.json and re-read by benchguard).
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ScenarioBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.StreamTuneReconfigurations != r.StreamTuneReconfigurations || len(back.Cells) != len(r.Cells) {
+		t.Error("report did not survive a JSON round-trip")
+	}
+}

@@ -5,18 +5,28 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	"github.com/streamtune/streamtune/internal/dag"
+	"github.com/streamtune/streamtune/internal/dagspec"
 	"github.com/streamtune/streamtune/internal/engine"
 )
 
-// RegisterRequest is the POST /v1/jobs body.
+// RegisterRequest is the POST /v1/jobs body. Exactly one of Graph (the
+// internal dag.Graph JSON form) or Spec (a dagspec document) must carry
+// the topology; both admit identically — a spec compiles to the same
+// graph, fingerprint, and recommendations as registering the compiled
+// graph directly.
 type RegisterRequest struct {
 	JobID string     `json:"job_id"`
-	Graph *dag.Graph `json:"graph"`
+	Graph *dag.Graph `json:"graph,omitempty"`
+	// Spec is an external query-DAG spec document (see internal/dagspec
+	// and API.md). Validation failures surface as field-path details in
+	// the error envelope.
+	Spec json.RawMessage `json:"spec,omitempty"`
 	// Engine describes the client's system. Omitted fields fall back to
 	// the Flink evaluation defaults.
 	Engine *engine.Config `json:"engine_config,omitempty"`
@@ -33,9 +43,71 @@ type ObserveResponse struct {
 	Done  bool   `json:"done"`
 }
 
-// errorResponse is the uniform error body.
+// ErrorDetail locates one field-level failure inside a rejected
+// document, mirroring dagspec.FieldError.
+type ErrorDetail struct {
+	Path    string `json:"path,omitempty"`
+	Message string `json:"message"`
+}
+
+// ErrorInfo is the machine-readable error envelope: a stable code for
+// programmatic dispatch, a human-readable message, and, for validation
+// failures, the structured field paths of every offending field.
+type ErrorInfo struct {
+	Code    string        `json:"code"`
+	Message string        `json:"message"`
+	Details []ErrorDetail `json:"details,omitempty"`
+}
+
+// errorResponse is the uniform error body: {"error": {"code": ...,
+// "message": ..., "details": [...]}}.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorInfo `json:"error"`
+}
+
+// codeFor maps service errors to their stable machine-readable codes.
+// Every code here is documented in API.md.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		return "unknown_job"
+	case errors.Is(err, ErrDuplicateJob):
+		return "duplicate_job"
+	case errors.Is(err, ErrAwaitingMetrics):
+		return "awaiting_metrics"
+	case errors.Is(err, ErrAwaitingRecommend):
+		return "awaiting_recommend"
+	case errors.Is(err, ErrCompleted):
+		return "completed"
+	case errors.Is(err, ErrMutating):
+		return "mutation_in_progress"
+	case errors.Is(err, ErrSessionLimit):
+		return "session_limit"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "client_closed_request"
+	case errors.Is(err, ErrInvalidJob):
+		return "invalid_job"
+	case errors.Is(err, errRequestTooLarge):
+		return "request_too_large"
+	}
+	return "internal"
+}
+
+// errorInfoFor builds the envelope payload for an error, surfacing
+// dagspec validation failures as structured field-path details.
+func errorInfoFor(err error) ErrorInfo {
+	info := ErrorInfo{Code: codeFor(err), Message: err.Error()}
+	var verrs dagspec.ValidationErrors
+	if errors.As(err, &verrs) {
+		for _, fe := range verrs {
+			info.Details = append(info.Details, ErrorDetail{Path: fe.Path, Message: fe.Message})
+		}
+	}
+	return info
 }
 
 // maxRequestBytes caps request bodies. The largest legitimate body is a
@@ -73,19 +145,25 @@ var errRequestTooLarge = errors.New("service: request body too large")
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs                register a job (RegisterRequest -> RegisterResult)
+//	GET    /v1/jobs                paginated session listing (JobList; ?after=&limit=)
 //	GET    /v1/jobs/{id}           session state (SessionInfo)
 //	DELETE /v1/jobs/{id}           release a session
 //	POST   /v1/jobs/{id}/recommend next recommendation (Recommendation)
 //	POST   /v1/jobs/{id}/metrics   post a measured window (ObserveRequest -> ObserveResponse)
+//	PATCH  /v1/jobs/{id}/topology  mid-stream DAG mutation (dagspec.Mutation -> MutateResult)
 //	GET    /v1/stats               service counters (Stats)
 //	GET    /v1/snapshot            full session snapshot (ServiceSnapshot JSON)
+//
+// Every error body is an errorResponse envelope; see API.md.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleRegister)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleSession)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRelease)
 	mux.HandleFunc("POST /v1/jobs/{id}/recommend", s.handleRecommend)
 	mux.HandleFunc("POST /v1/jobs/{id}/metrics", s.handleObserve)
+	mux.HandleFunc("PATCH /v1/jobs/{id}/topology", s.handleMutate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	return mux
@@ -104,7 +182,8 @@ func statusFor(err error) int {
 	case errors.Is(err, ErrDuplicateJob),
 		errors.Is(err, ErrAwaitingMetrics),
 		errors.Is(err, ErrAwaitingRecommend),
-		errors.Is(err, ErrCompleted):
+		errors.Is(err, ErrCompleted),
+		errors.Is(err, ErrMutating):
 		return http.StatusConflict
 	case errors.Is(err, ErrSessionLimit):
 		return http.StatusTooManyRequests
@@ -131,7 +210,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+	writeJSON(w, statusFor(err), errorResponse{Error: errorInfoFor(err)})
 }
 
 // writeError is the service-aware variant: shed requests (503) carry a
@@ -150,7 +229,7 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: errorInfoFor(err)})
 }
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -159,16 +238,74 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	g := req.Graph
+	switch {
+	case g != nil && len(req.Spec) > 0:
+		writeError(w, fmt.Errorf("%w: request carries both graph and spec; send exactly one", ErrInvalidJob))
+		return
+	case len(req.Spec) > 0:
+		spec, err := dagspec.Parse(req.Spec)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: invalid spec: %w", ErrInvalidJob, err))
+			return
+		}
+		g, err = spec.Compile()
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: invalid spec: %w", ErrInvalidJob, err))
+			return
+		}
+	}
 	cfg := engine.DefaultConfig(engine.Flink)
 	if req.Engine != nil {
 		cfg = *req.Engine
 	}
-	res, err := s.Register(r.Context(), req.JobID, req.Graph, cfg)
+	res, err := s.Register(r.Context(), req.JobID, g, cfg)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleMutate applies a dagspec.Mutation document (the raw PATCH body)
+// to a registered job's topology.
+func (s *Service) handleMutate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, fmt.Errorf("%w: body exceeds %d bytes", errRequestTooLarge, tooLarge.Limit))
+			return
+		}
+		writeError(w, fmt.Errorf("%w: read request: %v", ErrInvalidJob, err))
+		return
+	}
+	mut, err := dagspec.ParseMutation(body)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: invalid mutation: %w", ErrInvalidJob, err))
+		return
+	}
+	res, err := s.MutateTopology(r.Context(), r.PathValue("id"), mut)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleList serves the paginated session listing. Query parameters:
+// after (exclusive job-ID cursor) and limit (page size, default 100).
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, fmt.Errorf("%w: limit must be a positive integer, got %q", ErrInvalidJob, raw))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, s.ListJobs(r.URL.Query().Get("after"), limit))
 }
 
 func (s *Service) handleSession(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/streamtune/streamtune/internal/dagspec"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/nexmark"
 )
@@ -201,5 +202,204 @@ func TestServiceHTTPRejectsMalformedRequests(t *testing.T) {
 	}
 	if got := s.Stats().Registered; got != 0 {
 		t.Errorf("malformed requests registered %d jobs, want 0", got)
+	}
+}
+
+// TestServiceHTTPSpecRegistration registers the same topology once as a
+// dagspec document and once as a raw graph, and asserts both paths
+// admit identically and converge to bit-identical recommendations.
+func TestServiceHTTPSpecRegistration(t *testing.T) {
+	s := newTestService(t, DefaultConfig())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	engCfg := testEngineConfig()
+
+	g := targetGraph(t, nexmark.Q5, 5)
+	spec, err := dagspec.FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var viaSpec, viaGraph RegisterResult
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "via-spec", Spec: doc, Engine: &engCfg}, &viaSpec); status != http.StatusOK {
+		t.Fatalf("spec register status = %d", status)
+	}
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "via-graph", Graph: g, Engine: &engCfg}, &viaGraph); status != http.StatusOK {
+		t.Fatalf("graph register status = %d", status)
+	}
+	if viaSpec.ClusterID != viaGraph.ClusterID || viaSpec.ClusterDistance != viaGraph.ClusterDistance ||
+		viaSpec.WarmupSamples != viaGraph.WarmupSamples {
+		t.Fatalf("admissions diverged: spec=%+v graph=%+v", viaSpec, viaGraph)
+	}
+
+	gotSpec := driveJob(t, s, "via-spec", targetGraph(t, nexmark.Q5, 5), engCfg)
+	gotGraph := driveJob(t, s, "via-graph", targetGraph(t, nexmark.Q5, 5), engCfg)
+	if !reflect.DeepEqual(gotSpec, gotGraph) {
+		t.Errorf("spec-registered job diverged from graph-registered job:\n spec  %v\n graph %v", gotSpec, gotGraph)
+	}
+
+	// Exactly one of graph/spec must be present.
+	var envl errorResponse
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "both", Graph: g, Spec: doc}, &envl); status != http.StatusBadRequest {
+		t.Fatalf("graph+spec register status = %d, want 400", status)
+	}
+	if envl.Error.Code != "invalid_job" {
+		t.Errorf("graph+spec error code = %q, want invalid_job", envl.Error.Code)
+	}
+}
+
+// TestServiceHTTPErrorEnvelope pins the machine-readable error contract:
+// stable codes per failure class and structured field paths for spec
+// validation failures.
+func TestServiceHTTPErrorEnvelope(t *testing.T) {
+	s := newTestService(t, DefaultConfig())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "env", Graph: targetGraph(t, nexmark.Q5, 4)}, nil); status != http.StatusOK {
+		t.Fatalf("register status = %d", status)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		url    string
+		body   any
+		status int
+		code   string
+	}{
+		{"unknown job", http.MethodPost, srv.URL + "/v1/jobs/ghost/recommend", nil,
+			http.StatusNotFound, "unknown_job"},
+		{"duplicate job", http.MethodPost, srv.URL + "/v1/jobs",
+			RegisterRequest{JobID: "env", Graph: targetGraph(t, nexmark.Q5, 4)},
+			http.StatusConflict, "duplicate_job"},
+		{"missing topology", http.MethodPost, srv.URL + "/v1/jobs",
+			RegisterRequest{JobID: "empty"}, http.StatusBadRequest, "invalid_job"},
+		{"observe before recommend", http.MethodPost, srv.URL + "/v1/jobs/env/metrics",
+			ObserveRequest{Metrics: &engine.JobMetrics{}}, http.StatusConflict, "awaiting_recommend"},
+		{"release unknown", http.MethodDelete, srv.URL + "/v1/jobs/ghost", nil,
+			http.StatusNotFound, "unknown_job"},
+		{"bad list limit", http.MethodGet, srv.URL + "/v1/jobs?limit=nope", nil,
+			http.StatusBadRequest, "invalid_job"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var envl errorResponse
+			if status := httpJSON(t, client, tc.method, tc.url, tc.body, &envl); status != tc.status {
+				t.Fatalf("status = %d, want %d", status, tc.status)
+			}
+			if envl.Error.Code != tc.code {
+				t.Errorf("code = %q, want %q", envl.Error.Code, tc.code)
+			}
+			if envl.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+
+	// Spec validation failures carry every offending field path in the
+	// details.
+	badSpec := []byte(`{
+		"version": 1,
+		"nodes": [
+			{"id": "s", "kind": "source", "spec": {"rate": -1}},
+			{"id": "w", "kind": "window", "spec": {"window": {"type": "sliding", "policy": "time", "length": 60}}}
+		],
+		"edges": [["s", "w"]]
+	}`)
+	var envl errorResponse
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "bad-spec", Spec: badSpec}, &envl); status != http.StatusBadRequest {
+		t.Fatalf("bad-spec register status = %d, want 400", status)
+	}
+	if envl.Error.Code != "invalid_job" {
+		t.Errorf("bad-spec code = %q, want invalid_job", envl.Error.Code)
+	}
+	wantPaths := map[string]bool{
+		"nodes[0].spec.rate":         false,
+		"nodes[1].spec.window.slide": false,
+	}
+	for _, d := range envl.Error.Details {
+		if _, ok := wantPaths[d.Path]; ok {
+			wantPaths[d.Path] = true
+		}
+	}
+	for path, seen := range wantPaths {
+		if !seen {
+			t.Errorf("detail path %q missing from %+v", path, envl.Error.Details)
+		}
+	}
+}
+
+// TestServiceHTTPTopology exercises the PATCH endpoint end to end: a
+// listing before and after, a rejected mutation with structured detail
+// paths, and a committed mutation whose session keeps tuning.
+func TestServiceHTTPTopology(t *testing.T) {
+	s := newTestService(t, DefaultConfig())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	engCfg := testEngineConfig()
+
+	g := targetGraph(t, nexmark.Q5, 4)
+	if status := httpJSON(t, client, http.MethodPost, srv.URL+"/v1/jobs",
+		RegisterRequest{JobID: "patch-me", Graph: g, Engine: &engCfg}, nil); status != http.StatusOK {
+		t.Fatalf("register status = %d", status)
+	}
+
+	var list JobList
+	if status := httpJSON(t, client, http.MethodGet, srv.URL+"/v1/jobs", nil, &list); status != http.StatusOK {
+		t.Fatalf("list status = %d", status)
+	}
+	if list.Total != 1 || len(list.Jobs) != 1 || list.Jobs[0].JobID != "patch-me" {
+		t.Fatalf("listing = %+v", list)
+	}
+
+	// A mutation referencing an unknown node is rejected with its field
+	// path and rolls back.
+	var envl errorResponse
+	if status := httpJSON(t, client, http.MethodPatch, srv.URL+"/v1/jobs/patch-me/topology",
+		json.RawMessage(`{"version": 1, "remove_nodes": ["ghost"]}`), &envl); status != http.StatusBadRequest {
+		t.Fatalf("bad mutation status = %d, want 400", status)
+	}
+	if envl.Error.Code != "invalid_job" || len(envl.Error.Details) == 0 ||
+		envl.Error.Details[0].Path != "remove_nodes[0]" {
+		t.Fatalf("bad mutation envelope = %+v", envl.Error)
+	}
+
+	var res MutateResult
+	if status := httpJSON(t, client, http.MethodPatch, srv.URL+"/v1/jobs/patch-me/topology",
+		json.RawMessage(prefilterMutation), &res); status != http.StatusOK {
+		t.Fatalf("mutation status = %d", status)
+	}
+	if res.JobID != "patch-me" || res.Operators != g.NumOperators()+1 {
+		t.Fatalf("mutation result = %+v", res)
+	}
+
+	var info SessionInfo
+	if status := httpJSON(t, client, http.MethodGet, srv.URL+"/v1/jobs/patch-me", nil, &info); status != http.StatusOK {
+		t.Fatalf("session status = %d", status)
+	}
+	if info.Phase != "recommend" || info.Operators != g.NumOperators()+1 {
+		t.Fatalf("post-mutation session = %+v", info)
+	}
+
+	// Mutating an unknown job is 404 under the new envelope.
+	if status := httpJSON(t, client, http.MethodPatch, srv.URL+"/v1/jobs/ghost/topology",
+		json.RawMessage(`{"version": 1, "remove_nodes": ["x"]}`), &envl); status != http.StatusNotFound {
+		t.Fatalf("unknown-job mutation status = %d, want 404", status)
+	}
+	if envl.Error.Code != "unknown_job" {
+		t.Errorf("unknown-job mutation code = %q", envl.Error.Code)
 	}
 }

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/streamtune/streamtune/internal/dagspec"
+	"github.com/streamtune/streamtune/internal/ged"
+	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/mono"
+	"github.com/streamtune/streamtune/internal/streamtune"
+)
+
+// MutateResult reports a committed topology mutation.
+type MutateResult struct {
+	JobID           string  `json:"job_id"`
+	ClusterID       int     `json:"cluster_id"`
+	ClusterDistance float64 `json:"cluster_distance"`
+	// ClusterChanged reports whether re-admission moved the job to a
+	// different cluster than it occupied before the mutation.
+	ClusterChanged bool `json:"cluster_changed"`
+	// WarmStart reports whether the session's accumulated training
+	// samples survived into the new tuning process. Mutations that keep
+	// the cluster warm-start; a cluster change means a different encoder
+	// produced the old embeddings, so the session restarts from the new
+	// cluster's warm-up dataset.
+	WarmStart bool `json:"warm_start"`
+	// Operators is the operator count of the mutated DAG.
+	Operators int `json:"operators"`
+	// TrainingSamples is the size of the training set the new process
+	// starts from (before its own distillation).
+	TrainingSamples int `json:"training_samples"`
+}
+
+// MutateTopology applies a mid-stream DAG mutation to a registered job:
+// the mutation is validated against the current graph, the mutated
+// graph re-enters admission (re-fingerprint, cluster re-assignment
+// through the shared GED cache), and a new tuning process starts for
+// it. When the cluster assignment survives the mutation, the new tuner
+// warm-starts from the session's accumulated training samples — the
+// observations gathered on the old topology keep informing the model —
+// otherwise it restarts from the new cluster's warm-up dataset.
+//
+// While the mutation is in flight the session answers every other
+// request with ErrMutating; its last-committed state stays in place, so
+// a failed mutation rolls back to exactly the pre-mutation session and
+// a snapshot cut mid-mutation serializes the pre-mutation state. The
+// protocol restarts at recommend after a commit.
+//
+// ctx bounds the rebuild exactly as in Register: a canceled context
+// abandons it (rolling back) and a saturated pool sheds with
+// ErrOverloaded.
+func (s *Service) MutateTopology(ctx context.Context, id string, mut *dagspec.Mutation) (*MutateResult, error) {
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
+	if mut == nil {
+		return nil, fmt.Errorf("%w: nil mutation", ErrInvalidJob)
+	}
+	sess, err := s.lookupBusy(id)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.busy.Add(-1)
+
+	// Claim the session. The transitional phase (mirroring Register's
+	// phaseBuilding) keeps every other entry point out without holding
+	// sess.mu across the pooled rebuild below — holding it could
+	// deadlock against pooled tasks waiting on the same lock.
+	sess.mu.Lock()
+	switch sess.phase {
+	case phaseBuilding:
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q still registering", ErrUnknownJob, id)
+	case phaseMutating:
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %q", ErrMutating, id)
+	}
+	sess.prevPhase = sess.phase
+	sess.phase = phaseMutating
+	oldG := sess.graph
+	oldCluster := sess.clusterID
+	engCfg := sess.engCfg
+	// Clone the training state now, under the lock: the rebuild fits a
+	// fresh tuner from the copy, so the live tuner — still readable by
+	// concurrent snapshots — is never touched.
+	tunerState := sess.tuner.State()
+	sess.mu.Unlock()
+
+	rollback := func() {
+		sess.mu.Lock()
+		sess.phase = sess.prevPhase
+		sess.mu.Unlock()
+		s.topoRejected.Add(1)
+	}
+
+	newG, err := mut.Apply(oldG)
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("%w: invalid mutation: %w", ErrInvalidJob, err)
+	}
+	if err := admit(id, newG); err != nil {
+		rollback()
+		return nil, err
+	}
+
+	// Re-admission mirrors Register's three phases: pooled cluster
+	// assignment (plus warm-up construction on a cluster change),
+	// unpooled batched target inference, pooled tuner construction and
+	// first fit.
+	var c int
+	var d float64
+	var warm []mono.Sample
+	err = s.pool.DoCtx(ctx, func() error {
+		c, d = s.assignCluster(newG)
+		if c == oldCluster {
+			return nil
+		}
+		var werr error
+		warm, werr = s.warmupFor(c)
+		return werr
+	})
+	var isess *gnn.InferSession
+	if err == nil {
+		isess, err = s.batch.inferSession(ctx, s.pt.Encoder(c), ged.Fingerprint(newG), newG)
+	}
+	warmStart := c == oldCluster
+	trainSize := 0
+	if err == nil {
+		err = s.pool.DoCtx(ctx, func() error {
+			var tuner *streamtune.Tuner
+			var terr error
+			if warmStart {
+				tuner, terr = streamtune.RestoreTuner(s.pt, tunerState)
+			} else {
+				tuner, terr = streamtune.NewTunerWithWarmup(s.pt, c, warm)
+			}
+			if terr != nil {
+				return terr
+			}
+			proc, perr := tuner.StartWithSession(isess, engCfg)
+			if perr != nil {
+				return perr
+			}
+			if ferr := proc.Prefit(); ferr != nil {
+				return ferr
+			}
+			sess.mu.Lock()
+			defer sess.mu.Unlock()
+			sess.clusterID = c
+			sess.clusterDist = d
+			sess.graph = newG
+			sess.tuner = tuner
+			sess.proc = proc
+			sess.phase = phaseRecommend
+			sess.lease = s.cfg.Clock()
+			trainSize = tuner.TrainingSetSize()
+			return nil
+		})
+	}
+	if err != nil {
+		rollback()
+		return nil, fmt.Errorf("service: mutate %q: %w", id, s.classify("mutate", err))
+	}
+
+	s.mu.Lock()
+	if s.warmClusters[c] {
+		s.encoderWarmHits.Add(1)
+	}
+	s.warmClusters[c] = true
+	s.mu.Unlock()
+
+	s.topoMutations.Add(1)
+	s.mutations.Add(1)
+	return &MutateResult{
+		JobID:           id,
+		ClusterID:       c,
+		ClusterDistance: d,
+		ClusterChanged:  !warmStart,
+		WarmStart:       warmStart,
+		Operators:       newG.NumOperators(),
+		TrainingSamples: trainSize,
+	}, nil
+}

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/streamtune/streamtune/internal/dagspec"
+	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/nexmark"
+)
+
+// prefilterMutation inserts a selectivity-0.8 filter between the Q5
+// source and its sliding window — the canonical mid-stream topology
+// change of the scenario suite.
+const prefilterMutation = `{
+	"version": 1,
+	"add_nodes": [{"id": "prefilter", "kind": "filter",
+		"spec": {"selectivity": 0.8, "tuple": {"width_in": 96, "width_out": 96}}}],
+	"remove_edges": [["bids", "sliding-window"]],
+	"add_edges": [["bids", "prefilter"], ["prefilter", "sliding-window"]]
+}`
+
+// TestServiceMutateTopology drives a job partway, mutates its DAG
+// mid-stream, finishes tuning on the mutated topology, and asserts the
+// final recommendation is bit-identical to tuning the mutated graph
+// from scratch — the warm start must not change where the process
+// converges, only where it starts.
+func TestServiceMutateTopology(t *testing.T) {
+	engCfg := testEngineConfig()
+	s := newTestService(t, DefaultConfig())
+	g := targetGraph(t, nexmark.Q5, 4)
+	reg, err := s.Register(context.Background(), "mut", g, engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Accumulate observations on the original topology first, so the
+	// warm start has session history to carry over.
+	eng, err := engine.New(g, engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		rec, err := s.Recommend(context.Background(), "mut")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Done {
+			break
+		}
+		if rec.Deploy {
+			if err := eng.Deploy(rec.Parallelism); err != nil {
+				t.Fatal(err)
+			}
+			eng.Stabilize(s.pt.Config.StabilizeWait)
+		}
+		m, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Observe(context.Background(), "mut", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := s.Session("mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preTrain := info.TrainingSamples
+	if preTrain <= reg.WarmupSamples {
+		t.Fatalf("pre-mutation training set %d has not grown beyond the warm-up %d",
+			preTrain, reg.WarmupSamples)
+	}
+
+	mut, err := dagspec.ParseMutation([]byte(prefilterMutation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newG, err := mut.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialResult(t, newG.Clone(), engCfg)
+
+	res, err := s.MutateTopology(context.Background(), "mut", mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operators != newG.NumOperators() {
+		t.Errorf("MutateResult.Operators = %d, want %d", res.Operators, newG.NumOperators())
+	}
+	if res.WarmStart == res.ClusterChanged {
+		t.Errorf("inconsistent result: warm_start=%v cluster_changed=%v", res.WarmStart, res.ClusterChanged)
+	}
+	if res.WarmStart {
+		if res.ClusterID != reg.ClusterID {
+			t.Errorf("warm start across clusters: %d -> %d", reg.ClusterID, res.ClusterID)
+		}
+		// The surviving training samples plus the mutated target's
+		// distillation must at least preserve the accumulated set.
+		if res.TrainingSamples < preTrain {
+			t.Errorf("warm start shrank the training set: %d -> %d", preTrain, res.TrainingSamples)
+		}
+	}
+
+	// The client redeploys the mutated job and finishes tuning against
+	// a system running the new topology.
+	got := driveJob(t, s, "mut", newG.Clone(), engCfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mutate-then-tune diverged from tuning the mutated graph fresh:\n got %v\nwant %v", got, want)
+	}
+
+	st := s.Stats()
+	if st.TopologyMutations != 1 {
+		t.Errorf("TopologyMutations = %d, want 1", st.TopologyMutations)
+	}
+}
+
+// TestServiceMutateRollback asserts a rejected mutation leaves the
+// session exactly where it was: same phase, same topology, protocol
+// still advancing.
+func TestServiceMutateRollback(t *testing.T) {
+	engCfg := testEngineConfig()
+	s := newTestService(t, DefaultConfig())
+	g := targetGraph(t, nexmark.Q5, 4)
+	if _, err := s.Register(context.Background(), "rb", g, engCfg); err != nil {
+		t.Fatal(err)
+	}
+	// Advance to the observe phase so rollback restores a non-default
+	// position.
+	rec, err := s.Recommend(context.Background(), "rb")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown node", `{"version": 1, "remove_nodes": ["ghost"]}`},
+		{"no changes", `{"version": 1}`},
+		{"strands the graph", `{"version": 1, "remove_edges": [["bids", "sliding-window"]]}`},
+	}
+	for _, c := range cases {
+		mut, err := dagspec.ParseMutation([]byte(c.doc))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		_, err = s.MutateTopology(context.Background(), "rb", mut)
+		if !errors.Is(err, ErrInvalidJob) {
+			t.Fatalf("%s: err = %v, want ErrInvalidJob", c.name, err)
+		}
+		var verrs dagspec.ValidationErrors
+		if !errors.As(err, &verrs) {
+			t.Fatalf("%s: error does not carry ValidationErrors: %v", c.name, err)
+		}
+		info, err := s.Session("rb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Phase != "observe" {
+			t.Fatalf("%s: phase after rollback = %q, want observe", c.name, info.Phase)
+		}
+	}
+	if got := s.Stats().MutationsRejected; got != uint64(len(cases)) {
+		t.Errorf("MutationsRejected = %d, want %d", got, len(cases))
+	}
+
+	if _, err := s.MutateTopology(context.Background(), "ghost-job", &dagspec.Mutation{Version: 1}); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job: err = %v, want ErrUnknownJob", err)
+	}
+	if _, err := s.MutateTopology(context.Background(), "rb", nil); !errors.Is(err, ErrInvalidJob) {
+		t.Errorf("nil mutation: err = %v, want ErrInvalidJob", err)
+	}
+
+	// The protocol still advances: the outstanding recommendation's
+	// window posts normally after the failed mutations.
+	eng, err := engine.New(g, engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Deploy(rec.Parallelism); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stabilize(s.pt.Config.StabilizeWait)
+	m, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(context.Background(), "rb", m); err != nil {
+		t.Fatalf("observe after rolled-back mutations: %v", err)
+	}
+}
+
+// TestServiceListJobs covers the paginated session listing.
+func TestServiceListJobs(t *testing.T) {
+	engCfg := testEngineConfig()
+	s := newTestService(t, DefaultConfig())
+	ids := []string{"list-a", "list-b", "list-c", "list-d", "list-e"}
+	for i, id := range ids {
+		q := nexmark.Q5
+		if i%2 == 1 {
+			q = nexmark.Q3
+		}
+		if _, err := s.Register(context.Background(), id, targetGraph(t, q, 4), engCfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance one job so phases differ across the listing.
+	if _, err := s.Recommend(context.Background(), "list-c"); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	phases := map[string]string{}
+	after := ""
+	pages := 0
+	for {
+		page := s.ListJobs(after, 2)
+		if page.Total != len(ids) {
+			t.Fatalf("Total = %d, want %d", page.Total, len(ids))
+		}
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page holds %d jobs, limit 2", len(page.Jobs))
+		}
+		for _, j := range page.Jobs {
+			got = append(got, j.JobID)
+			phases[j.JobID] = j.Phase
+		}
+		pages++
+		if page.NextAfter == "" {
+			break
+		}
+		after = page.NextAfter
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Errorf("paginated listing = %v, want %v", got, ids)
+	}
+	if pages != 3 {
+		t.Errorf("pages = %d, want 3", pages)
+	}
+	if phases["list-c"] != "observe" || phases["list-a"] != "recommend" {
+		t.Errorf("phases = %v", phases)
+	}
+
+	// Default limit returns everything in one page with no cursor.
+	page := s.ListJobs("", 0)
+	if len(page.Jobs) != len(ids) || page.NextAfter != "" {
+		t.Errorf("default page = %d jobs next_after=%q", len(page.Jobs), page.NextAfter)
+	}
+}

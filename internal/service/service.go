@@ -59,6 +59,10 @@ var (
 	ErrAwaitingRecommend = errors.New("service: no outstanding recommendation")
 	// ErrCompleted reports an Observe on a finished tuning process.
 	ErrCompleted = errors.New("service: tuning process already complete")
+	// ErrMutating reports a request that raced a topology mutation: the
+	// session is being re-admitted under its mutated DAG and is not
+	// addressable until the mutation commits or rolls back.
+	ErrMutating = errors.New("service: topology mutation in progress")
 	// ErrOverloaded reports load shedding: the worker pool's waiting room
 	// or the inference batcher was saturated and the request was rejected
 	// immediately instead of queueing. The condition is transient — the
@@ -148,6 +152,7 @@ const (
 	phaseRecommend                     // next call must be Recommend
 	phaseObserve                       // next call must be Observe
 	phaseDone                          // tuning complete
+	phaseMutating                      // topology mutation in flight; last-committed state still in place
 )
 
 func (p sessionPhase) String() string {
@@ -160,6 +165,8 @@ func (p sessionPhase) String() string {
 		return "observe"
 	case phaseDone:
 		return "done"
+	case phaseMutating:
+		return "mutating"
 	}
 	return fmt.Sprintf("phase(%d)", int(p))
 }
@@ -186,9 +193,14 @@ type session struct {
 	tuner *streamtune.Tuner
 	proc  *streamtune.Process
 
-	phase   sessionPhase
-	history []Recommendation
-	lease   time.Time
+	phase sessionPhase
+	// prevPhase is the protocol position a topology mutation left behind;
+	// while phase is phaseMutating the session's last-committed state
+	// (graph, tuner, process) is still in place, so snapshots serialize
+	// prevPhase and the old state. Meaningless in every other phase.
+	prevPhase sessionPhase
+	history   []Recommendation
+	lease     time.Time
 }
 
 // Recommendation is one recommend-step outcome, also the unit of the
@@ -216,6 +228,11 @@ type Stats struct {
 	Completed       uint64 `json:"completed"`
 	Recommendations uint64 `json:"recommendations"`
 	Observations    uint64 `json:"observations"`
+	// TopologyMutations counts committed mid-stream DAG mutations;
+	// MutationsRejected counts mutation requests that failed validation
+	// or re-admission (the session rolled back to its previous state).
+	TopologyMutations uint64 `json:"topology_mutations"`
+	MutationsRejected uint64 `json:"mutations_rejected"`
 
 	// AdmissionCacheHits counts cluster assignments fully resolved from
 	// the shared fingerprint-keyed GED cache (no exact GED computed);
@@ -303,6 +320,8 @@ type Service struct {
 	admissionHits   atomic.Uint64
 	admissionMisses atomic.Uint64
 	encoderWarmHits atomic.Uint64
+	topoMutations   atomic.Uint64
+	topoRejected    atomic.Uint64
 
 	// mutations counts registry state changes (registrations, steps,
 	// observations, releases, evictions) — the checkpointer's dirtiness
@@ -651,6 +670,8 @@ func (s *Service) Recommend(ctx context.Context, id string) (*Recommendation, er
 		switch sess.phase {
 		case phaseBuilding:
 			return fmt.Errorf("%w: %q still registering", ErrUnknownJob, id)
+		case phaseMutating:
+			return fmt.Errorf("%w: job %q", ErrMutating, id)
 		case phaseObserve:
 			return fmt.Errorf("%w: job %q iteration %d", ErrAwaitingMetrics, id, sess.proc.Iteration())
 		case phaseDone:
@@ -733,6 +754,8 @@ func (s *Service) Observe(ctx context.Context, id string, m *engine.JobMetrics) 
 		switch sess.phase {
 		case phaseBuilding:
 			return fmt.Errorf("%w: %q still registering", ErrUnknownJob, id)
+		case phaseMutating:
+			return fmt.Errorf("%w: job %q", ErrMutating, id)
 		case phaseRecommend:
 			return fmt.Errorf("%w: job %q", ErrAwaitingRecommend, id)
 		case phaseDone:
@@ -812,20 +835,28 @@ func (s *Service) Session(id string) (*SessionInfo, error) {
 // Release removes a job's session explicitly. A session still inside
 // admission is not releasable — removing it would orphan the build in
 // flight — and reads as not-yet-registered, like every other entry
-// point.
+// point. A session mid-mutation is equally unreleasable, but it exists:
+// the caller gets ErrMutating and retries once the mutation settles.
 func (s *Service) Release(id string) error {
+	var mutating bool
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	if ok {
 		sess.mu.Lock()
-		if sess.phase == phaseBuilding {
+		switch sess.phase {
+		case phaseBuilding:
 			ok = false
-		} else {
+		case phaseMutating:
+			mutating = true
+		default:
 			delete(s.sessions, id)
 		}
 		sess.mu.Unlock()
 	}
 	s.mu.Unlock()
+	if mutating {
+		return fmt.Errorf("%w: job %q", ErrMutating, id)
+	}
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
@@ -853,7 +884,8 @@ func (s *Service) EvictIdle() int {
 			continue
 		}
 		sess.mu.Lock()
-		idle := sess.phase != phaseBuilding && sess.lease.Before(deadline)
+		idle := sess.phase != phaseBuilding && sess.phase != phaseMutating &&
+			sess.lease.Before(deadline)
 		sess.mu.Unlock()
 		if idle {
 			victims = append(victims, id)
@@ -880,6 +912,82 @@ func (s *Service) JobIDs() []string {
 	return ids
 }
 
+// JobSummary is one row of the paginated session listing.
+type JobSummary struct {
+	JobID        string    `json:"job_id"`
+	Phase        string    `json:"phase"`
+	ClusterID    int       `json:"cluster_id"`
+	Iteration    int       `json:"iteration"`
+	Done         bool      `json:"done"`
+	LeaseExpires time.Time `json:"lease_expires"`
+}
+
+// JobList is one page of the session listing.
+type JobList struct {
+	Jobs []JobSummary `json:"jobs"`
+	// Total is the number of listable sessions in the registry at the
+	// time of the call, across all pages.
+	Total int `json:"total"`
+	// NextAfter, when set, is the cursor for the next page: pass it as
+	// the after parameter of the next call. Empty on the last page.
+	NextAfter string `json:"next_after,omitempty"`
+}
+
+// maxListLimit caps one listing page.
+const maxListLimit = 1000
+
+// ListJobs returns one page of registered sessions in sorted job-ID
+// order, starting strictly after the given cursor (empty means the
+// beginning). Limits outside (0, maxListLimit] default to 100. Sessions
+// still inside admission are invisible, exactly as in every other entry
+// point; a session mid-mutation lists under its pre-mutation phase.
+func (s *Service) ListJobs(after string, limit int) *JobList {
+	if limit <= 0 || limit > maxListLimit {
+		limit = 100
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
+	list := &JobList{Jobs: []JobSummary{}}
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.phase == phaseBuilding {
+			sess.mu.Unlock()
+			continue
+		}
+		list.Total++
+		if sess.id <= after || len(list.Jobs) >= limit {
+			if sess.id > after && len(list.Jobs) >= limit && list.NextAfter == "" {
+				list.NextAfter = list.Jobs[len(list.Jobs)-1].JobID
+			}
+			sess.mu.Unlock()
+			continue
+		}
+		phase := sess.phase
+		if phase == phaseMutating {
+			phase = sess.prevPhase
+		}
+		row := JobSummary{
+			JobID:     sess.id,
+			Phase:     phase.String(),
+			ClusterID: sess.clusterID,
+			Iteration: sess.proc.Iteration(),
+			Done:      phase == phaseDone,
+		}
+		if s.cfg.LeaseTTL > 0 {
+			row.LeaseExpires = sess.lease.Add(s.cfg.LeaseTTL)
+		}
+		list.Jobs = append(list.Jobs, row)
+		sess.mu.Unlock()
+	}
+	return list
+}
+
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
@@ -896,6 +1004,8 @@ func (s *Service) Stats() Stats {
 		Completed:             s.completed.Load(),
 		Recommendations:       s.recommendations.Load(),
 		Observations:          s.observations.Load(),
+		TopologyMutations:     s.topoMutations.Load(),
+		MutationsRejected:     s.topoRejected.Load(),
 		AdmissionCacheHits:    s.admissionHits.Load(),
 		AdmissionCacheMisses:  s.admissionMisses.Load(),
 		AdmissionCacheSize:    s.admission.Len(),

@@ -81,10 +81,17 @@ func (s *Service) Snapshot() ([]byte, error) {
 			sess.mu.Unlock()
 			continue // mid-admission; the client will retry registration
 		}
+		// A session mid-mutation still holds its last-committed state —
+		// the mutation commits (or rolls back) atomically after this
+		// snapshot — so it serializes under its pre-mutation phase.
+		phase := sess.phase
+		if phase == phaseMutating {
+			phase = sess.prevPhase
+		}
 		snaps = append(snaps, SessionSnapshot{
 			JobID:           sess.id,
 			ClusterDistance: sess.clusterDist,
-			Phase:           sess.phase.String(),
+			Phase:           phase.String(),
 			Lease:           sess.lease,
 			History:         append([]Recommendation(nil), sess.history...),
 			Tuner:           sess.tuner.State(),

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestTracesShapeAndRange(t *testing.T) {
+	const n = 60
+	for _, tr := range ScenarioTraces(42, n) {
+		if tr.Len() != n {
+			t.Fatalf("%s: length = %d, want %d", tr.Name, tr.Len(), n)
+		}
+		for i, m := range tr.Multipliers {
+			if m < 1 || m > 10 {
+				t.Fatalf("%s[%d] = %v outside [1, 10]", tr.Name, i, m)
+			}
+		}
+	}
+}
+
+func TestTracesDeterministic(t *testing.T) {
+	a := ScenarioTraces(7, 50)
+	b := ScenarioTraces(7, 50)
+	for i := range a {
+		for j := range a[i].Multipliers {
+			if a[i].Multipliers[j] != b[i].Multipliers[j] {
+				t.Fatalf("%s: same seed produced different traces", a[i].Name)
+			}
+		}
+	}
+	c := ScenarioTraces(8, 50)
+	same := true
+	for i := range a {
+		for j := range a[i].Multipliers {
+			if a[i].Multipliers[j] != c[i].Multipliers[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestBurstyRegimes asserts the bursty trace actually has the two load
+// regimes it promises: a quiet baseline and high spikes.
+func TestBurstyRegimes(t *testing.T) {
+	tr := BurstyTrace(1, 200)
+	var low, high int
+	for _, m := range tr.Multipliers {
+		switch {
+		case m < 4:
+			low++
+		case m > 7:
+			high++
+		}
+	}
+	if low < 100 {
+		t.Errorf("bursty baseline steps = %d of 200, want a low-rate majority", low)
+	}
+	if high < 10 {
+		t.Errorf("bursty spike steps = %d of 200, want a visible burst regime", high)
+	}
+}
+
+// TestDiurnalSmoothness asserts consecutive diurnal steps change
+// gradually — the defining property versus the bursty trace — and that
+// the cycle spans most of the envelope.
+func TestDiurnalSmoothness(t *testing.T) {
+	tr := DiurnalTrace(1, 3*DiurnalPeriod)
+	maxStep, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+	for i, m := range tr.Multipliers {
+		lo, hi = math.Min(lo, m), math.Max(hi, m)
+		if i > 0 {
+			maxStep = math.Max(maxStep, math.Abs(m-tr.Multipliers[i-1]))
+		}
+	}
+	// One period moves 2*amplitude over DiurnalPeriod/2 steps; with
+	// jitter the largest single step stays well under 3.
+	if maxStep > 3 {
+		t.Errorf("diurnal max step = %v, want smooth (< 3)", maxStep)
+	}
+	if lo > 2.5 || hi < 8.5 {
+		t.Errorf("diurnal range = [%v, %v], want most of [1, 10]", lo, hi)
+	}
+}
+
+// TestSkewedHeavyTail asserts the skewed trace is genuinely heavy-tailed:
+// median near the floor, maximum near the ceiling.
+func TestSkewedHeavyTail(t *testing.T) {
+	tr := SkewedTrace(1, 500)
+	ms := append([]float64(nil), tr.Multipliers...)
+	sort.Float64s(ms)
+	median, top := ms[len(ms)/2], ms[len(ms)-1]
+	if median > 2.5 {
+		t.Errorf("skewed median = %v, want < 2.5", median)
+	}
+	if top < 8 {
+		t.Errorf("skewed max = %v, want tail reaching > 8", top)
+	}
+}
+
+func TestTraceRates(t *testing.T) {
+	tr := Trace{Name: "x", Multipliers: []float64{1.5, 10}}
+	r := tr.Rates(1000)
+	if r[0] != 1500 || r[1] != 10000 {
+		t.Fatalf("Rates = %v", r)
+	}
+}
