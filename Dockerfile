@@ -1,0 +1,24 @@
+# Build the streamtune tuning service into a minimal static image.
+#
+#   docker build -t streamtune .
+#   docker run -p 8571:8571 -p 9571:9571 streamtune
+#
+# The module has no external dependencies (no go.sum), so the build
+# needs nothing beyond the Go toolchain and the source tree.
+FROM golang:1.22 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+# CGO off for a fully static binary that runs on scratch; trimpath
+# keeps build paths out of panics and the binary reproducible.
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/streamtune ./cmd/streamtune
+
+FROM scratch
+COPY --from=build /out/streamtune /streamtune
+# 8571: tenant API (register/recommend/observe/mutate).
+# 9571: ops surface (/metrics, /healthz, /readyz, /v1/logs, /v1/stats).
+EXPOSE 8571 9571
+# /data holds checkpoints; mount a volume there for durable recovery.
+VOLUME ["/data"]
+ENTRYPOINT ["/streamtune"]
+CMD ["serve", "-addr", ":8571", "-metrics-addr", ":9571", "-checkpoint-dir", "/data/checkpoints"]

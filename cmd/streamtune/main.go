@@ -17,7 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,7 +28,9 @@ import (
 	"github.com/streamtune/streamtune"
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/experiments"
+	"github.com/streamtune/streamtune/internal/logbuffer"
 	"github.com/streamtune/streamtune/internal/service"
+	"github.com/streamtune/streamtune/internal/telemetry"
 )
 
 func main() {
@@ -247,10 +249,27 @@ func cmdServe(args []string) error {
 	maxPendingInfer := fs.Int("max-pending-infer", 0, "max requests parked in inference batch windows; overflow sheds with 503 (0 = unbounded)")
 	requestTimeout := fs.Duration("request-timeout", 0, "server-side deadline for Register/Recommend/Observe (0 = none)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 overload responses")
+	logLevel := fs.String("log-level", "info", "minimum log severity (debug, info, warn, error)")
+	logBuffer := fs.Int("log-buffer", 1024, "structured-log ring capacity served at GET /v1/logs (0 disables the endpoint)")
+	metricsAddr := fs.String("metrics-addr", "", "serve the ops surface (/metrics, /healthz, /readyz, /v1/logs, /v1/stats) on this extra listener")
 	fs.Parse(args)
 
+	// Structured logging: JSON lines to stderr for collectors, fanned
+	// out into the in-memory ring served at GET /v1/logs.
+	level, err := logbuffer.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	stderrHandler := slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	var ring *logbuffer.Buffer
+	handler := slog.Handler(stderrHandler)
+	if *logBuffer > 0 {
+		ring = logbuffer.New(*logBuffer)
+		handler = logbuffer.Fanout(stderrHandler, ring.Handler(level))
+	}
+	logger := slog.New(handler)
+
 	var pt *streamtune.PreTrained
-	var err error
 	if *artifacts != "" {
 		// Lazy startup: parse the manifest only; corpus groups and
 		// encoders stream in as tenants touch their clusters.
@@ -258,19 +277,20 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return fmt.Errorf("open artifacts: %w", err)
 		}
-		log.Printf("opened artifact store %s (%d cluster(s), lazily loaded)", *artifacts, len(pt.Encoders))
+		logger.Info("opened artifact store", "path", *artifacts, "clusters", len(pt.Encoders))
 	} else {
 		opts := experiments.Full()
 		if *quick {
 			opts = experiments.Quick()
 		}
 		opts.Parallelism = *workers
-		log.Printf("pre-training shared artifact (quick=%v)...", *quick)
+		logger.Info("pre-training shared artifact", "quick", *quick)
 		pt, _, err = experiments.PreTrain(engine.Flink, opts)
 		if err != nil {
 			return fmt.Errorf("pre-train: %w", err)
 		}
-		log.Printf("pre-trained %d cluster encoder(s) in %v", len(pt.Encoders), pt.TrainTime.Round(time.Millisecond))
+		logger.Info("pre-trained cluster encoders",
+			"clusters", len(pt.Encoders), "train_time", pt.TrainTime.Round(time.Millisecond).String())
 	}
 
 	cfg := service.Config{
@@ -286,6 +306,9 @@ func cmdServe(args []string) error {
 		MaxPendingInfer:    *maxPendingInfer,
 		RequestTimeout:     *requestTimeout,
 		RetryAfter:         *retryAfter,
+		Metrics:            service.NewMetrics(telemetry.NewRegistry()),
+		Logs:               ring,
+		Logger:             logger,
 	}
 	// Durable state precedence: the checkpoint directory (crash-safe,
 	// rotated, checksummed) wins over the single-file -snapshot, which
@@ -294,14 +317,14 @@ func cmdServe(args []string) error {
 	if *checkpointDir != "" {
 		restored, path, skipped, rerr := service.RestoreFromDir(pt, cfg, *checkpointDir)
 		for _, serr := range skipped {
-			log.Printf("checkpoint skipped: %v", serr)
+			logger.Warn("checkpoint skipped", "err", serr.Error())
 		}
 		if rerr != nil {
 			return fmt.Errorf("restore from %s: %w", *checkpointDir, rerr)
 		}
 		if restored != nil {
 			svc = restored
-			log.Printf("restored %d session(s) from checkpoint %s", len(svc.JobIDs()), path)
+			logger.Info("restored sessions from checkpoint", "sessions", len(svc.JobIDs()), "path", path)
 		}
 	}
 	if svc == nil && *snapshot != "" {
@@ -310,7 +333,7 @@ func cmdServe(args []string) error {
 			if err != nil {
 				return fmt.Errorf("restore snapshot %s: %w", *snapshot, err)
 			}
-			log.Printf("restored %d session(s) from %s", len(svc.JobIDs()), *snapshot)
+			logger.Info("restored sessions from snapshot", "sessions", len(svc.JobIDs()), "path", *snapshot)
 		} else if !errors.Is(rerr, os.ErrNotExist) {
 			return fmt.Errorf("read snapshot %s: %w", *snapshot, rerr)
 		}
@@ -334,7 +357,28 @@ func cmdServe(args []string) error {
 			return err
 		}
 		ckpt.Start()
-		log.Printf("checkpointing to %s every %v (keep %d)", *checkpointDir, *checkpointEvery, *checkpointKeep)
+		logger.Info("checkpointing enabled", "dir", *checkpointDir,
+			"every", checkpointEvery.String(), "keep", *checkpointKeep)
+	}
+
+	// Optional ops listener: the scrape/probe surface on an internal
+	// port, off the tenant-facing one.
+	var opsSrv *http.Server
+	if *metricsAddr != "" {
+		opsSrv = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           svc.OpsHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			logger.Info("ops listener up", "addr", *metricsAddr)
+			if err := opsSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "err", err.Error())
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -363,7 +407,7 @@ func cmdServe(args []string) error {
 					return
 				case <-tick.C:
 					if n := svc.EvictIdle(); n > 0 {
-						log.Printf("evicted %d idle session(s)", n)
+						logger.Info("idle sessions evicted", "count", n)
 					}
 				}
 			}
@@ -375,7 +419,10 @@ func cmdServe(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("shutting down...")
+		logger.Info("shutting down")
+		// Flip readiness first: load balancers watching /readyz stop
+		// routing new traffic before the drain starts.
+		svc.SetReady(false)
 		// Ordering matters for snapshot integrity: stop and join the
 		// janitor so no eviction races the snapshot, drain in-flight
 		// HTTP requests, then close the service (completing any
@@ -389,26 +436,35 @@ func cmdServe(args []string) error {
 		svc.Close()
 		if ckpt != nil {
 			if serr := ckpt.Stop(); serr != nil {
-				log.Printf("final checkpoint: %v", serr)
+				logger.Error("final checkpoint failed", "err", serr.Error())
 			} else if path, _ := ckpt.LastCheckpoint(); path != "" {
-				log.Printf("final checkpoint %s", path)
+				logger.Info("final checkpoint written", "path", path)
 			}
 		}
 		if *snapshot != "" {
 			// Atomic write: a crash mid-shutdown must never tear the
 			// previous snapshot.
 			if data, serr := svc.Snapshot(); serr != nil {
-				log.Printf("snapshot: %v", serr)
+				logger.Error("snapshot failed", "err", serr.Error())
 			} else if werr := service.WriteFileAtomic(*snapshot, data); werr != nil {
-				log.Printf("write snapshot: %v", werr)
+				logger.Error("snapshot write failed", "err", werr.Error())
 			} else {
-				log.Printf("wrote %d session(s) to %s", len(svc.JobIDs()), *snapshot)
+				logger.Info("snapshot written", "sessions", len(svc.JobIDs()), "path", *snapshot)
 			}
+		}
+		// The ops listener goes down last so /readyz reports the drain
+		// to the very end.
+		if opsSrv != nil {
+			octx, ocancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = opsSrv.Shutdown(octx)
+			ocancel()
 		}
 		shutdownDone <- err
 	}()
 
-	log.Printf("tuning service listening on %s (lease %v, %d workers)", *addr, *lease, svc.Stats().WorkerCap)
+	logger.Info("tuning service listening", "addr", *addr,
+		"lease", lease.String(), "workers", svc.Stats().Overload.WorkerCap,
+		"log_level", level.String())
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -307,9 +307,9 @@ func admissionRegisters(opts Options, registers int, report *AdmissionBenchRepor
 		report.RegistersPerSecond = float64(registers) / report.ServiceRegisterSeconds
 	}
 	st := svc.Stats()
-	report.ServiceAdmissionCacheSize = st.AdmissionCacheSize
-	report.ServiceAdmissionCacheCap = st.AdmissionCacheCap
-	report.ServiceAdmissionCacheResets = st.AdmissionCacheResets
+	report.ServiceAdmissionCacheSize = st.Admission.CacheSize
+	report.ServiceAdmissionCacheCap = st.Admission.CacheCap
+	report.ServiceAdmissionCacheResets = st.Admission.CacheResets
 	return nil
 }
 

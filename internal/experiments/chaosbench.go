@@ -316,8 +316,8 @@ func (s *chaosSoak) scheduleKill() {
 // into the report before the object is dropped.
 func (s *chaosSoak) harvest(life *serviceLife) {
 	st := life.svc.Stats()
-	s.r.CheckpointsWritten += st.CheckpointsWritten
-	s.r.CheckpointFailures += st.CheckpointFailures
+	s.r.CheckpointsWritten += st.Checkpoint.Written
+	s.r.CheckpointFailures += st.Checkpoint.Failures
 }
 
 // crashAndRestore abandons the current service incarnation — no drain,

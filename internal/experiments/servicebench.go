@@ -13,6 +13,7 @@ import (
 	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/service"
 	"github.com/streamtune/streamtune/internal/streamtune"
+	"github.com/streamtune/streamtune/internal/telemetry"
 )
 
 // ServiceBenchReport is the result of the tuning-service load
@@ -73,6 +74,14 @@ type ServiceBenchReport struct {
 	BatchFlushes   uint64         `json:"batch_flushes"`
 	BatchOccupancy map[int]uint64 `json:"batch_occupancy,omitempty"`
 
+	// Telemetry is the server-side latency distribution per operation
+	// (register / recommend / observe), read off the batched pass's
+	// /metrics histograms — the same numbers a production scrape would
+	// see, as opposed to the client-side stopwatch above. benchguard
+	// enforces ceilings over these (-max-recommend-p99-ms and friends)
+	// and fails when the section is absent.
+	Telemetry map[string]TelemetryOpSummary `json:"telemetry,omitempty"`
+
 	// Recovery: an embedded mini crash-recovery soak over a subset of
 	// the jobs — the service is killed mid-tuning and restored from
 	// checkpoints. RecoveryCrossChecks counts replayed recommendations
@@ -83,6 +92,16 @@ type ServiceBenchReport struct {
 	RecoveryRestores     int  `json:"recovery_restores"`
 	RecoveryCrossChecks  int  `json:"recovery_cross_checks"`
 	RecoveryBitIdentical bool `json:"recovery_bit_identical"`
+}
+
+// TelemetryOpSummary is one operation's server-side histogram summary:
+// sample count plus p50/p99 in milliseconds, as estimated from the
+// fixed exposition buckets (each quantile reports its bucket's upper
+// bound, i.e. a conservative estimate).
+type TelemetryOpSummary struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // serviceBenchJob is one load-generator tenant.
@@ -185,22 +204,38 @@ func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
 	r.Recommendations = len(unbatched.latencies)
 	r.RecommendP50Ms, r.RecommendP99Ms = latencyQuantiles(unbatched.latencies)
 	st := unbatched.svc.Stats()
-	if tot := st.AdmissionCacheHits + st.AdmissionCacheMisses; tot > 0 {
-		r.AdmissionCacheHitRate = float64(st.AdmissionCacheHits) / float64(tot)
+	if tot := st.Admission.CacheHits + st.Admission.CacheMisses; tot > 0 {
+		r.AdmissionCacheHitRate = float64(st.Admission.CacheHits) / float64(tot)
 	}
-	if st.Registered > 0 {
-		r.EncoderWarmHitRate = float64(st.EncoderWarmHits) / float64(st.Registered)
+	if st.Sessions.Registered > 0 {
+		r.EncoderWarmHitRate = float64(st.Admission.EncoderWarmHits) / float64(st.Sessions.Registered)
 	}
 
 	// --- The same load with the micro-batcher enabled ---
+	// The batched pass runs fully instrumented — the serving default —
+	// so the report carries the server-side histogram summaries a
+	// production scrape would see, and the differential test's inertness
+	// guarantee is re-exercised at benchmark scale (the pass must still
+	// be bit-identical to the sequential references).
 	batchCfg := service.Config{
 		Workers:     opts.Parallelism,
 		BatchWindow: service.DefaultConfig().BatchWindow,
 		MaxBatch:    service.DefaultConfig().MaxBatch,
+		Metrics:     service.NewMetrics(telemetry.NewRegistry()),
 	}
 	batched, err := runServicePass(pt, jobs, opts, batchCfg)
 	if err != nil {
 		return nil, err
+	}
+	// Snapshot the histograms before the restore below replays
+	// recommendations through the same (rebound) registry.
+	r.Telemetry = make(map[string]TelemetryOpSummary, 3)
+	for _, op := range []string{"register", "recommend", "observe"} {
+		r.Telemetry[op] = TelemetryOpSummary{
+			Count: batchCfg.Metrics.RequestCount(op),
+			P50Ms: batchCfg.Metrics.RequestQuantile(op, 0.50),
+			P99Ms: batchCfg.Metrics.RequestQuantile(op, 0.99),
+		}
 	}
 	if err := requireSequentialMatch(jobs, batched.got, want); err != nil {
 		return nil, fmt.Errorf("batched pass: %w", err)
@@ -212,7 +247,7 @@ func ServiceBench(opts Options, n int) (*ServiceBenchReport, error) {
 		r.BatchedSpeedup = r.SequentialSeconds / r.BatchedServiceSeconds
 	}
 	r.BatchedRecommendP50Ms, r.BatchedRecommendP99Ms = latencyQuantiles(batched.latencies)
-	r.BatchFlushes = batched.svc.Stats().BatchFlushes
+	r.BatchFlushes = batched.svc.Stats().Batching.Flushes
 	r.BatchOccupancy = batched.svc.BatchOccupancy()
 
 	// --- Snapshot the batched registry and verify the grouped restore ---

@@ -1,0 +1,261 @@
+// Package logbuffer is a bounded in-memory ring of structured log
+// entries, queryable over the ops API (GET /v1/logs). It plugs into
+// stdlib log/slog as a Handler, so one logger fans out to stderr (JSON
+// lines for collectors) and into the ring (recent history for a human
+// hitting the HTTP endpoint) without a second logging path.
+//
+// The ring holds the newest Capacity entries; older ones are dropped
+// and counted. Writers never block on readers: Append is one short
+// critical section, and Query copies entries out under the same lock.
+package logbuffer
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one structured log record.
+type Entry struct {
+	// Seq increases by one per appended entry, never resets, and
+	// survives wraparound — gaps in a queried range mean entries were
+	// dropped between polls.
+	Seq   uint64    `json:"seq"`
+	Time  time.Time `json:"time"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+	// Attrs are the record's resolved attributes; group names join with
+	// dots (http.method).
+	Attrs map[string]any `json:"attrs,omitempty"`
+
+	// level keeps the numeric form for filtering without re-parsing.
+	level slog.Level
+}
+
+// Buffer is a fixed-capacity ring of entries. Safe for concurrent use.
+type Buffer struct {
+	mu      sync.Mutex
+	entries []Entry // ring storage, len == cap once full
+	cap     int
+	start   int    // index of the oldest entry
+	next    uint64 // sequence number of the next append
+}
+
+// New returns a ring holding the most recent capacity entries. Values
+// below one default to 1024.
+func New(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &Buffer{cap: capacity}
+}
+
+// Append stores one entry, assigning its sequence number and evicting
+// the oldest entry once the ring is full.
+func (b *Buffer) Append(e Entry) {
+	b.mu.Lock()
+	e.Seq = b.next
+	b.next++
+	if len(b.entries) < b.cap {
+		b.entries = append(b.entries, e)
+	} else {
+		b.entries[b.start] = e
+		b.start = (b.start + 1) % b.cap
+	}
+	b.mu.Unlock()
+}
+
+// Len reports the entries currently held.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// Cap reports the ring capacity.
+func (b *Buffer) Cap() int { return b.cap }
+
+// Appended reports how many entries were ever appended; subtracting Len
+// gives the number dropped to wraparound.
+func (b *Buffer) Appended() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// Query returns up to limit of the most recent entries at or above
+// minLevel, oldest first. Limits below one mean "no limit" (the whole
+// retained window).
+func (b *Buffer) Query(minLevel slog.Level, limit int) []Entry {
+	b.mu.Lock()
+	n := len(b.entries)
+	ordered := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e := b.entries[(b.start+i)%b.cap]
+		if e.level >= minLevel {
+			ordered = append(ordered, e)
+		}
+	}
+	b.mu.Unlock()
+	if limit > 0 && len(ordered) > limit {
+		ordered = ordered[len(ordered)-limit:]
+	}
+	return ordered
+}
+
+// ParseLevel maps a level name (debug, info, warn/warning, error, any
+// case) to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("logbuffer: unknown level %q (want debug, info, warn, or error)", s)
+}
+
+// handler adapts a Buffer to slog.Handler. WithAttrs/WithGroup return
+// derived handlers sharing the same ring.
+type handler struct {
+	buf    *Buffer
+	level  slog.Leveler
+	attrs  []slog.Attr // pre-resolved attrs from WithAttrs
+	groups []string    // open group path from WithGroup
+}
+
+// Handler returns a slog.Handler appending every record at or above
+// level into the ring. A nil level means slog.LevelInfo.
+func (b *Buffer) Handler(level slog.Leveler) slog.Handler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &handler{buf: b, level: level}
+}
+
+func (h *handler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level.Level()
+}
+
+func (h *handler) Handle(_ context.Context, r slog.Record) error {
+	e := Entry{
+		Time:  r.Time,
+		Level: r.Level.String(),
+		Msg:   r.Message,
+		level: r.Level,
+	}
+	if n := len(h.attrs) + r.NumAttrs(); n > 0 {
+		e.Attrs = make(map[string]any, n)
+	}
+	for _, a := range h.attrs {
+		addAttr(e.Attrs, "", a)
+	}
+	prefix := strings.Join(h.groups, ".")
+	r.Attrs(func(a slog.Attr) bool {
+		addAttr(e.Attrs, prefix, a)
+		return true
+	})
+	h.buf.Append(e)
+	return nil
+}
+
+func (h *handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	nh := *h
+	prefix := strings.Join(h.groups, ".")
+	nh.attrs = make([]slog.Attr, len(h.attrs), len(h.attrs)+len(attrs))
+	copy(nh.attrs, h.attrs)
+	for _, a := range attrs {
+		if prefix != "" {
+			a.Key = prefix + "." + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+func (h *handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.groups = append(append([]string(nil), h.groups...), name)
+	return &nh
+}
+
+// addAttr flattens one attr (and any group it carries) into m with
+// dot-joined keys.
+func addAttr(m map[string]any, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	key := a.Key
+	if prefix != "" && key != "" {
+		key = prefix + "." + key
+	} else if prefix != "" {
+		key = prefix
+	}
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			addAttr(m, key, ga)
+		}
+		return
+	}
+	if key == "" {
+		return
+	}
+	m[key] = v.Any()
+}
+
+// Fanout returns a handler forwarding every record to each of hs.
+// Enabled reports true when any target is enabled; Handle delivers to
+// every enabled target and returns the first error.
+func Fanout(hs ...slog.Handler) slog.Handler {
+	return fanout(hs)
+}
+
+type fanout []slog.Handler
+
+func (f fanout) Enabled(ctx context.Context, l slog.Level) bool {
+	for _, h := range f {
+		if h.Enabled(ctx, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f fanout) Handle(ctx context.Context, r slog.Record) error {
+	var first error
+	for _, h := range f {
+		if h.Enabled(ctx, r.Level) {
+			if err := h.Handle(ctx, r.Clone()); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (f fanout) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := make(fanout, len(f))
+	for i, h := range f {
+		out[i] = h.WithAttrs(attrs)
+	}
+	return out
+}
+
+func (f fanout) WithGroup(name string) slog.Handler {
+	out := make(fanout, len(f))
+	for i, h := range f {
+		out[i] = h.WithGroup(name)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package logbuffer
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"testing"
+)
+
+func TestAppendAndQueryOrder(t *testing.T) {
+	b := New(10)
+	for i := 0; i < 5; i++ {
+		b.Append(Entry{Msg: fmt.Sprintf("m%d", i), level: slog.LevelInfo})
+	}
+	got := b.Query(slog.LevelDebug, 0)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Msg != fmt.Sprintf("m%d", i) {
+			t.Errorf("entry %d = %q, want m%d", i, e.Msg, i)
+		}
+		if e.Seq != uint64(i) {
+			t.Errorf("entry %d seq = %d, want %d", i, e.Seq, i)
+		}
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Append(Entry{Msg: fmt.Sprintf("m%d", i)})
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+	if b.Appended() != 10 {
+		t.Fatalf("appended = %d, want 10", b.Appended())
+	}
+	got := b.Query(slog.LevelDebug, 0)
+	// The newest four entries, oldest first, with contiguous sequence
+	// numbers surviving the wrap.
+	want := []string{"m6", "m7", "m8", "m9"}
+	for i, e := range got {
+		if e.Msg != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, e.Msg, want[i])
+		}
+		if e.Seq != uint64(6+i) {
+			t.Errorf("entry %d seq = %d, want %d", i, e.Seq, 6+i)
+		}
+	}
+}
+
+func TestQueryLimitAndLevelFilter(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 10; i++ {
+		lvl := slog.LevelInfo
+		if i%2 == 1 {
+			lvl = slog.LevelWarn
+		}
+		b.Append(Entry{Msg: fmt.Sprintf("m%d", i), Level: lvl.String(), level: lvl})
+	}
+	warns := b.Query(slog.LevelWarn, 0)
+	if len(warns) != 5 {
+		t.Fatalf("warn entries = %d, want 5", len(warns))
+	}
+	// Limit keeps the most recent matches.
+	limited := b.Query(slog.LevelWarn, 2)
+	if len(limited) != 2 || limited[0].Msg != "m7" || limited[1].Msg != "m9" {
+		t.Fatalf("limited = %+v, want [m7 m9]", limited)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	b := New(128)
+	var wg sync.WaitGroup
+	const writers, per = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Append(Entry{Msg: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Appended() != writers*per {
+		t.Fatalf("appended = %d, want %d", b.Appended(), writers*per)
+	}
+	if b.Len() != 128 {
+		t.Fatalf("len = %d, want 128", b.Len())
+	}
+	// Sequence numbers must be unique and the retained window contiguous.
+	got := b.Query(slog.LevelDebug, 0)
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d then %d", i, got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestSlogHandler(t *testing.T) {
+	b := New(16)
+	logger := slog.New(b.Handler(slog.LevelInfo))
+	logger.Debug("invisible")
+	logger.Info("hello", "job", "q5", slog.Int("n", 3))
+	logger.With("svc", "tune").WithGroup("http").Warn("slow", "ms", 12)
+
+	got := b.Query(slog.LevelDebug, 0)
+	if len(got) != 2 {
+		t.Fatalf("entries = %d, want 2 (debug filtered)", len(got))
+	}
+	e := got[0]
+	if e.Level != "INFO" || e.Msg != "hello" || e.Attrs["job"] != "q5" || e.Attrs["n"] != int64(3) {
+		t.Errorf("bad entry: %+v", e)
+	}
+	w := got[1]
+	if w.Level != "WARN" || w.Attrs["svc"] != "tune" || w.Attrs["http.ms"] != int64(12) {
+		t.Errorf("bad grouped entry: %+v", w)
+	}
+	if w.Time.IsZero() {
+		t.Error("entry lost its timestamp")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	b1, b2 := New(8), New(8)
+	logger := slog.New(Fanout(b1.Handler(slog.LevelWarn), b2.Handler(slog.LevelDebug)))
+	logger.Info("only-b2")
+	logger.Warn("both")
+	if n := len(b1.Query(slog.LevelDebug, 0)); n != 1 {
+		t.Errorf("b1 entries = %d, want 1", n)
+	}
+	if n := len(b2.Query(slog.LevelDebug, 0)); n != 2 {
+		t.Errorf("b2 entries = %d, want 2", n)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}

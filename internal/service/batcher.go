@@ -9,6 +9,7 @@ import (
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/faultinject"
 	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/telemetry"
 )
 
 // errBatcherSaturated reports that the coalescing windows already hold
@@ -45,6 +46,9 @@ type batcher struct {
 	flushes   uint64
 	batched   uint64
 	single    uint64
+	// occHist mirrors occupancy into the telemetry registry when the
+	// owning service has metrics attached; nil (inert) otherwise.
+	occHist *telemetry.Histogram
 }
 
 // batchKey scopes a coalescing queue: only sessions sharing both the
@@ -160,11 +164,23 @@ func (b *batcher) flush(key batchKey, q *batchQueue) {
 func (b *batcher) recordLocked(size int) {
 	b.flushes++
 	b.occupancy[size]++
+	b.occHist.Observe(float64(size))
 	if size > 1 {
 		b.batched += uint64(size)
 	} else {
 		b.single++
 	}
+}
+
+// counts returns the flush counters without copying the occupancy map —
+// the scrape-time accessor for /metrics.
+func (b *batcher) counts() (flushes, batched, single uint64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushes, b.batched, b.single
 }
 
 // deliver executes one batch outside the batcher lock. Two failpoints

@@ -300,10 +300,10 @@ func TestServiceBatchedMatchesSequential(t *testing.T) {
 		}
 	}
 	st := s.Stats()
-	if st.BatchFlushes == 0 {
+	if st.Batching.Flushes == 0 {
 		t.Error("BatchFlushes = 0: no inference ran through the batcher")
 	}
-	if total := st.BatchedSessions + st.UnbatchedSessions; total < uint64(len(jobs)) {
+	if total := st.Batching.BatchedSessions + st.Batching.UnbatchedSessions; total < uint64(len(jobs)) {
 		t.Errorf("batcher served %d sessions, want >= %d", total, len(jobs))
 	}
 

@@ -246,6 +246,7 @@ func (c *Checkpointer) CheckpointNow() (string, error) {
 }
 
 func (c *Checkpointer) checkpointLocked() (string, error) {
+	t0 := time.Now()
 	mut := c.svc.Mutations()
 	data, err := c.svc.Snapshot()
 	if err == nil {
@@ -255,6 +256,7 @@ func (c *Checkpointer) checkpointLocked() (string, error) {
 		data = faultinject.Corrupt(faultinject.CheckpointCorrupt, data)
 		path := filepath.Join(c.cfg.Dir, checkpointName(c.seq))
 		if err = WriteFileAtomic(path, data); err == nil {
+			c.svc.checkpointLastSeq.Store(c.seq)
 			c.seq++
 			c.lastMut = mut
 			c.lastTime = time.Now()
@@ -262,12 +264,16 @@ func (c *Checkpointer) checkpointLocked() (string, error) {
 			c.lastErr = nil
 			c.svc.checkpointsWritten.Add(1)
 			c.svc.checkpointLastBytes.Store(uint64(len(data)))
+			c.svc.cfg.Metrics.sinceCheckpoint(t0)
+			c.svc.log.Info("checkpoint written", "path", path,
+				"bytes", len(data), "seq", c.seq-1, "took", time.Since(t0).String())
 			c.pruneLocked()
 			return path, nil
 		}
 	}
 	c.lastErr = err
 	c.svc.checkpointFailures.Add(1)
+	c.svc.log.Error("checkpoint failed", "dir", c.cfg.Dir, "err", err.Error())
 	return "", err
 }
 

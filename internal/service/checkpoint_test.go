@@ -176,7 +176,7 @@ func TestCheckpointRotationAndFallback(t *testing.T) {
 		t.Fatalf("restored jobs = %v, want [ckpt-job]", got)
 	}
 
-	if st := s.Stats(); st.CheckpointsWritten != 4 || st.CheckpointLastBytes == 0 {
+	if st := s.Stats(); st.Checkpoint.Written != 4 || st.Checkpoint.LastBytes == 0 {
 		t.Fatalf("stats = %+v, want 4 checkpoints written with nonzero last size", st)
 	}
 }
@@ -211,8 +211,8 @@ func TestCheckpointWriteFailpoint(t *testing.T) {
 	if _, err := c.CheckpointNow(); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("injected CheckpointNow error = %v, want ErrInjected", err)
 	}
-	if st := s.Stats(); st.CheckpointFailures != 1 {
-		t.Fatalf("CheckpointFailures = %d, want 1", st.CheckpointFailures)
+	if st := s.Stats(); st.Checkpoint.Failures != 1 {
+		t.Fatalf("CheckpointFailures = %d, want 1", st.Checkpoint.Failures)
 	}
 	paths, _ := ListCheckpoints(dir)
 	if len(paths) != 1 {
@@ -295,7 +295,7 @@ func TestCheckpointerBackground(t *testing.T) {
 	// midTuningService left mutations behind; the loop must notice.
 	c.Start()
 	deadline := time.Now().Add(5 * time.Second)
-	for s.Stats().CheckpointsWritten == 0 {
+	for s.Stats().Checkpoint.Written == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("background checkpointer never wrote")
 		}

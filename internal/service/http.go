@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"github.com/streamtune/streamtune/internal/dag"
 	"github.com/streamtune/streamtune/internal/dagspec"
 	"github.com/streamtune/streamtune/internal/engine"
+	"github.com/streamtune/streamtune/internal/logbuffer"
 )
 
 // RegisterRequest is the POST /v1/jobs body. Exactly one of Graph (the
@@ -93,6 +95,10 @@ func codeFor(err error) string {
 		return "invalid_job"
 	case errors.Is(err, errRequestTooLarge):
 		return "request_too_large"
+	case errors.Is(err, ErrNotReady):
+		return "not_ready"
+	case errors.Is(err, errTelemetryDisabled):
+		return "telemetry_disabled"
 	}
 	return "internal"
 }
@@ -142,6 +148,15 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
 // layer, so it stays unexported.
 var errRequestTooLarge = errors.New("service: request body too large")
 
+// ErrNotReady reports a readiness probe against a service that should
+// not receive traffic — still restoring, or draining for shutdown. The
+// HTTP layer maps it to 503 with a Retry-After hint.
+var ErrNotReady = errors.New("service: not ready")
+
+// errTelemetryDisabled reports an ops endpoint whose backing facility
+// (metrics registry, log ring) is not attached; maps to 404.
+var errTelemetryDisabled = errors.New("service: telemetry disabled")
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs                register a job (RegisterRequest -> RegisterResult)
@@ -151,8 +166,16 @@ var errRequestTooLarge = errors.New("service: request body too large")
 //	POST   /v1/jobs/{id}/recommend next recommendation (Recommendation)
 //	POST   /v1/jobs/{id}/metrics   post a measured window (ObserveRequest -> ObserveResponse)
 //	PATCH  /v1/jobs/{id}/topology  mid-stream DAG mutation (dagspec.Mutation -> MutateResult)
-//	GET    /v1/stats               service counters (Stats)
+//	GET    /v1/stats               service counters (Stats, schema v2)
 //	GET    /v1/snapshot            full session snapshot (ServiceSnapshot JSON)
+//	GET    /v1/logs                recent structured logs (?limit=&level=)
+//	GET    /metrics                Prometheus text exposition
+//	GET    /healthz                liveness probe
+//	GET    /readyz                 readiness probe (503 while draining)
+//
+// The ops endpoints (/metrics, /healthz, /readyz, /v1/logs) never read
+// a request body and never touch the worker pool or request queues, so
+// probes and scrapes stay responsive under overload.
 //
 // Every error body is an errorResponse envelope; see API.md.
 func (s *Service) Handler() http.Handler {
@@ -166,7 +189,26 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("PATCH /v1/jobs/{id}/topology", s.handleMutate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	s.registerOps(mux)
 	return mux
+}
+
+// OpsHandler returns only the ops surface — /metrics, /healthz,
+// /readyz, /v1/logs, /v1/stats — for serving on a separate listener
+// (the -metrics-addr flag), so an internal scrape port can stay off the
+// tenant-facing one.
+func (s *Service) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.registerOps(mux)
+	return mux
+}
+
+func (s *Service) registerOps(mux *http.ServeMux) {
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/logs", s.handleLogs)
 }
 
 // statusClientClosedRequest is the de-facto standard (nginx) status for
@@ -197,6 +239,10 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, errRequestTooLarge):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrNotReady):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errTelemetryDisabled):
+		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError
 }
@@ -363,4 +409,96 @@ func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text
+// exposition format. Without an attached registry the endpoint answers
+// 404 through the error envelope, so scrapers get a stable code instead
+// of the mux's bare not-found page.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Metrics
+	if m == nil {
+		writeError(w, fmt.Errorf("%w: no metrics registry attached (pass Config.Metrics; streamtune serve attaches one)",
+			errTelemetryDisabled))
+		return
+	}
+	m.Registry().Handler().ServeHTTP(w, r)
+}
+
+// HealthResponse is the GET /healthz and /readyz success body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// ActiveSessions is included on /readyz so a drain can be watched.
+	ActiveSessions int `json:"active_sessions,omitempty"`
+}
+
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It deliberately checks nothing else — a saturated or draining service
+// is still alive.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleReadyz is readiness: checkpoint restore finished, the
+// PreTrained artifact is loaded (both implied by a constructed
+// service), and the server is not draining. Not-ready answers 503
+// through the envelope with a Retry-After hint.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		s.writeError(w, fmt.Errorf("%w: draining or still restoring", ErrNotReady))
+		return
+	}
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ready", ActiveSessions: active})
+}
+
+// LogsResponse is the GET /v1/logs body.
+type LogsResponse struct {
+	Entries []logbuffer.Entry `json:"entries"`
+	// TotalAppended counts every entry ever logged; subtracting
+	// len(Entries) bounds how many scrolled out of the ring.
+	TotalAppended uint64 `json:"total_appended"`
+	Capacity      int    `json:"capacity"`
+}
+
+// handleLogs serves the newest entries of the structured-log ring.
+// Query parameters: limit (max entries, default 100) and level (minimum
+// severity: debug, info, warn, error; default debug — the ring already
+// filtered at the logger's level).
+func (s *Service) handleLogs(w http.ResponseWriter, r *http.Request) {
+	buf := s.cfg.Logs
+	if buf == nil {
+		writeError(w, fmt.Errorf("%w: no log buffer attached (pass Config.Logs; streamtune serve attaches one)",
+			errTelemetryDisabled))
+		return
+	}
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, fmt.Errorf("%w: limit must be a positive integer, got %q", ErrInvalidJob, raw))
+			return
+		}
+		limit = n
+	}
+	minLevel := slog.LevelDebug
+	if raw := r.URL.Query().Get("level"); raw != "" {
+		lvl, err := logbuffer.ParseLevel(raw)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrInvalidJob, err))
+			return
+		}
+		minLevel = lvl
+	}
+	entries := buf.Query(minLevel, limit)
+	if entries == nil {
+		entries = []logbuffer.Entry{}
+	}
+	writeJSON(w, http.StatusOK, LogsResponse{
+		Entries:       entries,
+		TotalAppended: buf.Appended(),
+		Capacity:      buf.Cap(),
+	})
 }

@@ -127,7 +127,7 @@ func TestServiceHTTP(t *testing.T) {
 	if status := httpJSON(t, client, http.MethodGet, srv.URL+"/v1/stats", nil, &st); status != http.StatusOK {
 		t.Fatalf("stats status = %d", status)
 	}
-	if st.ActiveSessions != 1 || st.Completed != 1 {
+	if st.SchemaVersion != StatsSchemaVersion || st.Sessions.Active != 1 || st.Sessions.Completed != 1 {
 		t.Errorf("stats = %+v, want 1 active / 1 completed", st)
 	}
 
@@ -200,7 +200,7 @@ func TestServiceHTTPRejectsMalformedRequests(t *testing.T) {
 			t.Errorf("%s: status = %d, want %d", tc.name, got, tc.want)
 		}
 	}
-	if got := s.Stats().Registered; got != 0 {
+	if got := s.Stats().Sessions.Registered; got != 0 {
 		t.Errorf("malformed requests registered %d jobs, want 0", got)
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/streamtune/streamtune/internal/dagspec"
 	"github.com/streamtune/streamtune/internal/ged"
@@ -51,6 +52,7 @@ type MutateResult struct {
 // abandons it (rolling back) and a saturated pool sheds with
 // ErrOverloaded.
 func (s *Service) MutateTopology(ctx context.Context, id string, mut *dagspec.Mutation) (*MutateResult, error) {
+	defer s.cfg.Metrics.sinceMutate(time.Now())
 	ctx, cancel := s.requestCtx(ctx)
 	defer cancel()
 	if mut == nil {
@@ -137,6 +139,7 @@ func (s *Service) MutateTopology(ctx context.Context, id string, mut *dagspec.Mu
 			if terr != nil {
 				return terr
 			}
+			tuner.SetInstruments(s.cfg.Metrics.tunerInstruments())
 			proc, perr := tuner.StartWithSession(isess, engCfg)
 			if perr != nil {
 				return perr
@@ -159,7 +162,9 @@ func (s *Service) MutateTopology(ctx context.Context, id string, mut *dagspec.Mu
 	}
 	if err != nil {
 		rollback()
-		return nil, fmt.Errorf("service: mutate %q: %w", id, s.classify("mutate", err))
+		err = fmt.Errorf("service: mutate %q: %w", id, s.classify("mutate", err))
+		s.log.Warn("topology mutation rolled back", "job", id, "err", err.Error())
+		return nil, err
 	}
 
 	s.mu.Lock()
@@ -171,6 +176,8 @@ func (s *Service) MutateTopology(ctx context.Context, id string, mut *dagspec.Mu
 
 	s.topoMutations.Add(1)
 	s.mutations.Add(1)
+	s.log.Info("topology mutation committed", "job", id,
+		"cluster", c, "cluster_changed", !warmStart, "operators", newG.NumOperators())
 	return &MutateResult{
 		JobID:           id,
 		ClusterID:       c,

@@ -113,8 +113,8 @@ func TestServiceMutateTopology(t *testing.T) {
 	}
 
 	st := s.Stats()
-	if st.TopologyMutations != 1 {
-		t.Errorf("TopologyMutations = %d, want 1", st.TopologyMutations)
+	if st.Sessions.TopologyMutations != 1 {
+		t.Errorf("TopologyMutations = %d, want 1", st.Sessions.TopologyMutations)
 	}
 }
 
@@ -164,7 +164,7 @@ func TestServiceMutateRollback(t *testing.T) {
 			t.Fatalf("%s: phase after rollback = %q, want observe", c.name, info.Phase)
 		}
 	}
-	if got := s.Stats().MutationsRejected; got != uint64(len(cases)) {
+	if got := s.Stats().Sessions.MutationsRejected; got != uint64(len(cases)) {
 		t.Errorf("MutationsRejected = %d, want %d", got, len(cases))
 	}
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/streamtune/streamtune/internal/parallel"
+	"github.com/streamtune/streamtune/internal/telemetry"
 )
 
 // observeBatcher coalesces concurrent Observe requests — label
@@ -36,6 +37,9 @@ type observeBatcher struct {
 	flushes   uint64
 	batched   uint64
 	single    uint64
+	// occHist mirrors occupancy into the telemetry registry when the
+	// owning service has metrics attached; nil (inert) otherwise.
+	occHist *telemetry.Histogram
 }
 
 type observeRequest struct {
@@ -120,6 +124,7 @@ func (b *observeBatcher) flush(q *observeQueue) {
 	reqs := q.reqs
 	b.flushes++
 	b.occupancy[len(reqs)]++
+	b.occHist.Observe(float64(len(reqs)))
 	if len(reqs) > 1 {
 		b.batched += uint64(len(reqs))
 	} else {
@@ -165,6 +170,7 @@ func (b *observeBatcher) close() {
 	q.timer.Stop()
 	b.mu.Lock()
 	b.occupancy[len(q.reqs)]++
+	b.occHist.Observe(float64(len(q.reqs)))
 	b.flushes++
 	b.single += uint64(len(q.reqs))
 	b.mu.Unlock()

@@ -60,11 +60,11 @@ func TestObserveBatchingBitIdentical(t *testing.T) {
 		}
 	}
 	st := s.Stats()
-	if st.ObserveBatchFlushes == 0 {
-		t.Errorf("no observe flushes recorded across %d observations", st.Observations)
+	if st.Observer.Flushes == 0 {
+		t.Errorf("no observe flushes recorded across %d observations", st.Sessions.Observations)
 	}
-	if served := st.BatchedObservations + st.UnbatchedObservations; served != st.Observations {
-		t.Errorf("flushes served %d observations, service counted %d", served, st.Observations)
+	if served := st.Observer.BatchedObservations + st.Observer.UnbatchedObservations; served != st.Sessions.Observations {
+		t.Errorf("flushes served %d observations, service counted %d", served, st.Sessions.Observations)
 	}
 }
 
@@ -98,15 +98,15 @@ func TestAdmissionCacheCapInStats(t *testing.T) {
 		}
 	}
 	st := s.Stats()
-	if st.AdmissionCacheCap != 2 {
-		t.Fatalf("AdmissionCacheCap = %d, want 2", st.AdmissionCacheCap)
+	if st.Admission.CacheCap != 2 {
+		t.Fatalf("AdmissionCacheCap = %d, want 2", st.Admission.CacheCap)
 	}
-	if st.AdmissionCacheSize > 2 {
-		t.Fatalf("AdmissionCacheSize = %d exceeds cap", st.AdmissionCacheSize)
+	if st.Admission.CacheSize > 2 {
+		t.Fatalf("AdmissionCacheSize = %d exceeds cap", st.Admission.CacheSize)
 	}
 	// Three distinct structures against >= 1 center exceed two pairs, so
 	// at least one epoch reset must have fired.
-	if st.AdmissionCacheResets == 0 {
+	if st.Admission.CacheResets == 0 {
 		t.Fatalf("no epoch resets despite cap pressure: %+v", st)
 	}
 }

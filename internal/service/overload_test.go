@@ -109,8 +109,8 @@ func TestOverloadShedsWith503(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	if st := s.Stats(); st.Shed != 1 {
-		t.Fatalf("Stats.Shed = %d, want 1", st.Shed)
+	if st := s.Stats(); st.Overload.Shed != 1 {
+		t.Fatalf("Stats.Shed = %d, want 1", st.Overload.Shed)
 	}
 
 	release()
@@ -164,8 +164,8 @@ func TestObserveHonorsContext(t *testing.T) {
 	}
 
 	st := s.Stats()
-	if st.Canceled != 1 || st.DeadlineExceeded != 1 {
-		t.Fatalf("Stats canceled/deadline = %d/%d, want 1/1", st.Canceled, st.DeadlineExceeded)
+	if st.Overload.Canceled != 1 || st.Overload.DeadlineExceeded != 1 {
+		t.Fatalf("Stats canceled/deadline = %d/%d, want 1/1", st.Overload.Canceled, st.Overload.DeadlineExceeded)
 	}
 
 	release()
@@ -209,7 +209,7 @@ func TestHTTPCanceledRequestFreesSlot(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(5 * time.Second)
-	for s.Stats().Canceled == 0 {
+	for s.Stats().Overload.Canceled == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("server never observed the client cancellation")
 		}
@@ -255,8 +255,8 @@ func TestBatcherSaturationShedsRegistration(t *testing.T) {
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("second registration = %v, want ErrOverloaded", err)
 	}
-	if st := s.Stats(); st.Shed != 1 {
-		t.Fatalf("Stats.Shed = %d, want 1", st.Shed)
+	if st := s.Stats(); st.Overload.Shed != 1 {
+		t.Fatalf("Stats.Shed = %d, want 1", st.Overload.Shed)
 	}
 
 	// Draining the batcher completes the parked registration through the

@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -35,9 +36,11 @@ import (
 	"github.com/streamtune/streamtune/internal/engine"
 	"github.com/streamtune/streamtune/internal/ged"
 	"github.com/streamtune/streamtune/internal/gnn"
+	"github.com/streamtune/streamtune/internal/logbuffer"
 	"github.com/streamtune/streamtune/internal/mono"
 	"github.com/streamtune/streamtune/internal/parallel"
 	"github.com/streamtune/streamtune/internal/streamtune"
+	"github.com/streamtune/streamtune/internal/telemetry"
 )
 
 // Admission and lifecycle errors. Callers distinguish them with
@@ -132,6 +135,20 @@ type Config struct {
 	// Clock supplies the current time for leases; nil uses time.Now.
 	// Tests and deterministic drivers inject a fake clock.
 	Clock func() time.Time
+	// Metrics attaches a telemetry bundle (NewMetrics over a fresh
+	// registry): the serving path records latency histograms and
+	// counters into it and GET /metrics serves the registry in
+	// Prometheus text format. Nil disables all instrumentation — the
+	// disabled path is provably inert (bit-identical recommendations,
+	// differential-tested) and /metrics answers 404.
+	Metrics *Metrics
+	// Logs attaches a structured-log ring buffer served at GET /v1/logs.
+	// Nil disables the endpoint. The buffer usually also backs one
+	// handler of the Logger fanout, but the two are independent.
+	Logs *logbuffer.Buffer
+	// Logger receives structured lifecycle logs (admissions, releases,
+	// evictions, checkpoints, mutations, sheds). Nil discards them.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the serving defaults.
@@ -201,6 +218,13 @@ type session struct {
 	prevPhase sessionPhase
 	history   []Recommendation
 	lease     time.Time
+
+	// recs/bps are the session's per-tenant telemetry counters
+	// (deployed reconfigurations, backpressured windows), resolved once
+	// at admission and deleted on release/eviction. Nil when telemetry
+	// is disabled — Inc on a nil counter is a no-op.
+	recs *telemetry.Counter
+	bps  *telemetry.Counter
 }
 
 // Recommendation is one recommend-step outcome, also the unit of the
@@ -218,9 +242,25 @@ type Recommendation struct {
 	Done bool `json:"done"`
 }
 
-// Stats is a point-in-time counter snapshot.
+// StatsSchemaVersion is the version of the GET /v1/stats document.
+// Version 2 grouped the former flat counter blob into per-subsystem
+// sections; consumers dispatch on schema_version.
+const StatsSchemaVersion = 2
+
+// Stats is a point-in-time counter snapshot, grouped by subsystem.
 type Stats struct {
-	ActiveSessions  int    `json:"active_sessions"`
+	SchemaVersion int             `json:"schema_version"`
+	Sessions      SessionStats    `json:"sessions"`
+	Admission     AdmissionStats  `json:"admission"`
+	Batching      BatchingStats   `json:"batching"`
+	Overload      OverloadStats   `json:"overload"`
+	Checkpoint    CheckpointStats `json:"checkpoint"`
+	Observer      ObserverStats   `json:"observer"`
+}
+
+// SessionStats covers the session registry and the tuning protocol.
+type SessionStats struct {
+	Active          int    `json:"active"`
 	Registered      uint64 `json:"registered"`
 	Rejected        uint64 `json:"rejected"`
 	Released        uint64 `json:"released"`
@@ -233,37 +273,42 @@ type Stats struct {
 	// or re-admission (the session rolled back to its previous state).
 	TopologyMutations uint64 `json:"topology_mutations"`
 	MutationsRejected uint64 `json:"mutations_rejected"`
+}
 
-	// AdmissionCacheHits counts cluster assignments fully resolved from
-	// the shared fingerprint-keyed GED cache (no exact GED computed);
-	// AdmissionCacheMisses counts the rest. Their ratio is the
-	// shared-artifact hit rate of admission.
-	AdmissionCacheHits   uint64 `json:"admission_cache_hits"`
-	AdmissionCacheMisses uint64 `json:"admission_cache_misses"`
-	// AdmissionCacheSize is the pairs held right now; AdmissionCacheCap
-	// the configured bound (0 = unbounded); AdmissionCacheResets how
-	// many times the cache hit its cap and started a fresh epoch.
-	AdmissionCacheSize   int    `json:"admission_cache_size"`
-	AdmissionCacheCap    int    `json:"admission_cache_cap"`
-	AdmissionCacheResets uint64 `json:"admission_cache_resets"`
+// AdmissionStats covers the shared GED cache and encoder warmth.
+type AdmissionStats struct {
+	// CacheHits counts cluster assignments fully resolved from the
+	// shared fingerprint-keyed GED cache (no exact GED computed);
+	// CacheMisses counts the rest. Their ratio is the shared-artifact
+	// hit rate of admission.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheSize is the pairs held right now; CacheCap the configured
+	// bound (0 = unbounded); CacheResets how many times the cache hit
+	// its cap and started a fresh epoch.
+	CacheSize   int    `json:"cache_size"`
+	CacheCap    int    `json:"cache_cap"`
+	CacheResets uint64 `json:"cache_resets"`
 	// EncoderWarmHits counts registrations assigned to a cluster whose
 	// encoder had already served an earlier session of this process —
 	// its compiled plans and structure caches are warm.
 	EncoderWarmHits uint64 `json:"encoder_warm_hits"`
-	// BatchFlushes counts executed inference batches (any size);
+}
+
+// BatchingStats covers the cross-tenant inference micro-batcher.
+type BatchingStats struct {
+	// Flushes counts executed inference batches (any size);
 	// BatchedSessions counts sessions served from multi-request batches
 	// and UnbatchedSessions the rest (lone flushes plus shutdown and
 	// disabled-batcher fallbacks). Their split is the coalescing rate
 	// of the cross-tenant micro-batcher.
-	BatchFlushes      uint64 `json:"batch_flushes"`
+	Flushes           uint64 `json:"flushes"`
 	BatchedSessions   uint64 `json:"batched_sessions"`
 	UnbatchedSessions uint64 `json:"unbatched_sessions"`
-	// ObserveBatchFlushes counts executed Observe coalescing flushes;
-	// BatchedObservations counts observations served from multi-request
-	// flushes and UnbatchedObservations the rest.
-	ObserveBatchFlushes   uint64 `json:"observe_batch_flushes"`
-	BatchedObservations   uint64 `json:"batched_observations"`
-	UnbatchedObservations uint64 `json:"unbatched_observations"`
+}
+
+// OverloadStats covers the worker pool and load shedding.
+type OverloadStats struct {
 	// WorkersInFlight and WorkerCap describe the worker pool at the
 	// moment of the snapshot; WorkersQueued is how many admitted requests
 	// are waiting for a slot right now.
@@ -276,13 +321,30 @@ type Stats struct {
 	Shed             uint64 `json:"shed"`
 	DeadlineExceeded uint64 `json:"deadline_exceeded"`
 	Canceled         uint64 `json:"canceled"`
+}
+
+// CheckpointStats covers crash-safe checkpointing. All fields except
+// Mutations are maintained by an attached Checkpointer.
+type CheckpointStats struct {
 	// Mutations counts registry state changes (the checkpointer's
-	// dirtiness signal); the checkpoint counters are maintained by an
-	// attached Checkpointer.
-	Mutations           uint64 `json:"mutations"`
-	CheckpointsWritten  uint64 `json:"checkpoints_written"`
-	CheckpointFailures  uint64 `json:"checkpoint_failures"`
-	CheckpointLastBytes uint64 `json:"checkpoint_last_bytes"`
+	// dirtiness signal).
+	Mutations uint64 `json:"mutations"`
+	Written   uint64 `json:"written"`
+	Failures  uint64 `json:"failures"`
+	LastBytes uint64 `json:"last_bytes"`
+	// LastSeq is the sequence number of the newest written checkpoint
+	// (meaningful once Written > 0).
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// ObserverStats covers the Observe coalescer.
+type ObserverStats struct {
+	// Flushes counts executed Observe coalescing flushes;
+	// BatchedObservations counts observations served from multi-request
+	// flushes and UnbatchedObservations the rest.
+	Flushes               uint64 `json:"flushes"`
+	BatchedObservations   uint64 `json:"batched_observations"`
+	UnbatchedObservations uint64 `json:"unbatched_observations"`
 }
 
 // Service is the multi-tenant tuning service. Create with New; all
@@ -338,7 +400,40 @@ type Service struct {
 	checkpointsWritten  atomic.Uint64
 	checkpointFailures  atomic.Uint64
 	checkpointLastBytes atomic.Uint64
+	checkpointLastSeq   atomic.Uint64
+
+	// ready gates GET /readyz: true once the service is fully built
+	// (New/Restore return only complete services, so construction sets
+	// it), flipped false by the server when draining begins.
+	ready atomic.Bool
+
+	// log is the resolved logger: Config.Logger or a discard logger,
+	// never nil.
+	log *slog.Logger
 }
+
+// Ready reports whether the service should receive traffic: restore is
+// finished, the PreTrained artifact is loaded, and the server is not
+// draining. GET /readyz serves this.
+func (s *Service) Ready() bool { return s.ready.Load() }
+
+// SetReady flips the readiness gate; servers call SetReady(false) at
+// the start of a graceful shutdown so load balancers stop routing new
+// traffic before the drain.
+func (s *Service) SetReady(ready bool) {
+	if s.ready.Swap(ready) != ready {
+		s.log.Info("readiness changed", "ready", ready)
+	}
+}
+
+// discardHandler drops every record (the stdlib gains one in later Go
+// versions; this keeps go 1.22 compatibility).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 // Mutations reports the number of registry state changes since startup.
 // The checkpointer compares successive values to decide whether a new
@@ -358,7 +453,7 @@ func New(pt *streamtune.PreTrained, cfg Config) (*Service, error) {
 		maxQueue = -1 // unbounded waiting room: DoCtx never sheds
 	}
 	pool := parallel.NewBoundedLimiter(cfg.Workers, maxQueue)
-	return &Service{
+	s := &Service{
 		cfg:          cfg,
 		pt:           pt,
 		pool:         pool,
@@ -367,7 +462,25 @@ func New(pt *streamtune.PreTrained, cfg Config) (*Service, error) {
 		observe:      newObserveBatcher(cfg.ObserveBatchWindow, cfg.MaxObserveBatch, pool),
 		sessions:     make(map[string]*session),
 		warmClusters: make(map[int]bool),
-	}, nil
+		log:          slog.New(discardHandler{}),
+	}
+	if cfg.Logger != nil {
+		s.log = cfg.Logger
+	}
+	if m := cfg.Metrics; m != nil {
+		m.bind(s)
+		if s.batch != nil {
+			s.batch.occHist = m.batchOccupancy
+		}
+		if s.observe != nil {
+			s.observe.occHist = m.observeOccupancy
+		}
+	}
+	// A fully constructed service is ready by definition: New returns
+	// only after the artifact is validated, and Restore only after every
+	// session resumed. The server flips this off when draining.
+	s.ready.Store(true)
+	return s, nil
 }
 
 // requestCtx applies the service-side request deadline on top of the
@@ -389,10 +502,13 @@ func (s *Service) classify(op string, err error) error {
 	switch {
 	case errors.Is(err, parallel.ErrSaturated):
 		s.shed.Add(1)
+		s.log.Warn("request shed", "op", op, "reason", "worker pool saturated",
+			"worker_cap", s.pool.Cap(), "queued", s.pool.Queued())
 		return fmt.Errorf("%w: %s shed, worker pool saturated (cap %d, queued %d)",
 			ErrOverloaded, op, s.pool.Cap(), s.pool.Queued())
 	case errors.Is(err, errBatcherSaturated):
 		s.shed.Add(1)
+		s.log.Warn("request shed", "op", op, "reason", "inference batcher saturated")
 		return fmt.Errorf("%w: %s shed, inference batcher saturated", ErrOverloaded, op)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.deadlineExceeded.Add(1)
@@ -502,10 +618,12 @@ type RegisterResult struct {
 // build (including the wait for a worker slot) and a saturated waiting
 // room sheds immediately with ErrOverloaded.
 func (s *Service) Register(ctx context.Context, id string, g *dag.Graph, engCfg engine.Config) (*RegisterResult, error) {
+	defer s.cfg.Metrics.sinceRegister(time.Now())
 	ctx, cancel := s.requestCtx(ctx)
 	defer cancel()
 	if err := admit(id, g); err != nil {
 		s.rejected.Add(1)
+		s.log.Warn("registration rejected", "job", id, "err", err.Error())
 		return nil, err
 	}
 
@@ -555,6 +673,7 @@ func (s *Service) Register(ctx context.Context, id string, g *dag.Graph, engCfg 
 			if err != nil {
 				return err
 			}
+			tuner.SetInstruments(s.cfg.Metrics.tunerInstruments())
 			proc, err := tuner.StartWithSession(isess, engCfg)
 			if err != nil {
 				return err
@@ -583,7 +702,9 @@ func (s *Service) Register(ctx context.Context, id string, g *dag.Graph, engCfg 
 		delete(s.sessions, id)
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		return nil, fmt.Errorf("service: register %q: %w", id, s.classify("register", err))
+		err = fmt.Errorf("service: register %q: %w", id, s.classify("register", err))
+		s.log.Warn("registration failed", "job", id, "err", err.Error())
+		return nil, err
 	}
 
 	s.mu.Lock()
@@ -593,8 +714,12 @@ func (s *Service) Register(ctx context.Context, id string, g *dag.Graph, engCfg 
 	s.warmClusters[sess.clusterID] = true
 	s.mu.Unlock()
 
+	sess.recs, sess.bps = s.cfg.Metrics.jobCounters(id)
 	s.registered.Add(1)
 	s.mutations.Add(1)
+	s.log.Info("session registered", "job", id,
+		"cluster", sess.clusterID, "distance", sess.clusterDist,
+		"warmup_samples", sess.tuner.TrainingSetSize())
 	return &RegisterResult{
 		JobID:           id,
 		ClusterID:       sess.clusterID,
@@ -654,6 +779,7 @@ func (sess *session) modelWarm() bool {
 // abandons the wait for a worker slot (freeing it for live requests)
 // and a saturated waiting room sheds with ErrOverloaded.
 func (s *Service) Recommend(ctx context.Context, id string) (*Recommendation, error) {
+	defer s.cfg.Metrics.sinceRecommend(time.Now())
 	ctx, cancel := s.requestCtx(ctx)
 	defer cancel()
 	sess, err := s.lookupBusy(id)
@@ -706,6 +832,9 @@ func (s *Service) Recommend(ctx context.Context, id string) (*Recommendation, er
 				Deploy:      deploy,
 			}
 		}
+		if out.Deploy {
+			sess.recs.Inc()
+		}
 		sess.history = append(sess.history, *out)
 		return nil
 	}
@@ -735,6 +864,7 @@ func (s *Service) Recommend(ctx context.Context, id string) (*Recommendation, er
 // tuning process completed. ctx bounds the request exactly as in
 // Recommend.
 func (s *Service) Observe(ctx context.Context, id string, m *engine.JobMetrics) (done bool, err error) {
+	defer s.cfg.Metrics.sinceObserve(time.Now())
 	ctx, cancel := s.requestCtx(ctx)
 	defer cancel()
 	if m == nil {
@@ -765,6 +895,9 @@ func (s *Service) Observe(ctx context.Context, id string, m *engine.JobMetrics) 
 		done, stepErr = sess.proc.Observe(m)
 		if stepErr != nil {
 			return stepErr
+		}
+		if m.Backpressured {
+			sess.bps.Inc()
 		}
 		if done {
 			sess.phase = phaseDone
@@ -860,8 +993,10 @@ func (s *Service) Release(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
+	s.cfg.Metrics.dropJob(id)
 	s.released.Add(1)
 	s.mutations.Add(1)
+	s.log.Info("session released", "job", id)
 	return nil
 }
 
@@ -895,6 +1030,10 @@ func (s *Service) EvictIdle() int {
 		delete(s.sessions, id)
 	}
 	s.mu.Unlock()
+	for _, id := range victims {
+		s.cfg.Metrics.dropJob(id)
+		s.log.Info("session evicted", "job", id)
+	}
 	s.evicted.Add(uint64(len(victims)))
 	s.mutations.Add(uint64(len(victims)))
 	return len(victims)
@@ -988,7 +1127,8 @@ func (s *Service) ListJobs(after string, limit int) *JobList {
 	return list
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters (schema version 2, grouped by
+// subsystem).
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	active := len(s.sessions)
@@ -996,38 +1136,52 @@ func (s *Service) Stats() Stats {
 	_, flushes, batched, single := s.batch.stats()
 	oflushes, obatched, osingle := s.observe.stats()
 	return Stats{
-		ActiveSessions:        active,
-		Registered:            s.registered.Load(),
-		Rejected:              s.rejected.Load(),
-		Released:              s.released.Load(),
-		Evicted:               s.evicted.Load(),
-		Completed:             s.completed.Load(),
-		Recommendations:       s.recommendations.Load(),
-		Observations:          s.observations.Load(),
-		TopologyMutations:     s.topoMutations.Load(),
-		MutationsRejected:     s.topoRejected.Load(),
-		AdmissionCacheHits:    s.admissionHits.Load(),
-		AdmissionCacheMisses:  s.admissionMisses.Load(),
-		AdmissionCacheSize:    s.admission.Len(),
-		AdmissionCacheCap:     s.admission.Cap(),
-		AdmissionCacheResets:  s.admission.Resets(),
-		EncoderWarmHits:       s.encoderWarmHits.Load(),
-		BatchFlushes:          flushes,
-		BatchedSessions:       batched,
-		UnbatchedSessions:     single,
-		ObserveBatchFlushes:   oflushes,
-		BatchedObservations:   obatched,
-		UnbatchedObservations: osingle,
-		WorkersInFlight:       s.pool.InFlight(),
-		WorkerCap:             s.pool.Cap(),
-		WorkersQueued:         s.pool.Queued(),
-		Shed:                  s.shed.Load(),
-		DeadlineExceeded:      s.deadlineExceeded.Load(),
-		Canceled:              s.canceled.Load(),
-		Mutations:             s.mutations.Load(),
-		CheckpointsWritten:    s.checkpointsWritten.Load(),
-		CheckpointFailures:    s.checkpointFailures.Load(),
-		CheckpointLastBytes:   s.checkpointLastBytes.Load(),
+		SchemaVersion: StatsSchemaVersion,
+		Sessions: SessionStats{
+			Active:            active,
+			Registered:        s.registered.Load(),
+			Rejected:          s.rejected.Load(),
+			Released:          s.released.Load(),
+			Evicted:           s.evicted.Load(),
+			Completed:         s.completed.Load(),
+			Recommendations:   s.recommendations.Load(),
+			Observations:      s.observations.Load(),
+			TopologyMutations: s.topoMutations.Load(),
+			MutationsRejected: s.topoRejected.Load(),
+		},
+		Admission: AdmissionStats{
+			CacheHits:       s.admissionHits.Load(),
+			CacheMisses:     s.admissionMisses.Load(),
+			CacheSize:       s.admission.Len(),
+			CacheCap:        s.admission.Cap(),
+			CacheResets:     s.admission.Resets(),
+			EncoderWarmHits: s.encoderWarmHits.Load(),
+		},
+		Batching: BatchingStats{
+			Flushes:           flushes,
+			BatchedSessions:   batched,
+			UnbatchedSessions: single,
+		},
+		Overload: OverloadStats{
+			WorkersInFlight:  s.pool.InFlight(),
+			WorkerCap:        s.pool.Cap(),
+			WorkersQueued:    s.pool.Queued(),
+			Shed:             s.shed.Load(),
+			DeadlineExceeded: s.deadlineExceeded.Load(),
+			Canceled:         s.canceled.Load(),
+		},
+		Checkpoint: CheckpointStats{
+			Mutations: s.mutations.Load(),
+			Written:   s.checkpointsWritten.Load(),
+			Failures:  s.checkpointFailures.Load(),
+			LastBytes: s.checkpointLastBytes.Load(),
+			LastSeq:   s.checkpointLastSeq.Load(),
+		},
+		Observer: ObserverStats{
+			Flushes:               oflushes,
+			BatchedObservations:   obatched,
+			UnbatchedObservations: osingle,
+		},
 	}
 }
 

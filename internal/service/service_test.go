@@ -209,10 +209,10 @@ func TestServiceAdmission(t *testing.T) {
 		})
 	}
 
-	if got := s.Stats().Rejected; got != uint64(len(cases)) {
+	if got := s.Stats().Sessions.Rejected; got != uint64(len(cases)) {
 		t.Errorf("Rejected = %d, want %d", got, len(cases))
 	}
-	if got := s.Stats().ActiveSessions; got != 1 {
+	if got := s.Stats().Sessions.Active; got != 1 {
 		t.Errorf("ActiveSessions = %d, want 1", got)
 	}
 }
@@ -335,16 +335,16 @@ func TestServiceMatchesSequentialTuner(t *testing.T) {
 		}
 	}
 	st := s.Stats()
-	if st.Completed != uint64(len(jobs)) {
-		t.Errorf("Completed = %d, want %d", st.Completed, len(jobs))
+	if st.Sessions.Completed != uint64(len(jobs)) {
+		t.Errorf("Completed = %d, want %d", st.Sessions.Completed, len(jobs))
 	}
 	// Six of the eight jobs repeat another job's DAG structure, so their
 	// admissions must resolve entirely from the shared GED cache.
-	if st.AdmissionCacheHits < 4 {
-		t.Errorf("AdmissionCacheHits = %d, want >= 4", st.AdmissionCacheHits)
+	if st.Admission.CacheHits < 4 {
+		t.Errorf("AdmissionCacheHits = %d, want >= 4", st.Admission.CacheHits)
 	}
-	if st.EncoderWarmHits < 4 {
-		t.Errorf("EncoderWarmHits = %d, want >= 4", st.EncoderWarmHits)
+	if st.Admission.EncoderWarmHits < 4 {
+		t.Errorf("EncoderWarmHits = %d, want >= 4", st.Admission.EncoderWarmHits)
 	}
 }
 
@@ -529,7 +529,7 @@ func TestServiceLeaseEviction(t *testing.T) {
 	if _, err := s.Session("busy"); err != nil {
 		t.Fatalf("busy session evicted: %v", err)
 	}
-	if got := s.Stats().Evicted; got != 1 {
+	if got := s.Stats().Sessions.Evicted; got != 1 {
 		t.Errorf("Stats.Evicted = %d, want 1", got)
 	}
 }
@@ -571,7 +571,7 @@ func TestServiceConcurrentRegistration(t *testing.T) {
 	if won != 1 {
 		t.Errorf("%d registrations of the same ID succeeded, want exactly 1", won)
 	}
-	if got := s.Stats().ActiveSessions; got != 4 {
+	if got := s.Stats().Sessions.Active; got != 4 {
 		t.Errorf("ActiveSessions = %d, want 4", got)
 	}
 }

@@ -205,6 +205,7 @@ func Restore(pt *streamtune.PreTrained, cfg Config, data []byte) (*Service, erro
 		if err != nil {
 			return nil, fmt.Errorf("service: restore tuner %q: %w", ss.JobID, err)
 		}
+		tuner.SetInstruments(cfg.Metrics.tunerInstruments())
 		tuners[i] = tuner
 		g := ss.Process.Graph.Clone()
 		key := batchKey{enc: pt.Encoder(ss.Tuner.ClusterID), fp: ged.Fingerprint(g)}
@@ -246,7 +247,7 @@ func Restore(pt *streamtune.PreTrained, cfg Config, data []byte) (*Service, erro
 		if _, ok := s.sessions[ss.JobID]; ok {
 			return nil, fmt.Errorf("service: snapshot repeats job %q", ss.JobID)
 		}
-		s.sessions[ss.JobID] = &session{
+		sess := &session{
 			id:          ss.JobID,
 			clusterID:   ss.Tuner.ClusterID,
 			clusterDist: ss.ClusterDistance,
@@ -258,6 +259,8 @@ func Restore(pt *streamtune.PreTrained, cfg Config, data []byte) (*Service, erro
 			history:     append([]Recommendation(nil), ss.History...),
 			lease:       ss.Lease,
 		}
+		sess.recs, sess.bps = cfg.Metrics.jobCounters(ss.JobID)
+		s.sessions[ss.JobID] = sess
 		s.warmClusters[ss.Tuner.ClusterID] = true
 	}
 	return s, nil

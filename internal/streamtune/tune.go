@@ -42,7 +42,28 @@ type Tuner struct {
 	trainVersion uint64
 	fitVersion   uint64
 	fitted       bool
+
+	// instr holds observability hooks; the zero value (nil funcs) is
+	// fully inert. Hooks only count events — they never feed back into
+	// tuning state, so an instrumented run is bit-identical to a bare
+	// one.
+	instr Instruments
 }
+
+// Instruments are optional observability hooks a serving layer attaches
+// to count tuning-core events. Nil funcs are skipped.
+type Instruments struct {
+	// OnFit fires after each real prediction-model fit (deduplicated
+	// fits that skip do not fire).
+	OnFit func()
+	// OnDistill fires after each head-distillation pass over the
+	// parallelism grid.
+	OnDistill func()
+}
+
+// SetInstruments attaches observability hooks. Call before the tuner
+// starts serving; not synchronized against concurrent tuning.
+func (t *Tuner) SetInstruments(in Instruments) { t.instr = in }
 
 // markDirty records a training-set mutation, invalidating the fitted
 // model.
@@ -60,6 +81,9 @@ func (t *Tuner) fitIfNeeded() error {
 	}
 	t.fitted = true
 	t.fitVersion = t.trainVersion
+	if t.instr.OnFit != nil {
+		t.instr.OnFit()
+	}
 	return nil
 }
 
@@ -219,6 +243,9 @@ func (t *Tuner) distill(sess *gnn.InferSession, g *dag.Graph) error {
 		}
 	}
 	t.markDirty()
+	if t.instr.OnDistill != nil {
+		t.instr.OnDistill()
+	}
 	return nil
 }
 

@@ -1,0 +1,560 @@
+// Package telemetry is a dependency-free metrics registry with
+// Prometheus text-format exposition: counters, gauges, and fixed-bucket
+// histograms whose hot paths are single atomic operations — no locks,
+// no allocations — so instrumenting a serving path is provably inert
+// (the service's differential tests show recommendations bit-identical
+// with telemetry enabled vs disabled, and AllocsPerRun pins the
+// instrument cost at zero allocations per operation).
+//
+// Instruments are registered once (label children resolved up front,
+// outside the hot path) and updated forever after via nil-safe methods:
+// every instrument method is a no-op on a nil receiver, so "telemetry
+// disabled" is simply "the instrument pointer is nil" — no flags, no
+// branches at call sites.
+//
+// Exposition follows the Prometheus text format (version 0.0.4):
+//
+//	# HELP streamtune_recommendations_total Recommend calls served.
+//	# TYPE streamtune_recommendations_total counter
+//	streamtune_recommendations_total 42
+//
+// Families render in sorted name order and label children in sorted
+// label-value order, so equal registries expose equal bytes.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default histogram bounds for request
+// latencies, in seconds: 100µs up to 10s, roughly geometric.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are the default bounds for small-count distributions
+// (batch occupancy, queue depths).
+var SizeBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// Counter is a monotonically increasing uint64. All methods are safe
+// for concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. All methods are safe for concurrent use
+// and no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Observe is lock-free: one
+// linear scan over the (small) bound slice plus two atomic adds. All
+// methods are safe for concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	bounds []float64       // upper bounds, strictly increasing
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (zero on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values (zero on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the rank — a conservative (never underestimating)
+// estimate, which is the right direction for latency ceilings. The +Inf
+// bucket reports the highest finite bound. Zero observations report 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind names the TYPE line of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one registered metric family: its metadata plus a render
+// hook producing the sample lines.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	render func(w io.Writer) error
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text format. Registration methods panic on duplicate or invalid
+// names — instruments are wired once at startup, so a clash is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, kind metricKind, render func(io.Writer) error) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("telemetry: metric %q already registered", name))
+	}
+	r.families[name] = &family{name: name, help: help, kind: kind, render: render}
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, func(w io.Writer) error {
+		return writeSample(w, name, "", float64(c.Value()))
+	})
+	return c
+}
+
+// CounterFunc registers a counter whose value is produced at scrape
+// time — the adapter for pre-existing monotonic atomics (e.g. the
+// service's Stats counters), which keeps their hot paths untouched.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(name, help, kindCounter, func(w io.Writer) error {
+		return writeSample(w, name, "", f())
+	})
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, func(w io.Writer) error {
+		return writeSample(w, name, "", g.Value())
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is produced at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(name, help, kindGauge, func(w io.Writer) error {
+		return writeSample(w, name, "", f())
+	})
+}
+
+// Histogram registers and returns a new fixed-bucket histogram. Nil or
+// empty bounds default to LatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	h := newHistogram(bounds)
+	r.register(name, help, kindHistogram, func(w io.Writer) error {
+		return writeHistogram(w, name, "", h)
+	})
+	return h
+}
+
+// CounterVec registers a labeled counter family. Children are resolved
+// with With (allocating, mutex-guarded — do it at setup, not on the hot
+// path) and removed with Delete.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: make(map[string]*Counter)}
+	r.register(name, help, kindCounter, func(w io.Writer) error {
+		return v.render(w, name)
+	})
+	return v
+}
+
+// HistogramVec registers a labeled histogram family. Nil or empty
+// bounds default to LatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	v := &HistogramVec{labels: labels, bounds: bounds, children: make(map[string]*Histogram)}
+	r.register(name, help, kindHistogram, func(w io.Writer) error {
+		return v.render(w, name)
+	})
+	return v
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (created on
+// first use). The value count must match the registered label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[key]
+	if c == nil {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+// Delete removes the child for the given label values, bounding family
+// growth when the labeled entity (a tenant, a session) goes away.
+func (v *CounterVec) Delete(values ...string) {
+	if v == nil || len(values) != len(v.labels) {
+		return
+	}
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	delete(v.children, key)
+	v.mu.Unlock()
+}
+
+func (v *CounterVec) render(w io.Writer, name string) error {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counters := make([]*Counter, len(keys))
+	for i, k := range keys {
+		counters[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		if err := writeSample(w, name, k, float64(counters[i].Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct {
+	labels []string
+	bounds []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values (created
+// on first use). Resolve children at setup; Observe on the result is
+// the zero-allocation hot path.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.children[key]
+	if h == nil {
+		h = newHistogram(v.bounds)
+		v.children[key] = h
+	}
+	return h
+}
+
+// Delete removes the child for the given label values.
+func (v *HistogramVec) Delete(values ...string) {
+	if v == nil || len(values) != len(v.labels) {
+		return
+	}
+	key := labelKey(v.labels, values)
+	v.mu.Lock()
+	delete(v.children, key)
+	v.mu.Unlock()
+}
+
+func (v *HistogramVec) render(w io.Writer, name string) error {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hists := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		hists[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		if err := writeHistogram(w, name, k, hists[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelKey renders label pairs in registered order: `a="x",b="y"`.
+func labelKey(labels, values []string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text-format rules.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSample writes one `name{labels} value` line.
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+	}
+	return err
+}
+
+// writeHistogram writes the cumulative _bucket series plus _sum and
+// _count for one histogram child.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatValue(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
+		return err
+	}
+	if labels == "" {
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	return err
+}
+
+// WriteText renders every family in sorted name order in the
+// Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if err := f.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w) // headers are out; nothing useful left to do on error
+	})
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	g := r.Gauge("test_gauge", "a gauge")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilInstrumentsAreInert(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if cv.With("x") != nil || hv.With("x") != nil {
+		t.Fatal("nil vecs must resolve nil children")
+	}
+	cv.Delete("x")
+	hv.Delete("x")
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	h.Observe(5) // +Inf bucket
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	if got := h.Quantile(0.99); got != 0.1 {
+		t.Fatalf("p99 = %v, want 0.1", got)
+	}
+	// The +Inf bucket reports the highest finite bound.
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %v, want 1", got)
+	}
+	wantSum := 90*0.005 + 9*0.05 + 5
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("st_requests_total", "Requests served.")
+	c.Add(7)
+	r.GaugeFunc("st_sessions", "Active sessions.", func() float64 { return 3 })
+	v := r.CounterVec("st_ops_total", "Ops by kind.", "op")
+	v.With("register").Add(2)
+	v.With("recommend").Inc()
+	h := r.Histogram("st_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := []string{
+		"# HELP st_requests_total Requests served.\n# TYPE st_requests_total counter\nst_requests_total 7\n",
+		"# TYPE st_sessions gauge\nst_sessions 3\n",
+		"st_ops_total{op=\"recommend\"} 1\nst_ops_total{op=\"register\"} 2\n",
+		"st_latency_seconds_bucket{le=\"0.1\"} 1\n",
+		"st_latency_seconds_bucket{le=\"1\"} 2\n",
+		"st_latency_seconds_bucket{le=\"+Inf\"} 3\n",
+		"st_latency_seconds_sum 2.55\nst_latency_seconds_count 3\n",
+	}
+	for _, frag := range want {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q in:\n%s", frag, out)
+		}
+	}
+	// Families render in sorted name order.
+	if strings.Index(out, "st_latency_seconds") > strings.Index(out, "st_requests_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("st_req_seconds", "Per-op latency.", []float64{1}, "op")
+	v.With("a").Observe(0.5)
+	v.With("b").Observe(2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"st_req_seconds_bucket{op=\"a\",le=\"1\"} 1",
+		"st_req_seconds_bucket{op=\"b\",le=\"+Inf\"} 1",
+		"st_req_seconds_count{op=\"a\"} 1",
+		"st_req_seconds_sum{op=\"b\"} 2",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q in:\n%s", frag, out)
+		}
+	}
+	v.Delete("a")
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `op="a"`) {
+		t.Error("deleted child still exposed")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("st_esc_total", "", "job")
+	v.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `st_esc_total{job="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	mustPanic(t, "duplicate", func() { r.Counter("dup_total", "") })
+	mustPanic(t, "invalid name", func() { r.Counter("9starts_with_digit", "") })
+	mustPanic(t, "empty name", func() { r.Gauge("", "") })
+	mustPanic(t, "bad bounds", func() { r.Histogram("h_bad", "", []float64{1, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	h := r.Histogram("ch_seconds", "", []float64{1, 10})
+	g := r.Gauge("cg", "")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.5)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); math.Abs(got-workers*per*0.5) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, workers*per*0.5)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge = %v, want %d", got, workers*per)
+	}
+}
+
+// TestHotPathZeroAllocs pins the instrument hot paths at zero
+// allocations per operation — the acceptance bar for wiring telemetry
+// into the serving path.
+func TestHotPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	h := r.Histogram("alloc_seconds", "", nil)
+	child := r.CounterVec("alloc_vec_total", "", "job").With("tenant-1")
+	hchild := r.HistogramVec("alloc_vec_seconds", "", nil, "op").With("recommend")
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Errorf("Histogram.Observe allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { child.Inc() }); n != 0 {
+		t.Errorf("vec child Inc allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { hchild.Observe(0.003) }); n != 0 {
+		t.Errorf("vec child Observe allocs/op = %v, want 0", n)
+	}
+	// Disabled telemetry — nil instruments — is equally free.
+	var nc *Counter
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nc.Inc(); nh.Observe(1) }); n != 0 {
+		t.Errorf("nil instrument allocs/op = %v, want 0", n)
+	}
+}
